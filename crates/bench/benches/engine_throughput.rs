@@ -1,0 +1,19 @@
+//! Criterion bench: full simulated runs per second — the morning
+//! scenario end-to-end under EV and WV.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safehome_core::{EngineConfig, VisibilityModel};
+use safehome_harness::run;
+use safehome_workloads::morning;
+
+fn bench_runs(c: &mut Criterion) {
+    c.bench_function("morning_ev_full_run", |b| {
+        b.iter(|| run(&morning(EngineConfig::new(VisibilityModel::ev()), 1)))
+    });
+    c.bench_function("morning_wv_full_run", |b| {
+        b.iter(|| run(&morning(EngineConfig::new(VisibilityModel::Wv), 1)))
+    });
+}
+
+criterion_group!(benches, bench_runs);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 15d: Timeline (Algorithm 1) insertion time
+//! with the paper's resident state (15 devices, 30 routines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use safehome_bench::experiments::fig15d_insertion::{random_routine, resident_state};
+use safehome_core::runtime::RoutineRun;
+use safehome_core::sched::timeline;
+use safehome_core::{EngineConfig, VisibilityModel};
+use safehome_sim::SimRng;
+use safehome_types::{RoutineId, Timestamp};
+
+fn bench_insertion(c: &mut Criterion) {
+    let (table, order) = resident_state(15, 30);
+    let cfg = EngineConfig::new(VisibilityModel::ev());
+    let mut group = c.benchmark_group("fig15d_insertion");
+    for commands in [1usize, 2, 4, 6, 8, 10] {
+        let mut rng = SimRng::seed_from_u64(7);
+        let run = RoutineRun::new(
+            RoutineId(999),
+            random_routine(15, commands, &mut rng),
+            Timestamp::ZERO,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(commands), &run, |b, run| {
+            b.iter(|| timeline::place(run, &table, &order, &cfg, Timestamp::ZERO, &|_, _| true, &[]));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insertion);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: Kasa protocol codec throughput (cipher + JSON).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safehome_kasa::protocol::{decode, encode, KasaRequest, KasaResponse};
+use safehome_types::Value;
+
+fn bench_codec(c: &mut Criterion) {
+    let req = KasaRequest::SetRelayState(true).to_json();
+    c.bench_function("kasa_encode_decode", |b| {
+        b.iter(|| {
+            let cipher = encode(&req);
+            decode(&cipher)
+        })
+    });
+    c.bench_function("kasa_request_roundtrip", |b| {
+        b.iter(|| KasaRequest::parse(&KasaRequest::SetRelayState(false).to_json()).unwrap())
+    });
+    let resp = KasaResponse { err_code: 0, state: Value::ON, alias: "plug".into() };
+    c.bench_function("kasa_response_roundtrip", |b| {
+        b.iter(|| KasaResponse::parse(&resp.to_json()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

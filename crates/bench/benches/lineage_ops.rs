@@ -1,0 +1,41 @@
+//! Criterion bench: core lineage-table operations (insert, gap search,
+//! status inference) — the per-event costs of the EV engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safehome_core::lineage::{LineageTable, LockAccess};
+use safehome_types::{DeviceId, RoutineId, TimeDelta, Timestamp, Value};
+use std::collections::BTreeMap;
+
+fn loaded_table(entries: usize) -> LineageTable {
+    let init: BTreeMap<DeviceId, Value> = [(DeviceId(0), Value::OFF)].into();
+    let mut t = LineageTable::new(&init);
+    for i in 0..entries as u64 {
+        t.append(
+            DeviceId(0),
+            LockAccess::scheduled(
+                RoutineId(i),
+                0,
+                Some(Value::ON),
+                Timestamp::from_millis(i * 200),
+                TimeDelta::from_millis(100),
+            ),
+        );
+    }
+    t
+}
+
+fn bench_lineage(c: &mut Criterion) {
+    let table = loaded_table(64);
+    c.bench_function("gaps_64_entries", |b| {
+        b.iter(|| table.gaps(DeviceId(0), Timestamp::ZERO, false))
+    });
+    c.bench_function("current_status_64_entries", |b| {
+        b.iter(|| table.current_status(DeviceId(0)))
+    });
+    c.bench_function("validate_64_entries", |b| {
+        b.iter(|| table.validate(true).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_lineage);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! `repro` — regenerates the paper's figures and tables.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p safehome-bench --release -- <experiment> [--trials N]
+//! cargo run -p safehome-bench --release -- all [--trials N]
+//! cargo run -p safehome-bench --release -- list
+//! ```
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trials: u64 = 30;
+    let mut which: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trials" => {
+                trials = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--trials needs a number");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            other => {
+                which = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let experiments = safehome_bench::experiments::all();
+    match which.as_deref() {
+        None | Some("list") => {
+            println!("experiments:");
+            for (name, desc, _) in &experiments {
+                println!("  {name:<8} {desc}");
+            }
+            println!("  all      run everything (writes results/ too)");
+        }
+        Some("all") => {
+            std::fs::create_dir_all("results").ok();
+            for (name, desc, runner) in &experiments {
+                eprintln!("== {name}: {desc}");
+                let output = runner(trials);
+                println!("{output}");
+                if let Ok(mut f) = std::fs::File::create(format!("results/{name}.txt")) {
+                    let _ = f.write_all(output.as_bytes());
+                }
+            }
+        }
+        Some(name) => match experiments.iter().find(|(n, _, _)| *n == name) {
+            Some((_, _, runner)) => println!("{}", runner(trials)),
+            None => {
+                eprintln!("unknown experiment {name:?}; try `list`");
+                std::process::exit(2);
+            }
+        },
+    }
+}

@@ -1,0 +1,87 @@
+//! Fig. 1: concurrency causes incongruent end-states under Weak
+//! Visibility.
+//!
+//! Two routines — R1 turns every light ON, R2 turns every light OFF —
+//! run over a varying number of devices, with R2 starting a small offset
+//! after R1. The y-value is the fraction of end states that are not
+//! serialized (neither all-ON nor all-OFF). The paper's shape: rises
+//! with device count, falls with offset.
+
+use safehome_core::{EngineConfig, VisibilityModel};
+use safehome_harness::{run as run_spec, RunSpec, Submission};
+use safehome_devices::catalog::plug_home;
+use safehome_types::{DeviceId, Routine, TimeDelta, Timestamp, Value};
+
+use crate::support::{f, row};
+
+fn all_lights(n: usize, v: Value) -> Routine {
+    let mut b = Routine::builder(if v == Value::ON { "all_on" } else { "all_off" });
+    for i in 0..n {
+        b = b.set(DeviceId(i as u32), v, TimeDelta::from_millis(100));
+    }
+    b.build()
+}
+
+/// Fraction of `trials` WV runs that end neither all-ON nor all-OFF.
+pub fn incongruent_fraction(devices: usize, offset_ms: u64, trials: u64) -> f64 {
+    let mut incongruent = 0u64;
+    for seed in 0..trials {
+        let mut spec = RunSpec::new(
+            plug_home(devices),
+            EngineConfig::new(VisibilityModel::Wv),
+        )
+        .with_seed(seed);
+        spec.submit(Submission::at(all_lights(devices, Value::ON), Timestamp::ZERO));
+        spec.submit(Submission::at(
+            all_lights(devices, Value::OFF),
+            Timestamp::from_millis(offset_ms),
+        ));
+        let out = run_spec(&spec);
+        let states: Vec<Value> = (0..devices)
+            .map(|i| out.trace.end_states[&DeviceId(i as u32)])
+            .collect();
+        let all_on = states.iter().all(|&v| v == Value::ON);
+        let all_off = states.iter().all(|&v| v == Value::OFF);
+        if !all_on && !all_off {
+            incongruent += 1;
+        }
+    }
+    incongruent as f64 / trials as f64
+}
+
+/// Regenerates Fig. 1.
+pub fn run(trials: u64) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 1 — WV incongruent end-state fraction\n");
+    let offsets = [0u64, 10, 25, 40];
+    let mut header = vec!["devices".to_string()];
+    header.extend(offsets.iter().map(|o| format!("off={o}ms")));
+    out.push_str(&row(&header));
+    out.push('\n');
+    for devices in [2usize, 4, 6, 8, 10] {
+        let mut cells = vec![devices.to_string()];
+        for &offset in &offsets {
+            cells.push(f(incongruent_fraction(devices, offset, trials)));
+        }
+        out.push_str(&row(&cells));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incongruence_rises_with_devices_and_falls_with_offset() {
+        let small = incongruent_fraction(2, 0, 60);
+        let large = incongruent_fraction(10, 0, 60);
+        assert!(large >= small, "more devices, more incongruence");
+        let near = incongruent_fraction(8, 0, 60);
+        let far = incongruent_fraction(8, 1_000, 60);
+        assert!(near > far, "bigger offsets serialize naturally");
+        assert_eq!(far, 0.0, "1s offset is past every race window");
+        assert!(near > 0.1, "simultaneous opposing routines must race");
+    }
+}

@@ -1,0 +1,97 @@
+//! Fig. 2: the §2.1 five-routine example under GSV, PSV and EV.
+//!
+//! R1 = makeCoffee; makePancake.  R2 = the same.  R3 = makePancake.
+//! R4 = startRoomba(Living); startMopping(Living).  R5 =
+//! startMopping(Kitchen). With unit-length commands, the paper's run
+//! takes 8 units under GSV, 5 under PSV and 3 under EV.
+
+use safehome_core::{EngineConfig, VisibilityModel};
+use safehome_devices::{DeviceKind, Home};
+use safehome_harness::{run as run_spec, RunSpec, Submission};
+use safehome_devices::LatencyModel;
+use safehome_types::{Routine, TimeDelta, Timestamp, Value};
+
+/// One "time unit" of the figure.
+const UNIT: TimeDelta = TimeDelta(1_000);
+
+fn build_home() -> (Home, [safehome_types::DeviceId; 5]) {
+    let mut b = Home::builder();
+    let coffee = b.device("coffee_maker", DeviceKind::Appliance);
+    let pancake = b.device("pancake_maker", DeviceKind::Appliance);
+    let roomba = b.device("roomba", DeviceKind::Robot);
+    let mop_living = b.device("mop_living", DeviceKind::Robot);
+    let mop_kitchen = b.device("mop_kitchen", DeviceKind::Robot);
+    (b.build(), [coffee, pancake, roomba, mop_living, mop_kitchen])
+}
+
+fn routines(d: &[safehome_types::DeviceId; 5]) -> Vec<Routine> {
+    let [coffee, pancake, roomba, mop_l, mop_k] = *d;
+    vec![
+        Routine::builder("R1")
+            .set(coffee, Value::ON, UNIT)
+            .set(pancake, Value::ON, UNIT)
+            .build(),
+        Routine::builder("R2")
+            .set(coffee, Value::ON, UNIT)
+            .set(pancake, Value::ON, UNIT)
+            .build(),
+        Routine::builder("R3").set(pancake, Value::ON, UNIT).build(),
+        Routine::builder("R4")
+            .set(roomba, Value::ON, UNIT)
+            .set(mop_l, Value::ON, UNIT)
+            .build(),
+        Routine::builder("R5").set(mop_k, Value::ON, UNIT).build(),
+    ]
+}
+
+/// Makespan of the five concurrent routines under `model`, in time units
+/// (rounded to the nearest unit; actuation latency is set to zero so the
+/// figure's idealized unit grid is reproduced exactly).
+pub fn makespan_units(model: VisibilityModel) -> f64 {
+    let (home, devices) = build_home();
+    let mut spec = RunSpec::new(home, EngineConfig::new(model));
+    spec.latency = LatencyModel::Fixed(TimeDelta::ZERO);
+    for r in routines(&devices) {
+        spec.submit(Submission::at(r, Timestamp::ZERO));
+    }
+    let out = run_spec(&spec);
+    assert!(out.completed);
+    let last_commit = out
+        .trace
+        .records
+        .values()
+        .filter_map(|r| r.finished)
+        .max()
+        .expect("five routines committed");
+    last_commit.as_millis() as f64 / UNIT.as_millis() as f64
+}
+
+/// Regenerates Fig. 2.
+pub fn run(_trials: u64) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 2 — makespan of the 5-routine example (time units)\n");
+    out.push_str("paper: GSV = 8, PSV = 5, EV = 3\n");
+    for (label, model) in [
+        ("GSV", VisibilityModel::Gsv { strong: false }),
+        ("PSV", VisibilityModel::Psv),
+        ("EV", VisibilityModel::ev()),
+    ] {
+        out.push_str(&format!("{label:>5}: {:.1}\n", makespan_units(model)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_makespans() {
+        let gsv = makespan_units(VisibilityModel::Gsv { strong: false });
+        let psv = makespan_units(VisibilityModel::Psv);
+        let ev = makespan_units(VisibilityModel::ev());
+        assert!((gsv - 8.0).abs() < 0.2, "GSV serializes all 8 commands: {gsv}");
+        assert!((psv - 5.0).abs() < 0.2, "PSV runs partitions concurrently: {psv}");
+        assert!((ev - 3.0).abs() < 0.2, "EV pipelines down to 3 units: {ev}");
+    }
+}

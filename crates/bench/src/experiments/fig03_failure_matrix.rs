@@ -1,0 +1,123 @@
+//! Fig. 3: failure/restart serialization — six cases × four models.
+//!
+//! A routine R = {B:ON; A:ON; C:ON} (10 s per command) runs while device
+//! A fails (F[A]) and possibly restarts (Re[A]) at six characteristic
+//! positions. A seventh case fails an *untouched* device Z, which
+//! separates S-GSV (aborts) from loose GSV (does not). Expected outcome
+//! (✓ = routine completes, ✗ = aborts), from §3:
+//!
+//! | case                                   | S-GSV | GSV | PSV | EV |
+//! |----------------------------------------|-------|-----|-----|----|
+//! | 1. F,Re before R starts                | ✓     | ✓   | ✓   | ✓  |
+//! | 2. F before start, Re before 1st touch | ✗     | ✗   | ✓   | ✓  |
+//! | 3. F,Re during R, before 1st touch     | ✗     | ✗   | ✓   | ✓  |
+//! | 4. F before 1st touch, no restart      | ✗     | ✗   | ✗   | ✗  |
+//! | 5. F during A's command                | ✗     | ✗   | ✗   | ✗  |
+//! | 6. F after last touch, still down      | ✗     | ✗   | ✗   | ✓  |
+//! | 7. unrelated device fails mid-R        | ✗     | ✓   | ✓   | ✓  |
+
+use safehome_core::{EngineConfig, VisibilityModel};
+use safehome_devices::{catalog::plug_home, FailurePlan, LatencyModel};
+use safehome_harness::{run as run_spec, RunSpec, Submission};
+use safehome_types::{DeviceId, Routine, TimeDelta, Timestamp, Value};
+
+const B: DeviceId = DeviceId(0);
+const A: DeviceId = DeviceId(1);
+const C: DeviceId = DeviceId(2);
+const Z: DeviceId = DeviceId(3);
+
+/// The seven cases as (label, failure plan).
+pub fn cases() -> Vec<(&'static str, FailurePlan)> {
+    let t = Timestamp::from_millis;
+    vec![
+        ("1: F,Re before start", FailurePlan::none().fail(A, t(1_000)).restart(A, t(2_500))),
+        ("2: F before, Re mid", FailurePlan::none().fail(A, t(1_000)).restart(A, t(8_000))),
+        ("3: F,Re before touch", FailurePlan::none().fail(A, t(7_000)).restart(A, t(9_000))),
+        ("4: F, no restart", FailurePlan::none().fail(A, t(7_000))),
+        ("5: F mid-command", FailurePlan::none().fail(A, t(18_000))),
+        ("6: F after last touch", FailurePlan::none().fail(A, t(30_000))),
+        ("7: unrelated device", FailurePlan::none().fail(Z, t(18_000))),
+    ]
+}
+
+/// Runs one case under one model; `true` = the routine committed.
+pub fn survives(model: VisibilityModel, plan: &FailurePlan) -> bool {
+    let mut spec = RunSpec::new(plug_home(4), EngineConfig::new(model));
+    spec.latency = LatencyModel::Fixed(TimeDelta::from_millis(50));
+    spec.failures = plan.clone();
+    let cmd = TimeDelta::from_secs(10);
+    spec.submit(Submission::at(
+        Routine::builder("cooling-like")
+            .set(B, Value::ON, cmd)
+            .set(A, Value::ON, cmd)
+            .set(C, Value::ON, cmd)
+            .build(),
+        Timestamp::from_secs(5),
+    ));
+    let out = run_spec(&spec);
+    assert!(out.completed, "run must quiesce");
+    let id = out.trace.submission_order()[0];
+    out.trace.records[&id].committed()
+}
+
+/// Expected matrix (rows = cases, columns = S-GSV, GSV, PSV, EV).
+pub fn expected() -> Vec<[bool; 4]> {
+    vec![
+        [true, true, true, true],
+        [false, false, true, true],
+        [false, false, true, true],
+        [false, false, false, false],
+        [false, false, false, false],
+        [false, false, false, true],
+        [false, true, true, true],
+    ]
+}
+
+/// Regenerates Fig. 3.
+pub fn run(_trials: u64) -> String {
+    let models = [
+        ("S-GSV", VisibilityModel::Gsv { strong: true }),
+        ("GSV", VisibilityModel::Gsv { strong: false }),
+        ("PSV", VisibilityModel::Psv),
+        ("EV", VisibilityModel::ev()),
+    ];
+    let mut out = String::new();
+    out.push_str("Fig. 3 — failure serialization (✓ execute, ✗ abort)\n");
+    out.push_str(&format!("{:<26}", "case"));
+    for (label, _) in &models {
+        out.push_str(&format!("{label:>8}"));
+    }
+    out.push('\n');
+    for (label, plan) in cases() {
+        out.push_str(&format!("{label:<26}"));
+        for (_, model) in &models {
+            out.push_str(&format!(
+                "{:>8}",
+                if survives(*model, &plan) { "✓" } else { "✗" }
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_matches_section_3_rules() {
+        let models = [
+            VisibilityModel::Gsv { strong: true },
+            VisibilityModel::Gsv { strong: false },
+            VisibilityModel::Psv,
+            VisibilityModel::ev(),
+        ];
+        for ((label, plan), expect) in cases().into_iter().zip(expected()) {
+            for (m, &want) in models.iter().zip(expect.iter()) {
+                let got = survives(*m, &plan);
+                assert_eq!(got, want, "case {label:?} under {m:?}");
+            }
+        }
+    }
+}

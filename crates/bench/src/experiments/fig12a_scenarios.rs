@@ -1,0 +1,111 @@
+//! Fig. 12a: latency, temporary incongruence and parallelism for the
+//! three trace-based scenarios under WV / PSV / EV / GSV.
+//!
+//! Paper shape: EV's latency tracks WV (within 0–23 %), PSV sits between
+//! EV and GSV (and collapses toward GSV in the party scenario because of
+//! the long routine's head-of-line blocking), GSV is far slowest; EV
+//! shows the most temporary incongruence but (Fig. 12b) a serial end
+//! state; parallelism orders EV ≥ WV > PSV > GSV.
+
+use safehome_core::{EngineConfig, VisibilityModel};
+use safehome_harness::RunSpec;
+use safehome_workloads::{factory, morning, party};
+
+use crate::support::{f, main_models, row, run_trials, secs, TrialAgg};
+
+/// The three scenarios as (name, builder).
+pub fn scenarios() -> Vec<(&'static str, fn(EngineConfig, u64) -> RunSpec)> {
+    fn factory_spec(cfg: EngineConfig, seed: u64) -> RunSpec {
+        factory(cfg, 3, seed)
+    }
+    vec![
+        ("morning", morning as fn(EngineConfig, u64) -> RunSpec),
+        ("party", party as fn(EngineConfig, u64) -> RunSpec),
+        ("factory", factory_spec as fn(EngineConfig, u64) -> RunSpec),
+    ]
+}
+
+/// Aggregates one scenario × model.
+pub fn measure(
+    scenario: fn(EngineConfig, u64) -> RunSpec,
+    model: VisibilityModel,
+    trials: u64,
+) -> TrialAgg {
+    run_trials(trials, |seed| scenario(EngineConfig::new(model), seed))
+}
+
+/// Regenerates Fig. 12a.
+pub fn run(trials: u64) -> String {
+    let trials = trials.max(5);
+    let mut out = String::new();
+    out.push_str("Fig. 12a — scenario metrics per visibility model\n");
+    for (name, scenario) in scenarios() {
+        out.push_str(&format!("--- {name} ---\n"));
+        out.push_str(&row(&[
+            "model".into(),
+            "lat p50".into(),
+            "lat p90".into(),
+            "lat p95".into(),
+            "tmp-incong".into(),
+            "parallel".into(),
+        ]));
+        out.push('\n');
+        for model in main_models() {
+            let agg = measure(scenario, model, trials);
+            assert_eq!(agg.incomplete, 0, "{name}/{model:?} must quiesce");
+            out.push_str(&row(&[
+                model.label().into(),
+                secs(agg.latency.p50),
+                secs(agg.latency.p90),
+                secs(agg.latency.p95),
+                f(agg.temp_incongruence),
+                f(agg.parallelism),
+            ]));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safehome_workloads::morning;
+
+    #[test]
+    fn morning_scenario_orders_models_like_the_paper() {
+        let trials = 4;
+        let ev = measure(morning, VisibilityModel::ev(), trials);
+        let wv = measure(morning, VisibilityModel::Wv, trials);
+        let gsv = measure(morning, VisibilityModel::Gsv { strong: false }, trials);
+        assert_eq!(ev.incomplete + wv.incomplete + gsv.incomplete, 0);
+        // GSV is far slower than EV; EV is within a small factor of WV.
+        assert!(
+            gsv.latency.p50 > 2.0 * ev.latency.p50,
+            "GSV {:.0}ms vs EV {:.0}ms",
+            gsv.latency.p50,
+            ev.latency.p50
+        );
+        assert!(
+            ev.latency.p50 < 2.0 * wv.latency.p50,
+            "EV {:.0}ms should track WV {:.0}ms",
+            ev.latency.p50,
+            wv.latency.p50
+        );
+        // Parallelism: EV well above GSV (paper: ~3x median).
+        assert!(ev.parallelism > 1.5 * gsv.parallelism);
+    }
+
+    #[test]
+    fn party_long_routine_hurts_psv_more_than_ev() {
+        let trials = 4;
+        let ev = measure(party, VisibilityModel::ev(), trials);
+        let psv = measure(party, VisibilityModel::Psv, trials);
+        assert!(
+            psv.latency.p90 >= ev.latency.p90,
+            "head-of-line blocking: PSV p90 {:.0}ms < EV p90 {:.0}ms",
+            psv.latency.p90,
+            ev.latency.p90
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Fig. 13: effect of failures — abort rate and rollback overhead vs.
+//! the Must percentage (a, c) and the failed-device fraction (b, d).
+//!
+//! Paper shape: abort rates rise with M% and with F%; EV aborts the most
+//! routines (it runs the most concurrently) but rolls back the fewest
+//! commands; PSV's rollback overhead is highest (it aborts at the finish
+//! point); GSV/S-GSV abort little (serial execution) but roll back more
+//! than EV when they do.
+
+use safehome_core::EngineConfig;
+use safehome_workloads::MicroParams;
+
+use crate::support::{f, failure_models, row, run_trials, TrialAgg};
+
+fn params() -> MicroParams {
+    MicroParams {
+        routines: 40,
+        // Short long-commands keep the sweep fast without changing shape.
+        long_mean: safehome_types::TimeDelta::from_mins(5),
+        ..MicroParams::default()
+    }
+}
+
+/// One sweep point.
+pub fn measure(must_pct: f64, fail_pct: f64, model: safehome_core::VisibilityModel, trials: u64) -> TrialAgg {
+    let p = MicroParams {
+        must_pct,
+        fail_pct,
+        ..params()
+    };
+    run_trials(trials, |seed| p.build(EngineConfig::new(model), seed))
+}
+
+/// Regenerates Fig. 13 (all four panels).
+pub fn run(trials: u64) -> String {
+    let trials = trials.max(5);
+    let mut out = String::new();
+    let musts = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let fails = [0.0, 0.1, 0.25, 0.4, 0.5];
+
+    out.push_str("Fig. 13a/13c — Must% sweep (F = 25%)\n");
+    out.push_str(&row(&[
+        "model".into(),
+        "M%".into(),
+        "abort rate".into(),
+        "rollback".into(),
+    ]));
+    out.push('\n');
+    for model in failure_models() {
+        for &m in &musts {
+            let agg = measure(m, 0.25, model, trials);
+            out.push_str(&row(&[
+                model.label().into(),
+                format!("{:.0}", m * 100.0),
+                f(agg.abort_rate),
+                f(agg.rollback_overhead),
+            ]));
+            out.push('\n');
+        }
+    }
+    out.push_str("Fig. 13b/13d — Failed% sweep (M = 100%)\n");
+    out.push_str(&row(&[
+        "model".into(),
+        "F%".into(),
+        "abort rate".into(),
+        "rollback".into(),
+    ]));
+    out.push('\n');
+    for model in failure_models() {
+        for &fr in &fails {
+            let agg = measure(1.0, fr, model, trials);
+            out.push_str(&row(&[
+                model.label().into(),
+                format!("{:.0}", fr * 100.0),
+                f(agg.abort_rate),
+                f(agg.rollback_overhead),
+            ]));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safehome_core::VisibilityModel;
+
+    #[test]
+    fn abort_rate_rises_with_must_percentage() {
+        let lo = measure(0.0, 0.25, VisibilityModel::ev(), 4);
+        let hi = measure(1.0, 0.25, VisibilityModel::ev(), 4);
+        assert!(
+            hi.abort_rate > lo.abort_rate,
+            "M=100% ({:.3}) must abort more than M=0% ({:.3})",
+            hi.abort_rate,
+            lo.abort_rate
+        );
+        assert!(lo.abort_rate < 0.05, "pure best-effort rarely aborts");
+    }
+
+    #[test]
+    fn abort_rate_rises_with_failure_fraction() {
+        let lo = measure(1.0, 0.0, VisibilityModel::ev(), 4);
+        let hi = measure(1.0, 0.5, VisibilityModel::ev(), 4);
+        assert_eq!(lo.abort_rate, 0.0, "no failures, no aborts");
+        assert!(hi.abort_rate > 0.1);
+    }
+
+    #[test]
+    fn ev_rolls_back_less_than_psv() {
+        let ev = measure(1.0, 0.25, VisibilityModel::ev(), 6);
+        let psv = measure(1.0, 0.25, VisibilityModel::Psv, 6);
+        assert!(
+            ev.rollback_overhead <= psv.rollback_overhead + 0.05,
+            "EV {:.3} vs PSV {:.3}: EV aborts early, PSV at finish",
+            ev.rollback_overhead,
+            psv.rollback_overhead
+        );
+    }
+}

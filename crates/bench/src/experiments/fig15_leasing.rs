@@ -1,0 +1,135 @@
+//! Fig. 15a–c: the Timeline scheduler's lease ablation and stretch.
+//!
+//! Paper shape: turning both lease kinds off raises latency 3–5.5×;
+//! post-leases matter more than pre-leases (disabling post costs
+//! 71–107 %, pre 29–50 %); disabling leases reduces temporary
+//! incongruence; stretch factors rise then fall with routine size.
+
+use safehome_core::VisibilityModel;
+use safehome_metrics::percentile;
+use safehome_workloads::MicroParams;
+
+use crate::support::{ev_config, f, row, run_trials, TrialAgg};
+
+fn params(rho: usize, c: f64) -> MicroParams {
+    MicroParams {
+        routines: 40,
+        concurrency: rho,
+        commands_mean: c,
+        long_mean: safehome_types::TimeDelta::from_mins(5),
+        ..MicroParams::default()
+    }
+}
+
+/// One ablation point: (pre, post) lease toggles.
+pub fn measure(rho: usize, c: f64, pre: bool, post: bool, trials: u64) -> TrialAgg {
+    let p = params(rho, c);
+    run_trials(trials, move |seed| p.build(ev_config(pre, post), seed))
+}
+
+/// Regenerates Fig. 15a–c.
+pub fn run(trials: u64) -> String {
+    let trials = trials.max(5);
+    let mut out = String::new();
+    out.push_str("Fig. 15a/15b — lease ablation under EV/TL\n");
+    out.push_str(&row(&[
+        "rho".into(),
+        "C".into(),
+        "leases".into(),
+        "lat mean".into(),
+        "tmp-incong".into(),
+    ]));
+    out.push('\n');
+    let combos = [
+        ("both-on", true, true),
+        ("pre-off", false, true),
+        ("post-off", true, false),
+        ("both-off", false, false),
+    ];
+    for (rho, c) in [(2usize, 3.0), (4, 3.0), (4, 4.0)] {
+        for (label, pre, post) in combos {
+            let agg = measure(rho, c, pre, post, trials);
+            out.push_str(&row(&[
+                rho.to_string(),
+                format!("{c:.0}"),
+                label.into(),
+                f(agg.norm_latency.mean),
+                f(agg.temp_incongruence),
+            ]));
+            out.push('\n');
+        }
+    }
+    out.push_str("Fig. 15c — stretch factor distribution vs C\n");
+    out.push_str(&row(&[
+        "C".into(),
+        "p50".into(),
+        "p75".into(),
+        "p95".into(),
+        ">1.05 frac".into(),
+    ]));
+    out.push('\n');
+    for c in [2.0, 4.0, 8.0] {
+        let agg = measure(4, c, true, true, trials);
+        let stretched = agg
+            .stretch
+            .iter()
+            .filter(|&&s| s > 1.05)
+            .count() as f64
+            / agg.stretch.len().max(1) as f64;
+        out.push_str(&row(&[
+            format!("{c:.0}"),
+            f(percentile(&agg.stretch, 50.0)),
+            f(percentile(&agg.stretch, 75.0)),
+            f(percentile(&agg.stretch, 95.0)),
+            f(stretched),
+        ]));
+        out.push('\n');
+    }
+    let _ = VisibilityModel::ev();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabling_both_leases_hurts_latency() {
+        let on = measure(4, 3.0, true, true, 6);
+        let off = measure(4, 3.0, false, false, 6);
+        assert!(
+            off.norm_latency.mean > 1.5 * on.norm_latency.mean,
+            "leases off {:.2}x vs on {:.2}x (normalized)",
+            off.norm_latency.mean,
+            on.norm_latency.mean
+        );
+    }
+
+    #[test]
+    fn post_leases_matter_more_than_pre_leases() {
+        let no_post = measure(4, 3.0, true, false, 8);
+        let no_pre = measure(4, 3.0, false, true, 8);
+        assert!(
+            no_post.norm_latency.mean >= 0.95 * no_pre.norm_latency.mean,
+            "post-off {:.2}x should cost at least pre-off {:.2}x",
+            no_post.norm_latency.mean,
+            no_pre.norm_latency.mean
+        );
+    }
+
+    #[test]
+    fn leases_off_reduces_temporary_incongruence() {
+        let on = measure(4, 3.0, true, true, 6);
+        let off = measure(4, 3.0, false, false, 6);
+        assert!(off.temp_incongruence <= on.temp_incongruence + 1e-9);
+    }
+
+    #[test]
+    fn some_routines_stretch_under_contention() {
+        let agg = measure(4, 4.0, true, true, 6);
+        assert!(
+            agg.stretch.iter().any(|&s| s > 1.05),
+            "lock waits must stretch some routines"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Fig. 16: impact of routine size C (a–c) and device popularity α (d).
+//!
+//! Paper shape: GSV's latency grows fastest with C; PSV starts near EV
+//! and converges to GSV as conflicts multiply; EV stays closest to WV.
+//! Rising α (popularity skew) slows PSV toward GSV while EV tracks WV.
+//! Order mismatch exists only for EV (PSV/GSV serialize in lock order,
+//! and are omitted as always-zero in the paper).
+
+use safehome_core::{EngineConfig, VisibilityModel};
+use safehome_workloads::MicroParams;
+
+use crate::support::{f, main_models, row, run_trials, TrialAgg};
+
+fn params() -> MicroParams {
+    MicroParams {
+        routines: 30,
+        long_mean: safehome_types::TimeDelta::from_mins(5),
+        ..MicroParams::default()
+    }
+}
+
+/// One sweep point over commands-per-routine.
+pub fn measure_c(c: f64, model: VisibilityModel, trials: u64) -> TrialAgg {
+    let p = MicroParams { commands_mean: c, ..params() };
+    run_trials(trials, |seed| p.build(EngineConfig::new(model), seed))
+}
+
+/// One sweep point over Zipf α.
+pub fn measure_alpha(alpha: f64, model: VisibilityModel, trials: u64) -> TrialAgg {
+    let p = MicroParams { zipf_alpha: alpha, ..params() };
+    run_trials(trials, |seed| p.build(EngineConfig::new(model), seed))
+}
+
+/// Regenerates Fig. 16.
+pub fn run(trials: u64) -> String {
+    let trials = trials.max(5);
+    let mut out = String::new();
+    out.push_str("Fig. 16a-c — commands per routine (C) sweep\n");
+    out.push_str(&row(&[
+        "model".into(),
+        "C".into(),
+        "lat mean(s)".into(),
+        "parallel".into(),
+        "tmp-incong".into(),
+        "ord-mism".into(),
+    ]));
+    out.push('\n');
+    for model in main_models() {
+        for c in [1.0, 2.0, 3.0, 4.0, 6.0, 8.0] {
+            let agg = measure_c(c, model, trials);
+            out.push_str(&row(&[
+                model.label().into(),
+                format!("{c:.0}"),
+                f(agg.latency.mean / 1_000.0),
+                f(agg.parallelism),
+                f(agg.temp_incongruence),
+                f(agg.order_mismatch),
+            ]));
+            out.push('\n');
+        }
+    }
+    out.push_str("Fig. 16d — device popularity (alpha) sweep\n");
+    out.push_str(&row(&[
+        "model".into(),
+        "alpha".into(),
+        "lat mean(s)".into(),
+    ]));
+    out.push('\n');
+    for model in main_models() {
+        for alpha in [0.0, 0.05, 0.2, 0.5, 0.9, 1.2] {
+            let agg = measure_alpha(alpha, model, trials);
+            out.push_str(&row(&[
+                model.label().into(),
+                format!("{alpha:.2}"),
+                f(agg.latency.mean / 1_000.0),
+            ]));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gsv_ev_gap_widens_with_c() {
+        // The paper's Fig. 16a shape: GSV pulls away from EV as routines
+        // grow (absolute separation widens with C).
+        let gsv_small = measure_c(1.0, VisibilityModel::Gsv { strong: false }, 4);
+        let gsv_big = measure_c(6.0, VisibilityModel::Gsv { strong: false }, 4);
+        let ev_small = measure_c(1.0, VisibilityModel::ev(), 4);
+        let ev_big = measure_c(6.0, VisibilityModel::ev(), 4);
+        let gap_small = gsv_small.latency.mean - ev_small.latency.mean;
+        let gap_big = gsv_big.latency.mean - ev_big.latency.mean;
+        assert!(
+            gap_big > gap_small,
+            "GSV-EV gap at C=6 ({gap_big:.0}ms) vs C=1 ({gap_small:.0}ms)"
+        );
+    }
+
+    #[test]
+    fn ev_stays_faster_than_gsv_across_c() {
+        for c in [2.0, 4.0] {
+            let ev = measure_c(c, VisibilityModel::ev(), 4);
+            let gsv = measure_c(c, VisibilityModel::Gsv { strong: false }, 4);
+            assert!(ev.latency.mean < gsv.latency.mean, "C={c}");
+        }
+    }
+
+    #[test]
+    fn popularity_skew_slows_psv_more_than_ev() {
+        let psv_lo = measure_alpha(0.0, VisibilityModel::Psv, 4);
+        let psv_hi = measure_alpha(1.2, VisibilityModel::Psv, 4);
+        let ev_lo = measure_alpha(0.0, VisibilityModel::ev(), 4);
+        let ev_hi = measure_alpha(1.2, VisibilityModel::ev(), 4);
+        let psv_growth = psv_hi.latency.mean / psv_lo.latency.mean.max(1.0);
+        let ev_growth = ev_hi.latency.mean / ev_lo.latency.mean.max(1.0);
+        assert!(
+            psv_growth >= ev_growth * 0.95,
+            "conflict hurts PSV ({psv_growth:.2}x) at least as much as EV ({ev_growth:.2}x)"
+        );
+    }
+
+    #[test]
+    fn order_mismatch_is_zero_for_strict_models() {
+        let psv = measure_c(3.0, VisibilityModel::Psv, 4);
+        assert!(psv.order_mismatch < 0.02, "PSV serializes near arrival order");
+    }
+}

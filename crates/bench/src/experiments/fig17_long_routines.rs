@@ -1,0 +1,125 @@
+//! Fig. 17: impact of long-routine duration |L| (a) and long-routine
+//! percentage L% (b) on temporary incongruence and order mismatch.
+//!
+//! Paper shape: longer long-commands spread the run out and *reduce*
+//! temporary incongruence while raising order mismatch; more long
+//! routines raise conflicts (more temporary incongruence) while pushing
+//! order mismatch down (post-leases dominate). Order mismatch stays low
+//! (3–10 %).
+
+use safehome_core::{EngineConfig, VisibilityModel};
+use safehome_types::TimeDelta;
+use safehome_workloads::MicroParams;
+
+use crate::support::{f, row, run_trials, TrialAgg};
+
+fn params() -> MicroParams {
+    MicroParams {
+        routines: 30,
+        ..MicroParams::default()
+    }
+}
+
+/// Sweep over the long-command duration |L| (minutes).
+pub fn measure_duration(mins: u64, trials: u64) -> TrialAgg {
+    let p = MicroParams {
+        long_mean: TimeDelta::from_mins(mins),
+        ..params()
+    };
+    run_trials(trials, |seed| {
+        p.build(EngineConfig::new(VisibilityModel::ev()), seed)
+    })
+}
+
+/// Sweep over the fraction of long routines L%.
+///
+/// This sweep uses a higher-contention configuration (fewer devices,
+/// more injectors) so the paper's conflict effect dominates the
+/// run-spreading effect; with Table-3 defaults the two nearly cancel
+/// (see EXPERIMENTS.md).
+pub fn measure_fraction(long_pct: f64, trials: u64) -> TrialAgg {
+    let p = MicroParams {
+        long_pct,
+        long_mean: TimeDelta::from_mins(10),
+        devices: 10,
+        concurrency: 8,
+        routines: 48,
+        ..params()
+    };
+    run_trials(trials, |seed| {
+        p.build(EngineConfig::new(VisibilityModel::ev()), seed)
+    })
+}
+
+/// Regenerates Fig. 17.
+pub fn run(trials: u64) -> String {
+    let trials = trials.max(5);
+    let mut out = String::new();
+    out.push_str("Fig. 17a — long-command duration |L| sweep (L% = 10)\n");
+    out.push_str(&row(&[
+        "|L| min".into(),
+        "tmp-incong".into(),
+        "ord-mism".into(),
+    ]));
+    out.push('\n');
+    for mins in [5u64, 10, 20, 30, 40] {
+        let agg = measure_duration(mins, trials);
+        out.push_str(&row(&[
+            mins.to_string(),
+            f(agg.temp_incongruence),
+            f(agg.order_mismatch),
+        ]));
+        out.push('\n');
+    }
+    out.push_str("Fig. 17b — long-routine percentage L% sweep (|L| = 10 min)\n");
+    out.push_str(&row(&[
+        "L%".into(),
+        "tmp-incong".into(),
+        "ord-mism".into(),
+    ]));
+    out.push('\n');
+    for pct in [0.0, 0.1, 0.2, 0.3, 0.5] {
+        let agg = measure_fraction(pct, trials);
+        out.push_str(&row(&[
+            format!("{:.0}", pct * 100.0),
+            f(agg.temp_incongruence),
+            f(agg.order_mismatch),
+        ]));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_long_routines_means_more_temporary_incongruence() {
+        let none = measure_fraction(0.0, 5);
+        let half = measure_fraction(0.5, 5);
+        assert!(
+            half.temp_incongruence >= none.temp_incongruence,
+            "L%=50 ({:.3}) vs L%=0 ({:.3})",
+            half.temp_incongruence,
+            none.temp_incongruence
+        );
+    }
+
+    #[test]
+    fn order_mismatch_stays_low() {
+        for agg in [measure_duration(10, 5), measure_fraction(0.3, 5)] {
+            assert!(
+                agg.order_mismatch < 0.25,
+                "order mismatch should stay low: {:.3}",
+                agg.order_mismatch
+            );
+        }
+    }
+
+    #[test]
+    fn runs_quiesce_at_every_sweep_point() {
+        assert_eq!(measure_duration(40, 3).incomplete, 0);
+        assert_eq!(measure_fraction(0.5, 3).incomplete, 0);
+    }
+}

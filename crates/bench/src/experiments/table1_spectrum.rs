@@ -1,0 +1,94 @@
+//! Table 1: the measured spectrum of the four visibility models.
+//!
+//! The paper's table is qualitative; this experiment backs each cell with
+//! a measurement from a standard microbenchmark run: concurrency =
+//! parallelism level, end-state serializability = the Fig. 12b check,
+//! wait time = submission → start, user visibility = temporary
+//! incongruence.
+
+use safehome_core::{EngineConfig, VisibilityModel};
+use safehome_harness::run as run_spec;
+use safehome_metrics::congruence::final_congruent;
+use safehome_workloads::MicroParams;
+
+use crate::support::{f, main_models, row, run_trials, secs};
+
+fn params() -> MicroParams {
+    MicroParams {
+        routines: 9, // keeps the exhaustive serial check tractable
+        long_mean: safehome_types::TimeDelta::from_mins(5),
+        ..MicroParams::default()
+    }
+}
+
+/// Fraction of runs with a serially-equivalent end state.
+pub fn congruent_fraction(model: VisibilityModel, trials: u64) -> f64 {
+    let p = params();
+    let mut ok = 0u64;
+    for seed in 0..trials {
+        let out = run_spec(&p.build(EngineConfig::new(model), seed));
+        if out.completed && final_congruent(&out.trace, 20) == Some(true) {
+            ok += 1;
+        }
+    }
+    ok as f64 / trials as f64
+}
+
+/// Regenerates Table 1 with measured values.
+pub fn run(trials: u64) -> String {
+    let trials = trials.max(10);
+    let mut out = String::new();
+    out.push_str("Table 1 — measured spectrum of visibility models\n");
+    out.push_str(&row(&[
+        "model".into(),
+        "concurrency".into(),
+        "serializable".into(),
+        "wait p50".into(),
+        "tmp-incong".into(),
+    ]));
+    out.push('\n');
+    for model in main_models() {
+        let p = params();
+        let agg = run_trials(trials, |seed| p.build(EngineConfig::new(model), seed));
+        out.push_str(&row(&[
+            model.label().into(),
+            f(agg.parallelism),
+            f(congruent_fraction(model, trials)),
+            secs(agg.wait.p50),
+            f(agg.temp_incongruence),
+        ]));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialized_models_are_always_congruent_here_too() {
+        for model in [
+            VisibilityModel::ev(),
+            VisibilityModel::Psv,
+            VisibilityModel::Gsv { strong: false },
+        ] {
+            assert_eq!(congruent_fraction(model, 5), 1.0, "{model:?}");
+        }
+    }
+
+    #[test]
+    fn gsv_has_the_longest_waits() {
+        let p = params();
+        let gsv = run_trials(5, |seed| {
+            p.build(EngineConfig::new(VisibilityModel::Gsv { strong: false }), seed)
+        });
+        let ev = run_trials(5, |seed| p.build(EngineConfig::new(VisibilityModel::ev()), seed));
+        assert!(
+            gsv.wait.p90 > ev.wait.p90,
+            "GSV p90 wait {:.0}ms vs EV {:.0}ms",
+            gsv.wait.p90,
+            ev.wait.p90
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! Experiment harness for the SafeHome reproduction.
+//!
+//! One module per figure/table of the paper's evaluation (§7); the
+//! `repro` binary multiplexes them (`cargo run -p safehome-bench
+//! --release -- <experiment>`). Each experiment prints the same rows or
+//! series the paper reports, so EXPERIMENTS.md can record paper-vs-
+//! measured shape comparisons.
+
+pub mod experiments;
+pub mod support;

@@ -1,0 +1,169 @@
+//! Shared experiment infrastructure.
+
+use safehome_core::{EngineConfig, SchedulerKind, VisibilityModel};
+use safehome_harness::{run, RunSpec};
+use safehome_metrics::{RunMetrics, Summary};
+
+/// The four models compared throughout §7.
+pub fn main_models() -> Vec<VisibilityModel> {
+    vec![
+        VisibilityModel::Wv,
+        VisibilityModel::Psv,
+        VisibilityModel::ev(),
+        VisibilityModel::Gsv { strong: false },
+    ]
+}
+
+/// The failure-handling models of §7.4 (adds S-GSV).
+pub fn failure_models() -> Vec<VisibilityModel> {
+    vec![
+        VisibilityModel::ev(),
+        VisibilityModel::Psv,
+        VisibilityModel::Gsv { strong: false },
+        VisibilityModel::Gsv { strong: true },
+    ]
+}
+
+/// The three EV schedulers of §5.
+pub fn schedulers() -> Vec<SchedulerKind> {
+    vec![SchedulerKind::Fcfs, SchedulerKind::Jit, SchedulerKind::Timeline]
+}
+
+/// Aggregated metrics over several trials of one configuration.
+#[derive(Debug, Clone, Default)]
+pub struct TrialAgg {
+    /// Latency summary (ms), pooled across trials.
+    pub latency: Summary,
+    /// Per-routine normalized latency summary (latency / ideal runtime).
+    pub norm_latency: Summary,
+    /// Wait-time summary (ms), pooled.
+    pub wait: Summary,
+    /// Mean temporary incongruence across trials.
+    pub temp_incongruence: f64,
+    /// Mean parallelism level across trials.
+    pub parallelism: f64,
+    /// Mean abort rate.
+    pub abort_rate: f64,
+    /// Mean rollback overhead (over trials with aborts).
+    pub rollback_overhead: f64,
+    /// Mean order mismatch.
+    pub order_mismatch: f64,
+    /// Pooled stretch factors.
+    pub stretch: Vec<f64>,
+    /// Trials that failed to reach quiescence (must be 0).
+    pub incomplete: usize,
+}
+
+/// Runs `trials` seeded runs of `make_spec` and aggregates the metrics.
+pub fn run_trials(trials: u64, mut make_spec: impl FnMut(u64) -> RunSpec) -> TrialAgg {
+    let mut latencies = Vec::new();
+    let mut norm_latencies = Vec::new();
+    let mut waits = Vec::new();
+    let mut stretch = Vec::new();
+    let mut agg = TrialAgg::default();
+    let mut abort_trials = 0usize;
+    for seed in 0..trials {
+        let out = run(&make_spec(seed));
+        if !out.completed {
+            agg.incomplete += 1;
+            continue;
+        }
+        let m = RunMetrics::of(&out.trace);
+        latencies.extend(m.latencies_ms.iter().copied());
+        norm_latencies.extend(m.normalized_latencies.iter().copied());
+        waits.extend(m.waits_ms.iter().copied());
+        stretch.extend(m.stretch.iter().copied());
+        agg.temp_incongruence += m.temporary_incongruence;
+        agg.parallelism += m.parallelism;
+        agg.abort_rate += m.abort_rate;
+        if m.abort_rate > 0.0 {
+            agg.rollback_overhead += m.rollback_overhead;
+            abort_trials += 1;
+        }
+        agg.order_mismatch += m.order_mismatch;
+    }
+    let n = (trials as usize - agg.incomplete).max(1) as f64;
+    agg.temp_incongruence /= n;
+    agg.parallelism /= n;
+    agg.abort_rate /= n;
+    agg.order_mismatch /= n;
+    if abort_trials > 0 {
+        agg.rollback_overhead /= abort_trials as f64;
+    }
+    agg.latency = Summary::of(&latencies);
+    agg.norm_latency = Summary::of(&norm_latencies);
+    agg.wait = Summary::of(&waits);
+    agg.stretch = stretch;
+    agg
+}
+
+/// EV configuration with explicit lease toggles (Fig. 15 ablations).
+pub fn ev_config(pre: bool, post: bool) -> EngineConfig {
+    let mut cfg = EngineConfig::new(VisibilityModel::ev());
+    cfg.pre_lease = pre;
+    cfg.post_lease = post;
+    cfg
+}
+
+/// Renders one formatted table row.
+pub fn row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| format!("{c:>12}"))
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats milliseconds as seconds.
+pub fn secs(ms: f64) -> String {
+    format!("{:.2}s", ms / 1_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safehome_harness::Submission;
+    use safehome_devices::catalog::plug_home;
+    use safehome_types::{DeviceId, Routine, TimeDelta, Timestamp, Value};
+
+    #[test]
+    fn run_trials_aggregates() {
+        let agg = run_trials(3, |seed| {
+            let mut spec = RunSpec::new(
+                plug_home(2),
+                EngineConfig::new(VisibilityModel::ev()),
+            )
+            .with_seed(seed);
+            spec.submit(Submission::at(
+                Routine::builder("r")
+                    .set(DeviceId(0), Value::ON, TimeDelta::from_millis(100))
+                    .build(),
+                Timestamp::ZERO,
+            ));
+            spec
+        });
+        assert_eq!(agg.incomplete, 0);
+        assert_eq!(agg.latency.n, 3, "one committed routine per trial");
+        assert!(agg.latency.mean >= 100.0);
+        assert_eq!(agg.abort_rate, 0.0);
+    }
+
+    #[test]
+    fn model_sets_are_distinct() {
+        assert_eq!(main_models().len(), 4);
+        assert_eq!(failure_models().len(), 4);
+        assert_eq!(schedulers().len(), 3);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(1.23456), "1.235");
+        assert_eq!(secs(2500.0), "2.50s");
+        assert!(row(&["a".into(), "b".into()]).contains('|'));
+    }
+}

@@ -1,0 +1,169 @@
+//! Engine configuration.
+
+use safehome_types::TimeDelta;
+
+/// Which scheduling policy Eventual Visibility uses (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// First Come First Serve: routines serialize in arrival order;
+    /// pre-leases are avoided (they would reorder), post-leases allowed.
+    Fcfs,
+    /// Just-in-Time: a routine starts only when it can greedily acquire
+    /// *all* its locks right away (directly or via pre/post-leases);
+    /// eligibility is retested on arrivals and lock releases; a TTL
+    /// prioritizes starving routines.
+    Jit,
+    /// Timeline: speculative placement of lock-accesses into lineage gaps
+    /// using duration estimates and Algorithm 1's backtracking search.
+    Timeline,
+}
+
+/// The visibility model the engine enforces (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VisibilityModel {
+    /// Weak Visibility: today's status quo. No locks, no serialization,
+    /// no failure handling; commands execute as they arrive.
+    Wv,
+    /// Global Strict Visibility: at most one routine at a time.
+    /// `strong = true` selects S-GSV, which aborts the running routine on
+    /// *any* device failure/restart; plain GSV aborts only when the
+    /// routine touches the failed/restarted device.
+    Gsv {
+        /// S-GSV flag.
+        strong: bool,
+    },
+    /// Partitioned Strict Visibility: non-conflicting routines run
+    /// concurrently; conflicting routines serialize via strict locking
+    /// (locks held start → finish).
+    Psv,
+    /// Eventual Visibility: serially-equivalent end state with maximal
+    /// concurrency via the lineage table and lock leasing.
+    Ev {
+        /// Scheduling policy.
+        scheduler: SchedulerKind,
+    },
+}
+
+impl VisibilityModel {
+    /// Short display name as used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VisibilityModel::Wv => "WV",
+            VisibilityModel::Gsv { strong: false } => "GSV",
+            VisibilityModel::Gsv { strong: true } => "S-GSV",
+            VisibilityModel::Psv => "PSV",
+            VisibilityModel::Ev { scheduler: SchedulerKind::Fcfs } => "EV/FCFS",
+            VisibilityModel::Ev { scheduler: SchedulerKind::Jit } => "EV/JiT",
+            VisibilityModel::Ev { scheduler: SchedulerKind::Timeline } => "EV/TL",
+        }
+    }
+
+    /// The paper's default EV configuration (Timeline scheduling).
+    pub fn ev() -> Self {
+        VisibilityModel::Ev {
+            scheduler: SchedulerKind::Timeline,
+        }
+    }
+}
+
+/// Tunable parameters of the engine.
+///
+/// Defaults mirror the paper: 1.1× lease leniency, 100 ms short-command
+/// duration estimate (τ_timeout, §4.3), 1 s ping / 100 ms detector
+/// timeout, and both lease kinds enabled (Fig. 15 toggles them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// The visibility model to enforce.
+    pub model: VisibilityModel,
+    /// Allow pre-leases (placing a routine *before* an already-scheduled
+    /// lock-access whose owner has not yet touched the device).
+    pub pre_lease: bool,
+    /// Allow post-leases (handing a lock over as soon as the previous
+    /// owner finished its last access, before that routine commits).
+    pub post_lease: bool,
+    /// Multiplicative leniency on lease revocation timeouts (paper: 1.1).
+    pub lease_leniency: f64,
+    /// Duration estimate used for commands whose duration is declared
+    /// zero (paper: fixed 100 ms for short commands).
+    pub default_tau: TimeDelta,
+    /// JiT anti-starvation TTL: a routine waiting longer than this is
+    /// prioritized to start next.
+    pub jit_ttl: TimeDelta,
+    /// Timeline admission control: a new routine is delayed if placing it
+    /// would stretch a running routine's projected execution beyond this
+    /// factor of its ideal runtime (§5).
+    pub stretch_threshold: f64,
+    /// Commands at least this long are "long" (defines long routines).
+    pub long_threshold: TimeDelta,
+    /// Maximum gaps Algorithm 1 probes per command before falling back to
+    /// appending at the lineage tail (bounds backtracking).
+    pub max_gap_probes: usize,
+}
+
+impl EngineConfig {
+    /// Default configuration for a given model.
+    pub fn new(model: VisibilityModel) -> Self {
+        EngineConfig {
+            model,
+            pre_lease: true,
+            post_lease: true,
+            lease_leniency: 1.1,
+            default_tau: TimeDelta::from_millis(100),
+            jit_ttl: TimeDelta::from_secs(120),
+            stretch_threshold: 3.0,
+            long_threshold: TimeDelta::from_secs(60),
+            max_gap_probes: 64,
+        }
+    }
+
+    /// Disables both lease kinds (Fig. 15's "Both-off").
+    pub fn without_leases(mut self) -> Self {
+        self.pre_lease = false;
+        self.post_lease = false;
+        self
+    }
+
+    /// Effective duration estimate for a command (τ, §4.3).
+    pub fn tau(&self, declared: TimeDelta) -> TimeDelta {
+        if declared == TimeDelta::ZERO {
+            self.default_tau
+        } else {
+            declared
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(VisibilityModel::Wv.label(), "WV");
+        assert_eq!(VisibilityModel::Gsv { strong: false }.label(), "GSV");
+        assert_eq!(VisibilityModel::Gsv { strong: true }.label(), "S-GSV");
+        assert_eq!(VisibilityModel::Psv.label(), "PSV");
+        assert_eq!(VisibilityModel::ev().label(), "EV/TL");
+    }
+
+    #[test]
+    fn defaults_mirror_paper() {
+        let cfg = EngineConfig::new(VisibilityModel::ev());
+        assert!(cfg.pre_lease && cfg.post_lease);
+        assert!((cfg.lease_leniency - 1.1).abs() < 1e-9);
+        assert_eq!(cfg.default_tau, TimeDelta::from_millis(100));
+    }
+
+    #[test]
+    fn tau_substitutes_default_for_zero() {
+        let cfg = EngineConfig::new(VisibilityModel::ev());
+        assert_eq!(cfg.tau(TimeDelta::ZERO), TimeDelta::from_millis(100));
+        assert_eq!(cfg.tau(TimeDelta::from_secs(5)), TimeDelta::from_secs(5));
+    }
+
+    #[test]
+    fn without_leases_clears_both() {
+        let cfg = EngineConfig::new(VisibilityModel::ev()).without_leases();
+        assert!(!cfg.pre_lease && !cfg.post_lease);
+    }
+}

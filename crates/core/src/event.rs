@@ -1,0 +1,175 @@
+//! Engine inputs and effects.
+//!
+//! The engine is a pure state machine: callers feed it [`Input`]s and it
+//! returns [`Effect`]s. The discrete-event harness interprets effects
+//! against simulated devices; the Kasa runner interprets the very same
+//! effects against live sockets.
+
+use safehome_types::{
+    trace::AbortReason, Action, CmdIdx, DeviceId, RoutineId, TimeDelta, Timestamp, Value,
+};
+
+/// Opaque timer identity: the engine asks for a timer via
+/// [`Effect::SetTimer`] and receives it back as [`Input::Timer`].
+///
+/// Timers are *not* cancelled; the engine tolerates stale firings (a
+/// revocation for a finished routine, an outdated TTL, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimerId {
+    /// Lease revocation check for `routine`'s use of `device` (§4.1).
+    LeaseRevocation {
+        /// The lessee.
+        routine: RoutineId,
+        /// The leased device.
+        device: DeviceId,
+    },
+    /// JiT anti-starvation TTL for a waiting routine.
+    Ttl {
+        /// The waiting routine.
+        routine: RoutineId,
+    },
+    /// Weak Visibility's open-loop pacing: the status quo does not wait
+    /// for device acknowledgments — it fires the next command when the
+    /// previous one's declared duration has elapsed.
+    Pace {
+        /// The routine being paced.
+        routine: RoutineId,
+    },
+    /// Generic "re-examine the world" tick (used by Timeline when a
+    /// placement begins in a future gap).
+    Kick,
+}
+
+/// What the outside world tells the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Input {
+    /// A previously dispatched command finished.
+    CommandResult {
+        /// Owning routine.
+        routine: RoutineId,
+        /// Command index (engine-meaningful only for non-rollbacks).
+        idx: CmdIdx,
+        /// The device.
+        device: DeviceId,
+        /// `true` if the command succeeded.
+        success: bool,
+        /// Observed value (reads only).
+        observed: Option<Value>,
+        /// `true` if this was a rollback write issued during an abort.
+        rollback: bool,
+    },
+    /// The failure detector reported the device down.
+    DeviceDown {
+        /// The device.
+        device: DeviceId,
+    },
+    /// The failure detector reported the device back up.
+    DeviceUp {
+        /// The device.
+        device: DeviceId,
+    },
+    /// A timer requested via [`Effect::SetTimer`] fired.
+    Timer {
+        /// Which timer.
+        timer: TimerId,
+    },
+}
+
+/// What the engine asks the outside world to do, and what it reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// Execute an action on a device.
+    Dispatch {
+        /// Owning routine (the aborted routine for rollbacks).
+        routine: RoutineId,
+        /// Command index within the routine (0 for rollbacks).
+        idx: CmdIdx,
+        /// Target device.
+        device: DeviceId,
+        /// The action.
+        action: Action,
+        /// Exclusive-use duration.
+        duration: TimeDelta,
+        /// `true` when this dispatch undoes an aborted routine's effect.
+        rollback: bool,
+    },
+    /// Request a timer at `at`.
+    SetTimer {
+        /// Timer identity, returned verbatim in [`Input::Timer`].
+        timer: TimerId,
+        /// When to fire.
+        at: Timestamp,
+    },
+    /// The routine began executing (first lock activity / dispatch).
+    Started {
+        /// The routine.
+        routine: RoutineId,
+    },
+    /// The routine committed.
+    Committed {
+        /// The routine.
+        routine: RoutineId,
+    },
+    /// The routine aborted; rollback dispatches (if any) were emitted in
+    /// the same effect batch.
+    Aborted {
+        /// The routine.
+        routine: RoutineId,
+        /// Why.
+        reason: AbortReason,
+        /// Commands that had fully executed before the abort.
+        executed: u32,
+        /// Rollback dispatches issued.
+        rolled_back: u32,
+    },
+    /// A best-effort command was skipped (device down); user feedback.
+    BestEffortSkipped {
+        /// Owning routine.
+        routine: RoutineId,
+        /// The skipped command.
+        idx: CmdIdx,
+        /// Its device.
+        device: DeviceId,
+    },
+    /// Free-form user feedback (abort logs, failed rollbacks, ...).
+    Feedback {
+        /// Routine concerned, if any.
+        routine: Option<RoutineId>,
+        /// Message for the user.
+        message: String,
+    },
+}
+
+impl Effect {
+    /// Convenience: `true` for `Dispatch` effects.
+    pub fn is_dispatch(&self) -> bool {
+        matches!(self, Effect::Dispatch { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_predicate() {
+        let d = Effect::Dispatch {
+            routine: RoutineId(1),
+            idx: CmdIdx(0),
+            device: DeviceId(0),
+            action: Action::Set(Value::ON),
+            duration: TimeDelta::ZERO,
+            rollback: false,
+        };
+        assert!(d.is_dispatch());
+        assert!(!Effect::Started { routine: RoutineId(1) }.is_dispatch());
+    }
+
+    #[test]
+    fn timer_ids_are_comparable() {
+        let a = TimerId::Ttl { routine: RoutineId(1) };
+        let b = TimerId::Ttl { routine: RoutineId(1) };
+        assert_eq!(a, b);
+        assert_ne!(a, TimerId::Kick);
+    }
+}

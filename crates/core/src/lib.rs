@@ -1,0 +1,33 @@
+//! The SafeHome engine (EuroSys'21 reproduction).
+//!
+//! SafeHome executes smart-home *routines* with atomicity and a spectrum
+//! of visibility (serializability) models — Weak, Global Strict,
+//! Partitioned Strict, and Eventual Visibility — while serializing device
+//! failure and restart events into the equivalent serial order, and using
+//! lock leasing plus pluggable scheduling policies (FCFS, Just-in-Time,
+//! Timeline) to keep user-facing latency near the unsafe status quo.
+//!
+//! The engine is sans-I/O: it consumes [`Input`] events and emits
+//! [`Effect`]s, so the same code runs under the discrete-event harness
+//! (`safehome-harness`) and against live TCP devices (`safehome-kasa`).
+//!
+//! Crate map:
+//! - [`engine`]: the public [`Engine`] facade;
+//! - [`config`]: visibility models and tunables;
+//! - [`lineage`]: the virtual locking table (§4.2-4.3 of the paper);
+//! - [`order`]: serialization-order tracking with failure events (§3);
+//! - [`sched`]: FCFS / JiT / Timeline placement policies (§5);
+//! - [`models`]: the four visibility-model state machines (§2, §3).
+
+pub mod config;
+pub mod engine;
+pub mod event;
+pub mod lineage;
+pub mod models;
+pub mod order;
+pub mod runtime;
+pub mod sched;
+
+pub use config::{EngineConfig, SchedulerKind, VisibilityModel};
+pub use engine::Engine;
+pub use event::{Effect, Input, TimerId};

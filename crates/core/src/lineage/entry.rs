@@ -1,0 +1,84 @@
+//! Lock-access entries.
+
+use safehome_types::{RoutineId, TimeDelta, Timestamp, Value};
+
+/// Status of a lock-access entry (Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockStatus {
+    /// The routine is scheduled to acquire the lock in the future.
+    Scheduled,
+    /// The routine holds the lock and is (or is about to be) using it.
+    Acquired,
+    /// The routine is done with this access; the lock can move on
+    /// (possibly before the routine finishes — that handover is a
+    /// post-lease, §4.1).
+    Released,
+}
+
+/// One lock-access entry in a device's lineage: routine `routine` plans to
+/// hold the device for command `cmd`, driving it to `desired` (writes
+/// only), starting around `planned_start` for an estimated `duration`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockAccess {
+    /// Owning routine.
+    pub routine: RoutineId,
+    /// Command index within the routine.
+    pub cmd: usize,
+    /// Current status.
+    pub status: LockStatus,
+    /// Desired device state (`None` for reads).
+    pub desired: Option<Value>,
+    /// Estimated (re-estimated on acquire) start time.
+    pub planned_start: Timestamp,
+    /// Estimated hold duration (τ, §4.3).
+    pub duration: TimeDelta,
+}
+
+impl LockAccess {
+    /// Creates a `Scheduled` entry.
+    pub fn scheduled(
+        routine: RoutineId,
+        cmd: usize,
+        desired: Option<Value>,
+        planned_start: Timestamp,
+        duration: TimeDelta,
+    ) -> Self {
+        LockAccess {
+            routine,
+            cmd,
+            status: LockStatus::Scheduled,
+            desired,
+            planned_start,
+            duration,
+        }
+    }
+
+    /// Estimated end of the access.
+    pub fn planned_end(&self) -> Timestamp {
+        self.planned_start + self.duration
+    }
+
+    /// `true` once the access is done.
+    pub fn released(&self) -> bool {
+        self.status == LockStatus::Released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planned_end_adds_duration() {
+        let e = LockAccess::scheduled(
+            RoutineId(1),
+            0,
+            Some(Value::ON),
+            Timestamp::from_millis(100),
+            TimeDelta::from_millis(250),
+        );
+        assert_eq!(e.planned_end(), Timestamp::from_millis(350));
+        assert_eq!(e.status, LockStatus::Scheduled);
+        assert!(!e.released());
+    }
+}

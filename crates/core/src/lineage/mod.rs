@@ -1,0 +1,25 @@
+//! The locking data structure of §4.2/§4.3.
+//!
+//! Each device has a *lineage*: its last committed state followed by an
+//! ordered list of lock-access entries — the temporal plan of which
+//! routine holds the device's virtual lock, when, and what state it will
+//! drive the device to. The [`table::LineageTable`] maintains one lineage
+//! per device and enforces the four invariants of §4.3:
+//!
+//! 1. **Future mutual exclusion** — planned lock-accesses on a device do
+//!    not overlap in time (enforced at placement; execution drift is
+//!    resolved by waiting, which is what "stretch" measures).
+//! 2. **Present mutual exclusion** — at most one `Acquired` entry per
+//!    lineage.
+//! 3. **`[R] → [A] → [S]`** — `Released` entries precede the `Acquired`
+//!    entry, which precedes `Scheduled` entries.
+//! 4. **Consistent serialize-before order** — if some device orders
+//!    routine `Ri` before `Rj`, every shared device orders them the same
+//!    way (checked globally through the order graph in
+//!    [`crate::order`]).
+
+pub mod entry;
+pub mod table;
+
+pub use entry::{LockAccess, LockStatus};
+pub use table::{Gap, Lineage, LineageTable};

@@ -1,0 +1,675 @@
+//! The lineage table: one lineage per device, plus gap search,
+//! current-status inference (Fig. 8) and invariant validation.
+
+use std::collections::BTreeMap;
+
+use safehome_types::{DeviceId, RoutineId, TimeDelta, Timestamp, Value};
+
+use super::entry::{LockAccess, LockStatus};
+
+/// A free interval in a device's lineage where a new lock-access can be
+/// placed (Timeline scheduling, §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gap {
+    /// Index at which the new entry would be inserted.
+    pub insert_pos: usize,
+    /// Earliest start inside the gap.
+    pub start: Timestamp,
+    /// Exclusive end of the gap; `None` for the unbounded tail.
+    pub end: Option<Timestamp>,
+}
+
+impl Gap {
+    /// `true` if an access of length `duration` starting at
+    /// `max(self.start, not_before)` fits inside the gap.
+    pub fn fits(&self, not_before: Timestamp, duration: TimeDelta) -> bool {
+        let start = self.start.max(not_before);
+        match self.end {
+            None => true,
+            Some(end) => start + duration <= end,
+        }
+    }
+}
+
+/// One device's lineage: its committed state plus the ordered plan of
+/// lock-accesses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lineage {
+    /// Effect of the last successfully committed routine on this device.
+    pub committed: Value,
+    entries: Vec<LockAccess>,
+}
+
+impl Lineage {
+    fn new(committed: Value) -> Self {
+        Lineage {
+            committed,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The ordered lock-access entries.
+    pub fn entries(&self) -> &[LockAccess] {
+        &self.entries
+    }
+
+    /// Index of the first entry that is not `Released` (the "front of the
+    /// line": only its owner may dispatch on this device next).
+    pub fn front_pos(&self) -> Option<usize> {
+        self.entries.iter().position(|e| !e.released())
+    }
+
+    /// Position after the last non-`Scheduled` entry: the earliest index
+    /// where a new entry may be inserted (the past cannot be edited).
+    pub fn insert_floor(&self) -> usize {
+        self.entries
+            .iter()
+            .rposition(|e| e.status != LockStatus::Scheduled)
+            .map(|p| p + 1)
+            .unwrap_or(0)
+    }
+}
+
+/// The edge's virtual locking table (Fig. 4): a [`Lineage`] per device.
+#[derive(Debug, Clone, Default)]
+pub struct LineageTable {
+    lineages: BTreeMap<DeviceId, Lineage>,
+}
+
+impl LineageTable {
+    /// Creates a table with the given committed (initial) states.
+    pub fn new(initial: &BTreeMap<DeviceId, Value>) -> Self {
+        LineageTable {
+            lineages: initial
+                .iter()
+                .map(|(&d, &v)| (d, Lineage::new(v)))
+                .collect(),
+        }
+    }
+
+    /// The lineage of `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown devices — routines are validated against the home
+    /// before submission.
+    pub fn lineage(&self, d: DeviceId) -> &Lineage {
+        &self.lineages[&d]
+    }
+
+    fn lineage_mut(&mut self, d: DeviceId) -> &mut Lineage {
+        self.lineages.get_mut(&d).expect("unknown device in lineage table")
+    }
+
+    /// All device ids in the table.
+    pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.lineages.keys().copied()
+    }
+
+    /// Committed state of `d`.
+    pub fn committed(&self, d: DeviceId) -> Value {
+        self.lineages[&d].committed
+    }
+
+    /// Updates the committed state of `d`.
+    pub fn set_committed(&mut self, d: DeviceId, v: Value) {
+        self.lineage_mut(d).committed = v;
+    }
+
+    /// Committed states of every device.
+    pub fn committed_states(&self) -> BTreeMap<DeviceId, Value> {
+        self.lineages
+            .iter()
+            .map(|(&d, l)| (d, l.committed))
+            .collect()
+    }
+
+    /// Inserts an entry at `pos` in `d`'s lineage.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the position respects the insert floor
+    /// (insertions never go before already-executing/executed entries).
+    pub fn insert(&mut self, d: DeviceId, pos: usize, access: LockAccess) {
+        let lin = self.lineage_mut(d);
+        debug_assert!(pos >= lin.insert_floor(), "insertion before the past");
+        debug_assert!(pos <= lin.entries.len(), "insertion out of bounds");
+        lin.entries.insert(pos, access);
+    }
+
+    /// Appends an entry to `d`'s lineage; returns its position.
+    pub fn append(&mut self, d: DeviceId, access: LockAccess) -> usize {
+        let lin = self.lineage_mut(d);
+        lin.entries.push(access);
+        lin.entries.len() - 1
+    }
+
+    /// Position of routine `r`'s entry for command `cmd` on `d`.
+    pub fn position(&self, d: DeviceId, r: RoutineId, cmd: usize) -> Option<usize> {
+        self.lineages[&d]
+            .entries
+            .iter()
+            .position(|e| e.routine == r && e.cmd == cmd)
+    }
+
+    /// Position of routine `r`'s first entry on `d`.
+    pub fn first_position_of(&self, d: DeviceId, r: RoutineId) -> Option<usize> {
+        self.lineages[&d].entries.iter().position(|e| e.routine == r)
+    }
+
+    /// `true` if routine `r` has any entry on `d`.
+    pub fn routine_on_device(&self, d: DeviceId, r: RoutineId) -> bool {
+        self.first_position_of(d, r).is_some()
+    }
+
+    /// Marks `r`'s entry for `cmd` on `d` as `Acquired`, re-stamping its
+    /// planned start to `now` (the estimate becomes the actual).
+    pub fn acquire(&mut self, d: DeviceId, r: RoutineId, cmd: usize, now: Timestamp) {
+        let pos = self.position(d, r, cmd).expect("acquire of unknown entry");
+        let lin = self.lineage_mut(d);
+        let e = &mut lin.entries[pos];
+        debug_assert_eq!(e.status, LockStatus::Scheduled, "double acquire");
+        e.status = LockStatus::Acquired;
+        e.planned_start = now;
+    }
+
+    /// Marks `r`'s entry for `cmd` on `d` as `Released`.
+    pub fn release(&mut self, d: DeviceId, r: RoutineId, cmd: usize) {
+        let pos = self.position(d, r, cmd).expect("release of unknown entry");
+        self.lineage_mut(d).entries[pos].status = LockStatus::Released;
+    }
+
+    /// Marks `r`'s entry for `cmd` on `d` as `Released` with no desired
+    /// state: the command was skipped (best-effort on a down device) and
+    /// had no effect, so status inference must not see its write.
+    pub fn release_as_noop(&mut self, d: DeviceId, r: RoutineId, cmd: usize) {
+        let pos = self.position(d, r, cmd).expect("skip of unknown entry");
+        let e = &mut self.lineage_mut(d).entries[pos];
+        e.status = LockStatus::Released;
+        e.desired = None;
+    }
+
+    /// Removes the entry at `pos` on `d` (backtracking in the Timeline
+    /// planner's scratch table).
+    pub fn remove_at(&mut self, d: DeviceId, pos: usize) -> LockAccess {
+        self.lineage_mut(d).entries.remove(pos)
+    }
+
+    /// Removes every entry of routine `r` on device `d`; returns how many
+    /// were removed.
+    pub fn remove_routine(&mut self, d: DeviceId, r: RoutineId) -> usize {
+        let lin = self.lineage_mut(d);
+        let before = lin.entries.len();
+        lin.entries.retain(|e| e.routine != r);
+        before - lin.entries.len()
+    }
+
+    /// Commit compaction (Fig. 7): removes `r`'s entries on `d` *and*
+    /// every entry before them (entries of earlier-serialized, unfinished
+    /// routines whose effect on `d` is now superseded). Returns the
+    /// distinct routines whose entries were compacted away.
+    pub fn compact_commit(&mut self, d: DeviceId, r: RoutineId) -> Vec<RoutineId> {
+        let lin = self.lineage_mut(d);
+        let Some(last) = lin.entries.iter().rposition(|e| e.routine == r) else {
+            return Vec::new();
+        };
+        // Everything before a released entry of `r` must itself be
+        // released (invariant 3), so removal never cancels future work.
+        debug_assert!(
+            lin.entries[..=last].iter().all(|e| e.released()),
+            "compaction would remove unfinished work"
+        );
+        let mut superseded = Vec::new();
+        for e in &lin.entries[..=last] {
+            if e.routine != r && !superseded.contains(&e.routine) {
+                superseded.push(e.routine);
+            }
+        }
+        lin.entries.drain(..=last);
+        superseded
+    }
+
+    /// Devices on which routine `r` currently has entries.
+    pub fn devices_of(&self, r: RoutineId) -> Vec<DeviceId> {
+        self.lineages
+            .iter()
+            .filter(|(_, l)| l.entries.iter().any(|e| e.routine == r))
+            .map(|(&d, _)| d)
+            .collect()
+    }
+
+    /// Owner of the rightmost entry that has executed or is executing
+    /// (`Acquired` or `Released`): the routine whose effect is the
+    /// device's latest, used by the abort rules of §4.3.
+    pub fn last_user(&self, d: DeviceId) -> Option<RoutineId> {
+        self.lineages[&d]
+            .entries
+            .iter()
+            .rev()
+            .find(|e| e.status != LockStatus::Scheduled)
+            .map(|e| e.routine)
+    }
+
+    /// Infers the device's current state from the lineage alone, without
+    /// querying the device (Fig. 8): the `Acquired` entry's desired state
+    /// if present, else the rightmost `Released` write, else the committed
+    /// state. Reads never change state and are skipped.
+    pub fn current_status(&self, d: DeviceId) -> Value {
+        let lin = &self.lineages[&d];
+        let upto = lin
+            .entries
+            .iter()
+            .rposition(|e| e.status != LockStatus::Scheduled);
+        if let Some(upto) = upto {
+            for e in lin.entries[..=upto].iter().rev() {
+                if let Some(v) = e.desired {
+                    return v;
+                }
+            }
+        }
+        lin.committed
+    }
+
+    /// The value an aborting routine must restore `d` to: the nearest
+    /// write *before* its first entry on `d`, else the committed state
+    /// (§4.3, aborts and rollbacks).
+    pub fn rollback_target(&self, d: DeviceId, r: RoutineId) -> Value {
+        let lin = &self.lineages[&d];
+        let first = lin.entries.iter().position(|e| e.routine == r);
+        let upto = first.unwrap_or(lin.entries.len());
+        for e in lin.entries[..upto].iter().rev() {
+            if let Some(v) = e.desired {
+                return v;
+            }
+        }
+        lin.committed
+    }
+
+    /// Distinct routines with entries strictly before `pos` on `d`
+    /// (`getPreSet` of Algorithm 1).
+    pub fn pre_set(&self, d: DeviceId, pos: usize) -> Vec<RoutineId> {
+        let mut out = Vec::new();
+        for e in &self.lineages[&d].entries[..pos.min(self.lineages[&d].entries.len())] {
+            if !out.contains(&e.routine) {
+                out.push(e.routine);
+            }
+        }
+        out
+    }
+
+    /// Distinct routines with entries at or after `pos` on `d`
+    /// (`getPostSet` of Algorithm 1).
+    pub fn post_set(&self, d: DeviceId, pos: usize) -> Vec<RoutineId> {
+        let lin = &self.lineages[&d];
+        let mut out = Vec::new();
+        for e in &lin.entries[pos.min(lin.entries.len())..] {
+            if !out.contains(&e.routine) {
+                out.push(e.routine);
+            }
+        }
+        out
+    }
+
+    /// Free intervals in `d`'s lineage at or after `not_before`, in
+    /// chronological order, ending with the unbounded tail gap. With
+    /// `tail_only` (pre-leasing disabled) only the tail gap is returned.
+    pub fn gaps(&self, d: DeviceId, not_before: Timestamp, tail_only: bool) -> Vec<Gap> {
+        let lin = &self.lineages[&d];
+        let floor = lin.insert_floor();
+        // Time floor: never before the estimated end of the executing
+        // entry (if any) nor before `not_before`.
+        let mut cursor = not_before;
+        if floor > 0 {
+            cursor = cursor.max(lin.entries[floor - 1].planned_end());
+        }
+        let scheduled = &lin.entries[floor..];
+        let tail_start = scheduled
+            .last()
+            .map(|e| e.planned_end().max(cursor))
+            .unwrap_or(cursor);
+        if tail_only {
+            return vec![Gap {
+                insert_pos: lin.entries.len(),
+                start: tail_start,
+                end: None,
+            }];
+        }
+        let mut gaps = Vec::new();
+        for (i, e) in scheduled.iter().enumerate() {
+            if cursor < e.planned_start {
+                gaps.push(Gap {
+                    insert_pos: floor + i,
+                    start: cursor,
+                    end: Some(e.planned_start),
+                });
+            }
+            cursor = cursor.max(e.planned_end());
+        }
+        gaps.push(Gap {
+            insert_pos: lin.entries.len(),
+            start: tail_start,
+            end: None,
+        });
+        gaps
+    }
+
+    /// Checks the §4.3 invariants.
+    ///
+    /// `strict_times` additionally checks invariant 1 (non-overlapping
+    /// planned intervals) between consecutive `Scheduled` entries — this
+    /// holds for Timeline placement, but JiT pre-leases deliberately jump
+    /// the planned timeline, so time-based checks are skipped for them.
+    pub fn validate(&self, strict_times: bool) -> Result<(), String> {
+        // Invariants 2, 3, per-routine command order, and optionally 1.
+        for (&d, lin) in &self.lineages {
+            let mut acquired = 0;
+            let mut phase = 0; // 0 = released, 1 = acquired, 2 = scheduled
+            for (i, e) in lin.entries.iter().enumerate() {
+                let p = match e.status {
+                    LockStatus::Released => 0,
+                    LockStatus::Acquired => {
+                        acquired += 1;
+                        1
+                    }
+                    LockStatus::Scheduled => 2,
+                };
+                if p < phase {
+                    return Err(format!("invariant 3 violated on {d} at index {i}"));
+                }
+                phase = p;
+                if strict_times && p == 2 {
+                    if let Some(next) = lin.entries.get(i + 1) {
+                        if next.status == LockStatus::Scheduled
+                            && e.planned_end() > next.planned_start
+                        {
+                            return Err(format!("invariant 1 violated on {d} at index {i}"));
+                        }
+                    }
+                }
+            }
+            if acquired > 1 {
+                return Err(format!("invariant 2 violated on {d}: {acquired} acquired"));
+            }
+            // Same-routine entries must appear in command order and be
+            // contiguous in routine terms (invariant 4 applied to a single
+            // device: a routine cannot sandwich another's access).
+            for r in lin.entries.iter().map(|e| e.routine) {
+                let cmds: Vec<usize> = lin
+                    .entries
+                    .iter()
+                    .filter(|e| e.routine == r)
+                    .map(|e| e.cmd)
+                    .collect();
+                if cmds.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(format!("same-routine entries out of order on {d}"));
+                }
+                let first = lin.entries.iter().position(|e| e.routine == r).unwrap();
+                let last = lin.entries.iter().rposition(|e| e.routine == r).unwrap();
+                if lin.entries[first..=last].iter().any(|e| e.routine != r) {
+                    return Err(format!(
+                        "routine {r} interleaved with another on {d} (invariant 4)"
+                    ));
+                }
+            }
+        }
+        // Invariant 4 across devices: pairwise order consistency.
+        let mut pair_order: BTreeMap<(RoutineId, RoutineId), DeviceId> = BTreeMap::new();
+        for (&d, lin) in &self.lineages {
+            let mut seen: Vec<RoutineId> = Vec::new();
+            for e in &lin.entries {
+                if !seen.contains(&e.routine) {
+                    seen.push(e.routine);
+                }
+            }
+            for i in 0..seen.len() {
+                for j in (i + 1)..seen.len() {
+                    let (a, b) = (seen[i], seen[j]); // a before b on d
+                    if let Some(&other) = pair_order.get(&(b, a)) {
+                        return Err(format!(
+                            "invariant 4 violated: {a} before {b} on {d}, after on {other}"
+                        ));
+                    }
+                    pair_order.entry((a, b)).or_insert(d);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+    fn dt(ms: u64) -> TimeDelta {
+        TimeDelta::from_millis(ms)
+    }
+    fn d(i: u32) -> DeviceId {
+        DeviceId(i)
+    }
+    fn r(i: u64) -> RoutineId {
+        RoutineId(i)
+    }
+
+    fn table(n: u32) -> LineageTable {
+        let init: BTreeMap<DeviceId, Value> = (0..n).map(|i| (d(i), Value::OFF)).collect();
+        LineageTable::new(&init)
+    }
+
+    fn entry(ri: u64, cmd: usize, v: Option<Value>, start: u64, dur: u64) -> LockAccess {
+        LockAccess::scheduled(r(ri), cmd, v, t(start), dt(dur))
+    }
+
+    #[test]
+    fn append_acquire_release_cycle() {
+        let mut tab = table(1);
+        tab.append(d(0), entry(1, 0, Some(Value::ON), 0, 100));
+        assert_eq!(tab.lineage(d(0)).front_pos(), Some(0));
+        tab.acquire(d(0), r(1), 0, t(5));
+        assert_eq!(tab.lineage(d(0)).entries()[0].status, LockStatus::Acquired);
+        assert_eq!(tab.lineage(d(0)).entries()[0].planned_start, t(5));
+        tab.release(d(0), r(1), 0);
+        assert!(tab.lineage(d(0)).entries()[0].released());
+        assert_eq!(tab.lineage(d(0)).front_pos(), None);
+        tab.validate(true).unwrap();
+    }
+
+    #[test]
+    fn current_status_prefers_acquired_then_released_then_committed() {
+        let mut tab = table(1);
+        assert_eq!(tab.current_status(d(0)), Value::OFF); // committed only
+        tab.append(d(0), entry(1, 0, Some(Value::Int(15)), 0, 100));
+        tab.acquire(d(0), r(1), 0, t(0));
+        tab.release(d(0), r(1), 0);
+        assert_eq!(tab.current_status(d(0)), Value::Int(15)); // rightmost released
+        tab.append(d(0), entry(2, 0, Some(Value::Int(25)), 100, 100));
+        tab.acquire(d(0), r(2), 0, t(100));
+        assert_eq!(tab.current_status(d(0)), Value::Int(25)); // acquired wins
+    }
+
+    #[test]
+    fn current_status_skips_scheduled_and_reads() {
+        let mut tab = table(1);
+        tab.append(d(0), entry(1, 0, Some(Value::ON), 0, 100));
+        tab.acquire(d(0), r(1), 0, t(0));
+        tab.release(d(0), r(1), 0);
+        // A released read does not change the state.
+        tab.append(d(0), entry(2, 0, None, 100, 10));
+        tab.acquire(d(0), r(2), 0, t(100));
+        tab.release(d(0), r(2), 0);
+        // A merely scheduled write is invisible.
+        tab.append(d(0), entry(3, 0, Some(Value::Int(9)), 200, 10));
+        assert_eq!(tab.current_status(d(0)), Value::ON);
+    }
+
+    #[test]
+    fn rollback_target_is_nearest_prior_write() {
+        let mut tab = table(1);
+        tab.append(d(0), entry(1, 0, Some(Value::Int(1)), 0, 10));
+        tab.acquire(d(0), r(1), 0, t(0));
+        tab.release(d(0), r(1), 0);
+        tab.append(d(0), entry(2, 0, Some(Value::Int(2)), 10, 10));
+        assert_eq!(tab.rollback_target(d(0), r(2)), Value::Int(1));
+        assert_eq!(tab.rollback_target(d(0), r(1)), Value::OFF); // committed
+    }
+
+    #[test]
+    fn last_user_ignores_scheduled() {
+        let mut tab = table(1);
+        assert_eq!(tab.last_user(d(0)), None);
+        tab.append(d(0), entry(1, 0, Some(Value::ON), 0, 10));
+        assert_eq!(tab.last_user(d(0)), None, "scheduled is not a user yet");
+        tab.acquire(d(0), r(1), 0, t(0));
+        assert_eq!(tab.last_user(d(0)), Some(r(1)));
+        tab.release(d(0), r(1), 0);
+        tab.append(d(0), entry(2, 0, Some(Value::OFF), 10, 10));
+        assert_eq!(tab.last_user(d(0)), Some(r(1)), "r2 hasn't acquired");
+    }
+
+    #[test]
+    fn gaps_between_scheduled_entries() {
+        let mut tab = table(1);
+        tab.append(d(0), entry(1, 0, Some(Value::ON), 100, 100)); // [100,200)
+        tab.append(d(0), entry(2, 0, Some(Value::ON), 500, 100)); // [500,600)
+        let gaps = tab.gaps(d(0), t(0), false);
+        assert_eq!(gaps.len(), 3);
+        assert_eq!((gaps[0].insert_pos, gaps[0].start, gaps[0].end), (0, t(0), Some(t(100))));
+        assert_eq!((gaps[1].insert_pos, gaps[1].start, gaps[1].end), (1, t(200), Some(t(500))));
+        assert_eq!((gaps[2].insert_pos, gaps[2].start, gaps[2].end), (2, t(600), None));
+        assert!(gaps[0].fits(t(0), dt(100)));
+        assert!(!gaps[0].fits(t(50), dt(100)));
+        assert!(gaps[2].fits(t(0), dt(1_000_000)));
+    }
+
+    #[test]
+    fn gaps_respect_executing_entries() {
+        let mut tab = table(1);
+        tab.append(d(0), entry(1, 0, Some(Value::ON), 0, 1_000)); // acquired [0,1000)
+        tab.acquire(d(0), r(1), 0, t(0));
+        tab.append(d(0), entry(2, 0, Some(Value::ON), 2_000, 100));
+        let gaps = tab.gaps(d(0), t(10), false);
+        // No gap before the acquired entry; first gap starts at its end.
+        assert_eq!(gaps[0].insert_pos, 1);
+        assert_eq!(gaps[0].start, t(1_000));
+        assert_eq!(gaps[0].end, Some(t(2_000)));
+    }
+
+    #[test]
+    fn tail_only_returns_single_gap() {
+        let mut tab = table(1);
+        tab.append(d(0), entry(1, 0, Some(Value::ON), 100, 100));
+        let gaps = tab.gaps(d(0), t(0), true);
+        assert_eq!(gaps.len(), 1);
+        assert_eq!(gaps[0].insert_pos, 1);
+        assert_eq!(gaps[0].start, t(200));
+        assert_eq!(gaps[0].end, None);
+    }
+
+    #[test]
+    fn pre_and_post_sets() {
+        let mut tab = table(1);
+        tab.append(d(0), entry(1, 0, Some(Value::ON), 0, 10));
+        tab.append(d(0), entry(1, 1, Some(Value::OFF), 10, 10));
+        tab.append(d(0), entry(2, 0, Some(Value::ON), 20, 10));
+        assert_eq!(tab.pre_set(d(0), 2), vec![r(1)]);
+        assert_eq!(tab.post_set(d(0), 2), vec![r(2)]);
+        assert_eq!(tab.pre_set(d(0), 0), Vec::<RoutineId>::new());
+        assert_eq!(tab.post_set(d(0), 0), vec![r(1), r(2)]);
+    }
+
+    #[test]
+    fn compaction_removes_superseded_prefix() {
+        let mut tab = table(1);
+        for (ri, start) in [(1u64, 0u64), (2, 10), (3, 20)] {
+            tab.append(d(0), entry(ri, 0, Some(Value::Int(ri as i64)), start, 10));
+            tab.acquire(d(0), r(ri), 0, t(start));
+            tab.release(d(0), r(ri), 0);
+        }
+        let superseded = tab.compact_commit(d(0), r(2));
+        assert_eq!(superseded, vec![r(1)]);
+        let remaining: Vec<RoutineId> =
+            tab.lineage(d(0)).entries().iter().map(|e| e.routine).collect();
+        assert_eq!(remaining, vec![r(3)]);
+    }
+
+    #[test]
+    fn removal_counts_entries() {
+        let mut tab = table(2);
+        tab.append(d(0), entry(1, 0, Some(Value::ON), 0, 10));
+        tab.append(d(0), entry(1, 2, Some(Value::OFF), 10, 10));
+        tab.append(d(1), entry(1, 1, Some(Value::ON), 0, 10));
+        assert_eq!(tab.remove_routine(d(0), r(1)), 2);
+        assert_eq!(tab.remove_routine(d(1), r(1)), 1);
+        assert_eq!(tab.remove_routine(d(1), r(1)), 0);
+        assert_eq!(tab.devices_of(r(1)), Vec::<DeviceId>::new());
+    }
+
+    #[test]
+    fn validate_catches_double_acquire() {
+        let mut tab = table(1);
+        tab.append(d(0), entry(1, 0, Some(Value::ON), 0, 10));
+        tab.append(d(0), entry(2, 0, Some(Value::ON), 10, 10));
+        tab.acquire(d(0), r(1), 0, t(0));
+        // Force an illegal second acquire by editing the raw entry.
+        let pos = tab.position(d(0), r(2), 0).unwrap();
+        tab.lineages.get_mut(&d(0)).unwrap().entries[pos].status = LockStatus::Acquired;
+        assert!(tab.validate(false).unwrap_err().contains("invariant 2"));
+    }
+
+    #[test]
+    fn validate_catches_status_order() {
+        let mut tab = table(1);
+        tab.append(d(0), entry(1, 0, Some(Value::ON), 0, 10));
+        tab.append(d(0), entry(2, 0, Some(Value::ON), 10, 10));
+        // Release the *second* entry while the first is still scheduled.
+        let pos = tab.position(d(0), r(2), 0).unwrap();
+        tab.lineages.get_mut(&d(0)).unwrap().entries[pos].status = LockStatus::Released;
+        assert!(tab.validate(false).unwrap_err().contains("invariant 3"));
+    }
+
+    #[test]
+    fn validate_catches_cross_device_inconsistency() {
+        let mut tab = table(2);
+        // r1 before r2 on device 0, r2 before r1 on device 1.
+        tab.append(d(0), entry(1, 0, Some(Value::ON), 0, 10));
+        tab.append(d(0), entry(2, 0, Some(Value::ON), 10, 10));
+        tab.append(d(1), entry(2, 1, Some(Value::ON), 0, 10));
+        tab.append(d(1), entry(1, 1, Some(Value::ON), 10, 10));
+        assert!(tab.validate(false).unwrap_err().contains("invariant 4"));
+    }
+
+    #[test]
+    fn validate_catches_interleaved_routine() {
+        let mut tab = table(1);
+        tab.append(d(0), entry(1, 0, Some(Value::ON), 0, 10));
+        tab.append(d(0), entry(2, 0, Some(Value::ON), 10, 10));
+        tab.append(d(0), entry(1, 1, Some(Value::OFF), 20, 10));
+        let err = tab.validate(false).unwrap_err();
+        assert!(err.contains("interleaved"), "{err}");
+    }
+
+    #[test]
+    fn validate_strict_times_catches_overlap() {
+        let mut tab = table(1);
+        tab.append(d(0), entry(1, 0, Some(Value::ON), 0, 100)); // [0,100)
+        tab.append(d(0), entry(2, 0, Some(Value::ON), 50, 10)); // overlaps
+        assert!(tab.validate(true).unwrap_err().contains("invariant 1"));
+        assert!(tab.validate(false).is_ok(), "non-strict skips timing");
+    }
+
+    #[test]
+    fn insert_floor_tracks_progress() {
+        let mut tab = table(1);
+        assert_eq!(tab.lineage(d(0)).insert_floor(), 0);
+        tab.append(d(0), entry(1, 0, Some(Value::ON), 0, 10));
+        tab.append(d(0), entry(2, 0, Some(Value::ON), 10, 10));
+        tab.acquire(d(0), r(1), 0, t(0));
+        assert_eq!(tab.lineage(d(0)).insert_floor(), 1);
+        tab.release(d(0), r(1), 0);
+        tab.acquire(d(0), r(2), 0, t(10));
+        assert_eq!(tab.lineage(d(0)).insert_floor(), 2);
+    }
+}

@@ -1,0 +1,386 @@
+//! Serialization-order tracking (§3, §4.2).
+//!
+//! SafeHome's key realization is that device failure and restart events
+//! must be serialized *alongside* routines. The [`OrderTracker`] maintains
+//! a growing partial order whose nodes are routines, failure events and
+//! restart events. Models add constraint edges as they place lock
+//! accesses (every pair of routines ordered by a shared device gets an
+//! edge) and as they apply the failure-serialization rules.
+//!
+//! At the end of a run the tracker produces the *witness order*: a total
+//! order consistent with every constraint, containing every committed
+//! routine and every failure/restart event (aborted routines are removed
+//! along with their constraints — they "do not appear in the final
+//! serialized order"). The metrics crate replays the witness order to
+//! verify serial equivalence and to compute the order-mismatch metric.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use safehome_types::{trace::OrderItem, DeviceId, RoutineId, Timestamp};
+
+/// A node in the serialization order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OrderNode {
+    /// A routine.
+    Routine(RoutineId),
+    /// The `seq`-th failure event of the run.
+    Failure(u32),
+    /// The `seq`-th restart event of the run.
+    Restart(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NodeInfo {
+    /// Commit time for routines, detection time for events; used only as
+    /// a deterministic tie-break in the witness order.
+    time: Timestamp,
+    device: Option<DeviceId>,
+    /// Routines start pending and become committed or are removed;
+    /// events are always "committed".
+    committed: bool,
+}
+
+/// The partial-order tracker.
+#[derive(Debug, Clone, Default)]
+pub struct OrderTracker {
+    nodes: BTreeMap<OrderNode, NodeInfo>,
+    edges: BTreeSet<(OrderNode, OrderNode)>,
+    succ: BTreeMap<OrderNode, Vec<OrderNode>>,
+    next_event_seq: u32,
+}
+
+impl OrderTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a routine node (pending until committed or removed).
+    pub fn add_routine(&mut self, r: RoutineId, submitted: Timestamp) {
+        self.nodes.entry(OrderNode::Routine(r)).or_insert(NodeInfo {
+            time: submitted,
+            device: None,
+            committed: false,
+        });
+    }
+
+    /// Registers a new failure event for `device`, returning its node.
+    pub fn new_failure(&mut self, device: DeviceId, at: Timestamp) -> OrderNode {
+        let node = OrderNode::Failure(self.next_event_seq);
+        self.next_event_seq += 1;
+        self.nodes.insert(
+            node,
+            NodeInfo {
+                time: at,
+                device: Some(device),
+                committed: true,
+            },
+        );
+        node
+    }
+
+    /// Registers a new restart event for `device`, returning its node.
+    pub fn new_restart(&mut self, device: DeviceId, at: Timestamp) -> OrderNode {
+        let node = OrderNode::Restart(self.next_event_seq);
+        self.next_event_seq += 1;
+        self.nodes.insert(
+            node,
+            NodeInfo {
+                time: at,
+                device: Some(device),
+                committed: true,
+            },
+        );
+        node
+    }
+
+    /// Adds the constraint `a` serializes before `b`. Self-edges are
+    /// ignored.
+    pub fn add_edge(&mut self, a: OrderNode, b: OrderNode) {
+        if a == b {
+            return;
+        }
+        debug_assert!(
+            !self.reaches(b, a),
+            "order edge {a:?} -> {b:?} would create a cycle"
+        );
+        if self.edges.insert((a, b)) {
+            self.succ.entry(a).or_default().push(b);
+        }
+    }
+
+    /// Convenience: routine-before-routine edge.
+    pub fn order_routines(&mut self, before: RoutineId, after: RoutineId) {
+        self.add_edge(OrderNode::Routine(before), OrderNode::Routine(after));
+    }
+
+    /// `true` if a path `from → … → to` exists.
+    pub fn reaches(&self, from: OrderNode, to: OrderNode) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut stack = vec![from];
+        let mut seen = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = self.succ.get(&n) {
+                for &m in next {
+                    if m == to {
+                        return true;
+                    }
+                    stack.push(m);
+                }
+            }
+        }
+        false
+    }
+
+    /// Would constraining `pre ⟶ R ⟶ post` contradict existing order?
+    /// True when some member of `post` already reaches some member of
+    /// `pre` (Algorithm 1's preSet/postSet test, strengthened to the
+    /// transitive closure — the paper checks only direct intersection,
+    /// which misses cycles through third routines).
+    pub fn placement_conflicts(&self, pre: &[RoutineId], post: &[RoutineId]) -> bool {
+        for &q in post {
+            for &p in pre {
+                if q == p || self.reaches(OrderNode::Routine(q), OrderNode::Routine(p)) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Marks a routine committed (it will appear in the witness order).
+    pub fn mark_committed(&mut self, r: RoutineId, at: Timestamp) {
+        if let Some(info) = self.nodes.get_mut(&OrderNode::Routine(r)) {
+            info.committed = true;
+            info.time = at;
+        }
+    }
+
+    /// Removes an aborted routine and every constraint that mentions it.
+    pub fn remove_routine(&mut self, r: RoutineId) {
+        let node = OrderNode::Routine(r);
+        self.nodes.remove(&node);
+        self.edges.retain(|&(a, b)| a != node && b != node);
+        self.succ.remove(&node);
+        for (_, next) in self.succ.iter_mut() {
+            next.retain(|&m| m != node);
+        }
+    }
+
+    /// Device associated with an event node.
+    pub fn device_of(&self, n: OrderNode) -> Option<DeviceId> {
+        self.nodes.get(&n).and_then(|i| i.device)
+    }
+
+    /// Produces the witness total order: a deterministic topological sort
+    /// of committed routines and failure/restart events. Ready routines
+    /// pop in submission order; events pop after routines, as late as
+    /// their constraints allow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constraints contain a cycle — that would mean a
+    /// serialization bug, and the property tests assert it never happens.
+    pub fn witness_order(&self) -> Vec<OrderItem> {
+        let included: BTreeSet<OrderNode> = self
+            .nodes
+            .iter()
+            .filter(|(_, i)| i.committed)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut indegree: BTreeMap<OrderNode, usize> =
+            included.iter().map(|&n| (n, 0)).collect();
+        for &(a, b) in &self.edges {
+            if included.contains(&a) && included.contains(&b) {
+                *indegree.get_mut(&b).unwrap() += 1;
+            }
+        }
+        // Deterministic Kahn. Unconstrained nodes commute (they share no
+        // devices), so the tie-break is free to prefer submission order
+        // for routines — this keeps the order-mismatch metric at zero for
+        // FIFO-serialized models instead of charging phantom swaps to
+        // commuting pairs. Failure/restart events sort after ready
+        // routines, as late as their constraints allow ("may be moved
+        // flexibly among unfinished routines", §4.2).
+        fn key(n: OrderNode) -> (u8, u64) {
+            match n {
+                OrderNode::Routine(r) => (0, r.raw()),
+                OrderNode::Failure(s) | OrderNode::Restart(s) => (1, s as u64),
+            }
+        }
+        let mut ready: BTreeSet<((u8, u64), OrderNode)> = indegree
+            .iter()
+            .filter(|(_, &deg)| deg == 0)
+            .map(|(&n, _)| (key(n), n))
+            .collect();
+        let mut out = Vec::with_capacity(included.len());
+        while let Some(&(k, n)) = ready.iter().next() {
+            ready.remove(&(k, n));
+            out.push(self.to_item(n));
+            if let Some(next) = self.succ.get(&n) {
+                for &m in next {
+                    if let Some(deg) = indegree.get_mut(&m) {
+                        *deg -= 1;
+                        if *deg == 0 {
+                            ready.insert((key(m), m));
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            out.len(),
+            included.len(),
+            "serialization constraints contain a cycle"
+        );
+        out
+    }
+
+    fn to_item(&self, n: OrderNode) -> OrderItem {
+        match n {
+            OrderNode::Routine(r) => OrderItem::Routine(r),
+            OrderNode::Failure(_) => OrderItem::Failure(
+                self.device_of(n).expect("failure events carry a device"),
+            ),
+            OrderNode::Restart(_) => OrderItem::Restart(
+                self.device_of(n).expect("restart events carry a device"),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+    fn r(i: u64) -> RoutineId {
+        RoutineId(i)
+    }
+
+    #[test]
+    fn witness_respects_edges_over_time() {
+        let mut ord = OrderTracker::new();
+        ord.add_routine(r(1), t(0));
+        ord.add_routine(r(2), t(1));
+        // r2 committed earlier in wall time but serialized after r1
+        // (post-lease: "Rj might appear after Ri ... but complete earlier").
+        ord.order_routines(r(1), r(2));
+        ord.mark_committed(r(2), t(50));
+        ord.mark_committed(r(1), t(100));
+        assert_eq!(
+            ord.witness_order(),
+            vec![OrderItem::Routine(r(1)), OrderItem::Routine(r(2))]
+        );
+    }
+
+    #[test]
+    fn unconstrained_routines_order_by_submission() {
+        let mut ord = OrderTracker::new();
+        ord.add_routine(r(1), t(0));
+        ord.add_routine(r(2), t(0));
+        // r2 commits first in wall time, but the pair commutes (no shared
+        // device), so the witness prefers submission order.
+        ord.mark_committed(r(2), t(10));
+        ord.mark_committed(r(1), t(20));
+        assert_eq!(
+            ord.witness_order(),
+            vec![OrderItem::Routine(r(1)), OrderItem::Routine(r(2))]
+        );
+    }
+
+    #[test]
+    fn aborted_routines_disappear_with_their_edges() {
+        let mut ord = OrderTracker::new();
+        ord.add_routine(r(1), t(0));
+        ord.add_routine(r(2), t(1));
+        ord.order_routines(r(1), r(2));
+        ord.remove_routine(r(1));
+        ord.mark_committed(r(2), t(30));
+        assert_eq!(ord.witness_order(), vec![OrderItem::Routine(r(2))]);
+        assert!(!ord.reaches(OrderNode::Routine(r(1)), OrderNode::Routine(r(2))));
+    }
+
+    #[test]
+    fn failure_events_serialize_with_routines() {
+        let mut ord = OrderTracker::new();
+        let d = DeviceId(3);
+        ord.add_routine(r(1), t(0));
+        let f = ord.new_failure(d, t(40));
+        let re = ord.new_restart(d, t(60));
+        // EV rule 3: failure after last touch serializes after the routine.
+        ord.add_edge(OrderNode::Routine(r(1)), f);
+        ord.add_edge(f, re);
+        ord.mark_committed(r(1), t(100)); // commits later in wall time
+        assert_eq!(
+            ord.witness_order(),
+            vec![
+                OrderItem::Routine(r(1)),
+                OrderItem::Failure(d),
+                OrderItem::Restart(d)
+            ]
+        );
+    }
+
+    #[test]
+    fn reaches_is_transitive() {
+        let mut ord = OrderTracker::new();
+        for i in 1..=4 {
+            ord.add_routine(r(i), t(i));
+        }
+        ord.order_routines(r(1), r(2));
+        ord.order_routines(r(2), r(3));
+        assert!(ord.reaches(OrderNode::Routine(r(1)), OrderNode::Routine(r(3))));
+        assert!(!ord.reaches(OrderNode::Routine(r(3)), OrderNode::Routine(r(1))));
+        assert!(!ord.reaches(OrderNode::Routine(r(1)), OrderNode::Routine(r(4))));
+    }
+
+    #[test]
+    fn placement_conflict_detects_transitive_cycles() {
+        let mut ord = OrderTracker::new();
+        for i in 1..=3 {
+            ord.add_routine(r(i), t(i));
+        }
+        // Existing: r2 -> r3.
+        ord.order_routines(r(2), r(3));
+        // New routine wants pre = {r3}, post = {r2}: r3 < R < r2, but
+        // r2 < r3 already — transitive cycle, direct intersection empty.
+        assert!(ord.placement_conflicts(&[r(3)], &[r(2)]));
+        assert!(!ord.placement_conflicts(&[r(2)], &[r(3)]));
+        assert!(ord.placement_conflicts(&[r(1)], &[r(1)]), "direct overlap");
+    }
+
+    #[test]
+    fn pending_routines_are_excluded() {
+        let mut ord = OrderTracker::new();
+        ord.add_routine(r(1), t(0));
+        ord.add_routine(r(2), t(1));
+        ord.mark_committed(r(1), t(5));
+        assert_eq!(ord.witness_order(), vec![OrderItem::Routine(r(1))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cyclic_constraints_panic() {
+        let mut ord = OrderTracker::new();
+        ord.add_routine(r(1), t(0));
+        ord.add_routine(r(2), t(1));
+        ord.mark_committed(r(1), t(2));
+        ord.mark_committed(r(2), t(3));
+        ord.order_routines(r(1), r(2));
+        // Bypass add_edge's debug assert by inserting the raw edge.
+        ord.edges.insert((OrderNode::Routine(r(2)), OrderNode::Routine(r(1))));
+        ord.succ
+            .entry(OrderNode::Routine(r(2)))
+            .or_default()
+            .push(OrderNode::Routine(r(1)));
+        ord.witness_order();
+    }
+}

@@ -1,0 +1,448 @@
+//! Shared per-routine runtime bookkeeping and rollback planning.
+
+use std::collections::BTreeMap;
+
+use safehome_types::{
+    Action, CmdIdx, Command, DeviceId, Priority, Routine, RoutineId, Timestamp, UndoPolicy, Value,
+};
+
+use crate::event::Effect;
+
+/// Runtime state of one in-flight routine.
+#[derive(Debug, Clone)]
+pub struct RoutineRun {
+    /// The routine's id.
+    pub id: RoutineId,
+    /// The routine definition.
+    pub routine: Routine,
+    /// Submission time.
+    pub submitted: Timestamp,
+    /// Actual start (first dispatch), if started.
+    pub started: Option<Timestamp>,
+    /// Index of the next command to run.
+    pub pc: usize,
+    /// `true` while command `pc` is in flight.
+    pub dispatched: bool,
+    /// Fully executed commands (for the abort report's `executed` count).
+    pub completed: u32,
+    /// Successfully executed writes, in execution order:
+    /// `(cmd index, device, value)`.
+    pub executed_writes: Vec<(usize, DeviceId, Value)>,
+}
+
+impl RoutineRun {
+    /// Creates the run state for a submitted routine.
+    pub fn new(id: RoutineId, routine: Routine, submitted: Timestamp) -> Self {
+        RoutineRun {
+            id,
+            routine,
+            submitted,
+            started: None,
+            pc: 0,
+            dispatched: false,
+            completed: 0,
+            executed_writes: Vec::new(),
+        }
+    }
+
+    /// The command at the program counter, if any remain.
+    pub fn current(&self) -> Option<&Command> {
+        self.routine.commands.get(self.pc)
+    }
+
+    /// `true` once every command has run (or been skipped).
+    pub fn finished_commands(&self) -> bool {
+        self.pc >= self.routine.commands.len()
+    }
+
+    /// `true` if the routine has dispatched at least one command on `d`
+    /// ("first touch" has happened, §3).
+    pub fn touched(&self, d: DeviceId) -> bool {
+        self.routine.commands[..self.pc]
+            .iter()
+            .any(|c| c.device == d)
+            || (self.dispatched
+                && self
+                    .current()
+                    .map(|c| c.device == d)
+                    .unwrap_or(false))
+    }
+
+    /// `true` if every command on `d` has completed ("last touch" done).
+    pub fn done_with(&self, d: DeviceId) -> bool {
+        self.routine
+            .last_touch(d)
+            .map(|last| self.pc > last)
+            .unwrap_or(true)
+    }
+
+    /// `true` if the routine has any command on `d`.
+    pub fn uses(&self, d: DeviceId) -> bool {
+        self.routine.first_touch(d).is_some()
+    }
+
+    /// Last executed write per device, newest first — the rollback set.
+    pub fn writes_to_undo(&self) -> Vec<(usize, DeviceId, Value)> {
+        let mut seen = Vec::new();
+        let mut out = Vec::new();
+        for &(idx, d, v) in self.executed_writes.iter().rev() {
+            if !seen.contains(&d) {
+                seen.push(d);
+                out.push((idx, d, v));
+            }
+        }
+        out
+    }
+
+    /// The routine's final value per written device, considering only
+    /// writes that actually executed (skipped best-effort commands have no
+    /// effect). Used to update committed states at commit.
+    pub fn committed_writes(&self) -> BTreeMap<DeviceId, Value> {
+        let mut out = BTreeMap::new();
+        for &(_, d, v) in &self.executed_writes {
+            out.insert(d, v); // later writes overwrite earlier ones
+        }
+        out
+    }
+}
+
+/// The set of in-flight routines.
+#[derive(Debug, Clone, Default)]
+pub struct RunTable {
+    runs: BTreeMap<RoutineId, RoutineRun>,
+}
+
+impl RunTable {
+    /// Adds a run.
+    pub fn insert(&mut self, run: RoutineRun) {
+        self.runs.insert(run.id, run);
+    }
+
+    /// Looks up a run.
+    pub fn get(&self, id: RoutineId) -> Option<&RoutineRun> {
+        self.runs.get(&id)
+    }
+
+    /// Looks up a run mutably.
+    pub fn get_mut(&mut self, id: RoutineId) -> Option<&mut RoutineRun> {
+        self.runs.get_mut(&id)
+    }
+
+    /// Removes a finished run.
+    pub fn remove(&mut self, id: RoutineId) -> Option<RoutineRun> {
+        self.runs.remove(&id)
+    }
+
+    /// Ids of all in-flight routines (submission order).
+    pub fn ids(&self) -> Vec<RoutineId> {
+        self.runs.keys().copied().collect()
+    }
+
+    /// Number of in-flight routines.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// `true` when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Iterates over in-flight runs.
+    pub fn iter(&self) -> impl Iterator<Item = &RoutineRun> {
+        self.runs.values()
+    }
+}
+
+/// Plans the rollback dispatches for an aborting routine (§2.2, §4.3).
+///
+/// For each device the routine wrote (newest write first), restores the
+/// `target(device)` value — the lineage-derived previous state, or the
+/// user's undo handler when the command specified one — unless
+/// `current(device)` already equals it. Physically irreversible commands
+/// still restore device *state* but add a feedback note.
+///
+/// A write that was *in flight* at abort time cannot be recalled (it is
+/// an API call already on the wire) and its physical effect may still
+/// land; its device is rolled back unconditionally, with the restore
+/// queueing behind the in-flight command at the device.
+pub fn plan_rollback(
+    run: &RoutineRun,
+    target: impl Fn(DeviceId) -> Value,
+    current: impl Fn(DeviceId) -> Value,
+) -> (Vec<Effect>, u32) {
+    let mut effects = Vec::new();
+    let mut count = 0;
+    let mut inflight_device = None;
+    if run.dispatched {
+        if let Some(cmd) = run.current() {
+            if cmd.action.is_write() {
+                inflight_device = Some(cmd.device);
+                let desired = match cmd.undo {
+                    UndoPolicy::Handler(v) => v,
+                    _ => target(cmd.device),
+                };
+                effects.push(Effect::Dispatch {
+                    routine: run.id,
+                    idx: CmdIdx(run.pc as u16),
+                    device: cmd.device,
+                    action: Action::Set(desired),
+                    duration: safehome_types::TimeDelta::ZERO,
+                    rollback: true,
+                });
+                count += 1;
+            }
+        }
+    }
+    for (idx, d, _written) in run.writes_to_undo() {
+        if Some(d) == inflight_device {
+            continue; // Already restored above, behind the in-flight call.
+        }
+        let cmd = &run.routine.commands[idx];
+        let desired = match cmd.undo {
+            UndoPolicy::Handler(v) => v,
+            UndoPolicy::RestorePrevious | UndoPolicy::Irreversible => target(d),
+        };
+        if cmd.undo == UndoPolicy::Irreversible {
+            effects.push(Effect::Feedback {
+                routine: Some(run.id),
+                message: format!(
+                    "command {idx} on {d} is physically irreversible; restoring state only"
+                ),
+            });
+        }
+        if current(d) == desired {
+            continue; // Already in the desired state (§4.3).
+        }
+        effects.push(Effect::Dispatch {
+            routine: run.id,
+            idx: CmdIdx(idx as u16),
+            device: d,
+            action: Action::Set(desired),
+            duration: safehome_types::TimeDelta::ZERO,
+            rollback: true,
+        });
+        count += 1;
+    }
+    (effects, count)
+}
+
+/// Evaluates a read-guard observation: `Ok` to continue, `Err` to abort.
+pub fn guard_passes(cmd: &Command, observed: Option<Value>) -> bool {
+    match cmd.action {
+        Action::Read {
+            expect: Some(expected),
+        } => observed == Some(expected),
+        _ => true,
+    }
+}
+
+/// `true` if a failed command should abort the routine (`Must`), `false`
+/// if it is merely skipped (`BestEffort`).
+pub fn failure_aborts(cmd: &Command) -> bool {
+    cmd.priority == Priority::Must
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safehome_types::{Routine, TimeDelta};
+
+    fn d(i: u32) -> DeviceId {
+        DeviceId(i)
+    }
+
+    fn run_with(routine: Routine) -> RoutineRun {
+        RoutineRun::new(RoutineId(1), routine, Timestamp::ZERO)
+    }
+
+    fn two_device_routine() -> Routine {
+        Routine::builder("r")
+            .set(d(0), Value::ON, TimeDelta::from_millis(10))
+            .set(d(1), Value::ON, TimeDelta::from_millis(10))
+            .set(d(0), Value::OFF, TimeDelta::from_millis(10))
+            .build()
+    }
+
+    #[test]
+    fn touch_tracking_follows_pc() {
+        let mut run = run_with(two_device_routine());
+        assert!(!run.touched(d(0)));
+        assert!(!run.done_with(d(0)));
+        run.dispatched = true; // cmd 0 on device 0 in flight
+        assert!(run.touched(d(0)));
+        assert!(!run.touched(d(1)));
+        run.pc = 1;
+        run.dispatched = false;
+        assert!(run.touched(d(0)));
+        assert!(!run.done_with(d(0)), "cmd 2 still touches device 0");
+        run.pc = 3;
+        assert!(run.done_with(d(0)));
+        assert!(run.done_with(d(1)));
+        assert!(run.finished_commands());
+    }
+
+    #[test]
+    fn done_with_untouched_device_is_true() {
+        let run = run_with(two_device_routine());
+        assert!(run.done_with(d(9)));
+        assert!(!run.uses(d(9)));
+        assert!(run.uses(d(1)));
+    }
+
+    #[test]
+    fn writes_to_undo_deduplicates_newest_first() {
+        let mut run = run_with(two_device_routine());
+        run.executed_writes = vec![
+            (0, d(0), Value::ON),
+            (1, d(1), Value::ON),
+            (2, d(0), Value::OFF),
+        ];
+        let undo = run.writes_to_undo();
+        assert_eq!(undo.len(), 2);
+        assert_eq!(undo[0], (2, d(0), Value::OFF));
+        assert_eq!(undo[1], (1, d(1), Value::ON));
+    }
+
+    #[test]
+    fn committed_writes_keep_last_value() {
+        let mut run = run_with(two_device_routine());
+        run.executed_writes = vec![
+            (0, d(0), Value::ON),
+            (1, d(1), Value::ON),
+            (2, d(0), Value::OFF),
+        ];
+        let cw = run.committed_writes();
+        assert_eq!(cw[&d(0)], Value::OFF);
+        assert_eq!(cw[&d(1)], Value::ON);
+    }
+
+    #[test]
+    fn rollback_skips_devices_already_in_target_state() {
+        let mut run = run_with(two_device_routine());
+        run.executed_writes = vec![(0, d(0), Value::ON), (1, d(1), Value::ON)];
+        let (effects, count) = plan_rollback(
+            &run,
+            |_| Value::OFF,
+            |dev| if dev == d(1) { Value::OFF } else { Value::ON },
+        );
+        // Device 1 is already OFF; only device 0 needs a dispatch.
+        assert_eq!(count, 1);
+        let dispatches: Vec<_> = effects.iter().filter(|e| e.is_dispatch()).collect();
+        assert_eq!(dispatches.len(), 1);
+        match dispatches[0] {
+            Effect::Dispatch { device, action, rollback, .. } => {
+                assert_eq!(*device, d(0));
+                assert_eq!(*action, Action::Set(Value::OFF));
+                assert!(rollback);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn rollback_uses_undo_handler() {
+        let routine = Routine::builder("h")
+            .command(
+                Command::set(d(0), Value::ON, TimeDelta::ZERO)
+                    .with_undo(UndoPolicy::Handler(Value::Int(5))),
+            )
+            .build();
+        let mut run = run_with(routine);
+        run.executed_writes = vec![(0, d(0), Value::ON)];
+        let (effects, count) = plan_rollback(&run, |_| Value::OFF, |_| Value::ON);
+        assert_eq!(count, 1);
+        match &effects[0] {
+            Effect::Dispatch { action, .. } => assert_eq!(*action, Action::Set(Value::Int(5))),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn irreversible_rollback_adds_feedback() {
+        let routine = Routine::builder("i")
+            .set_irreversible(d(0), Value::ON, TimeDelta::ZERO)
+            .build();
+        let mut run = run_with(routine);
+        run.executed_writes = vec![(0, d(0), Value::ON)];
+        let (effects, count) = plan_rollback(&run, |_| Value::OFF, |_| Value::ON);
+        assert_eq!(count, 1);
+        assert!(matches!(effects[0], Effect::Feedback { .. }));
+        assert!(effects[1].is_dispatch());
+    }
+
+    #[test]
+    fn rollback_covers_inflight_write_unconditionally() {
+        let mut run = run_with(two_device_routine());
+        run.executed_writes = vec![(0, d(0), Value::ON)];
+        run.pc = 1; // cmd 1 (write to device 1) in flight
+        run.dispatched = true;
+        let (effects, count) = plan_rollback(&run, |_| Value::OFF, |_| Value::OFF);
+        // Device 1's in-flight write is restored even though `current`
+        // claims it is already OFF (the in-flight effect may still land);
+        // device 0's completed write is skipped because current == target.
+        assert_eq!(count, 1);
+        let dispatches: Vec<_> = effects.iter().filter(|e| e.is_dispatch()).collect();
+        assert_eq!(dispatches.len(), 1);
+        match dispatches[0] {
+            Effect::Dispatch { device, rollback, .. } => {
+                assert_eq!(*device, d(1));
+                assert!(rollback);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn inflight_device_not_rolled_back_twice() {
+        let mut run = run_with(two_device_routine());
+        run.executed_writes = vec![(0, d(0), Value::ON), (1, d(1), Value::ON)];
+        run.pc = 2; // cmd 2 writes device 0 again, in flight
+        run.dispatched = true;
+        let (effects, count) = plan_rollback(&run, |_| Value::OFF, |_| Value::ON);
+        assert_eq!(count, 2);
+        let mut devices: Vec<DeviceId> = effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Dispatch { device, .. } => Some(*device),
+                _ => None,
+            })
+            .collect();
+        devices.sort();
+        assert_eq!(devices, vec![d(0), d(1)], "device 0 appears exactly once");
+    }
+
+    #[test]
+    fn guard_evaluation() {
+        let read = Command::read(d(0), Some(Value::ON), TimeDelta::ZERO);
+        assert!(guard_passes(&read, Some(Value::ON)));
+        assert!(!guard_passes(&read, Some(Value::OFF)));
+        assert!(!guard_passes(&read, None));
+        let unguarded = Command::read(d(0), None, TimeDelta::ZERO);
+        assert!(guard_passes(&unguarded, Some(Value::OFF)));
+        let write = Command::set(d(0), Value::ON, TimeDelta::ZERO);
+        assert!(guard_passes(&write, None));
+    }
+
+    #[test]
+    fn priority_determines_abort() {
+        assert!(failure_aborts(&Command::set(d(0), Value::ON, TimeDelta::ZERO)));
+        assert!(!failure_aborts(
+            &Command::set(d(0), Value::ON, TimeDelta::ZERO).best_effort()
+        ));
+    }
+
+    #[test]
+    fn run_table_basics() {
+        let mut tab = RunTable::default();
+        assert!(tab.is_empty());
+        tab.insert(run_with(two_device_routine()));
+        assert_eq!(tab.len(), 1);
+        assert_eq!(tab.ids(), vec![RoutineId(1)]);
+        assert!(tab.get(RoutineId(1)).is_some());
+        tab.get_mut(RoutineId(1)).unwrap().pc = 2;
+        assert_eq!(tab.get(RoutineId(1)).unwrap().pc, 2);
+        assert!(tab.remove(RoutineId(1)).is_some());
+        assert!(tab.get(RoutineId(1)).is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! First Come First Serve scheduling (§5).
+//!
+//! Routines are serialized in arrival order: every lock-access is
+//! appended to its device's lineage tail. FCFS never pre-leases (that
+//! would reorder routines against arrival order) but still benefits from
+//! post-leases at dispatch time (a released lock hands over before the
+//! holder finishes). Placement always succeeds immediately.
+
+use safehome_types::Timestamp;
+
+use crate::config::EngineConfig;
+use crate::lineage::{LineageTable, LockAccess};
+use crate::runtime::RoutineRun;
+
+use super::Placement;
+
+/// Builds the append-only placement for a routine.
+pub fn place(run: &RoutineRun, table: &LineageTable, cfg: &EngineConfig, now: Timestamp) -> Placement {
+    let mut placement = Placement::default();
+    // Track the projected tail time of each device as we append, and the
+    // routine's own sequential progress.
+    let mut cursor = now;
+    let mut tails: std::collections::BTreeMap<safehome_types::DeviceId, (usize, Timestamp)> =
+        std::collections::BTreeMap::new();
+    for (i, cmd) in run.routine.commands.iter().enumerate() {
+        let dur = cfg.tau(cmd.duration);
+        let (pos, tail_time) = tails.get(&cmd.device).copied().unwrap_or_else(|| {
+            let entries = table.lineage(cmd.device).entries();
+            let tail_time = entries
+                .last()
+                .map(|e| e.planned_end())
+                .unwrap_or(now)
+                .max(now);
+            (entries.len(), tail_time)
+        });
+        let start = cursor.max(tail_time);
+        placement.inserts.push((
+            cmd.device,
+            pos,
+            LockAccess::scheduled(run.id, i, cmd.action.written_value(), start, dur),
+        ));
+        tails.insert(cmd.device, (pos + 1, start + dur));
+        cursor = start + dur;
+    }
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VisibilityModel;
+    use crate::order::OrderTracker;
+    use crate::sched::apply_placement;
+    use safehome_types::{DeviceId, Routine, RoutineId, TimeDelta, Value};
+    use std::collections::BTreeMap;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::new(VisibilityModel::ev())
+    }
+
+    fn table(n: u32) -> LineageTable {
+        let init: BTreeMap<DeviceId, Value> = (0..n).map(|i| (DeviceId(i), Value::OFF)).collect();
+        LineageTable::new(&init)
+    }
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn routine(id: u64, devs: &[u32]) -> RoutineRun {
+        let mut b = Routine::builder("r");
+        for &i in devs {
+            b = b.set(DeviceId(i), Value::ON, TimeDelta::from_millis(100));
+        }
+        RoutineRun::new(RoutineId(id), b.build(), Timestamp::ZERO)
+    }
+
+    #[test]
+    fn appends_in_arrival_order() {
+        let mut tab = table(2);
+        let mut ord = OrderTracker::new();
+        for id in 1..=2u64 {
+            ord.add_routine(RoutineId(id), Timestamp::ZERO);
+            let run = routine(id, &[0, 1]);
+            let p = place(&run, &tab, &cfg(), t(0));
+            let leases = apply_placement(&mut tab, &mut ord, RoutineId(id), &p);
+            assert!(leases.is_empty(), "FCFS never pre-leases");
+        }
+        let owners: Vec<u64> = tab
+            .lineage(DeviceId(0))
+            .entries()
+            .iter()
+            .map(|e| e.routine.0)
+            .collect();
+        assert_eq!(owners, vec![1, 2]);
+        tab.validate(true).unwrap();
+    }
+
+    #[test]
+    fn planned_times_chain_sequentially() {
+        let tab = table(3);
+        let run = routine(1, &[0, 1, 2]);
+        let p = place(&run, &tab, &cfg(), t(50));
+        let starts: Vec<u64> = p.inserts.iter().map(|(_, _, e)| e.planned_start.as_millis()).collect();
+        assert_eq!(starts, vec![50, 150, 250], "commands are sequential");
+    }
+
+    #[test]
+    fn planned_times_respect_existing_tail() {
+        let mut tab = table(1);
+        let mut ord = OrderTracker::new();
+        ord.add_routine(RoutineId(1), Timestamp::ZERO);
+        let p1 = place(&routine(1, &[0]), &tab, &cfg(), t(0));
+        apply_placement(&mut tab, &mut ord, RoutineId(1), &p1);
+        let p2 = place(&routine(2, &[0]), &tab, &cfg(), t(0));
+        assert_eq!(p2.inserts[0].2.planned_start, t(100), "after r1's [0,100)");
+    }
+
+    #[test]
+    fn repeated_device_in_one_routine_stays_ordered() {
+        let tab = table(2);
+        let run = routine(1, &[0, 1, 0]);
+        let p = place(&run, &tab, &cfg(), t(0));
+        // Device 0 gets two entries at consecutive positions.
+        let d0: Vec<(usize, u64)> = p
+            .inserts
+            .iter()
+            .filter(|(d, _, _)| *d == DeviceId(0))
+            .map(|(_, pos, e)| (*pos, e.planned_start.as_millis()))
+            .collect();
+        assert_eq!(d0, vec![(0, 0), (1, 200)]);
+    }
+
+    #[test]
+    fn zero_duration_commands_use_default_tau() {
+        let tab = table(1);
+        let mut b = Routine::builder("z");
+        b = b.set(DeviceId(0), Value::ON, TimeDelta::ZERO);
+        let run = RoutineRun::new(RoutineId(1), b.build(), Timestamp::ZERO);
+        let p = place(&run, &tab, &cfg(), t(0));
+        assert_eq!(p.inserts[0].2.duration, TimeDelta::from_millis(100));
+    }
+}

@@ -1,0 +1,280 @@
+//! Just-in-Time scheduling (§5).
+//!
+//! JiT greedily starts a routine only when it can acquire *all* its locks
+//! right now: a device is takeable when it is idle, when its previous
+//! holder has released it (post-lease), or when the scheduled owner has
+//! not touched it yet (pre-lease, jumping the line). If any device fails
+//! the test the routine keeps waiting; eligibility is retested on every
+//! arrival and lock release. Anti-starvation is the engine's TTL: an
+//! expired waiting routine is prioritized and blocks conflicting
+//! younger routines from starting first.
+
+use std::collections::BTreeSet;
+
+use safehome_types::{DeviceId, RoutineId, Timestamp};
+
+use crate::config::EngineConfig;
+use crate::lineage::{LineageTable, LockAccess};
+use crate::order::OrderTracker;
+use crate::runtime::RoutineRun;
+
+use super::Placement;
+
+/// Runs the eligibility test; returns the placement if the routine can
+/// hold every lock right now, `None` otherwise.
+///
+/// `pre_seed` lists routines that must serialize before this one even
+/// though they no longer appear in any lineage — the committed last
+/// users of the routine's devices (their entries were compacted away,
+/// Fig. 7, but the serialize-after constraint survives).
+pub fn try_place(
+    run: &RoutineRun,
+    table: &LineageTable,
+    order: &OrderTracker,
+    cfg: &EngineConfig,
+    now: Timestamp,
+    blocked_devices: &BTreeSet<DeviceId>,
+    pre_seed: &[RoutineId],
+) -> Option<Placement> {
+    let mut pre: Vec<RoutineId> = pre_seed.to_vec();
+    let mut post = Vec::new();
+    for d in run.routine.devices() {
+        if blocked_devices.contains(&d) {
+            return None; // Device held for a rollback write.
+        }
+        let lin = table.lineage(d);
+        let entries = lin.entries();
+        let floor = lin.insert_floor();
+        // A non-released entry before the floor is an Acquired one: the
+        // device is in use this instant — not takeable.
+        if entries[..floor].iter().any(|e| !e.released()) {
+            return None;
+        }
+        let has_released_prefix = floor > 0;
+        if has_released_prefix {
+            // Post-lease: the previous holder released the device but has
+            // not finished (entries are removed at finish, so presence
+            // implies an unfinished owner).
+            if !cfg.post_lease {
+                return None;
+            }
+            // Dirty-read guard (§4.1): no post-lease when the routine
+            // would read a value written by an uncommitted routine.
+            let first_cmd = &run.routine.commands[run.routine.first_touch(d).expect("uses d")];
+            let unfinished_write = entries[..floor].iter().any(|e| e.desired.is_some());
+            if unfinished_write && first_cmd.action.is_read() {
+                return None;
+            }
+        }
+        let scheduled = &entries[floor..];
+        if !scheduled.is_empty() {
+            // Pre-lease: jump ahead of owners that have not touched the
+            // device. Owners that already hold released entries on this
+            // device are mid-span; inserting between their accesses would
+            // interleave them (invariant 4).
+            if !cfg.pre_lease {
+                return None;
+            }
+            for e in scheduled {
+                if entries[..floor].iter().any(|p| p.routine == e.routine) {
+                    return None;
+                }
+            }
+        }
+        for e in &entries[..floor] {
+            if !pre.contains(&e.routine) {
+                pre.push(e.routine);
+            }
+        }
+        for e in scheduled {
+            if !post.contains(&e.routine) {
+                post.push(e.routine);
+            }
+        }
+    }
+    // Consistent serialize-before ordering (invariant 4, via the order
+    // graph's transitive closure).
+    if order.placement_conflicts(&pre, &post) {
+        return None;
+    }
+    // Eligible: build the placement — each command goes at its device's
+    // insert floor, in command order, with planned times chained from now.
+    let mut placement = Placement::default();
+    let mut cursors: std::collections::BTreeMap<DeviceId, usize> = std::collections::BTreeMap::new();
+    let mut cursor_time = now;
+    for (i, cmd) in run.routine.commands.iter().enumerate() {
+        let dur = cfg.tau(cmd.duration);
+        let pos = *cursors
+            .entry(cmd.device)
+            .or_insert_with(|| table.lineage(cmd.device).insert_floor());
+        placement.inserts.push((
+            cmd.device,
+            pos,
+            LockAccess::scheduled(run.id, i, cmd.action.written_value(), cursor_time, dur),
+        ));
+        cursors.insert(cmd.device, pos + 1);
+        cursor_time = cursor_time + dur;
+    }
+    Some(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VisibilityModel;
+    use crate::sched::apply_placement;
+    use safehome_types::{Routine, RoutineId, TimeDelta, Value};
+    use std::collections::BTreeMap;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::new(VisibilityModel::ev())
+    }
+
+    fn table(n: u32) -> LineageTable {
+        let init: BTreeMap<DeviceId, Value> = (0..n).map(|i| (DeviceId(i), Value::OFF)).collect();
+        LineageTable::new(&init)
+    }
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn run(id: u64, devs: &[u32]) -> RoutineRun {
+        let mut b = Routine::builder("r");
+        for &i in devs {
+            b = b.set(DeviceId(i), Value::ON, TimeDelta::from_millis(100));
+        }
+        RoutineRun::new(RoutineId(id), b.build(), Timestamp::ZERO)
+    }
+
+    fn none() -> BTreeSet<DeviceId> {
+        BTreeSet::new()
+    }
+
+    #[test]
+    fn idle_devices_are_eligible() {
+        let tab = table(2);
+        let ord = OrderTracker::new();
+        let p = try_place(&run(1, &[0, 1]), &tab, &ord, &cfg(), t(0), &none(), &[]);
+        assert!(p.is_some());
+        assert_eq!(p.unwrap().inserts.len(), 2);
+    }
+
+    #[test]
+    fn acquired_device_blocks() {
+        let mut tab = table(1);
+        let mut ord = OrderTracker::new();
+        ord.add_routine(RoutineId(1), t(0));
+        let p1 = try_place(&run(1, &[0]), &tab, &ord, &cfg(), t(0), &none(), &[]).unwrap();
+        apply_placement(&mut tab, &mut ord, RoutineId(1), &p1);
+        tab.acquire(DeviceId(0), RoutineId(1), 0, t(0));
+        assert!(try_place(&run(2, &[0]), &tab, &ord, &cfg(), t(1), &none(), &[]).is_none());
+    }
+
+    #[test]
+    fn released_device_post_leases() {
+        let mut tab = table(1);
+        let mut ord = OrderTracker::new();
+        ord.add_routine(RoutineId(1), t(0));
+        let p1 = try_place(&run(1, &[0]), &tab, &ord, &cfg(), t(0), &none(), &[]).unwrap();
+        apply_placement(&mut tab, &mut ord, RoutineId(1), &p1);
+        tab.acquire(DeviceId(0), RoutineId(1), 0, t(0));
+        tab.release(DeviceId(0), RoutineId(1), 0);
+        // Owner unfinished (entry still present) but released: post-lease.
+        let p2 = try_place(&run(2, &[0]), &tab, &ord, &cfg(), t(10), &none(), &[]);
+        assert!(p2.is_some());
+        // With post-leasing disabled the device is not takeable.
+        let mut no_post = cfg();
+        no_post.post_lease = false;
+        assert!(try_place(&run(3, &[0]), &tab, &ord, &no_post, t(10), &none(), &[]).is_none());
+    }
+
+    #[test]
+    fn scheduled_owner_pre_leases() {
+        let mut tab = table(2);
+        let mut ord = OrderTracker::new();
+        ord.add_routine(RoutineId(1), t(0));
+        // Routine 1 scheduled on devices 0 and 1, has touched nothing.
+        let p1 = try_place(&run(1, &[0, 1]), &tab, &ord, &cfg(), t(0), &none(), &[]).unwrap();
+        apply_placement(&mut tab, &mut ord, RoutineId(1), &p1);
+        // Routine 2 wants device 1 only: pre-lease ahead of routine 1.
+        let p2 = try_place(&run(2, &[1]), &tab, &ord, &cfg(), t(1), &none(), &[]);
+        assert!(p2.is_some());
+        let p2 = p2.unwrap();
+        assert_eq!(p2.inserts[0].1, 0, "inserted ahead of routine 1");
+        // With pre-leasing disabled it must wait.
+        let mut no_pre = cfg();
+        no_pre.pre_lease = false;
+        assert!(try_place(&run(3, &[1]), &tab, &ord, &no_pre, t(1), &none(), &[]).is_none());
+    }
+
+    #[test]
+    fn mid_span_owner_cannot_be_pre_leased() {
+        let mut tab = table(1);
+        let mut ord = OrderTracker::new();
+        ord.add_routine(RoutineId(1), t(0));
+        // Routine 1 touches device 0 twice; first access released, second
+        // still scheduled (owner is mid-span on the device).
+        let p1 = try_place(&run(1, &[0, 0]), &tab, &ord, &cfg(), t(0), &none(), &[]).unwrap();
+        apply_placement(&mut tab, &mut ord, RoutineId(1), &p1);
+        tab.acquire(DeviceId(0), RoutineId(1), 0, t(0));
+        tab.release(DeviceId(0), RoutineId(1), 0);
+        assert!(
+            try_place(&run(2, &[0]), &tab, &ord, &cfg(), t(1), &none(), &[]).is_none(),
+            "inserting between routine 1's accesses would interleave it"
+        );
+    }
+
+    #[test]
+    fn dirty_read_blocks_post_lease() {
+        let mut tab = table(1);
+        let mut ord = OrderTracker::new();
+        ord.add_routine(RoutineId(1), t(0));
+        let p1 = try_place(&run(1, &[0]), &tab, &ord, &cfg(), t(0), &none(), &[]).unwrap();
+        apply_placement(&mut tab, &mut ord, RoutineId(1), &p1);
+        tab.acquire(DeviceId(0), RoutineId(1), 0, t(0));
+        tab.release(DeviceId(0), RoutineId(1), 0);
+        // Routine 2 READS device 0: the unfinished write blocks it.
+        let reader = RoutineRun::new(
+            RoutineId(2),
+            Routine::builder("read")
+                .read(DeviceId(0), None, TimeDelta::from_millis(10))
+                .build(),
+            Timestamp::ZERO,
+        );
+        assert!(try_place(&reader, &tab, &ord, &cfg(), t(1), &none(), &[]).is_none());
+    }
+
+    #[test]
+    fn order_conflict_blocks_placement() {
+        let mut tab = table(2);
+        let mut ord = OrderTracker::new();
+        ord.add_routine(RoutineId(1), t(0));
+        ord.add_routine(RoutineId(2), t(0));
+        // Existing constraint: r1 before r2 (e.g. from another device).
+        ord.order_routines(RoutineId(1), RoutineId(2));
+        // Device 0: r2 has released (unfinished, post-lease source).
+        tab.append(
+            DeviceId(0),
+            LockAccess::scheduled(RoutineId(2), 0, Some(Value::ON), t(0), TimeDelta::from_millis(10)),
+        );
+        tab.acquire(DeviceId(0), RoutineId(2), 0, t(0));
+        tab.release(DeviceId(0), RoutineId(2), 0);
+        // Device 1: r1 is scheduled, untouched (pre-lease target).
+        tab.append(
+            DeviceId(1),
+            LockAccess::scheduled(RoutineId(1), 0, Some(Value::ON), t(50), TimeDelta::from_millis(10)),
+        );
+        // New routine would be after r2 (device 0) and before r1
+        // (device 1): r2 < new < r1 contradicts r1 < r2.
+        assert!(try_place(&run(3, &[0, 1]), &tab, &ord, &cfg(), t(1), &none(), &[]).is_none());
+    }
+
+    #[test]
+    fn blocked_devices_prevent_eligibility() {
+        let tab = table(1);
+        let ord = OrderTracker::new();
+        let blocked: BTreeSet<DeviceId> = [DeviceId(0)].into();
+        assert!(try_place(&run(1, &[0]), &tab, &ord, &cfg(), t(0), &blocked, &[]).is_none());
+    }
+}

@@ -1,0 +1,183 @@
+//! Scheduling policies for Eventual Visibility (§5).
+//!
+//! A scheduler decides *where* in each device lineage a new routine's
+//! lock-accesses go — and therefore where the routine lands in the
+//! serialization order. Three policies are implemented:
+//!
+//! - [`fcfs`]: serialize in arrival order (append; no pre-leases);
+//! - [`jit`]: start a routine only when it can greedily hold *all* its
+//!   locks right now, directly or via pre/post-leases;
+//! - [`timeline`]: speculatively place lock-accesses into lineage gaps
+//!   using duration estimates (Algorithm 1's backtracking search).
+//!
+//! All three produce a [`Placement`] — an ordered list of lineage
+//! insertions — which [`apply_placement`] commits to the real lineage
+//! table, wiring up serialization edges and detecting the pre-leases that
+//! need revocation timers.
+
+pub mod fcfs;
+pub mod jit;
+pub mod timeline;
+
+use safehome_types::{DeviceId, RoutineId, TimeDelta};
+
+use crate::lineage::{LineageTable, LockAccess};
+use crate::order::{OrderNode, OrderTracker};
+
+/// An ordered list of lineage insertions for one routine: positions are
+/// relative to the table state *as previous insertions are applied*.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Placement {
+    /// `(device, position, entry)` triples in application order.
+    pub inserts: Vec<(DeviceId, usize, LockAccess)>,
+}
+
+/// A pre-lease created by a placement: the routine was placed *before*
+/// already-scheduled accesses of other routines on `device`, so its use of
+/// the device is revocable (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreLeaseRec {
+    /// The leased device.
+    pub device: DeviceId,
+    /// Estimated time between the routine's first and last action on the
+    /// device — the base of the revocation timeout.
+    pub est_span: TimeDelta,
+    /// Number of the routine's lock-accesses on the device; the
+    /// revocation timeout adds per-command actuation slack for these
+    /// (duration estimates exclude network/actuation latency).
+    pub commands: usize,
+}
+
+/// Applies a placement to the real table: inserts the entries, adds
+/// serialization edges (every distinct owner to the left serializes
+/// before the new routine; every distinct owner to the right serializes
+/// after), and reports the pre-leases the placement created.
+pub fn apply_placement(
+    table: &mut LineageTable,
+    order: &mut OrderTracker,
+    routine: RoutineId,
+    placement: &Placement,
+) -> Vec<PreLeaseRec> {
+    for &(d, pos, entry) in &placement.inserts {
+        table.insert(d, pos, entry);
+    }
+    let mut leases = Vec::new();
+    let mut devices: Vec<DeviceId> = placement.inserts.iter().map(|&(d, _, _)| d).collect();
+    devices.sort_unstable();
+    devices.dedup();
+    for d in devices {
+        let entries = table.lineage(d).entries();
+        let first = entries
+            .iter()
+            .position(|e| e.routine == routine)
+            .expect("just inserted");
+        let last = entries
+            .iter()
+            .rposition(|e| e.routine == routine)
+            .expect("just inserted");
+        for e in &entries[..first] {
+            order.add_edge(OrderNode::Routine(e.routine), OrderNode::Routine(routine));
+        }
+        let mut has_successor = false;
+        for e in &entries[last + 1..] {
+            has_successor = true;
+            order.add_edge(OrderNode::Routine(routine), OrderNode::Routine(e.routine));
+        }
+        if has_successor {
+            let est_span = entries[last].planned_end() - entries[first].planned_start;
+            let commands = entries[first..=last]
+                .iter()
+                .filter(|e| e.routine == routine)
+                .count();
+            leases.push(PreLeaseRec { device: d, est_span, commands });
+        }
+    }
+    leases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safehome_types::{Timestamp, Value};
+    use std::collections::BTreeMap;
+
+    fn table(n: u32) -> LineageTable {
+        let init: BTreeMap<DeviceId, Value> =
+            (0..n).map(|i| (DeviceId(i), Value::OFF)).collect();
+        LineageTable::new(&init)
+    }
+
+    fn entry(r: u64, cmd: usize, start: u64, dur: u64) -> LockAccess {
+        LockAccess::scheduled(
+            RoutineId(r),
+            cmd,
+            Some(Value::ON),
+            Timestamp::from_millis(start),
+            TimeDelta::from_millis(dur),
+        )
+    }
+
+    #[test]
+    fn apply_adds_edges_both_ways() {
+        let mut tab = table(1);
+        let mut ord = OrderTracker::new();
+        for r in [1u64, 2, 3] {
+            ord.add_routine(RoutineId(r), Timestamp::ZERO);
+        }
+        tab.append(DeviceId(0), entry(1, 0, 0, 10));
+        tab.append(DeviceId(0), entry(3, 0, 100, 10));
+        // Place routine 2 between routines 1 and 3.
+        let placement = Placement {
+            inserts: vec![(DeviceId(0), 1, entry(2, 0, 50, 10))],
+        };
+        let leases = apply_placement(&mut tab, &mut ord, RoutineId(2), &placement);
+        assert!(ord.reaches(
+            OrderNode::Routine(RoutineId(1)),
+            OrderNode::Routine(RoutineId(2))
+        ));
+        assert!(ord.reaches(
+            OrderNode::Routine(RoutineId(2)),
+            OrderNode::Routine(RoutineId(3))
+        ));
+        // Routine 3 is scheduled after us: this is a pre-lease.
+        assert_eq!(leases.len(), 1);
+        assert_eq!(leases[0].device, DeviceId(0));
+        assert_eq!(leases[0].est_span, TimeDelta::from_millis(10));
+    }
+
+    #[test]
+    fn tail_placement_creates_no_lease() {
+        let mut tab = table(1);
+        let mut ord = OrderTracker::new();
+        ord.add_routine(RoutineId(1), Timestamp::ZERO);
+        ord.add_routine(RoutineId(2), Timestamp::ZERO);
+        tab.append(DeviceId(0), entry(1, 0, 0, 10));
+        let placement = Placement {
+            inserts: vec![(DeviceId(0), 1, entry(2, 0, 10, 10))],
+        };
+        let leases = apply_placement(&mut tab, &mut ord, RoutineId(2), &placement);
+        assert!(leases.is_empty());
+        assert!(ord.reaches(
+            OrderNode::Routine(RoutineId(1)),
+            OrderNode::Routine(RoutineId(2))
+        ));
+    }
+
+    #[test]
+    fn multi_command_span_measures_first_to_last() {
+        let mut tab = table(1);
+        let mut ord = OrderTracker::new();
+        ord.add_routine(RoutineId(1), Timestamp::ZERO);
+        ord.add_routine(RoutineId(2), Timestamp::ZERO);
+        tab.append(DeviceId(0), entry(2, 0, 500, 10));
+        let placement = Placement {
+            inserts: vec![
+                (DeviceId(0), 0, entry(1, 0, 0, 10)),
+                (DeviceId(0), 1, entry(1, 1, 20, 30)),
+            ],
+        };
+        let leases = apply_placement(&mut tab, &mut ord, RoutineId(1), &placement);
+        assert_eq!(leases.len(), 1);
+        assert_eq!(leases[0].est_span, TimeDelta::from_millis(50)); // 0 → 50
+    }
+}

@@ -1,0 +1,330 @@
+//! Timeline scheduling: Algorithm 1's backtracking gap search (§5).
+//!
+//! The planner speculatively places every lock-access of a new routine
+//! into gaps of the (estimated) lineage timeline, checking at each step
+//! that the accumulated preSet and postSet stay disjoint — strengthened
+//! here to a transitive-closure test through the order graph, since the
+//! paper's direct-intersection test misses cycles through third routines.
+//! On failure it backtracks to the next gap; a probe budget bounds the
+//! search, after which the placement falls back to appending at every
+//! tail (the always-valid FCFS position).
+//!
+//! The search runs on a scratch *clone* of the lineage table so partial
+//! placements never corrupt the real one; the returned [`Placement`]
+//! replays position-for-position on the real table.
+
+use safehome_types::{RoutineId, Timestamp};
+
+use crate::config::EngineConfig;
+use crate::lineage::{LineageTable, LockAccess};
+use crate::order::OrderTracker;
+use crate::runtime::RoutineRun;
+
+use super::{fcfs, Placement};
+
+/// Decides whether delaying `routine`'s projected execution by another
+/// `added_ms` is acceptable (the §5 stretch-threshold admission rule).
+pub type StretchCheck<'a> = dyn Fn(RoutineId, u64) -> bool + 'a;
+
+/// Plans a placement for `run`. Always succeeds: if the gap search fails
+/// within the probe budget, falls back to tail placement.
+///
+/// `pre_seed` lists committed routines that must serialize before this
+/// one (last users of its devices, compacted out of the lineage); they
+/// participate in the preSet/postSet conflict test.
+pub fn place(
+    run: &RoutineRun,
+    table: &LineageTable,
+    order: &OrderTracker,
+    cfg: &EngineConfig,
+    now: Timestamp,
+    can_delay: &StretchCheck<'_>,
+    pre_seed: &[RoutineId],
+) -> Placement {
+    let mut scratch = table.clone();
+    let mut inserts = Vec::new();
+    let mut probes = cfg.max_gap_probes.max(run.routine.commands.len());
+    let ok = search(
+        run,
+        0,
+        now,
+        &pre_seed.to_vec(),
+        &Vec::new(),
+        &mut scratch,
+        order,
+        cfg,
+        &mut inserts,
+        can_delay,
+        &mut probes,
+    );
+    if ok {
+        Placement { inserts }
+    } else {
+        fcfs::place(run, table, cfg, now)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    run: &RoutineRun,
+    index: usize,
+    earliest: Timestamp,
+    pre: &[RoutineId],
+    post: &[RoutineId],
+    scratch: &mut LineageTable,
+    order: &OrderTracker,
+    cfg: &EngineConfig,
+    inserts: &mut Vec<(safehome_types::DeviceId, usize, LockAccess)>,
+    can_delay: &StretchCheck<'_>,
+    probes: &mut usize,
+) -> bool {
+    let Some(cmd) = run.routine.commands.get(index) else {
+        return true; // Every command placed.
+    };
+    let d = cmd.device;
+    let dur = cfg.tau(cmd.duration);
+    for gap in scratch.gaps(d, earliest, !cfg.pre_lease) {
+        if *probes == 0 {
+            return false;
+        }
+        *probes -= 1;
+        if !gap.fits(earliest, dur) {
+            continue;
+        }
+        let start = gap.start.max(earliest);
+        // Accumulate pre/post sets (Algorithm 1, lines 10-11).
+        let mut cur_pre = pre.to_vec();
+        for r in scratch.pre_set(d, gap.insert_pos) {
+            if r != run.id && !cur_pre.contains(&r) {
+                cur_pre.push(r);
+            }
+        }
+        let mut cur_post = post.to_vec();
+        for r in scratch.post_set(d, gap.insert_pos) {
+            if r != run.id && !cur_post.contains(&r) {
+                cur_post.push(r);
+            }
+        }
+        // Line 12: serialization must not be violated (closure-checked).
+        if cur_pre.iter().any(|p| cur_post.contains(p))
+            || order.placement_conflicts(&cur_pre, &cur_post)
+        {
+            continue;
+        }
+        // Stretch admission: placing before scheduled owners delays them.
+        if gap.end.is_some() {
+            let delayed = scratch.post_set(d, gap.insert_pos);
+            if delayed
+                .iter()
+                .any(|&r| r != run.id && !can_delay(r, dur.as_millis()))
+            {
+                continue;
+            }
+        }
+        let entry = LockAccess::scheduled(run.id, index, cmd.action.written_value(), start, dur);
+        scratch.insert(d, gap.insert_pos, entry);
+        inserts.push((d, gap.insert_pos, entry));
+        if search(
+            run,
+            index + 1,
+            start + dur,
+            &cur_pre,
+            &cur_post,
+            scratch,
+            order,
+            cfg,
+            inserts,
+            can_delay,
+            probes,
+        ) {
+            return true;
+        }
+        // Backtrack (line 21): undo and try the next gap.
+        inserts.pop();
+        scratch.remove_at(d, gap.insert_pos);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VisibilityModel;
+    use crate::sched::apply_placement;
+    use safehome_types::{DeviceId, Routine, TimeDelta, Value};
+    use std::collections::BTreeMap;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::new(VisibilityModel::ev())
+    }
+
+    fn table(n: u32) -> LineageTable {
+        let init: BTreeMap<DeviceId, Value> = (0..n).map(|i| (DeviceId(i), Value::OFF)).collect();
+        LineageTable::new(&init)
+    }
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn run(id: u64, devs: &[u32], dur_ms: u64) -> RoutineRun {
+        let mut b = Routine::builder("r");
+        for &i in devs {
+            b = b.set(DeviceId(i), Value::ON, TimeDelta::from_millis(dur_ms));
+        }
+        RoutineRun::new(RoutineId(id), b.build(), Timestamp::ZERO)
+    }
+
+    fn always(_: RoutineId, _: u64) -> bool {
+        true
+    }
+
+    #[test]
+    fn empty_table_places_at_origin() {
+        let tab = table(2);
+        let ord = OrderTracker::new();
+        let p = place(&run(1, &[0, 1], 100), &tab, &ord, &cfg(), t(0), &always, &[]);
+        assert_eq!(p.inserts.len(), 2);
+        assert_eq!(p.inserts[0].2.planned_start, t(0));
+        assert_eq!(p.inserts[1].2.planned_start, t(100));
+    }
+
+    #[test]
+    fn fills_gap_before_scheduled_entry() {
+        let mut tab = table(1);
+        let mut ord = OrderTracker::new();
+        ord.add_routine(RoutineId(1), t(0));
+        // Existing entry far in the future leaves a leading gap.
+        tab.append(
+            DeviceId(0),
+            LockAccess::scheduled(RoutineId(1), 0, Some(Value::ON), t(10_000), TimeDelta::from_millis(100)),
+        );
+        let p = place(&run(2, &[0], 100), &tab, &ord, &cfg(), t(0), &always, &[]);
+        assert_eq!(p.inserts[0].1, 0, "placed in the leading gap");
+        assert_eq!(p.inserts[0].2.planned_start, t(0));
+        apply_placement(&mut tab, &mut ord, RoutineId(2), &p);
+        tab.validate(true).unwrap();
+    }
+
+    #[test]
+    fn pre_lease_disabled_appends_to_tail() {
+        let mut tab = table(1);
+        let ord = OrderTracker::new();
+        tab.append(
+            DeviceId(0),
+            LockAccess::scheduled(RoutineId(1), 0, Some(Value::ON), t(10_000), TimeDelta::from_millis(100)),
+        );
+        let mut c = cfg();
+        c.pre_lease = false;
+        let p = place(&run(2, &[0], 100), &tab, &ord, &c, t(0), &always, &[]);
+        assert_eq!(p.inserts[0].1, 1, "tail only");
+        assert_eq!(p.inserts[0].2.planned_start, t(10_100));
+    }
+
+    #[test]
+    fn too_small_gap_is_skipped() {
+        let mut tab = table(1);
+        let ord = OrderTracker::new();
+        tab.append(
+            DeviceId(0),
+            LockAccess::scheduled(RoutineId(1), 0, Some(Value::ON), t(50), TimeDelta::from_millis(100)),
+        );
+        // Gap [0, 50) cannot fit 100 ms → go after [50,150).
+        let p = place(&run(2, &[0], 100), &tab, &ord, &cfg(), t(0), &always, &[]);
+        assert_eq!(p.inserts[0].1, 1);
+        assert_eq!(p.inserts[0].2.planned_start, t(150));
+    }
+
+    #[test]
+    fn serialization_conflict_forces_backtrack() {
+        // The paper's Fig. 9 scenario: placing R3 = {C → B} must not put
+        // it before R1 on one device and after R1 on the other.
+        let mut tab = table(2);
+        let mut ord = OrderTracker::new();
+        ord.add_routine(RoutineId(1), t(0));
+        let c = DeviceId(0);
+        let b = DeviceId(1);
+        // R1 occupies C at [0,100) (acquired now) and B at [100,200).
+        tab.append(
+            c,
+            LockAccess::scheduled(RoutineId(1), 0, Some(Value::ON), t(0), TimeDelta::from_millis(100)),
+        );
+        tab.acquire(c, RoutineId(1), 0, t(0));
+        tab.append(
+            b,
+            LockAccess::scheduled(RoutineId(1), 1, Some(Value::ON), t(100), TimeDelta::from_millis(100)),
+        );
+        // R3 wants C then B, each 100 ms, starting now. C's first free
+        // slot is [100,∞) (after R1 releases C) → pre of C-placement is
+        // {R1}. For B, the gap [0,100) before R1's entry would put R3
+        // before R1 on B — conflict → backtrack to B's tail.
+        let p = place(&run(3, &[0, 1], 100), &tab, &ord, &cfg(), t(0), &always, &[]);
+        apply_placement(&mut tab, &mut ord, RoutineId(3), &p);
+        tab.validate(false).unwrap();
+        let owners_b: Vec<u64> = tab.lineage(b).entries().iter().map(|e| e.routine.0).collect();
+        assert_eq!(owners_b, vec![1, 3], "R3 serialized after R1 on B too");
+    }
+
+    #[test]
+    fn stretch_veto_rejects_gap() {
+        let mut tab = table(1);
+        let mut ord = OrderTracker::new();
+        ord.add_routine(RoutineId(1), t(0));
+        tab.append(
+            DeviceId(0),
+            LockAccess::scheduled(RoutineId(1), 0, Some(Value::ON), t(10_000), TimeDelta::from_millis(100)),
+        );
+        // The leading gap fits, but the stretch check vetoes delaying R1.
+        let veto = |r: RoutineId, _ms: u64| r != RoutineId(1);
+        let p = place(&run(2, &[0], 100), &tab, &ord, &cfg(), t(0), &veto, &[]);
+        assert_eq!(p.inserts[0].1, 1, "forced to the tail by stretch rule");
+    }
+
+    #[test]
+    fn fallback_on_probe_exhaustion_still_places() {
+        let mut tab = table(1);
+        let ord = OrderTracker::new();
+        // Back-to-back entries leave only 50 ms slivers between them: no
+        // gap fits a 100 ms command, so every probe is wasted and the
+        // budget runs out before the tail is reached.
+        for i in 0..10u64 {
+            tab.append(
+                DeviceId(0),
+                LockAccess::scheduled(
+                    RoutineId(i),
+                    0,
+                    Some(Value::ON),
+                    t(1_000 * i),
+                    TimeDelta::from_millis(950),
+                ),
+            );
+        }
+        let mut c = cfg();
+        c.max_gap_probes = 1;
+        let p = place(&run(99, &[0], 100), &tab, &ord, &c, t(0), &always, &[]);
+        assert_eq!(p.inserts.len(), 1, "fallback still yields a placement");
+        assert_eq!(p.inserts[0].1, 10, "fallback appends at the tail");
+    }
+
+    #[test]
+    fn pipelines_two_breakfast_routines() {
+        // The §2.1 EV example: two identical {coffee; pancake} routines
+        // overlap — the second starts its coffee while the first makes
+        // pancakes.
+        let mut tab = table(2);
+        let mut ord = OrderTracker::new();
+        ord.add_routine(RoutineId(1), t(0));
+        let r1 = run(1, &[0, 1], 1_000);
+        let p1 = place(&r1, &tab, &ord, &cfg(), t(0), &always, &[]);
+        apply_placement(&mut tab, &mut ord, RoutineId(1), &p1);
+        ord.add_routine(RoutineId(2), t(0));
+        let r2 = run(2, &[0, 1], 1_000);
+        let p2 = place(&r2, &tab, &ord, &cfg(), t(0), &always, &[]);
+        // R2's coffee should start at t=1000 (when R1 moves to pancake),
+        // not t=2000 (after R1 finishes entirely).
+        assert_eq!(p2.inserts[0].2.planned_start, t(1_000));
+        assert_eq!(p2.inserts[1].2.planned_start, t(2_000));
+        apply_placement(&mut tab, &mut ord, RoutineId(2), &p2);
+        tab.validate(true).unwrap();
+    }
+}

@@ -1,0 +1,258 @@
+//! Named device catalogs for homes, parties and factories.
+
+use std::collections::HashMap;
+
+use safehome_types::{DeviceId, Error, Result, TimeDelta, Value};
+
+/// Broad device categories, each with a sensible initial state and
+/// actuation latency class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Lights and dimmers.
+    Light,
+    /// Smart plugs (the paper's TP-Link HS105/HS110).
+    Plug,
+    /// Door locks.
+    Lock,
+    /// Garage doors, windows, shades (motorized open/close).
+    Motorized,
+    /// Thermostats, AC units, ovens (leveled state).
+    Thermal,
+    /// Kitchen appliances (coffee maker, pancake maker, dishwasher).
+    Appliance,
+    /// Mobile robots (vacuum, mop, robotic trash can).
+    Robot,
+    /// Irrigation and other timed outdoor gear.
+    Sprinkler,
+    /// Speakers, sirens, media.
+    Audio,
+    /// Factory-floor actuators (conveyor, press, labeler).
+    Industrial,
+}
+
+impl DeviceKind {
+    /// Default initial state for the kind.
+    pub fn initial_state(self) -> Value {
+        match self {
+            DeviceKind::Thermal => Value::Int(70),
+            _ => Value::OFF,
+        }
+    }
+
+    /// Typical actuation latency (time from API call to physical effect),
+    /// per the ~100 ms actuation the paper measured on TP-Link plugs.
+    pub fn actuation(self) -> TimeDelta {
+        match self {
+            DeviceKind::Light | DeviceKind::Plug | DeviceKind::Audio => TimeDelta::from_millis(40),
+            DeviceKind::Lock => TimeDelta::from_millis(80),
+            DeviceKind::Thermal | DeviceKind::Appliance => TimeDelta::from_millis(60),
+            DeviceKind::Motorized => TimeDelta::from_millis(120),
+            DeviceKind::Robot => TimeDelta::from_millis(150),
+            DeviceKind::Sprinkler => TimeDelta::from_millis(90),
+            DeviceKind::Industrial => TimeDelta::from_millis(50),
+        }
+    }
+}
+
+/// Static description of one device in a home.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Dense id (index into per-device arrays).
+    pub id: DeviceId,
+    /// Unique human-readable name.
+    pub name: String,
+    /// Category.
+    pub kind: DeviceKind,
+    /// State before any routine runs.
+    pub initial: Value,
+}
+
+/// An immutable catalog of devices: the "smart home" the engine manages.
+#[derive(Debug, Clone, Default)]
+pub struct Home {
+    devices: Vec<DeviceSpec>,
+    by_name: HashMap<String, DeviceId>,
+}
+
+impl Home {
+    /// Starts building a home.
+    pub fn builder() -> HomeBuilder {
+        HomeBuilder { home: Home::default() }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// `true` if the home has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// All device specs, ordered by id.
+    pub fn devices(&self) -> &[DeviceSpec] {
+        &self.devices
+    }
+
+    /// Looks a device up by id.
+    pub fn get(&self, id: DeviceId) -> Result<&DeviceSpec> {
+        self.devices
+            .get(id.index())
+            .ok_or(Error::UnknownDevice(id))
+    }
+
+    /// Looks a device up by name.
+    pub fn lookup(&self, name: &str) -> Option<DeviceId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Name of a device (or a placeholder for unknown ids).
+    pub fn name(&self, id: DeviceId) -> &str {
+        self.devices
+            .get(id.index())
+            .map(|d| d.name.as_str())
+            .unwrap_or("<unknown>")
+    }
+
+    /// Initial state map, keyed by device id.
+    pub fn initial_states(&self) -> std::collections::BTreeMap<DeviceId, Value> {
+        self.devices.iter().map(|d| (d.id, d.initial)).collect()
+    }
+
+    /// Ids of all devices.
+    pub fn ids(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.devices.iter().map(|d| d.id)
+    }
+}
+
+/// Builder for [`Home`].
+#[derive(Debug, Clone)]
+pub struct HomeBuilder {
+    home: Home,
+}
+
+impl HomeBuilder {
+    /// Adds a device with the kind's default initial state; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken (homes are authored statically;
+    /// a duplicate is a programming error in the workload).
+    pub fn device(&mut self, name: impl Into<String>, kind: DeviceKind) -> DeviceId {
+        self.device_with_state(name, kind, kind.initial_state())
+    }
+
+    /// Adds a device with an explicit initial state; returns its id.
+    pub fn device_with_state(
+        &mut self,
+        name: impl Into<String>,
+        kind: DeviceKind,
+        initial: Value,
+    ) -> DeviceId {
+        let name = name.into();
+        assert!(
+            !self.home.by_name.contains_key(&name),
+            "duplicate device name {name:?}"
+        );
+        let id = DeviceId(self.home.devices.len() as u32);
+        self.home.by_name.insert(name.clone(), id);
+        self.home.devices.push(DeviceSpec {
+            id,
+            name,
+            kind,
+            initial,
+        });
+        id
+    }
+
+    /// Adds `n` devices named `prefix_0 .. prefix_{n-1}`; returns their ids.
+    pub fn device_group(
+        &mut self,
+        prefix: &str,
+        kind: DeviceKind,
+        n: usize,
+    ) -> Vec<DeviceId> {
+        (0..n)
+            .map(|i| self.device(format!("{prefix}_{i}"), kind))
+            .collect()
+    }
+
+    /// Finalizes the home.
+    pub fn build(self) -> Home {
+        self.home
+    }
+}
+
+/// A generic N-device home of smart plugs, used by microbenchmarks
+/// (Table 3 defaults to 25 devices).
+pub fn plug_home(n: usize) -> Home {
+    let mut b = Home::builder();
+    b.device_group("plug", DeviceKind::Plug, n);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = Home::builder();
+        let a = b.device("lamp", DeviceKind::Light);
+        let c = b.device("lock", DeviceKind::Lock);
+        let home = b.build();
+        assert_eq!(a, DeviceId(0));
+        assert_eq!(c, DeviceId(1));
+        assert_eq!(home.len(), 2);
+        assert_eq!(home.lookup("lamp"), Some(a));
+        assert_eq!(home.lookup("nope"), None);
+        assert_eq!(home.name(a), "lamp");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate device name")]
+    fn duplicate_names_panic() {
+        let mut b = Home::builder();
+        b.device("x", DeviceKind::Light);
+        b.device("x", DeviceKind::Plug);
+    }
+
+    #[test]
+    fn initial_states_follow_kind() {
+        let mut b = Home::builder();
+        let light = b.device("l", DeviceKind::Light);
+        let thermo = b.device("t", DeviceKind::Thermal);
+        let home = b.build();
+        let init = home.initial_states();
+        assert_eq!(init[&light], Value::OFF);
+        assert_eq!(init[&thermo], Value::Int(70));
+    }
+
+    #[test]
+    fn device_group_names_and_count() {
+        let mut b = Home::builder();
+        let ids = b.device_group("plug", DeviceKind::Plug, 3);
+        let home = b.build();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(home.lookup("plug_2"), Some(ids[2]));
+    }
+
+    #[test]
+    fn plug_home_has_n_devices() {
+        let home = plug_home(25);
+        assert_eq!(home.len(), 25);
+        assert!(home.get(DeviceId(24)).is_ok());
+        assert!(home.get(DeviceId(25)).is_err());
+    }
+
+    #[test]
+    fn unknown_device_is_an_error() {
+        let home = plug_home(1);
+        assert_eq!(
+            home.get(DeviceId(9)).unwrap_err(),
+            Error::UnknownDevice(DeviceId(9))
+        );
+        assert_eq!(home.name(DeviceId(9)), "<unknown>");
+    }
+}

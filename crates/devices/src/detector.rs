@@ -1,0 +1,158 @@
+//! The edge's failure detector (§6).
+//!
+//! SafeHome explicitly checks devices by periodically (1 s) sending pings;
+//! a device that does not respond within a timeout (100 ms) is marked
+//! failed. Any message from the device — including command replies —
+//! counts as an *implicit ack*, pushing the next ping out and reducing
+//! ping traffic.
+//!
+//! The detector is a pure state machine: the harness schedules probe
+//! timers from [`FailureDetector::next_probe_at`], reports probe/command
+//! outcomes through [`FailureDetector::on_ack`] and
+//! [`FailureDetector::on_timeout`], and forwards the returned
+//! [`Detection`]s to the engine. A failure *event* in the paper's
+//! serialization sense is the moment the detector reports it, not the
+//! moment the device actually died.
+
+use safehome_types::{DeviceId, TimeDelta, Timestamp};
+
+/// A change in the detector's belief about a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detection {
+    /// The device is now believed down.
+    Down(DeviceId),
+    /// The device is now believed back up.
+    Up(DeviceId),
+}
+
+/// Ping-based failure detector with implicit acks.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    interval: TimeDelta,
+    timeout: TimeDelta,
+    believed_up: Vec<bool>,
+    last_heard: Vec<Timestamp>,
+}
+
+impl FailureDetector {
+    /// Creates a detector for `n` devices, all initially believed up.
+    pub fn new(n: usize, interval: TimeDelta, timeout: TimeDelta) -> Self {
+        FailureDetector {
+            interval,
+            timeout,
+            believed_up: vec![true; n],
+            last_heard: vec![Timestamp::ZERO; n],
+        }
+    }
+
+    /// Creates a detector with the paper's defaults (1 s ping, 100 ms
+    /// timeout).
+    pub fn with_defaults(n: usize) -> Self {
+        Self::new(n, TimeDelta::from_secs(1), TimeDelta::from_millis(100))
+    }
+
+    /// The ping timeout (how long after a probe a silent device is
+    /// declared down).
+    pub fn timeout(&self) -> TimeDelta {
+        self.timeout
+    }
+
+    /// Current belief about a device.
+    pub fn believed_up(&self, d: DeviceId) -> bool {
+        self.believed_up[d.index()]
+    }
+
+    /// When the next explicit ping for `d` is due: one interval after the
+    /// device was last heard from (implicit acks push this out).
+    pub fn next_probe_at(&self, d: DeviceId) -> Timestamp {
+        self.last_heard[d.index()] + self.interval
+    }
+
+    /// `true` if a probe scheduled for `now` is still warranted (no
+    /// implicit ack arrived in the meantime). Lazy timer invalidation.
+    pub fn probe_due(&self, d: DeviceId, now: Timestamp) -> bool {
+        now >= self.next_probe_at(d)
+    }
+
+    /// Records a message from the device (ping reply or any command
+    /// reply). Returns `Some(Detection::Up)` if the device was believed
+    /// down.
+    pub fn on_ack(&mut self, d: DeviceId, now: Timestamp) -> Option<Detection> {
+        self.last_heard[d.index()] = now;
+        if !self.believed_up[d.index()] {
+            self.believed_up[d.index()] = true;
+            Some(Detection::Up(d))
+        } else {
+            None
+        }
+    }
+
+    /// Records a probe (or command) that got no reply within the timeout.
+    /// Returns `Some(Detection::Down)` if the device was believed up.
+    pub fn on_timeout(&mut self, d: DeviceId, now: Timestamp) -> Option<Detection> {
+        // A timed-out probe still counts as "we tried": schedule the next
+        // probe an interval from now, not from the stale last_heard.
+        self.last_heard[d.index()] = now;
+        if self.believed_up[d.index()] {
+            self.believed_up[d.index()] = false;
+            Some(Detection::Down(d))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn starts_believing_up() {
+        let det = FailureDetector::with_defaults(3);
+        assert!(det.believed_up(DeviceId(0)));
+        assert_eq!(det.next_probe_at(DeviceId(0)), t(1_000));
+        assert_eq!(det.timeout(), TimeDelta::from_millis(100));
+    }
+
+    #[test]
+    fn timeout_flips_belief_once() {
+        let mut det = FailureDetector::with_defaults(1);
+        let d = DeviceId(0);
+        assert_eq!(det.on_timeout(d, t(1_100)), Some(Detection::Down(d)));
+        assert_eq!(det.on_timeout(d, t(2_100)), None, "already believed down");
+        assert!(!det.believed_up(d));
+    }
+
+    #[test]
+    fn ack_recovers_belief() {
+        let mut det = FailureDetector::with_defaults(1);
+        let d = DeviceId(0);
+        det.on_timeout(d, t(1_100));
+        assert_eq!(det.on_ack(d, t(5_000)), Some(Detection::Up(d)));
+        assert_eq!(det.on_ack(d, t(5_100)), None, "already believed up");
+    }
+
+    #[test]
+    fn implicit_ack_defers_probe() {
+        let mut det = FailureDetector::with_defaults(1);
+        let d = DeviceId(0);
+        // A command reply at t=700 means no ping needed until t=1700.
+        det.on_ack(d, t(700));
+        assert_eq!(det.next_probe_at(d), t(1_700));
+        assert!(!det.probe_due(d, t(1_000)));
+        assert!(det.probe_due(d, t(1_700)));
+    }
+
+    #[test]
+    fn probe_schedule_advances_after_timeout() {
+        let mut det = FailureDetector::with_defaults(1);
+        let d = DeviceId(0);
+        det.on_timeout(d, t(1_100));
+        // The detector keeps probing a down device so a restart is noticed.
+        assert_eq!(det.next_probe_at(d), t(2_100));
+    }
+}

@@ -1,0 +1,379 @@
+//! The virtual device state machine.
+
+use std::collections::VecDeque;
+
+use safehome_types::{Action, CmdIdx, RoutineId, TimeDelta, Timestamp, Value};
+
+/// Whether the device is reachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Powered and responding.
+    Up,
+    /// Crashed / unplugged / unreachable.
+    Down,
+}
+
+/// A command dispatched to the device, as the device sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchTicket {
+    /// Owning routine (rollback writes use the routine being rolled back).
+    pub routine: Option<RoutineId>,
+    /// Command index within the routine (meaningless for rollbacks).
+    pub idx: CmdIdx,
+    /// The action to perform.
+    pub action: Action,
+    /// Exclusive-use duration of the action.
+    pub duration: TimeDelta,
+    /// `true` when this dispatch is a rollback write.
+    pub rollback: bool,
+}
+
+/// What the device reports back to the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceEvent {
+    /// The command completed successfully at `at`; if it was a write the
+    /// device state changed to `new_state`; reads report `observed`.
+    Completed {
+        /// The finished dispatch.
+        ticket: DispatchTicket,
+        /// New state if the action was a write that took effect.
+        new_state: Option<Value>,
+        /// Observed value for reads.
+        observed: Option<Value>,
+    },
+    /// The command failed (device was or went down before completion).
+    Failed {
+        /// The failed dispatch.
+        ticket: DispatchTicket,
+    },
+}
+
+/// In-flight command bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    ticket: DispatchTicket,
+    done_at: Timestamp,
+    /// Set when the device failed after this command started; the
+    /// completion then reports failure.
+    poisoned: bool,
+}
+
+/// A simulated smart-home device.
+///
+/// The device executes at most one command at a time; concurrent
+/// dispatches (possible under Weak Visibility, where no locks exist) queue
+/// FIFO. State changes take effect at command *completion* — a command
+/// interrupted by a failure has no effect, matching the fail-stop model.
+///
+/// The harness drives the machine with three calls:
+/// [`dispatch`](VirtualDevice::dispatch) when the engine sends a command,
+/// [`on_completion_timer`](VirtualDevice::on_completion_timer) when a
+/// previously returned completion instant arrives, and
+/// [`fail`](VirtualDevice::fail) / [`restart`](VirtualDevice::restart) for
+/// injected failures.
+#[derive(Debug)]
+pub struct VirtualDevice {
+    state: Value,
+    health: Health,
+    inflight: Option<InFlight>,
+    pending: VecDeque<(DispatchTicket, TimeDelta)>,
+    /// Actuation latency added to every command's duration.
+    actuation: TimeDelta,
+    /// How long a dispatch to a down device takes to be reported failed
+    /// (the edge's command timeout, 100 ms in the paper).
+    fail_reply: TimeDelta,
+}
+
+impl VirtualDevice {
+    /// Creates an idle, healthy device.
+    pub fn new(initial: Value, actuation: TimeDelta, fail_reply: TimeDelta) -> Self {
+        VirtualDevice {
+            state: initial,
+            health: Health::Up,
+            inflight: None,
+            pending: VecDeque::new(),
+            actuation,
+            fail_reply,
+        }
+    }
+
+    /// Externally visible state.
+    pub fn state(&self) -> Value {
+        self.state
+    }
+
+    /// Health as ground truth (the detector only learns this via probes).
+    pub fn health(&self) -> Health {
+        self.health
+    }
+
+    /// `true` if a command is executing.
+    pub fn is_busy(&self) -> bool {
+        self.inflight.is_some()
+    }
+
+    /// Number of dispatches waiting behind the in-flight one.
+    pub fn queue_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Sends a command. Returns the instant at which the device will next
+    /// report something, if the caller needs to schedule a new completion
+    /// timer (i.e. the command started immediately). Queued commands are
+    /// picked up by the completion of their predecessor.
+    pub fn dispatch(&mut self, ticket: DispatchTicket, now: Timestamp) -> Option<Timestamp> {
+        if self.health == Health::Down {
+            // Unreachable device: the edge notices after its command
+            // timeout. Model as an in-flight entry that is already
+            // poisoned so the reply is a failure.
+            let done_at = now + self.fail_reply;
+            if self.inflight.is_some() {
+                self.pending.push_back((ticket, TimeDelta::ZERO));
+                return None;
+            }
+            self.inflight = Some(InFlight {
+                ticket,
+                done_at,
+                poisoned: true,
+            });
+            return Some(done_at);
+        }
+        if self.inflight.is_some() {
+            self.pending.push_back((ticket, self.actuation));
+            return None;
+        }
+        let done_at = now + self.actuation + ticket.duration;
+        self.inflight = Some(InFlight {
+            ticket,
+            done_at,
+            poisoned: false,
+        });
+        Some(done_at)
+    }
+
+    /// Handles a completion timer for instant `now`. Returns the event to
+    /// report (if the timer matches the in-flight command) and the next
+    /// completion instant when a queued command starts.
+    ///
+    /// Stale timers (for commands already resolved by a failure) return
+    /// `(None, None)` and must be ignored by the caller.
+    pub fn on_completion_timer(&mut self, now: Timestamp) -> (Option<DeviceEvent>, Option<Timestamp>) {
+        let Some(fl) = self.inflight else {
+            return (None, None);
+        };
+        if fl.done_at != now {
+            // A failure rescheduled the reply; this timer is stale.
+            return (None, None);
+        }
+        self.inflight = None;
+        let event = if fl.poisoned {
+            DeviceEvent::Failed { ticket: fl.ticket }
+        } else {
+            let (new_state, observed) = match fl.ticket.action {
+                Action::Set(v) => {
+                    self.state = v;
+                    (Some(v), None)
+                }
+                Action::Read { .. } => (None, Some(self.state)),
+            };
+            DeviceEvent::Completed {
+                ticket: fl.ticket,
+                new_state,
+                observed,
+            }
+        };
+        let next = self.start_next(now);
+        (Some(event), next)
+    }
+
+    fn start_next(&mut self, now: Timestamp) -> Option<Timestamp> {
+        let (ticket, actuation) = self.pending.pop_front()?;
+        if self.health == Health::Down {
+            let done_at = now + self.fail_reply;
+            self.inflight = Some(InFlight {
+                ticket,
+                done_at,
+                poisoned: true,
+            });
+            Some(done_at)
+        } else {
+            let done_at = now + actuation + ticket.duration;
+            self.inflight = Some(InFlight {
+                ticket,
+                done_at,
+                poisoned: false,
+            });
+            Some(done_at)
+        }
+    }
+
+    /// Injects a fail-stop event. An in-flight command is poisoned: it
+    /// will report failure at `now + fail_reply` (the edge's command
+    /// timeout), not at its original completion time. Returns the new
+    /// reply instant if the caller must reschedule the completion timer.
+    pub fn fail(&mut self, now: Timestamp) -> Option<Timestamp> {
+        self.health = Health::Down;
+        if let Some(fl) = &mut self.inflight {
+            if !fl.poisoned {
+                fl.poisoned = true;
+                fl.done_at = now + self.fail_reply;
+                return Some(fl.done_at);
+            }
+        }
+        None
+    }
+
+    /// Injects a restart: the device is reachable again. Smart relays
+    /// retain their last committed physical state across restarts.
+    pub fn restart(&mut self) {
+        self.health = Health::Up;
+    }
+
+    /// Forces the physical state (used only by tests and the emulator's
+    /// admin interface).
+    pub fn force_state(&mut self, v: Value) {
+        self.state = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ticket(routine: u64, idx: u16, action: Action, dur_ms: u64) -> DispatchTicket {
+        DispatchTicket {
+            routine: Some(RoutineId(routine)),
+            idx: CmdIdx(idx),
+            action,
+            duration: TimeDelta::from_millis(dur_ms),
+            rollback: false,
+        }
+    }
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn device() -> VirtualDevice {
+        VirtualDevice::new(
+            Value::OFF,
+            TimeDelta::from_millis(20),
+            TimeDelta::from_millis(100),
+        )
+    }
+
+    #[test]
+    fn set_command_changes_state_at_completion() {
+        let mut d = device();
+        let done = d
+            .dispatch(ticket(1, 0, Action::Set(Value::ON), 500), t(0))
+            .unwrap();
+        assert_eq!(done, t(520)); // actuation 20 + duration 500
+        assert_eq!(d.state(), Value::OFF, "no effect before completion");
+        let (ev, next) = d.on_completion_timer(done);
+        assert_eq!(next, None);
+        match ev.unwrap() {
+            DeviceEvent::Completed { new_state, .. } => assert_eq!(new_state, Some(Value::ON)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(d.state(), Value::ON);
+    }
+
+    #[test]
+    fn read_reports_current_state() {
+        let mut d = device();
+        d.force_state(Value::Int(42));
+        let done = d
+            .dispatch(ticket(1, 0, Action::Read { expect: None }, 0), t(0))
+            .unwrap();
+        let (ev, _) = d.on_completion_timer(done);
+        match ev.unwrap() {
+            DeviceEvent::Completed { observed, new_state, .. } => {
+                assert_eq!(observed, Some(Value::Int(42)));
+                assert_eq!(new_state, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_dispatches_queue_fifo() {
+        let mut d = device();
+        let first = d
+            .dispatch(ticket(1, 0, Action::Set(Value::ON), 100), t(0))
+            .unwrap();
+        assert!(d
+            .dispatch(ticket(2, 0, Action::Set(Value::OFF), 100), t(10))
+            .is_none());
+        assert_eq!(d.queue_len(), 1);
+        let (ev1, next) = d.on_completion_timer(first);
+        assert!(matches!(ev1, Some(DeviceEvent::Completed { .. })));
+        let second = next.expect("queued command starts");
+        assert_eq!(second, first + TimeDelta::from_millis(20 + 100));
+        let (ev2, next2) = d.on_completion_timer(second);
+        assert!(matches!(ev2, Some(DeviceEvent::Completed { .. })));
+        assert_eq!(next2, None);
+        assert_eq!(d.state(), Value::OFF, "last writer wins at the device");
+    }
+
+    #[test]
+    fn failure_mid_command_poisons_and_reschedules() {
+        let mut d = device();
+        let done = d
+            .dispatch(ticket(1, 0, Action::Set(Value::ON), 60_000), t(0))
+            .unwrap();
+        let new_reply = d.fail(t(1_000)).expect("reply moved to failure timeout");
+        assert_eq!(new_reply, t(1_100));
+        // The original completion timer is now stale.
+        assert_eq!(d.on_completion_timer(done), (None, None));
+        let (ev, _) = d.on_completion_timer(new_reply);
+        assert!(matches!(ev, Some(DeviceEvent::Failed { .. })));
+        assert_eq!(d.state(), Value::OFF, "interrupted write has no effect");
+    }
+
+    #[test]
+    fn dispatch_to_down_device_fails_after_timeout() {
+        let mut d = device();
+        d.fail(t(0));
+        let reply = d
+            .dispatch(ticket(3, 1, Action::Set(Value::ON), 500), t(200))
+            .unwrap();
+        assert_eq!(reply, t(300));
+        let (ev, _) = d.on_completion_timer(reply);
+        assert!(matches!(ev, Some(DeviceEvent::Failed { .. })));
+    }
+
+    #[test]
+    fn restart_preserves_state() {
+        let mut d = device();
+        let done = d
+            .dispatch(ticket(1, 0, Action::Set(Value::ON), 10), t(0))
+            .unwrap();
+        d.on_completion_timer(done);
+        d.fail(t(100));
+        d.restart();
+        assert_eq!(d.health(), Health::Up);
+        assert_eq!(d.state(), Value::ON);
+    }
+
+    #[test]
+    fn queued_command_behind_failure_also_fails() {
+        let mut d = device();
+        d.dispatch(ticket(1, 0, Action::Set(Value::ON), 1_000), t(0));
+        d.dispatch(ticket(2, 0, Action::Set(Value::OFF), 1_000), t(5));
+        let reply = d.fail(t(10)).unwrap();
+        let (ev, next) = d.on_completion_timer(reply);
+        assert!(matches!(ev, Some(DeviceEvent::Failed { .. })));
+        // The queued command starts on the dead device and fails too.
+        let reply2 = next.unwrap();
+        let (ev2, next2) = d.on_completion_timer(reply2);
+        assert!(matches!(ev2, Some(DeviceEvent::Failed { .. })));
+        assert_eq!(next2, None);
+    }
+
+    #[test]
+    fn stale_timer_is_ignored_when_idle() {
+        let mut d = device();
+        assert_eq!(d.on_completion_timer(t(99)), (None, None));
+    }
+}

@@ -1,0 +1,148 @@
+//! Failure injection plans.
+
+use safehome_sim::SimRng;
+use safehome_types::{DeviceId, TimeDelta, Timestamp};
+
+/// One injected ground-truth event (the detector sees it later).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// The device.
+    pub device: DeviceId,
+    /// When the event happens.
+    pub at: Timestamp,
+    /// `true` = fail-stop, `false` = restart.
+    pub is_failure: bool,
+}
+
+/// A schedule of failures and restarts to inject into a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailurePlan {
+    events: Vec<FailureEvent>,
+}
+
+impl FailurePlan {
+    /// An empty plan (no failures).
+    pub fn none() -> Self {
+        FailurePlan::default()
+    }
+
+    /// Adds a fail-stop event.
+    pub fn fail(mut self, device: DeviceId, at: Timestamp) -> Self {
+        self.events.push(FailureEvent {
+            device,
+            at,
+            is_failure: true,
+        });
+        self
+    }
+
+    /// Adds a restart event.
+    pub fn restart(mut self, device: DeviceId, at: Timestamp) -> Self {
+        self.events.push(FailureEvent {
+            device,
+            at,
+            is_failure: false,
+        });
+        self
+    }
+
+    /// Adds a fail-at / recover-after pair.
+    pub fn fail_recover(self, device: DeviceId, at: Timestamp, down_for: TimeDelta) -> Self {
+        self.fail(device, at).restart(device, at + down_for)
+    }
+
+    /// The paper's §7.4 setup: a `fraction` of the `n` devices fail-stop
+    /// at a uniformly random point inside `[0, horizon)` and never recover.
+    pub fn random_fail_stop(
+        n: usize,
+        fraction: f64,
+        horizon: Timestamp,
+        rng: &mut SimRng,
+    ) -> Self {
+        let mut ids: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut ids);
+        let count = ((n as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+        let mut plan = FailurePlan::none();
+        for &i in ids.iter().take(count) {
+            let at = Timestamp::from_millis(rng.int_in(0, horizon.as_millis().max(1) - 1));
+            plan = plan.fail(DeviceId(i as u32), at);
+        }
+        plan
+    }
+
+    /// Events sorted by time (stable for equal instants).
+    pub fn sorted_events(&self) -> Vec<FailureEvent> {
+        let mut evs = self.events.clone();
+        evs.sort_by_key(|e| e.at);
+        evs
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn fail_recover_produces_pair() {
+        let plan = FailurePlan::none().fail_recover(DeviceId(2), t(100), TimeDelta::from_secs(5));
+        let evs = plan.sorted_events();
+        assert_eq!(evs.len(), 2);
+        assert!(evs[0].is_failure);
+        assert_eq!(evs[0].at, t(100));
+        assert!(!evs[1].is_failure);
+        assert_eq!(evs[1].at, t(5_100));
+    }
+
+    #[test]
+    fn random_fail_stop_matches_fraction() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let plan = FailurePlan::random_fail_stop(20, 0.25, t(10_000), &mut rng);
+        assert_eq!(plan.len(), 5);
+        for e in plan.sorted_events() {
+            assert!(e.is_failure);
+            assert!(e.at < t(10_000));
+            assert!(e.device.index() < 20);
+        }
+    }
+
+    #[test]
+    fn random_fail_stop_unique_devices() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let plan = FailurePlan::random_fail_stop(10, 1.0, t(1_000), &mut rng);
+        let mut devs: Vec<u32> = plan.sorted_events().iter().map(|e| e.device.0).collect();
+        devs.sort_unstable();
+        devs.dedup();
+        assert_eq!(devs.len(), 10, "each device fails at most once");
+    }
+
+    #[test]
+    fn sorted_events_are_time_ordered() {
+        let plan = FailurePlan::none()
+            .fail(DeviceId(0), t(500))
+            .fail(DeviceId(1), t(100))
+            .restart(DeviceId(1), t(300));
+        let evs = plan.sorted_events();
+        assert!(evs.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn zero_fraction_is_empty() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let plan = FailurePlan::random_fail_stop(20, 0.0, t(1_000), &mut rng);
+        assert!(plan.is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! Device substrate for SafeHome.
+//!
+//! The paper runs SafeHome against TP-Link smart plugs on a home LAN; this
+//! crate is the simulated equivalent (see DESIGN.md, substitutions). It
+//! models each device as a small state machine ([`device::VirtualDevice`])
+//! that is *up* or *down*, executes at most one command at a time (extra
+//! dispatches queue FIFO, which is what makes Weak Visibility interleave),
+//! and changes its externally visible state when a command completes.
+//!
+//! The crate also provides:
+//! - [`catalog`]: named device catalogs ("kitchen_light", "garage_door",
+//!   ...) used by the scenario workloads;
+//! - [`latency`]: actuation latency models;
+//! - [`failure`]: fail-stop / fail-recovery injection plans;
+//! - [`detector`]: the edge's ping-based failure detector with implicit
+//!   acks (§6: 1 s ping period, 100 ms timeout).
+
+pub mod catalog;
+pub mod detector;
+pub mod device;
+pub mod failure;
+pub mod latency;
+
+pub use catalog::{DeviceKind, DeviceSpec, Home, HomeBuilder};
+pub use detector::{Detection, FailureDetector};
+pub use device::{DeviceEvent, DispatchTicket, Health, VirtualDevice};
+pub use failure::{FailureEvent, FailurePlan};
+pub use latency::LatencyModel;

@@ -1,0 +1,16 @@
+//! Simulation harness: the paper's "emulation" (§7.1).
+//!
+//! Binds the pure SafeHome engine to virtual devices, the ping-based
+//! failure detector, a failure-injection plan and a submission schedule,
+//! then runs the whole thing to quiescence over the discrete-event queue,
+//! producing a [`safehome_types::trace::Trace`] from which every §7.1
+//! metric is computed.
+//!
+//! The harness is deterministic: equal [`RunSpec`]s (including the seed)
+//! produce identical traces.
+
+pub mod sim;
+pub mod spec;
+
+pub use sim::{run, RunOutput};
+pub use spec::{Arrival, RunSpec, Submission};

@@ -1,0 +1,630 @@
+//! The discrete-event run driver.
+
+use std::collections::BTreeMap;
+
+use safehome_core::{Effect, Engine, Input, TimerId};
+use safehome_devices::{Detection, DeviceEvent, DispatchTicket, FailureDetector, Health, VirtualDevice};
+use safehome_sim::{EventQueue, SimRng};
+use safehome_types::{
+    trace::{CmdOutcome, Trace, TraceEventKind},
+    DeviceId, RoutineId, TimeDelta, Timestamp, Value,
+};
+
+use crate::spec::{Arrival, RunSpec};
+
+/// Result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The complete execution trace.
+    pub trace: Trace,
+    /// `false` if the run hit the safety horizon before quiescence (a
+    /// deadlock or an unsatisfiable submission dependency).
+    pub completed: bool,
+    /// The engine's committed device states at the end.
+    pub committed_states: BTreeMap<DeviceId, Value>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Submit(usize),
+    /// A dispatched command arrives at its device after network latency;
+    /// independent per-call latency is what lets concurrent routines race
+    /// at the devices (the source of Fig. 1's incongruence under WV).
+    DeviceArrive(DeviceId, DispatchTicket),
+    DeviceComplete(DeviceId),
+    InjectFail(DeviceId),
+    InjectRestart(DeviceId),
+    Probe(DeviceId),
+    ProbeTimeout(DeviceId),
+    EngineTimer(TimerId),
+}
+
+fn is_material(ev: &Ev) -> bool {
+    !matches!(ev, Ev::Probe(_) | Ev::ProbeTimeout(_))
+}
+
+struct Driver {
+    engine: Engine,
+    devices: Vec<VirtualDevice>,
+    detector: FailureDetector,
+    queue: EventQueue<Ev>,
+    rng: SimRng,
+    trace: Trace,
+    latency: safehome_devices::LatencyModel,
+    /// Outstanding material (non-probe) events.
+    material: usize,
+    /// `After` submissions not yet scheduled, keyed by predecessor index.
+    deferred: BTreeMap<usize, Vec<(usize, TimeDelta)>>,
+    unscheduled: usize,
+    /// Submission index → routine id (once submitted).
+    routine_of_sub: Vec<Option<RoutineId>>,
+    sub_of_routine: BTreeMap<RoutineId, usize>,
+}
+
+impl Driver {
+    fn schedule(&mut self, at: Timestamp, ev: Ev) {
+        if is_material(&ev) {
+            self.material += 1;
+        }
+        self.queue.schedule(at, ev);
+    }
+
+    fn emit_detection(&mut self, det: Detection, now: Timestamp) {
+        let (kind, input) = match det {
+            Detection::Down(d) => (
+                TraceEventKind::DeviceDownDetected { device: d },
+                Input::DeviceDown { device: d },
+            ),
+            Detection::Up(d) => (
+                TraceEventKind::DeviceUpDetected { device: d },
+                Input::DeviceUp { device: d },
+            ),
+        };
+        self.trace.push(now, kind);
+        let effects = self.engine.handle(input, now);
+        self.apply_effects(effects, now);
+    }
+
+    fn apply_effects(&mut self, effects: Vec<Effect>, now: Timestamp) {
+        for e in effects {
+            match e {
+                Effect::Dispatch {
+                    routine,
+                    idx,
+                    device,
+                    action,
+                    duration,
+                    rollback,
+                } => {
+                    if !rollback {
+                        self.trace.push(
+                            now,
+                            TraceEventKind::CommandDispatched { routine, idx, device },
+                        );
+                    }
+                    let net = self.latency.sample(&mut self.rng);
+                    let ticket = DispatchTicket {
+                        routine: Some(routine),
+                        idx,
+                        action,
+                        duration,
+                        rollback,
+                    };
+                    self.schedule(now + net, Ev::DeviceArrive(device, ticket));
+                }
+                Effect::SetTimer { timer, at } => self.schedule(at, Ev::EngineTimer(timer)),
+                Effect::Started { routine } => {
+                    self.trace.push(now, TraceEventKind::Started { routine });
+                }
+                Effect::Committed { routine } => {
+                    self.trace.push(now, TraceEventKind::Committed { routine });
+                    self.release_dependents(routine, now);
+                }
+                Effect::Aborted {
+                    routine,
+                    reason,
+                    executed,
+                    rolled_back,
+                } => {
+                    self.trace.push(
+                        now,
+                        TraceEventKind::Aborted { routine, reason, executed, rolled_back },
+                    );
+                    self.release_dependents(routine, now);
+                }
+                Effect::BestEffortSkipped { routine, idx, device } => {
+                    self.trace
+                        .push(now, TraceEventKind::BestEffortSkipped { routine, idx, device });
+                }
+                Effect::Feedback { .. } => {}
+            }
+        }
+    }
+
+    fn release_dependents(&mut self, routine: RoutineId, now: Timestamp) {
+        let Some(&sub) = self.sub_of_routine.get(&routine) else { return };
+        let Some(deps) = self.deferred.remove(&sub) else { return };
+        for (dep_index, delay) in deps {
+            self.unscheduled -= 1;
+            self.schedule(now + delay, Ev::Submit(dep_index));
+        }
+    }
+}
+
+/// Runs a spec to quiescence and returns its trace.
+///
+/// # Panics
+///
+/// Panics if a submission references an unknown device (specs are authored
+/// by the workload generators, which validate against the home).
+pub fn run(spec: &RunSpec) -> RunOutput {
+    let n = spec.home.len();
+    let initial = spec.home.initial_states();
+    let devices: Vec<VirtualDevice> = spec
+        .home
+        .devices()
+        .iter()
+        .map(|d| VirtualDevice::new(d.initial, TimeDelta::ZERO, spec.detect_timeout))
+        .collect();
+    let mut driver = Driver {
+        engine: Engine::new(spec.config.clone(), &initial),
+        devices,
+        detector: FailureDetector::new(n, spec.ping_interval, spec.detect_timeout),
+        queue: EventQueue::new(),
+        rng: SimRng::seed_from_u64(spec.seed),
+        trace: Trace::new(initial),
+        latency: spec.latency,
+        material: 0,
+        deferred: BTreeMap::new(),
+        unscheduled: 0,
+        routine_of_sub: vec![None; spec.submissions.len()],
+        sub_of_routine: BTreeMap::new(),
+    };
+    // Schedule the workload.
+    for (i, s) in spec.submissions.iter().enumerate() {
+        match s.arrival {
+            Arrival::At(at) => driver.schedule(at, Ev::Submit(i)),
+            Arrival::After { index, delay } => {
+                assert!(index < spec.submissions.len(), "dangling dependency");
+                driver.deferred.entry(index).or_default().push((i, delay));
+                driver.unscheduled += 1;
+            }
+        }
+    }
+    // Schedule ground-truth failures and the detector's probe loops.
+    for ev in spec.failures.sorted_events() {
+        let kind = if ev.is_failure {
+            Ev::InjectFail(ev.device)
+        } else {
+            Ev::InjectRestart(ev.device)
+        };
+        driver.schedule(ev.at, kind);
+    }
+    for d in spec.home.ids() {
+        let at = driver.detector.next_probe_at(d);
+        driver.queue.schedule(at, Ev::Probe(d)); // probes are immaterial
+    }
+
+    let mut completed = true;
+    loop {
+        if driver.material == 0 && driver.unscheduled == 0 && driver.engine.quiescent() {
+            break;
+        }
+        if driver.material == 0 && driver.engine.quiescent() && driver.unscheduled > 0 {
+            completed = false; // Unsatisfiable dependency chain.
+            break;
+        }
+        let Some((now, ev)) = driver.queue.pop() else {
+            completed = driver.engine.quiescent();
+            break;
+        };
+        if now > spec.max_time {
+            completed = false;
+            break;
+        }
+        if is_material(&ev) {
+            driver.material -= 1;
+        }
+        match ev {
+            Ev::Submit(i) => {
+                let routine = spec.submissions[i].routine.clone();
+                let (id, effects) = driver
+                    .engine
+                    .submit(routine.clone(), now)
+                    .expect("workload validated against home");
+                driver.routine_of_sub[i] = Some(id);
+                driver.sub_of_routine.insert(id, i);
+                driver.trace.record_submission(id, routine, now);
+                driver.apply_effects(effects, now);
+            }
+            Ev::DeviceArrive(d, ticket) => {
+                if let Some(at) = driver.devices[d.index()].dispatch(ticket, now) {
+                    driver.schedule(at, Ev::DeviceComplete(d));
+                }
+            }
+            Ev::InjectFail(d) => {
+                if let Some(reply_at) = driver.devices[d.index()].fail(now) {
+                    driver.schedule(reply_at, Ev::DeviceComplete(d));
+                }
+            }
+            Ev::InjectRestart(d) => driver.devices[d.index()].restart(),
+            Ev::DeviceComplete(d) => {
+                let (event, next) = driver.devices[d.index()].on_completion_timer(now);
+                if let Some(at) = next {
+                    driver.schedule(at, Ev::DeviceComplete(d));
+                }
+                match event {
+                    None => {} // Stale timer (failure moved the reply).
+                    Some(DeviceEvent::Completed { ticket, new_state, observed }) => {
+                        if let Some(v) = new_state {
+                            driver.trace.push(
+                                now,
+                                TraceEventKind::StateChanged {
+                                    device: d,
+                                    value: v,
+                                    by: ticket.routine,
+                                    rollback: ticket.rollback,
+                                },
+                            );
+                        }
+                        if let Some(det) = driver.detector.on_ack(d, now) {
+                            driver.emit_detection(det, now);
+                        }
+                        let routine = ticket.routine.expect("harness tickets carry routines");
+                        if !ticket.rollback {
+                            driver.trace.push(
+                                now,
+                                TraceEventKind::CommandCompleted {
+                                    routine,
+                                    idx: ticket.idx,
+                                    device: d,
+                                    outcome: CmdOutcome::Success { observed },
+                                },
+                            );
+                        }
+                        let effects = driver.engine.handle(
+                            Input::CommandResult {
+                                routine,
+                                idx: ticket.idx,
+                                device: d,
+                                success: true,
+                                observed,
+                                rollback: ticket.rollback,
+                            },
+                            now,
+                        );
+                        driver.apply_effects(effects, now);
+                    }
+                    Some(DeviceEvent::Failed { ticket }) => {
+                        // A dead command reply is also an implicit
+                        // detection: the edge times out on the call.
+                        if let Some(det) = driver.detector.on_timeout(d, now) {
+                            driver.emit_detection(det, now);
+                        }
+                        let routine = ticket.routine.expect("harness tickets carry routines");
+                        if !ticket.rollback {
+                            driver.trace.push(
+                                now,
+                                TraceEventKind::CommandCompleted {
+                                    routine,
+                                    idx: ticket.idx,
+                                    device: d,
+                                    outcome: CmdOutcome::Failed,
+                                },
+                            );
+                        }
+                        let effects = driver.engine.handle(
+                            Input::CommandResult {
+                                routine,
+                                idx: ticket.idx,
+                                device: d,
+                                success: false,
+                                observed: None,
+                                rollback: ticket.rollback,
+                            },
+                            now,
+                        );
+                        driver.apply_effects(effects, now);
+                    }
+                }
+            }
+            Ev::Probe(d) => {
+                if !driver.detector.probe_due(d, now) {
+                    // An implicit ack pushed the deadline; re-arm lazily.
+                    let at = driver.detector.next_probe_at(d);
+                    driver.queue.schedule(at, Ev::Probe(d));
+                } else if driver.devices[d.index()].health() == Health::Up {
+                    if let Some(det) = driver.detector.on_ack(d, now) {
+                        driver.emit_detection(det, now);
+                    }
+                    let at = driver.detector.next_probe_at(d);
+                    driver.queue.schedule(at, Ev::Probe(d));
+                } else {
+                    driver
+                        .queue
+                        .schedule(now + spec.detect_timeout, Ev::ProbeTimeout(d));
+                }
+            }
+            Ev::ProbeTimeout(d) => {
+                if driver.devices[d.index()].health() == Health::Up {
+                    // Restarted inside the probe window: counts as an ack.
+                    if let Some(det) = driver.detector.on_ack(d, now) {
+                        driver.emit_detection(det, now);
+                    }
+                } else if let Some(det) = driver.detector.on_timeout(d, now) {
+                    driver.emit_detection(det, now);
+                }
+                let at = driver.detector.next_probe_at(d);
+                driver.queue.schedule(at, Ev::Probe(d));
+            }
+            Ev::EngineTimer(timer) => {
+                let effects = driver.engine.handle(Input::Timer { timer }, now);
+                driver.apply_effects(effects, now);
+            }
+        }
+    }
+
+    driver.trace.final_order = driver.engine.witness_order();
+    driver.trace.end_states = spec
+        .home
+        .ids()
+        .map(|d| (d, driver.devices[d.index()].state()))
+        .collect();
+    RunOutput {
+        committed_states: driver.engine.committed_states(),
+        trace: driver.trace,
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Submission;
+    use safehome_core::{EngineConfig, VisibilityModel};
+    use safehome_devices::catalog::plug_home;
+    use safehome_devices::FailurePlan;
+    use safehome_types::trace::RoutineOutcome;
+    use safehome_types::Routine;
+
+    fn d(i: u32) -> DeviceId {
+        DeviceId(i)
+    }
+
+    fn all_models() -> Vec<VisibilityModel> {
+        vec![
+            VisibilityModel::Wv,
+            VisibilityModel::Gsv { strong: false },
+            VisibilityModel::Gsv { strong: true },
+            VisibilityModel::Psv,
+            VisibilityModel::ev(),
+            VisibilityModel::Ev { scheduler: safehome_core::SchedulerKind::Fcfs },
+            VisibilityModel::Ev { scheduler: safehome_core::SchedulerKind::Jit },
+        ]
+    }
+
+    fn simple_routine(devs: &[u32], v: Value) -> Routine {
+        let mut b = Routine::builder("r");
+        for &i in devs {
+            b = b.set(d(i), v, TimeDelta::from_millis(100));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_routine_completes_under_every_model() {
+        for model in all_models() {
+            let mut spec = RunSpec::new(plug_home(3), EngineConfig::new(model));
+            spec.submit(Submission::at(simple_routine(&[0, 1, 2], Value::ON), Timestamp::ZERO));
+            let out = run(&spec);
+            assert!(out.completed, "{model:?}");
+            assert_eq!(out.trace.committed().len(), 1, "{model:?}");
+            for i in 0..3 {
+                assert_eq!(out.trace.end_states[&d(i)], Value::ON, "{model:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut spec = RunSpec::new(plug_home(5), EngineConfig::new(VisibilityModel::ev()))
+                .with_seed(42);
+            for i in 0..5u64 {
+                spec.submit(Submission::at(
+                    simple_routine(&[(i % 5) as u32, ((i + 1) % 5) as u32], Value::ON),
+                    Timestamp::from_millis(i * 30),
+                ));
+            }
+            spec
+        };
+        let a = run(&mk());
+        let b = run(&mk());
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn chained_submission_waits_for_predecessor() {
+        let mut spec = RunSpec::new(plug_home(2), EngineConfig::new(VisibilityModel::ev()));
+        let first = spec.submit(Submission::at(simple_routine(&[0], Value::ON), Timestamp::ZERO));
+        spec.submit(Submission::after(
+            simple_routine(&[1], Value::ON),
+            first,
+            TimeDelta::from_secs(1),
+        ));
+        let out = run(&spec);
+        assert!(out.completed);
+        let ids = out.trace.submission_order();
+        let r1 = &out.trace.records[&ids[0]];
+        let r2 = &out.trace.records[&ids[1]];
+        assert_eq!(
+            r2.submitted,
+            r1.finished.unwrap() + TimeDelta::from_secs(1),
+            "dependent submitted exactly one second after predecessor"
+        );
+    }
+
+    #[test]
+    fn fail_stop_devices_abort_must_routines() {
+        // Device 0 dies before the routine reaches it.
+        let mut spec = RunSpec::new(plug_home(2), EngineConfig::new(VisibilityModel::ev()));
+        spec.failures = FailurePlan::none().fail(d(0), Timestamp::ZERO);
+        spec.submit(Submission::at(
+            simple_routine(&[1, 0], Value::ON),
+            Timestamp::from_secs(10), // well past detection
+        ));
+        let out = run(&spec);
+        assert!(out.completed);
+        let id = out.trace.submission_order()[0];
+        assert!(out.trace.records[&id].aborted());
+        // Failure event appears in the final order.
+        assert!(out
+            .trace
+            .final_order
+            .iter()
+            .any(|o| matches!(o, safehome_types::trace::OrderItem::Failure(dev) if *dev == d(0))));
+        // Device 1's ON was rolled back by the abort.
+        assert_eq!(out.trace.end_states[&d(1)], Value::OFF);
+    }
+
+    #[test]
+    fn failure_detection_is_recorded_within_interval_plus_timeout() {
+        let mut spec = RunSpec::new(plug_home(1), EngineConfig::new(VisibilityModel::ev()));
+        spec.failures = FailurePlan::none().fail(d(0), Timestamp::from_millis(2_500));
+        spec.submit(Submission::at(simple_routine(&[0], Value::ON), Timestamp::ZERO));
+        // A second, later submission keeps the run alive through the
+        // detection window (it aborts on the dead device, which is fine).
+        spec.submit(Submission::at(simple_routine(&[0], Value::ON), Timestamp::from_secs(5)));
+        let out = run(&spec);
+        let detect = out
+            .trace
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, TraceEventKind::DeviceDownDetected { .. }))
+            .expect("failure detected");
+        let lag = detect.at.since(Timestamp::from_millis(2_500));
+        assert!(
+            lag <= TimeDelta::from_millis(1_100),
+            "detection lag {lag} exceeds interval+timeout"
+        );
+    }
+
+    #[test]
+    fn recovery_is_detected_by_probes() {
+        let mut spec = RunSpec::new(plug_home(1), EngineConfig::new(VisibilityModel::ev()));
+        spec.failures = FailurePlan::none().fail_recover(
+            d(0),
+            Timestamp::from_millis(1_500),
+            TimeDelta::from_secs(3),
+        );
+        // A late routine keeps the run going past the recovery.
+        spec.submit(Submission::at(
+            simple_routine(&[0], Value::ON),
+            Timestamp::from_secs(10),
+        ));
+        let out = run(&spec);
+        assert!(out.completed);
+        assert!(out
+            .trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::DeviceUpDetected { .. })));
+        // The routine ran after recovery and succeeded.
+        let id = out.trace.submission_order()[0];
+        assert!(out.trace.records[&id].committed());
+        assert_eq!(out.trace.end_states[&d(0)], Value::ON);
+    }
+
+    #[test]
+    fn best_effort_skip_is_traced_and_routine_commits() {
+        let mut spec = RunSpec::new(plug_home(2), EngineConfig::new(VisibilityModel::ev()));
+        spec.failures = FailurePlan::none().fail(d(0), Timestamp::ZERO);
+        let r = Routine::builder("leave-home")
+            .set_best_effort(d(0), Value::ON, TimeDelta::from_millis(100))
+            .set(d(1), Value::ON, TimeDelta::from_millis(100))
+            .build();
+        spec.submit(Submission::at(r, Timestamp::from_secs(5)));
+        let out = run(&spec);
+        let id = out.trace.submission_order()[0];
+        let rec = &out.trace.records[&id];
+        assert_eq!(rec.outcome, Some(RoutineOutcome::Committed));
+        assert_eq!(rec.best_effort_skipped, 1);
+        assert_eq!(out.trace.end_states[&d(1)], Value::ON);
+    }
+
+    #[test]
+    fn wv_concurrent_opposing_routines_can_interleave() {
+        // Fig. 1's setup: all-ON vs all-OFF with a start offset smaller
+        // than the per-call network jitter ends incongruent for at least
+        // one seed under WV's open-loop dispatch.
+        let mut mixed = 0;
+        for seed in 0..20 {
+            let mut spec = RunSpec::new(plug_home(6), EngineConfig::new(VisibilityModel::Wv))
+                .with_seed(seed);
+            spec.submit(Submission::at(
+                simple_routine(&[0, 1, 2, 3, 4, 5], Value::ON),
+                Timestamp::ZERO,
+            ));
+            spec.submit(Submission::at(
+                simple_routine(&[0, 1, 2, 3, 4, 5], Value::OFF),
+                Timestamp::from_millis(10),
+            ));
+            let out = run(&spec);
+            let states: Vec<Value> = (0..6).map(|i| out.trace.end_states[&d(i)]).collect();
+            let all_on = states.iter().all(|&v| v == Value::ON);
+            let all_off = states.iter().all(|&v| v == Value::OFF);
+            if !all_on && !all_off {
+                mixed += 1;
+            }
+        }
+        assert!(mixed > 0, "WV should produce at least one incongruent end state");
+    }
+
+    #[test]
+    fn ev_concurrent_opposing_routines_stay_congruent() {
+        for seed in 0..20 {
+            let mut spec = RunSpec::new(plug_home(6), EngineConfig::new(VisibilityModel::ev()))
+                .with_seed(seed);
+            spec.submit(Submission::at(
+                simple_routine(&[0, 1, 2, 3, 4, 5], Value::ON),
+                Timestamp::ZERO,
+            ));
+            spec.submit(Submission::at(
+                simple_routine(&[0, 1, 2, 3, 4, 5], Value::OFF),
+                Timestamp::from_millis(10),
+            ));
+            let out = run(&spec);
+            assert!(out.completed);
+            let states: Vec<Value> = (0..6).map(|i| out.trace.end_states[&d(i)]).collect();
+            let all_on = states.iter().all(|&v| v == Value::ON);
+            let all_off = states.iter().all(|&v| v == Value::OFF);
+            assert!(all_on || all_off, "EV must serialize: {states:?} (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn pipelined_breakfast_is_faster_under_ev_than_gsv() {
+        let breakfast = || {
+            Routine::builder("breakfast")
+                .set(d(0), Value::ON, TimeDelta::from_secs(240))
+                .set(d(0), Value::OFF, TimeDelta::from_millis(100))
+                .set(d(1), Value::ON, TimeDelta::from_secs(300))
+                .set(d(1), Value::OFF, TimeDelta::from_millis(100))
+                .build()
+        };
+        let run_model = |model: VisibilityModel| {
+            let mut spec = RunSpec::new(plug_home(2), EngineConfig::new(model));
+            spec.submit(Submission::at(breakfast(), Timestamp::ZERO));
+            spec.submit(Submission::at(breakfast(), Timestamp::from_millis(10)));
+            let out = run(&spec);
+            assert!(out.completed);
+            out.trace.end_time()
+        };
+        let ev = run_model(VisibilityModel::ev());
+        let gsv = run_model(VisibilityModel::Gsv { strong: false });
+        assert!(
+            ev.as_millis() < gsv.as_millis(),
+            "EV ({ev}) should finish before GSV ({gsv})"
+        );
+    }
+}

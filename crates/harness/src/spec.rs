@@ -1,0 +1,141 @@
+//! Run specifications.
+
+use safehome_core::EngineConfig;
+use safehome_devices::{FailurePlan, Home, LatencyModel};
+use safehome_types::{Routine, TimeDelta, Timestamp};
+
+/// When a routine is submitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrival {
+    /// At an absolute time.
+    At(Timestamp),
+    /// `delay` after submission number `index` finishes (commits or
+    /// aborts). This expresses the trace scenarios' real-life ordering
+    /// constraints ("wake-up before cook breakfast", §7.2) and the
+    /// closed-loop factory workers / microbenchmark injectors (ρ
+    /// back-to-back chains, Table 3).
+    After {
+        /// Index (into [`RunSpec::submissions`]) of the predecessor.
+        index: usize,
+        /// Extra delay after the predecessor finishes.
+        delay: TimeDelta,
+    },
+}
+
+/// One routine submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submission {
+    /// The routine to submit.
+    pub routine: Routine,
+    /// When to submit it.
+    pub arrival: Arrival,
+}
+
+impl Submission {
+    /// A submission at an absolute time.
+    pub fn at(routine: Routine, at: Timestamp) -> Self {
+        Submission {
+            routine,
+            arrival: Arrival::At(at),
+        }
+    }
+
+    /// A submission chained after another submission finishes.
+    pub fn after(routine: Routine, index: usize, delay: TimeDelta) -> Self {
+        Submission {
+            routine,
+            arrival: Arrival::After { index, delay },
+        }
+    }
+}
+
+/// Everything one simulated run needs.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The home's device catalog.
+    pub home: Home,
+    /// Engine configuration (visibility model, leases, scheduler, ...).
+    pub config: EngineConfig,
+    /// The workload.
+    pub submissions: Vec<Submission>,
+    /// Ground-truth failure injections.
+    pub failures: FailurePlan,
+    /// Per-dispatch actuation latency.
+    pub latency: LatencyModel,
+    /// Detector ping interval (paper: 1 s).
+    pub ping_interval: TimeDelta,
+    /// Detector / command timeout (paper: 100 ms).
+    pub detect_timeout: TimeDelta,
+    /// RNG seed (latency jitter).
+    pub seed: u64,
+    /// Safety stop: the run aborts (with `completed = false`) if virtual
+    /// time passes this horizon without reaching quiescence.
+    pub max_time: Timestamp,
+}
+
+impl RunSpec {
+    /// A spec with the paper's defaults and no failures.
+    pub fn new(home: Home, config: EngineConfig) -> Self {
+        RunSpec {
+            home,
+            config,
+            submissions: Vec::new(),
+            failures: FailurePlan::none(),
+            latency: LatencyModel::default(),
+            ping_interval: TimeDelta::from_secs(1),
+            detect_timeout: TimeDelta::from_millis(100),
+            seed: 0,
+            max_time: Timestamp::from_secs(7 * 24 * 3600), // one week
+        }
+    }
+
+    /// Adds a submission; returns its index for `After` chaining.
+    pub fn submit(&mut self, s: Submission) -> usize {
+        self.submissions.push(s);
+        self.submissions.len() - 1
+    }
+
+    /// Builder-style seed setter.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safehome_core::VisibilityModel;
+    use safehome_devices::catalog::plug_home;
+    use safehome_types::{DeviceId, Value};
+
+    #[test]
+    fn submission_builders() {
+        let r = Routine::builder("r")
+            .set(DeviceId(0), Value::ON, TimeDelta::from_millis(10))
+            .build();
+        let s1 = Submission::at(r.clone(), Timestamp::from_secs(1));
+        assert_eq!(s1.arrival, Arrival::At(Timestamp::from_secs(1)));
+        let s2 = Submission::after(r, 0, TimeDelta::from_secs(2));
+        assert_eq!(
+            s2.arrival,
+            Arrival::After { index: 0, delay: TimeDelta::from_secs(2) }
+        );
+    }
+
+    #[test]
+    fn spec_indices_chain() {
+        let mut spec = RunSpec::new(
+            plug_home(2),
+            EngineConfig::new(VisibilityModel::Wv),
+        );
+        let r = Routine::builder("r")
+            .set(DeviceId(0), Value::ON, TimeDelta::from_millis(10))
+            .build();
+        let a = spec.submit(Submission::at(r.clone(), Timestamp::ZERO));
+        let b = spec.submit(Submission::after(r, a, TimeDelta::ZERO));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(spec.ping_interval, TimeDelta::from_secs(1));
+        assert_eq!(spec.detect_timeout, TimeDelta::from_millis(100));
+    }
+}

@@ -1,0 +1,200 @@
+//! A TCP smart-plug emulator.
+//!
+//! Listens on a localhost port, speaks the Kasa protocol, and supports
+//! fail-stop injection: a "failed" plug accepts TCP connections (the
+//! kernel still does) but never answers, which is exactly how an
+//! unresponsive real plug presents to the edge — the driver times out.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use parking_lot::Mutex;
+
+use safehome_types::{Result, Value};
+
+use crate::protocol::{read_frame, write_frame, KasaRequest, KasaResponse};
+
+struct PlugState {
+    state: Value,
+    alias: String,
+}
+
+/// Shared control handle for an emulated plug.
+#[derive(Clone)]
+pub struct PlugHandle {
+    inner: Arc<Mutex<PlugState>>,
+    failed: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl PlugHandle {
+    /// The plug's socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current physical state.
+    pub fn state(&self) -> Value {
+        self.inner.lock().state
+    }
+
+    /// Forces the physical state (test setup).
+    pub fn set_state(&self, v: Value) {
+        self.inner.lock().state = v;
+    }
+
+    /// Injects a fail-stop: the plug stops answering.
+    pub fn fail(&self) {
+        self.failed.store(true, Ordering::SeqCst);
+    }
+
+    /// Recovers the plug (state is retained across restarts, like a real
+    /// relay).
+    pub fn restart(&self) {
+        self.failed.store(false, Ordering::SeqCst);
+    }
+
+    /// `true` while the plug is failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::SeqCst)
+    }
+}
+
+/// An emulated Kasa plug bound to a localhost TCP port.
+pub struct EmulatedPlug {
+    handle: PlugHandle,
+}
+
+impl EmulatedPlug {
+    /// Spawns the emulator on an ephemeral localhost port. The accept
+    /// loop runs on a daemon thread for the process lifetime.
+    pub fn spawn(alias: impl Into<String>, initial: Value) -> Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let handle = PlugHandle {
+            inner: Arc::new(Mutex::new(PlugState {
+                state: initial,
+                alias: alias.into(),
+            })),
+            failed: Arc::new(AtomicBool::new(false)),
+            addr,
+        };
+        let worker = handle.clone();
+        thread::Builder::new()
+            .name(format!("kasa-emulator-{addr}"))
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { continue };
+                    let conn = worker.clone();
+                    thread::spawn(move || serve(conn, stream));
+                }
+            })?;
+        Ok(EmulatedPlug { handle })
+    }
+
+    /// The control handle (cloneable).
+    pub fn handle(&self) -> PlugHandle {
+        self.handle.clone()
+    }
+}
+
+fn serve(plug: PlugHandle, mut stream: TcpStream) {
+    loop {
+        let Ok(payload) = read_frame(&mut stream) else { return };
+        if plug.is_failed() {
+            // A dead plug goes silent; the driver's read times out.
+            return;
+        }
+        let Ok(req) = KasaRequest::parse(&payload) else { return };
+        let state = {
+            let mut s = plug.inner.lock();
+            match req {
+                KasaRequest::SetRelayState(on) => s.state = Value::Bool(on),
+                KasaRequest::SetLevel(level) => s.state = Value::Int(level),
+                KasaRequest::GetSysinfo => {}
+            }
+            s.state
+        };
+        let resp = KasaResponse {
+            err_code: 0,
+            state,
+            alias: plug.inner.lock().alias.clone(),
+        };
+        if write_frame(&mut stream, &resp.to_json()).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::ErrorKind;
+    use std::time::Duration;
+
+    fn roundtrip(addr: SocketAddr, req: KasaRequest) -> Result<KasaResponse> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_millis(300)))?;
+        write_frame(&mut stream, &req.to_json())?;
+        let payload = read_frame(&mut stream)?;
+        KasaResponse::parse(&payload)
+    }
+
+    #[test]
+    fn relay_commands_change_state() {
+        let plug = EmulatedPlug::spawn("lamp", Value::OFF).unwrap();
+        let h = plug.handle();
+        let resp = roundtrip(h.addr(), KasaRequest::SetRelayState(true)).unwrap();
+        assert_eq!(resp.state, Value::ON);
+        assert_eq!(h.state(), Value::ON);
+        let resp = roundtrip(h.addr(), KasaRequest::GetSysinfo).unwrap();
+        assert_eq!(resp.state, Value::ON);
+        assert_eq!(resp.alias, "lamp");
+    }
+
+    #[test]
+    fn level_commands_set_levels() {
+        let plug = EmulatedPlug::spawn("thermostat", Value::Int(70)).unwrap();
+        let resp = roundtrip(plug.handle().addr(), KasaRequest::SetLevel(68)).unwrap();
+        assert_eq!(resp.state, Value::Int(68));
+    }
+
+    #[test]
+    fn failed_plug_goes_silent_then_recovers() {
+        let plug = EmulatedPlug::spawn("flaky", Value::OFF).unwrap();
+        let h = plug.handle();
+        h.fail();
+        let err = roundtrip(h.addr(), KasaRequest::GetSysinfo).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("timed out")
+                || msg.contains("unexpected end of file")
+                || msg.contains("failed to fill"),
+            "expected a timeout-ish error, got {msg}"
+        );
+        h.restart();
+        let resp = roundtrip(h.addr(), KasaRequest::GetSysinfo).unwrap();
+        assert_eq!(resp.state, Value::OFF, "relay state survives restarts");
+        let _ = ErrorKind::TimedOut;
+    }
+
+    #[test]
+    fn concurrent_connections_are_serialized_by_the_lock() {
+        let plug = EmulatedPlug::spawn("busy", Value::OFF).unwrap();
+        let addr = plug.handle().addr();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                thread::spawn(move || {
+                    roundtrip(addr, KasaRequest::SetRelayState(i % 2 == 0)).unwrap()
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Final state is one of the two written values, never corrupted.
+        assert!(matches!(plug.handle().state(), Value::Bool(_)));
+    }
+}

@@ -1,0 +1,25 @@
+//! Networked device substrate: a Kasa-style smart-plug protocol.
+//!
+//! The paper's implementation drives TP-Link HS1xx smart plugs through
+//! their LAN API (§6). This crate reproduces that substrate end to end:
+//!
+//! - [`protocol`]: the XOR-autokey framing and JSON command vocabulary
+//!   used by TP-Link HS1xx devices (`set_relay_state`, `get_sysinfo`);
+//! - [`emulator`]: a TCP device emulator you can spawn on localhost —
+//!   including fail-stop/restart injection — so the driver exercises the
+//!   exact code path a physical plug would;
+//! - [`driver`]: the client used by the runner (connect, frame, command,
+//!   ack, timeout);
+//! - [`runner`]: a real-time event loop that drives the *same*
+//!   [`safehome_core::Engine`] the simulator drives, against live
+//!   sockets, with the ping-based failure detector.
+
+pub mod driver;
+pub mod emulator;
+pub mod protocol;
+pub mod runner;
+
+pub use driver::KasaDriver;
+pub use emulator::{EmulatedPlug, PlugHandle};
+pub use protocol::{decode, encode, read_frame, write_frame, KasaRequest, KasaResponse};
+pub use runner::{RealTimeRunner, RunReport};

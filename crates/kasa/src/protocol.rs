@@ -1,0 +1,262 @@
+//! The Kasa wire protocol: XOR-autokey "encryption" with length framing.
+//!
+//! TP-Link HS1xx smart plugs obscure their JSON payloads with an autokey
+//! XOR cipher seeded with 171; TCP messages carry a 4-byte big-endian
+//! length prefix. Commands are JSON like
+//! `{"system":{"set_relay_state":{"state":1}}}`. This module implements
+//! the cipher, the framing and a typed command vocabulary (with a
+//! `set_level` extension for leveled devices, which real HS110 firmware
+//! approximates with dimmer modules).
+
+use std::io::{Read, Write};
+
+use serde_json::{json, Value as Json};
+
+use safehome_types::{Error, Result, Value};
+
+/// Initial autokey seed used by the Kasa protocol.
+const KEY_SEED: u8 = 171;
+
+/// Obscures a payload: each byte is XORed with the previous *ciphertext*
+/// byte (autokey), starting from the seed.
+pub fn encode(plain: &[u8]) -> Vec<u8> {
+    let mut key = KEY_SEED;
+    plain
+        .iter()
+        .map(|&b| {
+            let c = b ^ key;
+            key = c;
+            c
+        })
+        .collect()
+}
+
+/// Reverses [`encode`].
+pub fn decode(cipher: &[u8]) -> Vec<u8> {
+    let mut key = KEY_SEED;
+    cipher
+        .iter()
+        .map(|&c| {
+            let b = c ^ key;
+            key = c;
+            b
+        })
+        .collect()
+}
+
+/// Writes one length-prefixed, obscured frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    let cipher = encode(payload);
+    let len = (cipher.len() as u32).to_be_bytes();
+    w.write_all(&len)?;
+    w.write_all(&cipher)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame and deciphers it. Refuses frames above 1 MiB.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > 1 << 20 {
+        return Err(Error::Protocol(format!("oversized frame ({len} bytes)")));
+    }
+    let mut cipher = vec![0u8; len];
+    r.read_exact(&mut cipher)?;
+    Ok(decode(&cipher))
+}
+
+/// Typed requests the driver can send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KasaRequest {
+    /// `{"system":{"set_relay_state":{"state":0|1}}}`.
+    SetRelayState(bool),
+    /// `{"system":{"set_level":{"level":n}}}` (leveled extension).
+    SetLevel(i64),
+    /// `{"system":{"get_sysinfo":{}}}` — also the detector's ping.
+    GetSysinfo,
+}
+
+impl KasaRequest {
+    /// Builds the request for a SafeHome state value.
+    pub fn from_value(v: Value) -> Self {
+        match v {
+            Value::Bool(b) => KasaRequest::SetRelayState(b),
+            Value::Int(i) => KasaRequest::SetLevel(i),
+        }
+    }
+
+    /// Serializes the request to its JSON wire form.
+    pub fn to_json(self) -> Vec<u8> {
+        let body = match self {
+            KasaRequest::SetRelayState(on) => {
+                json!({"system": {"set_relay_state": {"state": i32::from(on)}}})
+            }
+            KasaRequest::SetLevel(level) => json!({"system": {"set_level": {"level": level}}}),
+            KasaRequest::GetSysinfo => json!({"system": {"get_sysinfo": {}}}),
+        };
+        serde_json::to_vec(&body).expect("static JSON cannot fail")
+    }
+
+    /// Parses a request from its wire form (used by the emulator).
+    pub fn parse(bytes: &[u8]) -> Result<Self> {
+        let v: Json = serde_json::from_slice(bytes)
+            .map_err(|e| Error::Protocol(format!("bad request JSON: {e}")))?;
+        let system = v
+            .get("system")
+            .ok_or_else(|| Error::Protocol("missing system object".into()))?;
+        if let Some(set) = system.get("set_relay_state") {
+            let state = set
+                .get("state")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| Error::Protocol("missing relay state".into()))?;
+            return Ok(KasaRequest::SetRelayState(state != 0));
+        }
+        if let Some(set) = system.get("set_level") {
+            let level = set
+                .get("level")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| Error::Protocol("missing level".into()))?;
+            return Ok(KasaRequest::SetLevel(level));
+        }
+        if system.get("get_sysinfo").is_some() {
+            return Ok(KasaRequest::GetSysinfo);
+        }
+        Err(Error::Protocol("unknown system command".into()))
+    }
+}
+
+/// Typed responses the emulator sends back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KasaResponse {
+    /// 0 on success (the Kasa convention).
+    pub err_code: i32,
+    /// Current relay/level state, reported by `get_sysinfo` and acks.
+    pub state: Value,
+    /// Device alias, for sysinfo.
+    pub alias: String,
+}
+
+impl KasaResponse {
+    /// Serializes the response to its JSON wire form.
+    pub fn to_json(&self) -> Vec<u8> {
+        let state = match self.state {
+            Value::Bool(b) => json!(i32::from(b)),
+            Value::Int(i) => json!(i),
+        };
+        let body = json!({
+            "system": {"get_sysinfo": {
+                "err_code": self.err_code,
+                "alias": self.alias,
+                "relay_state": state,
+            }}
+        });
+        serde_json::to_vec(&body).expect("static JSON cannot fail")
+    }
+
+    /// Parses a response (used by the driver).
+    pub fn parse(bytes: &[u8]) -> Result<Self> {
+        let v: Json = serde_json::from_slice(bytes)
+            .map_err(|e| Error::Protocol(format!("bad response JSON: {e}")))?;
+        let info = v
+            .pointer("/system/get_sysinfo")
+            .ok_or_else(|| Error::Protocol("missing sysinfo".into()))?;
+        let err_code = info.get("err_code").and_then(Json::as_i64).unwrap_or(0) as i32;
+        let alias = info
+            .get("alias")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let state = match info.get("relay_state") {
+            Some(Json::Number(n)) if n.as_i64() == Some(0) => Value::OFF,
+            Some(Json::Number(n)) if n.as_i64() == Some(1) => Value::ON,
+            Some(Json::Number(n)) => Value::Int(n.as_i64().unwrap_or(0)),
+            _ => Value::OFF,
+        };
+        Ok(KasaResponse { err_code, state, alias })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cipher_round_trips() {
+        let plain = br#"{"system":{"set_relay_state":{"state":1}}}"#;
+        let cipher = encode(plain);
+        assert_ne!(&cipher[..], &plain[..], "payload must be obscured");
+        assert_eq!(decode(&cipher), plain);
+    }
+
+    #[test]
+    fn cipher_matches_known_kasa_prefix() {
+        // The autokey cipher of "{" with seed 171 is 0xd0 — a well-known
+        // constant of the Kasa protocol.
+        assert_eq!(encode(b"{")[0], b'{' ^ 171);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello kasa").unwrap();
+        assert_eq!(&buf[..4], &10u32.to_be_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello kasa");
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(2u32 << 20).to_be_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(Error::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            KasaRequest::SetRelayState(true),
+            KasaRequest::SetRelayState(false),
+            KasaRequest::SetLevel(42),
+            KasaRequest::GetSysinfo,
+        ] {
+            assert_eq!(KasaRequest::parse(&req.to_json()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn request_from_value_maps_types() {
+        assert_eq!(
+            KasaRequest::from_value(Value::ON),
+            KasaRequest::SetRelayState(true)
+        );
+        assert_eq!(KasaRequest::from_value(Value::Int(7)), KasaRequest::SetLevel(7));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for state in [Value::ON, Value::OFF, Value::Int(25)] {
+            let resp = KasaResponse {
+                err_code: 0,
+                state,
+                alias: "lamp".into(),
+            };
+            let back = KasaResponse::parse(&resp.to_json()).unwrap();
+            assert_eq!(back.err_code, 0);
+            assert_eq!(back.alias, "lamp");
+            assert_eq!(back.state, state);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_error() {
+        assert!(KasaRequest::parse(b"not json").is_err());
+        assert!(KasaRequest::parse(br#"{"system":{}}"#).is_err());
+        assert!(KasaResponse::parse(br#"{"other":{}}"#).is_err());
+    }
+}

@@ -1,0 +1,378 @@
+//! A real-time runner: the same engine, live sockets.
+//!
+//! Where `safehome-harness` drives the engine over virtual time, this
+//! runner drives it over wall-clock time against Kasa devices (emulated
+//! or physical): dispatch effects become driver calls on worker threads,
+//! `SetTimer` effects become deadline waits, and a ping thread feeds the
+//! detector. This is the edge-device deployment shape of §6.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use safehome_core::{Effect, Engine, EngineConfig, Input, TimerId};
+use safehome_types::{
+    trace::OrderItem, Action, CmdIdx, DeviceId, Result, Routine, RoutineId, Timestamp, Value,
+};
+
+use crate::driver::KasaDriver;
+
+enum RtEvent {
+    CommandDone {
+        routine: RoutineId,
+        idx: CmdIdx,
+        device: DeviceId,
+        success: bool,
+        observed: Option<Value>,
+        rollback: bool,
+    },
+    Ping {
+        device: DeviceId,
+        alive: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TimerEntry {
+    at: Instant,
+    timer: TimerId,
+    seq: u64,
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by time (BinaryHeap is a max-heap).
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Outcome of a real-time run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Routines that committed, in commit order.
+    pub committed: Vec<RoutineId>,
+    /// Routines that aborted.
+    pub aborted: Vec<RoutineId>,
+    /// The witness serialization order.
+    pub order: Vec<OrderItem>,
+    /// Device states read back from the devices at the end.
+    pub end_states: Vec<(DeviceId, Value)>,
+}
+
+/// Drives a SafeHome [`Engine`] against live Kasa devices.
+pub struct RealTimeRunner {
+    engine: Engine,
+    drivers: Vec<KasaDriver>,
+    start: Instant,
+    tx: Sender<RtEvent>,
+    rx: Receiver<RtEvent>,
+    timers: BinaryHeap<TimerEntry>,
+    timer_seq: u64,
+    inflight: Arc<()>,
+    believed_up: Vec<bool>,
+    stop_ping: Arc<AtomicBool>,
+}
+
+impl RealTimeRunner {
+    /// Creates a runner over the given drivers; `initial[i]` is the
+    /// assumed starting state of device `i` (the runner reads the real
+    /// state from the device and prefers it when reachable).
+    pub fn new(config: EngineConfig, drivers: Vec<KasaDriver>, ping_every: Duration) -> Result<Self> {
+        let mut initial = std::collections::BTreeMap::new();
+        for (i, d) in drivers.iter().enumerate() {
+            let state = d.get().unwrap_or(Value::OFF);
+            initial.insert(DeviceId(i as u32), state);
+        }
+        let (tx, rx) = unbounded();
+        let stop_ping = Arc::new(AtomicBool::new(false));
+        // Detector thread: periodic pings with implicit-ack semantics
+        // approximated by simply pinging on the interval.
+        {
+            let tx = tx.clone();
+            let drivers = drivers.clone();
+            let stop = stop_ping.clone();
+            thread::Builder::new().name("safehome-detector".into()).spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    thread::sleep(ping_every);
+                    for (i, d) in drivers.iter().enumerate() {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let alive = d.ping();
+                        let _ = tx.send(RtEvent::Ping {
+                            device: DeviceId(i as u32),
+                            alive,
+                        });
+                    }
+                }
+            })?;
+        }
+        Ok(RealTimeRunner {
+            engine: Engine::new(config, &initial),
+            believed_up: vec![true; drivers.len()],
+            drivers,
+            start: Instant::now(),
+            tx,
+            rx,
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            inflight: Arc::new(()),
+            stop_ping,
+        })
+    }
+
+    fn now(&self) -> Timestamp {
+        Timestamp::from_millis(self.start.elapsed().as_millis() as u64)
+    }
+
+    /// Submits a routine right now.
+    pub fn submit(&mut self, routine: Routine) -> Result<RoutineId> {
+        let now = self.now();
+        let (id, effects) = self.engine.submit(routine, now)?;
+        self.apply(effects, now);
+        Ok(id)
+    }
+
+    fn apply(&mut self, effects: Vec<Effect>, now: Timestamp) {
+        for e in effects {
+            match e {
+                Effect::Dispatch {
+                    routine,
+                    idx,
+                    device,
+                    action,
+                    duration,
+                    rollback,
+                } => {
+                    let driver = self.drivers[device.index()].clone();
+                    let tx = self.tx.clone();
+                    let guard = self.inflight.clone();
+                    thread::spawn(move || {
+                        let _guard = guard;
+                        let result: Result<Option<Value>> = match action {
+                            Action::Set(v) => driver.set(v).map(|_| None),
+                            Action::Read { .. } => driver.get().map(Some),
+                        };
+                        // The device is held exclusively for the command's
+                        // duration (oven preheats, sprinkler runs, ...).
+                        if result.is_ok() {
+                            thread::sleep(Duration::from_millis(duration.as_millis()));
+                        }
+                        let _ = tx.send(RtEvent::CommandDone {
+                            routine,
+                            idx,
+                            device,
+                            success: result.is_ok(),
+                            observed: result.ok().flatten(),
+                            rollback,
+                        });
+                    });
+                }
+                Effect::SetTimer { timer, at } => {
+                    let delta = at.as_millis().saturating_sub(now.as_millis());
+                    self.timers.push(TimerEntry {
+                        at: Instant::now() + Duration::from_millis(delta),
+                        timer,
+                        seq: self.timer_seq,
+                    });
+                    self.timer_seq += 1;
+                }
+                // Lifecycle effects are observable through the report.
+                Effect::Started { .. }
+                | Effect::Committed { .. }
+                | Effect::Aborted { .. }
+                | Effect::BestEffortSkipped { .. }
+                | Effect::Feedback { .. } => {}
+            }
+        }
+    }
+
+    /// Runs until the engine quiesces (or `deadline` passes), then reads
+    /// back device states.
+    pub fn run_to_quiescence(&mut self, deadline: Duration) -> RunReport {
+        let hard_stop = Instant::now() + deadline;
+        while !self.engine.quiescent() && Instant::now() < hard_stop {
+            // Fire due timers.
+            while let Some(&TimerEntry { at, timer, .. }) = self.timers.peek() {
+                if at > Instant::now() {
+                    break;
+                }
+                self.timers.pop();
+                let now = self.now();
+                let effects = self.engine.handle(Input::Timer { timer }, now);
+                self.apply(effects, now);
+            }
+            let wait = self
+                .timers
+                .peek()
+                .map(|t| t.at.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(50))
+                .min(Duration::from_millis(50));
+            let Ok(event) = self.rx.recv_timeout(wait) else { continue };
+            let now = self.now();
+            match event {
+                RtEvent::CommandDone {
+                    routine,
+                    idx,
+                    device,
+                    success,
+                    observed,
+                    rollback,
+                } => {
+                    if !success && self.believed_up[device.index()] {
+                        self.believed_up[device.index()] = false;
+                        let fx = self.engine.handle(Input::DeviceDown { device }, now);
+                        self.apply(fx, now);
+                    }
+                    let fx = self.engine.handle(
+                        Input::CommandResult {
+                            routine,
+                            idx,
+                            device,
+                            success,
+                            observed,
+                            rollback,
+                        },
+                        now,
+                    );
+                    self.apply(fx, now);
+                }
+                RtEvent::Ping { device, alive } => {
+                    let believed = &mut self.believed_up[device.index()];
+                    if alive != *believed {
+                        *believed = alive;
+                        let input = if alive {
+                            Input::DeviceUp { device }
+                        } else {
+                            Input::DeviceDown { device }
+                        };
+                        let fx = self.engine.handle(input, now);
+                        self.apply(fx, now);
+                    }
+                }
+            }
+        }
+        self.stop_ping.store(true, Ordering::Relaxed);
+        let end_states = self
+            .drivers
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DeviceId(i as u32), d.get().unwrap_or(Value::OFF)))
+            .collect();
+        RunReport {
+            committed: self
+                .engine
+                .witness_order()
+                .iter()
+                .filter_map(|o| match o {
+                    OrderItem::Routine(r) => Some(*r),
+                    _ => None,
+                })
+                .collect(),
+            aborted: Vec::new(),
+            order: self.engine.witness_order(),
+            end_states,
+        }
+    }
+}
+
+impl Drop for RealTimeRunner {
+    fn drop(&mut self) {
+        self.stop_ping.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emulator::EmulatedPlug;
+    use safehome_core::VisibilityModel;
+    use safehome_types::TimeDelta;
+
+    fn setup(n: usize) -> (Vec<EmulatedPlug>, RealTimeRunner) {
+        let plugs: Vec<EmulatedPlug> = (0..n)
+            .map(|i| EmulatedPlug::spawn(format!("plug{i}"), Value::OFF).unwrap())
+            .collect();
+        let drivers = plugs
+            .iter()
+            .map(|p| KasaDriver::new(p.handle().addr(), Duration::from_millis(200)))
+            .collect();
+        let runner = RealTimeRunner::new(
+            EngineConfig::new(VisibilityModel::ev()),
+            drivers,
+            Duration::from_millis(500),
+        )
+        .unwrap();
+        (plugs, runner)
+    }
+
+    #[test]
+    fn routine_executes_against_live_emulators() {
+        let (plugs, mut runner) = setup(2);
+        runner
+            .submit(
+                Routine::builder("lights")
+                    .set(DeviceId(0), Value::ON, TimeDelta::from_millis(20))
+                    .set(DeviceId(1), Value::ON, TimeDelta::from_millis(20))
+                    .build(),
+            )
+            .unwrap();
+        let report = runner.run_to_quiescence(Duration::from_secs(10));
+        assert_eq!(report.committed.len(), 1);
+        assert_eq!(plugs[0].handle().state(), Value::ON);
+        assert_eq!(plugs[1].handle().state(), Value::ON);
+    }
+
+    #[test]
+    fn concurrent_conflicting_routines_serialize_end_state() {
+        let (plugs, mut runner) = setup(3);
+        let on = Routine::builder("all_on")
+            .set(DeviceId(0), Value::ON, TimeDelta::from_millis(10))
+            .set(DeviceId(1), Value::ON, TimeDelta::from_millis(10))
+            .set(DeviceId(2), Value::ON, TimeDelta::from_millis(10))
+            .build();
+        let off = Routine::builder("all_off")
+            .set(DeviceId(0), Value::OFF, TimeDelta::from_millis(10))
+            .set(DeviceId(1), Value::OFF, TimeDelta::from_millis(10))
+            .set(DeviceId(2), Value::OFF, TimeDelta::from_millis(10))
+            .build();
+        runner.submit(on).unwrap();
+        runner.submit(off).unwrap();
+        let report = runner.run_to_quiescence(Duration::from_secs(15));
+        assert_eq!(report.committed.len(), 2);
+        let states: Vec<Value> = plugs.iter().map(|p| p.handle().state()).collect();
+        let all_on = states.iter().all(|&v| v == Value::ON);
+        let all_off = states.iter().all(|&v| v == Value::OFF);
+        assert!(all_on || all_off, "EV end state must serialize: {states:?}");
+    }
+
+    #[test]
+    fn failed_device_aborts_must_routine_and_rolls_back() {
+        let (plugs, mut runner) = setup(2);
+        plugs[1].handle().fail();
+        runner
+            .submit(
+                Routine::builder("doomed")
+                    .set(DeviceId(0), Value::ON, TimeDelta::from_millis(10))
+                    .set(DeviceId(1), Value::ON, TimeDelta::from_millis(10))
+                    .build(),
+            )
+            .unwrap();
+        let report = runner.run_to_quiescence(Duration::from_secs(15));
+        assert!(report.committed.is_empty());
+        assert_eq!(
+            plugs[0].handle().state(),
+            Value::OFF,
+            "device 0's ON must be rolled back"
+        );
+    }
+}

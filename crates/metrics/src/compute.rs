@@ -1,0 +1,303 @@
+//! One-pass computation of the §7.1 metrics from a trace.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use safehome_types::{
+    trace::{OrderItem, Trace, TraceEventKind},
+    DeviceId, RoutineId,
+};
+
+/// All per-run metrics the paper's evaluation reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// End-to-end latency (submission → successful completion) per
+    /// committed routine, in milliseconds, submission order.
+    pub latencies_ms: Vec<f64>,
+    /// Latency normalized by each routine's own ideal runtime (the
+    /// paper's "E2E latency normalized with routine runtime", Fig. 14a).
+    pub normalized_latencies: Vec<f64>,
+    /// Wait time (submission → actual start) per started routine, ms.
+    pub waits_ms: Vec<f64>,
+    /// Fraction of routines that suffered ≥ 1 temporary-incongruence
+    /// event (another routine changed a device they had modified, before
+    /// they finished).
+    pub temporary_incongruence: f64,
+    /// Average number of concurrently executing routines, sampled at
+    /// routine start/end points.
+    pub parallelism: f64,
+    /// Aborted / submitted.
+    pub abort_rate: f64,
+    /// Mean over aborted routines of (rollback dispatches / routine
+    /// commands) — the §7.4 "intrusion on the user".
+    pub rollback_overhead: f64,
+    /// Normalized swap distance between the witness serialization order
+    /// (routines only) and submission order, in `[0, 1]`.
+    pub order_mismatch: f64,
+    /// Stretch factor per committed routine: (finish − start) / ideal.
+    pub stretch: Vec<f64>,
+}
+
+impl RunMetrics {
+    /// Computes every metric in one pass over the trace.
+    pub fn of(trace: &Trace) -> Self {
+        let total = trace.records.len().max(1);
+
+        // Latency, wait, stretch from the digested records.
+        let mut latencies_ms = Vec::new();
+        let mut normalized_latencies = Vec::new();
+        let mut waits_ms = Vec::new();
+        let mut stretch = Vec::new();
+        for rec in trace.records.values() {
+            if let Some(started) = rec.started {
+                waits_ms.push(started.since(rec.submitted).as_millis() as f64);
+            }
+            if rec.committed() {
+                let finished = rec.finished.expect("committed routines have finish times");
+                let latency = finished.since(rec.submitted).as_millis() as f64;
+                let ideal = rec.routine.ideal_runtime().as_millis().max(1) as f64;
+                latencies_ms.push(latency);
+                normalized_latencies.push(latency / ideal);
+                if let Some(started) = rec.started {
+                    stretch.push(finished.since(started).as_millis() as f64 / ideal);
+                }
+            }
+        }
+
+        // Temporary incongruence and parallelism from the event stream.
+        let mut inflight: BTreeMap<RoutineId, BTreeSet<DeviceId>> = BTreeMap::new();
+        let mut suffered: BTreeSet<RoutineId> = BTreeSet::new();
+        let mut parallelism_samples: Vec<f64> = Vec::new();
+        for ev in &trace.events {
+            match &ev.kind {
+                TraceEventKind::Started { routine } => {
+                    inflight.insert(*routine, BTreeSet::new());
+                    parallelism_samples.push(inflight.len() as f64);
+                }
+                TraceEventKind::Committed { routine }
+                | TraceEventKind::Aborted { routine, .. } => {
+                    inflight.remove(routine);
+                    parallelism_samples.push(inflight.len() as f64);
+                }
+                TraceEventKind::StateChanged { device, by, .. } => {
+                    for (r, devices) in inflight.iter() {
+                        if Some(*r) != *by && devices.contains(device) {
+                            suffered.insert(*r);
+                        }
+                    }
+                    if let Some(writer) = by {
+                        if let Some(devices) = inflight.get_mut(writer) {
+                            devices.insert(*device);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let temporary_incongruence = suffered.len() as f64 / total as f64;
+        let parallelism = if parallelism_samples.is_empty() {
+            0.0
+        } else {
+            parallelism_samples.iter().sum::<f64>() / parallelism_samples.len() as f64
+        };
+
+        // Abort rate and rollback overhead.
+        let mut aborted = 0usize;
+        let mut overhead_sum = 0.0;
+        for ev in &trace.events {
+            if let TraceEventKind::Aborted { routine, rolled_back, .. } = ev.kind {
+                aborted += 1;
+                let cmds = trace.records[&routine].routine.commands.len().max(1);
+                overhead_sum += rolled_back as f64 / cmds as f64;
+            }
+        }
+        let abort_rate = aborted as f64 / total as f64;
+        let rollback_overhead = if aborted == 0 { 0.0 } else { overhead_sum / aborted as f64 };
+
+        // Order mismatch: swap distance between the witness order's
+        // routines and submission (id) order, normalized by n(n−1)/2.
+        let witness: Vec<RoutineId> = trace
+            .final_order
+            .iter()
+            .filter_map(|o| match o {
+                OrderItem::Routine(r) => Some(*r),
+                _ => None,
+            })
+            .collect();
+        let order_mismatch = normalized_swap_distance(&witness);
+
+        RunMetrics {
+            latencies_ms,
+            normalized_latencies,
+            waits_ms,
+            temporary_incongruence,
+            parallelism,
+            abort_rate,
+            rollback_overhead,
+            order_mismatch,
+            stretch,
+        }
+    }
+}
+
+/// Normalized Kendall-tau distance between `order` and ascending-id order
+/// (ids are assigned in submission order). 0 = identical, 1 = reversed.
+pub fn normalized_swap_distance(order: &[RoutineId]) -> f64 {
+    let n = order.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut inversions = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if order[i] > order[j] {
+                inversions += 1;
+            }
+        }
+    }
+    inversions as f64 / (n * (n - 1) / 2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safehome_types::{
+        trace::AbortReason, CmdIdx, Routine, TimeDelta, Timestamp, Value,
+    };
+
+    fn d(i: u32) -> DeviceId {
+        DeviceId(i)
+    }
+    fn r(i: u64) -> RoutineId {
+        RoutineId(i)
+    }
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn routine(devs: &[u32]) -> Routine {
+        let mut b = Routine::builder("r");
+        for &i in devs {
+            b = b.set(d(i), Value::ON, TimeDelta::from_millis(100));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn swap_distance_basics() {
+        assert_eq!(normalized_swap_distance(&[]), 0.0);
+        assert_eq!(normalized_swap_distance(&[r(1)]), 0.0);
+        assert_eq!(normalized_swap_distance(&[r(1), r(2), r(3)]), 0.0);
+        assert_eq!(normalized_swap_distance(&[r(3), r(2), r(1)]), 1.0);
+        assert!((normalized_swap_distance(&[r(2), r(1), r(3)]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_and_wait_from_lifecycle() {
+        let mut tr = Trace::default();
+        tr.record_submission(r(1), routine(&[0]), t(0));
+        tr.push(t(40), TraceEventKind::Started { routine: r(1) });
+        tr.push(t(240), TraceEventKind::Committed { routine: r(1) });
+        let m = RunMetrics::of(&tr);
+        assert_eq!(m.latencies_ms, vec![240.0]);
+        assert_eq!(m.waits_ms, vec![40.0]);
+        // Ideal = 100ms, actual span = 200ms → stretch 2.
+        assert_eq!(m.stretch, vec![2.0]);
+        assert_eq!(m.abort_rate, 0.0);
+    }
+
+    #[test]
+    fn aborted_routines_do_not_contribute_latency() {
+        let mut tr = Trace::default();
+        tr.record_submission(r(1), routine(&[0, 1]), t(0));
+        tr.push(t(10), TraceEventKind::Started { routine: r(1) });
+        tr.push(
+            t(100),
+            TraceEventKind::Aborted {
+                routine: r(1),
+                reason: AbortReason::MustCommandFailed { device: d(1) },
+                executed: 1,
+                rolled_back: 1,
+            },
+        );
+        let m = RunMetrics::of(&tr);
+        assert!(m.latencies_ms.is_empty());
+        assert_eq!(m.abort_rate, 1.0);
+        assert_eq!(m.rollback_overhead, 0.5, "1 of 2 commands rolled back");
+    }
+
+    #[test]
+    fn temporary_incongruence_detects_cross_writes() {
+        let mut tr = Trace::default();
+        tr.record_submission(r(1), routine(&[0, 1]), t(0));
+        tr.record_submission(r(2), routine(&[0]), t(1));
+        tr.push(t(10), TraceEventKind::Started { routine: r(1) });
+        tr.push(t(11), TraceEventKind::Started { routine: r(2) });
+        // R1 modifies device 0, then R2 changes it while R1 is in flight.
+        tr.push(
+            t(20),
+            TraceEventKind::StateChanged { device: d(0), value: Value::ON, by: Some(r(1)), rollback: false },
+        );
+        tr.push(
+            t(30),
+            TraceEventKind::StateChanged { device: d(0), value: Value::OFF, by: Some(r(2)), rollback: false },
+        );
+        tr.push(t(40), TraceEventKind::Committed { routine: r(2) });
+        tr.push(t(50), TraceEventKind::Committed { routine: r(1) });
+        let m = RunMetrics::of(&tr);
+        assert!((m.temporary_incongruence - 0.5).abs() < 1e-12, "R1 of 2 suffered");
+    }
+
+    #[test]
+    fn no_incongruence_after_completion() {
+        let mut tr = Trace::default();
+        tr.record_submission(r(1), routine(&[0]), t(0));
+        tr.record_submission(r(2), routine(&[0]), t(1));
+        tr.push(t(10), TraceEventKind::Started { routine: r(1) });
+        tr.push(
+            t(20),
+            TraceEventKind::StateChanged { device: d(0), value: Value::ON, by: Some(r(1)), rollback: false },
+        );
+        tr.push(t(30), TraceEventKind::Committed { routine: r(1) });
+        // R2 changes device 0 only after R1 completed: no incongruence.
+        tr.push(t(31), TraceEventKind::Started { routine: r(2) });
+        tr.push(
+            t(40),
+            TraceEventKind::StateChanged { device: d(0), value: Value::OFF, by: Some(r(2)), rollback: false },
+        );
+        tr.push(t(50), TraceEventKind::Committed { routine: r(2) });
+        let m = RunMetrics::of(&tr);
+        assert_eq!(m.temporary_incongruence, 0.0);
+    }
+
+    #[test]
+    fn parallelism_averages_start_end_samples() {
+        let mut tr = Trace::default();
+        tr.record_submission(r(1), routine(&[0]), t(0));
+        tr.record_submission(r(2), routine(&[1]), t(0));
+        tr.push(t(10), TraceEventKind::Started { routine: r(1) }); // 1
+        tr.push(t(11), TraceEventKind::Started { routine: r(2) }); // 2
+        tr.push(t(20), TraceEventKind::Committed { routine: r(1) }); // 1
+        tr.push(t(30), TraceEventKind::Committed { routine: r(2) }); // 0
+        let m = RunMetrics::of(&tr);
+        assert!((m.parallelism - 1.0).abs() < 1e-12, "(1+2+1+0)/4");
+    }
+
+    #[test]
+    fn order_mismatch_reads_final_order() {
+        let mut tr = Trace::default();
+        tr.record_submission(r(1), routine(&[0]), t(0));
+        tr.record_submission(r(2), routine(&[0]), t(1));
+        tr.push(t(10), TraceEventKind::Started { routine: r(1) });
+        tr.push(t(20), TraceEventKind::Committed { routine: r(1) });
+        tr.push(t(21), TraceEventKind::Started { routine: r(2) });
+        tr.push(t(30), TraceEventKind::Committed { routine: r(2) });
+        tr.final_order = vec![
+            OrderItem::Routine(r(2)),
+            OrderItem::Failure(d(0)),
+            OrderItem::Routine(r(1)),
+        ];
+        let m = RunMetrics::of(&tr);
+        assert_eq!(m.order_mismatch, 1.0, "two routines fully swapped");
+        let _ = CmdIdx(0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Serial-equivalence checkers (final incongruence, Fig. 12b).
+
+use std::collections::{BTreeMap, HashSet};
+
+use safehome_types::{
+    trace::{OrderItem, Trace, TraceEventKind},
+    DeviceId, RoutineId, Value,
+};
+
+/// Extracts each routine's *executed* writes from the trace, in execution
+/// order (skipped best-effort commands and failed commands have no entry;
+/// rollback writes are excluded).
+pub fn executed_writes(trace: &Trace) -> BTreeMap<RoutineId, Vec<(DeviceId, Value)>> {
+    let mut out: BTreeMap<RoutineId, Vec<(DeviceId, Value)>> = BTreeMap::new();
+    for ev in &trace.events {
+        if let TraceEventKind::StateChanged {
+            device,
+            value,
+            by: Some(r),
+            rollback: false,
+        } = ev.kind
+        {
+            out.entry(r).or_default().push((device, value));
+        }
+    }
+    out
+}
+
+/// Replays the witness serialization order against the initial states and
+/// checks the result equals `end`. Exact and linear: this is the check
+/// that EV/PSV/GSV end states really are serially equivalent.
+///
+/// Only committed routines' executed writes are replayed; failure and
+/// restart events change no state. Devices marked `exclude` (failed and
+/// never recovered, so neither writes nor rollbacks could reach them) are
+/// skipped.
+pub fn replay_witness(
+    initial: &BTreeMap<DeviceId, Value>,
+    order: &[OrderItem],
+    writes: &BTreeMap<RoutineId, Vec<(DeviceId, Value)>>,
+    end: &BTreeMap<DeviceId, Value>,
+    exclude: &HashSet<DeviceId>,
+) -> bool {
+    let mut state = initial.clone();
+    for item in order {
+        if let OrderItem::Routine(r) = item {
+            if let Some(ws) = writes.get(r) {
+                for &(d, v) in ws {
+                    state.insert(d, v);
+                }
+            }
+        }
+    }
+    state
+        .iter()
+        .filter(|(d, _)| !exclude.contains(d))
+        .all(|(d, v)| end.get(d) == Some(v))
+}
+
+/// Exhaustively checks whether *any* serial order of the given routines
+/// produces `end` from `initial` — the paper's Fig. 12b check ("9!
+/// possibilities"), implemented as a memoized suffix search: build the
+/// permutation from the back; a routine may be placed last iff its final
+/// write on every not-yet-satisfied device matches the end state.
+///
+/// Returns `None` when more than `max_n` routines are involved (the
+/// bitmask memo would not fit); callers fall back to
+/// [`replay_witness`] in that case.
+pub fn exists_serial_order(
+    initial: &BTreeMap<DeviceId, Value>,
+    routines: &[(RoutineId, Vec<(DeviceId, Value)>)],
+    end: &BTreeMap<DeviceId, Value>,
+    exclude: &HashSet<DeviceId>,
+    max_n: usize,
+) -> Option<bool> {
+    let n = routines.len();
+    if n > max_n || n > 24 {
+        return None;
+    }
+    // Final write per routine per device.
+    let finals: Vec<BTreeMap<DeviceId, Value>> = routines
+        .iter()
+        .map(|(_, ws)| {
+            let mut m = BTreeMap::new();
+            for &(d, v) in ws {
+                m.insert(d, v);
+            }
+            m
+        })
+        .collect();
+    // Devices written by nobody must already match.
+    let written: HashSet<DeviceId> = finals.iter().flat_map(|m| m.keys().copied()).collect();
+    for (d, v) in initial {
+        if exclude.contains(d) || written.contains(d) {
+            continue;
+        }
+        if end.get(d) != Some(v) {
+            return Some(false);
+        }
+    }
+    // DFS from the back with a failed-mask memo. `mask` = routines already
+    // placed (at the end of the permutation). A device is "satisfied" iff
+    // some placed routine writes it (the first such placement checked the
+    // end value).
+    fn satisfied(finals: &[BTreeMap<DeviceId, Value>], mask: u32, d: DeviceId) -> bool {
+        finals
+            .iter()
+            .enumerate()
+            .any(|(i, m)| mask & (1 << i) != 0 && m.contains_key(&d))
+    }
+    fn dfs(
+        finals: &[BTreeMap<DeviceId, Value>],
+        end: &BTreeMap<DeviceId, Value>,
+        exclude: &HashSet<DeviceId>,
+        mask: u32,
+        failed: &mut HashSet<u32>,
+    ) -> bool {
+        let n = finals.len();
+        if mask == (1u32 << n) - 1 {
+            return true;
+        }
+        if failed.contains(&mask) {
+            return false;
+        }
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                continue;
+            }
+            // Place routine i immediately before the already-placed set:
+            // it becomes the last writer of any of its devices that no
+            // placed routine writes.
+            let ok = finals[i].iter().all(|(d, v)| {
+                exclude.contains(d) || satisfied(finals, mask, *d) || end.get(d) == Some(v)
+            });
+            if ok && dfs(finals, end, exclude, mask | (1 << i), failed) {
+                return true;
+            }
+        }
+        failed.insert(mask);
+        false
+    }
+    let mut failed = HashSet::new();
+    Some(dfs(&finals, end, exclude, 0, &mut failed))
+}
+
+/// Convenience: runs the Fig. 12b final-incongruence check on a trace.
+/// `true` means the end state is serially equivalent.
+pub fn final_congruent(trace: &Trace, max_n: usize) -> Option<bool> {
+    let writes = executed_writes(trace);
+    let committed = trace.committed();
+    let routines: Vec<(RoutineId, Vec<(DeviceId, Value)>)> = committed
+        .iter()
+        .map(|r| (*r, writes.get(r).cloned().unwrap_or_default()))
+        .collect();
+    // Devices that were down at the end cannot be judged: writes and
+    // rollbacks alike were lost on them.
+    let mut down: HashSet<DeviceId> = HashSet::new();
+    for ev in &trace.events {
+        match ev.kind {
+            TraceEventKind::DeviceDownDetected { device } => {
+                down.insert(device);
+            }
+            TraceEventKind::DeviceUpDetected { device } => {
+                down.remove(&device);
+            }
+            _ => {}
+        }
+    }
+    exists_serial_order(&trace.initial_states, &routines, &trace.end_states, &down, max_n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u32) -> DeviceId {
+        DeviceId(i)
+    }
+    fn r(i: u64) -> RoutineId {
+        RoutineId(i)
+    }
+
+    fn init(pairs: &[(u32, Value)]) -> BTreeMap<DeviceId, Value> {
+        pairs.iter().map(|&(i, v)| (d(i), v)).collect()
+    }
+
+    #[test]
+    fn replay_applies_writes_in_order() {
+        let initial = init(&[(0, Value::OFF), (1, Value::OFF)]);
+        let writes: BTreeMap<RoutineId, Vec<(DeviceId, Value)>> = [
+            (r(1), vec![(d(0), Value::ON)]),
+            (r(2), vec![(d(0), Value::OFF), (d(1), Value::ON)]),
+        ]
+        .into();
+        let order = vec![OrderItem::Routine(r(1)), OrderItem::Routine(r(2))];
+        let end = init(&[(0, Value::OFF), (1, Value::ON)]);
+        assert!(replay_witness(&initial, &order, &writes, &end, &HashSet::new()));
+        // The reverse order ends with d0 = ON: mismatch.
+        let rev = vec![OrderItem::Routine(r(2)), OrderItem::Routine(r(1))];
+        assert!(!replay_witness(&initial, &rev, &writes, &end, &HashSet::new()));
+    }
+
+    #[test]
+    fn replay_ignores_event_items_and_excluded_devices() {
+        let initial = init(&[(0, Value::OFF), (1, Value::OFF)]);
+        let writes: BTreeMap<RoutineId, Vec<(DeviceId, Value)>> =
+            [(r(1), vec![(d(0), Value::ON)])].into();
+        let order = vec![
+            OrderItem::Failure(d(1)),
+            OrderItem::Routine(r(1)),
+            OrderItem::Restart(d(1)),
+        ];
+        // Device 1 physically stuck ON (failed mid-change): excluded.
+        let end = init(&[(0, Value::ON), (1, Value::ON)]);
+        let excl: HashSet<DeviceId> = [d(1)].into();
+        assert!(replay_witness(&initial, &order, &writes, &end, &excl));
+        assert!(!replay_witness(&initial, &order, &writes, &end, &HashSet::new()));
+    }
+
+    #[test]
+    fn exists_serial_order_finds_valid_permutation() {
+        let initial = init(&[(0, Value::OFF), (1, Value::OFF)]);
+        // r1: d0=ON; r2: d0=OFF, d1=ON. End {OFF, ON} = order (r1, r2).
+        let routines = vec![
+            (r(1), vec![(d(0), Value::ON)]),
+            (r(2), vec![(d(0), Value::OFF), (d(1), Value::ON)]),
+        ];
+        let end = init(&[(0, Value::OFF), (1, Value::ON)]);
+        assert_eq!(
+            exists_serial_order(&initial, &routines, &end, &HashSet::new(), 20),
+            Some(true)
+        );
+        // End {ON, ON} = order (r2, r1).
+        let end2 = init(&[(0, Value::ON), (1, Value::ON)]);
+        assert_eq!(
+            exists_serial_order(&initial, &routines, &end2, &HashSet::new(), 20),
+            Some(true)
+        );
+        // A mixed state no serial order can produce.
+        let end3 = init(&[(0, Value::ON), (1, Value::OFF)]);
+        assert_eq!(
+            exists_serial_order(&initial, &routines, &end3, &HashSet::new(), 20),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn untouched_devices_must_match_initial() {
+        let initial = init(&[(0, Value::OFF), (1, Value::OFF)]);
+        let routines = vec![(r(1), vec![(d(0), Value::ON)])];
+        let end = init(&[(0, Value::ON), (1, Value::ON)]); // d1 changed by magic
+        assert_eq!(
+            exists_serial_order(&initial, &routines, &end, &HashSet::new(), 20),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn interleaved_all_on_all_off_is_incongruent() {
+        // The Fig. 1 situation: 4 devices, R1 sets all ON, R2 sets all
+        // OFF, end state is mixed.
+        let initial = init(&[(0, Value::OFF), (1, Value::OFF), (2, Value::OFF), (3, Value::OFF)]);
+        let on: Vec<(DeviceId, Value)> = (0..4).map(|i| (d(i), Value::ON)).collect();
+        let off: Vec<(DeviceId, Value)> = (0..4).map(|i| (d(i), Value::OFF)).collect();
+        let routines = vec![(r(1), on), (r(2), off)];
+        let mixed = init(&[(0, Value::ON), (1, Value::OFF), (2, Value::OFF), (3, Value::ON)]);
+        assert_eq!(
+            exists_serial_order(&initial, &routines, &mixed, &HashSet::new(), 20),
+            Some(false)
+        );
+        let all_on = init(&[(0, Value::ON), (1, Value::ON), (2, Value::ON), (3, Value::ON)]);
+        assert_eq!(
+            exists_serial_order(&initial, &routines, &all_on, &HashSet::new(), 20),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn nine_routines_search_is_fast() {
+        // The paper's 9! case: nine routines each writing its own device
+        // plus a shared one.
+        let mut initial = BTreeMap::new();
+        for i in 0..10 {
+            initial.insert(d(i), Value::OFF);
+        }
+        let routines: Vec<(RoutineId, Vec<(DeviceId, Value)>)> = (0..9)
+            .map(|i| {
+                (
+                    r(i),
+                    vec![(d(i as u32), Value::ON), (d(9), Value::Int(i as i64))],
+                )
+            })
+            .collect();
+        let mut end = initial.clone();
+        for i in 0..9 {
+            end.insert(d(i), Value::ON);
+        }
+        end.insert(d(9), Value::Int(4)); // routine 4 last on the shared device
+        assert_eq!(
+            exists_serial_order(&initial, &routines, &end, &HashSet::new(), 20),
+            Some(true)
+        );
+        end.insert(d(9), Value::Int(99)); // nobody writes 99
+        assert_eq!(
+            exists_serial_order(&initial, &routines, &end, &HashSet::new(), 20),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn oversized_problems_return_none() {
+        let initial = init(&[(0, Value::OFF)]);
+        let routines: Vec<(RoutineId, Vec<(DeviceId, Value)>)> =
+            (0..30).map(|i| (r(i), vec![(d(0), Value::ON)])).collect();
+        let end = init(&[(0, Value::ON)]);
+        assert_eq!(
+            exists_serial_order(&initial, &routines, &end, &HashSet::new(), 20),
+            None
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Metrics for SafeHome traces (§7.1).
+//!
+//! Every number in the paper's evaluation is a pure function of a
+//! [`safehome_types::trace::Trace`]:
+//!
+//! - **end-to-end latency**: submission → successful completion;
+//! - **temporary incongruence**: fraction of routines that saw another
+//!   routine change a device they had already modified, before they
+//!   completed;
+//! - **final incongruence**: does the end state match *some* serial order
+//!   of the completed routines ([`congruence`] implements both the
+//!   exhaustive check — the paper's "9! possibilities" — and the exact
+//!   witness-order replay);
+//! - **parallelism level**: concurrently executing routines, sampled at
+//!   routine start/end points;
+//! - **abort rate** and **rollback overhead** (§7.4);
+//! - **order mismatch**: swap distance between serialization and
+//!   submission orders (§7.6);
+//! - **stretch factor**: actual execution time over ideal runtime
+//!   (Fig. 15c).
+
+pub mod compute;
+pub mod congruence;
+pub mod stats;
+
+pub use compute::{normalized_swap_distance, RunMetrics};
+pub use congruence::{executed_writes, exists_serial_order, final_congruent, replay_witness};
+pub use stats::{percentile, Summary};

@@ -1,0 +1,108 @@
+//! Percentiles and cross-trial aggregation.
+
+/// Linear-interpolation percentile of an unsorted sample.
+///
+/// `p` is in `[0, 100]`. Returns 0 for empty samples.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut xs: Vec<f64> = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * ((xs.len() - 1) as f64);
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        xs[lo]
+    } else {
+        let frac = rank - lo as f64;
+        xs[lo] * (1.0 - frac) + xs[hi] * frac
+    }
+}
+
+/// Summary statistics of a sample (the rows printed by the benchmark
+/// harness: median / p90 / p95 / p99 and mean).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample.
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        Summary {
+            n: samples.len(),
+            mean: samples.iter().sum::<f64>() / samples.len() as f64,
+            p50: percentile(samples, 50.0),
+            p90: percentile(samples, 90.0),
+            p95: percentile(samples, 95.0),
+            p99: percentile(samples, 99.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_zero() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(Summary::of(&[]).n, 0);
+    }
+
+    #[test]
+    fn single_element_is_every_percentile() {
+        let xs = [7.0];
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(percentile(&xs, p), 7.0);
+        }
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let xs = [9.0, 1.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 9.0);
+        assert_eq!(percentile(&xs, 50.0), 5.0);
+    }
+
+    #[test]
+    fn summary_fields_are_consistent() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs);
+        assert_eq!(s.n, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!((s.p50 - 50.5).abs() < 1.0);
+        assert!(s.p90 > s.p50 && s.p95 > s.p90 && s.p99 > s.p95);
+    }
+
+    #[test]
+    fn out_of_range_p_clamps() {
+        let xs = [1.0, 2.0];
+        assert_eq!(percentile(&xs, -5.0), 1.0);
+        assert_eq!(percentile(&xs, 150.0), 2.0);
+    }
+}

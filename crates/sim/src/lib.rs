@@ -1,0 +1,19 @@
+//! Deterministic discrete-event simulation substrate.
+//!
+//! The paper evaluates SafeHome by running the real engine over an
+//! emulation (§7.1). This crate supplies the emulation's foundations:
+//!
+//! - [`EventQueue`]: a virtual-time event queue with stable FIFO ordering
+//!   for simultaneous events, so runs are exactly reproducible;
+//! - [`SimRng`]: a seeded random source with the distributions the
+//!   workloads need (normal durations — Table 3 "ND" — and the Zipf
+//!   device-popularity distribution of §7.6).
+//!
+//! Nothing here knows about SafeHome semantics; the harness crate binds
+//! these primitives to the engine and device models.
+
+pub mod queue;
+pub mod rng;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;

@@ -1,0 +1,188 @@
+//! Virtual-time event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use safehome_types::Timestamp;
+
+/// One scheduled entry: payload `E` due at `at`, with an insertion
+/// sequence number that breaks ties FIFO.
+struct Entry<E> {
+    at: Timestamp,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // with FIFO order among simultaneous events.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// Events pop in non-decreasing timestamp order; events scheduled for the
+/// same instant pop in insertion order. Popping advances the queue's
+/// clock, and scheduling an event in the past is clamped to `now` (this
+/// matches how an edge hub would process a backlog: never before now).
+///
+/// # Examples
+///
+/// ```
+/// use safehome_sim::EventQueue;
+/// use safehome_types::Timestamp;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Timestamp::from_millis(20), "b");
+/// q.schedule(Timestamp::from_millis(10), "a");
+/// assert_eq!(q.pop(), Some((Timestamp::from_millis(10), "a")));
+/// assert_eq!(q.now(), Timestamp::from_millis(10));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Timestamp,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Timestamp::ZERO,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current virtual time (time of the last popped event).
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at time `at` (clamped to now if in the past).
+    pub fn schedule(&mut self, at: Timestamp, payload: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Pops the next event and advances the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Timestamp, E)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.at >= self.now, "virtual time went backwards");
+        self.now = e.at;
+        Some((e.at, e.payload))
+    }
+
+    /// Timestamp of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<Timestamp> {
+        self.heap.peek().map(|e| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), 3);
+        q.schedule(t(10), 1);
+        q.schedule(t(20), 2);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.pop(), Some((t(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(42), ());
+        assert_eq!(q.now(), Timestamp::ZERO);
+        q.pop();
+        assert_eq!(q.now(), t(42));
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(t(100), "late");
+        q.pop();
+        q.schedule(t(10), "early"); // in the past now
+        assert_eq!(q.pop(), Some((t(100), "early")));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(t(9), ());
+        assert_eq!(q.peek_time(), Some(t(9)));
+        assert_eq!(q.now(), Timestamp::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1);
+        q.schedule(t(50), 5);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        q.schedule(t(30), 3);
+        q.schedule(t(20), 2);
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.pop(), Some((t(30), 3)));
+        assert_eq!(q.pop(), Some((t(50), 5)));
+    }
+}

@@ -1,0 +1,183 @@
+//! Commands: the unit of device actuation inside a routine.
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::DeviceId;
+use crate::time::TimeDelta;
+use crate::value::Value;
+
+/// What a command does to its device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// Drive the device to a target state (the common case: ON, OFF,
+    /// a setpoint, ...).
+    Set(Value),
+    /// Read the device state. If `expect` is present the routine only
+    /// proceeds when the observed state matches; otherwise it aborts.
+    ///
+    /// Reads matter for the dirty-read rule of §4.1: a post-lease is
+    /// forbidden when the lessor wrote a value that the lessee would read
+    /// before the lessor commits.
+    Read {
+        /// Optional guard: the value the routine expects to observe.
+        expect: Option<Value>,
+    },
+}
+
+impl Action {
+    /// Returns the written value, if this action writes.
+    pub fn written_value(&self) -> Option<Value> {
+        match self {
+            Action::Set(v) => Some(*v),
+            Action::Read { .. } => None,
+        }
+    }
+
+    /// Returns `true` if this action writes device state.
+    pub fn is_write(&self) -> bool {
+        matches!(self, Action::Set(_))
+    }
+
+    /// Returns `true` if this action reads device state.
+    pub fn is_read(&self) -> bool {
+        matches!(self, Action::Read { .. })
+    }
+}
+
+/// Importance tag of a command within its routine (§2.2).
+///
+/// A failed [`Priority::Must`] command aborts the whole routine; a failed
+/// [`Priority::BestEffort`] command only produces user feedback and the
+/// routine continues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Priority {
+    /// Required for routine completion.
+    #[default]
+    Must,
+    /// Optional: failure is reported but does not abort the routine.
+    BestEffort,
+}
+
+/// How to undo a command when its routine aborts (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum UndoPolicy {
+    /// Restore the device to the state it had before this routine touched
+    /// it (the default; derived from the lineage table, Fig. 8).
+    #[default]
+    RestorePrevious,
+    /// The command's physical effect cannot be reversed (a blared alarm, a
+    /// run sprinkler); SafeHome still restores the device's *state* to the
+    /// pre-routine value, but tags the feedback as physically irreversible.
+    Irreversible,
+    /// A user-specified undo handler: drive the device to this value
+    /// instead of the lineage-derived previous state.
+    Handler(Value),
+}
+
+/// One step of a routine: an action on a device, held exclusively for
+/// `duration`, with an importance tag and an undo policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Command {
+    /// The target device.
+    pub device: DeviceId,
+    /// What to do to the device.
+    pub action: Action,
+    /// How long the device is exclusively used by this command. Long
+    /// commands (oven preheat, sprinkler run) carry their real duration;
+    /// short commands carry the actuation time estimate.
+    pub duration: TimeDelta,
+    /// Must vs. best-effort tag.
+    pub priority: Priority,
+    /// Undo policy on abort.
+    pub undo: UndoPolicy,
+}
+
+impl Command {
+    /// Creates a `Must` set-command with [`UndoPolicy::RestorePrevious`].
+    pub fn set(device: DeviceId, value: impl Into<Value>, duration: TimeDelta) -> Self {
+        Command {
+            device,
+            action: Action::Set(value.into()),
+            duration,
+            priority: Priority::Must,
+            undo: UndoPolicy::default(),
+        }
+    }
+
+    /// Creates a read command (optionally guarded by an expected value).
+    pub fn read(device: DeviceId, expect: Option<Value>, duration: TimeDelta) -> Self {
+        Command {
+            device,
+            action: Action::Read { expect },
+            duration,
+            priority: Priority::Must,
+            undo: UndoPolicy::default(),
+        }
+    }
+
+    /// Marks the command best-effort.
+    pub fn best_effort(mut self) -> Self {
+        self.priority = Priority::BestEffort;
+        self
+    }
+
+    /// Sets the undo policy.
+    pub fn with_undo(mut self, undo: UndoPolicy) -> Self {
+        self.undo = undo;
+        self
+    }
+
+    /// Returns `true` if the command is long with respect to `threshold`
+    /// (the paper treats a routine as long-running iff it contains at
+    /// least one long command).
+    pub fn is_long(&self, threshold: TimeDelta) -> bool {
+        self.duration >= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceId {
+        DeviceId(1)
+    }
+
+    #[test]
+    fn set_builder_defaults_to_must_restore() {
+        let c = Command::set(dev(), Value::ON, TimeDelta::from_millis(100));
+        assert_eq!(c.priority, Priority::Must);
+        assert_eq!(c.undo, UndoPolicy::RestorePrevious);
+        assert!(c.action.is_write());
+        assert_eq!(c.action.written_value(), Some(Value::ON));
+    }
+
+    #[test]
+    fn best_effort_changes_only_priority() {
+        let c = Command::set(dev(), Value::OFF, TimeDelta::ZERO).best_effort();
+        assert_eq!(c.priority, Priority::BestEffort);
+        assert_eq!(c.undo, UndoPolicy::RestorePrevious);
+    }
+
+    #[test]
+    fn read_commands_do_not_write() {
+        let c = Command::read(dev(), Some(Value::ON), TimeDelta::from_millis(10));
+        assert!(c.action.is_read());
+        assert!(!c.action.is_write());
+        assert_eq!(c.action.written_value(), None);
+    }
+
+    #[test]
+    fn undo_handler_overrides_default() {
+        let c = Command::set(dev(), Value::ON, TimeDelta::ZERO)
+            .with_undo(UndoPolicy::Handler(Value::Int(3)));
+        assert_eq!(c.undo, UndoPolicy::Handler(Value::Int(3)));
+    }
+
+    #[test]
+    fn long_command_threshold_is_inclusive() {
+        let c = Command::set(dev(), Value::ON, TimeDelta::from_mins(5));
+        assert!(c.is_long(TimeDelta::from_mins(5)));
+        assert!(!c.is_long(TimeDelta::from_mins(6)));
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type shared across the workspace.
+
+use core::fmt;
+
+use crate::id::{DeviceId, RoutineId};
+
+/// Convenience alias used by fallible SafeHome APIs.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Errors surfaced by SafeHome components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A routine referenced a device the home does not contain.
+    UnknownDevice(DeviceId),
+    /// An engine input referenced a routine that is not in flight.
+    UnknownRoutine(RoutineId),
+    /// A routine specification failed validation (empty, bad guard, ...).
+    InvalidRoutine(String),
+    /// A JSON routine specification failed to parse.
+    Spec(String),
+    /// A lineage-table invariant would be violated by the operation.
+    InvariantViolation(String),
+    /// A lease could not be granted (contradicting serialization order or
+    /// dirty-read guard).
+    LeaseDenied(String),
+    /// Network / protocol failure in the Kasa substrate.
+    Protocol(String),
+    /// I/O failure in the Kasa substrate (carried as a string so the error
+    /// stays `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownDevice(d) => write!(f, "unknown device {d}"),
+            Error::UnknownRoutine(r) => write!(f, "unknown routine {r}"),
+            Error::InvalidRoutine(msg) => write!(f, "invalid routine: {msg}"),
+            Error::Spec(msg) => write!(f, "routine spec error: {msg}"),
+            Error::InvariantViolation(msg) => write!(f, "lineage invariant violation: {msg}"),
+            Error::LeaseDenied(msg) => write!(f, "lease denied: {msg}"),
+            Error::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        assert_eq!(
+            Error::UnknownDevice(DeviceId(4)).to_string(),
+            "unknown device D4"
+        );
+        assert!(Error::LeaseDenied("would contradict order".into())
+            .to_string()
+            .contains("would contradict order"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "refused");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

@@ -1,0 +1,94 @@
+//! Identifiers for devices, routines and commands.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one smart-home device (a lockable unit in the lineage table).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct DeviceId(pub u32);
+
+/// Identifies one routine instance.
+///
+/// The paper assigns an incremented routine id when a routine enters the
+/// wait queue; ids are therefore monotone in submission order, which the
+/// order-mismatch metric relies on.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RoutineId(pub u64);
+
+/// Index of a command within its routine (0-based execution order).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CmdIdx(pub u16);
+
+impl DeviceId {
+    /// Returns the raw index, usable for dense per-device arrays.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RoutineId {
+    /// Returns the raw id.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl CmdIdx {
+    /// Returns the raw index, usable to index the routine's command list.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The index following this one.
+    pub const fn next(self) -> CmdIdx {
+        CmdIdx(self.0 + 1)
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+impl fmt::Display for RoutineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl fmt::Display for CmdIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(DeviceId(3).to_string(), "D3");
+        assert_eq!(RoutineId(7).to_string(), "R7");
+        assert_eq!(CmdIdx(0).to_string(), "c0");
+    }
+
+    #[test]
+    fn cmd_idx_next_increments() {
+        assert_eq!(CmdIdx(4).next(), CmdIdx(5));
+        assert_eq!(CmdIdx(4).next().index(), 5);
+    }
+
+    #[test]
+    fn routine_ids_order_by_submission() {
+        assert!(RoutineId(1) < RoutineId(2));
+    }
+}

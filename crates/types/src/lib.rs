@@ -1,0 +1,28 @@
+//! Core vocabulary for the SafeHome reproduction.
+//!
+//! This crate defines the domain types shared by every other crate in the
+//! workspace: simulated time, device identifiers and state values, commands
+//! with must/best-effort tags and undo policies, routines and their JSON
+//! specification (paper Fig. 10), and the execution [`trace`] vocabulary the
+//! metrics crate consumes.
+//!
+//! The types here are deliberately free of any engine logic: the SafeHome
+//! engine (`safehome-core`) is a pure state machine over these types, which
+//! lets both the discrete-event harness and the real-time Kasa runner drive
+//! the identical engine.
+
+pub mod command;
+pub mod error;
+pub mod id;
+pub mod routine;
+pub mod spec;
+pub mod time;
+pub mod trace;
+pub mod value;
+
+pub use command::{Action, Command, Priority, UndoPolicy};
+pub use error::{Error, Result};
+pub use id::{CmdIdx, DeviceId, RoutineId};
+pub use routine::{Routine, RoutineBuilder};
+pub use time::{TimeDelta, Timestamp};
+pub use value::Value;

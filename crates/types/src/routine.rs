@@ -1,0 +1,242 @@
+//! Routines: named sequences of commands (§1, §2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::command::{Action, Command, Priority, UndoPolicy};
+use crate::id::DeviceId;
+use crate::time::TimeDelta;
+use crate::value::Value;
+
+/// A routine: a named, ordered sequence of [`Command`]s executed with
+/// SafeHome's atomicity and visibility guarantees.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Routine {
+    /// Human-readable name ("goodnight", "make breakfast", ...).
+    pub name: String,
+    /// The command sequence, executed in order.
+    pub commands: Vec<Command>,
+}
+
+impl Routine {
+    /// Creates a routine from parts.
+    pub fn new(name: impl Into<String>, commands: Vec<Command>) -> Self {
+        Routine {
+            name: name.into(),
+            commands,
+        }
+    }
+
+    /// Starts a builder.
+    pub fn builder(name: impl Into<String>) -> RoutineBuilder {
+        RoutineBuilder {
+            name: name.into(),
+            commands: Vec::new(),
+        }
+    }
+
+    /// The distinct devices the routine touches, in first-touch order.
+    pub fn devices(&self) -> Vec<DeviceId> {
+        let mut seen = Vec::new();
+        for c in &self.commands {
+            if !seen.contains(&c.device) {
+                seen.push(c.device);
+            }
+        }
+        seen
+    }
+
+    /// Returns `true` if the routine contains at least one long command
+    /// (the paper's definition of a long-running routine).
+    pub fn is_long(&self, threshold: TimeDelta) -> bool {
+        self.commands.iter().any(|c| c.is_long(threshold))
+    }
+
+    /// Sum of command durations: the minimum possible execution time,
+    /// used as the denominator of the stretch-factor metric (Fig. 15c).
+    pub fn ideal_runtime(&self) -> TimeDelta {
+        self.commands
+            .iter()
+            .fold(TimeDelta::ZERO, |acc, c| acc + c.duration)
+    }
+
+    /// Index of the first command touching `device`, if any.
+    pub fn first_touch(&self, device: DeviceId) -> Option<usize> {
+        self.commands.iter().position(|c| c.device == device)
+    }
+
+    /// Index of the last command touching `device`, if any.
+    pub fn last_touch(&self, device: DeviceId) -> Option<usize> {
+        self.commands.iter().rposition(|c| c.device == device)
+    }
+
+    /// The last written value on `device`, if the routine writes it.
+    pub fn final_write(&self, device: DeviceId) -> Option<Value> {
+        self.commands
+            .iter()
+            .rev()
+            .filter(|c| c.device == device)
+            .find_map(|c| c.action.written_value())
+    }
+
+    /// Returns `true` if the routine writes `device` at or before command
+    /// `idx` — used by the dirty-read guard.
+    pub fn writes_before(&self, device: DeviceId, idx: usize) -> bool {
+        self.commands
+            .iter()
+            .take(idx + 1)
+            .any(|c| c.device == device && c.action.is_write())
+    }
+}
+
+/// Fluent builder for [`Routine`]s.
+///
+/// # Examples
+///
+/// ```
+/// use safehome_types::{DeviceId, Routine, TimeDelta, Value};
+///
+/// let cooling = Routine::builder("cooling")
+///     .set(DeviceId(0), Value::OFF, TimeDelta::from_millis(100)) // close window
+///     .set(DeviceId(1), Value::ON, TimeDelta::from_millis(100)) // AC on
+///     .build();
+/// assert_eq!(cooling.commands.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutineBuilder {
+    name: String,
+    commands: Vec<Command>,
+}
+
+impl RoutineBuilder {
+    /// Appends a pre-built command.
+    pub fn command(mut self, c: Command) -> Self {
+        self.commands.push(c);
+        self
+    }
+
+    /// Appends a `Must` set-command.
+    pub fn set(self, device: DeviceId, value: impl Into<Value>, duration: TimeDelta) -> Self {
+        self.command(Command::set(device, value, duration))
+    }
+
+    /// Appends a best-effort set-command.
+    pub fn set_best_effort(
+        self,
+        device: DeviceId,
+        value: impl Into<Value>,
+        duration: TimeDelta,
+    ) -> Self {
+        self.command(Command::set(device, value, duration).best_effort())
+    }
+
+    /// Appends a read command.
+    pub fn read(self, device: DeviceId, expect: Option<Value>, duration: TimeDelta) -> Self {
+        self.command(Command::read(device, expect, duration))
+    }
+
+    /// Appends an irreversible set-command (run sprinklers, blare alarm).
+    pub fn set_irreversible(
+        self,
+        device: DeviceId,
+        value: impl Into<Value>,
+        duration: TimeDelta,
+    ) -> Self {
+        self.command(Command {
+            device,
+            action: Action::Set(value.into()),
+            duration,
+            priority: Priority::Must,
+            undo: UndoPolicy::Irreversible,
+        })
+    }
+
+    /// Finalizes the routine.
+    pub fn build(self) -> Routine {
+        Routine {
+            name: self.name,
+            commands: self.commands,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakfast() -> Routine {
+        // The paper's Rbreakfast: coffee ON (4 min), coffee OFF,
+        // pancake ON (5 min), pancake OFF.
+        Routine::builder("breakfast")
+            .set(DeviceId(0), Value::ON, TimeDelta::from_mins(4))
+            .set(DeviceId(0), Value::OFF, TimeDelta::from_millis(100))
+            .set(DeviceId(1), Value::ON, TimeDelta::from_mins(5))
+            .set(DeviceId(1), Value::OFF, TimeDelta::from_millis(100))
+            .build()
+    }
+
+    #[test]
+    fn devices_in_first_touch_order() {
+        assert_eq!(breakfast().devices(), vec![DeviceId(0), DeviceId(1)]);
+    }
+
+    #[test]
+    fn long_routine_detection() {
+        assert!(breakfast().is_long(TimeDelta::from_mins(1)));
+        assert!(!breakfast().is_long(TimeDelta::from_mins(10)));
+    }
+
+    #[test]
+    fn ideal_runtime_sums_durations() {
+        assert_eq!(
+            breakfast().ideal_runtime(),
+            TimeDelta::from_millis(4 * 60_000 + 100 + 5 * 60_000 + 100)
+        );
+    }
+
+    #[test]
+    fn first_and_last_touch() {
+        let r = breakfast();
+        assert_eq!(r.first_touch(DeviceId(0)), Some(0));
+        assert_eq!(r.last_touch(DeviceId(0)), Some(1));
+        assert_eq!(r.first_touch(DeviceId(1)), Some(2));
+        assert_eq!(r.last_touch(DeviceId(7)), None);
+    }
+
+    #[test]
+    fn final_write_is_last_set_value() {
+        let r = breakfast();
+        assert_eq!(r.final_write(DeviceId(0)), Some(Value::OFF));
+        assert_eq!(r.final_write(DeviceId(9)), None);
+    }
+
+    #[test]
+    fn final_write_skips_reads() {
+        let r = Routine::builder("guarded")
+            .set(DeviceId(0), Value::ON, TimeDelta::ZERO)
+            .read(DeviceId(0), None, TimeDelta::ZERO)
+            .build();
+        assert_eq!(r.final_write(DeviceId(0)), Some(Value::ON));
+    }
+
+    #[test]
+    fn writes_before_respects_index() {
+        let r = Routine::builder("rw")
+            .read(DeviceId(0), None, TimeDelta::ZERO)
+            .set(DeviceId(0), Value::ON, TimeDelta::ZERO)
+            .build();
+        assert!(!r.writes_before(DeviceId(0), 0));
+        assert!(r.writes_before(DeviceId(0), 1));
+    }
+
+    #[test]
+    fn builder_variants_set_tags() {
+        let r = Routine::builder("leave-home")
+            .set_best_effort(DeviceId(0), Value::OFF, TimeDelta::ZERO)
+            .set(DeviceId(1), Value::ON, TimeDelta::ZERO)
+            .set_irreversible(DeviceId(2), Value::ON, TimeDelta::from_mins(15))
+            .build();
+        assert_eq!(r.commands[0].priority, Priority::BestEffort);
+        assert_eq!(r.commands[1].priority, Priority::Must);
+        assert_eq!(r.commands[2].undo, UndoPolicy::Irreversible);
+    }
+}

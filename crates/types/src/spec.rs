@@ -1,0 +1,368 @@
+//! JSON routine specification (paper Fig. 10a).
+//!
+//! SafeHome routines are declared in JSON, compatible in spirit with the
+//! routine formats of Google Home and the TP-Link Kasa app shown in the
+//! paper. Device references are by *name*; [`RoutineSpec::resolve`] maps
+//! names to [`DeviceId`]s through a caller-supplied lookup (usually the
+//! device registry).
+//!
+//! # Examples
+//!
+//! ```
+//! use safehome_types::spec::RoutineSpec;
+//! use safehome_types::DeviceId;
+//!
+//! let json = r#"{
+//!     "name": "Prepare Breakfast",
+//!     "commands": [
+//!         { "device": "coffee_maker", "set": "on", "duration_ms": 240000 },
+//!         { "device": "toaster", "set": "on", "duration_ms": 120000,
+//!           "priority": "best_effort" }
+//!     ]
+//! }"#;
+//! let spec = RoutineSpec::from_json(json).unwrap();
+//! let routine = spec
+//!     .resolve(|name| match name {
+//!         "coffee_maker" => Some(DeviceId(0)),
+//!         "toaster" => Some(DeviceId(1)),
+//!         _ => None,
+//!     })
+//!     .unwrap();
+//! assert_eq!(routine.commands.len(), 2);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::command::{Action, Command, Priority, UndoPolicy};
+use crate::error::{Error, Result};
+use crate::id::DeviceId;
+use crate::routine::Routine;
+use crate::time::TimeDelta;
+use crate::value::Value;
+
+/// Declarative routine specification, deserialized from JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutineSpec {
+    /// Routine name.
+    pub name: String,
+    /// Command specifications in execution order.
+    pub commands: Vec<CommandSpec>,
+}
+
+/// One command inside a [`RoutineSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommandSpec {
+    /// Device name, resolved against the registry at load time.
+    pub device: String,
+    /// Target state for a write command ("on"/"off"/integer level).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub set: Option<ValueSpec>,
+    /// Present (possibly with an expected value) for a read command.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub read: Option<ReadSpec>,
+    /// Exclusive-use duration in milliseconds (defaults to 100 ms, the
+    /// paper's short-command actuation estimate).
+    #[serde(default = "default_duration_ms")]
+    pub duration_ms: u64,
+    /// "must" (default) or "best_effort".
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub priority: Option<String>,
+    /// "restore" (default), "irreversible", or {"handler": value}.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub undo: Option<UndoSpec>,
+}
+
+/// A JSON-friendly state value: `"on"`, `"off"`, a boolean, or an integer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum ValueSpec {
+    /// `"on"` / `"off"` (case-insensitive).
+    Keyword(String),
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON integer (leveled state).
+    Int(i64),
+}
+
+/// Read-command specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReadSpec {
+    /// Optional guard value; the routine aborts if the observation differs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub expect: Option<ValueSpec>,
+}
+
+/// Undo-policy specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum UndoSpec {
+    /// `"restore"` or `"irreversible"`.
+    Keyword(String),
+    /// `{ "handler": <value> }`.
+    Handler {
+        /// Value the user-specified undo handler drives the device to.
+        handler: ValueSpec,
+    },
+}
+
+fn default_duration_ms() -> u64 {
+    100
+}
+
+impl ValueSpec {
+    /// Converts the JSON form into a typed [`Value`].
+    pub fn to_value(&self) -> Result<Value> {
+        match self {
+            ValueSpec::Keyword(k) => match k.to_ascii_lowercase().as_str() {
+                "on" | "open" | "locked" | "true" => Ok(Value::ON),
+                "off" | "closed" | "unlocked" | "false" => Ok(Value::OFF),
+                other => Err(Error::Spec(format!("unknown state keyword {other:?}"))),
+            },
+            ValueSpec::Bool(b) => Ok(Value::Bool(*b)),
+            ValueSpec::Int(i) => Ok(Value::Int(*i)),
+        }
+    }
+}
+
+impl RoutineSpec {
+    /// Parses a specification from JSON text.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| Error::Spec(e.to_string()))
+    }
+
+    /// Serializes the specification to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serialization cannot fail")
+    }
+
+    /// Builds a [`RoutineSpec`] back from a resolved routine, given a
+    /// reverse name lookup. Useful for exporting authored workloads.
+    pub fn from_routine(routine: &Routine, device_name: impl Fn(DeviceId) -> String) -> Self {
+        RoutineSpec {
+            name: routine.name.clone(),
+            commands: routine
+                .commands
+                .iter()
+                .map(|c| {
+                    let (set, read) = match c.action {
+                        Action::Set(v) => (Some(value_to_spec(v)), None),
+                        Action::Read { expect } => (
+                            None,
+                            Some(ReadSpec {
+                                expect: expect.map(value_to_spec),
+                            }),
+                        ),
+                    };
+                    CommandSpec {
+                        device: device_name(c.device),
+                        set,
+                        read,
+                        duration_ms: c.duration.as_millis(),
+                        priority: match c.priority {
+                            Priority::Must => None,
+                            Priority::BestEffort => Some("best_effort".into()),
+                        },
+                        undo: match c.undo {
+                            UndoPolicy::RestorePrevious => None,
+                            UndoPolicy::Irreversible => Some(UndoSpec::Keyword("irreversible".into())),
+                            UndoPolicy::Handler(v) => Some(UndoSpec::Handler {
+                                handler: value_to_spec(v),
+                            }),
+                        },
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Resolves device names into a typed [`Routine`].
+    ///
+    /// Fails if a command is neither a `set` nor a `read`, if a device name
+    /// is unknown, or if a tag keyword is invalid.
+    pub fn resolve(&self, lookup: impl Fn(&str) -> Option<DeviceId>) -> Result<Routine> {
+        if self.commands.is_empty() {
+            return Err(Error::InvalidRoutine(format!(
+                "routine {:?} has no commands",
+                self.name
+            )));
+        }
+        let mut commands = Vec::with_capacity(self.commands.len());
+        for (i, cs) in self.commands.iter().enumerate() {
+            let device = lookup(&cs.device).ok_or_else(|| {
+                Error::Spec(format!("command {i}: unknown device {:?}", cs.device))
+            })?;
+            let action = match (&cs.set, &cs.read) {
+                (Some(v), None) => Action::Set(v.to_value()?),
+                (None, Some(r)) => Action::Read {
+                    expect: r.expect.as_ref().map(|v| v.to_value()).transpose()?,
+                },
+                (Some(_), Some(_)) => {
+                    return Err(Error::Spec(format!(
+                        "command {i}: both `set` and `read` present"
+                    )))
+                }
+                (None, None) => {
+                    return Err(Error::Spec(format!(
+                        "command {i}: neither `set` nor `read` present"
+                    )))
+                }
+            };
+            let priority = match cs.priority.as_deref() {
+                None | Some("must") => Priority::Must,
+                Some("best_effort") | Some("best-effort") => Priority::BestEffort,
+                Some(other) => {
+                    return Err(Error::Spec(format!(
+                        "command {i}: unknown priority {other:?}"
+                    )))
+                }
+            };
+            let undo = match &cs.undo {
+                None => UndoPolicy::RestorePrevious,
+                Some(UndoSpec::Keyword(k)) => match k.as_str() {
+                    "restore" => UndoPolicy::RestorePrevious,
+                    "irreversible" => UndoPolicy::Irreversible,
+                    other => {
+                        return Err(Error::Spec(format!("command {i}: unknown undo {other:?}")))
+                    }
+                },
+                Some(UndoSpec::Handler { handler }) => UndoPolicy::Handler(handler.to_value()?),
+            };
+            commands.push(Command {
+                device,
+                action,
+                duration: TimeDelta::from_millis(cs.duration_ms),
+                priority,
+                undo,
+            });
+        }
+        Ok(Routine::new(self.name.clone(), commands))
+    }
+}
+
+fn value_to_spec(v: Value) -> ValueSpec {
+    match v {
+        Value::Bool(true) => ValueSpec::Keyword("on".into()),
+        Value::Bool(false) => ValueSpec::Keyword("off".into()),
+        Value::Int(i) => ValueSpec::Int(i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lookup(name: &str) -> Option<DeviceId> {
+        match name {
+            "coffee" => Some(DeviceId(0)),
+            "toaster" => Some(DeviceId(1)),
+            "thermostat" => Some(DeviceId(2)),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn parses_breakfast_spec() {
+        let json = r#"{
+            "name": "Prepare Breakfast",
+            "commands": [
+                { "device": "coffee", "set": "on", "duration_ms": 240000 },
+                { "device": "toaster", "set": "on", "priority": "best_effort" }
+            ]
+        }"#;
+        let r = RoutineSpec::from_json(json).unwrap().resolve(lookup).unwrap();
+        assert_eq!(r.name, "Prepare Breakfast");
+        assert_eq!(r.commands[0].device, DeviceId(0));
+        assert_eq!(r.commands[0].duration, TimeDelta::from_mins(4));
+        assert_eq!(r.commands[1].priority, Priority::BestEffort);
+        assert_eq!(r.commands[1].duration, TimeDelta::from_millis(100));
+    }
+
+    #[test]
+    fn parses_int_levels_and_handlers() {
+        let json = r#"{
+            "name": "warm",
+            "commands": [
+                { "device": "thermostat", "set": 72, "undo": { "handler": 68 } }
+            ]
+        }"#;
+        let r = RoutineSpec::from_json(json).unwrap().resolve(lookup).unwrap();
+        assert_eq!(r.commands[0].action, Action::Set(Value::Int(72)));
+        assert_eq!(r.commands[0].undo, UndoPolicy::Handler(Value::Int(68)));
+    }
+
+    #[test]
+    fn parses_read_guards() {
+        let json = r#"{
+            "name": "guarded",
+            "commands": [
+                { "device": "coffee", "read": { "expect": "off" } },
+                { "device": "coffee", "set": "on" }
+            ]
+        }"#;
+        let r = RoutineSpec::from_json(json).unwrap().resolve(lookup).unwrap();
+        assert_eq!(
+            r.commands[0].action,
+            Action::Read {
+                expect: Some(Value::OFF)
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_device() {
+        let json = r#"{ "name": "x", "commands": [ { "device": "nope", "set": "on" } ] }"#;
+        let err = RoutineSpec::from_json(json).unwrap().resolve(lookup);
+        assert!(matches!(err, Err(Error::Spec(_))));
+    }
+
+    #[test]
+    fn rejects_empty_routine() {
+        let json = r#"{ "name": "x", "commands": [] }"#;
+        let err = RoutineSpec::from_json(json).unwrap().resolve(lookup);
+        assert!(matches!(err, Err(Error::InvalidRoutine(_))));
+    }
+
+    #[test]
+    fn rejects_ambiguous_command() {
+        let json = r#"{
+            "name": "x",
+            "commands": [ { "device": "coffee", "set": "on", "read": {} } ]
+        }"#;
+        let err = RoutineSpec::from_json(json).unwrap().resolve(lookup);
+        assert!(matches!(err, Err(Error::Spec(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_keyword() {
+        let json = r#"{ "name": "x", "commands": [ { "device": "coffee", "set": "sideways" } ] }"#;
+        let err = RoutineSpec::from_json(json).unwrap().resolve(lookup);
+        assert!(matches!(err, Err(Error::Spec(_))));
+    }
+
+    #[test]
+    fn round_trips_through_from_routine() {
+        let routine = Routine::builder("rt")
+            .set(DeviceId(0), Value::ON, TimeDelta::from_secs(1))
+            .set_best_effort(DeviceId(1), Value::Int(5), TimeDelta::from_millis(50))
+            .set_irreversible(DeviceId(2), Value::ON, TimeDelta::from_mins(15))
+            .build();
+        let spec = RoutineSpec::from_routine(&routine, |d| match d {
+            DeviceId(0) => "coffee".into(),
+            DeviceId(1) => "toaster".into(),
+            _ => "thermostat".into(),
+        });
+        let back = spec.resolve(lookup).unwrap();
+        assert_eq!(back, routine);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_spec() {
+        let json = r#"{
+            "name": "rt",
+            "commands": [ { "device": "coffee", "set": "on", "duration_ms": 1000 } ]
+        }"#;
+        let spec = RoutineSpec::from_json(json).unwrap();
+        let spec2 = RoutineSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, spec2);
+    }
+}

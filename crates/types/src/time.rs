@@ -1,0 +1,193 @@
+//! Simulated time.
+//!
+//! SafeHome runs either under a discrete-event simulator (virtual time) or
+//! in real time (the Kasa runner maps wall-clock instants onto the same
+//! axis). Both use millisecond-resolution [`Timestamp`]s measured from the
+//! start of the run, and [`TimeDelta`] durations.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant on the run's time axis, in milliseconds since run start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+/// A span of time, in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TimeDelta(pub u64);
+
+impl Timestamp {
+    /// The origin of the time axis.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Builds a timestamp from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Builds a timestamp from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Timestamp(s * 1_000)
+    }
+
+    /// Returns the timestamp as milliseconds since run start.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the elapsed time since `earlier`, saturating to zero if
+    /// `earlier` is in the future.
+    pub fn since(self, earlier: Timestamp) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a delta.
+    pub fn saturating_add(self, d: TimeDelta) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+}
+
+impl TimeDelta {
+    /// The zero-length span.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+
+    /// Builds a delta from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        TimeDelta(ms)
+    }
+
+    /// Builds a delta from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        TimeDelta(s * 1_000)
+    }
+
+    /// Builds a delta from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        TimeDelta(m * 60_000)
+    }
+
+    /// Returns the span as milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Checked subtraction, `None` on underflow.
+    pub fn checked_sub(self, other: TimeDelta) -> Option<TimeDelta> {
+        self.0.checked_sub(other.0).map(TimeDelta)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the span by a non-negative factor, rounding to the
+    /// nearest millisecond. Used for the lease leniency factor (×1.1).
+    pub fn mul_f64(self, factor: f64) -> TimeDelta {
+        debug_assert!(factor >= 0.0, "negative time scaling");
+        TimeDelta((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add<TimeDelta> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: TimeDelta) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for Timestamp {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = TimeDelta;
+    fn sub(self, rhs: Timestamp) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl Add<TimeDelta> for TimeDelta {
+    type Output = TimeDelta;
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for TimeDelta {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 60_000 && self.0 % 60_000 == 0 {
+            write!(f, "{}min", self.0 / 60_000)
+        } else if self.0 >= 1_000 && self.0 % 1_000 == 0 {
+            write!(f, "{}s", self.0 / 1_000)
+        } else {
+            write!(f, "{}ms", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arithmetic_round_trips() {
+        let t = Timestamp::from_secs(2);
+        let d = TimeDelta::from_millis(500);
+        assert_eq!((t + d).as_millis(), 2_500);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = Timestamp::from_millis(100);
+        let late = Timestamp::from_millis(400);
+        assert_eq!(late.since(early), TimeDelta::from_millis(300));
+        assert_eq!(early.since(late), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn mul_f64_rounds_to_nearest() {
+        assert_eq!(TimeDelta::from_millis(100).mul_f64(1.1).as_millis(), 110);
+        assert_eq!(TimeDelta::from_millis(3).mul_f64(0.5).as_millis(), 2);
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(TimeDelta::from_mins(20).to_string(), "20min");
+        assert_eq!(TimeDelta::from_secs(10).to_string(), "10s");
+        assert_eq!(TimeDelta::from_millis(42).to_string(), "42ms");
+        assert_eq!(Timestamp::from_millis(7).to_string(), "7ms");
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(Timestamp::from_millis(1) < Timestamp::from_millis(2));
+        assert!(TimeDelta::from_secs(1) > TimeDelta::from_millis(999));
+    }
+}

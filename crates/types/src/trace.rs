@@ -1,0 +1,420 @@
+//! Execution traces.
+//!
+//! A [`Trace`] is the complete, time-ordered record of one SafeHome run:
+//! routine lifecycle events, command dispatches and completions, device
+//! state changes (with attribution), detector events, the final
+//! serialization order, and the end state of the home. Every metric in the
+//! paper's evaluation (§7.1) is a pure function of a `Trace`, implemented
+//! in `safehome-metrics`.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::command::Priority;
+use crate::id::{CmdIdx, DeviceId, RoutineId};
+use crate::routine::Routine;
+use crate::time::Timestamp;
+use crate::value::Value;
+
+/// Why a routine aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// A `Must` command failed (device down or unresponsive mid-command).
+    MustCommandFailed {
+        /// The failed device.
+        device: DeviceId,
+    },
+    /// The visibility model's failure-serialization rule (§3) forced the
+    /// abort (e.g. device failed between two touches under EV).
+    FailureSerialization {
+        /// The failed device.
+        device: DeviceId,
+    },
+    /// A leased lock was revoked before the lessee's last access (§4.1).
+    LeaseRevoked {
+        /// The device whose lease was revoked.
+        device: DeviceId,
+    },
+    /// A read guard observed a value different from the expected one.
+    GuardFailed {
+        /// The guarded device.
+        device: DeviceId,
+    },
+}
+
+/// Outcome of one command execution attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmdOutcome {
+    /// The device acknowledged; reads carry the observed value.
+    Success {
+        /// Observed value for read commands.
+        observed: Option<Value>,
+    },
+    /// The device was down or failed while executing the command.
+    Failed,
+}
+
+/// Final outcome of a routine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutineOutcome {
+    /// All (must) commands took effect; the routine is in the serial order.
+    Committed,
+    /// The routine aborted and its effects were rolled back; it does not
+    /// appear in the serial order.
+    Aborted(AbortReason),
+}
+
+/// An element of the final serialization order (§3: routines *and*
+/// failure/restart events are serialized together).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrderItem {
+    /// A committed routine.
+    Routine(RoutineId),
+    /// A device failure event (as detected by the edge).
+    Failure(DeviceId),
+    /// A device restart event (as detected by the edge).
+    Restart(DeviceId),
+}
+
+/// One time-stamped trace event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When the event occurred.
+    pub at: Timestamp,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// The trace event vocabulary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// Routine entered the wait queue.
+    Submitted {
+        /// The routine.
+        routine: RoutineId,
+    },
+    /// Routine began executing (first command dispatched or locks held).
+    Started {
+        /// The routine.
+        routine: RoutineId,
+    },
+    /// Routine committed.
+    Committed {
+        /// The routine.
+        routine: RoutineId,
+    },
+    /// Routine aborted.
+    Aborted {
+        /// The routine.
+        routine: RoutineId,
+        /// Why it aborted.
+        reason: AbortReason,
+        /// Commands that had fully executed before the abort.
+        executed: u32,
+        /// Rollback commands issued to undo effects.
+        rolled_back: u32,
+    },
+    /// A command was sent to its device.
+    CommandDispatched {
+        /// Owning routine.
+        routine: RoutineId,
+        /// Command index within the routine.
+        idx: CmdIdx,
+        /// Target device.
+        device: DeviceId,
+    },
+    /// A command finished (successfully or not).
+    CommandCompleted {
+        /// Owning routine.
+        routine: RoutineId,
+        /// Command index within the routine.
+        idx: CmdIdx,
+        /// Target device.
+        device: DeviceId,
+        /// Result.
+        outcome: CmdOutcome,
+    },
+    /// A best-effort command was skipped because its device was down.
+    BestEffortSkipped {
+        /// Owning routine.
+        routine: RoutineId,
+        /// Command index within the routine.
+        idx: CmdIdx,
+        /// Target device.
+        device: DeviceId,
+    },
+    /// A device's externally visible state changed.
+    StateChanged {
+        /// The device.
+        device: DeviceId,
+        /// The new state.
+        value: Value,
+        /// The routine that caused it (`None` for external causes).
+        by: Option<RoutineId>,
+        /// `true` when the change was a rollback write.
+        rollback: bool,
+    },
+    /// The failure detector marked a device down.
+    DeviceDownDetected {
+        /// The device.
+        device: DeviceId,
+    },
+    /// The failure detector marked a device back up.
+    DeviceUpDetected {
+        /// The device.
+        device: DeviceId,
+    },
+}
+
+/// Digested per-routine record, maintained incrementally as events arrive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutineRecord {
+    /// The routine definition.
+    pub routine: Routine,
+    /// Submission time.
+    pub submitted: Timestamp,
+    /// Actual start time (locks held / first command dispatched).
+    pub started: Option<Timestamp>,
+    /// Commit or abort time.
+    pub finished: Option<Timestamp>,
+    /// Final outcome, `None` while in flight.
+    pub outcome: Option<RoutineOutcome>,
+    /// Count of best-effort commands skipped (reported as feedback).
+    pub best_effort_skipped: u32,
+}
+
+impl RoutineRecord {
+    /// Number of `Must` commands in the routine.
+    pub fn must_count(&self) -> usize {
+        self.routine
+            .commands
+            .iter()
+            .filter(|c| c.priority == Priority::Must)
+            .count()
+    }
+
+    /// `true` if the routine committed.
+    pub fn committed(&self) -> bool {
+        matches!(self.outcome, Some(RoutineOutcome::Committed))
+    }
+
+    /// `true` if the routine aborted.
+    pub fn aborted(&self) -> bool {
+        matches!(self.outcome, Some(RoutineOutcome::Aborted(_)))
+    }
+}
+
+/// Complete record of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Trace {
+    /// Device states before any routine ran.
+    pub initial_states: BTreeMap<DeviceId, Value>,
+    /// Time-ordered events.
+    pub events: Vec<TraceEvent>,
+    /// Digested per-routine records.
+    pub records: BTreeMap<RoutineId, RoutineRecord>,
+    /// The final serialization order (committed routines + failure and
+    /// restart events). Empty for models with no serialization (WV).
+    pub final_order: Vec<OrderItem>,
+    /// Actual device states when the run ended.
+    pub end_states: BTreeMap<DeviceId, Value>,
+}
+
+impl Trace {
+    /// Creates an empty trace with the given initial device states.
+    pub fn new(initial_states: BTreeMap<DeviceId, Value>) -> Self {
+        Trace {
+            initial_states,
+            ..Trace::default()
+        }
+    }
+
+    /// Appends an event, keeping the digested records in sync.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert that events arrive in non-decreasing time order.
+    pub fn push(&mut self, at: Timestamp, kind: TraceEventKind) {
+        if let Some(last) = self.events.last() {
+            debug_assert!(last.at <= at, "trace events must be time-ordered");
+        }
+        match &kind {
+            TraceEventKind::Started { routine } => {
+                if let Some(rec) = self.records.get_mut(routine) {
+                    rec.started.get_or_insert(at);
+                }
+            }
+            TraceEventKind::Committed { routine } => {
+                if let Some(rec) = self.records.get_mut(routine) {
+                    rec.finished = Some(at);
+                    rec.outcome = Some(RoutineOutcome::Committed);
+                }
+            }
+            TraceEventKind::Aborted {
+                routine, reason, ..
+            } => {
+                if let Some(rec) = self.records.get_mut(routine) {
+                    rec.finished = Some(at);
+                    rec.outcome = Some(RoutineOutcome::Aborted(*reason));
+                }
+            }
+            TraceEventKind::BestEffortSkipped { routine, .. } => {
+                if let Some(rec) = self.records.get_mut(routine) {
+                    rec.best_effort_skipped += 1;
+                }
+            }
+            _ => {}
+        }
+        self.events.push(TraceEvent { at, kind });
+    }
+
+    /// Registers a submitted routine and appends its `Submitted` event.
+    pub fn record_submission(&mut self, id: RoutineId, routine: Routine, at: Timestamp) {
+        self.records.insert(
+            id,
+            RoutineRecord {
+                routine,
+                submitted: at,
+                started: None,
+                finished: None,
+                outcome: None,
+                best_effort_skipped: 0,
+            },
+        );
+        self.push(at, TraceEventKind::Submitted { routine: id });
+    }
+
+    /// All routine ids in submission order.
+    pub fn submission_order(&self) -> Vec<RoutineId> {
+        // BTreeMap keys are sorted and ids are monotone in submission order.
+        self.records.keys().copied().collect()
+    }
+
+    /// Ids of committed routines, in submission order.
+    pub fn committed(&self) -> Vec<RoutineId> {
+        self.records
+            .iter()
+            .filter(|(_, r)| r.committed())
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Ids of aborted routines, in submission order.
+    pub fn aborted(&self) -> Vec<RoutineId> {
+        self.records
+            .iter()
+            .filter(|(_, r)| r.aborted())
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// The run's end time (time of the last event), or zero when empty.
+    pub fn end_time(&self) -> Timestamp {
+        self.events.last().map(|e| e.at).unwrap_or(Timestamp::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimeDelta;
+
+    fn routine() -> Routine {
+        Routine::builder("r")
+            .set(DeviceId(0), Value::ON, TimeDelta::from_millis(100))
+            .build()
+    }
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn submission_creates_record() {
+        let mut tr = Trace::default();
+        tr.record_submission(RoutineId(1), routine(), t(5));
+        assert_eq!(tr.records[&RoutineId(1)].submitted, t(5));
+        assert_eq!(tr.events.len(), 1);
+    }
+
+    #[test]
+    fn lifecycle_updates_record() {
+        let mut tr = Trace::default();
+        let id = RoutineId(1);
+        tr.record_submission(id, routine(), t(0));
+        tr.push(t(10), TraceEventKind::Started { routine: id });
+        tr.push(t(50), TraceEventKind::Committed { routine: id });
+        let rec = &tr.records[&id];
+        assert_eq!(rec.started, Some(t(10)));
+        assert_eq!(rec.finished, Some(t(50)));
+        assert!(rec.committed());
+        assert_eq!(tr.committed(), vec![id]);
+        assert!(tr.aborted().is_empty());
+    }
+
+    #[test]
+    fn abort_records_reason() {
+        let mut tr = Trace::default();
+        let id = RoutineId(2);
+        tr.record_submission(id, routine(), t(0));
+        tr.push(
+            t(30),
+            TraceEventKind::Aborted {
+                routine: id,
+                reason: AbortReason::MustCommandFailed {
+                    device: DeviceId(0),
+                },
+                executed: 1,
+                rolled_back: 1,
+            },
+        );
+        assert!(tr.records[&id].aborted());
+        assert_eq!(tr.aborted(), vec![id]);
+    }
+
+    #[test]
+    fn best_effort_skips_accumulate() {
+        let mut tr = Trace::default();
+        let id = RoutineId(3);
+        tr.record_submission(id, routine(), t(0));
+        for i in 0..3 {
+            tr.push(
+                t(i + 1),
+                TraceEventKind::BestEffortSkipped {
+                    routine: id,
+                    idx: CmdIdx(i as u16),
+                    device: DeviceId(0),
+                },
+            );
+        }
+        assert_eq!(tr.records[&id].best_effort_skipped, 3);
+    }
+
+    #[test]
+    fn started_is_recorded_once() {
+        let mut tr = Trace::default();
+        let id = RoutineId(4);
+        tr.record_submission(id, routine(), t(0));
+        tr.push(t(10), TraceEventKind::Started { routine: id });
+        tr.push(t(20), TraceEventKind::Started { routine: id });
+        assert_eq!(tr.records[&id].started, Some(t(10)));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)] // The ordering check is a debug_assert.
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_events_panic_in_debug() {
+        let mut tr = Trace::default();
+        tr.push(t(10), TraceEventKind::DeviceDownDetected { device: DeviceId(0) });
+        tr.push(t(5), TraceEventKind::DeviceUpDetected { device: DeviceId(0) });
+    }
+
+    #[test]
+    fn end_time_is_last_event() {
+        let mut tr = Trace::default();
+        assert_eq!(tr.end_time(), Timestamp::ZERO);
+        tr.push(t(7), TraceEventKind::DeviceDownDetected { device: DeviceId(0) });
+        assert_eq!(tr.end_time(), t(7));
+    }
+}

@@ -1,0 +1,102 @@
+//! Device state values.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The externally visible state of a device.
+///
+/// SafeHome treats device state as an opaque settable value: a command
+/// drives a device *to* a value, rollback restores a previous value, and
+/// congruence checking compares values. Two families cover every device in
+/// the paper's scenarios: binary actuators (plugs, locks, garage doors) and
+/// leveled devices (thermostats, dimmers, oven temperature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// A binary actuator state (ON/OFF, LOCKED/UNLOCKED, OPEN/CLOSED).
+    Bool(bool),
+    /// A leveled state such as a temperature setpoint or dimmer level.
+    Int(i64),
+}
+
+impl Value {
+    /// Convenience constant for the common "ON" state.
+    pub const ON: Value = Value::Bool(true);
+    /// Convenience constant for the common "OFF" state.
+    pub const OFF: Value = Value::Bool(false);
+
+    /// Returns `true` if this is a binary value.
+    pub fn is_bool(self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+
+    /// Returns the boolean payload, if binary.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(b),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Returns the integer payload, if leveled.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(i),
+            Value::Bool(_) => None,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(true) => write!(f, "ON"),
+            Value::Bool(false) => write!(f, "OFF"),
+            Value::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_bool_values() {
+        assert_eq!(Value::ON, Value::Bool(true));
+        assert_eq!(Value::OFF, Value::Bool(false));
+    }
+
+    #[test]
+    fn accessors_are_type_safe() {
+        assert_eq!(Value::ON.as_bool(), Some(true));
+        assert_eq!(Value::ON.as_int(), None);
+        assert_eq!(Value::Int(25).as_int(), Some(25));
+        assert_eq!(Value::Int(25).as_bool(), None);
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(Value::from(true), Value::ON);
+        assert_eq!(Value::from(42i64), Value::Int(42));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(Value::ON.to_string(), "ON");
+        assert_eq!(Value::OFF.to_string(), "OFF");
+        assert_eq!(Value::Int(72).to_string(), "72");
+    }
+}

@@ -1,0 +1,256 @@
+//! The Table-3 parameterized microbenchmark.
+
+use safehome_core::EngineConfig;
+use safehome_devices::{catalog::plug_home, FailurePlan};
+use safehome_harness::{RunSpec, Submission};
+use safehome_sim::SimRng;
+use safehome_types::{Command, Priority, Routine, TimeDelta, Timestamp};
+
+/// Table 3's parameters, with the paper's defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroParams {
+    /// `R`: total number of routines (default 100).
+    pub routines: usize,
+    /// `ρ`: concurrent injectors; each runs its share of routines
+    /// back-to-back (default 4).
+    pub concurrency: usize,
+    /// Number of devices in the home (the paper uses 25).
+    pub devices: usize,
+    /// `C`: mean commands per routine, normally distributed (default 3).
+    pub commands_mean: f64,
+    /// `α`: Zipf exponent of device popularity (default 0.05).
+    pub zipf_alpha: f64,
+    /// `L%`: probability a routine is long-running (default 0.10).
+    pub long_pct: f64,
+    /// `|L|`: mean duration of a long command, ND (default 20 min).
+    pub long_mean: TimeDelta,
+    /// `|S|`: mean duration of a short command, ND (default 10 s).
+    pub short_mean: TimeDelta,
+    /// `M`: probability a command is `Must` (default 1.0).
+    pub must_pct: f64,
+    /// `F`: fraction of devices that fail-stop mid-run (default 0).
+    pub fail_pct: f64,
+    /// Relative standard deviation for the normal distributions (the
+    /// paper says "ND" without a variance; we use 0.25 and document it).
+    pub rel_std: f64,
+}
+
+impl Default for MicroParams {
+    fn default() -> Self {
+        MicroParams {
+            routines: 100,
+            concurrency: 4,
+            devices: 25,
+            commands_mean: 3.0,
+            zipf_alpha: 0.05,
+            long_pct: 0.10,
+            long_mean: TimeDelta::from_mins(20),
+            short_mean: TimeDelta::from_secs(10),
+            must_pct: 1.0,
+            fail_pct: 0.0,
+            rel_std: 0.25,
+        }
+    }
+}
+
+impl MicroParams {
+    /// Rough horizon of the run, used to place random fail-stop events
+    /// inside the active window.
+    pub fn estimated_horizon(&self) -> Timestamp {
+        let per_injector = self.routines.div_ceil(self.concurrency.max(1));
+        let avg_routine_ms = self.commands_mean
+            * (self.short_mean.as_millis() as f64 * (1.0 - self.long_pct)
+                + self.long_mean.as_millis() as f64 * self.long_pct);
+        Timestamp::from_millis((per_injector as f64 * avg_routine_ms * 1.5) as u64 + 60_000)
+    }
+
+    /// Generates one routine.
+    pub fn gen_routine(&self, index: usize, rng: &mut SimRng) -> Routine {
+        let count = rng.normal_count(self.commands_mean, self.rel_std);
+        let is_long = rng.chance(self.long_pct);
+        // A long routine contains at least one long command; pick which.
+        let long_at = if is_long { Some(rng.index(count)) } else { None };
+        let mut commands = Vec::with_capacity(count);
+        for c in 0..count {
+            let device = safehome_types::DeviceId(
+                rng.zipf_index(self.devices, self.zipf_alpha) as u32,
+            );
+            let duration = if Some(c) == long_at {
+                rng.normal_duration(self.long_mean, self.rel_std, TimeDelta::from_secs(60))
+            } else {
+                rng.normal_duration(self.short_mean, self.rel_std, TimeDelta::from_millis(500))
+            };
+            let mut cmd = Command::set(
+                device,
+                // Alternate target states so conflicting routines disagree.
+                safehome_types::Value::Bool((index + c) % 2 == 0),
+                duration,
+            );
+            if !rng.chance(self.must_pct) {
+                cmd.priority = Priority::BestEffort;
+            }
+            commands.push(cmd);
+        }
+        Routine::new(format!("micro-{index}"), commands)
+    }
+
+    /// Builds the full run spec: ρ injector chains submitting their share
+    /// of the R routines back-to-back, plus the F% fail-stop plan.
+    pub fn build(&self, config: EngineConfig, seed: u64) -> RunSpec {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let home = plug_home(self.devices);
+        let mut spec = RunSpec::new(home, config).with_seed(rng.fork_seed());
+        let mut produced = 0usize;
+        for injector in 0..self.concurrency.max(1) {
+            let mut prev: Option<usize> = None;
+            let share = self.share_of(injector);
+            for _ in 0..share {
+                let routine = self.gen_routine(produced, &mut rng);
+                produced += 1;
+                let think = TimeDelta::from_millis(rng.int_in(10, 500));
+                let sub = match prev {
+                    None => Submission::at(
+                        routine,
+                        Timestamp::from_millis(rng.int_in(0, 1_000)),
+                    ),
+                    Some(p) => Submission::after(routine, p, think),
+                };
+                prev = Some(spec.submit(sub));
+            }
+        }
+        if self.fail_pct > 0.0 {
+            spec.failures = FailurePlan::random_fail_stop(
+                self.devices,
+                self.fail_pct,
+                self.estimated_horizon(),
+                &mut rng,
+            );
+        }
+        spec
+    }
+
+    /// How many routines injector `i` submits (R split as evenly as
+    /// possible across ρ injectors).
+    pub fn share_of(&self, injector: usize) -> usize {
+        let base = self.routines / self.concurrency.max(1);
+        let extra = self.routines % self.concurrency.max(1);
+        base + usize::from(injector < extra)
+    }
+}
+
+/// Extension trait used by the generator to derive per-spec seeds.
+trait ForkSeed {
+    fn fork_seed(&mut self) -> u64;
+}
+
+impl ForkSeed for SimRng {
+    fn fork_seed(&mut self) -> u64 {
+        self.int_in(0, u64::MAX - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safehome_core::VisibilityModel;
+    use safehome_harness::Arrival;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::new(VisibilityModel::ev())
+    }
+
+    #[test]
+    fn defaults_match_table_3() {
+        let p = MicroParams::default();
+        assert_eq!(p.routines, 100);
+        assert_eq!(p.concurrency, 4);
+        assert_eq!(p.devices, 25);
+        assert_eq!(p.commands_mean, 3.0);
+        assert_eq!(p.zipf_alpha, 0.05);
+        assert_eq!(p.long_pct, 0.10);
+        assert_eq!(p.long_mean, TimeDelta::from_mins(20));
+        assert_eq!(p.short_mean, TimeDelta::from_secs(10));
+        assert_eq!(p.must_pct, 1.0);
+        assert_eq!(p.fail_pct, 0.0);
+    }
+
+    #[test]
+    fn share_splits_evenly() {
+        let p = MicroParams { routines: 10, concurrency: 4, ..Default::default() };
+        let shares: Vec<usize> = (0..4).map(|i| p.share_of(i)).collect();
+        assert_eq!(shares, vec![3, 3, 2, 2]);
+        assert_eq!(shares.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn build_produces_r_submissions_in_rho_chains() {
+        let p = MicroParams { routines: 20, concurrency: 4, ..Default::default() };
+        let spec = p.build(cfg(), 1);
+        assert_eq!(spec.submissions.len(), 20);
+        let heads = spec
+            .submissions
+            .iter()
+            .filter(|s| matches!(s.arrival, Arrival::At(_)))
+            .count();
+        assert_eq!(heads, 4, "one chain head per injector");
+    }
+
+    #[test]
+    fn long_pct_zero_generates_only_short_commands() {
+        let p = MicroParams { long_pct: 0.0, ..Default::default() };
+        let mut rng = SimRng::seed_from_u64(3);
+        for i in 0..200 {
+            let r = p.gen_routine(i, &mut rng);
+            assert!(!r.is_long(TimeDelta::from_secs(60)), "routine {i} is long");
+        }
+    }
+
+    #[test]
+    fn long_pct_one_generates_only_long_routines() {
+        let p = MicroParams { long_pct: 1.0, ..Default::default() };
+        let mut rng = SimRng::seed_from_u64(4);
+        for i in 0..50 {
+            let r = p.gen_routine(i, &mut rng);
+            assert!(r.is_long(TimeDelta::from_secs(60)));
+        }
+    }
+
+    #[test]
+    fn must_pct_controls_priorities() {
+        let p = MicroParams { must_pct: 0.0, ..Default::default() };
+        let mut rng = SimRng::seed_from_u64(5);
+        let r = p.gen_routine(0, &mut rng);
+        assert!(r.commands.iter().all(|c| c.priority == Priority::BestEffort));
+        let p = MicroParams { must_pct: 1.0, ..Default::default() };
+        let r = p.gen_routine(0, &mut rng);
+        assert!(r.commands.iter().all(|c| c.priority == Priority::Must));
+    }
+
+    #[test]
+    fn fail_pct_populates_failure_plan() {
+        let p = MicroParams { fail_pct: 0.25, routines: 8, ..Default::default() };
+        let spec = p.build(cfg(), 7);
+        assert_eq!(spec.failures.len(), 6, "25% of 25 devices, rounded");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = MicroParams { routines: 12, ..Default::default() };
+        let a = p.build(cfg(), 9);
+        let b = p.build(cfg(), 9);
+        assert_eq!(a.submissions, b.submissions);
+        assert_eq!(a.failures, b.failures);
+        assert_eq!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn devices_stay_in_range() {
+        let p = MicroParams { devices: 5, ..Default::default() };
+        let mut rng = SimRng::seed_from_u64(11);
+        for i in 0..100 {
+            for cmd in &p.gen_routine(i, &mut rng).commands {
+                assert!(cmd.device.index() < 5);
+            }
+        }
+    }
+}

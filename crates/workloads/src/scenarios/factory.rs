@@ -1,0 +1,211 @@
+//! The factory scenario (§7.2).
+//!
+//! An assembly line with 50 workers at 50 stages. Each stage has local
+//! devices, devices shared with the immediately preceding and succeeding
+//! stages, and access to 5 global devices. Each command picks its device
+//! with the paper's probabilities: 0.6 local, 0.3 neighbour, 0.1 global.
+//! Routines are generated to keep every worker occupied (closed loop):
+//! each worker's next routine is submitted the moment the previous one
+//! finishes.
+
+use safehome_core::EngineConfig;
+use safehome_devices::{DeviceKind, Home};
+use safehome_harness::{RunSpec, Submission};
+use safehome_sim::SimRng;
+use safehome_types::{Command, DeviceId, Routine, TimeDelta, Timestamp, Value};
+
+/// Number of stages (and workers).
+pub const STAGES: usize = 50;
+/// Local devices per stage.
+pub const LOCAL_PER_STAGE: usize = 2;
+/// Global devices shared by every stage.
+pub const GLOBALS: usize = 5;
+
+/// The factory floor's device layout.
+#[derive(Debug, Clone)]
+pub struct FactoryFloor {
+    /// The catalog.
+    pub home: Home,
+    /// `locals[s]` = the stage's own devices.
+    pub locals: Vec<Vec<DeviceId>>,
+    /// `shared[s]` = device between stage `s` and `s + 1`.
+    pub shared: Vec<DeviceId>,
+    /// The 5 global devices.
+    pub globals: Vec<DeviceId>,
+}
+
+impl FactoryFloor {
+    /// Builds the catalog: 50×2 local + 49 shared + 5 global devices.
+    pub fn new() -> Self {
+        let mut b = Home::builder();
+        let mut locals = Vec::with_capacity(STAGES);
+        for s in 0..STAGES {
+            locals.push(
+                (0..LOCAL_PER_STAGE)
+                    .map(|i| b.device(format!("stage{s}_local{i}"), DeviceKind::Industrial))
+                    .collect(),
+            );
+        }
+        let shared = (0..STAGES - 1)
+            .map(|s| b.device(format!("belt_{s}_{}", s + 1), DeviceKind::Industrial))
+            .collect();
+        let globals = (0..GLOBALS)
+            .map(|g| b.device(format!("global_{g}"), DeviceKind::Industrial))
+            .collect();
+        FactoryFloor {
+            home: b.build(),
+            locals,
+            shared,
+            globals,
+        }
+    }
+
+    /// Samples a device for a stage's command with the paper's
+    /// probabilities (0.6 local / 0.3 neighbour / 0.1 global).
+    pub fn pick_device(&self, stage: usize, rng: &mut SimRng) -> DeviceId {
+        let p = rng.unit();
+        if p < 0.6 {
+            self.locals[stage][rng.index(LOCAL_PER_STAGE)]
+        } else if p < 0.9 {
+            // Shared with the preceding or succeeding stage.
+            let mut options = Vec::with_capacity(2);
+            if stage > 0 {
+                options.push(self.shared[stage - 1]);
+            }
+            if stage < STAGES - 1 {
+                options.push(self.shared[stage]);
+            }
+            options[rng.index(options.len())]
+        } else {
+            self.globals[rng.index(GLOBALS)]
+        }
+    }
+}
+
+impl Default for FactoryFloor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One stage routine: 3–5 short commands on probabilistically chosen
+/// devices (retrieve, process, hand over).
+pub fn stage_routine(floor: &FactoryFloor, stage: usize, round: usize, rng: &mut SimRng) -> Routine {
+    let count = 3 + rng.index(3);
+    let mut commands = Vec::with_capacity(count);
+    for c in 0..count {
+        let device = floor.pick_device(stage, rng);
+        let duration = rng.normal_duration(
+            TimeDelta::from_secs(8),
+            0.25,
+            TimeDelta::from_millis(500),
+        );
+        commands.push(Command::set(
+            device,
+            Value::Bool((stage + round + c) % 2 == 0),
+            duration,
+        ));
+    }
+    Routine::new(format!("stage{stage}_round{round}"), commands)
+}
+
+/// Builds the factory run spec: every worker runs `rounds` routines
+/// back-to-back (no idle time), starting within the first second.
+pub fn factory(config: EngineConfig, rounds: usize, seed: u64) -> RunSpec {
+    let floor = FactoryFloor::new();
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut spec = RunSpec::new(floor.home.clone(), config).with_seed(seed ^ 0xFAC7);
+    for stage in 0..STAGES {
+        let mut prev: Option<usize> = None;
+        for round in 0..rounds {
+            let routine = stage_routine(&floor, stage, round, &mut rng);
+            let sub = match prev {
+                None => Submission::at(routine, Timestamp::from_millis(rng.int_in(0, 1_000))),
+                Some(p) => Submission::after(routine, p, TimeDelta::ZERO),
+            };
+            prev = Some(spec.submit(sub));
+        }
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safehome_core::VisibilityModel;
+
+    #[test]
+    fn floor_has_expected_device_count() {
+        let floor = FactoryFloor::new();
+        assert_eq!(
+            floor.home.len(),
+            STAGES * LOCAL_PER_STAGE + (STAGES - 1) + GLOBALS
+        );
+    }
+
+    #[test]
+    fn device_probabilities_are_roughly_right() {
+        let floor = FactoryFloor::new();
+        let mut rng = SimRng::seed_from_u64(1);
+        let stage = 25;
+        let mut local = 0;
+        let mut neighbour = 0;
+        let mut global = 0;
+        for _ in 0..10_000 {
+            let d = floor.pick_device(stage, &mut rng);
+            if floor.locals[stage].contains(&d) {
+                local += 1;
+            } else if floor.globals.contains(&d) {
+                global += 1;
+            } else {
+                neighbour += 1;
+            }
+        }
+        assert!((local as f64 / 10_000.0 - 0.6).abs() < 0.03);
+        assert!((neighbour as f64 / 10_000.0 - 0.3).abs() < 0.03);
+        assert!((global as f64 / 10_000.0 - 0.1).abs() < 0.03);
+    }
+
+    #[test]
+    fn edge_stages_only_use_their_single_neighbour() {
+        let floor = FactoryFloor::new();
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..2_000 {
+            let d = floor.pick_device(0, &mut rng);
+            assert_ne!(d, floor.shared[5], "stage 0 cannot reach belt 5/6");
+        }
+    }
+
+    #[test]
+    fn closed_loop_chains_per_worker() {
+        let spec = factory(EngineConfig::new(VisibilityModel::ev()), 3, 4);
+        assert_eq!(spec.submissions.len(), STAGES * 3);
+        // Worker 0's rounds: index 0 (At), 1 and 2 chained.
+        assert!(matches!(spec.submissions[0].arrival, safehome_harness::Arrival::At(_)));
+        assert!(matches!(
+            spec.submissions[1].arrival,
+            safehome_harness::Arrival::After { index: 0, .. }
+        ));
+        assert!(matches!(
+            spec.submissions[2].arrival,
+            safehome_harness::Arrival::After { index: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn routines_are_three_to_five_commands() {
+        let floor = FactoryFloor::new();
+        let mut rng = SimRng::seed_from_u64(3);
+        for s in 0..STAGES {
+            let r = stage_routine(&floor, s, 0, &mut rng);
+            assert!((3..=5).contains(&r.commands.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = factory(EngineConfig::new(VisibilityModel::ev()), 2, 11);
+        let b = factory(EngineConfig::new(VisibilityModel::ev()), 2, 11);
+        assert_eq!(a.submissions, b.submissions);
+    }
+}

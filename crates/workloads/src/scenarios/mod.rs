@@ -1,0 +1,24 @@
+//! Trace-based scenario benchmarks (§7.2).
+//!
+//! The paper distilled two years of Google Home traces from three real
+//! homes, 147 SmartThings apps and 35 IoTBench OpenHAB apps into three
+//! representative benchmarks; these modules implement them from the
+//! published description:
+//!
+//! - [`morning`]: 4 family members, 31 devices, 29 routines over ~25
+//!   minutes, with real-life ordering constraints (wake-up before
+//!   breakfast, leave-home last);
+//! - [`party`]: one long atmosphere routine spanning the whole run plus
+//!   11 spontaneous routines (singing, announcements, serving);
+//! - [`factory`]: a 50-stage assembly line where each stage's routine
+//!   touches local devices (p=0.6), devices shared with neighbouring
+//!   stages (p=0.3) and 5 global devices (p=0.1), with every worker kept
+//!   busy (closed loop).
+
+pub mod factory;
+pub mod morning;
+pub mod party;
+
+pub use factory::factory;
+pub use morning::morning;
+pub use party::party;

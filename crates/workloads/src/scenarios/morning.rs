@@ -1,0 +1,335 @@
+//! The chaotic morning scenario (§7.2).
+//!
+//! Four family members in a 3-bed / 2-bath home concurrently initiate 29
+//! routines over ~25 minutes touching 31 devices. Each user starts with a
+//! wake-up routine and ends with leave-home; in between come bathroom
+//! use, breakfast cooking and eating, plus sporadic events (milk-spillage
+//! cleanup, thermostat fiddling, a radio on). Real-life logic is encoded
+//! as submission dependencies: a user's bathroom routine fires only after
+//! their wake-up finished, and so on.
+
+use safehome_core::EngineConfig;
+use safehome_devices::{DeviceKind, Home};
+use safehome_harness::{RunSpec, Submission};
+use safehome_sim::SimRng;
+use safehome_types::{DeviceId, Routine, TimeDelta, Timestamp, Value};
+
+/// The 31 devices of the morning home.
+#[derive(Debug, Clone)]
+pub struct MorningHome {
+    /// The catalog.
+    pub home: Home,
+    bedroom_lights: Vec<DeviceId>, // 3
+    bath_lights: [DeviceId; 2],
+    bath_fans: [DeviceId; 2],
+    showers: [DeviceId; 2],
+    kitchen_light: DeviceId,
+    living_light: DeviceId,
+    hall_light: DeviceId,
+    coffee_maker: DeviceId,
+    pancake_maker: DeviceId,
+    toaster: DeviceId,
+    kettle: DeviceId,
+    dishwasher: DeviceId,
+    fridge_display: DeviceId,
+    thermostat: DeviceId,
+    water_heater: DeviceId,
+    blinds: Vec<DeviceId>, // 3
+    front_door: DeviceId,
+    garage: DeviceId,
+    radio: DeviceId,
+    tv: DeviceId,
+    vacuum: DeviceId,
+    mop: DeviceId,
+    sprinkler: DeviceId,
+    porch_light: DeviceId,
+}
+
+impl MorningHome {
+    /// Builds the catalog.
+    pub fn new() -> Self {
+        let mut b = Home::builder();
+        let bedroom_lights = b.device_group("bedroom_light", DeviceKind::Light, 3);
+        let bath_lights = [
+            b.device("bath1_light", DeviceKind::Light),
+            b.device("bath2_light", DeviceKind::Light),
+        ];
+        let bath_fans = [
+            b.device("bath1_fan", DeviceKind::Plug),
+            b.device("bath2_fan", DeviceKind::Plug),
+        ];
+        let showers = [
+            b.device("shower1", DeviceKind::Appliance),
+            b.device("shower2", DeviceKind::Appliance),
+        ];
+        let kitchen_light = b.device("kitchen_light", DeviceKind::Light);
+        let living_light = b.device("living_light", DeviceKind::Light);
+        let hall_light = b.device("hall_light", DeviceKind::Light);
+        let coffee_maker = b.device("coffee_maker", DeviceKind::Appliance);
+        let pancake_maker = b.device("pancake_maker", DeviceKind::Appliance);
+        let toaster = b.device("toaster", DeviceKind::Appliance);
+        let kettle = b.device("kettle", DeviceKind::Appliance);
+        let dishwasher = b.device("dishwasher", DeviceKind::Appliance);
+        let fridge_display = b.device("fridge_display", DeviceKind::Audio);
+        let thermostat = b.device("thermostat", DeviceKind::Thermal);
+        let water_heater = b.device("water_heater", DeviceKind::Thermal);
+        let blinds = b.device_group("blinds", DeviceKind::Motorized, 3);
+        let front_door = b.device("front_door", DeviceKind::Lock);
+        let garage = b.device("garage", DeviceKind::Motorized);
+        let radio = b.device("radio", DeviceKind::Audio);
+        let tv = b.device("tv", DeviceKind::Audio);
+        let vacuum = b.device("vacuum", DeviceKind::Robot);
+        let mop = b.device("mop", DeviceKind::Robot);
+        let sprinkler = b.device("sprinkler", DeviceKind::Sprinkler);
+        let porch_light = b.device("porch_light", DeviceKind::Light);
+        let home = b.build();
+        assert_eq!(home.len(), 31, "the paper's morning home has 31 devices");
+        MorningHome {
+            home,
+            bedroom_lights,
+            bath_lights,
+            bath_fans,
+            showers,
+            kitchen_light,
+            living_light,
+            hall_light,
+            coffee_maker,
+            pancake_maker,
+            toaster,
+            kettle,
+            dishwasher,
+            fridge_display,
+            thermostat,
+            water_heater,
+            blinds,
+            front_door,
+            garage,
+            radio,
+            tv,
+            vacuum,
+            mop,
+            sprinkler,
+            porch_light,
+        }
+    }
+}
+
+impl Default for MorningHome {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const SHORT: TimeDelta = TimeDelta(400);
+
+fn wake_up(h: &MorningHome, user: usize) -> Routine {
+    let bedroom = h.bedroom_lights[user.min(2)];
+    Routine::builder(format!("wake_up_{user}"))
+        .set(bedroom, Value::ON, SHORT)
+        .set(h.blinds[user.min(2)], Value::ON, TimeDelta::from_secs(8))
+        .set(h.water_heater, Value::Int(50), SHORT)
+        .build()
+}
+
+fn bathroom(h: &MorningHome, user: usize) -> Routine {
+    let bath = user % 2;
+    Routine::builder(format!("bathroom_{user}"))
+        .set(h.bath_lights[bath], Value::ON, SHORT)
+        .set(h.bath_fans[bath], Value::ON, SHORT)
+        .set(h.showers[bath], Value::ON, TimeDelta::from_mins(6)) // long
+        .set(h.showers[bath], Value::OFF, SHORT)
+        .set_best_effort(h.bath_fans[bath], Value::OFF, SHORT)
+        .set_best_effort(h.bath_lights[bath], Value::OFF, SHORT)
+        .build()
+}
+
+fn make_breakfast(h: &MorningHome, user: usize) -> Routine {
+    match user % 3 {
+        0 => Routine::builder(format!("breakfast_{user}"))
+            .set(h.coffee_maker, Value::ON, TimeDelta::from_mins(4)) // long
+            .set(h.coffee_maker, Value::OFF, SHORT)
+            .set(h.pancake_maker, Value::ON, TimeDelta::from_mins(5)) // long
+            .set(h.pancake_maker, Value::OFF, SHORT)
+            .build(),
+        1 => Routine::builder(format!("breakfast_{user}"))
+            .set(h.kettle, Value::ON, TimeDelta::from_mins(3)) // long
+            .set(h.kettle, Value::OFF, SHORT)
+            .set(h.toaster, Value::ON, TimeDelta::from_mins(2)) // long
+            .set(h.toaster, Value::OFF, SHORT)
+            .build(),
+        _ => Routine::builder(format!("breakfast_{user}"))
+            .set(h.coffee_maker, Value::ON, TimeDelta::from_mins(4)) // long
+            .set(h.coffee_maker, Value::OFF, SHORT)
+            .set(h.toaster, Value::ON, TimeDelta::from_mins(2)) // long
+            .set(h.toaster, Value::OFF, SHORT)
+            .build(),
+    }
+}
+
+fn eat(h: &MorningHome, user: usize) -> Routine {
+    Routine::builder(format!("eat_{user}"))
+        .set(h.kitchen_light, Value::ON, SHORT)
+        .set(h.fridge_display, Value::ON, SHORT)
+        .set(h.radio, Value::ON, SHORT)
+        .build()
+}
+
+fn leave_home(h: &MorningHome, user: usize) -> Routine {
+    let mut b = Routine::builder(format!("leave_home_{user}"));
+    for &l in &h.bedroom_lights {
+        b = b.set_best_effort(l, Value::OFF, SHORT);
+    }
+    b.set_best_effort(h.kitchen_light, Value::OFF, SHORT)
+        .set_best_effort(h.radio, Value::OFF, SHORT)
+        .set_best_effort(h.porch_light, Value::ON, SHORT)
+        .set(h.front_door, Value::ON, SHORT) // ON = locked
+        .set(h.garage, Value::OFF, TimeDelta::from_secs(12))
+        .build()
+}
+
+fn sporadic(h: &MorningHome, which: usize) -> Routine {
+    match which % 9 {
+        0 => Routine::builder("milk_cleanup")
+            .set(h.vacuum, Value::ON, TimeDelta::from_mins(3)) // long
+            .set(h.vacuum, Value::OFF, SHORT)
+            .set(h.mop, Value::ON, TimeDelta::from_mins(4)) // long
+            .set(h.mop, Value::OFF, SHORT)
+            .build(),
+        1 => Routine::builder("warm_house")
+            .set(h.thermostat, Value::Int(72), SHORT)
+            .build(),
+        2 => Routine::builder("morning_news")
+            .set(h.tv, Value::ON, SHORT)
+            .set(h.living_light, Value::ON, SHORT)
+            .build(),
+        3 => Routine::builder("tv_off")
+            .set(h.tv, Value::OFF, SHORT)
+            .set_best_effort(h.living_light, Value::OFF, SHORT)
+            .build(),
+        4 => Routine::builder("hall_lights")
+            .set(h.hall_light, Value::ON, SHORT)
+            .build(),
+        5 => Routine::builder("run_dishwasher")
+            .set(h.dishwasher, Value::ON, TimeDelta::from_mins(8)) // long
+            .set(h.dishwasher, Value::OFF, SHORT)
+            .build(),
+        6 => Routine::builder("water_garden")
+            .set_irreversible(h.sprinkler, Value::ON, TimeDelta::from_mins(5)) // long
+            .set(h.sprinkler, Value::OFF, SHORT)
+            .build(),
+        7 => Routine::builder("open_garage")
+            .set(h.garage, Value::ON, TimeDelta::from_secs(12))
+            .build(),
+        _ => Routine::builder("cool_down")
+            .set(h.thermostat, Value::Int(68), SHORT)
+            .build(),
+    }
+}
+
+/// Builds the morning-scenario run spec: 29 routines, 31 devices, 4
+/// users, submissions randomized within the 25-minute window while
+/// preserving the per-user ordering constraints.
+pub fn morning(config: EngineConfig, seed: u64) -> RunSpec {
+    let h = MorningHome::new();
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut spec = RunSpec::new(h.home.clone(), config).with_seed(seed ^ 0x5afe);
+    let mut count = 0;
+    // 4 users × 5 chained routines = 20.
+    for user in 0..4 {
+        let wake_at = Timestamp::from_millis(rng.int_in(0, 4 * 60_000));
+        let wake = spec.submit(Submission::at(wake_up(&h, user), wake_at));
+        let gap = || TimeDelta::from_millis(0);
+        let _ = gap;
+        let bath = spec.submit(Submission::after(
+            bathroom(&h, user),
+            wake,
+            TimeDelta::from_millis(rng.int_in(10_000, 120_000)),
+        ));
+        let cook = spec.submit(Submission::after(
+            make_breakfast(&h, user),
+            bath,
+            TimeDelta::from_millis(rng.int_in(5_000, 60_000)),
+        ));
+        let eat_idx = spec.submit(Submission::after(
+            eat(&h, user),
+            cook,
+            TimeDelta::from_millis(rng.int_in(1_000, 30_000)),
+        ));
+        spec.submit(Submission::after(
+            leave_home(&h, user),
+            eat_idx,
+            TimeDelta::from_millis(rng.int_in(30_000, 180_000)),
+        ));
+        count += 5;
+    }
+    // 9 sporadic routines at random times inside the window.
+    for which in 0..9 {
+        let at = Timestamp::from_millis(rng.int_in(60_000, 20 * 60_000));
+        spec.submit(Submission::at(sporadic(&h, which), at));
+        count += 1;
+    }
+    debug_assert_eq!(count, 29, "the paper's morning scenario has 29 routines");
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safehome_core::VisibilityModel;
+    use safehome_harness::Arrival;
+
+    #[test]
+    fn has_29_routines_and_31_devices() {
+        let spec = morning(EngineConfig::new(VisibilityModel::ev()), 1);
+        assert_eq!(spec.submissions.len(), 29);
+        assert_eq!(spec.home.len(), 31);
+    }
+
+    #[test]
+    fn user_chains_are_ordered() {
+        let spec = morning(EngineConfig::new(VisibilityModel::ev()), 2);
+        // Submissions 0..4 belong to user 0: wake (At), then 4 After links.
+        assert!(matches!(spec.submissions[0].arrival, Arrival::At(_)));
+        for i in 1..5 {
+            match spec.submissions[i].arrival {
+                Arrival::After { index, .. } => assert_eq!(index, i - 1),
+                other => panic!("expected chained arrival, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_routine_references_known_devices() {
+        let spec = morning(EngineConfig::new(VisibilityModel::ev()), 3);
+        for s in &spec.submissions {
+            for c in &s.routine.commands {
+                assert!(spec.home.get(c.device).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn contains_long_routines_and_best_effort_commands() {
+        let spec = morning(EngineConfig::new(VisibilityModel::ev()), 4);
+        let long = spec
+            .submissions
+            .iter()
+            .filter(|s| s.routine.is_long(TimeDelta::from_secs(60)))
+            .count();
+        assert!(long >= 8, "showers, breakfasts, cleanup are long");
+        let be = spec.submissions.iter().any(|s| {
+            s.routine
+                .commands
+                .iter()
+                .any(|c| c.priority == safehome_types::Priority::BestEffort)
+        });
+        assert!(be, "leave-home uses best-effort light commands");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = morning(EngineConfig::new(VisibilityModel::ev()), 7);
+        let b = morning(EngineConfig::new(VisibilityModel::ev()), 7);
+        assert_eq!(a.submissions, b.submissions);
+    }
+}

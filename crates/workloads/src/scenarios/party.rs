@@ -1,0 +1,206 @@
+//! The party scenario (§7.2).
+//!
+//! One long routine controls the party atmosphere for the entire run;
+//! 11 other routines cover spontaneous events (singing time,
+//! announcements, serving food and drinks). The long routine's grip on
+//! the shared mood devices is what makes PSV barely better than GSV here
+//! (head-of-line blocking), while EV's pre-/post-leases slip the short
+//! routines through — the paper's headline PSV-vs-EV contrast.
+
+use safehome_core::EngineConfig;
+use safehome_devices::{DeviceKind, Home};
+use safehome_harness::{RunSpec, Submission};
+use safehome_sim::SimRng;
+use safehome_types::{DeviceId, Routine, TimeDelta, Timestamp, Value};
+
+/// The party venue's devices.
+#[derive(Debug, Clone)]
+pub struct PartyHome {
+    /// The catalog.
+    pub home: Home,
+    mood_lights: Vec<DeviceId>, // 4
+    speakers: [DeviceId; 2],
+    disco_ball: DeviceId,
+    mic: DeviceId,
+    projector: DeviceId,
+    food_warmer: DeviceId,
+    blender: DeviceId,
+    ice_maker: DeviceId,
+    patio_light: DeviceId,
+    thermostat: DeviceId,
+    front_door: DeviceId,
+}
+
+impl PartyHome {
+    /// Builds the catalog.
+    pub fn new() -> Self {
+        let mut b = Home::builder();
+        let mood_lights = b.device_group("mood_light", DeviceKind::Light, 4);
+        let speakers = [
+            b.device("speaker_main", DeviceKind::Audio),
+            b.device("speaker_patio", DeviceKind::Audio),
+        ];
+        let disco_ball = b.device("disco_ball", DeviceKind::Plug);
+        let mic = b.device("mic", DeviceKind::Audio);
+        let projector = b.device("projector", DeviceKind::Audio);
+        let food_warmer = b.device("food_warmer", DeviceKind::Appliance);
+        let blender = b.device("blender", DeviceKind::Appliance);
+        let ice_maker = b.device("ice_maker", DeviceKind::Appliance);
+        let patio_light = b.device("patio_light", DeviceKind::Light);
+        let thermostat = b.device("thermostat", DeviceKind::Thermal);
+        let front_door = b.device("front_door", DeviceKind::Lock);
+        PartyHome {
+            home: b.build(),
+            mood_lights,
+            speakers,
+            disco_ball,
+            mic,
+            projector,
+            food_warmer,
+            blender,
+            ice_maker,
+            patio_light,
+            thermostat,
+            front_door,
+        }
+    }
+}
+
+impl Default for PartyHome {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const SHORT: TimeDelta = TimeDelta(400);
+
+/// The whole-run atmosphere routine: mood lights, music and the disco
+/// ball for 40 minutes.
+fn atmosphere(h: &PartyHome) -> Routine {
+    let mut b = Routine::builder("party_atmosphere");
+    for &l in &h.mood_lights {
+        b = b.set(l, Value::ON, SHORT);
+    }
+    b.set(h.disco_ball, Value::ON, SHORT)
+        .set(h.speakers[0], Value::ON, TimeDelta::from_mins(40)) // the long grip
+        .set(h.speakers[0], Value::OFF, SHORT)
+        .set_best_effort(h.disco_ball, Value::OFF, SHORT)
+        .build()
+}
+
+fn spontaneous(h: &PartyHome, which: usize) -> Routine {
+    match which % 11 {
+        0 => Routine::builder("singing_time")
+            .set(h.mic, Value::ON, TimeDelta::from_mins(4)) // long
+            .set(h.mic, Value::OFF, SHORT)
+            .build(),
+        1 => Routine::builder("announcement")
+            .set(h.mic, Value::ON, TimeDelta::from_secs(40))
+            .set(h.mic, Value::OFF, SHORT)
+            .build(),
+        2 => Routine::builder("serve_food")
+            .set(h.food_warmer, Value::ON, TimeDelta::from_mins(6)) // long
+            .set(h.food_warmer, Value::OFF, SHORT)
+            .build(),
+        3 => Routine::builder("blend_drinks")
+            .set(h.blender, Value::ON, TimeDelta::from_secs(50))
+            .set(h.blender, Value::OFF, SHORT)
+            .build(),
+        4 => Routine::builder("more_ice")
+            .set(h.ice_maker, Value::ON, TimeDelta::from_mins(2)) // long
+            .set(h.ice_maker, Value::OFF, SHORT)
+            .build(),
+        5 => Routine::builder("patio_open")
+            .set(h.patio_light, Value::ON, SHORT)
+            .set(h.speakers[1], Value::ON, SHORT)
+            .build(),
+        6 => Routine::builder("patio_close")
+            .set(h.speakers[1], Value::OFF, SHORT)
+            .set_best_effort(h.patio_light, Value::OFF, SHORT)
+            .build(),
+        7 => Routine::builder("cool_room")
+            .set(h.thermostat, Value::Int(66), SHORT)
+            .build(),
+        8 => Routine::builder("movie_clip")
+            .set(h.projector, Value::ON, TimeDelta::from_mins(3)) // long
+            .set(h.projector, Value::OFF, SHORT)
+            .build(),
+        9 => Routine::builder("guests_arriving")
+            .set(h.front_door, Value::OFF, SHORT) // unlock
+            .set(h.patio_light, Value::ON, SHORT)
+            .build(),
+        _ => Routine::builder("dim_for_toast")
+            .set(h.mood_lights[0], Value::OFF, SHORT)
+            .set(h.mood_lights[1], Value::OFF, SHORT)
+            .build(),
+    }
+}
+
+/// Builds the party-scenario run spec: the atmosphere routine at t = 0
+/// plus 11 spontaneous routines at random times inside its span.
+pub fn party(config: EngineConfig, seed: u64) -> RunSpec {
+    let h = PartyHome::new();
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut spec = RunSpec::new(h.home.clone(), config).with_seed(seed ^ 0xFE57);
+    spec.submit(Submission::at(atmosphere(&h), Timestamp::ZERO));
+    for which in 0..11 {
+        let at = Timestamp::from_millis(rng.int_in(30_000, 35 * 60_000));
+        spec.submit(Submission::at(spontaneous(&h, which), at));
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safehome_core::VisibilityModel;
+
+    trait FromMins {
+        fn from_mins(m: u64) -> Timestamp;
+    }
+
+    impl FromMins for Timestamp {
+        fn from_mins(m: u64) -> Timestamp {
+            Timestamp::from_secs(m * 60)
+        }
+    }
+
+    #[test]
+    fn has_12_routines_with_one_whole_run_long_routine() {
+        let spec = party(EngineConfig::new(VisibilityModel::ev()), 1);
+        assert_eq!(spec.submissions.len(), 12);
+        let atmosphere = &spec.submissions[0].routine;
+        assert!(atmosphere.is_long(TimeDelta::from_mins(30)));
+    }
+
+    #[test]
+    fn spontaneous_routines_fall_inside_the_party() {
+        let spec = party(EngineConfig::new(VisibilityModel::ev()), 2);
+        for s in &spec.submissions[1..] {
+            match s.arrival {
+                safehome_harness::Arrival::At(at) => {
+                    assert!(at >= Timestamp::from_secs(30));
+                    assert!(at <= Timestamp::from_mins(35));
+                }
+                other => panic!("unexpected arrival {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn all_devices_known() {
+        let spec = party(EngineConfig::new(VisibilityModel::ev()), 3);
+        for s in &spec.submissions {
+            for c in &s.routine.commands {
+                assert!(spec.home.get(c.device).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = party(EngineConfig::new(VisibilityModel::ev()), 9);
+        let b = party(EngineConfig::new(VisibilityModel::ev()), 9);
+        assert_eq!(a.submissions, b.submissions);
+    }
+}

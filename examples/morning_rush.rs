@@ -1,0 +1,67 @@
+//! The paper's morning scenario (§7.2) across all four visibility models.
+//!
+//! 4 family members, 31 devices, 29 routines over ~25 minutes. Prints the
+//! Fig. 12a metrics per model plus the serialization order EV chose.
+//!
+//! ```text
+//! cargo run --release --example morning_rush
+//! ```
+
+use safehome::harness::run;
+use safehome::metrics::{congruence::final_congruent, percentile, RunMetrics};
+use safehome::prelude::*;
+use safehome::workloads::morning;
+
+fn main() {
+    println!("{:<8} {:>10} {:>10} {:>12} {:>10} {:>8}", "model", "lat p50", "lat p90", "tmp-incong", "parallel", "aborts");
+    for model in [
+        VisibilityModel::Wv,
+        VisibilityModel::Psv,
+        VisibilityModel::ev(),
+        VisibilityModel::Gsv { strong: false },
+    ] {
+        // Average over a few seeds.
+        let mut lat = Vec::new();
+        let mut tmp = 0.0;
+        let mut par = 0.0;
+        let mut aborts = 0.0;
+        let seeds = 5;
+        for seed in 0..seeds {
+            let out = run(&morning(EngineConfig::new(model), seed));
+            assert!(out.completed);
+            let m = RunMetrics::of(&out.trace);
+            lat.extend(m.latencies_ms);
+            tmp += m.temporary_incongruence / seeds as f64;
+            par += m.parallelism / seeds as f64;
+            aborts += m.abort_rate / seeds as f64;
+        }
+        println!(
+            "{:<8} {:>9.1}s {:>9.1}s {:>12.3} {:>10.2} {:>8.2}",
+            model.label(),
+            percentile(&lat, 50.0) / 1000.0,
+            percentile(&lat, 90.0) / 1000.0,
+            tmp,
+            par,
+            aborts,
+        );
+    }
+
+    // Show EV's witness serialization order for one run.
+    let spec = morning(EngineConfig::new(VisibilityModel::ev()), 0);
+    let out = run(&spec);
+    println!("\nEV witness order (seed 0):");
+    for item in &out.trace.final_order {
+        match item {
+            safehome::types::trace::OrderItem::Routine(r) => {
+                print!("{} ", out.trace.records[r].routine.name)
+            }
+            safehome::types::trace::OrderItem::Failure(d) => print!("F[{d}] "),
+            safehome::types::trace::OrderItem::Restart(d) => print!("Re[{d}] "),
+        }
+    }
+    println!();
+    println!(
+        "end state serially equivalent: {:?}",
+        final_congruent(&out.trace, 12).map(|b| if b { "yes" } else { "NO" })
+    );
+}

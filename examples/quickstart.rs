@@ -1,0 +1,90 @@
+//! Quickstart: the paper's motivating examples, end to end.
+//!
+//! Runs the cooling routine (atomicity), two concurrent breakfast
+//! routines (EV pipelining), and a leave-home routine with a dead light
+//! (must vs best-effort) in the simulation harness, printing what
+//! happened.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use safehome::harness::run;
+use safehome::metrics::RunMetrics;
+use safehome::prelude::*;
+
+fn main() {
+    // --- Build a small home. --------------------------------------------
+    let mut b = Home::builder();
+    let window = b.device("window", DeviceKind::Motorized);
+    let ac = b.device("ac", DeviceKind::Thermal);
+    let coffee = b.device("coffee_maker", DeviceKind::Appliance);
+    let pancake = b.device("pancake_maker", DeviceKind::Appliance);
+    let light = b.device("hall_light", DeviceKind::Light);
+    let door = b.device("front_door", DeviceKind::Lock);
+    let home = b.build();
+
+    // --- 1. Atomicity: the cooling routine with a failing AC. ------------
+    let mut spec = RunSpec::new(home.clone(), EngineConfig::new(VisibilityModel::ev()));
+    spec.failures = FailurePlan::none().fail(ac, Timestamp::from_secs(2));
+    spec.submit(Submission::at(
+        Routine::builder("cooling")
+            .set(window, Value::ON, TimeDelta::from_secs(3)) // ON = closed
+            .set(ac, Value::Int(68), TimeDelta::from_secs(5))
+            .build(),
+        Timestamp::ZERO,
+    ));
+    let out = run(&spec);
+    println!("== cooling with AC failure ==");
+    println!(
+        "routine {}; window state at end: {} (rolled back)",
+        if out.trace.aborted().is_empty() { "committed" } else { "aborted" },
+        out.trace.end_states[&window],
+    );
+
+    // --- 2. EV pipelining: two users make breakfast at once. -------------
+    let breakfast = || {
+        Routine::builder("breakfast")
+            .set(coffee, Value::ON, TimeDelta::from_secs(240))
+            .set(coffee, Value::OFF, TimeDelta::from_millis(200))
+            .set(pancake, Value::ON, TimeDelta::from_secs(300))
+            .set(pancake, Value::OFF, TimeDelta::from_millis(200))
+            .build()
+    };
+    for (label, model) in [
+        ("EV ", VisibilityModel::ev()),
+        ("GSV", VisibilityModel::Gsv { strong: false }),
+    ] {
+        let mut spec = RunSpec::new(home.clone(), EngineConfig::new(model));
+        spec.submit(Submission::at(breakfast(), Timestamp::ZERO));
+        spec.submit(Submission::at(breakfast(), Timestamp::from_secs(1)));
+        let out = run(&spec);
+        println!(
+            "== two breakfasts under {label} == finished at {} (ideal single routine: ~540s)",
+            out.trace.end_time()
+        );
+    }
+
+    // --- 3. Must vs best-effort: leave home with a dead light. -----------
+    let mut spec = RunSpec::new(home.clone(), EngineConfig::new(VisibilityModel::ev()));
+    spec.failures = FailurePlan::none().fail(light, Timestamp::ZERO);
+    spec.submit(Submission::at(
+        Routine::builder("leave_home")
+            .set_best_effort(light, Value::OFF, TimeDelta::from_millis(200))
+            .set(door, Value::ON, TimeDelta::from_millis(200)) // ON = locked
+            .build(),
+        Timestamp::from_secs(3),
+    ));
+    let out = run(&spec);
+    let id = out.trace.submission_order()[0];
+    let rec = &out.trace.records[&id];
+    println!("== leave home with dead light ==");
+    println!(
+        "committed: {}; best-effort skips: {}; door locked: {}",
+        rec.committed(),
+        rec.best_effort_skipped,
+        out.trace.end_states[&door] == Value::ON,
+    );
+    let m = RunMetrics::of(&out.trace);
+    println!("abort rate {:.2}, temporary incongruence {:.2}", m.abort_rate, m.temporary_incongruence);
+}

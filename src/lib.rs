@@ -1,0 +1,71 @@
+//! # SafeHome
+//!
+//! A from-scratch Rust reproduction of *Home, SafeHome: Smart Home
+//! Reliability with Visibility and Atomicity* (EuroSys 2021).
+//!
+//! SafeHome executes smart-home *routines* (sequences of device commands)
+//! with **atomicity** (all-or-nothing, with rollback and must/best-effort
+//! tags) under a spectrum of **visibility models**:
+//!
+//! - **WV** — today's unsafe status quo (baseline);
+//! - **GSV / S-GSV** — one routine at a time;
+//! - **PSV** — non-conflicting routines concurrent, strict locks;
+//! - **EV** — serially-equivalent end states with maximal concurrency via
+//!   a lineage table, lock leasing, and pluggable schedulers (FCFS /
+//!   JiT / Timeline).
+//!
+//! Device failure and restart events are serialized *into* the
+//! equivalent order (§3 of the paper), so a window that fails after the
+//! cooling routine closed it does not abort the routine.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use safehome::prelude::*;
+//!
+//! // A two-device home.
+//! let mut b = Home::builder();
+//! let window = b.device("window", DeviceKind::Motorized);
+//! let ac = b.device("ac", DeviceKind::Thermal);
+//! let home = b.build();
+//!
+//! // The paper's motivating routine: close the window, then cool.
+//! let cooling = Routine::builder("cooling")
+//!     .set(window, Value::ON, TimeDelta::from_secs(5))
+//!     .set(ac, Value::Int(68), TimeDelta::from_millis(200))
+//!     .build();
+//!
+//! // Run it under Eventual Visibility in the simulation harness.
+//! let mut spec = RunSpec::new(home, EngineConfig::new(VisibilityModel::ev()));
+//! spec.submit(Submission::at(cooling, Timestamp::ZERO));
+//! let out = safehome::harness::run(&spec);
+//! assert!(out.completed);
+//! assert_eq!(out.trace.committed().len(), 1);
+//! ```
+//!
+//! Crate map: [`types`] (vocabulary) · [`core`] (the engine) ·
+//! [`devices`] (virtual devices + detector) · [`sim`] (DES primitives) ·
+//! [`harness`] (simulation driver) · [`workloads`] (scenarios &
+//! microbenchmark) · [`metrics`] (§7.1 metrics + serial-equivalence
+//! checkers) · [`kasa`] (networked substrate + real-time runner).
+
+pub use safehome_core as core;
+pub use safehome_devices as devices;
+pub use safehome_harness as harness;
+pub use safehome_kasa as kasa;
+pub use safehome_metrics as metrics;
+pub use safehome_sim as sim;
+pub use safehome_types as types;
+pub use safehome_workloads as workloads;
+
+/// Everything a typical user needs in scope.
+pub mod prelude {
+    pub use safehome_core::{Effect, Engine, EngineConfig, Input, SchedulerKind, VisibilityModel};
+    pub use safehome_devices::{DeviceKind, FailurePlan, Home, LatencyModel};
+    pub use safehome_harness::{Arrival, RunOutput, RunSpec, Submission};
+    pub use safehome_metrics::RunMetrics;
+    pub use safehome_types::{
+        Action, Command, DeviceId, Priority, Routine, RoutineId, TimeDelta, Timestamp, UndoPolicy,
+        Value,
+    };
+}

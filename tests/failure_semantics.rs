@@ -1,0 +1,125 @@
+//! Property tests: atomicity under random failure injection.
+//!
+//! With arbitrary fail-stop/recovery plans, serialized models must keep
+//! two invariants: (1) every aborted routine's effects are undone — a
+//! device an aborted routine wrote either carries another (committed or
+//! later) value or its pre-routine value; (2) the witness-order replay
+//! still matches the end state on devices that stayed reachable.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use safehome::harness::{run, RunSpec, Submission};
+use safehome::metrics::congruence::{executed_writes, replay_witness};
+use safehome::prelude::*;
+use safehome::types::trace::TraceEventKind;
+
+fn spec_strategy() -> impl Strategy<Value = (Vec<(u64, Vec<(u32, bool)>)>, Vec<(u32, u64, Option<u64>)>, u64)> {
+    let cmd = (0u32..5, any::<bool>());
+    let routine = (0u64..8_000, prop::collection::vec(cmd, 1..4));
+    let failure = (0u32..5, 0u64..20_000, prop::option::of(500u64..10_000));
+    (
+        prop::collection::vec(routine, 1..6),
+        prop::collection::vec(failure, 0..3),
+        any::<u64>(),
+    )
+}
+
+fn build(
+    routines: &[(u64, Vec<(u32, bool)>)],
+    failures: &[(u32, u64, Option<u64>)],
+    model: VisibilityModel,
+    seed: u64,
+) -> RunSpec {
+    let home = safehome::devices::catalog::plug_home(5);
+    let mut spec = RunSpec::new(home, EngineConfig::new(model)).with_seed(seed);
+    for (at, cmds) in routines {
+        let mut b = Routine::builder("gen");
+        for &(d, on) in cmds {
+            b = b.set(DeviceId(d), Value::Bool(on), TimeDelta::from_millis(400));
+        }
+        spec.submit(Submission::at(b.build(), Timestamp::from_millis(*at)));
+    }
+    let mut seen = HashSet::new();
+    for &(d, at, recover) in failures {
+        if !seen.insert(d) {
+            continue; // One failure schedule per device keeps plans sane.
+        }
+        let dev = DeviceId(d);
+        spec.failures = spec.failures.fail(dev, Timestamp::from_millis(at));
+        if let Some(after) = recover {
+            spec.failures = spec
+                .failures
+                .restart(dev, Timestamp::from_millis(at + after));
+        }
+    }
+    spec
+}
+
+/// Devices that were ever detected down (their physical state may be
+/// stale: writes and rollbacks were lost on them).
+fn ever_down(trace: &safehome::types::trace::Trace) -> HashSet<DeviceId> {
+    trace
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceEventKind::DeviceDownDetected { device } => Some(device),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn witness_replay_holds_on_reachable_devices(
+        (routines, failures, seed) in spec_strategy()
+    ) {
+        for model in [
+            VisibilityModel::ev(),
+            VisibilityModel::Psv,
+            VisibilityModel::Gsv { strong: false },
+            VisibilityModel::Gsv { strong: true },
+        ] {
+            let out = run(&build(&routines, &failures, model, seed));
+            prop_assert!(out.completed, "{model:?} must quiesce under failures");
+            let exclude = ever_down(&out.trace);
+            let writes = executed_writes(&out.trace);
+            prop_assert!(
+                replay_witness(
+                    &out.trace.initial_states,
+                    &out.trace.final_order,
+                    &writes,
+                    &out.trace.end_states,
+                    &exclude,
+                ),
+                "{model:?}: reachable devices must match the witness replay"
+            );
+        }
+    }
+
+    #[test]
+    fn committed_plus_aborted_equals_submitted(
+        (routines, failures, seed) in spec_strategy()
+    ) {
+        for model in [VisibilityModel::ev(), VisibilityModel::Psv] {
+            let out = run(&build(&routines, &failures, model, seed));
+            prop_assert!(out.completed);
+            prop_assert_eq!(
+                out.trace.committed().len() + out.trace.aborted().len(),
+                routines.len(),
+                "{:?}: every routine must resolve", model
+            );
+        }
+    }
+
+    #[test]
+    fn no_failures_means_no_aborts_even_with_recoveries(
+        (routines, _, seed) in spec_strategy()
+    ) {
+        let out = run(&build(&routines, &[], VisibilityModel::ev(), seed));
+        prop_assert!(out.completed);
+        prop_assert!(out.trace.aborted().is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests: the headline correctness guarantee.
+//!
+//! For arbitrary workloads, every serialized model (EV under each
+//! scheduler, PSV, GSV) must leave the home in a state equal to replaying
+//! its witness serialization order — and, where the exhaustive check is
+//! tractable, equal to *some* serial order (the paper's Fig. 12b check).
+
+use proptest::prelude::*;
+
+use safehome::harness::{run, RunSpec, Submission};
+use safehome::metrics::congruence::{executed_writes, final_congruent, replay_witness};
+use safehome::prelude::*;
+
+/// A compact generated workload: routines as lists of (device, on/off,
+/// duration-ms) triples, with arrival offsets.
+#[derive(Debug, Clone)]
+struct Workload {
+    devices: usize,
+    routines: Vec<(u64, Vec<(u32, bool, u64)>)>,
+}
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    let cmd = (0u32..6, any::<bool>(), 50u64..3_000);
+    let routine = (0u64..5_000, prop::collection::vec(cmd, 1..5));
+    (prop::collection::vec(routine, 1..8)).prop_map(|routines| Workload {
+        devices: 6,
+        routines,
+    })
+}
+
+fn build_spec(w: &Workload, model: VisibilityModel, seed: u64) -> RunSpec {
+    let home = safehome::devices::catalog::plug_home(w.devices);
+    let mut spec = RunSpec::new(home, EngineConfig::new(model)).with_seed(seed);
+    for (at, cmds) in &w.routines {
+        let mut b = Routine::builder("gen");
+        for &(d, on, ms) in cmds {
+            b = b.set(DeviceId(d), Value::Bool(on), TimeDelta::from_millis(ms));
+        }
+        spec.submit(Submission::at(b.build(), Timestamp::from_millis(*at)));
+    }
+    spec
+}
+
+fn serialized_models() -> Vec<VisibilityModel> {
+    vec![
+        VisibilityModel::Ev { scheduler: SchedulerKind::Timeline },
+        VisibilityModel::Ev { scheduler: SchedulerKind::Jit },
+        VisibilityModel::Ev { scheduler: SchedulerKind::Fcfs },
+        VisibilityModel::Psv,
+        VisibilityModel::Gsv { strong: false },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn witness_replay_matches_end_state(w in workload_strategy(), seed in 0u64..1000) {
+        for model in serialized_models() {
+            let out = run(&build_spec(&w, model, seed));
+            prop_assert!(out.completed, "{model:?} must quiesce");
+            let writes = executed_writes(&out.trace);
+            prop_assert!(
+                replay_witness(
+                    &out.trace.initial_states,
+                    &out.trace.final_order,
+                    &writes,
+                    &out.trace.end_states,
+                    &std::collections::HashSet::new(),
+                ),
+                "{model:?}: end state must equal the witness-order replay"
+            );
+        }
+    }
+
+    #[test]
+    fn some_serial_order_always_exists(w in workload_strategy(), seed in 0u64..1000) {
+        for model in serialized_models() {
+            let out = run(&build_spec(&w, model, seed));
+            prop_assert!(out.completed);
+            prop_assert_eq!(
+                final_congruent(&out.trace, 16),
+                Some(true),
+                "{:?}: exhaustive serial check must pass", model
+            );
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic(w in workload_strategy(), seed in 0u64..1000) {
+        let a = run(&build_spec(&w, VisibilityModel::ev(), seed));
+        let b = run(&build_spec(&w, VisibilityModel::ev(), seed));
+        prop_assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn all_routines_commit_without_failures(w in workload_strategy(), seed in 0u64..1000) {
+        for model in serialized_models() {
+            let out = run(&build_spec(&w, model, seed));
+            prop_assert!(out.completed);
+            prop_assert_eq!(
+                out.trace.committed().len(),
+                w.routines.len(),
+                "{:?}: no failures injected, nothing may abort", model
+            );
+        }
+    }
+}
