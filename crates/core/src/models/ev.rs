@@ -28,7 +28,7 @@ use safehome_types::{
 
 use crate::config::{EngineConfig, SchedulerKind};
 use crate::event::{Effect, TimerId};
-use crate::lineage::LineageTable;
+use crate::lineage::{LineageTable, LockStatus};
 use crate::models::{HealthView, Model};
 use crate::order::{OrderNode, OrderTracker};
 use crate::runtime::{failure_aborts, guard_passes, RoutineRun, RunTable};
@@ -218,7 +218,6 @@ impl EvModel {
             .collect();
         candidates.extend(self.waiting.iter().copied().filter(|id| !self.expired.contains(id)));
         let mut priority_block: BTreeSet<DeviceId> = BTreeSet::new();
-        let mut placed_any = false;
         for id in candidates {
             let Some(run) = self.runs.get(id) else { continue };
             let devices = run.routine.devices();
@@ -244,7 +243,7 @@ impl EvModel {
                 }
             }
         }
-        placed_any
+        false
     }
 
     /// Event-driven execution: repeatedly dispatch / skip / commit until
@@ -603,8 +602,28 @@ impl Model for EvModel {
                     .map(|p| entries[p + 1..].iter().any(|e| e.routine != routine))
                     .unwrap_or(false);
                 if mine_unreleased && successor_waiting {
-                    self.abort(routine, AbortReason::LeaseRevoked { device }, now, out);
-                    self.pump(now, out);
+                    // An access that is physically in flight cannot be
+                    // recalled, and aborting now would not free the device
+                    // any sooner (the rollback write queues behind the
+                    // in-flight command). Defer the decision until the
+                    // access should have completed; a lessee that is
+                    // stalled *before* an access (entry still Scheduled,
+                    // e.g. delayed by later pre-leases elsewhere) is
+                    // revoked so the waiting successor gets the device.
+                    let in_flight_until = entries
+                        .iter()
+                        .filter(|e| e.routine == routine && e.status == LockStatus::Acquired)
+                        .map(|e| e.planned_end())
+                        .max();
+                    if let Some(until) = in_flight_until {
+                        out.push(Effect::SetTimer {
+                            timer: TimerId::LeaseRevocation { routine, device },
+                            at: until.max(now + self.cfg.default_tau),
+                        });
+                    } else {
+                        self.abort(routine, AbortReason::LeaseRevoked { device }, now, out);
+                        self.pump(now, out);
+                    }
                 }
             }
             TimerId::Kick => self.pump(now, out),
@@ -965,16 +984,21 @@ mod tests {
     }
 
     #[test]
-    fn pre_lease_revocation_aborts_slow_lessee() {
+    fn pre_lease_revocation_aborts_stalled_lessee() {
         let mut m = model(SchedulerKind::Jit);
-        // R1 schedules d0 (long) then d1: it holds both locks from start.
+        // R1 holds d2 (long) with d1 scheduled untouched; R2 pre-leases
+        // d1 for a first and a *later* access, with a d0 access between.
         let r1 = Routine::builder("r1")
-            .set(d(0), Value::ON, TimeDelta::from_secs(60))
+            .set(d(2), Value::ON, TimeDelta::from_secs(60))
             .set(d(1), Value::ON, TimeDelta::from_millis(100))
             .build();
         submit(&mut m, 1, r1, t(0));
-        // R2 pre-leases d1 (R1 hasn't touched it).
-        let out2 = submit(&mut m, 2, routine(&[1]), t(10));
+        let r2 = Routine::builder("r2")
+            .set(d(1), Value::ON, TimeDelta::from_millis(100))
+            .set(d(0), Value::ON, TimeDelta::from_millis(100))
+            .set(d(1), Value::OFF, TimeDelta::from_millis(100))
+            .build();
+        let out2 = submit(&mut m, 2, r2, t(10));
         assert!(has_dispatch(&out2, 2, 1));
         let timer = out2.iter().find_map(|e| match e {
             Effect::SetTimer { timer: TimerId::LeaseRevocation { routine, device }, at }
@@ -985,16 +1009,48 @@ mod tests {
         assert_eq!(dev, d(1));
         assert_eq!(
             at,
-            t(10 + 220),
-            "(100ms span + 100ms actuation slack) × 1.1 leniency"
+            t(10 + 550),
+            "(300ms span + 2×100ms actuation slack) × 1.1 leniency"
         );
-        // R2 never finishes its access; the timer fires → abort.
+        // R2 finishes its first d1 access, then stalls on d0: its second
+        // d1 access is still Scheduled when the timer fires → revoke.
+        finish_cmd(&mut m, 2, 0, 1, 50);
         let mut out = Vec::new();
         m.on_timer(TimerId::LeaseRevocation { routine: RoutineId(2), device: d(1) }, at, &mut out);
         assert!(out.iter().any(|e| matches!(
             e,
             Effect::Aborted { reason: AbortReason::LeaseRevoked { device }, .. } if *device == d(1)
         )));
+    }
+
+    #[test]
+    fn revocation_defers_while_access_in_flight() {
+        let mut m = model(SchedulerKind::Jit);
+        let r1 = Routine::builder("r1")
+            .set(d(0), Value::ON, TimeDelta::from_secs(60))
+            .set(d(1), Value::ON, TimeDelta::from_millis(100))
+            .build();
+        submit(&mut m, 1, r1, t(0));
+        // R2 pre-leases d1 and dispatches immediately: its only access is
+        // physically in flight when the timer fires. Revoking now would
+        // not free d1 any sooner, so the decision is deferred instead.
+        let out2 = submit(&mut m, 2, routine(&[1]), t(10));
+        assert!(has_dispatch(&out2, 2, 1));
+        let mut out = Vec::new();
+        m.on_timer(TimerId::LeaseRevocation { routine: RoutineId(2), device: d(1) }, t(230), &mut out);
+        assert!(!out.iter().any(|e| matches!(e, Effect::Aborted { .. })));
+        let deferred = out.iter().find_map(|e| match e {
+            Effect::SetTimer { timer: TimerId::LeaseRevocation { routine, device }, at }
+                if routine.0 == 2 && *device == d(1) => Some(*at),
+            _ => None,
+        });
+        assert_eq!(deferred, Some(t(330)), "re-armed one τ past the check");
+        // The slow access completes before the deferred check: commit.
+        let out = finish_cmd(&mut m, 2, 0, 1, 300);
+        assert!(out.iter().any(|e| matches!(e, Effect::Committed { routine } if routine.0 == 2)));
+        let mut out = Vec::new();
+        m.on_timer(TimerId::LeaseRevocation { routine: RoutineId(2), device: d(1) }, t(330), &mut out);
+        assert!(!out.iter().any(|e| matches!(e, Effect::Aborted { .. })), "stale timer");
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! A minimal, dependency-free benchmark harness exposing the subset of
+//! the `criterion` API this workspace's benches use.
+//!
+//! The containerized build has no access to crates.io, so the real
+//! criterion cannot be vendored; this shim keeps the bench sources
+//! unchanged while still producing wall-clock measurements. Each
+//! benchmark is warmed up briefly, then sampled in batches; the median
+//! per-iteration time is reported on stdout in a criterion-like format.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target time spent measuring each benchmark.
+const MEASURE_TIME: Duration = Duration::from_millis(600);
+/// Target time spent warming up each benchmark.
+const WARMUP_TIME: Duration = Duration::from_millis(150);
+/// Number of timed samples collected per benchmark.
+const SAMPLES: usize = 30;
+
+/// Entry point handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, &mut |b| f(b));
+        self
+    }
+
+    /// Finishes the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a parameter value (e.g. an input size).
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(name: impl Display, p: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+impl<S: Display> From<S> for BenchmarkId {
+    fn from(s: S) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Iterations the harness asks for in the current sample.
+    iters: u64,
+    /// Measured duration of the sample, filled by `iter`.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One complete benchmark result.
+pub struct Measurement {
+    /// Benchmark label (group/id or function name).
+    pub name: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample's per-iteration time in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample's per-iteration time in nanoseconds.
+    pub max_ns: f64,
+}
+
+fn sample(f: &mut dyn FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+/// Runs one benchmark to completion and returns its measurement.
+///
+/// Exposed so non-macro callers (e.g. machine-readable reporters) can
+/// reuse the measurement loop.
+pub fn measure(name: &str, f: &mut dyn FnMut(&mut Bencher)) -> Measurement {
+    // Warmup while estimating per-iteration cost.
+    let mut iters: u64 = 1;
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < WARMUP_TIME {
+        let d = sample(f, iters);
+        per_iter = d / (iters as u32).max(1);
+        if d < Duration::from_millis(1) {
+            iters = iters.saturating_mul(2);
+        }
+    }
+    // Size samples so the whole measurement phase hits MEASURE_TIME.
+    let per_sample = MEASURE_TIME / SAMPLES as u32;
+    let iters = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64;
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| sample(f, iters).as_nanos() as f64 / iters as f64)
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    Measurement {
+        name: name.to_string(),
+        median_ns: times[times.len() / 2],
+        min_ns: times[0],
+        max_ns: times[times.len() - 1],
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let m = measure(name, f);
+    println!(
+        "{:<40} time: [{} {} {}]",
+        m.name,
+        fmt_ns(m.min_ns),
+        fmt_ns(m.median_ns),
+        fmt_ns(m.max_ns)
+    );
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_sane_numbers() {
+        let m = measure("noop", &mut |b| b.iter(|| 1 + 1));
+        assert!(m.median_ns >= 0.0);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(10).0, "10");
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+    }
+}

@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use safehome_types::{Result, Value};
 
@@ -37,12 +37,12 @@ impl PlugHandle {
 
     /// Current physical state.
     pub fn state(&self) -> Value {
-        self.inner.lock().state
+        self.inner.lock().expect("plug lock poisoned").state
     }
 
     /// Forces the physical state (test setup).
     pub fn set_state(&self, v: Value) {
-        self.inner.lock().state = v;
+        self.inner.lock().expect("plug lock poisoned").state = v;
     }
 
     /// Injects a fail-stop: the plug stops answering.
@@ -109,7 +109,7 @@ fn serve(plug: PlugHandle, mut stream: TcpStream) {
         }
         let Ok(req) = KasaRequest::parse(&payload) else { return };
         let state = {
-            let mut s = plug.inner.lock();
+            let mut s = plug.inner.lock().expect("plug lock poisoned");
             match req {
                 KasaRequest::SetRelayState(on) => s.state = Value::Bool(on),
                 KasaRequest::SetLevel(level) => s.state = Value::Int(level),
@@ -120,7 +120,7 @@ fn serve(plug: PlugHandle, mut stream: TcpStream) {
         let resp = KasaResponse {
             err_code: 0,
             state,
-            alias: plug.inner.lock().alias.clone(),
+            alias: plug.inner.lock().expect("plug lock poisoned").alias.clone(),
         };
         if write_frame(&mut stream, &resp.to_json()).is_err() {
             return;

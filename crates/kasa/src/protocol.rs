@@ -10,8 +10,7 @@
 
 use std::io::{Read, Write};
 
-use serde_json::{json, Value as Json};
-
+use safehome_types::json::{obj, Json};
 use safehome_types::{Error, Result, Value};
 
 /// Initial autokey seed used by the Kasa protocol.
@@ -90,18 +89,22 @@ impl KasaRequest {
     /// Serializes the request to its JSON wire form.
     pub fn to_json(self) -> Vec<u8> {
         let body = match self {
-            KasaRequest::SetRelayState(on) => {
-                json!({"system": {"set_relay_state": {"state": i32::from(on)}}})
-            }
-            KasaRequest::SetLevel(level) => json!({"system": {"set_level": {"level": level}}}),
-            KasaRequest::GetSysinfo => json!({"system": {"get_sysinfo": {}}}),
+            KasaRequest::SetRelayState(on) => obj([(
+                "system",
+                obj([("set_relay_state", obj([("state", Json::from(i32::from(on)))]))]),
+            )]),
+            KasaRequest::SetLevel(level) => obj([(
+                "system",
+                obj([("set_level", obj([("level", Json::from(level))]))]),
+            )]),
+            KasaRequest::GetSysinfo => obj([("system", obj([("get_sysinfo", obj([]))]))]),
         };
-        serde_json::to_vec(&body).expect("static JSON cannot fail")
+        body.to_vec()
     }
 
     /// Parses a request from its wire form (used by the emulator).
     pub fn parse(bytes: &[u8]) -> Result<Self> {
-        let v: Json = serde_json::from_slice(bytes)
+        let v = Json::parse_bytes(bytes)
             .map_err(|e| Error::Protocol(format!("bad request JSON: {e}")))?;
         let system = v
             .get("system")
@@ -142,25 +145,30 @@ impl KasaResponse {
     /// Serializes the response to its JSON wire form.
     pub fn to_json(&self) -> Vec<u8> {
         let state = match self.state {
-            Value::Bool(b) => json!(i32::from(b)),
-            Value::Int(i) => json!(i),
+            Value::Bool(b) => Json::from(i32::from(b)),
+            Value::Int(i) => Json::from(i),
         };
-        let body = json!({
-            "system": {"get_sysinfo": {
-                "err_code": self.err_code,
-                "alias": self.alias,
-                "relay_state": state,
-            }}
-        });
-        serde_json::to_vec(&body).expect("static JSON cannot fail")
+        let body = obj([(
+            "system",
+            obj([(
+                "get_sysinfo",
+                obj([
+                    ("err_code", Json::from(self.err_code)),
+                    ("alias", Json::from(self.alias.as_str())),
+                    ("relay_state", state),
+                ]),
+            )]),
+        )]);
+        body.to_vec()
     }
 
     /// Parses a response (used by the driver).
     pub fn parse(bytes: &[u8]) -> Result<Self> {
-        let v: Json = serde_json::from_slice(bytes)
+        let v = Json::parse_bytes(bytes)
             .map_err(|e| Error::Protocol(format!("bad response JSON: {e}")))?;
         let info = v
-            .pointer("/system/get_sysinfo")
+            .get("system")
+            .and_then(|s| s.get("get_sysinfo"))
             .ok_or_else(|| Error::Protocol("missing sysinfo".into()))?;
         let err_code = info.get("err_code").and_then(Json::as_i64).unwrap_or(0) as i32;
         let alias = info
@@ -168,11 +176,11 @@ impl KasaResponse {
             .and_then(Json::as_str)
             .unwrap_or("")
             .to_string();
-        let state = match info.get("relay_state") {
-            Some(Json::Number(n)) if n.as_i64() == Some(0) => Value::OFF,
-            Some(Json::Number(n)) if n.as_i64() == Some(1) => Value::ON,
-            Some(Json::Number(n)) => Value::Int(n.as_i64().unwrap_or(0)),
-            _ => Value::OFF,
+        let state = match info.get("relay_state").and_then(Json::as_i64) {
+            Some(0) => Value::OFF,
+            Some(1) => Value::ON,
+            Some(n) => Value::Int(n),
+            None => Value::OFF,
         };
         Ok(KasaResponse { err_code, state, alias })
     }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 
 use safehome_core::{Effect, Engine, EngineConfig, Input, TimerId};
 use safehome_types::{

@@ -1,34 +1,59 @@
 //! Seeded randomness and workload distributions.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-use rand_distr::{Distribution, Normal};
 use safehome_types::TimeDelta;
 
 /// A seeded random source for simulations.
 ///
-/// Wraps [`StdRng`] and adds the two distributions the paper's workloads
-/// need: normally distributed durations (Table 3 marks command counts and
-/// durations "ND") and Zipf-distributed device popularity (§7.6, parameter
-/// α). The Zipf sampler is implemented directly from the weight definition
-/// `w(k) ∝ k^(-α)` so that α = 0 degenerates to the uniform distribution,
-/// which `rand_distr`'s implementation does not permit.
+/// Implements xoshiro256++ seeded through SplitMix64 — self-contained so
+/// the workspace builds without crates.io access — and adds the two
+/// distributions the paper's workloads need: normally distributed
+/// durations (Table 3 marks command counts and durations "ND", sampled
+/// via Box–Muller) and Zipf-distributed device popularity (§7.6,
+/// parameter α). The Zipf sampler is implemented directly from the
+/// weight definition `w(k) ∝ k^(-α)` so that α = 0 degenerates to the
+/// uniform distribution.
 pub struct SimRng {
-    rng: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a source from a 64-bit seed. Equal seeds give equal streams.
     pub fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the standard xoshiro seeding procedure.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         SimRng {
-            rng: StdRng::seed_from_u64(seed),
+            s: [next(), next(), next(), next()],
         }
+    }
+
+    /// The next raw 64-bit draw (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child source; used to give each trial its
     /// own stream while keeping the parent reproducible.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from_u64(self.rng.next_u64())
+        SimRng::seed_from_u64(self.next_u64())
     }
 
     /// Uniform integer in `[lo, hi]` (inclusive).
@@ -38,12 +63,28 @@ impl SimRng {
     /// Panics if `lo > hi`.
     pub fn int_in(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range");
-        self.rng.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Lemire's multiply-shift bounded draw with rejection, exact and
+        // branch-light for the small ranges the workloads use.
+        let range = span + 1;
+        let mut m = (self.next_u64() as u128).wrapping_mul(range as u128);
+        let mut low = m as u64;
+        if low < range {
+            let threshold = range.wrapping_neg() % range;
+            while low < threshold {
+                m = (self.next_u64() as u128).wrapping_mul(range as u128);
+                low = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
@@ -58,7 +99,15 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot pick from empty set");
-        self.rng.gen_range(0..n)
+        self.int_in(0, n as u64 - 1) as usize
+    }
+
+    /// A standard-normal draw (Box–Muller, one branch discarded).
+    fn standard_normal(&mut self) -> f64 {
+        // u must be in (0, 1] to keep ln finite.
+        let u = 1.0 - self.unit();
+        let v = self.unit();
+        (-2.0 * u.ln()).sqrt() * (std::f64::consts::TAU * v).cos()
     }
 
     /// Samples a duration from a normal distribution with the given mean,
@@ -70,8 +119,7 @@ impl SimRng {
     pub fn normal_duration(&mut self, mean: TimeDelta, rel_std: f64, min: TimeDelta) -> TimeDelta {
         let mu = mean.as_millis() as f64;
         let sigma = (mu * rel_std).max(f64::MIN_POSITIVE);
-        let normal = Normal::new(mu, sigma).expect("valid normal parameters");
-        let sample = normal.sample(&mut self.rng);
+        let sample = mu + sigma * self.standard_normal();
         let ms = sample.max(min.as_millis() as f64).round() as u64;
         TimeDelta::from_millis(ms)
     }
@@ -80,8 +128,8 @@ impl SimRng {
     /// mean (e.g. commands-per-routine, Table 3's C), truncated below at 1.
     pub fn normal_count(&mut self, mean: f64, rel_std: f64) -> usize {
         let sigma = (mean * rel_std).max(f64::MIN_POSITIVE);
-        let normal = Normal::new(mean, sigma).expect("valid normal parameters");
-        normal.sample(&mut self.rng).round().max(1.0) as usize
+        let sample = mean + sigma * self.standard_normal();
+        sample.round().max(1.0) as usize
     }
 
     /// Samples an index in `[0, n)` from a Zipf distribution with exponent
@@ -113,14 +161,9 @@ impl SimRng {
     /// Shuffles a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.rng.gen_range(0..=i);
+            let j = self.int_in(0, i as u64) as usize;
             xs.swap(i, j);
         }
-    }
-
-    /// Access to the raw RNG for callers needing other distributions.
-    pub fn raw(&mut self) -> &mut StdRng {
-        &mut self.rng
     }
 }
 
@@ -145,6 +188,25 @@ mod tests {
         let s1: Vec<u64> = (0..16).map(|_| child1.int_in(0, u64::MAX - 1)).collect();
         let s2: Vec<u64> = (0..16).map(|_| child2.int_in(0, u64::MAX - 1)).collect();
         assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn int_in_stays_in_bounds() {
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.int_in(10, 20);
+            assert!((10..=20).contains(&v));
+        }
+        assert_eq!(rng.int_in(5, 5), 5);
+    }
+
+    #[test]
+    fn unit_is_half_open() {
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
     }
 
     #[test]

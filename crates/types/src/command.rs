@@ -1,13 +1,11 @@
 //! Commands: the unit of device actuation inside a routine.
 
-use serde::{Deserialize, Serialize};
-
 use crate::id::DeviceId;
 use crate::time::TimeDelta;
 use crate::value::Value;
 
 /// What a command does to its device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Action {
     /// Drive the device to a target state (the common case: ON, OFF,
     /// a setpoint, ...).
@@ -49,7 +47,7 @@ impl Action {
 /// A failed [`Priority::Must`] command aborts the whole routine; a failed
 /// [`Priority::BestEffort`] command only produces user feedback and the
 /// routine continues.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Priority {
     /// Required for routine completion.
     #[default]
@@ -59,7 +57,7 @@ pub enum Priority {
 }
 
 /// How to undo a command when its routine aborts (§2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum UndoPolicy {
     /// Restore the device to the state it had before this routine touched
     /// it (the default; derived from the lineage table, Fig. 8).
@@ -76,7 +74,7 @@ pub enum UndoPolicy {
 
 /// One step of a routine: an action on a device, held exclusively for
 /// `duration`, with an importance tag and an undo policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Command {
     /// The target device.
     pub device: DeviceId,

@@ -2,11 +2,9 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies one smart-home device (a lockable unit in the lineage table).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct DeviceId(pub u32);
 
@@ -16,13 +14,13 @@ pub struct DeviceId(pub u32);
 /// wait queue; ids are therefore monotone in submission order, which the
 /// order-mismatch metric relies on.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct RoutineId(pub u64);
 
 /// Index of a command within its routine (0-based execution order).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct CmdIdx(pub u16);
 

@@ -14,6 +14,7 @@
 pub mod command;
 pub mod error;
 pub mod id;
+pub mod json;
 pub mod routine;
 pub mod spec;
 pub mod time;

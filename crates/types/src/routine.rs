@@ -1,7 +1,5 @@
 //! Routines: named sequences of commands (§1, §2).
 
-use serde::{Deserialize, Serialize};
-
 use crate::command::{Action, Command, Priority, UndoPolicy};
 use crate::id::DeviceId;
 use crate::time::TimeDelta;
@@ -9,7 +7,7 @@ use crate::value::Value;
 
 /// A routine: a named, ordered sequence of [`Command`]s executed with
 /// SafeHome's atomicity and visibility guarantees.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Routine {
     /// Human-readable name ("goodnight", "make breakfast", ...).
     pub name: String,

@@ -31,9 +31,8 @@
 //! assert_eq!(routine.commands.len(), 2);
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 use crate::command::{Action, Command, Priority, UndoPolicy};
+use crate::json::{obj, Json};
 use crate::error::{Error, Result};
 use crate::id::DeviceId;
 use crate::routine::Routine;
@@ -41,7 +40,7 @@ use crate::time::TimeDelta;
 use crate::value::Value;
 
 /// Declarative routine specification, deserialized from JSON.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoutineSpec {
     /// Routine name.
     pub name: String,
@@ -50,31 +49,25 @@ pub struct RoutineSpec {
 }
 
 /// One command inside a [`RoutineSpec`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CommandSpec {
     /// Device name, resolved against the registry at load time.
     pub device: String,
     /// Target state for a write command ("on"/"off"/integer level).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub set: Option<ValueSpec>,
     /// Present (possibly with an expected value) for a read command.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub read: Option<ReadSpec>,
     /// Exclusive-use duration in milliseconds (defaults to 100 ms, the
     /// paper's short-command actuation estimate).
-    #[serde(default = "default_duration_ms")]
     pub duration_ms: u64,
     /// "must" (default) or "best_effort".
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub priority: Option<String>,
     /// "restore" (default), "irreversible", or {"handler": value}.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub undo: Option<UndoSpec>,
 }
 
 /// A JSON-friendly state value: `"on"`, `"off"`, a boolean, or an integer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(untagged)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ValueSpec {
     /// `"on"` / `"off"` (case-insensitive).
     Keyword(String),
@@ -85,16 +78,14 @@ pub enum ValueSpec {
 }
 
 /// Read-command specification.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReadSpec {
     /// Optional guard value; the routine aborts if the observation differs.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub expect: Option<ValueSpec>,
 }
 
 /// Undo-policy specification.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(untagged)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum UndoSpec {
     /// `"restore"` or `"irreversible"`.
     Keyword(String),
@@ -122,17 +113,60 @@ impl ValueSpec {
             ValueSpec::Int(i) => Ok(Value::Int(*i)),
         }
     }
+
+    fn from_json_value(v: &Json) -> Result<ValueSpec> {
+        match v {
+            Json::Str(s) => Ok(ValueSpec::Keyword(s.clone())),
+            Json::Bool(b) => Ok(ValueSpec::Bool(*b)),
+            Json::Int(i) => Ok(ValueSpec::Int(*i)),
+            other => Err(Error::Spec(format!(
+                "expected a state value, got {other}"
+            ))),
+        }
+    }
+
+    fn to_json_value(&self) -> Json {
+        match self {
+            ValueSpec::Keyword(s) => Json::Str(s.clone()),
+            ValueSpec::Bool(b) => Json::Bool(*b),
+            ValueSpec::Int(i) => Json::Int(*i),
+        }
+    }
 }
 
 impl RoutineSpec {
     /// Parses a specification from JSON text.
     pub fn from_json(json: &str) -> Result<Self> {
-        serde_json::from_str(json).map_err(|e| Error::Spec(e.to_string()))
+        let doc = Json::parse(json)?;
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Error::Spec("routine spec needs a string \"name\"".into()))?
+            .to_string();
+        let commands = doc
+            .get("commands")
+            .and_then(Json::as_array)
+            .ok_or_else(|| Error::Spec("routine spec needs a \"commands\" array".into()))?
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                CommandSpec::from_json_value(c)
+                    .map_err(|e| Error::Spec(format!("command {i}: {e}")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(RoutineSpec { name, commands })
     }
 
     /// Serializes the specification to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("spec serialization cannot fail")
+        obj([
+            ("name", Json::from(self.name.as_str())),
+            (
+                "commands",
+                Json::Arr(self.commands.iter().map(CommandSpec::to_json_value).collect()),
+            ),
+        ])
+        .to_string_pretty()
     }
 
     /// Builds a [`RoutineSpec`] back from a resolved routine, given a
@@ -236,6 +270,102 @@ impl RoutineSpec {
             });
         }
         Ok(Routine::new(self.name.clone(), commands))
+    }
+}
+
+impl CommandSpec {
+    fn from_json_value(v: &Json) -> Result<CommandSpec> {
+        if !matches!(v, Json::Obj(_)) {
+            return Err(Error::Spec("command must be an object".into()));
+        }
+        let device = v
+            .get("device")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Error::Spec("missing string \"device\"".into()))?
+            .to_string();
+        let set = v.get("set").map(ValueSpec::from_json_value).transpose()?;
+        let read = v
+            .get("read")
+            .map(|r| -> Result<ReadSpec> {
+                if !matches!(r, Json::Obj(_)) {
+                    return Err(Error::Spec("\"read\" must be an object".into()));
+                }
+                Ok(ReadSpec {
+                    expect: r.get("expect").map(ValueSpec::from_json_value).transpose()?,
+                })
+            })
+            .transpose()?;
+        let duration_ms = match v.get("duration_ms") {
+            None => default_duration_ms(),
+            Some(Json::Int(i)) if *i >= 0 => *i as u64,
+            Some(other) => {
+                return Err(Error::Spec(format!(
+                    "\"duration_ms\" must be a non-negative integer, got {other}"
+                )))
+            }
+        };
+        let priority = v
+            .get("priority")
+            .map(|p| {
+                p.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| Error::Spec("\"priority\" must be a string".into()))
+            })
+            .transpose()?;
+        let undo = v
+            .get("undo")
+            .map(|u| -> Result<UndoSpec> {
+                match u {
+                    Json::Str(k) => Ok(UndoSpec::Keyword(k.clone())),
+                    Json::Obj(_) => {
+                        let handler = u.get("handler").ok_or_else(|| {
+                            Error::Spec("\"undo\" object needs a \"handler\"".into())
+                        })?;
+                        Ok(UndoSpec::Handler {
+                            handler: ValueSpec::from_json_value(handler)?,
+                        })
+                    }
+                    other => Err(Error::Spec(format!("invalid \"undo\": {other}"))),
+                }
+            })
+            .transpose()?;
+        Ok(CommandSpec {
+            device,
+            set,
+            read,
+            duration_ms,
+            priority,
+            undo,
+        })
+    }
+
+    fn to_json_value(&self) -> Json {
+        let mut members: Vec<(String, Json)> =
+            vec![("device".into(), Json::from(self.device.as_str()))];
+        if let Some(set) = &self.set {
+            members.push(("set".into(), set.to_json_value()));
+        }
+        if let Some(read) = &self.read {
+            let inner = match &read.expect {
+                Some(e) => Json::Obj(vec![("expect".into(), e.to_json_value())]),
+                None => Json::Obj(Vec::new()),
+            };
+            members.push(("read".into(), inner));
+        }
+        members.push(("duration_ms".into(), Json::from(self.duration_ms)));
+        if let Some(p) = &self.priority {
+            members.push(("priority".into(), Json::from(p.as_str())));
+        }
+        if let Some(u) = &self.undo {
+            let undo = match u {
+                UndoSpec::Keyword(k) => Json::from(k.as_str()),
+                UndoSpec::Handler { handler } => {
+                    Json::Obj(vec![("handler".into(), handler.to_json_value())])
+                }
+            };
+            members.push(("undo".into(), undo));
+        }
+        Json::Obj(members)
     }
 }
 

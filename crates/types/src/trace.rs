@@ -9,8 +9,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::command::Priority;
 use crate::id::{CmdIdx, DeviceId, RoutineId};
 use crate::routine::Routine;
@@ -18,7 +16,7 @@ use crate::time::Timestamp;
 use crate::value::Value;
 
 /// Why a routine aborted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AbortReason {
     /// A `Must` command failed (device down or unresponsive mid-command).
     MustCommandFailed {
@@ -44,7 +42,7 @@ pub enum AbortReason {
 }
 
 /// Outcome of one command execution attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CmdOutcome {
     /// The device acknowledged; reads carry the observed value.
     Success {
@@ -56,7 +54,7 @@ pub enum CmdOutcome {
 }
 
 /// Final outcome of a routine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RoutineOutcome {
     /// All (must) commands took effect; the routine is in the serial order.
     Committed,
@@ -67,7 +65,7 @@ pub enum RoutineOutcome {
 
 /// An element of the final serialization order (§3: routines *and*
 /// failure/restart events are serialized together).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OrderItem {
     /// A committed routine.
     Routine(RoutineId),
@@ -78,7 +76,7 @@ pub enum OrderItem {
 }
 
 /// One time-stamped trace event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// When the event occurred.
     pub at: Timestamp,
@@ -87,7 +85,7 @@ pub struct TraceEvent {
 }
 
 /// The trace event vocabulary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceEventKind {
     /// Routine entered the wait queue.
     Submitted {
@@ -168,7 +166,7 @@ pub enum TraceEventKind {
 }
 
 /// Digested per-routine record, maintained incrementally as events arrive.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoutineRecord {
     /// The routine definition.
     pub routine: Routine,
@@ -206,7 +204,7 @@ impl RoutineRecord {
 }
 
 /// Complete record of one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Trace {
     /// Device states before any routine ran.
     pub initial_states: BTreeMap<DeviceId, Value>,

@@ -2,8 +2,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The externally visible state of a device.
 ///
 /// SafeHome treats device state as an opaque settable value: a command
@@ -11,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// congruence checking compares values. Two families cover every device in
 /// the paper's scenarios: binary actuators (plugs, locks, garage doors) and
 /// leveled devices (thermostats, dimmers, oven temperature).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Value {
     /// A binary actuator state (ON/OFF, LOCKED/UNLOCKED, OPEN/CLOSED).
     Bool(bool),
