@@ -21,7 +21,17 @@ fn bench_insertion(c: &mut Criterion) {
             Timestamp::ZERO,
         );
         group.bench_with_input(BenchmarkId::from_parameter(commands), &run, |b, run| {
-            b.iter(|| timeline::place(run, &table, &order, &cfg, Timestamp::ZERO, &|_, _| true, &[]));
+            b.iter(|| {
+                timeline::place(
+                    run,
+                    &table,
+                    &order,
+                    &cfg,
+                    Timestamp::ZERO,
+                    &|_, _| true,
+                    &[],
+                )
+            });
         });
     }
     group.finish();

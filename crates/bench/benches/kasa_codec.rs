@@ -15,7 +15,11 @@ fn bench_codec(c: &mut Criterion) {
     c.bench_function("kasa_request_roundtrip", |b| {
         b.iter(|| KasaRequest::parse(&KasaRequest::SetRelayState(false).to_json()).unwrap())
     });
-    let resp = KasaResponse { err_code: 0, state: Value::ON, alias: "plug".into() };
+    let resp = KasaResponse {
+        err_code: 0,
+        state: Value::ON,
+        alias: "plug".into(),
+    };
     c.bench_function("kasa_response_roundtrip", |b| {
         b.iter(|| KasaResponse::parse(&resp.to_json()).unwrap())
     });

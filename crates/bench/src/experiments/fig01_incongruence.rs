@@ -8,8 +8,8 @@
 //! with device count, falls with offset.
 
 use safehome_core::{EngineConfig, VisibilityModel};
-use safehome_harness::{run as run_spec, RunSpec, Submission};
 use safehome_devices::catalog::plug_home;
+use safehome_harness::{run as run_spec, RunSpec, Submission};
 use safehome_types::{DeviceId, Routine, TimeDelta, Timestamp, Value};
 
 use crate::support::{f, row};
@@ -26,12 +26,12 @@ fn all_lights(n: usize, v: Value) -> Routine {
 pub fn incongruent_fraction(devices: usize, offset_ms: u64, trials: u64) -> f64 {
     let mut incongruent = 0u64;
     for seed in 0..trials {
-        let mut spec = RunSpec::new(
-            plug_home(devices),
-            EngineConfig::new(VisibilityModel::Wv),
-        )
-        .with_seed(seed);
-        spec.submit(Submission::at(all_lights(devices, Value::ON), Timestamp::ZERO));
+        let mut spec = RunSpec::new(plug_home(devices), EngineConfig::new(VisibilityModel::Wv))
+            .with_seed(seed);
+        spec.submit(Submission::at(
+            all_lights(devices, Value::ON),
+            Timestamp::ZERO,
+        ));
         spec.submit(Submission::at(
             all_lights(devices, Value::OFF),
             Timestamp::from_millis(offset_ms),

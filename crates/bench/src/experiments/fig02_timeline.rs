@@ -6,9 +6,9 @@
 //! takes 8 units under GSV, 5 under PSV and 3 under EV.
 
 use safehome_core::{EngineConfig, VisibilityModel};
+use safehome_devices::LatencyModel;
 use safehome_devices::{DeviceKind, Home};
 use safehome_harness::{run as run_spec, RunSpec, Submission};
-use safehome_devices::LatencyModel;
 use safehome_types::{Routine, TimeDelta, Timestamp, Value};
 
 /// One "time unit" of the figure.
@@ -21,7 +21,10 @@ fn build_home() -> (Home, [safehome_types::DeviceId; 5]) {
     let roomba = b.device("roomba", DeviceKind::Robot);
     let mop_living = b.device("mop_living", DeviceKind::Robot);
     let mop_kitchen = b.device("mop_kitchen", DeviceKind::Robot);
-    (b.build(), [coffee, pancake, roomba, mop_living, mop_kitchen])
+    (
+        b.build(),
+        [coffee, pancake, roomba, mop_living, mop_kitchen],
+    )
 }
 
 fn routines(d: &[safehome_types::DeviceId; 5]) -> Vec<Routine> {
@@ -90,8 +93,14 @@ mod tests {
         let gsv = makespan_units(VisibilityModel::Gsv { strong: false });
         let psv = makespan_units(VisibilityModel::Psv);
         let ev = makespan_units(VisibilityModel::ev());
-        assert!((gsv - 8.0).abs() < 0.2, "GSV serializes all 8 commands: {gsv}");
-        assert!((psv - 5.0).abs() < 0.2, "PSV runs partitions concurrently: {psv}");
+        assert!(
+            (gsv - 8.0).abs() < 0.2,
+            "GSV serializes all 8 commands: {gsv}"
+        );
+        assert!(
+            (psv - 5.0).abs() < 0.2,
+            "PSV runs partitions concurrently: {psv}"
+        );
         assert!((ev - 3.0).abs() < 0.2, "EV pipelines down to 3 units: {ev}");
     }
 }

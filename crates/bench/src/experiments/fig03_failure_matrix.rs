@@ -30,13 +30,28 @@ const Z: DeviceId = DeviceId(3);
 pub fn cases() -> Vec<(&'static str, FailurePlan)> {
     let t = Timestamp::from_millis;
     vec![
-        ("1: F,Re before start", FailurePlan::none().fail(A, t(1_000)).restart(A, t(2_500))),
-        ("2: F before, Re mid", FailurePlan::none().fail(A, t(1_000)).restart(A, t(8_000))),
-        ("3: F,Re before touch", FailurePlan::none().fail(A, t(7_000)).restart(A, t(9_000))),
+        (
+            "1: F,Re before start",
+            FailurePlan::none().fail(A, t(1_000)).restart(A, t(2_500)),
+        ),
+        (
+            "2: F before, Re mid",
+            FailurePlan::none().fail(A, t(1_000)).restart(A, t(8_000)),
+        ),
+        (
+            "3: F,Re before touch",
+            FailurePlan::none().fail(A, t(7_000)).restart(A, t(9_000)),
+        ),
         ("4: F, no restart", FailurePlan::none().fail(A, t(7_000))),
         ("5: F mid-command", FailurePlan::none().fail(A, t(18_000))),
-        ("6: F after last touch", FailurePlan::none().fail(A, t(30_000))),
-        ("7: unrelated device", FailurePlan::none().fail(Z, t(18_000))),
+        (
+            "6: F after last touch",
+            FailurePlan::none().fail(A, t(30_000)),
+        ),
+        (
+            "7: unrelated device",
+            FailurePlan::none().fail(Z, t(18_000)),
+        ),
     ]
 }
 
@@ -93,7 +108,11 @@ pub fn run(_trials: u64) -> String {
         for (_, model) in &models {
             out.push_str(&format!(
                 "{:>8}",
-                if survives(*model, &plan) { "✓" } else { "✗" }
+                if survives(*model, &plan) {
+                    "✓"
+                } else {
+                    "✗"
+                }
             ));
         }
         out.push('\n');

@@ -13,15 +13,18 @@ use safehome_workloads::{factory, morning, party};
 
 use crate::support::{f, main_models, row, run_trials, secs, TrialAgg};
 
+/// A scenario builder: engine config + seed to a runnable spec.
+pub type ScenarioFn = fn(EngineConfig, u64) -> RunSpec;
+
 /// The three scenarios as (name, builder).
-pub fn scenarios() -> Vec<(&'static str, fn(EngineConfig, u64) -> RunSpec)> {
+pub fn scenarios() -> Vec<(&'static str, ScenarioFn)> {
     fn factory_spec(cfg: EngineConfig, seed: u64) -> RunSpec {
         factory(cfg, 3, seed)
     }
     vec![
-        ("morning", morning as fn(EngineConfig, u64) -> RunSpec),
-        ("party", party as fn(EngineConfig, u64) -> RunSpec),
-        ("factory", factory_spec as fn(EngineConfig, u64) -> RunSpec),
+        ("morning", morning as ScenarioFn),
+        ("party", party as ScenarioFn),
+        ("factory", factory_spec as ScenarioFn),
     ]
 }
 

@@ -60,7 +60,7 @@ pub fn run(trials: u64) -> String {
     fn factory_spec(cfg: EngineConfig, seed: u64) -> RunSpec {
         factory(cfg, 1, seed)
     }
-    let scenarios: Vec<(&str, fn(EngineConfig, u64) -> RunSpec)> = vec![
+    let scenarios: Vec<(&str, super::fig12a_scenarios::ScenarioFn)> = vec![
         ("morning", morning),
         ("party", party),
         ("factory", factory_spec),

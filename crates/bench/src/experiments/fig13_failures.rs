@@ -22,7 +22,12 @@ fn params() -> MicroParams {
 }
 
 /// One sweep point.
-pub fn measure(must_pct: f64, fail_pct: f64, model: safehome_core::VisibilityModel, trials: u64) -> TrialAgg {
+pub fn measure(
+    must_pct: f64,
+    fail_pct: f64,
+    model: safehome_core::VisibilityModel,
+    trials: u64,
+) -> TrialAgg {
     let p = MicroParams {
         must_pct,
         fail_pct,

@@ -70,11 +70,7 @@ pub fn run(trials: u64) -> String {
     out.push('\n');
     for c in [2.0, 4.0, 8.0] {
         let agg = measure(4, c, true, true, trials);
-        let stretched = agg
-            .stretch
-            .iter()
-            .filter(|&&s| s > 1.05)
-            .count() as f64
+        let stretched = agg.stretch.iter().filter(|&&s| s > 1.05).count() as f64
             / agg.stretch.len().max(1) as f64;
         out.push_str(&row(&[
             format!("{c:.0}"),

@@ -9,10 +9,10 @@
 
 use std::time::Instant;
 
-use safehome_core::sched::timeline;
-use safehome_core::{lineage::LineageTable, order::OrderTracker, EngineConfig, VisibilityModel};
 use safehome_core::runtime::RoutineRun;
 use safehome_core::sched::apply_placement;
+use safehome_core::sched::timeline;
+use safehome_core::{lineage::LineageTable, order::OrderTracker, EngineConfig, VisibilityModel};
 use safehome_sim::SimRng;
 use safehome_types::{DeviceId, Routine, RoutineId, TimeDelta, Timestamp, Value};
 
@@ -29,7 +29,15 @@ pub fn resident_state(devices: usize, routines: usize) -> (LineageTable, OrderTr
         let id = RoutineId(r + 1);
         order.add_routine(id, Timestamp::ZERO);
         let run = RoutineRun::new(id, random_routine(devices, 4, &mut rng), Timestamp::ZERO);
-        let p = timeline::place(&run, &table, &order, &cfg, Timestamp::ZERO, &|_, _| true, &[]);
+        let p = timeline::place(
+            &run,
+            &table,
+            &order,
+            &cfg,
+            Timestamp::ZERO,
+            &|_, _| true,
+            &[],
+        );
         apply_placement(&mut table, &mut order, id, &p);
     }
     (table, order)
@@ -60,7 +68,15 @@ pub fn insertion_micros(c: usize, reps: u32) -> f64 {
     );
     let start = Instant::now();
     for _ in 0..reps {
-        let p = timeline::place(&run, &table, &order, &cfg, Timestamp::ZERO, &|_, _| true, &[]);
+        let p = timeline::place(
+            &run,
+            &table,
+            &order,
+            &cfg,
+            Timestamp::ZERO,
+            &|_, _| true,
+            &[],
+        );
         std::hint::black_box(p);
     }
     start.elapsed().as_secs_f64() * 1e6 / reps as f64
@@ -72,7 +88,10 @@ pub fn run(_trials: u64) -> String {
     out.push_str("Fig. 15d — Algorithm 1 insertion time (15 devices, 30 resident routines)\n");
     out.push_str("paper: ~1 ms at 10 commands on a Raspberry Pi 3 B+\n");
     for c in [1usize, 2, 4, 6, 8, 10] {
-        out.push_str(&format!("{c:>3} commands: {:>10.1} µs\n", insertion_micros(c, 200)));
+        out.push_str(&format!(
+            "{c:>3} commands: {:>10.1} µs\n",
+            insertion_micros(c, 200)
+        ));
     }
     out
 }
@@ -85,7 +104,10 @@ mod tests {
     fn resident_state_is_valid() {
         let (table, _) = resident_state(15, 30);
         table.validate(false).unwrap();
-        let total: usize = table.devices().map(|d| table.lineage(d).entries().len()).sum();
+        let total: usize = table
+            .devices()
+            .map(|d| table.lineage(d).entries().len())
+            .sum();
         assert_eq!(total, 30 * 4, "every command placed");
     }
 

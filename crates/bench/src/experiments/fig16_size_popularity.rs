@@ -21,13 +21,19 @@ fn params() -> MicroParams {
 
 /// One sweep point over commands-per-routine.
 pub fn measure_c(c: f64, model: VisibilityModel, trials: u64) -> TrialAgg {
-    let p = MicroParams { commands_mean: c, ..params() };
+    let p = MicroParams {
+        commands_mean: c,
+        ..params()
+    };
     run_trials(trials, |seed| p.build(EngineConfig::new(model), seed))
 }
 
 /// One sweep point over Zipf α.
 pub fn measure_alpha(alpha: f64, model: VisibilityModel, trials: u64) -> TrialAgg {
-    let p = MicroParams { zipf_alpha: alpha, ..params() };
+    let p = MicroParams {
+        zipf_alpha: alpha,
+        ..params()
+    };
     run_trials(trials, |seed| p.build(EngineConfig::new(model), seed))
 }
 

@@ -72,11 +72,7 @@ pub fn run(trials: u64) -> String {
         out.push('\n');
     }
     out.push_str("Fig. 17b — long-routine percentage L% sweep (|L| = 10 min)\n");
-    out.push_str(&row(&[
-        "L%".into(),
-        "tmp-incong".into(),
-        "ord-mism".into(),
-    ]));
+    out.push_str(&row(&["L%".into(), "tmp-incong".into(), "ord-mism".into()]));
     out.push('\n');
     for pct in [0.0, 0.1, 0.2, 0.3, 0.5] {
         let agg = measure_fraction(pct, trials);

@@ -14,21 +14,76 @@ pub mod fig17_long_routines;
 pub mod table1_spectrum;
 pub mod table2_vignettes;
 
+/// One experiment: (name, description, runner over a trial count).
+pub type Experiment = (&'static str, &'static str, fn(u64) -> String);
+
 /// Every experiment, as (name, description, runner).
-pub fn all() -> Vec<(&'static str, &'static str, fn(u64) -> String)> {
+pub fn all() -> Vec<Experiment> {
     vec![
-        ("fig1", "WV end-state incongruence vs devices and offset", fig01_incongruence::run),
-        ("fig2", "5-routine timeline under GSV/PSV/EV (8/5/3 units)", fig02_timeline::run),
-        ("fig3", "failure serialization matrix (6 cases x 4 models)", fig03_failure_matrix::run),
-        ("fig12a", "morning/party/factory latency, incongruence, parallelism", fig12a_scenarios::run),
-        ("fig12b", "final incongruence over 9-routine runs", fig12b_final_incongruence::run),
-        ("fig13", "abort rate and rollback overhead vs Must% and Failed%", fig13_failures::run),
-        ("fig14", "FCFS vs JiT vs Timeline scheduling", fig14_schedulers::run),
-        ("fig15", "lease ablation and stretch factor under TL", fig15_leasing::run),
-        ("fig15d", "Algorithm 1 insertion time", fig15d_insertion::run),
-        ("fig16", "impact of routine size C and device popularity alpha", fig16_size_popularity::run),
-        ("fig17", "impact of long-routine duration and percentage", fig17_long_routines::run),
-        ("table1", "measured spectrum of the four visibility models", table1_spectrum::run),
-        ("table2", "feature vignettes (atomicity, leases, S-GSV, ...)", table2_vignettes::run),
+        (
+            "fig1",
+            "WV end-state incongruence vs devices and offset",
+            fig01_incongruence::run,
+        ),
+        (
+            "fig2",
+            "5-routine timeline under GSV/PSV/EV (8/5/3 units)",
+            fig02_timeline::run,
+        ),
+        (
+            "fig3",
+            "failure serialization matrix (6 cases x 4 models)",
+            fig03_failure_matrix::run,
+        ),
+        (
+            "fig12a",
+            "morning/party/factory latency, incongruence, parallelism",
+            fig12a_scenarios::run,
+        ),
+        (
+            "fig12b",
+            "final incongruence over 9-routine runs",
+            fig12b_final_incongruence::run,
+        ),
+        (
+            "fig13",
+            "abort rate and rollback overhead vs Must% and Failed%",
+            fig13_failures::run,
+        ),
+        (
+            "fig14",
+            "FCFS vs JiT vs Timeline scheduling",
+            fig14_schedulers::run,
+        ),
+        (
+            "fig15",
+            "lease ablation and stretch factor under TL",
+            fig15_leasing::run,
+        ),
+        (
+            "fig15d",
+            "Algorithm 1 insertion time",
+            fig15d_insertion::run,
+        ),
+        (
+            "fig16",
+            "impact of routine size C and device popularity alpha",
+            fig16_size_popularity::run,
+        ),
+        (
+            "fig17",
+            "impact of long-routine duration and percentage",
+            fig17_long_routines::run,
+        ),
+        (
+            "table1",
+            "measured spectrum of the four visibility models",
+            table1_spectrum::run,
+        ),
+        (
+            "table2",
+            "feature vignettes (atomicity, leases, S-GSV, ...)",
+            table2_vignettes::run,
+        ),
     ]
 }

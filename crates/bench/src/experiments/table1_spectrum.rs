@@ -81,9 +81,14 @@ mod tests {
     fn gsv_has_the_longest_waits() {
         let p = params();
         let gsv = run_trials(5, |seed| {
-            p.build(EngineConfig::new(VisibilityModel::Gsv { strong: false }), seed)
+            p.build(
+                EngineConfig::new(VisibilityModel::Gsv { strong: false }),
+                seed,
+            )
         });
-        let ev = run_trials(5, |seed| p.build(EngineConfig::new(VisibilityModel::ev()), seed));
+        let ev = run_trials(5, |seed| {
+            p.build(EngineConfig::new(VisibilityModel::ev()), seed)
+        });
         assert!(
             gsv.wait.p90 > ev.wait.p90,
             "GSV p90 wait {:.0}ms vs EV {:.0}ms",

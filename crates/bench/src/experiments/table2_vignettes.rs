@@ -34,8 +34,8 @@ pub fn cooling_atomicity() -> bool {
     ));
     let out = run_spec(&spec);
     let id = out.trace.submission_order()[0];
-    out.trace.records[&id].aborted()
-        && out.trace.end_states[&WINDOW] == Value::OFF // rolled back (reopened)
+    out.trace.records[&id].aborted() && out.trace.end_states[&WINDOW] == Value::OFF
+    // rolled back (reopened)
 }
 
 /// Mutual exclusion: two make-coffee routines never interleave on the
@@ -147,7 +147,11 @@ pub fn run(_trials: u64) -> String {
     let mut out = String::new();
     out.push_str("Table 2 — feature vignettes\n");
     for (label, ok) in rows {
-        out.push_str(&format!("{:<42} {}\n", label, if ok { "PASS" } else { "FAIL" }));
+        out.push_str(&format!(
+            "{:<42} {}\n",
+            label,
+            if ok { "PASS" } else { "FAIL" }
+        ));
     }
     out
 }

@@ -26,7 +26,11 @@ pub fn failure_models() -> Vec<VisibilityModel> {
 
 /// The three EV schedulers of §5.
 pub fn schedulers() -> Vec<SchedulerKind> {
-    vec![SchedulerKind::Fcfs, SchedulerKind::Jit, SchedulerKind::Timeline]
+    vec![
+        SchedulerKind::Fcfs,
+        SchedulerKind::Jit,
+        SchedulerKind::Timeline,
+    ]
 }
 
 /// Aggregated metrics over several trials of one configuration.
@@ -127,18 +131,15 @@ pub fn secs(ms: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use safehome_harness::Submission;
     use safehome_devices::catalog::plug_home;
+    use safehome_harness::Submission;
     use safehome_types::{DeviceId, Routine, TimeDelta, Timestamp, Value};
 
     #[test]
     fn run_trials_aggregates() {
         let agg = run_trials(3, |seed| {
-            let mut spec = RunSpec::new(
-                plug_home(2),
-                EngineConfig::new(VisibilityModel::ev()),
-            )
-            .with_seed(seed);
+            let mut spec = RunSpec::new(plug_home(2), EngineConfig::new(VisibilityModel::ev()))
+                .with_seed(seed);
             spec.submit(Submission::at(
                 Routine::builder("r")
                     .set(DeviceId(0), Value::ON, TimeDelta::from_millis(100))

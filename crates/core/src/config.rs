@@ -52,9 +52,15 @@ impl VisibilityModel {
             VisibilityModel::Gsv { strong: false } => "GSV",
             VisibilityModel::Gsv { strong: true } => "S-GSV",
             VisibilityModel::Psv => "PSV",
-            VisibilityModel::Ev { scheduler: SchedulerKind::Fcfs } => "EV/FCFS",
-            VisibilityModel::Ev { scheduler: SchedulerKind::Jit } => "EV/JiT",
-            VisibilityModel::Ev { scheduler: SchedulerKind::Timeline } => "EV/TL",
+            VisibilityModel::Ev {
+                scheduler: SchedulerKind::Fcfs,
+            } => "EV/FCFS",
+            VisibilityModel::Ev {
+                scheduler: SchedulerKind::Jit,
+            } => "EV/JiT",
+            VisibilityModel::Ev {
+                scheduler: SchedulerKind::Timeline,
+            } => "EV/TL",
         }
     }
 

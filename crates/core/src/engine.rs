@@ -81,7 +81,8 @@ impl Engine {
         let id = RoutineId(self.next_id);
         self.next_id += 1;
         let mut out = Vec::new();
-        self.model.submit(RoutineRun::new(id, routine, now), now, &mut out);
+        self.model
+            .submit(RoutineRun::new(id, routine, now), now, &mut out);
         Ok((id, out))
     }
 
@@ -131,6 +132,14 @@ impl Engine {
     /// Committed device states.
     pub fn committed_states(&self) -> BTreeMap<DeviceId, Value> {
         self.model.committed_states()
+    }
+
+    /// Checks the active model's internal invariants — for EV, the §4.3
+    /// lineage-table invariants plus derived-cache consistency. Property
+    /// tests call this after every event to catch corruption at the
+    /// step that introduces it rather than at a later assertion.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        self.model.check_invariants()
     }
 }
 

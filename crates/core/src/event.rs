@@ -162,13 +162,20 @@ mod tests {
             rollback: false,
         };
         assert!(d.is_dispatch());
-        assert!(!Effect::Started { routine: RoutineId(1) }.is_dispatch());
+        assert!(!Effect::Started {
+            routine: RoutineId(1)
+        }
+        .is_dispatch());
     }
 
     #[test]
     fn timer_ids_are_comparable() {
-        let a = TimerId::Ttl { routine: RoutineId(1) };
-        let b = TimerId::Ttl { routine: RoutineId(1) };
+        let a = TimerId::Ttl {
+            routine: RoutineId(1),
+        };
+        let b = TimerId::Ttl {
+            routine: RoutineId(1),
+        };
         assert_eq!(a, b);
         assert_ne!(a, TimerId::Kick);
     }

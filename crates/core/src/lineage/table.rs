@@ -1,5 +1,28 @@
 //! The lineage table: one lineage per device, plus gap search,
 //! current-status inference (Fig. 8) and invariant validation.
+//!
+//! This is the hot data structure of the placement path (Fig. 15d): the
+//! Timeline planner probes gaps, pre/post sets and order constraints for
+//! every gap it considers, so the queries here must not rescan the
+//! entry list. Each [`Lineage`] therefore maintains, incrementally
+//! through every mutation:
+//!
+//! - `front`: the index of the first unreleased entry (the "front of
+//!   the line"), making [`Lineage::front_pos`] O(1);
+//! - `floor`: the length of the non-`Scheduled` prefix (the past that
+//!   cannot be edited), making [`Lineage::insert_floor`],
+//!   [`LineageTable::last_user`] and the gap-search time floor O(1);
+//! - `last_write`: the rightmost executed write's value, making
+//!   [`LineageTable::current_status`] O(1);
+//! - `spans`: a run-length index of entry ownership (invariant 4 keeps
+//!   one routine's entries contiguous per device), making
+//!   [`LineageTable::pre_set`] / [`LineageTable::post_set`] /
+//!   [`LineageTable::position`] proportional to the number of *distinct
+//!   routines* instead of the number of entries.
+//!
+//! [`LineageTable::validate`] recomputes everything from the raw entry
+//! list and cross-checks the caches, so the property tests catch any
+//! maintenance bug.
 
 use std::collections::BTreeMap;
 
@@ -31,13 +54,38 @@ impl Gap {
     }
 }
 
+/// One run of consecutive entries owned by the same routine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Span {
+    routine: RoutineId,
+    len: u32,
+}
+
 /// One device's lineage: its committed state plus the ordered plan of
 /// lock-accesses.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Lineage {
     /// Effect of the last successfully committed routine on this device.
     pub committed: Value,
     entries: Vec<LockAccess>,
+    /// Index of the first entry that is not `Released`; `entries.len()`
+    /// when every entry is released.
+    front: usize,
+    /// Length of the non-`Scheduled` prefix (invariant 3 makes the
+    /// non-`Scheduled` entries a prefix).
+    floor: usize,
+    /// Desired value of the rightmost non-`Scheduled` write, if any —
+    /// the Fig. 8 current-status inference, maintained incrementally.
+    last_write: Option<Value>,
+    /// Run-length ownership index over `entries`.
+    spans: Vec<Span>,
+}
+
+impl PartialEq for Lineage {
+    fn eq(&self, other: &Self) -> bool {
+        // Caches are derived state; lineage identity is its content.
+        self.committed == other.committed && self.entries == other.entries
+    }
 }
 
 impl Lineage {
@@ -45,6 +93,10 @@ impl Lineage {
         Lineage {
             committed,
             entries: Vec::new(),
+            front: 0,
+            floor: 0,
+            last_write: None,
+            spans: Vec::new(),
         }
     }
 
@@ -54,37 +106,439 @@ impl Lineage {
     }
 
     /// Index of the first entry that is not `Released` (the "front of the
-    /// line": only its owner may dispatch on this device next).
+    /// line": only its owner may dispatch on this device next). O(1).
     pub fn front_pos(&self) -> Option<usize> {
-        self.entries.iter().position(|e| !e.released())
+        (self.front < self.entries.len()).then_some(self.front)
     }
 
     /// Position after the last non-`Scheduled` entry: the earliest index
     /// where a new entry may be inserted (the past cannot be edited).
+    /// O(1).
     pub fn insert_floor(&self) -> usize {
-        self.entries
+        self.floor
+    }
+
+    /// The device's current state inferred from the lineage alone
+    /// (Fig. 8). O(1).
+    pub fn current_status(&self) -> Value {
+        self.last_write.unwrap_or(self.committed)
+    }
+
+    /// Owner of the rightmost entry that has executed or is executing.
+    /// O(1).
+    pub fn last_user(&self) -> Option<RoutineId> {
+        (self.floor > 0).then(|| self.entries[self.floor - 1].routine)
+    }
+
+    /// Position of routine `r`'s entry for command `cmd`, via the span
+    /// index.
+    pub fn position_of(&self, r: RoutineId, cmd: usize) -> Option<usize> {
+        let mut base = 0usize;
+        for s in &self.spans {
+            let len = s.len as usize;
+            if s.routine == r {
+                for (off, e) in self.entries[base..base + len].iter().enumerate() {
+                    if e.cmd == cmd {
+                        return Some(base + off);
+                    }
+                }
+            }
+            base += len;
+        }
+        None
+    }
+
+    /// Position of routine `r`'s first entry, via the span index.
+    pub fn first_position_of(&self, r: RoutineId) -> Option<usize> {
+        let mut base = 0usize;
+        for s in &self.spans {
+            if s.routine == r {
+                return Some(base);
+            }
+            base += s.len as usize;
+        }
+        None
+    }
+
+    /// `true` if routine `r` owns any entry.
+    pub fn has_routine(&self, r: RoutineId) -> bool {
+        self.spans.iter().any(|s| s.routine == r)
+    }
+
+    /// Calls `f` for every distinct routine with entries strictly before
+    /// `pos`, in first-appearance order (`getPreSet` of Algorithm 1).
+    /// Proportional to the number of distinct routines before `pos`.
+    pub fn for_pre_routines(&self, pos: usize, mut f: impl FnMut(RoutineId)) {
+        let mut base = 0usize;
+        for s in &self.spans {
+            if base >= pos {
+                break;
+            }
+            f(s.routine);
+            base += s.len as usize;
+        }
+    }
+
+    /// Calls `f` for every distinct routine with entries at or after
+    /// `pos`, in first-appearance order (`getPostSet` of Algorithm 1).
+    pub fn for_post_routines(&self, pos: usize, mut f: impl FnMut(RoutineId)) {
+        let mut base = 0usize;
+        for s in &self.spans {
+            let end = base + s.len as usize;
+            if end > pos {
+                f(s.routine);
+            }
+            base = end;
+        }
+    }
+
+    /// `true` if any entry before `pos` belongs to a routine other than
+    /// `r` (post-lease detection), via the span index.
+    pub fn has_foreign_before(&self, pos: usize, r: RoutineId) -> bool {
+        let mut found = false;
+        self.for_pre_routines(pos, |owner| found |= owner != r);
+        found
+    }
+
+    /// `true` if any entry before `pos` owned by a routine other than
+    /// `r` carries a write (dirty-read guard, §4.1).
+    pub fn has_foreign_write_before(&self, pos: usize, r: RoutineId) -> bool {
+        self.entries[..pos.min(self.entries.len())]
+            .iter()
+            .any(|e| e.routine != r && e.desired.is_some())
+    }
+
+    /// Free intervals at or after `not_before`, in chronological order,
+    /// ending with the unbounded tail gap. With `tail_only` (pre-leasing
+    /// disabled) only the tail gap is returned.
+    pub fn gaps(&self, not_before: Timestamp, tail_only: bool) -> Vec<Gap> {
+        let floor = self.floor;
+        // Time floor: never before the estimated end of the executing
+        // entry (if any) nor before `not_before`.
+        let mut cursor = not_before;
+        if floor > 0 {
+            cursor = cursor.max(self.entries[floor - 1].planned_end());
+        }
+        let scheduled = &self.entries[floor..];
+        let tail_start = scheduled
+            .last()
+            .map(|e| e.planned_end().max(cursor))
+            .unwrap_or(cursor);
+        if tail_only {
+            return vec![Gap {
+                insert_pos: self.entries.len(),
+                start: tail_start,
+                end: None,
+            }];
+        }
+        let mut gaps = Vec::with_capacity(scheduled.len() + 1);
+        for (i, e) in scheduled.iter().enumerate() {
+            if cursor < e.planned_start {
+                gaps.push(Gap {
+                    insert_pos: floor + i,
+                    start: cursor,
+                    end: Some(e.planned_start),
+                });
+            }
+            cursor = cursor.max(e.planned_end());
+        }
+        gaps.push(Gap {
+            insert_pos: self.entries.len(),
+            start: tail_start,
+            end: None,
+        });
+        gaps
+    }
+
+    /// Inserts an entry at `pos`, maintaining every cache.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the position respects the insert floor
+    /// (insertions never go before already-executing/executed entries).
+    pub(crate) fn insert_at(&mut self, pos: usize, access: LockAccess) {
+        debug_assert!(pos >= self.floor, "insertion before the past");
+        debug_assert!(pos <= self.entries.len(), "insertion out of bounds");
+        self.entries.insert(pos, access);
+        self.span_insert(pos, access.routine);
+        if pos <= self.front && !access.released() {
+            self.front = pos;
+        } else if pos < self.front {
+            self.front += 1;
+        }
+        if access.status != LockStatus::Scheduled {
+            // Never happens on the planner/engine paths (only Scheduled
+            // entries are inserted), but stay correct for arbitrary use.
+            self.recompute_caches();
+        }
+    }
+
+    /// Removes and returns the entry at `pos`, maintaining every cache.
+    pub(crate) fn remove_entry(&mut self, pos: usize) -> LockAccess {
+        let removed = self.entries.remove(pos);
+        self.span_remove(pos);
+        if pos < self.front {
+            self.front -= 1;
+        } else if pos == self.front {
+            self.advance_front();
+        }
+        if pos < self.floor {
+            self.floor -= 1;
+            self.refresh_last_write();
+        }
+        removed
+    }
+
+    /// Marks the entry at `pos` `Acquired`, re-stamping its planned start.
+    pub(crate) fn acquire_at(&mut self, pos: usize, now: Timestamp) {
+        let e = &mut self.entries[pos];
+        debug_assert_eq!(e.status, LockStatus::Scheduled, "double acquire");
+        e.status = LockStatus::Acquired;
+        e.planned_start = now;
+        // Invariant 3: everything before `pos` is non-Scheduled, so the
+        // acquired entry extends the prefix and is its rightmost member.
+        self.floor = self.floor.max(pos + 1);
+        if let Some(v) = e.desired {
+            self.last_write = Some(v);
+        }
+    }
+
+    /// Marks the entry at `pos` `Released`.
+    pub(crate) fn release_at(&mut self, pos: usize) {
+        self.entries[pos].status = LockStatus::Released;
+        self.floor = self.floor.max(pos + 1);
+        if pos == self.front {
+            self.advance_front();
+        }
+    }
+
+    /// Marks the entry at `pos` `Released` with no desired state: the
+    /// command was skipped and had no effect, so status inference must
+    /// not see its write.
+    pub(crate) fn release_noop_at(&mut self, pos: usize) {
+        self.entries[pos].status = LockStatus::Released;
+        self.entries[pos].desired = None;
+        self.floor = self.floor.max(pos + 1);
+        if pos == self.front {
+            self.advance_front();
+        }
+        self.refresh_last_write();
+    }
+
+    fn advance_front(&mut self) {
+        while self.front < self.entries.len() && self.entries[self.front].released() {
+            self.front += 1;
+        }
+    }
+
+    /// Rescans the non-`Scheduled` prefix for the rightmost write. Only
+    /// called on the rare paths that can invalidate the cached value
+    /// (skip-as-noop, removals inside the prefix, compaction).
+    fn refresh_last_write(&mut self) {
+        self.last_write = self.entries[..self.floor]
+            .iter()
+            .rev()
+            .find_map(|e| e.desired);
+    }
+
+    /// Recomputes every cache from the raw entry list.
+    fn recompute_caches(&mut self) {
+        self.front = self
+            .entries
+            .iter()
+            .position(|e| !e.released())
+            .unwrap_or(self.entries.len());
+        self.floor = self
+            .entries
             .iter()
             .rposition(|e| e.status != LockStatus::Scheduled)
             .map(|p| p + 1)
-            .unwrap_or(0)
+            .unwrap_or(0);
+        self.refresh_last_write();
+        self.spans = Self::spans_of(&self.entries);
+    }
+
+    fn spans_of(entries: &[LockAccess]) -> Vec<Span> {
+        let mut spans: Vec<Span> = Vec::new();
+        for e in entries {
+            match spans.last_mut() {
+                Some(s) if s.routine == e.routine => s.len += 1,
+                _ => spans.push(Span {
+                    routine: e.routine,
+                    len: 1,
+                }),
+            }
+        }
+        spans
+    }
+
+    /// Locates the span containing entry index `pos`; returns the span
+    /// index and the entry index at which that span starts.
+    fn span_at(&self, pos: usize) -> (usize, usize) {
+        let mut base = 0usize;
+        for (i, s) in self.spans.iter().enumerate() {
+            let end = base + s.len as usize;
+            if pos < end {
+                return (i, base);
+            }
+            base = end;
+        }
+        (self.spans.len(), base)
+    }
+
+    fn span_insert(&mut self, pos: usize, r: RoutineId) {
+        let (i, base) = self.span_at(pos);
+        if i == self.spans.len() {
+            // Appending past the end: extend the last span or start one.
+            match self.spans.last_mut() {
+                Some(s) if s.routine == r => s.len += 1,
+                _ => self.spans.push(Span { routine: r, len: 1 }),
+            }
+            return;
+        }
+        let off = pos - base;
+        if self.spans[i].routine == r {
+            self.spans[i].len += 1;
+        } else if off == 0 {
+            if i > 0 && self.spans[i - 1].routine == r {
+                self.spans[i - 1].len += 1;
+            } else {
+                self.spans.insert(i, Span { routine: r, len: 1 });
+            }
+        } else {
+            // Split the foreign span around the new entry.
+            let right = self.spans[i].len - off as u32;
+            self.spans[i].len = off as u32;
+            let foreign = self.spans[i].routine;
+            self.spans.splice(
+                i + 1..i + 1,
+                [
+                    Span { routine: r, len: 1 },
+                    Span {
+                        routine: foreign,
+                        len: right,
+                    },
+                ],
+            );
+        }
+    }
+
+    fn span_remove(&mut self, pos: usize) {
+        let (i, _) = self.span_at(pos);
+        debug_assert!(i < self.spans.len(), "span index out of sync");
+        self.spans[i].len -= 1;
+        if self.spans[i].len == 0 {
+            self.spans.remove(i);
+            if i > 0 && i < self.spans.len() && self.spans[i - 1].routine == self.spans[i].routine {
+                self.spans[i - 1].len += self.spans[i].len;
+                self.spans.remove(i);
+            }
+        }
+    }
+
+    /// Drains the first `count` entries (commit compaction), maintaining
+    /// every cache.
+    fn drain_prefix(&mut self, count: usize) {
+        self.entries.drain(..count);
+        let mut remaining = count as u32;
+        while remaining > 0 {
+            let s = &mut self.spans[0];
+            if s.len <= remaining {
+                remaining -= s.len;
+                self.spans.remove(0);
+            } else {
+                s.len -= remaining;
+                remaining = 0;
+            }
+        }
+        self.front = self.front.saturating_sub(count);
+        self.floor = self.floor.saturating_sub(count);
+        self.refresh_last_write();
+    }
+
+    /// Checks every cache against a recomputation from the raw entries.
+    fn check_caches(&self) -> Result<(), String> {
+        let expect_front = self
+            .entries
+            .iter()
+            .position(|e| !e.released())
+            .unwrap_or(self.entries.len());
+        if self.front != expect_front {
+            return Err(format!(
+                "front cache desync: {} != {expect_front}",
+                self.front
+            ));
+        }
+        let expect_floor = self
+            .entries
+            .iter()
+            .rposition(|e| e.status != LockStatus::Scheduled)
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        if self.floor != expect_floor {
+            return Err(format!(
+                "floor cache desync: {} != {expect_floor}",
+                self.floor
+            ));
+        }
+        let expect_write = self.entries[..expect_floor]
+            .iter()
+            .rev()
+            .find_map(|e| e.desired);
+        if self.last_write != expect_write {
+            return Err(format!(
+                "last-write cache desync: {:?} != {expect_write:?}",
+                self.last_write
+            ));
+        }
+        if self.spans != Self::spans_of(&self.entries) {
+            return Err("span index desync".into());
+        }
+        Ok(())
     }
 }
 
 /// The edge's virtual locking table (Fig. 4): a [`Lineage`] per device.
+///
+/// Lineages live in a dense `Vec`; device-id lookup is a direct index
+/// when the home's ids are contiguous from zero (the common case) and a
+/// binary search otherwise.
 #[derive(Debug, Clone, Default)]
 pub struct LineageTable {
-    lineages: BTreeMap<DeviceId, Lineage>,
+    ids: Vec<DeviceId>,
+    lineages: Vec<Lineage>,
+    dense: bool,
+}
+
+impl PartialEq for LineageTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.ids == other.ids && self.lineages == other.lineages
+    }
 }
 
 impl LineageTable {
     /// Creates a table with the given committed (initial) states.
     pub fn new(initial: &BTreeMap<DeviceId, Value>) -> Self {
+        let ids: Vec<DeviceId> = initial.keys().copied().collect();
+        let lineages = initial.values().map(|&v| Lineage::new(v)).collect();
+        let dense = ids.iter().enumerate().all(|(i, d)| d.index() == i);
         LineageTable {
-            lineages: initial
-                .iter()
-                .map(|(&d, &v)| (d, Lineage::new(v)))
-                .collect(),
+            ids,
+            lineages,
+            dense,
         }
+    }
+
+    fn idx(&self, d: DeviceId) -> usize {
+        if self.dense {
+            let i = d.index();
+            if i < self.ids.len() {
+                return i;
+            }
+        } else if let Ok(i) = self.ids.binary_search(&d) {
+            return i;
+        }
+        panic!("unknown device {d} in lineage table");
     }
 
     /// The lineage of `d`.
@@ -94,21 +548,22 @@ impl LineageTable {
     /// Panics on unknown devices — routines are validated against the home
     /// before submission.
     pub fn lineage(&self, d: DeviceId) -> &Lineage {
-        &self.lineages[&d]
+        &self.lineages[self.idx(d)]
     }
 
     fn lineage_mut(&mut self, d: DeviceId) -> &mut Lineage {
-        self.lineages.get_mut(&d).expect("unknown device in lineage table")
+        let i = self.idx(d);
+        &mut self.lineages[i]
     }
 
     /// All device ids in the table.
     pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
-        self.lineages.keys().copied()
+        self.ids.iter().copied()
     }
 
     /// Committed state of `d`.
     pub fn committed(&self, d: DeviceId) -> Value {
-        self.lineages[&d].committed
+        self.lineage(d).committed
     }
 
     /// Updates the committed state of `d`.
@@ -118,8 +573,9 @@ impl LineageTable {
 
     /// Committed states of every device.
     pub fn committed_states(&self) -> BTreeMap<DeviceId, Value> {
-        self.lineages
+        self.ids
             .iter()
+            .zip(&self.lineages)
             .map(|(&d, l)| (d, l.committed))
             .collect()
     }
@@ -131,68 +587,60 @@ impl LineageTable {
     /// Debug builds assert the position respects the insert floor
     /// (insertions never go before already-executing/executed entries).
     pub fn insert(&mut self, d: DeviceId, pos: usize, access: LockAccess) {
-        let lin = self.lineage_mut(d);
-        debug_assert!(pos >= lin.insert_floor(), "insertion before the past");
-        debug_assert!(pos <= lin.entries.len(), "insertion out of bounds");
-        lin.entries.insert(pos, access);
+        self.lineage_mut(d).insert_at(pos, access);
     }
 
     /// Appends an entry to `d`'s lineage; returns its position.
     pub fn append(&mut self, d: DeviceId, access: LockAccess) -> usize {
         let lin = self.lineage_mut(d);
-        lin.entries.push(access);
-        lin.entries.len() - 1
+        let pos = lin.entries.len();
+        lin.insert_at(pos, access);
+        pos
     }
 
     /// Position of routine `r`'s entry for command `cmd` on `d`.
     pub fn position(&self, d: DeviceId, r: RoutineId, cmd: usize) -> Option<usize> {
-        self.lineages[&d]
-            .entries
-            .iter()
-            .position(|e| e.routine == r && e.cmd == cmd)
+        self.lineage(d).position_of(r, cmd)
     }
 
     /// Position of routine `r`'s first entry on `d`.
     pub fn first_position_of(&self, d: DeviceId, r: RoutineId) -> Option<usize> {
-        self.lineages[&d].entries.iter().position(|e| e.routine == r)
+        self.lineage(d).first_position_of(r)
     }
 
     /// `true` if routine `r` has any entry on `d`.
     pub fn routine_on_device(&self, d: DeviceId, r: RoutineId) -> bool {
-        self.first_position_of(d, r).is_some()
+        self.lineage(d).has_routine(r)
     }
 
     /// Marks `r`'s entry for `cmd` on `d` as `Acquired`, re-stamping its
     /// planned start to `now` (the estimate becomes the actual).
     pub fn acquire(&mut self, d: DeviceId, r: RoutineId, cmd: usize, now: Timestamp) {
-        let pos = self.position(d, r, cmd).expect("acquire of unknown entry");
         let lin = self.lineage_mut(d);
-        let e = &mut lin.entries[pos];
-        debug_assert_eq!(e.status, LockStatus::Scheduled, "double acquire");
-        e.status = LockStatus::Acquired;
-        e.planned_start = now;
+        let pos = lin.position_of(r, cmd).expect("acquire of unknown entry");
+        lin.acquire_at(pos, now);
     }
 
     /// Marks `r`'s entry for `cmd` on `d` as `Released`.
     pub fn release(&mut self, d: DeviceId, r: RoutineId, cmd: usize) {
-        let pos = self.position(d, r, cmd).expect("release of unknown entry");
-        self.lineage_mut(d).entries[pos].status = LockStatus::Released;
+        let lin = self.lineage_mut(d);
+        let pos = lin.position_of(r, cmd).expect("release of unknown entry");
+        lin.release_at(pos);
     }
 
     /// Marks `r`'s entry for `cmd` on `d` as `Released` with no desired
     /// state: the command was skipped (best-effort on a down device) and
     /// had no effect, so status inference must not see its write.
     pub fn release_as_noop(&mut self, d: DeviceId, r: RoutineId, cmd: usize) {
-        let pos = self.position(d, r, cmd).expect("skip of unknown entry");
-        let e = &mut self.lineage_mut(d).entries[pos];
-        e.status = LockStatus::Released;
-        e.desired = None;
+        let lin = self.lineage_mut(d);
+        let pos = lin.position_of(r, cmd).expect("skip of unknown entry");
+        lin.release_noop_at(pos);
     }
 
     /// Removes the entry at `pos` on `d` (backtracking in the Timeline
-    /// planner's scratch table).
+    /// planner's scratch state).
     pub fn remove_at(&mut self, d: DeviceId, pos: usize) -> LockAccess {
-        self.lineage_mut(d).entries.remove(pos)
+        self.lineage_mut(d).remove_entry(pos)
     }
 
     /// Removes every entry of routine `r` on device `d`; returns how many
@@ -201,7 +649,11 @@ impl LineageTable {
         let lin = self.lineage_mut(d);
         let before = lin.entries.len();
         lin.entries.retain(|e| e.routine != r);
-        before - lin.entries.len()
+        let removed = before - lin.entries.len();
+        if removed > 0 {
+            lin.recompute_caches();
+        }
+        removed
     }
 
     /// Commit compaction (Fig. 7): removes `r`'s entries on `d` *and*
@@ -225,58 +677,41 @@ impl LineageTable {
                 superseded.push(e.routine);
             }
         }
-        lin.entries.drain(..=last);
+        lin.drain_prefix(last + 1);
         superseded
     }
 
     /// Devices on which routine `r` currently has entries.
     pub fn devices_of(&self, r: RoutineId) -> Vec<DeviceId> {
-        self.lineages
+        self.ids
             .iter()
-            .filter(|(_, l)| l.entries.iter().any(|e| e.routine == r))
+            .zip(&self.lineages)
+            .filter(|(_, l)| l.has_routine(r))
             .map(|(&d, _)| d)
             .collect()
     }
 
     /// Owner of the rightmost entry that has executed or is executing
     /// (`Acquired` or `Released`): the routine whose effect is the
-    /// device's latest, used by the abort rules of §4.3.
+    /// device's latest, used by the abort rules of §4.3. O(1).
     pub fn last_user(&self, d: DeviceId) -> Option<RoutineId> {
-        self.lineages[&d]
-            .entries
-            .iter()
-            .rev()
-            .find(|e| e.status != LockStatus::Scheduled)
-            .map(|e| e.routine)
+        self.lineage(d).last_user()
     }
 
     /// Infers the device's current state from the lineage alone, without
     /// querying the device (Fig. 8): the `Acquired` entry's desired state
     /// if present, else the rightmost `Released` write, else the committed
-    /// state. Reads never change state and are skipped.
+    /// state. Reads never change state and are skipped. O(1).
     pub fn current_status(&self, d: DeviceId) -> Value {
-        let lin = &self.lineages[&d];
-        let upto = lin
-            .entries
-            .iter()
-            .rposition(|e| e.status != LockStatus::Scheduled);
-        if let Some(upto) = upto {
-            for e in lin.entries[..=upto].iter().rev() {
-                if let Some(v) = e.desired {
-                    return v;
-                }
-            }
-        }
-        lin.committed
+        self.lineage(d).current_status()
     }
 
     /// The value an aborting routine must restore `d` to: the nearest
     /// write *before* its first entry on `d`, else the committed state
     /// (§4.3, aborts and rollbacks).
     pub fn rollback_target(&self, d: DeviceId, r: RoutineId) -> Value {
-        let lin = &self.lineages[&d];
-        let first = lin.entries.iter().position(|e| e.routine == r);
-        let upto = first.unwrap_or(lin.entries.len());
+        let lin = self.lineage(d);
+        let upto = lin.first_position_of(r).unwrap_or(lin.entries.len());
         for e in lin.entries[..upto].iter().rev() {
             if let Some(v) = e.desired {
                 return v;
@@ -286,27 +721,26 @@ impl LineageTable {
     }
 
     /// Distinct routines with entries strictly before `pos` on `d`
-    /// (`getPreSet` of Algorithm 1).
+    /// (`getPreSet` of Algorithm 1), in first-appearance order.
     pub fn pre_set(&self, d: DeviceId, pos: usize) -> Vec<RoutineId> {
         let mut out = Vec::new();
-        for e in &self.lineages[&d].entries[..pos.min(self.lineages[&d].entries.len())] {
-            if !out.contains(&e.routine) {
-                out.push(e.routine);
+        self.lineage(d).for_pre_routines(pos, |r| {
+            if !out.contains(&r) {
+                out.push(r);
             }
-        }
+        });
         out
     }
 
     /// Distinct routines with entries at or after `pos` on `d`
-    /// (`getPostSet` of Algorithm 1).
+    /// (`getPostSet` of Algorithm 1), in first-appearance order.
     pub fn post_set(&self, d: DeviceId, pos: usize) -> Vec<RoutineId> {
-        let lin = &self.lineages[&d];
         let mut out = Vec::new();
-        for e in &lin.entries[pos.min(lin.entries.len())..] {
-            if !out.contains(&e.routine) {
-                out.push(e.routine);
+        self.lineage(d).for_post_routines(pos, |r| {
+            if !out.contains(&r) {
+                out.push(r);
             }
-        }
+        });
         out
     }
 
@@ -314,46 +748,21 @@ impl LineageTable {
     /// chronological order, ending with the unbounded tail gap. With
     /// `tail_only` (pre-leasing disabled) only the tail gap is returned.
     pub fn gaps(&self, d: DeviceId, not_before: Timestamp, tail_only: bool) -> Vec<Gap> {
-        let lin = &self.lineages[&d];
-        let floor = lin.insert_floor();
-        // Time floor: never before the estimated end of the executing
-        // entry (if any) nor before `not_before`.
-        let mut cursor = not_before;
-        if floor > 0 {
-            cursor = cursor.max(lin.entries[floor - 1].planned_end());
-        }
-        let scheduled = &lin.entries[floor..];
-        let tail_start = scheduled
-            .last()
-            .map(|e| e.planned_end().max(cursor))
-            .unwrap_or(cursor);
-        if tail_only {
-            return vec![Gap {
-                insert_pos: lin.entries.len(),
-                start: tail_start,
-                end: None,
-            }];
-        }
-        let mut gaps = Vec::new();
-        for (i, e) in scheduled.iter().enumerate() {
-            if cursor < e.planned_start {
-                gaps.push(Gap {
-                    insert_pos: floor + i,
-                    start: cursor,
-                    end: Some(e.planned_start),
-                });
-            }
-            cursor = cursor.max(e.planned_end());
-        }
-        gaps.push(Gap {
-            insert_pos: lin.entries.len(),
-            start: tail_start,
-            end: None,
-        });
-        gaps
+        self.lineage(d).gaps(not_before, tail_only)
     }
 
-    /// Checks the §4.3 invariants.
+    /// Overwrites the raw status of an entry without maintaining caches —
+    /// a test-only hook for constructing invalid tables that `validate`
+    /// must reject.
+    #[cfg(test)]
+    pub(crate) fn raw_status_override(&mut self, d: DeviceId, pos: usize, status: LockStatus) {
+        let i = self.idx(d);
+        self.lineages[i].entries[pos].status = status;
+    }
+
+    /// Checks the §4.3 invariants, plus consistency of every derived
+    /// cache (`front`, `floor`, `last_write`, span index) against the raw
+    /// entry list.
     ///
     /// `strict_times` additionally checks invariant 1 (non-overlapping
     /// planned intervals) between consecutive `Scheduled` entries — this
@@ -361,7 +770,7 @@ impl LineageTable {
     /// the planned timeline, so time-based checks are skipped for them.
     pub fn validate(&self, strict_times: bool) -> Result<(), String> {
         // Invariants 2, 3, per-routine command order, and optionally 1.
-        for (&d, lin) in &self.lineages {
+        for (&d, lin) in self.ids.iter().zip(&self.lineages) {
             let mut acquired = 0;
             let mut phase = 0; // 0 = released, 1 = acquired, 2 = scheduled
             for (i, e) in lin.entries.iter().enumerate() {
@@ -414,7 +823,7 @@ impl LineageTable {
         }
         // Invariant 4 across devices: pairwise order consistency.
         let mut pair_order: BTreeMap<(RoutineId, RoutineId), DeviceId> = BTreeMap::new();
-        for (&d, lin) in &self.lineages {
+        for (&d, lin) in self.ids.iter().zip(&self.lineages) {
             let mut seen: Vec<RoutineId> = Vec::new();
             for e in &lin.entries {
                 if !seen.contains(&e.routine) {
@@ -432,6 +841,12 @@ impl LineageTable {
                     pair_order.entry((a, b)).or_insert(d);
                 }
             }
+        }
+        // Derived-cache consistency: a desync here means an incremental
+        // maintenance bug, even if the raw entries are invariant-clean.
+        for (&d, lin) in self.ids.iter().zip(&self.lineages) {
+            lin.check_caches()
+                .map_err(|e| format!("cache desync on {d}: {e}"))?;
         }
         Ok(())
     }
@@ -503,6 +918,22 @@ mod tests {
         // A merely scheduled write is invisible.
         tab.append(d(0), entry(3, 0, Some(Value::Int(9)), 200, 10));
         assert_eq!(tab.current_status(d(0)), Value::ON);
+        tab.validate(true).unwrap();
+    }
+
+    #[test]
+    fn noop_release_hides_the_skipped_write() {
+        let mut tab = table(1);
+        tab.append(d(0), entry(1, 0, Some(Value::ON), 0, 100));
+        tab.acquire(d(0), r(1), 0, t(0));
+        tab.release(d(0), r(1), 0);
+        tab.append(d(0), entry(2, 0, Some(Value::Int(3)), 100, 10));
+        tab.acquire(d(0), r(2), 0, t(100));
+        assert_eq!(tab.current_status(d(0)), Value::Int(3));
+        // The write never landed (device down, best-effort skip).
+        tab.release_as_noop(d(0), r(2), 0);
+        assert_eq!(tab.current_status(d(0)), Value::ON);
+        tab.validate(true).unwrap();
     }
 
     #[test]
@@ -536,9 +967,18 @@ mod tests {
         tab.append(d(0), entry(2, 0, Some(Value::ON), 500, 100)); // [500,600)
         let gaps = tab.gaps(d(0), t(0), false);
         assert_eq!(gaps.len(), 3);
-        assert_eq!((gaps[0].insert_pos, gaps[0].start, gaps[0].end), (0, t(0), Some(t(100))));
-        assert_eq!((gaps[1].insert_pos, gaps[1].start, gaps[1].end), (1, t(200), Some(t(500))));
-        assert_eq!((gaps[2].insert_pos, gaps[2].start, gaps[2].end), (2, t(600), None));
+        assert_eq!(
+            (gaps[0].insert_pos, gaps[0].start, gaps[0].end),
+            (0, t(0), Some(t(100)))
+        );
+        assert_eq!(
+            (gaps[1].insert_pos, gaps[1].start, gaps[1].end),
+            (1, t(200), Some(t(500)))
+        );
+        assert_eq!(
+            (gaps[2].insert_pos, gaps[2].start, gaps[2].end),
+            (2, t(600), None)
+        );
         assert!(gaps[0].fits(t(0), dt(100)));
         assert!(!gaps[0].fits(t(50), dt(100)));
         assert!(gaps[2].fits(t(0), dt(1_000_000)));
@@ -581,6 +1021,17 @@ mod tests {
     }
 
     #[test]
+    fn pre_and_post_sets_split_mid_span() {
+        let mut tab = table(1);
+        tab.append(d(0), entry(1, 0, Some(Value::ON), 0, 10));
+        tab.append(d(0), entry(1, 1, Some(Value::OFF), 10, 10));
+        tab.append(d(0), entry(2, 0, Some(Value::ON), 20, 10));
+        // A split position inside r1's span puts r1 on both sides.
+        assert_eq!(tab.pre_set(d(0), 1), vec![r(1)]);
+        assert_eq!(tab.post_set(d(0), 1), vec![r(1), r(2)]);
+    }
+
+    #[test]
     fn compaction_removes_superseded_prefix() {
         let mut tab = table(1);
         for (ri, start) in [(1u64, 0u64), (2, 10), (3, 20)] {
@@ -590,9 +1041,14 @@ mod tests {
         }
         let superseded = tab.compact_commit(d(0), r(2));
         assert_eq!(superseded, vec![r(1)]);
-        let remaining: Vec<RoutineId> =
-            tab.lineage(d(0)).entries().iter().map(|e| e.routine).collect();
+        let remaining: Vec<RoutineId> = tab
+            .lineage(d(0))
+            .entries()
+            .iter()
+            .map(|e| e.routine)
+            .collect();
         assert_eq!(remaining, vec![r(3)]);
+        tab.validate(true).unwrap();
     }
 
     #[test]
@@ -605,6 +1061,7 @@ mod tests {
         assert_eq!(tab.remove_routine(d(1), r(1)), 1);
         assert_eq!(tab.remove_routine(d(1), r(1)), 0);
         assert_eq!(tab.devices_of(r(1)), Vec::<DeviceId>::new());
+        tab.validate(true).unwrap();
     }
 
     #[test]
@@ -615,7 +1072,7 @@ mod tests {
         tab.acquire(d(0), r(1), 0, t(0));
         // Force an illegal second acquire by editing the raw entry.
         let pos = tab.position(d(0), r(2), 0).unwrap();
-        tab.lineages.get_mut(&d(0)).unwrap().entries[pos].status = LockStatus::Acquired;
+        tab.raw_status_override(d(0), pos, LockStatus::Acquired);
         assert!(tab.validate(false).unwrap_err().contains("invariant 2"));
     }
 
@@ -626,7 +1083,7 @@ mod tests {
         tab.append(d(0), entry(2, 0, Some(Value::ON), 10, 10));
         // Release the *second* entry while the first is still scheduled.
         let pos = tab.position(d(0), r(2), 0).unwrap();
-        tab.lineages.get_mut(&d(0)).unwrap().entries[pos].status = LockStatus::Released;
+        tab.raw_status_override(d(0), pos, LockStatus::Released);
         assert!(tab.validate(false).unwrap_err().contains("invariant 3"));
     }
 
@@ -661,6 +1118,15 @@ mod tests {
     }
 
     #[test]
+    fn validate_catches_cache_desync() {
+        let mut tab = table(1);
+        tab.append(d(0), entry(1, 0, Some(Value::ON), 0, 10));
+        // An out-of-band status flip leaves front/floor caches stale.
+        tab.raw_status_override(d(0), 0, LockStatus::Released);
+        assert!(tab.validate(false).unwrap_err().contains("cache desync"));
+    }
+
+    #[test]
     fn insert_floor_tracks_progress() {
         let mut tab = table(1);
         assert_eq!(tab.lineage(d(0)).insert_floor(), 0);
@@ -671,5 +1137,40 @@ mod tests {
         tab.release(d(0), r(1), 0);
         tab.acquire(d(0), r(2), 0, t(10));
         assert_eq!(tab.lineage(d(0)).insert_floor(), 2);
+    }
+
+    #[test]
+    fn insert_and_remove_keep_caches_consistent() {
+        let mut tab = table(1);
+        tab.append(d(0), entry(1, 0, Some(Value::ON), 0, 10));
+        tab.append(d(0), entry(3, 0, Some(Value::ON), 100, 10));
+        // Insert between, then split r3 by... inserting before it again.
+        tab.insert(d(0), 1, entry(2, 0, Some(Value::ON), 50, 10));
+        tab.validate(true).unwrap();
+        let removed = tab.remove_at(d(0), 1);
+        assert_eq!(removed.routine, r(2));
+        tab.validate(true).unwrap();
+        assert_eq!(tab.post_set(d(0), 0), vec![r(1), r(3)]);
+    }
+
+    #[test]
+    fn sparse_device_ids_still_resolve() {
+        let init: BTreeMap<DeviceId, Value> =
+            [(d(2), Value::OFF), (d(7), Value::ON), (d(40), Value::OFF)]
+                .into_iter()
+                .collect();
+        let mut tab = LineageTable::new(&init);
+        assert_eq!(tab.committed(d(7)), Value::ON);
+        tab.append(d(40), entry(1, 0, Some(Value::ON), 0, 10));
+        assert_eq!(tab.position(d(40), r(1), 0), Some(0));
+        assert_eq!(tab.devices().collect::<Vec<_>>(), vec![d(2), d(7), d(40)]);
+        tab.validate(true).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown device")]
+    fn unknown_device_panics() {
+        let tab = table(2);
+        tab.lineage(d(9));
     }
 }

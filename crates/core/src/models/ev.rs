@@ -22,8 +22,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use safehome_types::{
-    trace::AbortReason, trace::OrderItem, Action, CmdIdx, DeviceId, Priority, RoutineId,
-    TimeDelta, Timestamp, UndoPolicy, Value,
+    trace::AbortReason, trace::OrderItem, Action, CmdIdx, DeviceId, Priority, RoutineId, TimeDelta,
+    Timestamp, UndoPolicy, Value,
 };
 
 use crate::config::{EngineConfig, SchedulerKind};
@@ -117,9 +117,8 @@ impl EvModel {
             // estimates in the lineage exclude actuation/network latency,
             // so one default-τ of slack per command is added before the
             // 1.1× leniency — otherwise healthy lessees get revoked.
-            let slack = TimeDelta::from_millis(
-                self.cfg.default_tau.as_millis() * lease.commands as u64,
-            );
+            let slack =
+                TimeDelta::from_millis(self.cfg.default_tau.as_millis() * lease.commands as u64);
             let timeout = (lease.est_span + slack).mul_f64(self.cfg.lease_leniency);
             self.pre_leases.insert(
                 (id, lease.device),
@@ -130,14 +129,14 @@ impl EvModel {
             );
             // Stretch accounting: scheduled owners after us are delayed by
             // roughly our span on the device.
-            let entries = self.table.lineage(lease.device).entries();
-            if let Some(last) = entries.iter().rposition(|e| e.routine == id) {
+            let lin = self.table.lineage(lease.device);
+            if let Some(last) = lin.entries().iter().rposition(|e| e.routine == id) {
                 let mut delayed = Vec::new();
-                for e in &entries[last + 1..] {
-                    if e.routine != id && !delayed.contains(&e.routine) {
-                        delayed.push(e.routine);
+                lin.for_post_routines(last + 1, |r| {
+                    if r != id && !delayed.contains(&r) {
+                        delayed.push(r);
                     }
-                }
+                });
                 for r in delayed {
                     *self.delays.entry(r).or_insert(0) += lease.est_span.as_millis();
                 }
@@ -174,7 +173,9 @@ impl EvModel {
                     let delays = &self.delays;
                     let threshold = self.cfg.stretch_threshold;
                     let can_delay = move |r: RoutineId, added_ms: u64| -> bool {
-                        let Some(other) = runs.get(r) else { return true };
+                        let Some(other) = runs.get(r) else {
+                            return true;
+                        };
                         let ideal = other.routine.ideal_runtime().as_millis().max(1);
                         let delay = delays.get(&r).copied().unwrap_or(0) + added_ms;
                         (ideal + delay) as f64 / ideal as f64 <= threshold
@@ -216,16 +217,31 @@ impl EvModel {
             .copied()
             .filter(|id| self.expired.contains(id))
             .collect();
-        candidates.extend(self.waiting.iter().copied().filter(|id| !self.expired.contains(id)));
+        candidates.extend(
+            self.waiting
+                .iter()
+                .copied()
+                .filter(|id| !self.expired.contains(id)),
+        );
         let mut priority_block: BTreeSet<DeviceId> = BTreeSet::new();
         for id in candidates {
-            let Some(run) = self.runs.get(id) else { continue };
+            let Some(run) = self.runs.get(id) else {
+                continue;
+            };
             let devices = run.routine.devices();
             if devices.iter().any(|d| priority_block.contains(d)) {
                 continue; // A starving routine has dibs on these devices.
             }
             let preds = self.committed_preds(&devices);
-            match jit::try_place(run, &self.table, &self.order, &self.cfg, now, &blocked, &preds) {
+            match jit::try_place(
+                run,
+                &self.table,
+                &self.order,
+                &self.cfg,
+                now,
+                &blocked,
+                &preds,
+            ) {
                 Some(placement) => {
                     self.waiting.retain(|&w| w != id);
                     self.expired.remove(&id);
@@ -265,7 +281,9 @@ impl EvModel {
 
     /// Attempts one step of routine `id`. Returns `true` on progress.
     fn try_progress(&mut self, id: RoutineId, now: Timestamp, out: &mut Vec<Effect>) -> bool {
-        let Some(run) = self.runs.get(id) else { return false };
+        let Some(run) = self.runs.get(id) else {
+            return false;
+        };
         if run.dispatched || self.waiting.contains(&id) {
             return false;
         }
@@ -282,22 +300,18 @@ impl EvModel {
         if self.rollback_holds.contains_key(&d) {
             return false; // Device frozen until an abort's restore lands.
         }
-        let entries = self.table.lineage(d).entries();
-        if entries[..pos].iter().any(|e| !e.released()) {
+        let lin = self.table.lineage(d);
+        if lin.front_pos().is_some_and(|f| f < pos) {
             return false; // Someone ahead still needs the device.
         }
         // Earlier released entries always belong to unfinished routines
         // (finished routines' entries are removed), so their presence
         // makes this dispatch a post-lease handover.
-        let foreign_prefix: Vec<_> = entries[..pos]
-            .iter()
-            .filter(|e| e.routine != id)
-            .collect();
-        if !foreign_prefix.is_empty() {
+        if lin.has_foreign_before(pos, id) {
             if !self.cfg.post_lease {
                 return false; // Handover only at routine finish.
             }
-            if cmd.action.is_read() && foreign_prefix.iter().any(|e| e.desired.is_some()) {
+            if cmd.action.is_read() && lin.has_foreign_write_before(pos, id) {
                 return false; // Dirty-read guard (§4.1).
             }
         }
@@ -346,7 +360,10 @@ impl EvModel {
             if !lease.armed {
                 lease.armed = true;
                 out.push(Effect::SetTimer {
-                    timer: TimerId::LeaseRevocation { routine: id, device: d },
+                    timer: TimerId::LeaseRevocation {
+                        routine: id,
+                        device: d,
+                    },
                     at: now + lease.timeout,
                 });
             }
@@ -373,7 +390,13 @@ impl EvModel {
         out.push(Effect::Committed { routine: id });
     }
 
-    fn abort(&mut self, id: RoutineId, reason: AbortReason, _now: Timestamp, out: &mut Vec<Effect>) {
+    fn abort(
+        &mut self,
+        id: RoutineId,
+        reason: AbortReason,
+        _now: Timestamp,
+        out: &mut Vec<Effect>,
+    ) {
         let run = self.runs.remove(id).expect("aborting unknown routine");
         let mut effects = Vec::new();
         let mut rolled_back = 0u32;
@@ -493,7 +516,11 @@ impl Model for EvModel {
         out: &mut Vec<Effect>,
     ) {
         if rollback {
-            if self.outstanding_rollbacks.remove(&(routine, device)).is_some() {
+            if self
+                .outstanding_rollbacks
+                .remove(&(routine, device))
+                .is_some()
+            {
                 if !success {
                     out.push(Effect::Feedback {
                         routine: Some(routine),
@@ -507,7 +534,9 @@ impl Model for EvModel {
             }
             return;
         }
-        let Some(run) = self.runs.get_mut(routine) else { return };
+        let Some(run) = self.runs.get_mut(routine) else {
+            return;
+        };
         if run.pc != idx || !run.dispatched {
             return; // Stale (routine was aborted or result duplicated).
         }
@@ -550,7 +579,9 @@ impl Model for EvModel {
         self.last_event.insert(device, fnode);
         self.event_log.entry(device).or_default().push(fnode);
         for id in self.runs.ids() {
-            let Some(run) = self.runs.get(id) else { continue };
+            let Some(run) = self.runs.get(id) else {
+                continue;
+            };
             if !run.uses(device) || self.waiting.contains(&id) {
                 continue;
             }
@@ -646,6 +677,11 @@ impl Model for EvModel {
     fn committed_states(&self) -> BTreeMap<DeviceId, Value> {
         self.table.committed_states()
     }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        // Non-strict: JiT pre-leases legitimately jump planned times.
+        self.table.validate(false)
+    }
 }
 
 #[cfg(test)]
@@ -683,28 +719,46 @@ mod tests {
 
     fn finish_cmd(m: &mut EvModel, id: u64, idx: usize, dev: u32, now: u64) -> Vec<Effect> {
         let mut out = Vec::new();
-        m.on_command_result(RoutineId(id), idx, d(dev), true, None, false, t(now), &mut out);
+        m.on_command_result(
+            RoutineId(id),
+            idx,
+            d(dev),
+            true,
+            None,
+            false,
+            t(now),
+            &mut out,
+        );
         out
     }
 
     fn has_dispatch(out: &[Effect], id: u64, dev: u32) -> bool {
-        out.iter().any(|e| matches!(
-            e,
-            Effect::Dispatch { routine, device, rollback: false, .. }
-                if routine.0 == id && device.0 == dev
-        ))
+        out.iter().any(|e| {
+            matches!(
+                e,
+                Effect::Dispatch { routine, device, rollback: false, .. }
+                    if routine.0 == id && device.0 == dev
+            )
+        })
     }
 
     #[test]
     fn single_routine_runs_to_commit() {
-        for kind in [SchedulerKind::Fcfs, SchedulerKind::Jit, SchedulerKind::Timeline] {
+        for kind in [
+            SchedulerKind::Fcfs,
+            SchedulerKind::Jit,
+            SchedulerKind::Timeline,
+        ] {
             let mut m = model(kind);
             let out = submit(&mut m, 1, routine(&[0, 1]), t(0));
             assert!(has_dispatch(&out, 1, 0), "{kind:?}");
             let out = finish_cmd(&mut m, 1, 0, 0, 100);
             assert!(has_dispatch(&out, 1, 1), "{kind:?}");
             let out = finish_cmd(&mut m, 1, 1, 1, 200);
-            assert!(out.iter().any(|e| matches!(e, Effect::Committed { .. })), "{kind:?}");
+            assert!(
+                out.iter().any(|e| matches!(e, Effect::Committed { .. })),
+                "{kind:?}"
+            );
             assert!(m.quiescent());
             assert_eq!(m.committed_states()[&d(0)], Value::ON);
             assert_eq!(m.witness_order(), vec![OrderItem::Routine(RoutineId(1))]);
@@ -722,10 +776,16 @@ mod tests {
             let mut m = model(kind);
             submit(&mut m, 1, routine(&[0, 1]), t(0));
             let out2 = submit(&mut m, 2, routine(&[0, 1]), t(1));
-            assert!(!has_dispatch(&out2, 2, 0), "coffee still held by R1 ({kind:?})");
+            assert!(
+                !has_dispatch(&out2, 2, 0),
+                "coffee still held by R1 ({kind:?})"
+            );
             let out = finish_cmd(&mut m, 1, 0, 0, 100);
             assert!(has_dispatch(&out, 1, 1), "R1 moves to pancake ({kind:?})");
-            assert!(has_dispatch(&out, 2, 0), "R2 starts coffee concurrently ({kind:?})");
+            assert!(
+                has_dispatch(&out, 2, 0),
+                "R2 starts coffee concurrently ({kind:?})"
+            );
             // Run both to completion; EV must end serially equivalent.
             finish_cmd(&mut m, 1, 1, 1, 200);
             finish_cmd(&mut m, 2, 0, 0, 200);
@@ -734,7 +794,10 @@ mod tests {
             assert!(m.quiescent(), "{kind:?}");
             assert_eq!(
                 m.witness_order(),
-                vec![OrderItem::Routine(RoutineId(1)), OrderItem::Routine(RoutineId(2))],
+                vec![
+                    OrderItem::Routine(RoutineId(1)),
+                    OrderItem::Routine(RoutineId(2))
+                ],
                 "{kind:?}"
             );
         }
@@ -791,11 +854,15 @@ mod tests {
         submit(&mut m, 2, r2, t(1));
         finish_cmd(&mut m, 1, 0, 0, 100); // R1 releases d0, R2 dispatches
         let out = finish_cmd(&mut m, 2, 0, 0, 200);
-        assert!(out.iter().any(|e| matches!(e, Effect::Committed { routine } if routine.0 == 2)));
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, Effect::Committed { routine } if routine.0 == 2)));
         assert_eq!(m.committed_states()[&d(0)], Value::Int(42));
         // Now R1 commits; compaction already removed its d0 entry.
         let out = finish_cmd(&mut m, 1, 1, 1, 10_100);
-        assert!(out.iter().any(|e| matches!(e, Effect::Committed { routine } if routine.0 == 1)));
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, Effect::Committed { routine } if routine.0 == 1)));
         assert_eq!(
             m.committed_states()[&d(0)],
             Value::Int(42),
@@ -803,7 +870,10 @@ mod tests {
         );
         assert_eq!(
             m.witness_order(),
-            vec![OrderItem::Routine(RoutineId(1)), OrderItem::Routine(RoutineId(2))]
+            vec![
+                OrderItem::Routine(RoutineId(1)),
+                OrderItem::Routine(RoutineId(2))
+            ]
         );
     }
 
@@ -825,7 +895,10 @@ mod tests {
         finish_cmd(&mut m, 2, 0, 0, 200); // R2 commits, last user of d0
         let mut out = Vec::new();
         m.on_command_result(RoutineId(1), 1, d(1), false, None, false, t(300), &mut out);
-        let abort = out.iter().find(|e| matches!(e, Effect::Aborted { .. })).unwrap();
+        let abort = out
+            .iter()
+            .find(|e| matches!(e, Effect::Aborted { .. }))
+            .unwrap();
         match abort {
             Effect::Aborted { rolled_back, .. } => {
                 assert_eq!(*rolled_back, 0, "d0 superseded by R2; nothing to roll back");
@@ -872,7 +945,10 @@ mod tests {
         finish_cmd(&mut m, 1, 0, 0, 100);
         let mut out = Vec::new();
         m.on_device_down(d(0), t(150), &mut out); // after last touch of d0
-        assert!(!out.iter().any(|e| matches!(e, Effect::Aborted { .. })), "rule 3: no abort");
+        assert!(
+            !out.iter().any(|e| matches!(e, Effect::Aborted { .. })),
+            "rule 3: no abort"
+        );
         finish_cmd(&mut m, 1, 1, 1, 200);
         assert_eq!(
             m.witness_order(),
@@ -941,7 +1017,9 @@ mod tests {
         let mut out = Vec::new();
         m.on_device_down(d(0), t(0), &mut out);
         let out = submit(&mut m, 1, r, t(1));
-        assert!(out.iter().any(|e| matches!(e, Effect::BestEffortSkipped { .. })));
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, Effect::BestEffortSkipped { .. })));
         assert!(has_dispatch(&out, 1, 1));
         let out = finish_cmd(&mut m, 1, 1, 1, 100);
         assert!(out.iter().any(|e| matches!(e, Effect::Committed { .. })));
@@ -971,7 +1049,13 @@ mod tests {
         submit(&mut m, 2, routine(&[0, 1]), t(1));
         // TTL expires for R2.
         let mut out = Vec::new();
-        m.on_timer(TimerId::Ttl { routine: RoutineId(2) }, t(120_000), &mut out);
+        m.on_timer(
+            TimerId::Ttl {
+                routine: RoutineId(2),
+            },
+            t(120_000),
+            &mut out,
+        );
         // R3 arrives wanting d1 (free!) — but R2 has priority on it now.
         let out3 = submit(&mut m, 3, routine(&[1]), t(120_001));
         assert!(
@@ -1001,8 +1085,10 @@ mod tests {
         let out2 = submit(&mut m, 2, r2, t(10));
         assert!(has_dispatch(&out2, 2, 1));
         let timer = out2.iter().find_map(|e| match e {
-            Effect::SetTimer { timer: TimerId::LeaseRevocation { routine, device }, at }
-                if routine.0 == 2 => Some((*device, *at)),
+            Effect::SetTimer {
+                timer: TimerId::LeaseRevocation { routine, device },
+                at,
+            } if routine.0 == 2 => Some((*device, *at)),
             _ => None,
         });
         let (dev, at) = timer.expect("revocation timer armed");
@@ -1016,7 +1102,14 @@ mod tests {
         // d1 access is still Scheduled when the timer fires → revoke.
         finish_cmd(&mut m, 2, 0, 1, 50);
         let mut out = Vec::new();
-        m.on_timer(TimerId::LeaseRevocation { routine: RoutineId(2), device: d(1) }, at, &mut out);
+        m.on_timer(
+            TimerId::LeaseRevocation {
+                routine: RoutineId(2),
+                device: d(1),
+            },
+            at,
+            &mut out,
+        );
         assert!(out.iter().any(|e| matches!(
             e,
             Effect::Aborted { reason: AbortReason::LeaseRevoked { device }, .. } if *device == d(1)
@@ -1037,20 +1130,41 @@ mod tests {
         let out2 = submit(&mut m, 2, routine(&[1]), t(10));
         assert!(has_dispatch(&out2, 2, 1));
         let mut out = Vec::new();
-        m.on_timer(TimerId::LeaseRevocation { routine: RoutineId(2), device: d(1) }, t(230), &mut out);
+        m.on_timer(
+            TimerId::LeaseRevocation {
+                routine: RoutineId(2),
+                device: d(1),
+            },
+            t(230),
+            &mut out,
+        );
         assert!(!out.iter().any(|e| matches!(e, Effect::Aborted { .. })));
         let deferred = out.iter().find_map(|e| match e {
-            Effect::SetTimer { timer: TimerId::LeaseRevocation { routine, device }, at }
-                if routine.0 == 2 && *device == d(1) => Some(*at),
+            Effect::SetTimer {
+                timer: TimerId::LeaseRevocation { routine, device },
+                at,
+            } if routine.0 == 2 && *device == d(1) => Some(*at),
             _ => None,
         });
         assert_eq!(deferred, Some(t(330)), "re-armed one τ past the check");
         // The slow access completes before the deferred check: commit.
         let out = finish_cmd(&mut m, 2, 0, 1, 300);
-        assert!(out.iter().any(|e| matches!(e, Effect::Committed { routine } if routine.0 == 2)));
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, Effect::Committed { routine } if routine.0 == 2)));
         let mut out = Vec::new();
-        m.on_timer(TimerId::LeaseRevocation { routine: RoutineId(2), device: d(1) }, t(330), &mut out);
-        assert!(!out.iter().any(|e| matches!(e, Effect::Aborted { .. })), "stale timer");
+        m.on_timer(
+            TimerId::LeaseRevocation {
+                routine: RoutineId(2),
+                device: d(1),
+            },
+            t(330),
+            &mut out,
+        );
+        assert!(
+            !out.iter().any(|e| matches!(e, Effect::Aborted { .. })),
+            "stale timer"
+        );
     }
 
     #[test]
@@ -1066,7 +1180,10 @@ mod tests {
         finish_cmd(&mut m, 2, 0, 1, 50);
         let mut out = Vec::new();
         m.on_timer(
-            TimerId::LeaseRevocation { routine: RoutineId(2), device: d(1) },
+            TimerId::LeaseRevocation {
+                routine: RoutineId(2),
+                device: d(1),
+            },
             t(120),
             &mut out,
         );

@@ -52,7 +52,9 @@ impl GsvModel {
     /// Starts queued routines while the home is free and rollbacks drained.
     fn pump(&mut self, now: Timestamp, out: &mut Vec<Effect>) {
         while self.current.is_none() && self.outstanding_rollbacks.is_empty() {
-            let Some(id) = self.queue.pop_front() else { return };
+            let Some(id) = self.queue.pop_front() else {
+                return;
+            };
             self.current = Some(id);
             if let Some(run) = self.runs.get_mut(id) {
                 run.started = Some(now);
@@ -66,7 +68,9 @@ impl GsvModel {
     /// believed-down devices; commits when no commands remain.
     fn advance(&mut self, id: RoutineId, now: Timestamp, out: &mut Vec<Effect>) {
         loop {
-            let Some(run) = self.runs.get_mut(id) else { return };
+            let Some(run) = self.runs.get_mut(id) else {
+                return;
+            };
             let Some(cmd) = run.current().copied() else {
                 self.commit(id, now, out);
                 return;
@@ -145,11 +149,7 @@ impl GsvModel {
     /// model's rule says so.
     fn on_detector_event(&mut self, device: DeviceId, now: Timestamp, out: &mut Vec<Effect>) {
         let Some(id) = self.current else { return };
-        let touches = self
-            .runs
-            .get(id)
-            .map(|r| r.uses(device))
-            .unwrap_or(false);
+        let touches = self.runs.get(id).map(|r| r.uses(device)).unwrap_or(false);
         if self.strong || touches {
             self.abort(id, AbortReason::FailureSerialization { device }, now, out);
         }
@@ -210,12 +210,7 @@ impl Model for GsvModel {
             run.pc += 1;
             self.advance(routine, now, out);
         } else if failure_aborts(&cmd) {
-            self.abort(
-                routine,
-                AbortReason::MustCommandFailed { device },
-                now,
-                out,
-            );
+            self.abort(routine, AbortReason::MustCommandFailed { device }, now, out);
         } else {
             out.push(Effect::BestEffortSkipped {
                 routine,
@@ -287,7 +282,11 @@ mod tests {
 
     fn submit(m: &mut GsvModel, id: u64, devs: &[u32], now: Timestamp) -> Vec<Effect> {
         let mut out = Vec::new();
-        m.submit(RoutineRun::new(RoutineId(id), routine(devs), now), now, &mut out);
+        m.submit(
+            RoutineRun::new(RoutineId(id), routine(devs), now),
+            now,
+            &mut out,
+        );
         out
     }
 
@@ -295,14 +294,20 @@ mod tests {
     fn second_routine_waits_for_first() {
         let mut m = model(false);
         let out1 = submit(&mut m, 1, &[0], t(0));
-        assert!(out1.iter().any(|e| matches!(e, Effect::Started { routine } if routine.0 == 1)));
+        assert!(out1
+            .iter()
+            .any(|e| matches!(e, Effect::Started { routine } if routine.0 == 1)));
         // Disjoint devices — GSV still serializes.
         let out2 = submit(&mut m, 2, &[1], t(1));
         assert!(out2.is_empty(), "no Started/Dispatch while home is busy");
         let mut out = Vec::new();
         m.on_command_result(RoutineId(1), 0, d(0), true, None, false, t(10), &mut out);
-        assert!(out.iter().any(|e| matches!(e, Effect::Committed { routine } if routine.0 == 1)));
-        assert!(out.iter().any(|e| matches!(e, Effect::Started { routine } if routine.0 == 2)));
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, Effect::Committed { routine } if routine.0 == 1)));
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, Effect::Started { routine } if routine.0 == 2)));
     }
 
     #[test]
@@ -374,17 +379,25 @@ mod tests {
             .find(|e| matches!(e, Effect::Aborted { .. }))
             .expect("abort effect");
         match abort {
-            Effect::Aborted { executed, rolled_back, .. } => {
+            Effect::Aborted {
+                executed,
+                rolled_back,
+                ..
+            } => {
                 assert_eq!(*executed, 1);
                 assert_eq!(*rolled_back, 1, "device 0's ON is rolled back");
             }
             _ => unreachable!(),
         }
         // Routine 2 must NOT start until the rollback completes.
-        assert!(!out.iter().any(|e| matches!(e, Effect::Started { routine } if routine.0 == 2)));
+        assert!(!out
+            .iter()
+            .any(|e| matches!(e, Effect::Started { routine } if routine.0 == 2)));
         out.clear();
         m.on_command_result(RoutineId(1), 0, d(0), true, None, true, t(25), &mut out);
-        assert!(out.iter().any(|e| matches!(e, Effect::Started { routine } if routine.0 == 2)));
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, Effect::Started { routine } if routine.0 == 2)));
         assert_eq!(m.mirror[&d(0)], Value::OFF, "mirror reflects rollback");
     }
 
@@ -398,10 +411,12 @@ mod tests {
         let mut out = Vec::new();
         m.health.mark_down(d(0));
         m.submit(RoutineRun::new(RoutineId(1), r, t(0)), t(0), &mut out);
-        assert!(out.iter().any(|e| matches!(e, Effect::BestEffortSkipped { .. })));
-        assert!(out.iter().any(
-            |e| matches!(e, Effect::Dispatch { device, .. } if *device == d(1))
-        ));
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, Effect::BestEffortSkipped { .. })));
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, Effect::Dispatch { device, .. } if *device == d(1))));
     }
 
     #[test]
@@ -409,7 +424,11 @@ mod tests {
         let mut m = model(false);
         let mut out = Vec::new();
         m.health.mark_down(d(0));
-        m.submit(RoutineRun::new(RoutineId(1), routine(&[0]), t(0)), t(0), &mut out);
+        m.submit(
+            RoutineRun::new(RoutineId(1), routine(&[0]), t(0)),
+            t(0),
+            &mut out,
+        );
         assert!(out.iter().any(|e| matches!(
             e,
             Effect::Aborted { reason: AbortReason::MustCommandFailed { device }, .. } if *device == d(0)

@@ -65,6 +65,13 @@ pub trait Model {
 
     /// Committed device states (last committed routine's effect).
     fn committed_states(&self) -> BTreeMap<DeviceId, Value>;
+
+    /// Checks the model's internal invariants (lineage-table invariants
+    /// and derived-cache consistency for EV). Models without internal
+    /// locking state have nothing to check.
+    fn check_invariants(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// The engine's belief about device health, driven purely by detector

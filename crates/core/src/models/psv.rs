@@ -73,11 +73,13 @@ impl PsvModel {
     fn try_start_all(&mut self, now: Timestamp, out: &mut Vec<Effect>) {
         let candidates: Vec<RoutineId> = self.waiting.clone();
         for id in candidates {
-            let Some(run) = self.runs.get(id) else { continue };
+            let Some(run) = self.runs.get(id) else {
+                continue;
+            };
             let devices = run.routine.devices();
-            let free = devices.iter().all(|d| {
-                !self.lock_owner.contains_key(d) && !self.rollback_holds.contains_key(d)
-            });
+            let free = devices
+                .iter()
+                .all(|d| !self.lock_owner.contains_key(d) && !self.rollback_holds.contains_key(d));
             if !free {
                 continue;
             }
@@ -154,7 +156,12 @@ impl PsvModel {
             for &(d, _) in pending.clone().iter() {
                 if !self.health.up(d) {
                     // Still failed at the finish point: abort (3*).
-                    self.abort(id, AbortReason::FailureSerialization { device: d }, now, out);
+                    self.abort(
+                        id,
+                        AbortReason::FailureSerialization { device: d },
+                        now,
+                        out,
+                    );
                     return;
                 }
             }
@@ -224,15 +231,26 @@ impl PsvModel {
     }
 
     /// Applies the §3 EV/PSV failure rules at detection time.
-    fn apply_failure_rules(&mut self, device: DeviceId, fnode: OrderNode, now: Timestamp, out: &mut Vec<Effect>) {
+    fn apply_failure_rules(
+        &mut self,
+        device: DeviceId,
+        fnode: OrderNode,
+        now: Timestamp,
+        out: &mut Vec<Effect>,
+    ) {
         for id in self.runs.ids() {
-            let Some(run) = self.runs.get(id) else { continue };
+            let Some(run) = self.runs.get(id) else {
+                continue;
+            };
             if run.started.is_none() || !run.uses(device) {
                 continue; // Waiting routines decide at dispatch time.
             }
             if run.done_with(device) {
                 // Rule 3*: defer to the finish point.
-                self.pending_after.entry(id).or_default().push((device, fnode));
+                self.pending_after
+                    .entry(id)
+                    .or_default()
+                    .push((device, fnode));
             } else if run.touched(device) {
                 // Mid-use: abort eagerly iff the remaining commands on the
                 // device include a Must (pure best-effort suffixes are
@@ -291,7 +309,9 @@ impl Model for PsvModel {
             }
             return;
         }
-        let Some(run) = self.runs.get_mut(routine) else { return };
+        let Some(run) = self.runs.get_mut(routine) else {
+            return;
+        };
         if run.pc != idx || !run.dispatched {
             return; // Stale.
         }
@@ -390,12 +410,17 @@ mod tests {
 
     fn submit(m: &mut PsvModel, id: u64, devs: &[u32], now: Timestamp) -> Vec<Effect> {
         let mut out = Vec::new();
-        m.submit(RoutineRun::new(RoutineId(id), routine(devs), now), now, &mut out);
+        m.submit(
+            RoutineRun::new(RoutineId(id), routine(devs), now),
+            now,
+            &mut out,
+        );
         out
     }
 
     fn started(out: &[Effect], id: u64) -> bool {
-        out.iter().any(|e| matches!(e, Effect::Started { routine } if routine.0 == id))
+        out.iter()
+            .any(|e| matches!(e, Effect::Started { routine } if routine.0 == id))
     }
 
     #[test]
@@ -448,15 +473,23 @@ mod tests {
         // Device 0's command completes, then device 0 fails.
         m.on_command_result(RoutineId(1), 0, d(0), true, None, false, t(10), &mut out);
         m.on_device_down(d(0), t(15), &mut out);
-        assert!(!out.iter().any(|e| matches!(e, Effect::Aborted { .. })), "not aborted mid-run");
+        assert!(
+            !out.iter().any(|e| matches!(e, Effect::Aborted { .. })),
+            "not aborted mid-run"
+        );
         out.clear();
         // Device 1 completes: finish point reached with device 0 down.
         m.on_command_result(RoutineId(1), 1, d(1), true, None, false, t(20), &mut out);
         let abort = out.iter().find(|e| matches!(e, Effect::Aborted { .. }));
         assert!(abort.is_some(), "3*: still-failed device aborts at finish");
         match abort.unwrap() {
-            Effect::Aborted { executed, reason, .. } => {
-                assert_eq!(*executed, 2, "whole routine had executed (high rollback cost)");
+            Effect::Aborted {
+                executed, reason, ..
+            } => {
+                assert_eq!(
+                    *executed, 2,
+                    "whole routine had executed (high rollback cost)"
+                );
                 assert_eq!(*reason, AbortReason::FailureSerialization { device: d(0) });
             }
             _ => unreachable!(),
@@ -554,6 +587,9 @@ mod tests {
         let o2 = submit(&mut m, 2, &[0], t(1)); // blocked on device 0
         let o3 = submit(&mut m, 3, &[4], t(2)); // free device: starts now
         assert!(!started(&o2, 2));
-        assert!(started(&o3, 3), "PSV lets non-conflicting routines overtake");
+        assert!(
+            started(&o3, 3),
+            "PSV lets non-conflicting routines overtake"
+        );
     }
 }

@@ -40,7 +40,9 @@ impl WvModel {
     /// Dispatches the current command and arms the open-loop pace timer;
     /// completes the routine when no commands remain.
     fn fire_current(&mut self, id: RoutineId, now: Timestamp, out: &mut Vec<Effect>) {
-        let Some(run) = self.runs.get_mut(id) else { return };
+        let Some(run) = self.runs.get_mut(id) else {
+            return;
+        };
         let Some(cmd) = run.current().copied() else {
             // All commands fired and paced out: the routine "completes"
             // (WV has no commit semantics; stragglers are ignored).
@@ -170,11 +172,18 @@ mod tests {
     fn dispatches_immediately_with_pace_timer() {
         let mut m = model();
         let mut out = Vec::new();
-        m.submit(RoutineRun::new(RoutineId(1), routine(), t(0)), t(0), &mut out);
+        m.submit(
+            RoutineRun::new(RoutineId(1), routine(), t(0)),
+            t(0),
+            &mut out,
+        );
         assert!(matches!(out[0], Effect::Started { .. }));
         assert!(out[1].is_dispatch());
         match out[2] {
-            Effect::SetTimer { timer: TimerId::Pace { routine }, at } => {
+            Effect::SetTimer {
+                timer: TimerId::Pace { routine },
+                at,
+            } => {
                 assert_eq!(routine, RoutineId(1));
                 assert_eq!(at, t(110), "duration 10 + pacing 100");
             }
@@ -186,16 +195,32 @@ mod tests {
     fn pace_timer_fires_next_command_without_ack() {
         let mut m = model();
         let mut out = Vec::new();
-        m.submit(RoutineRun::new(RoutineId(1), routine(), t(0)), t(0), &mut out);
+        m.submit(
+            RoutineRun::new(RoutineId(1), routine(), t(0)),
+            t(0),
+            &mut out,
+        );
         out.clear();
         // No CommandResult arrived — the pace timer still advances.
-        m.on_timer(TimerId::Pace { routine: RoutineId(1) }, t(110), &mut out);
+        m.on_timer(
+            TimerId::Pace {
+                routine: RoutineId(1),
+            },
+            t(110),
+            &mut out,
+        );
         assert!(out.iter().any(|e| matches!(
             e,
             Effect::Dispatch { device, .. } if *device == d(1)
         )));
         out.clear();
-        m.on_timer(TimerId::Pace { routine: RoutineId(1) }, t(220), &mut out);
+        m.on_timer(
+            TimerId::Pace {
+                routine: RoutineId(1),
+            },
+            t(220),
+            &mut out,
+        );
         assert!(matches!(out[0], Effect::Committed { .. }));
         assert!(m.quiescent());
     }
@@ -204,7 +229,11 @@ mod tests {
     fn late_acks_update_mirror_only() {
         let mut m = model();
         let mut out = Vec::new();
-        m.submit(RoutineRun::new(RoutineId(1), routine(), t(0)), t(0), &mut out);
+        m.submit(
+            RoutineRun::new(RoutineId(1), routine(), t(0)),
+            t(0),
+            &mut out,
+        );
         out.clear();
         m.on_command_result(RoutineId(1), 0, d(0), true, None, false, t(60), &mut out);
         assert!(out.is_empty(), "acks trigger no dispatches under WV");
@@ -215,7 +244,11 @@ mod tests {
     fn failed_commands_surface_feedback_but_continue() {
         let mut m = model();
         let mut out = Vec::new();
-        m.submit(RoutineRun::new(RoutineId(1), routine(), t(0)), t(0), &mut out);
+        m.submit(
+            RoutineRun::new(RoutineId(1), routine(), t(0)),
+            t(0),
+            &mut out,
+        );
         out.clear();
         m.on_command_result(RoutineId(1), 0, d(0), false, None, false, t(60), &mut out);
         assert!(matches!(out[0], Effect::Feedback { .. }));
@@ -223,7 +256,13 @@ mod tests {
         assert_eq!(m.committed_states()[&d(0)], Value::OFF);
         // Pacing continues regardless.
         out.clear();
-        m.on_timer(TimerId::Pace { routine: RoutineId(1) }, t(110), &mut out);
+        m.on_timer(
+            TimerId::Pace {
+                routine: RoutineId(1),
+            },
+            t(110),
+            &mut out,
+        );
         assert!(out.iter().any(Effect::is_dispatch));
     }
 
@@ -231,7 +270,11 @@ mod tests {
     fn detector_events_are_ignored() {
         let mut m = model();
         let mut out = Vec::new();
-        m.submit(RoutineRun::new(RoutineId(1), routine(), t(0)), t(0), &mut out);
+        m.submit(
+            RoutineRun::new(RoutineId(1), routine(), t(0)),
+            t(0),
+            &mut out,
+        );
         out.clear();
         m.on_device_down(d(0), t(5), &mut out);
         m.on_device_up(d(0), t(6), &mut out);
@@ -243,7 +286,13 @@ mod tests {
     fn stale_pace_timer_is_ignored() {
         let mut m = model();
         let mut out = Vec::new();
-        m.on_timer(TimerId::Pace { routine: RoutineId(9) }, t(10), &mut out);
+        m.on_timer(
+            TimerId::Pace {
+                routine: RoutineId(9),
+            },
+            t(10),
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 

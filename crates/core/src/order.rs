@@ -40,13 +40,66 @@ struct NodeInfo {
     committed: bool,
 }
 
+/// A growable bitset row of the reachability closure.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct BitRow(Vec<u64>);
+
+impl BitRow {
+    fn set(&mut self, i: u32) {
+        let word = (i / 64) as usize;
+        if word >= self.0.len() {
+            self.0.resize(word + 1, 0);
+        }
+        self.0[word] |= 1 << (i % 64);
+    }
+
+    fn test(&self, i: u32) -> bool {
+        self.0
+            .get((i / 64) as usize)
+            .is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    /// ORs `other` in; returns `true` if any bit changed.
+    fn or_assign(&mut self, other: &BitRow) -> bool {
+        if other.0.len() > self.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        let mut changed = false;
+        for (w, &o) in self.0.iter_mut().zip(&other.0) {
+            let next = *w | o;
+            changed |= next != *w;
+            *w = next;
+        }
+        changed
+    }
+
+    fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
 /// The partial-order tracker.
+///
+/// Alongside the raw constraint graph it maintains the full transitive
+/// closure as per-node bitset rows, updated incrementally on every edge
+/// insertion — so [`OrderTracker::reaches`] and
+/// [`OrderTracker::placement_conflicts`] (the per-gap test of the
+/// Timeline planner's inner loop, Fig. 15d) are O(1) bit probes instead
+/// of a DFS per query. Removing an aborted routine rebuilds the closure;
+/// aborts are rare next to placement probes.
 #[derive(Debug, Clone, Default)]
 pub struct OrderTracker {
     nodes: BTreeMap<OrderNode, NodeInfo>,
     edges: BTreeSet<(OrderNode, OrderNode)>,
     succ: BTreeMap<OrderNode, Vec<OrderNode>>,
     next_event_seq: u32,
+    /// Dense slot assignment for closure rows.
+    index: BTreeMap<OrderNode, u32>,
+    /// Slots freed by removed routines, reused by later nodes.
+    free_slots: Vec<u32>,
+    /// `reach[i]` holds bit `j` iff slot `i`'s node reaches slot `j`'s
+    /// (every row includes its own bit).
+    reach: Vec<BitRow>,
 }
 
 impl OrderTracker {
@@ -55,13 +108,32 @@ impl OrderTracker {
         Self::default()
     }
 
+    fn slot(&mut self, n: OrderNode) -> u32 {
+        if let Some(&i) = self.index.get(&n) {
+            return i;
+        }
+        let i = self.free_slots.pop().unwrap_or(self.reach.len() as u32);
+        if i as usize == self.reach.len() {
+            self.reach.push(BitRow::default());
+        }
+        self.reach[i as usize].clear();
+        self.reach[i as usize].set(i);
+        self.index.insert(n, i);
+        i
+    }
+
     /// Registers a routine node (pending until committed or removed).
+    /// Re-registration is a no-op, matching `BTreeMap::entry` semantics.
     pub fn add_routine(&mut self, r: RoutineId, submitted: Timestamp) {
-        self.nodes.entry(OrderNode::Routine(r)).or_insert(NodeInfo {
-            time: submitted,
-            device: None,
-            committed: false,
-        });
+        let node = OrderNode::Routine(r);
+        if let std::collections::btree_map::Entry::Vacant(e) = self.nodes.entry(node) {
+            e.insert(NodeInfo {
+                time: submitted,
+                device: None,
+                committed: false,
+            });
+            self.slot(node);
+        }
     }
 
     /// Registers a new failure event for `device`, returning its node.
@@ -76,6 +148,7 @@ impl OrderTracker {
                 committed: true,
             },
         );
+        self.slot(node);
         node
     }
 
@@ -91,6 +164,7 @@ impl OrderTracker {
                 committed: true,
             },
         );
+        self.slot(node);
         node
     }
 
@@ -106,6 +180,18 @@ impl OrderTracker {
         );
         if self.edges.insert((a, b)) {
             self.succ.entry(a).or_default().push(b);
+            let ia = self.slot(a);
+            let ib = self.slot(b);
+            if !self.reach[ia as usize].test(ib) {
+                // Everything that reaches `a` (including `a`) now also
+                // reaches everything `b` reaches.
+                let row_b = self.reach[ib as usize].clone();
+                for i in 0..self.reach.len() {
+                    if self.reach[i].test(ia) {
+                        self.reach[i].or_assign(&row_b);
+                    }
+                }
+            }
         }
     }
 
@@ -114,39 +200,35 @@ impl OrderTracker {
         self.add_edge(OrderNode::Routine(before), OrderNode::Routine(after));
     }
 
-    /// `true` if a path `from → … → to` exists.
+    /// `true` if a path `from → … → to` exists. O(1): a closure bit
+    /// probe.
     pub fn reaches(&self, from: OrderNode, to: OrderNode) -> bool {
         if from == to {
             return true;
         }
-        let mut stack = vec![from];
-        let mut seen = BTreeSet::new();
-        while let Some(n) = stack.pop() {
-            if !seen.insert(n) {
-                continue;
-            }
-            if let Some(next) = self.succ.get(&n) {
-                for &m in next {
-                    if m == to {
-                        return true;
-                    }
-                    stack.push(m);
-                }
-            }
+        match (self.index.get(&from), self.index.get(&to)) {
+            (Some(&i), Some(&j)) => self.reach[i as usize].test(j),
+            _ => false,
         }
-        false
     }
 
     /// Would constraining `pre ⟶ R ⟶ post` contradict existing order?
     /// True when some member of `post` already reaches some member of
     /// `pre` (Algorithm 1's preSet/postSet test, strengthened to the
     /// transitive closure — the paper checks only direct intersection,
-    /// which misses cycles through third routines).
+    /// which misses cycles through third routines). Each pair costs one
+    /// closure bit probe.
     pub fn placement_conflicts(&self, pre: &[RoutineId], post: &[RoutineId]) -> bool {
         for &q in post {
+            let iq = self.index.get(&OrderNode::Routine(q));
             for &p in pre {
-                if q == p || self.reaches(OrderNode::Routine(q), OrderNode::Routine(p)) {
+                if q == p {
                     return true;
+                }
+                if let (Some(&iq), Some(&ip)) = (iq, self.index.get(&OrderNode::Routine(p))) {
+                    if self.reach[iq as usize].test(ip) {
+                        return true;
+                    }
                 }
             }
         }
@@ -169,6 +251,34 @@ impl OrderTracker {
         self.succ.remove(&node);
         for (_, next) in self.succ.iter_mut() {
             next.retain(|&m| m != node);
+        }
+        if let Some(i) = self.index.remove(&node) {
+            self.reach[i as usize].clear();
+            self.free_slots.push(i);
+            self.rebuild_closure();
+        }
+    }
+
+    /// Recomputes every closure row from the edge set (used after node
+    /// removal, which can only shrink reachability).
+    fn rebuild_closure(&mut self) {
+        for (&n, &i) in &self.index {
+            self.reach[i as usize].clear();
+            self.reach[i as usize].set(i);
+            let _ = n;
+        }
+        // Propagate to a fixpoint; the graph is a DAG and small, so the
+        // quadratic worst case is irrelevant next to abort frequency.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(a, b) in &self.edges {
+                let (Some(&ia), Some(&ib)) = (self.index.get(&a), self.index.get(&b)) else {
+                    continue;
+                };
+                let row_b = self.reach[ib as usize].clone();
+                changed |= self.reach[ia as usize].or_assign(&row_b);
+            }
         }
     }
 
@@ -193,8 +303,7 @@ impl OrderTracker {
             .filter(|(_, i)| i.committed)
             .map(|(&n, _)| n)
             .collect();
-        let mut indegree: BTreeMap<OrderNode, usize> =
-            included.iter().map(|&n| (n, 0)).collect();
+        let mut indegree: BTreeMap<OrderNode, usize> = included.iter().map(|&n| (n, 0)).collect();
         for &(a, b) in &self.edges {
             if included.contains(&a) && included.contains(&b) {
                 *indegree.get_mut(&b).unwrap() += 1;
@@ -244,12 +353,12 @@ impl OrderTracker {
     fn to_item(&self, n: OrderNode) -> OrderItem {
         match n {
             OrderNode::Routine(r) => OrderItem::Routine(r),
-            OrderNode::Failure(_) => OrderItem::Failure(
-                self.device_of(n).expect("failure events carry a device"),
-            ),
-            OrderNode::Restart(_) => OrderItem::Restart(
-                self.device_of(n).expect("restart events carry a device"),
-            ),
+            OrderNode::Failure(_) => {
+                OrderItem::Failure(self.device_of(n).expect("failure events carry a device"))
+            }
+            OrderNode::Restart(_) => {
+                OrderItem::Restart(self.device_of(n).expect("restart events carry a device"))
+            }
         }
     }
 }
@@ -376,7 +485,8 @@ mod tests {
         ord.mark_committed(r(2), t(3));
         ord.order_routines(r(1), r(2));
         // Bypass add_edge's debug assert by inserting the raw edge.
-        ord.edges.insert((OrderNode::Routine(r(2)), OrderNode::Routine(r(1))));
+        ord.edges
+            .insert((OrderNode::Routine(r(2)), OrderNode::Routine(r(1))));
         ord.succ
             .entry(OrderNode::Routine(r(2)))
             .or_default()

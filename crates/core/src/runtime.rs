@@ -61,11 +61,7 @@ impl RoutineRun {
         self.routine.commands[..self.pc]
             .iter()
             .any(|c| c.device == d)
-            || (self.dispatched
-                && self
-                    .current()
-                    .map(|c| c.device == d)
-                    .unwrap_or(false))
+            || (self.dispatched && self.current().map(|c| c.device == d).unwrap_or(false))
     }
 
     /// `true` if every command on `d` has completed ("last touch" done).
@@ -331,7 +327,12 @@ mod tests {
         let dispatches: Vec<_> = effects.iter().filter(|e| e.is_dispatch()).collect();
         assert_eq!(dispatches.len(), 1);
         match dispatches[0] {
-            Effect::Dispatch { device, action, rollback, .. } => {
+            Effect::Dispatch {
+                device,
+                action,
+                rollback,
+                ..
+            } => {
                 assert_eq!(*device, d(0));
                 assert_eq!(*action, Action::Set(Value::OFF));
                 assert!(rollback);
@@ -385,7 +386,9 @@ mod tests {
         let dispatches: Vec<_> = effects.iter().filter(|e| e.is_dispatch()).collect();
         assert_eq!(dispatches.len(), 1);
         match dispatches[0] {
-            Effect::Dispatch { device, rollback, .. } => {
+            Effect::Dispatch {
+                device, rollback, ..
+            } => {
                 assert_eq!(*device, d(1));
                 assert!(rollback);
             }
@@ -426,7 +429,11 @@ mod tests {
 
     #[test]
     fn priority_determines_abort() {
-        assert!(failure_aborts(&Command::set(d(0), Value::ON, TimeDelta::ZERO)));
+        assert!(failure_aborts(&Command::set(
+            d(0),
+            Value::ON,
+            TimeDelta::ZERO
+        )));
         assert!(!failure_aborts(
             &Command::set(d(0), Value::ON, TimeDelta::ZERO).best_effort()
         ));

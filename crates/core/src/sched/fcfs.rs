@@ -15,7 +15,12 @@ use crate::runtime::RoutineRun;
 use super::Placement;
 
 /// Builds the append-only placement for a routine.
-pub fn place(run: &RoutineRun, table: &LineageTable, cfg: &EngineConfig, now: Timestamp) -> Placement {
+pub fn place(
+    run: &RoutineRun,
+    table: &LineageTable,
+    cfg: &EngineConfig,
+    now: Timestamp,
+) -> Placement {
     let mut placement = Placement::default();
     // Track the projected tail time of each device as we append, and the
     // routine's own sequential progress.
@@ -101,7 +106,11 @@ mod tests {
         let tab = table(3);
         let run = routine(1, &[0, 1, 2]);
         let p = place(&run, &tab, &cfg(), t(50));
-        let starts: Vec<u64> = p.inserts.iter().map(|(_, _, e)| e.planned_start.as_millis()).collect();
+        let starts: Vec<u64> = p
+            .inserts
+            .iter()
+            .map(|(_, _, e)| e.planned_start.as_millis())
+            .collect();
         assert_eq!(starts, vec![50, 150, 250], "commands are sequential");
     }
 

@@ -43,11 +43,11 @@ pub fn try_place(
             return None; // Device held for a rollback write.
         }
         let lin = table.lineage(d);
-        let entries = lin.entries();
         let floor = lin.insert_floor();
         // A non-released entry before the floor is an Acquired one: the
-        // device is in use this instant — not takeable.
-        if entries[..floor].iter().any(|e| !e.released()) {
+        // device is in use this instant — not takeable. O(1) via the
+        // front-of-line cache.
+        if lin.front_pos().is_some_and(|f| f < floor) {
             return None;
         }
         let has_released_prefix = floor > 0;
@@ -61,13 +61,12 @@ pub fn try_place(
             // Dirty-read guard (§4.1): no post-lease when the routine
             // would read a value written by an uncommitted routine.
             let first_cmd = &run.routine.commands[run.routine.first_touch(d).expect("uses d")];
-            let unfinished_write = entries[..floor].iter().any(|e| e.desired.is_some());
-            if unfinished_write && first_cmd.action.is_read() {
+            if first_cmd.action.is_read() && lin.has_foreign_write_before(floor, run.id) {
                 return None;
             }
         }
-        let scheduled = &entries[floor..];
-        if !scheduled.is_empty() {
+        let has_scheduled = floor < lin.entries().len();
+        if has_scheduled {
             // Pre-lease: jump ahead of owners that have not touched the
             // device. Owners that already hold released entries on this
             // device are mid-span; inserting between their accesses would
@@ -75,22 +74,24 @@ pub fn try_place(
             if !cfg.pre_lease {
                 return None;
             }
-            for e in scheduled {
-                if entries[..floor].iter().any(|p| p.routine == e.routine) {
-                    return None;
-                }
+            let mut mid_span = false;
+            lin.for_post_routines(floor, |r| {
+                mid_span |= lin.first_position_of(r).is_some_and(|p| p < floor);
+            });
+            if mid_span {
+                return None;
             }
         }
-        for e in &entries[..floor] {
-            if !pre.contains(&e.routine) {
-                pre.push(e.routine);
+        lin.for_pre_routines(floor, |r| {
+            if !pre.contains(&r) {
+                pre.push(r);
             }
-        }
-        for e in scheduled {
-            if !post.contains(&e.routine) {
-                post.push(e.routine);
+        });
+        lin.for_post_routines(floor, |r| {
+            if !post.contains(&r) {
+                post.push(r);
             }
-        }
+        });
     }
     // Consistent serialize-before ordering (invariant 4, via the order
     // graph's transitive closure).
@@ -100,7 +101,8 @@ pub fn try_place(
     // Eligible: build the placement — each command goes at its device's
     // insert floor, in command order, with planned times chained from now.
     let mut placement = Placement::default();
-    let mut cursors: std::collections::BTreeMap<DeviceId, usize> = std::collections::BTreeMap::new();
+    let mut cursors: std::collections::BTreeMap<DeviceId, usize> =
+        std::collections::BTreeMap::new();
     let mut cursor_time = now;
     for (i, cmd) in run.routine.commands.iter().enumerate() {
         let dur = cfg.tau(cmd.duration);
@@ -113,7 +115,7 @@ pub fn try_place(
             LockAccess::scheduled(run.id, i, cmd.action.written_value(), cursor_time, dur),
         ));
         cursors.insert(cmd.device, pos + 1);
-        cursor_time = cursor_time + dur;
+        cursor_time += dur;
     }
     Some(placement)
 }
@@ -256,14 +258,26 @@ mod tests {
         // Device 0: r2 has released (unfinished, post-lease source).
         tab.append(
             DeviceId(0),
-            LockAccess::scheduled(RoutineId(2), 0, Some(Value::ON), t(0), TimeDelta::from_millis(10)),
+            LockAccess::scheduled(
+                RoutineId(2),
+                0,
+                Some(Value::ON),
+                t(0),
+                TimeDelta::from_millis(10),
+            ),
         );
         tab.acquire(DeviceId(0), RoutineId(2), 0, t(0));
         tab.release(DeviceId(0), RoutineId(2), 0);
         // Device 1: r1 is scheduled, untouched (pre-lease target).
         tab.append(
             DeviceId(1),
-            LockAccess::scheduled(RoutineId(1), 0, Some(Value::ON), t(50), TimeDelta::from_millis(10)),
+            LockAccess::scheduled(
+                RoutineId(1),
+                0,
+                Some(Value::ON),
+                t(50),
+                TimeDelta::from_millis(10),
+            ),
         );
         // New routine would be after r2 (device 0) and before r1
         // (device 1): r2 < new < r1 contradicts r1 < r2.

@@ -89,7 +89,11 @@ pub fn apply_placement(
                 .iter()
                 .filter(|e| e.routine == routine)
                 .count();
-            leases.push(PreLeaseRec { device: d, est_span, commands });
+            leases.push(PreLeaseRec {
+                device: d,
+                est_span,
+                commands,
+            });
         }
     }
     leases
@@ -102,8 +106,7 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn table(n: u32) -> LineageTable {
-        let init: BTreeMap<DeviceId, Value> =
-            (0..n).map(|i| (DeviceId(i), Value::OFF)).collect();
+        let init: BTreeMap<DeviceId, Value> = (0..n).map(|i| (DeviceId(i), Value::OFF)).collect();
         LineageTable::new(&init)
     }
 

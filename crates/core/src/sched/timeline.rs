@@ -9,14 +9,25 @@
 //! search, after which the placement falls back to appending at every
 //! tail (the always-valid FCFS position).
 //!
-//! The search runs on a scratch *clone* of the lineage table so partial
-//! placements never corrupt the real one; the returned [`Placement`]
-//! replays position-for-position on the real table.
+//! This is the Fig. 15d hot path, engineered to make backtracking cost
+//! proportional to what the search actually changes:
+//!
+//! - the scratch state is a copy-on-write overlay ([`Scratch`]): only
+//!   the lineages of devices the routine touches are cloned, lazily, on
+//!   first mutation — never the whole table;
+//! - preSet/postSet accumulate into push-only ordered sets
+//!   ([`IdSet`]) that undo by truncating to a saved mark, so a rejected
+//!   gap costs no allocation or re-copy;
+//! - the per-gap serialization test is the order tracker's O(1) closure
+//!   probe, not a DFS.
+//!
+//! The returned [`Placement`] replays position-for-position on the real
+//! table.
 
-use safehome_types::{RoutineId, Timestamp};
+use safehome_types::{DeviceId, RoutineId, Timestamp};
 
 use crate::config::EngineConfig;
-use crate::lineage::{LineageTable, LockAccess};
+use crate::lineage::{Lineage, LineageTable, LockAccess};
 use crate::order::OrderTracker;
 use crate::runtime::RoutineRun;
 
@@ -25,6 +36,78 @@ use super::{fcfs, Placement};
 /// Decides whether delaying `routine`'s projected execution by another
 /// `added_ms` is acceptable (the §5 stretch-threshold admission rule).
 pub type StretchCheck<'a> = dyn Fn(RoutineId, u64) -> bool + 'a;
+
+/// Copy-on-write scratch over the real lineage table: reads fall
+/// through to the base table until a device's lineage is first mutated,
+/// at which point only that lineage is cloned. A `place` call therefore
+/// copies at most the lineages of the routine's own devices.
+struct Scratch<'a> {
+    base: &'a LineageTable,
+    /// Cloned lineages of mutated devices; routines touch a handful of
+    /// devices, so a linear scan beats any map.
+    overlays: Vec<(DeviceId, Lineage)>,
+}
+
+impl<'a> Scratch<'a> {
+    fn new(base: &'a LineageTable) -> Self {
+        Scratch {
+            base,
+            overlays: Vec::new(),
+        }
+    }
+
+    fn lineage(&self, d: DeviceId) -> &Lineage {
+        self.overlays
+            .iter()
+            .find(|(od, _)| *od == d)
+            .map(|(_, l)| l)
+            .unwrap_or_else(|| self.base.lineage(d))
+    }
+
+    fn lineage_mut(&mut self, d: DeviceId) -> &mut Lineage {
+        if let Some(i) = self.overlays.iter().position(|(od, _)| *od == d) {
+            return &mut self.overlays[i].1;
+        }
+        self.overlays.push((d, self.base.lineage(d).clone()));
+        &mut self.overlays.last_mut().expect("just pushed").1
+    }
+}
+
+/// A push-only set of routine ids with mark/truncate undo, the
+/// small-set shape the recursive search needs: membership tests scan a
+/// short contiguous buffer, and backtracking is a length reset.
+#[derive(Default)]
+struct IdSet {
+    items: Vec<RoutineId>,
+}
+
+impl IdSet {
+    fn from_slice(seed: &[RoutineId]) -> Self {
+        let mut set = IdSet::default();
+        for &r in seed {
+            set.insert(r);
+        }
+        set
+    }
+
+    fn insert(&mut self, r: RoutineId) {
+        if !self.items.contains(&r) {
+            self.items.push(r);
+        }
+    }
+
+    fn mark(&self) -> usize {
+        self.items.len()
+    }
+
+    fn truncate(&mut self, mark: usize) {
+        self.items.truncate(mark);
+    }
+
+    fn as_slice(&self) -> &[RoutineId] {
+        &self.items
+    }
+}
 
 /// Plans a placement for `run`. Always succeeds: if the gap search fails
 /// within the probe budget, falls back to tail placement.
@@ -41,15 +124,17 @@ pub fn place(
     can_delay: &StretchCheck<'_>,
     pre_seed: &[RoutineId],
 ) -> Placement {
-    let mut scratch = table.clone();
-    let mut inserts = Vec::new();
+    let mut scratch = Scratch::new(table);
+    let mut inserts = Vec::with_capacity(run.routine.commands.len());
     let mut probes = cfg.max_gap_probes.max(run.routine.commands.len());
+    let mut pre = IdSet::from_slice(pre_seed);
+    let mut post = IdSet::default();
     let ok = search(
         run,
         0,
         now,
-        &pre_seed.to_vec(),
-        &Vec::new(),
+        &mut pre,
+        &mut post,
         &mut scratch,
         order,
         cfg,
@@ -69,12 +154,12 @@ fn search(
     run: &RoutineRun,
     index: usize,
     earliest: Timestamp,
-    pre: &[RoutineId],
-    post: &[RoutineId],
-    scratch: &mut LineageTable,
+    pre: &mut IdSet,
+    post: &mut IdSet,
+    scratch: &mut Scratch<'_>,
     order: &OrderTracker,
     cfg: &EngineConfig,
-    inserts: &mut Vec<(safehome_types::DeviceId, usize, LockAccess)>,
+    inserts: &mut Vec<(DeviceId, usize, LockAccess)>,
     can_delay: &StretchCheck<'_>,
     probes: &mut usize,
 ) -> bool {
@@ -83,7 +168,9 @@ fn search(
     };
     let d = cmd.device;
     let dur = cfg.tau(cmd.duration);
-    for gap in scratch.gaps(d, earliest, !cfg.pre_lease) {
+    // Snapshot the gaps: the recursion mutates the scratch lineage, but
+    // backtracking restores it before the loop continues.
+    for gap in scratch.lineage(d).gaps(earliest, !cfg.pre_lease) {
         if *probes == 0 {
             return false;
         }
@@ -92,44 +179,52 @@ fn search(
             continue;
         }
         let start = gap.start.max(earliest);
-        // Accumulate pre/post sets (Algorithm 1, lines 10-11).
-        let mut cur_pre = pre.to_vec();
-        for r in scratch.pre_set(d, gap.insert_pos) {
-            if r != run.id && !cur_pre.contains(&r) {
-                cur_pre.push(r);
+        // Accumulate pre/post sets (Algorithm 1, lines 10-11); undo is a
+        // truncate back to the marks.
+        let pre_mark = pre.mark();
+        let post_mark = post.mark();
+        let lin = scratch.lineage(d);
+        lin.for_pre_routines(gap.insert_pos, |r| {
+            if r != run.id {
+                pre.insert(r);
             }
-        }
-        let mut cur_post = post.to_vec();
-        for r in scratch.post_set(d, gap.insert_pos) {
-            if r != run.id && !cur_post.contains(&r) {
-                cur_post.push(r);
+        });
+        lin.for_post_routines(gap.insert_pos, |r| {
+            if r != run.id {
+                post.insert(r);
             }
-        }
-        // Line 12: serialization must not be violated (closure-checked).
-        if cur_pre.iter().any(|p| cur_post.contains(p))
-            || order.placement_conflicts(&cur_pre, &cur_post)
-        {
+        });
+        // Line 12: serialization must not be violated (closure-checked;
+        // covers direct pre∩post overlap since every node reaches
+        // itself).
+        if order.placement_conflicts(pre.as_slice(), post.as_slice()) {
+            pre.truncate(pre_mark);
+            post.truncate(post_mark);
             continue;
         }
         // Stretch admission: placing before scheduled owners delays them.
         if gap.end.is_some() {
-            let delayed = scratch.post_set(d, gap.insert_pos);
-            if delayed
-                .iter()
-                .any(|&r| r != run.id && !can_delay(r, dur.as_millis()))
-            {
+            let mut vetoed = false;
+            lin.for_post_routines(gap.insert_pos, |r| {
+                if r != run.id && !can_delay(r, dur.as_millis()) {
+                    vetoed = true;
+                }
+            });
+            if vetoed {
+                pre.truncate(pre_mark);
+                post.truncate(post_mark);
                 continue;
             }
         }
         let entry = LockAccess::scheduled(run.id, index, cmd.action.written_value(), start, dur);
-        scratch.insert(d, gap.insert_pos, entry);
+        scratch.lineage_mut(d).insert_at(gap.insert_pos, entry);
         inserts.push((d, gap.insert_pos, entry));
         if search(
             run,
             index + 1,
             start + dur,
-            &cur_pre,
-            &cur_post,
+            pre,
+            post,
             scratch,
             order,
             cfg,
@@ -141,7 +236,9 @@ fn search(
         }
         // Backtrack (line 21): undo and try the next gap.
         inserts.pop();
-        scratch.remove_at(d, gap.insert_pos);
+        scratch.lineage_mut(d).remove_entry(gap.insert_pos);
+        pre.truncate(pre_mark);
+        post.truncate(post_mark);
     }
     false
 }
@@ -183,7 +280,15 @@ mod tests {
     fn empty_table_places_at_origin() {
         let tab = table(2);
         let ord = OrderTracker::new();
-        let p = place(&run(1, &[0, 1], 100), &tab, &ord, &cfg(), t(0), &always, &[]);
+        let p = place(
+            &run(1, &[0, 1], 100),
+            &tab,
+            &ord,
+            &cfg(),
+            t(0),
+            &always,
+            &[],
+        );
         assert_eq!(p.inserts.len(), 2);
         assert_eq!(p.inserts[0].2.planned_start, t(0));
         assert_eq!(p.inserts[1].2.planned_start, t(100));
@@ -197,7 +302,13 @@ mod tests {
         // Existing entry far in the future leaves a leading gap.
         tab.append(
             DeviceId(0),
-            LockAccess::scheduled(RoutineId(1), 0, Some(Value::ON), t(10_000), TimeDelta::from_millis(100)),
+            LockAccess::scheduled(
+                RoutineId(1),
+                0,
+                Some(Value::ON),
+                t(10_000),
+                TimeDelta::from_millis(100),
+            ),
         );
         let p = place(&run(2, &[0], 100), &tab, &ord, &cfg(), t(0), &always, &[]);
         assert_eq!(p.inserts[0].1, 0, "placed in the leading gap");
@@ -212,7 +323,13 @@ mod tests {
         let ord = OrderTracker::new();
         tab.append(
             DeviceId(0),
-            LockAccess::scheduled(RoutineId(1), 0, Some(Value::ON), t(10_000), TimeDelta::from_millis(100)),
+            LockAccess::scheduled(
+                RoutineId(1),
+                0,
+                Some(Value::ON),
+                t(10_000),
+                TimeDelta::from_millis(100),
+            ),
         );
         let mut c = cfg();
         c.pre_lease = false;
@@ -227,7 +344,13 @@ mod tests {
         let ord = OrderTracker::new();
         tab.append(
             DeviceId(0),
-            LockAccess::scheduled(RoutineId(1), 0, Some(Value::ON), t(50), TimeDelta::from_millis(100)),
+            LockAccess::scheduled(
+                RoutineId(1),
+                0,
+                Some(Value::ON),
+                t(50),
+                TimeDelta::from_millis(100),
+            ),
         );
         // Gap [0, 50) cannot fit 100 ms → go after [50,150).
         let p = place(&run(2, &[0], 100), &tab, &ord, &cfg(), t(0), &always, &[]);
@@ -247,21 +370,46 @@ mod tests {
         // R1 occupies C at [0,100) (acquired now) and B at [100,200).
         tab.append(
             c,
-            LockAccess::scheduled(RoutineId(1), 0, Some(Value::ON), t(0), TimeDelta::from_millis(100)),
+            LockAccess::scheduled(
+                RoutineId(1),
+                0,
+                Some(Value::ON),
+                t(0),
+                TimeDelta::from_millis(100),
+            ),
         );
         tab.acquire(c, RoutineId(1), 0, t(0));
         tab.append(
             b,
-            LockAccess::scheduled(RoutineId(1), 1, Some(Value::ON), t(100), TimeDelta::from_millis(100)),
+            LockAccess::scheduled(
+                RoutineId(1),
+                1,
+                Some(Value::ON),
+                t(100),
+                TimeDelta::from_millis(100),
+            ),
         );
         // R3 wants C then B, each 100 ms, starting now. C's first free
         // slot is [100,∞) (after R1 releases C) → pre of C-placement is
         // {R1}. For B, the gap [0,100) before R1's entry would put R3
         // before R1 on B — conflict → backtrack to B's tail.
-        let p = place(&run(3, &[0, 1], 100), &tab, &ord, &cfg(), t(0), &always, &[]);
+        let p = place(
+            &run(3, &[0, 1], 100),
+            &tab,
+            &ord,
+            &cfg(),
+            t(0),
+            &always,
+            &[],
+        );
         apply_placement(&mut tab, &mut ord, RoutineId(3), &p);
         tab.validate(false).unwrap();
-        let owners_b: Vec<u64> = tab.lineage(b).entries().iter().map(|e| e.routine.0).collect();
+        let owners_b: Vec<u64> = tab
+            .lineage(b)
+            .entries()
+            .iter()
+            .map(|e| e.routine.0)
+            .collect();
         assert_eq!(owners_b, vec![1, 3], "R3 serialized after R1 on B too");
     }
 
@@ -272,7 +420,13 @@ mod tests {
         ord.add_routine(RoutineId(1), t(0));
         tab.append(
             DeviceId(0),
-            LockAccess::scheduled(RoutineId(1), 0, Some(Value::ON), t(10_000), TimeDelta::from_millis(100)),
+            LockAccess::scheduled(
+                RoutineId(1),
+                0,
+                Some(Value::ON),
+                t(10_000),
+                TimeDelta::from_millis(100),
+            ),
         );
         // The leading gap fits, but the stretch check vetoes delaying R1.
         let veto = |r: RoutineId, _ms: u64| r != RoutineId(1);
@@ -326,5 +480,39 @@ mod tests {
         assert_eq!(p2.inserts[1].2.planned_start, t(2_000));
         apply_placement(&mut tab, &mut ord, RoutineId(2), &p2);
         tab.validate(true).unwrap();
+    }
+
+    #[test]
+    fn placement_leaves_real_table_untouched() {
+        // The scratch overlay must never leak into the base table, even
+        // when the search backtracks across devices.
+        let mut tab = table(3);
+        let mut ord = OrderTracker::new();
+        for i in 1..=3u64 {
+            ord.add_routine(RoutineId(i), t(0));
+            let p = place(
+                &run(i, &[0, 1, 2], 500),
+                &tab,
+                &ord,
+                &cfg(),
+                t(0),
+                &always,
+                &[],
+            );
+            let before = tab.clone();
+            // Re-planning with the same inputs must not mutate the table.
+            let _ = place(
+                &run(9, &[0, 2], 100),
+                &tab,
+                &ord,
+                &cfg(),
+                t(0),
+                &always,
+                &[],
+            );
+            assert_eq!(tab, before, "place must be read-only on the base");
+            apply_placement(&mut tab, &mut ord, RoutineId(i), &p);
+            tab.validate(true).unwrap();
+        }
     }
 }

@@ -1,0 +1,451 @@
+//! Property test for the lineage table's derived caches.
+//!
+//! The table maintains `front`/`floor`/`last_write`/span indices
+//! incrementally through every mutation (see `lineage::table`). This
+//! test runs randomized, lifecycle-legal operation sequences — Timeline
+//! placements, acquires, releases (normal and skip-as-noop), commit
+//! compactions and abort removals — and checks after *every* operation
+//! that each query answers exactly what a naive rescan of the raw entry
+//! list (the pre-optimization semantics) answers, and that
+//! `LineageTable::validate` (strict immediately after placements) stays
+//! green.
+
+use std::collections::BTreeMap;
+
+use safehome_core::lineage::{Gap, LineageTable, LockAccess, LockStatus};
+use safehome_core::order::OrderTracker;
+use safehome_core::runtime::RoutineRun;
+use safehome_core::sched::{apply_placement, timeline};
+use safehome_core::{EngineConfig, VisibilityModel};
+use safehome_types::{DeviceId, Routine, RoutineId, TimeDelta, Timestamp, Value};
+
+/// Deterministic generator (SplitMix64).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// The old-semantics reference: a plain entry list per device, with
+/// every query implemented as the seed's linear rescan.
+#[derive(Clone)]
+struct RefLineage {
+    committed: Value,
+    entries: Vec<LockAccess>,
+}
+
+impl RefLineage {
+    fn front_pos(&self) -> Option<usize> {
+        self.entries.iter().position(|e| !e.released())
+    }
+
+    fn insert_floor(&self) -> usize {
+        self.entries
+            .iter()
+            .rposition(|e| e.status != LockStatus::Scheduled)
+            .map(|p| p + 1)
+            .unwrap_or(0)
+    }
+
+    fn position(&self, r: RoutineId, cmd: usize) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.routine == r && e.cmd == cmd)
+    }
+
+    fn last_user(&self) -> Option<RoutineId> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.status != LockStatus::Scheduled)
+            .map(|e| e.routine)
+    }
+
+    fn current_status(&self) -> Value {
+        let upto = self
+            .entries
+            .iter()
+            .rposition(|e| e.status != LockStatus::Scheduled);
+        if let Some(upto) = upto {
+            for e in self.entries[..=upto].iter().rev() {
+                if let Some(v) = e.desired {
+                    return v;
+                }
+            }
+        }
+        self.committed
+    }
+
+    fn rollback_target(&self, r: RoutineId) -> Value {
+        let first = self.entries.iter().position(|e| e.routine == r);
+        let upto = first.unwrap_or(self.entries.len());
+        for e in self.entries[..upto].iter().rev() {
+            if let Some(v) = e.desired {
+                return v;
+            }
+        }
+        self.committed
+    }
+
+    fn pre_set(&self, pos: usize) -> Vec<RoutineId> {
+        let mut out = Vec::new();
+        for e in &self.entries[..pos.min(self.entries.len())] {
+            if !out.contains(&e.routine) {
+                out.push(e.routine);
+            }
+        }
+        out
+    }
+
+    fn post_set(&self, pos: usize) -> Vec<RoutineId> {
+        let mut out = Vec::new();
+        for e in &self.entries[pos.min(self.entries.len())..] {
+            if !out.contains(&e.routine) {
+                out.push(e.routine);
+            }
+        }
+        out
+    }
+
+    fn gaps(&self, not_before: Timestamp, tail_only: bool) -> Vec<Gap> {
+        let floor = self.insert_floor();
+        let mut cursor = not_before;
+        if floor > 0 {
+            cursor = cursor.max(self.entries[floor - 1].planned_end());
+        }
+        let scheduled = &self.entries[floor..];
+        let tail_start = scheduled
+            .last()
+            .map(|e| e.planned_end().max(cursor))
+            .unwrap_or(cursor);
+        if tail_only {
+            return vec![Gap {
+                insert_pos: self.entries.len(),
+                start: tail_start,
+                end: None,
+            }];
+        }
+        let mut gaps = Vec::new();
+        for (i, e) in scheduled.iter().enumerate() {
+            if cursor < e.planned_start {
+                gaps.push(Gap {
+                    insert_pos: floor + i,
+                    start: cursor,
+                    end: Some(e.planned_start),
+                });
+            }
+            cursor = cursor.max(e.planned_end());
+        }
+        gaps.push(Gap {
+            insert_pos: self.entries.len(),
+            start: tail_start,
+            end: None,
+        });
+        gaps
+    }
+}
+
+struct Harness {
+    devices: Vec<DeviceId>,
+    table: LineageTable,
+    order: OrderTracker,
+    mirror: BTreeMap<DeviceId, RefLineage>,
+    cfg: EngineConfig,
+    now: Timestamp,
+    next_routine: u64,
+    /// Per in-flight routine: the number of commands per device still
+    /// tracked (all entries released everywhere ⇒ eligible to commit).
+    live: Vec<RoutineId>,
+}
+
+impl Harness {
+    fn new(devices: u32) -> Self {
+        let init: BTreeMap<DeviceId, Value> =
+            (0..devices).map(|i| (DeviceId(i), Value::OFF)).collect();
+        let mirror = init
+            .iter()
+            .map(|(&d, &v)| {
+                (
+                    d,
+                    RefLineage {
+                        committed: v,
+                        entries: Vec::new(),
+                    },
+                )
+            })
+            .collect();
+        Harness {
+            devices: init.keys().copied().collect(),
+            table: LineageTable::new(&init),
+            order: OrderTracker::new(),
+            mirror,
+            cfg: EngineConfig::new(VisibilityModel::ev()),
+            now: Timestamp::ZERO,
+            next_routine: 1,
+            live: Vec::new(),
+        }
+    }
+
+    /// Compares every query of every device against the reference.
+    fn check(&self, rng: &mut Rng, context: &str) {
+        for &d in &self.devices {
+            let lin = self.table.lineage(d);
+            let rf = &self.mirror[&d];
+            assert_eq!(lin.entries(), &rf.entries[..], "{context}: entries on {d}");
+            assert_eq!(lin.front_pos(), rf.front_pos(), "{context}: front on {d}");
+            assert_eq!(
+                lin.insert_floor(),
+                rf.insert_floor(),
+                "{context}: floor on {d}"
+            );
+            assert_eq!(
+                self.table.current_status(d),
+                rf.current_status(),
+                "{context}: current_status on {d}"
+            );
+            assert_eq!(
+                self.table.last_user(d),
+                rf.last_user(),
+                "{context}: last_user on {d}"
+            );
+            let pos = if rf.entries.is_empty() {
+                0
+            } else {
+                rng.below(rf.entries.len() + 1)
+            };
+            assert_eq!(
+                self.table.pre_set(d, pos),
+                rf.pre_set(pos),
+                "{context}: pre_set({pos}) on {d}"
+            );
+            assert_eq!(
+                self.table.post_set(d, pos),
+                rf.post_set(pos),
+                "{context}: post_set({pos}) on {d}"
+            );
+            for &r in self.live.iter().take(3) {
+                for cmd in 0..4 {
+                    assert_eq!(
+                        self.table.position(d, r, cmd),
+                        rf.position(r, cmd),
+                        "{context}: position({r},{cmd}) on {d}"
+                    );
+                }
+                assert_eq!(
+                    self.table.rollback_target(d, r),
+                    rf.rollback_target(r),
+                    "{context}: rollback_target({r}) on {d}"
+                );
+            }
+            let not_before = Timestamp::from_millis(rng.below(5_000) as u64);
+            assert_eq!(
+                self.table.gaps(d, not_before, false),
+                rf.gaps(not_before, false),
+                "{context}: gaps on {d}"
+            );
+            assert_eq!(
+                self.table.gaps(d, not_before, true),
+                rf.gaps(not_before, true),
+                "{context}: tail gap on {d}"
+            );
+        }
+    }
+
+    /// Places a random routine through the real Timeline planner and
+    /// mirrors the placement into the reference.
+    fn place_routine(&mut self, rng: &mut Rng) {
+        let id = RoutineId(self.next_routine);
+        self.next_routine += 1;
+        let ncmds = 1 + rng.below(4);
+        let mut b = Routine::builder("prop");
+        for _ in 0..ncmds {
+            let d = self.devices[rng.below(self.devices.len())];
+            let dur = TimeDelta::from_millis(50 + rng.below(500) as u64);
+            if rng.below(6) == 0 {
+                b = b.read(d, None, dur);
+            } else {
+                b = b.set(d, Value::Int(rng.below(100) as i64), dur);
+            }
+        }
+        let routine = b.build();
+        self.order.add_routine(id, self.now);
+        let run = RoutineRun::new(id, routine, self.now);
+        let p = timeline::place(
+            &run,
+            &self.table,
+            &self.order,
+            &self.cfg,
+            self.now,
+            &|_, _| true,
+            &[],
+        );
+        apply_placement(&mut self.table, &mut self.order, id, &p);
+        for &(d, pos, entry) in &p.inserts {
+            self.mirror.get_mut(&d).unwrap().entries.insert(pos, entry);
+        }
+        self.live.push(id);
+        // Acceptance: strict validation after every applied placement.
+        self.table
+            .validate(true)
+            .unwrap_or_else(|e| panic!("validate(true) after placing {id}: {e}"));
+    }
+
+    /// Acquires the front entry of a random device (engine dispatch).
+    fn acquire_front(&mut self, rng: &mut Rng) {
+        let d = self.devices[rng.below(self.devices.len())];
+        let lin = self.table.lineage(d);
+        let Some(front) = lin.front_pos() else { return };
+        let e = lin.entries()[front];
+        if e.status != LockStatus::Scheduled {
+            return; // Already acquired.
+        }
+        self.advance_time(rng);
+        self.table.acquire(d, e.routine, e.cmd, self.now);
+        let rf = self.mirror.get_mut(&d).unwrap();
+        let pos = rf.position(e.routine, e.cmd).unwrap();
+        rf.entries[pos].status = LockStatus::Acquired;
+        rf.entries[pos].planned_start = self.now;
+    }
+
+    /// Releases the acquired entry of a random device, occasionally as a
+    /// skipped no-op.
+    fn release_front(&mut self, rng: &mut Rng) {
+        let d = self.devices[rng.below(self.devices.len())];
+        let lin = self.table.lineage(d);
+        let Some(front) = lin.front_pos() else { return };
+        let e = lin.entries()[front];
+        if e.status != LockStatus::Acquired {
+            return;
+        }
+        let noop = rng.below(5) == 0;
+        if noop {
+            self.table.release_as_noop(d, e.routine, e.cmd);
+        } else {
+            self.table.release(d, e.routine, e.cmd);
+        }
+        let rf = self.mirror.get_mut(&d).unwrap();
+        let pos = rf.position(e.routine, e.cmd).unwrap();
+        rf.entries[pos].status = LockStatus::Released;
+        if noop {
+            rf.entries[pos].desired = None;
+        }
+    }
+
+    /// Commits a routine whose entries are all released (compaction), or
+    /// aborts a random live routine (removal).
+    fn finish_routine(&mut self, rng: &mut Rng) {
+        if self.live.is_empty() {
+            return;
+        }
+        let idx = rng.below(self.live.len());
+        let r = self.live[idx];
+        let fully_released = self.devices.iter().all(|&d| {
+            self.table
+                .lineage(d)
+                .entries()
+                .iter()
+                .filter(|e| e.routine == r)
+                .all(|e| e.released())
+        });
+        if fully_released && rng.below(3) != 0 {
+            // Commit: compact every device the routine touched.
+            for &d in &self.devices {
+                if !self.table.routine_on_device(d, r) {
+                    continue;
+                }
+                self.table.compact_commit(d, r);
+                let rf = self.mirror.get_mut(&d).unwrap();
+                let last = rf.entries.iter().rposition(|e| e.routine == r).unwrap();
+                rf.entries.drain(..=last);
+            }
+            self.order.mark_committed(r, self.now);
+            self.live.remove(idx);
+        } else if rng.below(2) == 0 {
+            // Abort: remove the routine everywhere.
+            for &d in &self.devices {
+                self.table.remove_routine(d, r);
+                self.mirror
+                    .get_mut(&d)
+                    .unwrap()
+                    .entries
+                    .retain(|e| e.routine != r);
+            }
+            self.order.remove_routine(r);
+            self.live.remove(idx);
+        }
+    }
+
+    fn advance_time(&mut self, rng: &mut Rng) {
+        self.now += TimeDelta::from_millis(rng.below(300) as u64);
+    }
+}
+
+#[test]
+fn randomized_ops_match_naive_reference() {
+    for seed in 0..6u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x5851_F42D_4C95_7F2D) + 0x1234_5678);
+        let mut h = Harness::new(4 + (seed % 3) as u32);
+        for step in 0..400 {
+            match rng.below(10) {
+                0..=2 => h.place_routine(&mut rng),
+                3..=5 => h.acquire_front(&mut rng),
+                6..=8 => h.release_front(&mut rng),
+                _ => h.finish_routine(&mut rng),
+            }
+            h.check(&mut rng, &format!("seed {seed} step {step}"));
+            h.table
+                .validate(false)
+                .unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"));
+        }
+        assert!(h.next_routine > 1, "the generator placed routines");
+    }
+}
+
+#[test]
+fn sparse_ids_survive_randomized_ops() {
+    // Same machinery over non-contiguous device ids: exercises the
+    // binary-search lookup path instead of the dense direct index.
+    let init: BTreeMap<DeviceId, Value> = [3u32, 17, 40, 99]
+        .into_iter()
+        .map(|i| (DeviceId(i), Value::OFF))
+        .collect();
+    let mut table = LineageTable::new(&init);
+    let mut order = OrderTracker::new();
+    let cfg = EngineConfig::new(VisibilityModel::ev());
+    let mut rng = Rng(42);
+    let ids: Vec<DeviceId> = init.keys().copied().collect();
+    for i in 1..=40u64 {
+        let id = RoutineId(i);
+        order.add_routine(id, Timestamp::ZERO);
+        let mut b = Routine::builder("sparse");
+        for _ in 0..1 + rng.below(3) {
+            b = b.set(
+                ids[rng.below(ids.len())],
+                Value::ON,
+                TimeDelta::from_millis(100),
+            );
+        }
+        let run = RoutineRun::new(id, b.build(), Timestamp::ZERO);
+        let p = timeline::place(
+            &run,
+            &table,
+            &order,
+            &cfg,
+            Timestamp::ZERO,
+            &|_, _| true,
+            &[],
+        );
+        apply_placement(&mut table, &mut order, id, &p);
+        table.validate(true).unwrap();
+    }
+}

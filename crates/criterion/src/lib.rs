@@ -154,7 +154,8 @@ pub fn measure(name: &str, f: &mut dyn FnMut(&mut Bencher)) -> Measurement {
     }
     // Size samples so the whole measurement phase hits MEASURE_TIME.
     let per_sample = MEASURE_TIME / SAMPLES as u32;
-    let iters = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64;
+    let iters =
+        (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64;
     let mut times: Vec<f64> = (0..SAMPLES)
         .map(|_| sample(f, iters).as_nanos() as f64 / iters as f64)
         .collect();

@@ -77,7 +77,9 @@ pub struct Home {
 impl Home {
     /// Starts building a home.
     pub fn builder() -> HomeBuilder {
-        HomeBuilder { home: Home::default() }
+        HomeBuilder {
+            home: Home::default(),
+        }
     }
 
     /// Number of devices.
@@ -97,9 +99,7 @@ impl Home {
 
     /// Looks a device up by id.
     pub fn get(&self, id: DeviceId) -> Result<&DeviceSpec> {
-        self.devices
-            .get(id.index())
-            .ok_or(Error::UnknownDevice(id))
+        self.devices.get(id.index()).ok_or(Error::UnknownDevice(id))
     }
 
     /// Looks a device up by name.
@@ -167,12 +167,7 @@ impl HomeBuilder {
     }
 
     /// Adds `n` devices named `prefix_0 .. prefix_{n-1}`; returns their ids.
-    pub fn device_group(
-        &mut self,
-        prefix: &str,
-        kind: DeviceKind,
-        n: usize,
-    ) -> Vec<DeviceId> {
+    pub fn device_group(&mut self, prefix: &str, kind: DeviceKind, n: usize) -> Vec<DeviceId> {
         (0..n)
             .map(|i| self.device(format!("{prefix}_{i}"), kind))
             .collect()

@@ -157,7 +157,10 @@ impl VirtualDevice {
     ///
     /// Stale timers (for commands already resolved by a failure) return
     /// `(None, None)` and must be ignored by the caller.
-    pub fn on_completion_timer(&mut self, now: Timestamp) -> (Option<DeviceEvent>, Option<Timestamp>) {
+    pub fn on_completion_timer(
+        &mut self,
+        now: Timestamp,
+    ) -> (Option<DeviceEvent>, Option<Timestamp>) {
         let Some(fl) = self.inflight else {
             return (None, None);
         };
@@ -288,7 +291,11 @@ mod tests {
             .unwrap();
         let (ev, _) = d.on_completion_timer(done);
         match ev.unwrap() {
-            DeviceEvent::Completed { observed, new_state, .. } => {
+            DeviceEvent::Completed {
+                observed,
+                new_state,
+                ..
+            } => {
                 assert_eq!(observed, Some(Value::Int(42)));
                 assert_eq!(new_state, None);
             }

@@ -53,12 +53,7 @@ impl FailurePlan {
 
     /// The paper's §7.4 setup: a `fraction` of the `n` devices fail-stop
     /// at a uniformly random point inside `[0, horizon)` and never recover.
-    pub fn random_fail_stop(
-        n: usize,
-        fraction: f64,
-        horizon: Timestamp,
-        rng: &mut SimRng,
-    ) -> Self {
+    pub fn random_fail_stop(n: usize, fraction: f64, horizon: Timestamp, rng: &mut SimRng) -> Self {
         let mut ids: Vec<usize> = (0..n).collect();
         rng.shuffle(&mut ids);
         let count = ((n as f64) * fraction.clamp(0.0, 1.0)).round() as usize;

@@ -3,7 +3,9 @@
 use std::collections::BTreeMap;
 
 use safehome_core::{Effect, Engine, Input, TimerId};
-use safehome_devices::{Detection, DeviceEvent, DispatchTicket, FailureDetector, Health, VirtualDevice};
+use safehome_devices::{
+    Detection, DeviceEvent, DispatchTicket, FailureDetector, Health, VirtualDevice,
+};
 use safehome_sim::{EventQueue, SimRng};
 use safehome_types::{
     trace::{CmdOutcome, Trace, TraceEventKind},
@@ -99,7 +101,11 @@ impl Driver {
                     if !rollback {
                         self.trace.push(
                             now,
-                            TraceEventKind::CommandDispatched { routine, idx, device },
+                            TraceEventKind::CommandDispatched {
+                                routine,
+                                idx,
+                                device,
+                            },
                         );
                     }
                     let net = self.latency.sample(&mut self.rng);
@@ -128,13 +134,28 @@ impl Driver {
                 } => {
                     self.trace.push(
                         now,
-                        TraceEventKind::Aborted { routine, reason, executed, rolled_back },
+                        TraceEventKind::Aborted {
+                            routine,
+                            reason,
+                            executed,
+                            rolled_back,
+                        },
                     );
                     self.release_dependents(routine, now);
                 }
-                Effect::BestEffortSkipped { routine, idx, device } => {
-                    self.trace
-                        .push(now, TraceEventKind::BestEffortSkipped { routine, idx, device });
+                Effect::BestEffortSkipped {
+                    routine,
+                    idx,
+                    device,
+                } => {
+                    self.trace.push(
+                        now,
+                        TraceEventKind::BestEffortSkipped {
+                            routine,
+                            idx,
+                            device,
+                        },
+                    );
                 }
                 Effect::Feedback { .. } => {}
             }
@@ -142,8 +163,12 @@ impl Driver {
     }
 
     fn release_dependents(&mut self, routine: RoutineId, now: Timestamp) {
-        let Some(&sub) = self.sub_of_routine.get(&routine) else { return };
-        let Some(deps) = self.deferred.remove(&sub) else { return };
+        let Some(&sub) = self.sub_of_routine.get(&routine) else {
+            return;
+        };
+        let Some(deps) = self.deferred.remove(&sub) else {
+            return;
+        };
         for (dep_index, delay) in deps {
             self.unscheduled -= 1;
             self.schedule(now + delay, Ev::Submit(dep_index));
@@ -255,7 +280,11 @@ pub fn run(spec: &RunSpec) -> RunOutput {
                 }
                 match event {
                     None => {} // Stale timer (failure moved the reply).
-                    Some(DeviceEvent::Completed { ticket, new_state, observed }) => {
+                    Some(DeviceEvent::Completed {
+                        ticket,
+                        new_state,
+                        observed,
+                    }) => {
                         if let Some(v) = new_state {
                             driver.trace.push(
                                 now,
@@ -398,8 +427,12 @@ mod tests {
             VisibilityModel::Gsv { strong: true },
             VisibilityModel::Psv,
             VisibilityModel::ev(),
-            VisibilityModel::Ev { scheduler: safehome_core::SchedulerKind::Fcfs },
-            VisibilityModel::Ev { scheduler: safehome_core::SchedulerKind::Jit },
+            VisibilityModel::Ev {
+                scheduler: safehome_core::SchedulerKind::Fcfs,
+            },
+            VisibilityModel::Ev {
+                scheduler: safehome_core::SchedulerKind::Jit,
+            },
         ]
     }
 
@@ -415,7 +448,10 @@ mod tests {
     fn single_routine_completes_under_every_model() {
         for model in all_models() {
             let mut spec = RunSpec::new(plug_home(3), EngineConfig::new(model));
-            spec.submit(Submission::at(simple_routine(&[0, 1, 2], Value::ON), Timestamp::ZERO));
+            spec.submit(Submission::at(
+                simple_routine(&[0, 1, 2], Value::ON),
+                Timestamp::ZERO,
+            ));
             let out = run(&spec);
             assert!(out.completed, "{model:?}");
             assert_eq!(out.trace.committed().len(), 1, "{model:?}");
@@ -428,8 +464,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let mk = || {
-            let mut spec = RunSpec::new(plug_home(5), EngineConfig::new(VisibilityModel::ev()))
-                .with_seed(42);
+            let mut spec =
+                RunSpec::new(plug_home(5), EngineConfig::new(VisibilityModel::ev())).with_seed(42);
             for i in 0..5u64 {
                 spec.submit(Submission::at(
                     simple_routine(&[(i % 5) as u32, ((i + 1) % 5) as u32], Value::ON),
@@ -446,7 +482,10 @@ mod tests {
     #[test]
     fn chained_submission_waits_for_predecessor() {
         let mut spec = RunSpec::new(plug_home(2), EngineConfig::new(VisibilityModel::ev()));
-        let first = spec.submit(Submission::at(simple_routine(&[0], Value::ON), Timestamp::ZERO));
+        let first = spec.submit(Submission::at(
+            simple_routine(&[0], Value::ON),
+            Timestamp::ZERO,
+        ));
         spec.submit(Submission::after(
             simple_routine(&[1], Value::ON),
             first,
@@ -491,10 +530,16 @@ mod tests {
     fn failure_detection_is_recorded_within_interval_plus_timeout() {
         let mut spec = RunSpec::new(plug_home(1), EngineConfig::new(VisibilityModel::ev()));
         spec.failures = FailurePlan::none().fail(d(0), Timestamp::from_millis(2_500));
-        spec.submit(Submission::at(simple_routine(&[0], Value::ON), Timestamp::ZERO));
+        spec.submit(Submission::at(
+            simple_routine(&[0], Value::ON),
+            Timestamp::ZERO,
+        ));
         // A second, later submission keeps the run alive through the
         // detection window (it aborts on the dead device, which is fine).
-        spec.submit(Submission::at(simple_routine(&[0], Value::ON), Timestamp::from_secs(5)));
+        spec.submit(Submission::at(
+            simple_routine(&[0], Value::ON),
+            Timestamp::from_secs(5),
+        ));
         let out = run(&spec);
         let detect = out
             .trace
@@ -559,8 +604,8 @@ mod tests {
         // one seed under WV's open-loop dispatch.
         let mut mixed = 0;
         for seed in 0..20 {
-            let mut spec = RunSpec::new(plug_home(6), EngineConfig::new(VisibilityModel::Wv))
-                .with_seed(seed);
+            let mut spec =
+                RunSpec::new(plug_home(6), EngineConfig::new(VisibilityModel::Wv)).with_seed(seed);
             spec.submit(Submission::at(
                 simple_routine(&[0, 1, 2, 3, 4, 5], Value::ON),
                 Timestamp::ZERO,
@@ -577,7 +622,10 @@ mod tests {
                 mixed += 1;
             }
         }
-        assert!(mixed > 0, "WV should produce at least one incongruent end state");
+        assert!(
+            mixed > 0,
+            "WV should produce at least one incongruent end state"
+        );
     }
 
     #[test]
@@ -598,7 +646,10 @@ mod tests {
             let states: Vec<Value> = (0..6).map(|i| out.trace.end_states[&d(i)]).collect();
             let all_on = states.iter().all(|&v| v == Value::ON);
             let all_off = states.iter().all(|&v| v == Value::OFF);
-            assert!(all_on || all_off, "EV must serialize: {states:?} (seed {seed})");
+            assert!(
+                all_on || all_off,
+                "EV must serialize: {states:?} (seed {seed})"
+            );
         }
     }
 

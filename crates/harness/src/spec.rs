@@ -119,16 +119,16 @@ mod tests {
         let s2 = Submission::after(r, 0, TimeDelta::from_secs(2));
         assert_eq!(
             s2.arrival,
-            Arrival::After { index: 0, delay: TimeDelta::from_secs(2) }
+            Arrival::After {
+                index: 0,
+                delay: TimeDelta::from_secs(2)
+            }
         );
     }
 
     #[test]
     fn spec_indices_chain() {
-        let mut spec = RunSpec::new(
-            plug_home(2),
-            EngineConfig::new(VisibilityModel::Wv),
-        );
+        let mut spec = RunSpec::new(plug_home(2), EngineConfig::new(VisibilityModel::Wv));
         let r = Routine::builder("r")
             .set(DeviceId(0), Value::ON, TimeDelta::from_millis(10))
             .build();

@@ -102,12 +102,16 @@ impl EmulatedPlug {
 
 fn serve(plug: PlugHandle, mut stream: TcpStream) {
     loop {
-        let Ok(payload) = read_frame(&mut stream) else { return };
+        let Ok(payload) = read_frame(&mut stream) else {
+            return;
+        };
         if plug.is_failed() {
             // A dead plug goes silent; the driver's read times out.
             return;
         }
-        let Ok(req) = KasaRequest::parse(&payload) else { return };
+        let Ok(req) = KasaRequest::parse(&payload) else {
+            return;
+        };
         let state = {
             let mut s = plug.inner.lock().expect("plug lock poisoned");
             match req {

@@ -91,7 +91,10 @@ impl KasaRequest {
         let body = match self {
             KasaRequest::SetRelayState(on) => obj([(
                 "system",
-                obj([("set_relay_state", obj([("state", Json::from(i32::from(on)))]))]),
+                obj([(
+                    "set_relay_state",
+                    obj([("state", Json::from(i32::from(on)))]),
+                )]),
             )]),
             KasaRequest::SetLevel(level) => obj([(
                 "system",
@@ -182,7 +185,11 @@ impl KasaResponse {
             Some(n) => Value::Int(n),
             None => Value::OFF,
         };
-        Ok(KasaResponse { err_code, state, alias })
+        Ok(KasaResponse {
+            err_code,
+            state,
+            alias,
+        })
     }
 }
 
@@ -219,10 +226,7 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(2u32 << 20).to_be_bytes());
         let mut cursor = std::io::Cursor::new(buf);
-        assert!(matches!(
-            read_frame(&mut cursor),
-            Err(Error::Protocol(_))
-        ));
+        assert!(matches!(read_frame(&mut cursor), Err(Error::Protocol(_))));
     }
 
     #[test]
@@ -243,7 +247,10 @@ mod tests {
             KasaRequest::from_value(Value::ON),
             KasaRequest::SetRelayState(true)
         );
-        assert_eq!(KasaRequest::from_value(Value::Int(7)), KasaRequest::SetLevel(7));
+        assert_eq!(
+            KasaRequest::from_value(Value::Int(7)),
+            KasaRequest::SetLevel(7)
+        );
     }
 
     #[test]

@@ -86,7 +86,11 @@ impl RealTimeRunner {
     /// Creates a runner over the given drivers; `initial[i]` is the
     /// assumed starting state of device `i` (the runner reads the real
     /// state from the device and prefers it when reachable).
-    pub fn new(config: EngineConfig, drivers: Vec<KasaDriver>, ping_every: Duration) -> Result<Self> {
+    pub fn new(
+        config: EngineConfig,
+        drivers: Vec<KasaDriver>,
+        ping_every: Duration,
+    ) -> Result<Self> {
         let mut initial = std::collections::BTreeMap::new();
         for (i, d) in drivers.iter().enumerate() {
             let state = d.get().unwrap_or(Value::OFF);
@@ -100,21 +104,23 @@ impl RealTimeRunner {
             let tx = tx.clone();
             let drivers = drivers.clone();
             let stop = stop_ping.clone();
-            thread::Builder::new().name("safehome-detector".into()).spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
-                    thread::sleep(ping_every);
-                    for (i, d) in drivers.iter().enumerate() {
-                        if stop.load(Ordering::Relaxed) {
-                            return;
+            thread::Builder::new()
+                .name("safehome-detector".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        thread::sleep(ping_every);
+                        for (i, d) in drivers.iter().enumerate() {
+                            if stop.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            let alive = d.ping();
+                            let _ = tx.send(RtEvent::Ping {
+                                device: DeviceId(i as u32),
+                                alive,
+                            });
                         }
-                        let alive = d.ping();
-                        let _ = tx.send(RtEvent::Ping {
-                            device: DeviceId(i as u32),
-                            alive,
-                        });
                     }
-                }
-            })?;
+                })?;
         }
         Ok(RealTimeRunner {
             engine: Engine::new(config, &initial),
@@ -217,7 +223,9 @@ impl RealTimeRunner {
                 .map(|t| t.at.saturating_duration_since(Instant::now()))
                 .unwrap_or(Duration::from_millis(50))
                 .min(Duration::from_millis(50));
-            let Ok(event) = self.rx.recv_timeout(wait) else { continue };
+            let Ok(event) = self.rx.recv_timeout(wait) else {
+                continue;
+            };
             let now = self.now();
             match event {
                 RtEvent::CommandDone {

@@ -73,8 +73,7 @@ impl RunMetrics {
                     inflight.insert(*routine, BTreeSet::new());
                     parallelism_samples.push(inflight.len() as f64);
                 }
-                TraceEventKind::Committed { routine }
-                | TraceEventKind::Aborted { routine, .. } => {
+                TraceEventKind::Committed { routine } | TraceEventKind::Aborted { routine, .. } => {
                     inflight.remove(routine);
                     parallelism_samples.push(inflight.len() as f64);
                 }
@@ -104,14 +103,23 @@ impl RunMetrics {
         let mut aborted = 0usize;
         let mut overhead_sum = 0.0;
         for ev in &trace.events {
-            if let TraceEventKind::Aborted { routine, rolled_back, .. } = ev.kind {
+            if let TraceEventKind::Aborted {
+                routine,
+                rolled_back,
+                ..
+            } = ev.kind
+            {
                 aborted += 1;
                 let cmds = trace.records[&routine].routine.commands.len().max(1);
                 overhead_sum += rolled_back as f64 / cmds as f64;
             }
         }
         let abort_rate = aborted as f64 / total as f64;
-        let rollback_overhead = if aborted == 0 { 0.0 } else { overhead_sum / aborted as f64 };
+        let rollback_overhead = if aborted == 0 {
+            0.0
+        } else {
+            overhead_sum / aborted as f64
+        };
 
         // Order mismatch: swap distance between the witness order's
         // routines and submission (id) order, normalized by n(n−1)/2.
@@ -160,9 +168,7 @@ pub fn normalized_swap_distance(order: &[RoutineId]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use safehome_types::{
-        trace::AbortReason, CmdIdx, Routine, TimeDelta, Timestamp, Value,
-    };
+    use safehome_types::{trace::AbortReason, CmdIdx, Routine, TimeDelta, Timestamp, Value};
 
     fn d(i: u32) -> DeviceId {
         DeviceId(i)
@@ -235,16 +241,29 @@ mod tests {
         // R1 modifies device 0, then R2 changes it while R1 is in flight.
         tr.push(
             t(20),
-            TraceEventKind::StateChanged { device: d(0), value: Value::ON, by: Some(r(1)), rollback: false },
+            TraceEventKind::StateChanged {
+                device: d(0),
+                value: Value::ON,
+                by: Some(r(1)),
+                rollback: false,
+            },
         );
         tr.push(
             t(30),
-            TraceEventKind::StateChanged { device: d(0), value: Value::OFF, by: Some(r(2)), rollback: false },
+            TraceEventKind::StateChanged {
+                device: d(0),
+                value: Value::OFF,
+                by: Some(r(2)),
+                rollback: false,
+            },
         );
         tr.push(t(40), TraceEventKind::Committed { routine: r(2) });
         tr.push(t(50), TraceEventKind::Committed { routine: r(1) });
         let m = RunMetrics::of(&tr);
-        assert!((m.temporary_incongruence - 0.5).abs() < 1e-12, "R1 of 2 suffered");
+        assert!(
+            (m.temporary_incongruence - 0.5).abs() < 1e-12,
+            "R1 of 2 suffered"
+        );
     }
 
     #[test]
@@ -255,14 +274,24 @@ mod tests {
         tr.push(t(10), TraceEventKind::Started { routine: r(1) });
         tr.push(
             t(20),
-            TraceEventKind::StateChanged { device: d(0), value: Value::ON, by: Some(r(1)), rollback: false },
+            TraceEventKind::StateChanged {
+                device: d(0),
+                value: Value::ON,
+                by: Some(r(1)),
+                rollback: false,
+            },
         );
         tr.push(t(30), TraceEventKind::Committed { routine: r(1) });
         // R2 changes device 0 only after R1 completed: no incongruence.
         tr.push(t(31), TraceEventKind::Started { routine: r(2) });
         tr.push(
             t(40),
-            TraceEventKind::StateChanged { device: d(0), value: Value::OFF, by: Some(r(2)), rollback: false },
+            TraceEventKind::StateChanged {
+                device: d(0),
+                value: Value::OFF,
+                by: Some(r(2)),
+                rollback: false,
+            },
         );
         tr.push(t(50), TraceEventKind::Committed { routine: r(2) });
         let m = RunMetrics::of(&tr);

@@ -166,7 +166,13 @@ pub fn final_congruent(trace: &Trace, max_n: usize) -> Option<bool> {
             _ => {}
         }
     }
-    exists_serial_order(&trace.initial_states, &routines, &trace.end_states, &down, max_n)
+    exists_serial_order(
+        &trace.initial_states,
+        &routines,
+        &trace.end_states,
+        &down,
+        max_n,
+    )
 }
 
 #[cfg(test)]
@@ -194,10 +200,22 @@ mod tests {
         .into();
         let order = vec![OrderItem::Routine(r(1)), OrderItem::Routine(r(2))];
         let end = init(&[(0, Value::OFF), (1, Value::ON)]);
-        assert!(replay_witness(&initial, &order, &writes, &end, &HashSet::new()));
+        assert!(replay_witness(
+            &initial,
+            &order,
+            &writes,
+            &end,
+            &HashSet::new()
+        ));
         // The reverse order ends with d0 = ON: mismatch.
         let rev = vec![OrderItem::Routine(r(2)), OrderItem::Routine(r(1))];
-        assert!(!replay_witness(&initial, &rev, &writes, &end, &HashSet::new()));
+        assert!(!replay_witness(
+            &initial,
+            &rev,
+            &writes,
+            &end,
+            &HashSet::new()
+        ));
     }
 
     #[test]
@@ -214,7 +232,13 @@ mod tests {
         let end = init(&[(0, Value::ON), (1, Value::ON)]);
         let excl: HashSet<DeviceId> = [d(1)].into();
         assert!(replay_witness(&initial, &order, &writes, &end, &excl));
-        assert!(!replay_witness(&initial, &order, &writes, &end, &HashSet::new()));
+        assert!(!replay_witness(
+            &initial,
+            &order,
+            &writes,
+            &end,
+            &HashSet::new()
+        ));
     }
 
     #[test]
@@ -259,16 +283,31 @@ mod tests {
     fn interleaved_all_on_all_off_is_incongruent() {
         // The Fig. 1 situation: 4 devices, R1 sets all ON, R2 sets all
         // OFF, end state is mixed.
-        let initial = init(&[(0, Value::OFF), (1, Value::OFF), (2, Value::OFF), (3, Value::OFF)]);
+        let initial = init(&[
+            (0, Value::OFF),
+            (1, Value::OFF),
+            (2, Value::OFF),
+            (3, Value::OFF),
+        ]);
         let on: Vec<(DeviceId, Value)> = (0..4).map(|i| (d(i), Value::ON)).collect();
         let off: Vec<(DeviceId, Value)> = (0..4).map(|i| (d(i), Value::OFF)).collect();
         let routines = vec![(r(1), on), (r(2), off)];
-        let mixed = init(&[(0, Value::ON), (1, Value::OFF), (2, Value::OFF), (3, Value::ON)]);
+        let mixed = init(&[
+            (0, Value::ON),
+            (1, Value::OFF),
+            (2, Value::OFF),
+            (3, Value::ON),
+        ]);
         assert_eq!(
             exists_serial_order(&initial, &routines, &mixed, &HashSet::new(), 20),
             Some(false)
         );
-        let all_on = init(&[(0, Value::ON), (1, Value::ON), (2, Value::ON), (3, Value::ON)]);
+        let all_on = init(&[
+            (0, Value::ON),
+            (1, Value::ON),
+            (2, Value::ON),
+            (3, Value::ON),
+        ]);
         assert_eq!(
             exists_serial_order(&initial, &routines, &all_on, &HashSet::new(), 20),
             Some(true)

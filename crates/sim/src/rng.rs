@@ -36,10 +36,7 @@ impl SimRng {
     /// The next raw 64-bit draw (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -241,7 +238,10 @@ mod tests {
             })
             .sum();
         let mean = sum as f64 / n as f64;
-        assert!((mean - 10_000.0).abs() < 100.0, "mean {mean} far from 10000");
+        assert!(
+            (mean - 10_000.0).abs() < 100.0,
+            "mean {mean} far from 10000"
+        );
     }
 
     #[test]

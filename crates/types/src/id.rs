@@ -3,9 +3,7 @@
 use core::fmt;
 
 /// Identifies one smart-home device (a lockable unit in the lineage table).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct DeviceId(pub u32);
 
 /// Identifies one routine instance.
@@ -13,15 +11,11 @@ pub struct DeviceId(pub u32);
 /// The paper assigns an incremented routine id when a routine enters the
 /// wait queue; ids are therefore monotone in submission order, which the
 /// order-mismatch metric relies on.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct RoutineId(pub u64);
 
 /// Index of a command within its routine (0-based execution order).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CmdIdx(pub u16);
 
 impl DeviceId {

@@ -457,7 +457,10 @@ mod tests {
     fn compact_and_pretty_round_trip() {
         let v = obj([
             ("name", Json::from("breakfast")),
-            ("commands", Json::Arr(vec![obj([("device", Json::from("coffee"))])])),
+            (
+                "commands",
+                Json::Arr(vec![obj([("device", Json::from("coffee"))])]),
+            ),
         ]);
         assert_eq!(Json::parse(&v.to_string_compact()).unwrap(), v);
         assert_eq!(Json::parse(&v.to_string_pretty()).unwrap(), v);

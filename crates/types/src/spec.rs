@@ -32,9 +32,9 @@
 //! ```
 
 use crate::command::{Action, Command, Priority, UndoPolicy};
-use crate::json::{obj, Json};
 use crate::error::{Error, Result};
 use crate::id::DeviceId;
+use crate::json::{obj, Json};
 use crate::routine::Routine;
 use crate::time::TimeDelta;
 use crate::value::Value;
@@ -119,9 +119,7 @@ impl ValueSpec {
             Json::Str(s) => Ok(ValueSpec::Keyword(s.clone())),
             Json::Bool(b) => Ok(ValueSpec::Bool(*b)),
             Json::Int(i) => Ok(ValueSpec::Int(*i)),
-            other => Err(Error::Spec(format!(
-                "expected a state value, got {other}"
-            ))),
+            other => Err(Error::Spec(format!("expected a state value, got {other}"))),
         }
     }
 
@@ -163,7 +161,12 @@ impl RoutineSpec {
             ("name", Json::from(self.name.as_str())),
             (
                 "commands",
-                Json::Arr(self.commands.iter().map(CommandSpec::to_json_value).collect()),
+                Json::Arr(
+                    self.commands
+                        .iter()
+                        .map(CommandSpec::to_json_value)
+                        .collect(),
+                ),
             ),
         ])
         .to_string_pretty()
@@ -198,7 +201,9 @@ impl RoutineSpec {
                         },
                         undo: match c.undo {
                             UndoPolicy::RestorePrevious => None,
-                            UndoPolicy::Irreversible => Some(UndoSpec::Keyword("irreversible".into())),
+                            UndoPolicy::Irreversible => {
+                                Some(UndoSpec::Keyword("irreversible".into()))
+                            }
                             UndoPolicy::Handler(v) => Some(UndoSpec::Handler {
                                 handler: value_to_spec(v),
                             }),
@@ -291,7 +296,10 @@ impl CommandSpec {
                     return Err(Error::Spec("\"read\" must be an object".into()));
                 }
                 Ok(ReadSpec {
-                    expect: r.get("expect").map(ValueSpec::from_json_value).transpose()?,
+                    expect: r
+                        .get("expect")
+                        .map(ValueSpec::from_json_value)
+                        .transpose()?,
                 })
             })
             .transpose()?;
@@ -399,7 +407,10 @@ mod tests {
                 { "device": "toaster", "set": "on", "priority": "best_effort" }
             ]
         }"#;
-        let r = RoutineSpec::from_json(json).unwrap().resolve(lookup).unwrap();
+        let r = RoutineSpec::from_json(json)
+            .unwrap()
+            .resolve(lookup)
+            .unwrap();
         assert_eq!(r.name, "Prepare Breakfast");
         assert_eq!(r.commands[0].device, DeviceId(0));
         assert_eq!(r.commands[0].duration, TimeDelta::from_mins(4));
@@ -415,7 +426,10 @@ mod tests {
                 { "device": "thermostat", "set": 72, "undo": { "handler": 68 } }
             ]
         }"#;
-        let r = RoutineSpec::from_json(json).unwrap().resolve(lookup).unwrap();
+        let r = RoutineSpec::from_json(json)
+            .unwrap()
+            .resolve(lookup)
+            .unwrap();
         assert_eq!(r.commands[0].action, Action::Set(Value::Int(72)));
         assert_eq!(r.commands[0].undo, UndoPolicy::Handler(Value::Int(68)));
     }
@@ -429,7 +443,10 @@ mod tests {
                 { "device": "coffee", "set": "on" }
             ]
         }"#;
-        let r = RoutineSpec::from_json(json).unwrap().resolve(lookup).unwrap();
+        let r = RoutineSpec::from_json(json)
+            .unwrap()
+            .resolve(lookup)
+            .unwrap();
         assert_eq!(
             r.commands[0].action,
             Action::Read {

@@ -9,15 +9,11 @@ use core::fmt;
 use core::ops::{Add, AddAssign, Sub};
 
 /// An instant on the run's time axis, in milliseconds since run start.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub u64);
 
 /// A span of time, in milliseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TimeDelta(pub u64);
 
 impl Timestamp {
@@ -139,9 +135,9 @@ impl fmt::Display for Timestamp {
 
 impl fmt::Display for TimeDelta {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 60_000 && self.0 % 60_000 == 0 {
+        if self.0 >= 60_000 && self.0.is_multiple_of(60_000) {
             write!(f, "{}min", self.0 / 60_000)
-        } else if self.0 >= 1_000 && self.0 % 1_000 == 0 {
+        } else if self.0 >= 1_000 && self.0.is_multiple_of(1_000) {
             write!(f, "{}s", self.0 / 1_000)
         } else {
             write!(f, "{}ms", self.0)

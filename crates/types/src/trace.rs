@@ -404,15 +404,30 @@ mod tests {
     #[should_panic(expected = "time-ordered")]
     fn out_of_order_events_panic_in_debug() {
         let mut tr = Trace::default();
-        tr.push(t(10), TraceEventKind::DeviceDownDetected { device: DeviceId(0) });
-        tr.push(t(5), TraceEventKind::DeviceUpDetected { device: DeviceId(0) });
+        tr.push(
+            t(10),
+            TraceEventKind::DeviceDownDetected {
+                device: DeviceId(0),
+            },
+        );
+        tr.push(
+            t(5),
+            TraceEventKind::DeviceUpDetected {
+                device: DeviceId(0),
+            },
+        );
     }
 
     #[test]
     fn end_time_is_last_event() {
         let mut tr = Trace::default();
         assert_eq!(tr.end_time(), Timestamp::ZERO);
-        tr.push(t(7), TraceEventKind::DeviceDownDetected { device: DeviceId(0) });
+        tr.push(
+            t(7),
+            TraceEventKind::DeviceDownDetected {
+                device: DeviceId(0),
+            },
+        );
         assert_eq!(tr.end_time(), t(7));
     }
 }

@@ -69,12 +69,15 @@ impl MicroParams {
         let count = rng.normal_count(self.commands_mean, self.rel_std);
         let is_long = rng.chance(self.long_pct);
         // A long routine contains at least one long command; pick which.
-        let long_at = if is_long { Some(rng.index(count)) } else { None };
+        let long_at = if is_long {
+            Some(rng.index(count))
+        } else {
+            None
+        };
         let mut commands = Vec::with_capacity(count);
         for c in 0..count {
-            let device = safehome_types::DeviceId(
-                rng.zipf_index(self.devices, self.zipf_alpha) as u32,
-            );
+            let device =
+                safehome_types::DeviceId(rng.zipf_index(self.devices, self.zipf_alpha) as u32);
             let duration = if Some(c) == long_at {
                 rng.normal_duration(self.long_mean, self.rel_std, TimeDelta::from_secs(60))
             } else {
@@ -83,7 +86,7 @@ impl MicroParams {
             let mut cmd = Command::set(
                 device,
                 // Alternate target states so conflicting routines disagree.
-                safehome_types::Value::Bool((index + c) % 2 == 0),
+                safehome_types::Value::Bool((index + c).is_multiple_of(2)),
                 duration,
             );
             if !rng.chance(self.must_pct) {
@@ -109,10 +112,7 @@ impl MicroParams {
                 produced += 1;
                 let think = TimeDelta::from_millis(rng.int_in(10, 500));
                 let sub = match prev {
-                    None => Submission::at(
-                        routine,
-                        Timestamp::from_millis(rng.int_in(0, 1_000)),
-                    ),
+                    None => Submission::at(routine, Timestamp::from_millis(rng.int_in(0, 1_000))),
                     Some(p) => Submission::after(routine, p, think),
                 };
                 prev = Some(spec.submit(sub));
@@ -176,7 +176,11 @@ mod tests {
 
     #[test]
     fn share_splits_evenly() {
-        let p = MicroParams { routines: 10, concurrency: 4, ..Default::default() };
+        let p = MicroParams {
+            routines: 10,
+            concurrency: 4,
+            ..Default::default()
+        };
         let shares: Vec<usize> = (0..4).map(|i| p.share_of(i)).collect();
         assert_eq!(shares, vec![3, 3, 2, 2]);
         assert_eq!(shares.iter().sum::<usize>(), 10);
@@ -184,7 +188,11 @@ mod tests {
 
     #[test]
     fn build_produces_r_submissions_in_rho_chains() {
-        let p = MicroParams { routines: 20, concurrency: 4, ..Default::default() };
+        let p = MicroParams {
+            routines: 20,
+            concurrency: 4,
+            ..Default::default()
+        };
         let spec = p.build(cfg(), 1);
         assert_eq!(spec.submissions.len(), 20);
         let heads = spec
@@ -197,7 +205,10 @@ mod tests {
 
     #[test]
     fn long_pct_zero_generates_only_short_commands() {
-        let p = MicroParams { long_pct: 0.0, ..Default::default() };
+        let p = MicroParams {
+            long_pct: 0.0,
+            ..Default::default()
+        };
         let mut rng = SimRng::seed_from_u64(3);
         for i in 0..200 {
             let r = p.gen_routine(i, &mut rng);
@@ -207,7 +218,10 @@ mod tests {
 
     #[test]
     fn long_pct_one_generates_only_long_routines() {
-        let p = MicroParams { long_pct: 1.0, ..Default::default() };
+        let p = MicroParams {
+            long_pct: 1.0,
+            ..Default::default()
+        };
         let mut rng = SimRng::seed_from_u64(4);
         for i in 0..50 {
             let r = p.gen_routine(i, &mut rng);
@@ -217,25 +231,41 @@ mod tests {
 
     #[test]
     fn must_pct_controls_priorities() {
-        let p = MicroParams { must_pct: 0.0, ..Default::default() };
+        let p = MicroParams {
+            must_pct: 0.0,
+            ..Default::default()
+        };
         let mut rng = SimRng::seed_from_u64(5);
         let r = p.gen_routine(0, &mut rng);
-        assert!(r.commands.iter().all(|c| c.priority == Priority::BestEffort));
-        let p = MicroParams { must_pct: 1.0, ..Default::default() };
+        assert!(r
+            .commands
+            .iter()
+            .all(|c| c.priority == Priority::BestEffort));
+        let p = MicroParams {
+            must_pct: 1.0,
+            ..Default::default()
+        };
         let r = p.gen_routine(0, &mut rng);
         assert!(r.commands.iter().all(|c| c.priority == Priority::Must));
     }
 
     #[test]
     fn fail_pct_populates_failure_plan() {
-        let p = MicroParams { fail_pct: 0.25, routines: 8, ..Default::default() };
+        let p = MicroParams {
+            fail_pct: 0.25,
+            routines: 8,
+            ..Default::default()
+        };
         let spec = p.build(cfg(), 7);
         assert_eq!(spec.failures.len(), 6, "25% of 25 devices, rounded");
     }
 
     #[test]
     fn generation_is_deterministic() {
-        let p = MicroParams { routines: 12, ..Default::default() };
+        let p = MicroParams {
+            routines: 12,
+            ..Default::default()
+        };
         let a = p.build(cfg(), 9);
         let b = p.build(cfg(), 9);
         assert_eq!(a.submissions, b.submissions);
@@ -245,7 +275,10 @@ mod tests {
 
     #[test]
     fn devices_stay_in_range() {
-        let p = MicroParams { devices: 5, ..Default::default() };
+        let p = MicroParams {
+            devices: 5,
+            ..Default::default()
+        };
         let mut rng = SimRng::seed_from_u64(11);
         for i in 0..100 {
             for cmd in &p.gen_routine(i, &mut rng).commands {

@@ -90,19 +90,21 @@ impl Default for FactoryFloor {
 
 /// One stage routine: 3–5 short commands on probabilistically chosen
 /// devices (retrieve, process, hand over).
-pub fn stage_routine(floor: &FactoryFloor, stage: usize, round: usize, rng: &mut SimRng) -> Routine {
+pub fn stage_routine(
+    floor: &FactoryFloor,
+    stage: usize,
+    round: usize,
+    rng: &mut SimRng,
+) -> Routine {
     let count = 3 + rng.index(3);
     let mut commands = Vec::with_capacity(count);
     for c in 0..count {
         let device = floor.pick_device(stage, rng);
-        let duration = rng.normal_duration(
-            TimeDelta::from_secs(8),
-            0.25,
-            TimeDelta::from_millis(500),
-        );
+        let duration =
+            rng.normal_duration(TimeDelta::from_secs(8), 0.25, TimeDelta::from_millis(500));
         commands.push(Command::set(
             device,
-            Value::Bool((stage + round + c) % 2 == 0),
+            Value::Bool((stage + round + c).is_multiple_of(2)),
             duration,
         ));
     }
@@ -181,7 +183,10 @@ mod tests {
         let spec = factory(EngineConfig::new(VisibilityModel::ev()), 3, 4);
         assert_eq!(spec.submissions.len(), STAGES * 3);
         // Worker 0's rounds: index 0 (At), 1 and 2 chained.
-        assert!(matches!(spec.submissions[0].arrival, safehome_harness::Arrival::At(_)));
+        assert!(matches!(
+            spec.submissions[0].arrival,
+            safehome_harness::Arrival::At(_)
+        ));
         assert!(matches!(
             spec.submissions[1].arrival,
             safehome_harness::Arrival::After { index: 0, .. }

@@ -16,7 +16,10 @@ use safehome::workloads::factory;
 
 fn main() {
     println!("=== no failures: throughput comparison ===");
-    println!("{:<8} {:>10} {:>10} {:>10}", "model", "lat p50", "parallel", "makespan");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10}",
+        "model", "lat p50", "parallel", "makespan"
+    );
     for model in [
         VisibilityModel::Wv,
         VisibilityModel::Psv,
@@ -54,5 +57,7 @@ fn main() {
             out.trace.records.len(),
         );
     }
-    println!("(EV only aborts routines that needed the dead belt; S-GSV stops everything in flight)");
+    println!(
+        "(EV only aborts routines that needed the dead belt; S-GSV stops everything in flight)"
+    );
 }

@@ -59,8 +59,8 @@ fn main() {
         println!("{d} = {v}");
     }
     let first_four: Vec<Value> = report.end_states.iter().take(4).map(|&(_, v)| v).collect();
-    let serial = first_four.iter().all(|&v| v == Value::ON)
-        || first_four.iter().all(|&v| v == Value::OFF);
+    let serial =
+        first_four.iter().all(|&v| v == Value::ON) || first_four.iter().all(|&v| v == Value::OFF);
     println!("end state serially equivalent: {serial}");
     assert!(serial, "EV must serialize even over live sockets");
 }

@@ -13,7 +13,10 @@ use safehome::prelude::*;
 use safehome::workloads::morning;
 
 fn main() {
-    println!("{:<8} {:>10} {:>10} {:>12} {:>10} {:>8}", "model", "lat p50", "lat p90", "tmp-incong", "parallel", "aborts");
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>10} {:>8}",
+        "model", "lat p50", "lat p90", "tmp-incong", "parallel", "aborts"
+    );
     for model in [
         VisibilityModel::Wv,
         VisibilityModel::Psv,

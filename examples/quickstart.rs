@@ -38,7 +38,11 @@ fn main() {
     println!("== cooling with AC failure ==");
     println!(
         "routine {}; window state at end: {} (rolled back)",
-        if out.trace.aborted().is_empty() { "committed" } else { "aborted" },
+        if out.trace.aborted().is_empty() {
+            "committed"
+        } else {
+            "aborted"
+        },
         out.trace.end_states[&window],
     );
 
@@ -86,5 +90,8 @@ fn main() {
         out.trace.end_states[&door] == Value::ON,
     );
     let m = RunMetrics::of(&out.trace);
-    println!("abort rate {:.2}, temporary incongruence {:.2}", m.abort_rate, m.temporary_incongruence);
+    println!(
+        "abort rate {:.2}, temporary incongruence {:.2}",
+        m.abort_rate, m.temporary_incongruence
+    );
 }

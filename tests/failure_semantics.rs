@@ -14,7 +14,12 @@ use safehome::metrics::congruence::{executed_writes, replay_witness};
 use safehome::prelude::*;
 use safehome::types::trace::TraceEventKind;
 
-fn spec_strategy() -> impl Strategy<Value = (Vec<(u64, Vec<(u32, bool)>)>, Vec<(u32, u64, Option<u64>)>, u64)> {
+/// Routines as (arrival ms, [(device, on)]) lists.
+type GenRoutines = Vec<(u64, Vec<(u32, bool)>)>;
+/// Failures as (device, at ms, optional recovery delay ms).
+type GenFailures = Vec<(u32, u64, Option<u64>)>;
+
+fn spec_strategy() -> impl Strategy<Value = (GenRoutines, GenFailures, u64)> {
     let cmd = (0u32..5, any::<bool>());
     let routine = (0u64..8_000, prop::collection::vec(cmd, 1..4));
     let failure = (0u32..5, 0u64..20_000, prop::option::of(500u64..10_000));

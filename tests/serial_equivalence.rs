@@ -13,10 +13,14 @@ use safehome::prelude::*;
 
 /// A compact generated workload: routines as lists of (device, on/off,
 /// duration-ms) triples, with arrival offsets.
+/// One generated routine: arrival offset plus (device, on/off,
+/// duration-ms) commands.
+type GenRoutine = (u64, Vec<(u32, bool, u64)>);
+
 #[derive(Debug, Clone)]
 struct Workload {
     devices: usize,
-    routines: Vec<(u64, Vec<(u32, bool, u64)>)>,
+    routines: Vec<GenRoutine>,
 }
 
 fn workload_strategy() -> impl Strategy<Value = Workload> {
@@ -43,9 +47,15 @@ fn build_spec(w: &Workload, model: VisibilityModel, seed: u64) -> RunSpec {
 
 fn serialized_models() -> Vec<VisibilityModel> {
     vec![
-        VisibilityModel::Ev { scheduler: SchedulerKind::Timeline },
-        VisibilityModel::Ev { scheduler: SchedulerKind::Jit },
-        VisibilityModel::Ev { scheduler: SchedulerKind::Fcfs },
+        VisibilityModel::Ev {
+            scheduler: SchedulerKind::Timeline,
+        },
+        VisibilityModel::Ev {
+            scheduler: SchedulerKind::Jit,
+        },
+        VisibilityModel::Ev {
+            scheduler: SchedulerKind::Fcfs,
+        },
         VisibilityModel::Psv,
         VisibilityModel::Gsv { strong: false },
     ]
