@@ -1,14 +1,24 @@
 //! Criterion bench: full simulated runs per second — the morning
-//! scenario end-to-end under EV and WV.
+//! scenario end-to-end under EV and WV, with the full trace recorder and
+//! with the counters-only sink (the fleet hot path).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use safehome_core::{EngineConfig, VisibilityModel};
-use safehome_harness::run;
+use safehome_harness::{run, Driver};
+use safehome_types::sink::RunCounters;
 use safehome_workloads::morning;
 
 fn bench_runs(c: &mut Criterion) {
     c.bench_function("morning_ev_full_run", |b| {
         b.iter(|| run(&morning(EngineConfig::new(VisibilityModel::ev()), 1)))
+    });
+    c.bench_function("morning_ev_counters_run", |b| {
+        b.iter(|| {
+            let spec = morning(EngineConfig::new(VisibilityModel::ev()), 1);
+            let mut driver = Driver::with_sink(&spec, RunCounters::new());
+            driver.run_to_quiescence();
+            driver.into_output()
+        })
     });
     c.bench_function("morning_wv_full_run", |b| {
         b.iter(|| run(&morning(EngineConfig::new(VisibilityModel::Wv), 1)))

@@ -1,0 +1,177 @@
+//! `fleet_bench` — machine-readable multi-home fleet throughput.
+//!
+//! Runs N independent morning-scenario homes (§7.2, per-home parameter
+//! jitter) through the sharded fleet driver with the counters-only trace
+//! sink, once per worker-thread count (1, 2, 4), and writes
+//! `BENCH_fleet.json`: homes/sec per thread count, fleet-wide routine
+//! latency percentiles, outcome totals and the determinism cross-check
+//! (per-home digests must be identical across thread counts).
+//!
+//! Usage:
+//! ```text
+//! cargo run -p safehome-bench --release --bin fleet_bench [out.json] [homes]
+//! ```
+//!
+//! Exits non-zero when any home fails to reach quiescence, when any
+//! thread count records a non-positive rate, or when per-home results
+//! differ across thread counts.
+
+use std::time::Instant;
+
+use safehome_core::{EngineConfig, VisibilityModel};
+use safehome_harness::{run_fleet, FleetResult};
+use safehome_metrics::stats::percentile;
+use safehome_types::json::{obj, Json};
+use safehome_workloads::fleet_morning;
+
+/// Worker-thread counts the acceptance tracker compares.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+/// Fleet seed: every thread count replays the identical fleet.
+const FLEET_SEED: u64 = 0x5afe_f1ee;
+
+fn fleet(homes: usize, workers: usize) -> FleetResult {
+    run_fleet(homes, workers, FLEET_SEED, |_, seed| {
+        fleet_morning(EngineConfig::new(VisibilityModel::ev()), seed)
+    })
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fleet.json".to_string());
+    let homes: usize = std::env::args()
+        .nth(2)
+        .map(|s| s.parse().expect("homes must be an integer"))
+        .unwrap_or(1000);
+
+    // Warmup: touch every code path once so the first timed run does not
+    // pay allocator and page-fault overhead the later ones skip.
+    fleet(WORKER_COUNTS[0].max(homes / 16).min(64), 2);
+
+    let mut results = Vec::new();
+    let mut rows = Vec::new();
+    for workers in WORKER_COUNTS {
+        let start = Instant::now();
+        let result = fleet(homes, workers);
+        let elapsed = start.elapsed().as_secs_f64();
+        let rate = homes as f64 / elapsed;
+        eprintln!(
+            "{workers} worker(s): {homes} homes in {elapsed:.3}s = {rate:.1} homes/sec \
+             (digest {:#018x})",
+            result.digest()
+        );
+        assert!(
+            result.all_completed(),
+            "{workers} workers: some homes failed to reach quiescence"
+        );
+        assert!(rate > 0.0, "{workers} workers: non-positive rate");
+        rows.push(obj([
+            ("workers", Json::from(workers as u64)),
+            ("elapsed_s", Json::Float(round3(elapsed))),
+            ("homes_per_sec", Json::Float(round3(rate))),
+        ]));
+        results.push((workers, rate, result));
+    }
+
+    // Determinism cross-check: byte-identical per-home results for every
+    // thread count. The outcome is recorded in the JSON and the bin
+    // exits non-zero after writing it, so the artifact never claims a
+    // verification that did not hold.
+    let (_, _, base) = &results[0];
+    let mut deterministic = true;
+    for (workers, _, result) in &results[1..] {
+        if base.homes.len() != result.homes.len() {
+            eprintln!("{workers} workers: home count mismatch");
+            deterministic = false;
+            continue;
+        }
+        for (a, b) in base.homes.iter().zip(&result.homes) {
+            if a != b {
+                eprintln!(
+                    "{workers} workers: home {} diverged from the single-thread run",
+                    a.home
+                );
+                deterministic = false;
+            }
+        }
+    }
+    if deterministic {
+        eprintln!("determinism: per-home results identical across {WORKER_COUNTS:?} workers");
+    }
+
+    let single_rate = results[0].1;
+    let best_multi = results[1..]
+        .iter()
+        .map(|&(_, r, _)| r)
+        .fold(f64::MIN, f64::max);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "speedup: best multi-thread {:.2}x over single-thread ({cpus} CPU(s) available; \
+         homes are independent, so the speedup tracks the core count)",
+        best_multi / single_rate
+    );
+
+    let lat_ms: Vec<f64> = base.latencies_ms().iter().map(|&l| l as f64).collect();
+    let doc = obj([
+        ("benchmark", Json::from("fleet_morning")),
+        (
+            "description",
+            Json::from(
+                "sharded multi-home driver over the §7.2 morning scenario \
+                 (29 routines / 31 devices per home, per-home jitter), \
+                 counters-only trace sink",
+            ),
+        ),
+        ("homes", Json::from(homes as u64)),
+        ("fleet_seed", Json::from(FLEET_SEED)),
+        ("available_parallelism", Json::from(cpus as u64)),
+        ("results", Json::Arr(rows)),
+        (
+            "speedup_best_multi_over_single",
+            Json::Float(round3(best_multi / single_rate)),
+        ),
+        ("deterministic_across_workers", Json::from(deterministic)),
+        (
+            "routine_latency_ms",
+            obj([
+                ("n", Json::from(lat_ms.len() as u64)),
+                ("p50", Json::Float(round3(percentile(&lat_ms, 50.0)))),
+                ("p90", Json::Float(round3(percentile(&lat_ms, 90.0)))),
+                ("p99", Json::Float(round3(percentile(&lat_ms, 99.0)))),
+            ]),
+        ),
+        (
+            "outcomes",
+            obj([
+                ("committed", Json::from(base.committed())),
+                ("aborted", Json::from(base.aborted())),
+                ("congruent_homes", Json::from(base.congruent_homes() as u64)),
+            ]),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, doc.to_string_pretty() + "\n") {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+    if !deterministic {
+        eprintln!("FAIL: per-home results diverged across worker counts");
+        std::process::exit(1);
+    }
+    // Homes are independent, so on a machine with real parallelism the
+    // multi-thread configurations must beat single-thread. On one core
+    // the ratio is scheduling noise, so it is recorded but not enforced.
+    if cpus > 1 && best_multi <= single_rate {
+        eprintln!(
+            "FAIL: multi-thread throughput ({best_multi:.1}/s) not above single-thread \
+             ({single_rate:.1}/s) on a {cpus}-core machine"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}

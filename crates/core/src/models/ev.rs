@@ -31,7 +31,7 @@ use crate::event::{Effect, TimerId};
 use crate::lineage::{LineageTable, LockStatus};
 use crate::models::{HealthView, Model};
 use crate::order::{OrderNode, OrderTracker};
-use crate::runtime::{failure_aborts, guard_passes, RoutineRun, RunTable};
+use crate::runtime::{failure_aborts, guard_passes, irreversible_note, RoutineRun, RunTable};
 use crate::sched::{apply_placement, fcfs, jit, timeline};
 
 #[derive(Debug, Clone, Copy)]
@@ -346,7 +346,7 @@ impl EvModel {
             run.started = Some(now);
             out.push(Effect::Started { routine: id });
         }
-        run.dispatched = true;
+        run.note_dispatch(d);
         out.push(Effect::Dispatch {
             routine: id,
             idx: CmdIdx(pc as u16),
@@ -411,6 +411,7 @@ impl EvModel {
                         UndoPolicy::Handler(v) => v,
                         _ => self.table.rollback_target(cmd.device, id),
                     };
+                    effects.extend(irreversible_note(cmd, id, run.pc));
                     effects.push(Effect::Dispatch {
                         routine: id,
                         idx: CmdIdx(run.pc as u16),
@@ -441,14 +442,7 @@ impl EvModel {
                 UndoPolicy::Handler(v) => v,
                 _ => self.table.rollback_target(d, id),
             };
-            if cmd.undo == UndoPolicy::Irreversible {
-                effects.push(Effect::Feedback {
-                    routine: Some(id),
-                    message: format!(
-                        "command {idx} on {d} is physically irreversible; restoring state only"
-                    ),
-                });
-            }
+            effects.extend(irreversible_note(cmd, id, idx));
             if self.table.current_status(d) == target {
                 continue; // Already in the desired state (§4.3).
             }
@@ -585,16 +579,19 @@ impl Model for EvModel {
             if !run.uses(device) || self.waiting.contains(&id) {
                 continue;
             }
-            if run.done_with(device) {
+            if !run.touched(device) {
+                // Never dispatched on the device (commands skipped or
+                // still ahead): no serialization edge either way; rules
+                // 2/4 resolve at dispatch time.
+            } else if run.done_with(device) {
                 // Rule 3: the failure serializes after this routine.
                 self.order.add_edge(OrderNode::Routine(id), fnode);
-            } else if run.touched(device) && Self::must_remaining_on(run, device) {
+            } else if Self::must_remaining_on(run, device) {
                 // Mid-use with required work remaining: abort eagerly
                 // ("EV aborts affected routines earlier rather than
                 // later", §7.4).
                 self.abort(id, AbortReason::FailureSerialization { device }, now, out);
             }
-            // Untouched: rules 2/4 resolve at dispatch time.
         }
         self.pump(now, out);
     }
@@ -936,6 +933,119 @@ mod tests {
         let mut out3 = Vec::new();
         m.on_command_result(RoutineId(1), 0, d(0), true, None, true, t(250), &mut out3);
         assert!(has_dispatch(&out3, 2, 0));
+    }
+
+    #[test]
+    fn inflight_irreversible_abort_emits_feedback() {
+        // Regression: when the write being rolled back unconditionally is
+        // the in-flight command and it is physically irreversible, the
+        // abort must carry the feedback note (previously only completed
+        // irreversible writes produced it).
+        let mut m = model(SchedulerKind::Timeline);
+        let r1 = Routine::builder("sprinkler")
+            .set_irreversible(d(0), Value::ON, TimeDelta::from_secs(60))
+            .build();
+        let out = submit(&mut m, 1, r1, t(0));
+        assert!(has_dispatch(&out, 1, 0));
+        let mut out = Vec::new();
+        m.on_device_down(d(0), t(100), &mut out);
+        assert!(out.iter().any(|e| matches!(e, Effect::Aborted { .. })));
+        assert!(
+            out.iter().any(|e| matches!(
+                e,
+                Effect::Feedback { routine: Some(r), message }
+                    if r.0 == 1 && message.contains("irreversible")
+            )),
+            "in-flight irreversible rollback must add the feedback note: {out:?}"
+        );
+        assert!(
+            out.iter()
+                .any(|e| matches!(e, Effect::Dispatch { rollback: true, .. })),
+            "device state still restored unconditionally"
+        );
+    }
+
+    #[test]
+    fn skipped_best_effort_does_not_count_as_mid_use() {
+        // Regression: d0 is down; the routine skips its best-effort d0
+        // command and proceeds on d1. A second d0 failure while the
+        // routine is mid-d1 must NOT abort it — the routine never
+        // dispatched on d0, so rules 2/4 resolve at dispatch time.
+        let mut m = model(SchedulerKind::Timeline);
+        let mut out = Vec::new();
+        m.on_device_down(d(0), t(0), &mut out);
+        let r = Routine::builder("be")
+            .set_best_effort(d(0), Value::ON, TimeDelta::from_millis(100))
+            .set(d(1), Value::ON, TimeDelta::from_secs(30))
+            .set(d(0), Value::ON, TimeDelta::from_millis(100))
+            .build();
+        let out = submit(&mut m, 1, r, t(10));
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, Effect::BestEffortSkipped { .. })));
+        assert!(has_dispatch(&out, 1, 1));
+        let mut out = Vec::new();
+        m.on_device_up(d(0), t(1_000), &mut out);
+        m.on_device_down(d(0), t(2_000), &mut out);
+        assert!(
+            !out.iter().any(|e| matches!(e, Effect::Aborted { .. })),
+            "never-dispatched device is not mid-use: {out:?}"
+        );
+        // After recovery the routine reaches d0 for real and commits.
+        let mut out = Vec::new();
+        m.on_device_up(d(0), t(3_000), &mut out);
+        finish_cmd(&mut m, 1, 1, 1, 30_000);
+        let out = finish_cmd(&mut m, 1, 2, 0, 30_100);
+        assert!(out.iter().any(|e| matches!(e, Effect::Committed { .. })));
+        // Rule 2: all four d0 events serialize before the routine's
+        // first real touch.
+        let order = m.witness_order();
+        let routine_pos = order
+            .iter()
+            .position(|o| matches!(o, OrderItem::Routine(r) if r.0 == 1))
+            .expect("routine committed");
+        assert_eq!(
+            routine_pos,
+            order.len() - 1,
+            "failure/restart events all serialize before the routine: {order:?}"
+        );
+    }
+
+    #[test]
+    fn skipped_only_device_gets_no_rule3_edge() {
+        // Regression: the routine's ONLY d0 command was skipped (d0 down,
+        // best-effort), so `pc` is past d0's last touch — but the routine
+        // never dispatched there. A later d0 failure must not pick up a
+        // rule-3 "serializes after the routine" edge: with no touch there
+        // is no edge either way, and the failure keeps its chronological
+        // place before the routine's commit.
+        let mut m = model(SchedulerKind::Timeline);
+        let mut out = Vec::new();
+        m.on_device_down(d(0), t(0), &mut out);
+        let r = Routine::builder("be")
+            .set_best_effort(d(0), Value::ON, TimeDelta::from_millis(100))
+            .set(d(1), Value::ON, TimeDelta::from_secs(30))
+            .build();
+        let out = submit(&mut m, 1, r, t(10));
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, Effect::BestEffortSkipped { .. })));
+        let mut out = Vec::new();
+        m.on_device_up(d(0), t(1_000), &mut out);
+        m.on_device_down(d(0), t(2_000), &mut out);
+        assert!(!out.iter().any(|e| matches!(e, Effect::Aborted { .. })));
+        // Event nodes are numbered in detection order: Failure(0) at t=0,
+        // Restart(1) at t=1s, Failure(2) at t=2s. The buggy rule-3 branch
+        // added Routine(1) → Failure(2); with no real touch there must be
+        // no ordering constraint between them in either direction.
+        let routine = OrderNode::Routine(RoutineId(1));
+        assert!(
+            !m.order.reaches(routine, OrderNode::Failure(2)),
+            "no rule-3 edge for a never-dispatched device"
+        );
+        assert!(!m.order.reaches(OrderNode::Failure(2), routine));
+        let out = finish_cmd(&mut m, 1, 1, 1, 30_000);
+        assert!(out.iter().any(|e| matches!(e, Effect::Committed { .. })));
     }
 
     #[test]

@@ -94,7 +94,7 @@ impl GsvModel {
                 }
                 return;
             }
-            run.dispatched = true;
+            run.note_dispatch(cmd.device);
             out.push(Effect::Dispatch {
                 routine: id,
                 idx: CmdIdx(run.pc as u16),

@@ -137,7 +137,7 @@ impl PsvModel {
                 }
             }
             let run = self.runs.get_mut(id).expect("checked above");
-            run.dispatched = true;
+            run.note_dispatch(cmd.device);
             out.push(Effect::Dispatch {
                 routine: id,
                 idx: CmdIdx(run.pc as u16),
@@ -245,13 +245,16 @@ impl PsvModel {
             if run.started.is_none() || !run.uses(device) {
                 continue; // Waiting routines decide at dispatch time.
             }
-            if run.done_with(device) {
+            if !run.touched(device) {
+                // Never dispatched on the device (commands skipped or
+                // still ahead): rule 2/4 resolves at dispatch time.
+            } else if run.done_with(device) {
                 // Rule 3*: defer to the finish point.
                 self.pending_after
                     .entry(id)
                     .or_default()
                     .push((device, fnode));
-            } else if run.touched(device) {
+            } else {
                 // Mid-use: abort eagerly iff the remaining commands on the
                 // device include a Must (pure best-effort suffixes are
                 // skipped at dispatch instead, which is what makes the
@@ -267,7 +270,6 @@ impl PsvModel {
                     self.abort(id, AbortReason::FailureSerialization { device }, now, out);
                 }
             }
-            // Not yet touched: rule 2/4 resolves at dispatch time.
         }
     }
 }

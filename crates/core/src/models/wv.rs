@@ -54,7 +54,7 @@ impl WvModel {
             run.started = Some(now);
             out.push(Effect::Started { routine: id });
         }
-        run.dispatched = true;
+        run.note_dispatch(cmd.device);
         out.push(Effect::Dispatch {
             routine: id,
             idx: safehome_types::CmdIdx(run.pc as u16),

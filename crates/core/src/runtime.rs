@@ -28,6 +28,10 @@ pub struct RoutineRun {
     /// Successfully executed writes, in execution order:
     /// `(cmd index, device, value)`.
     pub executed_writes: Vec<(usize, DeviceId, Value)>,
+    /// Devices on which at least one command actually dispatched
+    /// (including the in-flight one). Skipped best-effort commands never
+    /// dispatch and therefore never appear here.
+    pub dispatched_on: Vec<DeviceId>,
 }
 
 impl RoutineRun {
@@ -42,6 +46,18 @@ impl RoutineRun {
             dispatched: false,
             completed: 0,
             executed_writes: Vec::new(),
+            dispatched_on: Vec::new(),
+        }
+    }
+
+    /// Marks the current command dispatched, recording its device for
+    /// first-touch tracking. Every model dispatch site must go through
+    /// this (not set `dispatched` directly) so that [`RoutineRun::touched`]
+    /// reflects *actual* dispatches.
+    pub fn note_dispatch(&mut self, d: DeviceId) {
+        self.dispatched = true;
+        if !self.dispatched_on.contains(&d) {
+            self.dispatched_on.push(d);
         }
     }
 
@@ -56,15 +72,20 @@ impl RoutineRun {
     }
 
     /// `true` if the routine has dispatched at least one command on `d`
-    /// ("first touch" has happened, §3).
+    /// ("first touch" has happened, §3). Commands skipped without ever
+    /// dispatching (best-effort on a down device) are not touches: a
+    /// routine that never reached a device must neither serialize against
+    /// its failure events nor lose its pre-leases over it.
     pub fn touched(&self, d: DeviceId) -> bool {
-        self.routine.commands[..self.pc]
-            .iter()
-            .any(|c| c.device == d)
-            || (self.dispatched && self.current().map(|c| c.device == d).unwrap_or(false))
+        self.dispatched_on.contains(&d)
     }
 
-    /// `true` if every command on `d` has completed ("last touch" done).
+    /// `true` if the routine is past its last command on `d` ("last
+    /// touch" passed). Note: skipped commands also advance `pc`, so a
+    /// routine can be `done_with` a device it never [`touched`] — rule-3
+    /// serialization must check both.
+    ///
+    /// [`touched`]: RoutineRun::touched
     pub fn done_with(&self, d: DeviceId) -> bool {
         self.routine
             .last_touch(d)
@@ -150,6 +171,23 @@ impl RunTable {
     }
 }
 
+/// The §4.3 feedback note for rolling back a physically irreversible
+/// command (device *state* is restored; the physical effect is not), or
+/// `None` for reversible undo policies. Every rollback-planning site —
+/// in-flight and completed, here and in the EV model — must emit through
+/// this so the wording and policy stay in one place.
+pub fn irreversible_note(cmd: &Command, routine: RoutineId, idx: usize) -> Option<Effect> {
+    (cmd.undo == UndoPolicy::Irreversible).then(|| {
+        let d = cmd.device;
+        Effect::Feedback {
+            routine: Some(routine),
+            message: format!(
+                "command {idx} on {d} is physically irreversible; restoring state only"
+            ),
+        }
+    })
+}
+
 /// Plans the rollback dispatches for an aborting routine (§2.2, §4.3).
 ///
 /// For each device the routine wrote (newest write first), restores the
@@ -178,6 +216,7 @@ pub fn plan_rollback(
                     UndoPolicy::Handler(v) => v,
                     _ => target(cmd.device),
                 };
+                effects.extend(irreversible_note(cmd, run.id, run.pc));
                 effects.push(Effect::Dispatch {
                     routine: run.id,
                     idx: CmdIdx(run.pc as u16),
@@ -199,14 +238,7 @@ pub fn plan_rollback(
             UndoPolicy::Handler(v) => v,
             UndoPolicy::RestorePrevious | UndoPolicy::Irreversible => target(d),
         };
-        if cmd.undo == UndoPolicy::Irreversible {
-            effects.push(Effect::Feedback {
-                routine: Some(run.id),
-                message: format!(
-                    "command {idx} on {d} is physically irreversible; restoring state only"
-                ),
-            });
-        }
+        effects.extend(irreversible_note(cmd, run.id, idx));
         if current(d) == desired {
             continue; // Already in the desired state (§4.3).
         }
@@ -261,21 +293,34 @@ mod tests {
     }
 
     #[test]
-    fn touch_tracking_follows_pc() {
+    fn touch_tracking_follows_dispatches() {
         let mut run = run_with(two_device_routine());
         assert!(!run.touched(d(0)));
         assert!(!run.done_with(d(0)));
-        run.dispatched = true; // cmd 0 on device 0 in flight
+        run.note_dispatch(d(0)); // cmd 0 on device 0 in flight
         assert!(run.touched(d(0)));
         assert!(!run.touched(d(1)));
         run.pc = 1;
         run.dispatched = false;
-        assert!(run.touched(d(0)));
+        assert!(run.touched(d(0)), "completed dispatch remains a touch");
         assert!(!run.done_with(d(0)), "cmd 2 still touches device 0");
         run.pc = 3;
         assert!(run.done_with(d(0)));
         assert!(run.done_with(d(1)));
         assert!(run.finished_commands());
+    }
+
+    #[test]
+    fn skipped_command_is_not_a_touch() {
+        // Regression: a best-effort command skipped without dispatching
+        // advances `pc` past its device, but must not count as a first
+        // touch — the routine never reached the device.
+        let mut run = run_with(two_device_routine());
+        run.pc = 1; // cmd 0 (device 0) skipped, never dispatched
+        assert!(!run.touched(d(0)));
+        run.note_dispatch(d(1)); // cmd 1 actually dispatches
+        assert!(run.touched(d(1)));
+        assert!(!run.touched(d(0)));
     }
 
     #[test]
@@ -370,6 +415,26 @@ mod tests {
         assert_eq!(count, 1);
         assert!(matches!(effects[0], Effect::Feedback { .. }));
         assert!(effects[1].is_dispatch());
+    }
+
+    #[test]
+    fn irreversible_inflight_rollback_adds_feedback() {
+        // Regression: the "physically irreversible" note must also be
+        // emitted when the irreversible write is the *in-flight* command
+        // being rolled back unconditionally, not only for completed ones.
+        let routine = Routine::builder("i")
+            .set_irreversible(d(0), Value::ON, TimeDelta::ZERO)
+            .build();
+        let mut run = run_with(routine);
+        run.dispatched = true; // cmd 0 in flight, nothing executed yet
+        let (effects, count) = plan_rollback(&run, |_| Value::OFF, |_| Value::OFF);
+        assert_eq!(count, 1);
+        assert!(
+            matches!(&effects[0], Effect::Feedback { routine, message }
+                if *routine == Some(RoutineId(1)) && message.contains("irreversible")),
+            "in-flight irreversible write must produce the feedback note"
+        );
+        assert!(effects[1].is_dispatch(), "restore still dispatched");
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Sharded multi-home fleet driver.
+//!
+//! Each home's engine is fully independent state (the home is the natural
+//! sharding unit), so fleet-scale throughput is embarrassingly parallel:
+//! [`run_fleet`] statically shards `homes` independent runs across worker
+//! threads, each with its own [`Driver`], event queue and counters-only
+//! sink, and collects per-home results over an `mpsc` channel.
+//!
+//! Determinism: a home's seed is derived only from the fleet seed and the
+//! home index ([`home_seed`]), and homes never share mutable state, so
+//! per-home results are byte-identical regardless of the worker-thread
+//! count.
+
+use std::sync::mpsc;
+
+use safehome_types::sink::{self, RunCounters};
+
+use crate::sim::Driver;
+use crate::spec::RunSpec;
+
+/// Derives the seed for one home of a fleet (SplitMix64 over the fleet
+/// seed and the home index). Stable across worker counts and releases of
+/// the sharding policy.
+pub fn home_seed(fleet_seed: u64, home: u64) -> u64 {
+    let mut x = fleet_seed ^ home.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Result of one home's run within a fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomeRun {
+    /// The home's index in the fleet.
+    pub home: usize,
+    /// The home's derived seed.
+    pub seed: u64,
+    /// `true` when the run reached quiescence.
+    pub completed: bool,
+    /// The run's counters (outcomes, latencies, congruence, digest).
+    pub counters: RunCounters,
+}
+
+/// Aggregated result of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Per-home results, sorted by home index.
+    pub homes: Vec<HomeRun>,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl FleetResult {
+    /// Total committed routines across the fleet.
+    pub fn committed(&self) -> u64 {
+        self.homes.iter().map(|h| h.counters.committed).sum()
+    }
+
+    /// Total aborted routines across the fleet.
+    pub fn aborted(&self) -> u64 {
+        self.homes.iter().map(|h| h.counters.aborted).sum()
+    }
+
+    /// `true` when every home reached quiescence.
+    pub fn all_completed(&self) -> bool {
+        self.homes.iter().all(|h| h.completed)
+    }
+
+    /// Homes whose end states were congruent with their committed view.
+    pub fn congruent_homes(&self) -> usize {
+        self.homes.iter().filter(|h| h.counters.congruent).count()
+    }
+
+    /// Order-sensitive digest over the per-home digests (in home order);
+    /// equal fleets produce equal digests regardless of worker count.
+    pub fn digest(&self) -> u64 {
+        self.homes.iter().fold(sink::DIGEST_SEED, |acc, h| {
+            sink::fold_digest(acc, h.counters.digest)
+        })
+    }
+
+    /// Every routine latency in the fleet, in milliseconds, sorted.
+    pub fn latencies_ms(&self) -> Vec<u64> {
+        let mut all: Vec<u64> = self
+            .homes
+            .iter()
+            .flat_map(|h| h.counters.latencies_ms.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+}
+
+/// Runs `homes` independent homes across `workers` threads.
+///
+/// `make_spec(home, seed)` builds home `home`'s spec from its derived
+/// seed; it runs on the worker threads, so it must be `Sync`. Homes are
+/// sharded round-robin (home `i` runs on worker `i % workers`); results
+/// return over an `mpsc` channel and are re-sorted by home index.
+pub fn run_fleet<F>(homes: usize, workers: usize, fleet_seed: u64, make_spec: F) -> FleetResult
+where
+    F: Fn(usize, u64) -> RunSpec + Sync,
+{
+    let workers = workers.clamp(1, homes.max(1));
+    let (tx, rx) = mpsc::channel::<HomeRun>();
+    let make_spec = &make_spec;
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                for home in (w..homes).step_by(workers) {
+                    let seed = home_seed(fleet_seed, home as u64);
+                    let spec = make_spec(home, seed);
+                    let mut driver = Driver::with_sink(&spec, RunCounters::new());
+                    let completed = driver.run_to_quiescence();
+                    let (counters, _, _) = driver.into_output();
+                    let _ = tx.send(HomeRun {
+                        home,
+                        seed,
+                        completed,
+                        counters,
+                    });
+                }
+            });
+        }
+        drop(tx);
+        let mut results: Vec<HomeRun> = rx.iter().collect();
+        results.sort_by_key(|h| h.home);
+        FleetResult {
+            homes: results,
+            workers,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Submission;
+    use safehome_core::{EngineConfig, VisibilityModel};
+    use safehome_devices::catalog::plug_home;
+    use safehome_sim::SimRng;
+    use safehome_types::{DeviceId, Routine, TimeDelta, Timestamp, Value};
+
+    /// A small per-home workload whose shape depends on the seed.
+    fn tiny_home(_: usize, seed: u64) -> RunSpec {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut spec =
+            RunSpec::new(plug_home(4), EngineConfig::new(VisibilityModel::ev())).with_seed(seed);
+        let n = 2 + (rng.next_u64() % 3) as usize;
+        for i in 0..n {
+            let mut b = Routine::builder(format!("r{i}"));
+            for j in 0..2u32 {
+                b = b.set(
+                    DeviceId((i as u32 + j) % 4),
+                    Value::ON,
+                    TimeDelta::from_millis(50),
+                );
+            }
+            spec.submit(Submission::at(
+                b.build(),
+                Timestamp::from_millis(rng.next_u64() % 500),
+            ));
+        }
+        spec
+    }
+
+    #[test]
+    fn fleet_results_are_identical_across_worker_counts() {
+        let base = run_fleet(9, 1, 42, tiny_home);
+        assert_eq!(base.homes.len(), 9);
+        assert!(base.all_completed());
+        for workers in [2, 3, 4] {
+            let other = run_fleet(9, workers, 42, tiny_home);
+            assert_eq!(
+                base.homes, other.homes,
+                "per-home results must not depend on sharding ({workers} workers)"
+            );
+            assert_eq!(base.digest(), other.digest());
+        }
+    }
+
+    #[test]
+    fn different_fleet_seeds_give_different_fleets() {
+        let a = run_fleet(4, 2, 1, tiny_home);
+        let b = run_fleet(4, 2, 2, tiny_home);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn home_seeds_are_distinct_and_stable() {
+        let s: Vec<u64> = (0..100).map(|i| home_seed(7, i)).collect();
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 100, "seed derivation must not collide");
+        assert_eq!(home_seed(7, 0), home_seed(7, 0));
+    }
+
+    #[test]
+    fn aggregates_sum_over_homes() {
+        let fleet = run_fleet(5, 2, 11, tiny_home);
+        let committed: u64 = fleet.homes.iter().map(|h| h.counters.committed).sum();
+        assert_eq!(fleet.committed(), committed);
+        assert!(committed > 0);
+        assert_eq!(fleet.aborted(), 0);
+        assert_eq!(fleet.congruent_homes(), 5);
+        assert_eq!(
+            fleet.latencies_ms().len() as u64,
+            committed,
+            "every committed routine contributes one latency"
+        );
+        // Workers above the home count are clamped.
+        let tiny = run_fleet(2, 16, 11, tiny_home);
+        assert_eq!(tiny.workers, 2);
+    }
+}

@@ -8,9 +8,16 @@
 //!
 //! The harness is deterministic: equal [`RunSpec`]s (including the seed)
 //! produce identical traces.
+//!
+//! Two entry points: [`run`] drives one spec to quiescence and returns
+//! its full trace; [`fleet::run_fleet`] shards many independent homes
+//! across worker threads with counters-only sinks for fleet-scale
+//! throughput.
 
+pub mod fleet;
 pub mod sim;
 pub mod spec;
 
-pub use sim::{run, RunOutput};
+pub use fleet::{home_seed, run_fleet, FleetResult, HomeRun};
+pub use sim::{run, Driver, RunOutput, Step};
 pub use spec::{Arrival, RunSpec, Submission};

@@ -1,4 +1,12 @@
 //! The discrete-event run driver.
+//!
+//! [`Driver`] binds one engine, one virtual home and one event queue and
+//! advances them one popped event at a time ([`Driver::step`]), reporting
+//! everything that happens to a pluggable [`TraceSink`]. The full
+//! [`Trace`] recorder is the default sink; fleet-scale callers plug in
+//! [`safehome_types::sink::RunCounters`] to keep the hot loop free of
+//! per-event allocation. [`run`] is the one-shot convenience wrapper that
+//! drives a spec to quiescence and returns its full trace.
 
 use std::collections::BTreeMap;
 
@@ -8,6 +16,7 @@ use safehome_devices::{
 };
 use safehome_sim::{EventQueue, SimRng};
 use safehome_types::{
+    sink::TraceSink,
     trace::{CmdOutcome, Trace, TraceEventKind},
     DeviceId, RoutineId, TimeDelta, Timestamp, Value,
 };
@@ -45,25 +54,203 @@ fn is_material(ev: &Ev) -> bool {
     !matches!(ev, Ev::Probe(_) | Ev::ProbeTimeout(_))
 }
 
-struct Driver {
+/// What one [`Driver::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// One event was processed at the given virtual time.
+    Event(Timestamp),
+    /// The run reached quiescence; every submission resolved.
+    Quiescent,
+    /// The run cannot make further progress: an unsatisfiable submission
+    /// dependency or the safety horizon was hit.
+    Stalled,
+}
+
+/// A stepped simulation driver over one [`RunSpec`].
+///
+/// Construction schedules the workload, failure plan and detector probe
+/// loops; each [`Driver::step`] pops and processes one event. The driver
+/// is deterministic: equal specs (including the seed) produce identical
+/// event streams regardless of how stepping is interleaved with
+/// inspection.
+pub struct Driver<'a, S: TraceSink = Trace> {
+    spec: &'a RunSpec,
     engine: Engine,
     devices: Vec<VirtualDevice>,
     detector: FailureDetector,
     queue: EventQueue<Ev>,
     rng: SimRng,
-    trace: Trace,
+    sink: S,
     latency: safehome_devices::LatencyModel,
     /// Outstanding material (non-probe) events.
     material: usize,
     /// `After` submissions not yet scheduled, keyed by predecessor index.
     deferred: BTreeMap<usize, Vec<(usize, TimeDelta)>>,
     unscheduled: usize,
-    /// Submission index → routine id (once submitted).
-    routine_of_sub: Vec<Option<RoutineId>>,
     sub_of_routine: BTreeMap<RoutineId, usize>,
+    completed: bool,
+    done: bool,
 }
 
-impl Driver {
+impl<'a> Driver<'a, Trace> {
+    /// A driver recording the full execution trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a submission references an unknown device (specs are
+    /// authored by the workload generators, which validate against the
+    /// home).
+    pub fn new(spec: &'a RunSpec) -> Self {
+        let trace = Trace::new(spec.home.initial_states());
+        Driver::with_sink(spec, trace)
+    }
+}
+
+impl<'a, S: TraceSink> Driver<'a, S> {
+    /// A driver reporting to the given sink.
+    pub fn with_sink(spec: &'a RunSpec, sink: S) -> Self {
+        let n = spec.home.len();
+        let initial = spec.home.initial_states();
+        let devices: Vec<VirtualDevice> = spec
+            .home
+            .devices()
+            .iter()
+            .map(|d| VirtualDevice::new(d.initial, TimeDelta::ZERO, spec.detect_timeout))
+            .collect();
+        let mut driver = Driver {
+            spec,
+            engine: Engine::new(spec.config.clone(), &initial),
+            devices,
+            detector: FailureDetector::new(n, spec.ping_interval, spec.detect_timeout),
+            queue: EventQueue::new(),
+            rng: SimRng::seed_from_u64(spec.seed),
+            sink,
+            latency: spec.latency,
+            material: 0,
+            deferred: BTreeMap::new(),
+            unscheduled: 0,
+            sub_of_routine: BTreeMap::new(),
+            completed: false,
+            done: false,
+        };
+        // Schedule the workload.
+        for (i, s) in spec.submissions.iter().enumerate() {
+            match s.arrival {
+                Arrival::At(at) => driver.schedule(at, Ev::Submit(i)),
+                Arrival::After { index, delay } => {
+                    assert!(index < spec.submissions.len(), "dangling dependency");
+                    driver.deferred.entry(index).or_default().push((i, delay));
+                    driver.unscheduled += 1;
+                }
+            }
+        }
+        // Schedule ground-truth failures and the detector's probe loops.
+        for ev in spec.failures.sorted_events() {
+            let kind = if ev.is_failure {
+                Ev::InjectFail(ev.device)
+            } else {
+                Ev::InjectRestart(ev.device)
+            };
+            driver.schedule(ev.at, kind);
+        }
+        // Probes exist to detect health transitions, and a spec that
+        // injects no failures can never have one — every probe of a
+        // healthy device is a no-op for the engine, the trace and the
+        // RNG. Skipping them drops the dominant event-queue load of long
+        // failure-free runs (≈ devices × horizon / ping-interval events)
+        // without changing the event stream at all.
+        if !spec.failures.is_empty() {
+            for d in spec.home.ids() {
+                let at = driver.detector.next_probe_at(d);
+                driver.queue.schedule(at, Ev::Probe(d)); // probes are immaterial
+            }
+        }
+        driver
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Timestamp {
+        self.queue.now()
+    }
+
+    /// Read access to the sink (inspect mid-run state between steps).
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// `true` once the run has ended (quiescent or stalled).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Pops and processes the next event.
+    pub fn step(&mut self) -> Step {
+        if self.done {
+            return if self.completed {
+                Step::Quiescent
+            } else {
+                Step::Stalled
+            };
+        }
+        if self.material == 0 && self.engine.quiescent() {
+            self.done = true;
+            if self.unscheduled == 0 {
+                self.completed = true;
+                return Step::Quiescent;
+            }
+            // Unsatisfiable dependency chain.
+            self.completed = false;
+            return Step::Stalled;
+        }
+        let Some((now, ev)) = self.queue.pop() else {
+            self.done = true;
+            self.completed = self.engine.quiescent() && self.unscheduled == 0;
+            return if self.completed {
+                Step::Quiescent
+            } else {
+                Step::Stalled
+            };
+        };
+        if now > self.spec.max_time {
+            self.done = true;
+            self.completed = false;
+            return Step::Stalled;
+        }
+        if is_material(&ev) {
+            self.material -= 1;
+        }
+        self.process(now, ev);
+        Step::Event(now)
+    }
+
+    /// Steps until the run ends; `true` when it reached quiescence.
+    pub fn run_to_quiescence(&mut self) -> bool {
+        loop {
+            match self.step() {
+                Step::Event(_) => {}
+                Step::Quiescent => return true,
+                Step::Stalled => return false,
+            }
+        }
+    }
+
+    /// Finalizes the sink (witness order, end states, congruence) and
+    /// returns it with the engine's committed states and the completion
+    /// flag. Callable at any point; an unfinished run reports
+    /// `completed = false`.
+    pub fn into_output(mut self) -> (S, BTreeMap<DeviceId, Value>, bool) {
+        let end_states = self
+            .spec
+            .home
+            .ids()
+            .map(|d| (d, self.devices[d.index()].state()))
+            .collect();
+        let committed = self.engine.committed_states();
+        self.sink
+            .finish(self.engine.witness_order(), end_states, &committed);
+        (self.sink, committed, self.completed)
+    }
+
     fn schedule(&mut self, at: Timestamp, ev: Ev) {
         if is_material(&ev) {
             self.material += 1;
@@ -82,7 +269,7 @@ impl Driver {
                 Input::DeviceUp { device: d },
             ),
         };
-        self.trace.push(now, kind);
+        self.sink.record(now, kind);
         let effects = self.engine.handle(input, now);
         self.apply_effects(effects, now);
     }
@@ -99,7 +286,7 @@ impl Driver {
                     rollback,
                 } => {
                     if !rollback {
-                        self.trace.push(
+                        self.sink.record(
                             now,
                             TraceEventKind::CommandDispatched {
                                 routine,
@@ -120,10 +307,10 @@ impl Driver {
                 }
                 Effect::SetTimer { timer, at } => self.schedule(at, Ev::EngineTimer(timer)),
                 Effect::Started { routine } => {
-                    self.trace.push(now, TraceEventKind::Started { routine });
+                    self.sink.record(now, TraceEventKind::Started { routine });
                 }
                 Effect::Committed { routine } => {
-                    self.trace.push(now, TraceEventKind::Committed { routine });
+                    self.sink.record(now, TraceEventKind::Committed { routine });
                     self.release_dependents(routine, now);
                 }
                 Effect::Aborted {
@@ -132,7 +319,7 @@ impl Driver {
                     executed,
                     rolled_back,
                 } => {
-                    self.trace.push(
+                    self.sink.record(
                         now,
                         TraceEventKind::Aborted {
                             routine,
@@ -148,7 +335,7 @@ impl Driver {
                     idx,
                     device,
                 } => {
-                    self.trace.push(
+                    self.sink.record(
                         now,
                         TraceEventKind::BestEffortSkipped {
                             routine,
@@ -174,109 +361,34 @@ impl Driver {
             self.schedule(now + delay, Ev::Submit(dep_index));
         }
     }
-}
 
-/// Runs a spec to quiescence and returns its trace.
-///
-/// # Panics
-///
-/// Panics if a submission references an unknown device (specs are authored
-/// by the workload generators, which validate against the home).
-pub fn run(spec: &RunSpec) -> RunOutput {
-    let n = spec.home.len();
-    let initial = spec.home.initial_states();
-    let devices: Vec<VirtualDevice> = spec
-        .home
-        .devices()
-        .iter()
-        .map(|d| VirtualDevice::new(d.initial, TimeDelta::ZERO, spec.detect_timeout))
-        .collect();
-    let mut driver = Driver {
-        engine: Engine::new(spec.config.clone(), &initial),
-        devices,
-        detector: FailureDetector::new(n, spec.ping_interval, spec.detect_timeout),
-        queue: EventQueue::new(),
-        rng: SimRng::seed_from_u64(spec.seed),
-        trace: Trace::new(initial),
-        latency: spec.latency,
-        material: 0,
-        deferred: BTreeMap::new(),
-        unscheduled: 0,
-        routine_of_sub: vec![None; spec.submissions.len()],
-        sub_of_routine: BTreeMap::new(),
-    };
-    // Schedule the workload.
-    for (i, s) in spec.submissions.iter().enumerate() {
-        match s.arrival {
-            Arrival::At(at) => driver.schedule(at, Ev::Submit(i)),
-            Arrival::After { index, delay } => {
-                assert!(index < spec.submissions.len(), "dangling dependency");
-                driver.deferred.entry(index).or_default().push((i, delay));
-                driver.unscheduled += 1;
-            }
-        }
-    }
-    // Schedule ground-truth failures and the detector's probe loops.
-    for ev in spec.failures.sorted_events() {
-        let kind = if ev.is_failure {
-            Ev::InjectFail(ev.device)
-        } else {
-            Ev::InjectRestart(ev.device)
-        };
-        driver.schedule(ev.at, kind);
-    }
-    for d in spec.home.ids() {
-        let at = driver.detector.next_probe_at(d);
-        driver.queue.schedule(at, Ev::Probe(d)); // probes are immaterial
-    }
-
-    let mut completed = true;
-    loop {
-        if driver.material == 0 && driver.unscheduled == 0 && driver.engine.quiescent() {
-            break;
-        }
-        if driver.material == 0 && driver.engine.quiescent() && driver.unscheduled > 0 {
-            completed = false; // Unsatisfiable dependency chain.
-            break;
-        }
-        let Some((now, ev)) = driver.queue.pop() else {
-            completed = driver.engine.quiescent();
-            break;
-        };
-        if now > spec.max_time {
-            completed = false;
-            break;
-        }
-        if is_material(&ev) {
-            driver.material -= 1;
-        }
+    fn process(&mut self, now: Timestamp, ev: Ev) {
         match ev {
             Ev::Submit(i) => {
-                let routine = spec.submissions[i].routine.clone();
-                let (id, effects) = driver
+                let routine = &self.spec.submissions[i].routine;
+                let (id, effects) = self
                     .engine
                     .submit(routine.clone(), now)
                     .expect("workload validated against home");
-                driver.routine_of_sub[i] = Some(id);
-                driver.sub_of_routine.insert(id, i);
-                driver.trace.record_submission(id, routine, now);
-                driver.apply_effects(effects, now);
+                self.sub_of_routine.insert(id, i);
+                self.sink.record_submission(id, routine, now);
+                self.apply_effects(effects, now);
             }
             Ev::DeviceArrive(d, ticket) => {
-                if let Some(at) = driver.devices[d.index()].dispatch(ticket, now) {
-                    driver.schedule(at, Ev::DeviceComplete(d));
+                if let Some(at) = self.devices[d.index()].dispatch(ticket, now) {
+                    self.schedule(at, Ev::DeviceComplete(d));
                 }
             }
             Ev::InjectFail(d) => {
-                if let Some(reply_at) = driver.devices[d.index()].fail(now) {
-                    driver.schedule(reply_at, Ev::DeviceComplete(d));
+                if let Some(reply_at) = self.devices[d.index()].fail(now) {
+                    self.schedule(reply_at, Ev::DeviceComplete(d));
                 }
             }
-            Ev::InjectRestart(d) => driver.devices[d.index()].restart(),
+            Ev::InjectRestart(d) => self.devices[d.index()].restart(),
             Ev::DeviceComplete(d) => {
-                let (event, next) = driver.devices[d.index()].on_completion_timer(now);
+                let (event, next) = self.devices[d.index()].on_completion_timer(now);
                 if let Some(at) = next {
-                    driver.schedule(at, Ev::DeviceComplete(d));
+                    self.schedule(at, Ev::DeviceComplete(d));
                 }
                 match event {
                     None => {} // Stale timer (failure moved the reply).
@@ -286,7 +398,7 @@ pub fn run(spec: &RunSpec) -> RunOutput {
                         observed,
                     }) => {
                         if let Some(v) = new_state {
-                            driver.trace.push(
+                            self.sink.record(
                                 now,
                                 TraceEventKind::StateChanged {
                                     device: d,
@@ -296,12 +408,12 @@ pub fn run(spec: &RunSpec) -> RunOutput {
                                 },
                             );
                         }
-                        if let Some(det) = driver.detector.on_ack(d, now) {
-                            driver.emit_detection(det, now);
+                        if let Some(det) = self.detector.on_ack(d, now) {
+                            self.emit_detection(det, now);
                         }
                         let routine = ticket.routine.expect("harness tickets carry routines");
                         if !ticket.rollback {
-                            driver.trace.push(
+                            self.sink.record(
                                 now,
                                 TraceEventKind::CommandCompleted {
                                     routine,
@@ -311,7 +423,7 @@ pub fn run(spec: &RunSpec) -> RunOutput {
                                 },
                             );
                         }
-                        let effects = driver.engine.handle(
+                        let effects = self.engine.handle(
                             Input::CommandResult {
                                 routine,
                                 idx: ticket.idx,
@@ -322,17 +434,17 @@ pub fn run(spec: &RunSpec) -> RunOutput {
                             },
                             now,
                         );
-                        driver.apply_effects(effects, now);
+                        self.apply_effects(effects, now);
                     }
                     Some(DeviceEvent::Failed { ticket }) => {
                         // A dead command reply is also an implicit
                         // detection: the edge times out on the call.
-                        if let Some(det) = driver.detector.on_timeout(d, now) {
-                            driver.emit_detection(det, now);
+                        if let Some(det) = self.detector.on_timeout(d, now) {
+                            self.emit_detection(det, now);
                         }
                         let routine = ticket.routine.expect("harness tickets carry routines");
                         if !ticket.rollback {
-                            driver.trace.push(
+                            self.sink.record(
                                 now,
                                 TraceEventKind::CommandCompleted {
                                     routine,
@@ -342,7 +454,7 @@ pub fn run(spec: &RunSpec) -> RunOutput {
                                 },
                             );
                         }
-                        let effects = driver.engine.handle(
+                        let effects = self.engine.handle(
                             Input::CommandResult {
                                 routine,
                                 idx: ticket.idx,
@@ -353,56 +465,60 @@ pub fn run(spec: &RunSpec) -> RunOutput {
                             },
                             now,
                         );
-                        driver.apply_effects(effects, now);
+                        self.apply_effects(effects, now);
                     }
                 }
             }
             Ev::Probe(d) => {
-                if !driver.detector.probe_due(d, now) {
+                if !self.detector.probe_due(d, now) {
                     // An implicit ack pushed the deadline; re-arm lazily.
-                    let at = driver.detector.next_probe_at(d);
-                    driver.queue.schedule(at, Ev::Probe(d));
-                } else if driver.devices[d.index()].health() == Health::Up {
-                    if let Some(det) = driver.detector.on_ack(d, now) {
-                        driver.emit_detection(det, now);
+                    let at = self.detector.next_probe_at(d);
+                    self.queue.schedule(at, Ev::Probe(d));
+                } else if self.devices[d.index()].health() == Health::Up {
+                    if let Some(det) = self.detector.on_ack(d, now) {
+                        self.emit_detection(det, now);
                     }
-                    let at = driver.detector.next_probe_at(d);
-                    driver.queue.schedule(at, Ev::Probe(d));
+                    let at = self.detector.next_probe_at(d);
+                    self.queue.schedule(at, Ev::Probe(d));
                 } else {
-                    driver
-                        .queue
-                        .schedule(now + spec.detect_timeout, Ev::ProbeTimeout(d));
+                    self.queue
+                        .schedule(now + self.spec.detect_timeout, Ev::ProbeTimeout(d));
                 }
             }
             Ev::ProbeTimeout(d) => {
-                if driver.devices[d.index()].health() == Health::Up {
+                if self.devices[d.index()].health() == Health::Up {
                     // Restarted inside the probe window: counts as an ack.
-                    if let Some(det) = driver.detector.on_ack(d, now) {
-                        driver.emit_detection(det, now);
+                    if let Some(det) = self.detector.on_ack(d, now) {
+                        self.emit_detection(det, now);
                     }
-                } else if let Some(det) = driver.detector.on_timeout(d, now) {
-                    driver.emit_detection(det, now);
+                } else if let Some(det) = self.detector.on_timeout(d, now) {
+                    self.emit_detection(det, now);
                 }
-                let at = driver.detector.next_probe_at(d);
-                driver.queue.schedule(at, Ev::Probe(d));
+                let at = self.detector.next_probe_at(d);
+                self.queue.schedule(at, Ev::Probe(d));
             }
             Ev::EngineTimer(timer) => {
-                let effects = driver.engine.handle(Input::Timer { timer }, now);
-                driver.apply_effects(effects, now);
+                let effects = self.engine.handle(Input::Timer { timer }, now);
+                self.apply_effects(effects, now);
             }
         }
     }
+}
 
-    driver.trace.final_order = driver.engine.witness_order();
-    driver.trace.end_states = spec
-        .home
-        .ids()
-        .map(|d| (d, driver.devices[d.index()].state()))
-        .collect();
+/// Runs a spec to quiescence and returns its full trace.
+///
+/// # Panics
+///
+/// Panics if a submission references an unknown device (specs are authored
+/// by the workload generators, which validate against the home).
+pub fn run(spec: &RunSpec) -> RunOutput {
+    let mut driver = Driver::new(spec);
+    driver.run_to_quiescence();
+    let (trace, committed_states, completed) = driver.into_output();
     RunOutput {
-        committed_states: driver.engine.committed_states(),
-        trace: driver.trace,
+        trace,
         completed,
+        committed_states,
     }
 }
 
@@ -413,6 +529,7 @@ mod tests {
     use safehome_core::{EngineConfig, VisibilityModel};
     use safehome_devices::catalog::plug_home;
     use safehome_devices::FailurePlan;
+    use safehome_types::sink::RunCounters;
     use safehome_types::trace::RoutineOutcome;
     use safehome_types::Routine;
 
@@ -477,6 +594,86 @@ mod tests {
         let a = run(&mk());
         let b = run(&mk());
         assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn stepped_driver_matches_one_shot_run() {
+        let mk = || {
+            let mut spec =
+                RunSpec::new(plug_home(4), EngineConfig::new(VisibilityModel::ev())).with_seed(9);
+            for i in 0..4u64 {
+                spec.submit(Submission::at(
+                    simple_routine(&[(i % 4) as u32, ((i + 2) % 4) as u32], Value::ON),
+                    Timestamp::from_millis(i * 25),
+                ));
+            }
+            spec
+        };
+        let one_shot = run(&mk());
+        let spec = mk();
+        let mut driver = Driver::new(&spec);
+        let mut events = 0usize;
+        let mut last = Timestamp::ZERO;
+        loop {
+            match driver.step() {
+                Step::Event(at) => {
+                    assert!(at >= last, "virtual time went backwards");
+                    last = at;
+                    events += 1;
+                }
+                Step::Quiescent => break,
+                Step::Stalled => panic!("run stalled"),
+            }
+        }
+        assert!(events > 0);
+        assert!(driver.is_done());
+        // Stepping past the end keeps reporting the terminal state.
+        assert_eq!(driver.step(), Step::Quiescent);
+        let (trace, committed, completed) = driver.into_output();
+        assert!(completed);
+        assert_eq!(trace, one_shot.trace);
+        assert_eq!(committed, one_shot.committed_states);
+    }
+
+    #[test]
+    fn counter_sink_matches_full_trace() {
+        // The counters-only sink must agree with the full recorder on
+        // every aggregate it keeps, including under failures.
+        let mk = || {
+            let mut spec =
+                RunSpec::new(plug_home(6), EngineConfig::new(VisibilityModel::ev())).with_seed(3);
+            spec.failures = FailurePlan::none().fail(d(5), Timestamp::from_millis(400));
+            for i in 0..6u64 {
+                spec.submit(Submission::at(
+                    simple_routine(&[(i % 6) as u32, ((i + 1) % 6) as u32], Value::ON),
+                    Timestamp::from_millis(i * 200),
+                ));
+            }
+            spec
+        };
+        let full = run(&mk());
+        let spec = mk();
+        let mut driver = Driver::with_sink(&spec, RunCounters::new());
+        assert!(driver.run_to_quiescence());
+        let (counters, committed, _) = driver.into_output();
+        assert_eq!(counters.submitted as usize, full.trace.records.len());
+        assert_eq!(counters.committed as usize, full.trace.committed().len());
+        assert_eq!(counters.aborted as usize, full.trace.aborted().len());
+        assert_eq!(counters.end_time, full.trace.end_time());
+        let skips: u32 = full
+            .trace
+            .records
+            .values()
+            .map(|r| r.best_effort_skipped)
+            .sum();
+        assert_eq!(counters.best_effort_skipped, skips as u64);
+        assert_eq!(
+            counters.latencies_ms.len(),
+            (counters.committed + counters.aborted) as usize
+        );
+        assert_eq!(committed, full.committed_states);
+        // End-state congruence holds for EV outside the failed device.
+        assert!(counters.congruent);
     }
 
     #[test]
@@ -595,6 +792,49 @@ mod tests {
         assert_eq!(rec.outcome, Some(RoutineOutcome::Committed));
         assert_eq!(rec.best_effort_skipped, 1);
         assert_eq!(out.trace.end_states[&d(1)], Value::ON);
+    }
+
+    #[test]
+    fn skipped_best_effort_device_is_not_first_touched() {
+        // Regression: a best-effort command skipped without dispatching
+        // must not count as the routine's "first touch" of its device. A
+        // later failure of that device while the routine is mid-flight
+        // elsewhere must not abort it (rules 2/4 resolve at dispatch),
+        // and once the device recovers the routine's real first touch
+        // serializes the failure/restart pair *before* the routine.
+        for scheduler in [
+            safehome_core::SchedulerKind::Fcfs,
+            safehome_core::SchedulerKind::Jit,
+            safehome_core::SchedulerKind::Timeline,
+        ] {
+            let mut spec = RunSpec::new(
+                plug_home(2),
+                EngineConfig::new(VisibilityModel::Ev { scheduler }),
+            );
+            // d0 is down when the routine skips its best-effort command on
+            // it, then fails AGAIN at t=10s while the routine is mid-way
+            // through its long d1 command, and finally recovers before the
+            // routine's must command on d0. The second failure must not
+            // abort the routine: it never actually dispatched on d0.
+            spec.failures = FailurePlan::none()
+                .fail_recover(d(0), Timestamp::ZERO, TimeDelta::from_secs(8))
+                .fail_recover(d(0), Timestamp::from_secs(10), TimeDelta::from_secs(4));
+            let r = Routine::builder("be-then-must")
+                .set_best_effort(d(0), Value::ON, TimeDelta::from_millis(100))
+                .set(d(1), Value::ON, TimeDelta::from_secs(20))
+                .set(d(0), Value::ON, TimeDelta::from_millis(100))
+                .build();
+            spec.submit(Submission::at(r, Timestamp::from_secs(5)));
+            let out = run(&spec);
+            assert!(out.completed, "{scheduler:?}");
+            let id = out.trace.submission_order()[0];
+            assert!(
+                out.trace.records[&id].committed(),
+                "skipped best-effort is not a touch; the routine survives \
+                 the failure and commits ({scheduler:?})"
+            );
+            assert_eq!(out.trace.end_states[&d(0)], Value::ON, "{scheduler:?}");
+        }
     }
 
     #[test]

@@ -164,6 +164,30 @@ mod tests {
     }
 
     #[test]
+    fn clamped_event_pops_after_events_already_queued_at_now() {
+        // A past event is clamped to `now`, and the seq tiebreak must
+        // then place it *behind* everything already queued at `now`: the
+        // backlog drains in the order it was enqueued, clamping never
+        // lets a stale event jump a fresh one.
+        let mut q = EventQueue::new();
+        q.schedule(t(100), "tick");
+        q.pop(); // now = 100
+        q.schedule(t(100), "first");
+        q.schedule(t(100), "second");
+        q.schedule(t(40), "stale"); // clamped to now = 100
+        q.schedule(t(100), "third");
+        assert_eq!(q.pop(), Some((t(100), "first")));
+        assert_eq!(q.pop(), Some((t(100), "second")));
+        assert_eq!(
+            q.pop(),
+            Some((t(100), "stale")),
+            "clamped event keeps its insertion rank at the clamped instant"
+        );
+        assert_eq!(q.pop(), Some((t(100), "third")));
+        assert_eq!(q.now(), t(100));
+    }
+
+    #[test]
     fn peek_does_not_advance() {
         let mut q = EventQueue::new();
         q.schedule(t(9), ());

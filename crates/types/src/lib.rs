@@ -16,6 +16,7 @@ pub mod error;
 pub mod id;
 pub mod json;
 pub mod routine;
+pub mod sink;
 pub mod spec;
 pub mod time;
 pub mod trace;
@@ -25,5 +26,6 @@ pub use command::{Action, Command, Priority, UndoPolicy};
 pub use error::{Error, Result};
 pub use id::{CmdIdx, DeviceId, RoutineId};
 pub use routine::{Routine, RoutineBuilder};
+pub use sink::{RunCounters, TraceSink};
 pub use time::{TimeDelta, Timestamp};
 pub use value::Value;

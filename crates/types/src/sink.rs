@@ -1,0 +1,415 @@
+//! Pluggable trace sinks.
+//!
+//! The harness driver reports every run event through the [`TraceSink`]
+//! trait instead of writing straight into a [`Trace`]. The full recorder
+//! ([`Trace`] itself) stays the default and keeps the complete event
+//! stream; [`RunCounters`] is the fleet-scale alternative that folds each
+//! event into counters, per-routine latencies and a deterministic digest
+//! without any per-event allocation — removing trace recording from the
+//! hot loop when thousands of homes run in one process.
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use crate::id::RoutineId;
+use crate::routine::Routine;
+use crate::time::Timestamp;
+use crate::trace::{OrderItem, Trace, TraceEventKind};
+use crate::value::Value;
+use crate::DeviceId;
+
+/// Receiver for the events of one simulated run.
+///
+/// Implementations must be cheap relative to the event rate: the driver
+/// calls [`TraceSink::record`] for every dispatch, completion, state
+/// change and detection in the run.
+pub trait TraceSink {
+    /// Registers a submitted routine. Recording sinks clone the
+    /// definition; counting sinks only read its shape.
+    fn record_submission(&mut self, id: RoutineId, routine: &Routine, at: Timestamp);
+
+    /// Appends one run event.
+    fn record(&mut self, at: Timestamp, kind: TraceEventKind);
+
+    /// Finalizes the sink when the run ends: the engine's witness order,
+    /// the devices' actual end states, and the engine's committed view
+    /// (for end-state congruence checking).
+    fn finish(
+        &mut self,
+        final_order: Vec<OrderItem>,
+        end_states: BTreeMap<DeviceId, Value>,
+        committed_states: &BTreeMap<DeviceId, Value>,
+    );
+}
+
+impl TraceSink for Trace {
+    fn record_submission(&mut self, id: RoutineId, routine: &Routine, at: Timestamp) {
+        Trace::record_submission(self, id, routine.clone(), at);
+    }
+
+    fn record(&mut self, at: Timestamp, kind: TraceEventKind) {
+        self.push(at, kind);
+    }
+
+    fn finish(
+        &mut self,
+        final_order: Vec<OrderItem>,
+        end_states: BTreeMap<DeviceId, Value>,
+        _committed_states: &BTreeMap<DeviceId, Value>,
+    ) {
+        self.final_order = final_order;
+        self.end_states = end_states;
+    }
+}
+
+/// The digest hasher: deterministic across runs, threads and platforms
+/// (unlike `DefaultHasher`, whose keys are unspecified). Integer writes —
+/// the only thing the trace vocabulary contains — take a wide
+/// multiply-rotate mix (FxHash-style) so digesting stays off the hot
+/// loop's profile; the byte path falls back to FNV-1a.
+struct DigestHasher(u64);
+
+impl DigestHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0 ^ v)
+            .wrapping_mul(0x2545_F491_4F6C_DD1D)
+            .rotate_left(23);
+    }
+}
+
+impl Hasher for DigestHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.mix(i as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The initial state of a [`fold_digest`] chain.
+pub const DIGEST_SEED: u64 = DigestHasher::OFFSET;
+
+/// Folds one value into a running digest, using the same deterministic
+/// hasher as [`RunCounters::digest`]. Aggregators (e.g. the fleet's
+/// per-home digest combination) must use this rather than re-implement
+/// the mixing, so a digest-scheme change stays in one place.
+pub fn fold_digest(acc: u64, value: u64) -> u64 {
+    let mut h = DigestHasher(acc);
+    h.write_u64(value);
+    h.finish()
+}
+
+/// Counters-only sink: outcomes, latencies, end-state congruence and a
+/// deterministic event digest — no per-event `Vec` pushes.
+///
+/// Two runs with identical event streams, witness orders and end states
+/// produce byte-identical `RunCounters` (the fleet determinism check
+/// compares them across worker-thread counts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunCounters {
+    /// Routines submitted.
+    pub submitted: u64,
+    /// Routines committed.
+    pub committed: u64,
+    /// Routines aborted.
+    pub aborted: u64,
+    /// Best-effort commands skipped.
+    pub best_effort_skipped: u64,
+    /// Commands dispatched (excluding rollback writes).
+    pub dispatches: u64,
+    /// Commands that completed successfully.
+    pub command_successes: u64,
+    /// Commands that failed at the device.
+    pub command_failures: u64,
+    /// Device state changes (including rollback writes).
+    pub state_changes: u64,
+    /// State changes attributed to rollback writes.
+    pub rollback_writes: u64,
+    /// Detector down transitions.
+    pub down_detections: u64,
+    /// Detector up transitions.
+    pub up_detections: u64,
+    /// Submit-to-finish latency of every finished routine, in
+    /// milliseconds, in finish order.
+    pub latencies_ms: Vec<u64>,
+    /// Time of the last recorded event.
+    pub end_time: Timestamp,
+    /// `true` when the devices' end states match the engine's committed
+    /// view on every device not believed down at the end of the run.
+    pub congruent: bool,
+    /// Running deterministic digest over the full event stream, the
+    /// witness order and the end states.
+    pub digest: u64,
+    /// Submission time of in-flight routines (drained at finish).
+    submitted_at: BTreeMap<RoutineId, Timestamp>,
+    /// Devices currently believed down (to exclude from congruence).
+    down: Vec<DeviceId>,
+}
+
+impl Default for RunCounters {
+    fn default() -> Self {
+        RunCounters {
+            submitted: 0,
+            committed: 0,
+            aborted: 0,
+            best_effort_skipped: 0,
+            dispatches: 0,
+            command_successes: 0,
+            command_failures: 0,
+            state_changes: 0,
+            rollback_writes: 0,
+            down_detections: 0,
+            up_detections: 0,
+            latencies_ms: Vec::new(),
+            end_time: Timestamp::ZERO,
+            congruent: false,
+            digest: DigestHasher::OFFSET,
+            submitted_at: BTreeMap::new(),
+            down: Vec::new(),
+        }
+    }
+}
+
+impl RunCounters {
+    /// A fresh counter sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fold<T: Hash>(&mut self, value: &T) {
+        let mut h = DigestHasher(self.digest);
+        value.hash(&mut h);
+        self.digest = h.finish();
+    }
+
+    fn finish_routine(&mut self, routine: RoutineId, at: Timestamp) {
+        if let Some(submitted) = self.submitted_at.remove(&routine) {
+            self.latencies_ms.push(at.since(submitted).as_millis());
+        }
+    }
+}
+
+impl TraceSink for RunCounters {
+    fn record_submission(&mut self, id: RoutineId, _routine: &Routine, at: Timestamp) {
+        self.submitted += 1;
+        self.submitted_at.insert(id, at);
+        self.end_time = at;
+        self.fold(&(at, TraceEventKind::Submitted { routine: id }));
+    }
+
+    fn record(&mut self, at: Timestamp, kind: TraceEventKind) {
+        self.end_time = at;
+        self.fold(&(at, &kind));
+        match kind {
+            TraceEventKind::Submitted { .. } | TraceEventKind::Started { .. } => {}
+            TraceEventKind::Committed { routine } => {
+                self.committed += 1;
+                self.finish_routine(routine, at);
+            }
+            TraceEventKind::Aborted { routine, .. } => {
+                self.aborted += 1;
+                self.finish_routine(routine, at);
+            }
+            TraceEventKind::CommandDispatched { .. } => self.dispatches += 1,
+            TraceEventKind::CommandCompleted { outcome, .. } => match outcome {
+                crate::trace::CmdOutcome::Success { .. } => self.command_successes += 1,
+                crate::trace::CmdOutcome::Failed => self.command_failures += 1,
+            },
+            TraceEventKind::BestEffortSkipped { .. } => self.best_effort_skipped += 1,
+            TraceEventKind::StateChanged { rollback, .. } => {
+                self.state_changes += 1;
+                if rollback {
+                    self.rollback_writes += 1;
+                }
+            }
+            TraceEventKind::DeviceDownDetected { device } => {
+                self.down_detections += 1;
+                if !self.down.contains(&device) {
+                    self.down.push(device);
+                }
+            }
+            TraceEventKind::DeviceUpDetected { device } => {
+                self.up_detections += 1;
+                self.down.retain(|&d| d != device);
+            }
+        }
+    }
+
+    fn finish(
+        &mut self,
+        final_order: Vec<OrderItem>,
+        end_states: BTreeMap<DeviceId, Value>,
+        committed_states: &BTreeMap<DeviceId, Value>,
+    ) {
+        self.fold(&final_order);
+        self.fold(&end_states);
+        self.congruent = committed_states
+            .iter()
+            .filter(|(d, _)| !self.down.contains(d))
+            .all(|(d, v)| end_states.get(d) == Some(v));
+        self.submitted_at.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimeDelta;
+    use crate::trace::CmdOutcome;
+    use crate::CmdIdx;
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn routine() -> Routine {
+        Routine::builder("r")
+            .set(DeviceId(0), Value::ON, TimeDelta::from_millis(100))
+            .build()
+    }
+
+    fn feed(sink: &mut dyn TraceSink) {
+        let id = RoutineId(1);
+        sink.record_submission(id, &routine(), t(0));
+        sink.record(t(5), TraceEventKind::Started { routine: id });
+        sink.record(
+            t(5),
+            TraceEventKind::CommandDispatched {
+                routine: id,
+                idx: CmdIdx(0),
+                device: DeviceId(0),
+            },
+        );
+        sink.record(
+            t(40),
+            TraceEventKind::StateChanged {
+                device: DeviceId(0),
+                value: Value::ON,
+                by: Some(id),
+                rollback: false,
+            },
+        );
+        sink.record(
+            t(40),
+            TraceEventKind::CommandCompleted {
+                routine: id,
+                idx: CmdIdx(0),
+                device: DeviceId(0),
+                outcome: CmdOutcome::Success { observed: None },
+            },
+        );
+        sink.record(t(40), TraceEventKind::Committed { routine: id });
+    }
+
+    fn end() -> BTreeMap<DeviceId, Value> {
+        [(DeviceId(0), Value::ON)].into()
+    }
+
+    #[test]
+    fn counters_match_full_trace() {
+        let mut counters = RunCounters::new();
+        let mut trace = Trace::new([(DeviceId(0), Value::OFF)].into());
+        feed(&mut counters);
+        feed(&mut trace);
+        counters.finish(vec![OrderItem::Routine(RoutineId(1))], end(), &end());
+        TraceSink::finish(
+            &mut trace,
+            vec![OrderItem::Routine(RoutineId(1))],
+            end(),
+            &end(),
+        );
+        assert_eq!(counters.submitted as usize, trace.records.len());
+        assert_eq!(counters.committed as usize, trace.committed().len());
+        assert_eq!(counters.aborted, 0);
+        assert_eq!(counters.dispatches, 1);
+        assert_eq!(counters.command_successes, 1);
+        assert_eq!(counters.state_changes, 1);
+        assert_eq!(counters.latencies_ms, vec![40]);
+        assert_eq!(counters.end_time, trace.end_time());
+        assert!(counters.congruent);
+        assert_eq!(trace.final_order, vec![OrderItem::Routine(RoutineId(1))]);
+        assert_eq!(trace.end_states, end());
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_order_sensitive() {
+        let mut a = RunCounters::new();
+        let mut b = RunCounters::new();
+        feed(&mut a);
+        feed(&mut b);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a, b);
+        // A different event stream gives a different digest.
+        let mut c = RunCounters::new();
+        c.record_submission(RoutineId(1), &routine(), t(1));
+        assert_ne!(a.digest, c.digest);
+    }
+
+    #[test]
+    fn incongruent_end_state_is_detected() {
+        let mut s = RunCounters::new();
+        feed(&mut s);
+        s.finish(
+            Vec::new(),
+            [(DeviceId(0), Value::OFF)].into(),
+            &[(DeviceId(0), Value::ON)].into(),
+        );
+        assert!(!s.congruent);
+    }
+
+    #[test]
+    fn devices_down_at_end_are_excluded_from_congruence() {
+        let mut s = RunCounters::new();
+        s.record(
+            t(10),
+            TraceEventKind::DeviceDownDetected {
+                device: DeviceId(0),
+            },
+        );
+        s.finish(
+            Vec::new(),
+            [(DeviceId(0), Value::OFF)].into(),
+            &[(DeviceId(0), Value::ON)].into(),
+        );
+        assert!(s.congruent, "dead device cannot be rolled forward");
+        assert_eq!(s.down_detections, 1);
+    }
+}

@@ -16,7 +16,7 @@ use crate::time::Timestamp;
 use crate::value::Value;
 
 /// Why a routine aborted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AbortReason {
     /// A `Must` command failed (device down or unresponsive mid-command).
     MustCommandFailed {
@@ -42,7 +42,7 @@ pub enum AbortReason {
 }
 
 /// Outcome of one command execution attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmdOutcome {
     /// The device acknowledged; reads carry the observed value.
     Success {
@@ -65,7 +65,7 @@ pub enum RoutineOutcome {
 
 /// An element of the final serialization order (§3: routines *and*
 /// failure/restart events are serialized together).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OrderItem {
     /// A committed routine.
     Routine(RoutineId),
@@ -85,7 +85,7 @@ pub struct TraceEvent {
 }
 
 /// The trace event vocabulary.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum TraceEventKind {
     /// Routine entered the wait queue.
     Submitted {

@@ -15,4 +15,4 @@ pub mod micro;
 pub mod scenarios;
 
 pub use micro::MicroParams;
-pub use scenarios::{factory, morning, party};
+pub use scenarios::{factory, fleet_morning, morning, party};

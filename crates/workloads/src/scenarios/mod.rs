@@ -20,5 +20,5 @@ pub mod morning;
 pub mod party;
 
 pub use factory::factory;
-pub use morning::morning;
+pub use morning::{fleet_morning, morning};
 pub use party::party;

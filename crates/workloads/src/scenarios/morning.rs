@@ -9,7 +9,7 @@
 //! their wake-up finished, and so on.
 
 use safehome_core::EngineConfig;
-use safehome_devices::{DeviceKind, Home};
+use safehome_devices::{DeviceKind, FailurePlan, Home, LatencyModel};
 use safehome_harness::{RunSpec, Submission};
 use safehome_sim::SimRng;
 use safehome_types::{DeviceId, Routine, TimeDelta, Timestamp, Value};
@@ -238,8 +238,6 @@ pub fn morning(config: EngineConfig, seed: u64) -> RunSpec {
     for user in 0..4 {
         let wake_at = Timestamp::from_millis(rng.int_in(0, 4 * 60_000));
         let wake = spec.submit(Submission::at(wake_up(&h, user), wake_at));
-        let gap = || TimeDelta::from_millis(0);
-        let _ = gap;
         let bath = spec.submit(Submission::after(
             bathroom(&h, user),
             wake,
@@ -269,6 +267,42 @@ pub fn morning(config: EngineConfig, seed: u64) -> RunSpec {
         count += 1;
     }
     debug_assert_eq!(count, 29, "the paper's morning scenario has 29 routines");
+    spec
+}
+
+/// One home of a morning-scenario fleet: the §7.2 morning workload with
+/// per-home parameter jitter, fully determined by the home's seed.
+///
+/// `seed` is the home's *derived* seed — the value `run_fleet` passes to
+/// its `make_spec` callback, i.e. `safehome_harness::home_seed(fleet_seed,
+/// home)`. The derivation lives only in the fleet module so a recorded
+/// `HomeRun::seed` always reproduces the spec that actually ran.
+///
+/// The seed randomizes the home's submission windows and chain delays
+/// independently of every other home, and additionally jitters the
+/// physical parameters that vary across real deployments: actuation
+/// latency (Wi-Fi quality), detector ping interval and command timeout.
+/// One home in eight is *unhealthy*: ~5 % of its devices fail-stop
+/// inside the morning window (a flaky plug, a dead bulb), so the fleet
+/// exercises detection, aborts and rollbacks — and the jittered detector
+/// parameters — not just the happy path.
+pub fn fleet_morning(config: EngineConfig, seed: u64) -> RunSpec {
+    let mut spec = morning(config, seed);
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x00F1_EE7D);
+    spec.latency = LatencyModel::Jittered {
+        base: TimeDelta::from_millis(rng.int_in(15, 45)),
+        jitter: TimeDelta::from_millis(rng.int_in(20, 80)),
+    };
+    spec.ping_interval = TimeDelta::from_millis(rng.int_in(800, 1_200));
+    spec.detect_timeout = TimeDelta::from_millis(rng.int_in(80, 120));
+    if rng.int_in(0, 7) == 0 {
+        spec.failures = FailurePlan::random_fail_stop(
+            spec.home.len(),
+            0.05,
+            Timestamp::from_secs(25 * 60),
+            &mut rng,
+        );
+    }
     spec
 }
 
@@ -331,5 +365,57 @@ mod tests {
         let a = morning(EngineConfig::new(VisibilityModel::ev()), 7);
         let b = morning(EngineConfig::new(VisibilityModel::ev()), 7);
         assert_eq!(a.submissions, b.submissions);
+    }
+
+    #[test]
+    fn fleet_homes_are_deterministic_and_jittered() {
+        use safehome_harness::home_seed;
+        let cfg = || EngineConfig::new(VisibilityModel::ev());
+        let a = fleet_morning(cfg(), home_seed(5, 3));
+        let b = fleet_morning(cfg(), home_seed(5, 3));
+        assert_eq!(a.submissions, b.submissions);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.ping_interval, b.ping_interval);
+        // Different homes of the same fleet differ in schedule and
+        // physical parameters.
+        let c = fleet_morning(cfg(), home_seed(5, 4));
+        assert_ne!(a.seed, c.seed);
+        assert_ne!(a.submissions, c.submissions);
+        assert_eq!(a.submissions.len(), 29, "still the §7.2 scenario");
+        assert_eq!(c.submissions.len(), 29);
+    }
+
+    #[test]
+    fn fleet_home_runs_to_quiescence() {
+        let spec = fleet_morning(
+            EngineConfig::new(VisibilityModel::ev()),
+            safehome_harness::home_seed(1, 0),
+        );
+        let out = safehome_harness::run(&spec);
+        assert!(out.completed);
+        assert_eq!(
+            out.trace.committed().len() + out.trace.aborted().len(),
+            29,
+            "every routine resolves (unhealthy homes abort some)"
+        );
+    }
+
+    #[test]
+    fn fleet_mixes_healthy_and_unhealthy_homes() {
+        let specs: Vec<RunSpec> = (0..64)
+            .map(|h| {
+                fleet_morning(
+                    EngineConfig::new(VisibilityModel::ev()),
+                    safehome_harness::home_seed(9, h),
+                )
+            })
+            .collect();
+        let unhealthy = specs.iter().filter(|s| !s.failures.is_empty()).count();
+        assert!(unhealthy > 0, "some homes must inject failures");
+        assert!(
+            unhealthy < 24,
+            "most homes stay healthy (~1 in 8 expected, got {unhealthy})"
+        );
     }
 }
