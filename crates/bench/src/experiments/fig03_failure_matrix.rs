@@ -1,7 +1,7 @@
 //! Fig. 3: failure/restart serialization — six cases × four models.
 //!
 //! A routine R = {B:ON; A:ON; C:ON} (10 s per command) runs while device
-//! A fails (F[A]) and possibly restarts (Re[A]) at six characteristic
+//! A fails (F\[A\]) and possibly restarts (Re\[A\]) at six characteristic
 //! positions. A seventh case fails an *untouched* device Z, which
 //! separates S-GSV (aborts) from loose GSV (does not). Expected outcome
 //! (✓ = routine completes, ✗ = aborts), from §3:

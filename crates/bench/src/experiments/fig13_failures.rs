@@ -7,10 +7,16 @@
 //! point); GSV/S-GSV abort little (serial execution) but roll back more
 //! than EV when they do.
 
+//! This figure only needs abort rates and rollback overheads, so it runs
+//! on the cheap counters path ([`crate::support::run_trials_counters`]):
+//! no trace recording, and a deterministic digest over every run of the
+//! sweep anchors the whole figure against silent behavior drift.
+
 use safehome_core::EngineConfig;
+use safehome_types::sink;
 use safehome_workloads::MicroParams;
 
-use crate::support::{f, failure_models, row, run_trials, TrialAgg};
+use crate::support::{digest_line, f, failure_models, row, run_trials_counters, CounterAgg};
 
 fn params() -> MicroParams {
     MicroParams {
@@ -21,19 +27,19 @@ fn params() -> MicroParams {
     }
 }
 
-/// One sweep point.
+/// One sweep point (counters path).
 pub fn measure(
     must_pct: f64,
     fail_pct: f64,
     model: safehome_core::VisibilityModel,
     trials: u64,
-) -> TrialAgg {
+) -> CounterAgg {
     let p = MicroParams {
         must_pct,
         fail_pct,
         ..params()
     };
-    run_trials(trials, |seed| p.build(EngineConfig::new(model), seed))
+    run_trials_counters(trials, |seed| p.build(EngineConfig::new(model), seed))
 }
 
 /// Regenerates Fig. 13 (all four panels).
@@ -43,6 +49,7 @@ pub fn run(trials: u64) -> String {
     let musts = [0.0, 0.25, 0.5, 0.75, 1.0];
     let fails = [0.0, 0.1, 0.25, 0.4, 0.5];
 
+    let mut digest = sink::DIGEST_SEED;
     out.push_str("Fig. 13a/13c — Must% sweep (F = 25%)\n");
     out.push_str(&row(&[
         "model".into(),
@@ -54,6 +61,7 @@ pub fn run(trials: u64) -> String {
     for model in failure_models() {
         for &m in &musts {
             let agg = measure(m, 0.25, model, trials);
+            digest = sink::fold_digest(digest, agg.digest);
             out.push_str(&row(&[
                 model.label().into(),
                 format!("{:.0}", m * 100.0),
@@ -74,6 +82,7 @@ pub fn run(trials: u64) -> String {
     for model in failure_models() {
         for &fr in &fails {
             let agg = measure(1.0, fr, model, trials);
+            digest = sink::fold_digest(digest, agg.digest);
             out.push_str(&row(&[
                 model.label().into(),
                 format!("{:.0}", fr * 100.0),
@@ -83,6 +92,7 @@ pub fn run(trials: u64) -> String {
             out.push('\n');
         }
     }
+    out.push_str(&digest_line("fig13", digest));
     out
 }
 

@@ -6,10 +6,20 @@
 //! Order mismatch exists only for EV (PSV/GSV serialize in lock order,
 //! and are omitted as always-zero in the paper).
 
+//! The C sweep (a–c) needs parallelism and temporary incongruence, which
+//! only the trace path computes; the α sweep (d) reports latency alone,
+//! so it runs on the cheap counters path and prints its deterministic
+//! digest. The PSV order-mismatch plateau regression below also rides
+//! the counters path — the sink computes the same normalized swap
+//! distance from the witness order.
+
 use safehome_core::{EngineConfig, VisibilityModel};
+use safehome_types::sink;
 use safehome_workloads::MicroParams;
 
-use crate::support::{f, main_models, row, run_trials, TrialAgg};
+use crate::support::{
+    digest_line, f, main_models, row, run_trials, run_trials_counters, CounterAgg, TrialAgg,
+};
 
 fn params() -> MicroParams {
     MicroParams {
@@ -28,13 +38,25 @@ pub fn measure_c(c: f64, model: VisibilityModel, trials: u64) -> TrialAgg {
     run_trials(trials, |seed| p.build(EngineConfig::new(model), seed))
 }
 
-/// One sweep point over Zipf α.
-pub fn measure_alpha(alpha: f64, model: VisibilityModel, trials: u64) -> TrialAgg {
+/// One sweep point over Zipf α (counters path — the figure only reads
+/// latency, and the Table-3 defaults inject no failures, so the
+/// finished-routine latency equals the committed-routine latency).
+pub fn measure_alpha(alpha: f64, model: VisibilityModel, trials: u64) -> CounterAgg {
     let p = MicroParams {
         zipf_alpha: alpha,
         ..params()
     };
-    run_trials(trials, |seed| p.build(EngineConfig::new(model), seed))
+    run_trials_counters(trials, |seed| p.build(EngineConfig::new(model), seed))
+}
+
+/// One sweep point over commands-per-routine on the counters path (for
+/// the metrics the sink carries: latency, aborts, order mismatch).
+pub fn measure_c_counters(c: f64, model: VisibilityModel, trials: u64) -> CounterAgg {
+    let p = MicroParams {
+        commands_mean: c,
+        ..params()
+    };
+    run_trials_counters(trials, |seed| p.build(EngineConfig::new(model), seed))
 }
 
 /// Regenerates Fig. 16.
@@ -72,9 +94,11 @@ pub fn run(trials: u64) -> String {
         "lat mean(s)".into(),
     ]));
     out.push('\n');
+    let mut digest = sink::DIGEST_SEED;
     for model in main_models() {
         for alpha in [0.0, 0.05, 0.2, 0.5, 0.9, 1.2] {
             let agg = measure_alpha(alpha, model, trials);
+            digest = sink::fold_digest(digest, agg.digest);
             out.push_str(&row(&[
                 model.label().into(),
                 format!("{alpha:.2}"),
@@ -83,6 +107,7 @@ pub fn run(trials: u64) -> String {
             out.push('\n');
         }
     }
+    out.push_str(&digest_line("fig16d", digest));
     out
 }
 
@@ -135,8 +160,11 @@ mod tests {
         // which tracks arrival order closely but not exactly (a
         // later-submitted routine can win a lock race); the measured
         // mismatch hovers around 0.017, so the bound leaves headroom
-        // above that plateau while staying far below EV's values.
-        let psv = measure_c(3.0, VisibilityModel::Psv, 12);
+        // above that plateau while staying far below EV's values. Runs
+        // on the counters path: the sink's witness-order swap distance
+        // is the same §7.1 definition as the trace pass (asserted
+        // exactly in `support::tests::counters_path_agrees_with_trace_path`).
+        let psv = measure_c_counters(3.0, VisibilityModel::Psv, 12);
         assert!(
             psv.order_mismatch < 0.03,
             "PSV serializes near arrival order: {:.4}",

@@ -1,8 +1,9 @@
 //! Shared experiment infrastructure.
 
 use safehome_core::{EngineConfig, SchedulerKind, VisibilityModel};
-use safehome_harness::{run, RunSpec};
+use safehome_harness::{run, Driver, RunSpec};
 use safehome_metrics::{RunMetrics, Summary};
+use safehome_types::sink::{self, RunCounters};
 
 /// The four models compared throughout §7.
 pub fn main_models() -> Vec<VisibilityModel> {
@@ -101,6 +102,82 @@ pub fn run_trials(trials: u64, mut make_spec: impl FnMut(u64) -> RunSpec) -> Tri
     agg
 }
 
+/// Aggregated counters-path metrics over several trials of one
+/// configuration — the cheap sibling of [`TrialAgg`].
+///
+/// Runs with the [`RunCounters`] sink instead of recording a full trace:
+/// no per-event allocation, constant memory per trial, and a
+/// deterministic digest that anchors the whole experiment (two builds
+/// disagreeing on any event stream disagree on the digest). Only the
+/// metrics the counters can carry are available: latency, abort rate,
+/// rollback overhead, order mismatch and end-state congruence —
+/// temporary incongruence and parallelism still need the trace path.
+///
+/// Caveat: [`CounterAgg::latency`] pools *finished* routines (committed
+/// and aborted), while [`TrialAgg::latency`] pools committed only; on
+/// failure-free workloads the two are identical.
+#[derive(Debug, Clone, Default)]
+pub struct CounterAgg {
+    /// Latency summary (ms) over finished routines, pooled across trials.
+    pub latency: Summary,
+    /// Mean abort rate (aborted / submitted) across trials.
+    pub abort_rate: f64,
+    /// Mean rollback overhead (over trials with aborts).
+    pub rollback_overhead: f64,
+    /// Mean order mismatch across trials.
+    pub order_mismatch: f64,
+    /// Trials whose end states were congruent with the committed view.
+    pub congruent: usize,
+    /// Trials that failed to reach quiescence (must be 0).
+    pub incomplete: usize,
+    /// Deterministic fold of the per-trial run digests.
+    pub digest: u64,
+}
+
+/// Runs `trials` seeded runs of `make_spec` on the counters path and
+/// aggregates the cheap metrics. See [`CounterAgg`] for what is (and is
+/// not) available compared to [`run_trials`].
+pub fn run_trials_counters(trials: u64, mut make_spec: impl FnMut(u64) -> RunSpec) -> CounterAgg {
+    let mut latencies = Vec::new();
+    let mut agg = CounterAgg {
+        digest: sink::DIGEST_SEED,
+        ..CounterAgg::default()
+    };
+    let mut abort_trials = 0usize;
+    for seed in 0..trials {
+        let spec = make_spec(seed);
+        let mut driver = Driver::with_sink(&spec, RunCounters::new());
+        let completed = driver.run_to_quiescence();
+        let (c, _, _) = driver.into_output();
+        if !completed {
+            agg.incomplete += 1;
+            continue;
+        }
+        latencies.extend(c.latencies_ms.iter().map(|&l| l as f64));
+        agg.abort_rate += c.aborted as f64 / c.submitted.max(1) as f64;
+        if c.aborted > 0 {
+            agg.rollback_overhead += c.rollback_overhead();
+            abort_trials += 1;
+        }
+        agg.order_mismatch += c.order_mismatch;
+        agg.congruent += c.congruent as usize;
+        agg.digest = sink::fold_digest(agg.digest, c.digest);
+    }
+    let n = (trials as usize - agg.incomplete).max(1) as f64;
+    agg.abort_rate /= n;
+    agg.order_mismatch /= n;
+    if abort_trials > 0 {
+        agg.rollback_overhead /= abort_trials as f64;
+    }
+    agg.latency = Summary::of(&latencies);
+    agg
+}
+
+/// Formats a counters digest for experiment output.
+pub fn digest_line(label: &str, digest: u64) -> String {
+    format!("{label} counters digest: {digest:#018x}\n")
+}
+
 /// EV configuration with explicit lease toggles (Fig. 15 ablations).
 pub fn ev_config(pre: bool, post: bool) -> EngineConfig {
     let mut cfg = EngineConfig::new(VisibilityModel::ev());
@@ -152,6 +229,44 @@ mod tests {
         assert_eq!(agg.latency.n, 3, "one committed routine per trial");
         assert!(agg.latency.mean >= 100.0);
         assert_eq!(agg.abort_rate, 0.0);
+    }
+
+    #[test]
+    fn counters_path_agrees_with_trace_path() {
+        use safehome_workloads::MicroParams;
+        // A failure-heavy micro workload: aborts, rollbacks and order
+        // mismatch are all non-trivial, and the two trial runners must
+        // agree on every metric both can compute.
+        let p = MicroParams {
+            routines: 20,
+            fail_pct: 0.25,
+            long_mean: safehome_types::TimeDelta::from_mins(2),
+            ..MicroParams::default()
+        };
+        let mk = |seed| p.build(EngineConfig::new(VisibilityModel::ev()), seed);
+        let trace = run_trials(4, mk);
+        let cheap = run_trials_counters(4, mk);
+        assert_eq!(cheap.incomplete, trace.incomplete);
+        assert!((cheap.abort_rate - trace.abort_rate).abs() < 1e-12);
+        assert!((cheap.rollback_overhead - trace.rollback_overhead).abs() < 1e-12);
+        assert!((cheap.order_mismatch - trace.order_mismatch).abs() < 1e-12);
+        // Same spec stream → same digest, every time.
+        assert_eq!(cheap.digest, run_trials_counters(4, mk).digest);
+    }
+
+    #[test]
+    fn counters_latency_matches_trace_latency_without_failures() {
+        use safehome_workloads::MicroParams;
+        let p = MicroParams {
+            routines: 15,
+            ..MicroParams::default()
+        };
+        let mk = |seed| p.build(EngineConfig::new(VisibilityModel::Psv), seed);
+        let trace = run_trials(3, mk);
+        let cheap = run_trials_counters(3, mk);
+        assert_eq!(cheap.latency.n, trace.latency.n);
+        assert!((cheap.latency.mean - trace.latency.mean).abs() < 1e-9);
+        assert_eq!(cheap.congruent, 3);
     }
 
     #[test]

@@ -12,11 +12,11 @@
 //! This is the Fig. 15d hot path, engineered to make backtracking cost
 //! proportional to what the search actually changes:
 //!
-//! - the scratch state is a copy-on-write overlay ([`Scratch`]): only
+//! - the scratch state is a copy-on-write overlay (`Scratch`): only
 //!   the lineages of devices the routine touches are cloned, lazily, on
 //!   first mutation — never the whole table;
 //! - preSet/postSet accumulate into push-only ordered sets
-//!   ([`IdSet`]) that undo by truncating to a saved mark, so a rejected
+//!   (`IdSet`) that undo by truncating to a saved mark, so a rejected
 //!   gap costs no allocation or re-copy;
 //! - the per-gap serialization test is the order tracker's O(1) closure
 //!   probe, not a DFS.

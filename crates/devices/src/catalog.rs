@@ -68,7 +68,7 @@ pub struct DeviceSpec {
 }
 
 /// An immutable catalog of devices: the "smart home" the engine manages.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Home {
     devices: Vec<DeviceSpec>,
     by_name: HashMap<String, DeviceId>,

@@ -10,14 +10,17 @@
 //! produce identical traces.
 //!
 //! Two entry points: [`run`] drives one spec to quiescence and returns
-//! its full trace; [`fleet::run_fleet`] shards many independent homes
-//! across worker threads with counters-only sinks for fleet-scale
+//! its full trace; [`fleet::run_fleet`] spreads many independent homes
+//! across worker threads — statically sharded or work-stealing
+//! ([`fleet::FleetSchedule`]) — with counters-only sinks for fleet-scale
 //! throughput.
 
 pub mod fleet;
 pub mod sim;
 pub mod spec;
 
-pub use fleet::{home_seed, run_fleet, FleetResult, HomeRun};
+pub use fleet::{
+    home_seed, run_fleet, run_fleet_with, FleetResult, FleetSchedule, HomeRun, WorkerStats,
+};
 pub use sim::{run, Driver, RunOutput, Step};
 pub use spec::{Arrival, RunSpec, Submission};

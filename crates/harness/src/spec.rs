@@ -50,7 +50,7 @@ impl Submission {
 }
 
 /// Everything one simulated run needs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSpec {
     /// The home's device catalog.
     pub home: Home,

@@ -149,20 +149,12 @@ impl RunMetrics {
 
 /// Normalized Kendall-tau distance between `order` and ascending-id order
 /// (ids are assigned in submission order). 0 = identical, 1 = reversed.
+///
+/// Delegates to [`safehome_types::trace::normalized_swap_distance`] —
+/// the same definition the counters-only sink uses — so the trace path
+/// and the cheap path cannot drift.
 pub fn normalized_swap_distance(order: &[RoutineId]) -> f64 {
-    let n = order.len();
-    if n < 2 {
-        return 0.0;
-    }
-    let mut inversions = 0usize;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if order[i] > order[j] {
-                inversions += 1;
-            }
-        }
-    }
-    inversions as f64 / (n * (n - 1) / 2) as f64
+    safehome_types::trace::normalized_swap_distance(order)
 }
 
 #[cfg(test)]

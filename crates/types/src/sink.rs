@@ -175,11 +175,20 @@ pub struct RunCounters {
     /// `true` when the devices' end states match the engine's committed
     /// view on every device not believed down at the end of the run.
     pub congruent: bool,
+    /// Normalized swap distance between the witness serialization order
+    /// (routines only) and submission order, in `[0, 1]`. Set at finish;
+    /// same definition as the full-trace metrics pass (§7.1 "order
+    /// mismatch").
+    pub order_mismatch: f64,
     /// Running deterministic digest over the full event stream, the
     /// witness order and the end states.
     pub digest: u64,
-    /// Submission time of in-flight routines (drained at finish).
-    submitted_at: BTreeMap<RoutineId, Timestamp>,
+    /// Submission time and command count of in-flight routines (drained
+    /// at finish).
+    submitted_at: BTreeMap<RoutineId, (Timestamp, u32)>,
+    /// Sum over aborted routines of (rolled-back dispatches / routine
+    /// commands); see [`RunCounters::rollback_overhead`].
+    rollback_sum: f64,
     /// Devices currently believed down (to exclude from congruence).
     down: Vec<DeviceId>,
 }
@@ -201,8 +210,10 @@ impl Default for RunCounters {
             latencies_ms: Vec::new(),
             end_time: Timestamp::ZERO,
             congruent: false,
+            order_mismatch: 0.0,
             digest: DigestHasher::OFFSET,
             submitted_at: BTreeMap::new(),
+            rollback_sum: 0.0,
             down: Vec::new(),
         }
     }
@@ -214,6 +225,17 @@ impl RunCounters {
         Self::default()
     }
 
+    /// Mean over aborted routines of (rollback dispatches / routine
+    /// commands) — the §7.4 "intrusion on the user". 0 when nothing
+    /// aborted. Matches the full-trace metrics definition.
+    pub fn rollback_overhead(&self) -> f64 {
+        if self.aborted == 0 {
+            0.0
+        } else {
+            self.rollback_sum / self.aborted as f64
+        }
+    }
+
     fn fold<T: Hash>(&mut self, value: &T) {
         let mut h = DigestHasher(self.digest);
         value.hash(&mut h);
@@ -221,16 +243,17 @@ impl RunCounters {
     }
 
     fn finish_routine(&mut self, routine: RoutineId, at: Timestamp) {
-        if let Some(submitted) = self.submitted_at.remove(&routine) {
+        if let Some((submitted, _)) = self.submitted_at.remove(&routine) {
             self.latencies_ms.push(at.since(submitted).as_millis());
         }
     }
 }
 
 impl TraceSink for RunCounters {
-    fn record_submission(&mut self, id: RoutineId, _routine: &Routine, at: Timestamp) {
+    fn record_submission(&mut self, id: RoutineId, routine: &Routine, at: Timestamp) {
         self.submitted += 1;
-        self.submitted_at.insert(id, at);
+        self.submitted_at
+            .insert(id, (at, routine.commands.len() as u32));
         self.end_time = at;
         self.fold(&(at, TraceEventKind::Submitted { routine: id }));
     }
@@ -244,8 +267,15 @@ impl TraceSink for RunCounters {
                 self.committed += 1;
                 self.finish_routine(routine, at);
             }
-            TraceEventKind::Aborted { routine, .. } => {
+            TraceEventKind::Aborted {
+                routine,
+                rolled_back,
+                ..
+            } => {
                 self.aborted += 1;
+                if let Some(&(_, cmds)) = self.submitted_at.get(&routine) {
+                    self.rollback_sum += rolled_back as f64 / cmds.max(1) as f64;
+                }
                 self.finish_routine(routine, at);
             }
             TraceEventKind::CommandDispatched { .. } => self.dispatches += 1,
@@ -281,6 +311,14 @@ impl TraceSink for RunCounters {
     ) {
         self.fold(&final_order);
         self.fold(&end_states);
+        let witness: Vec<RoutineId> = final_order
+            .iter()
+            .filter_map(|o| match o {
+                OrderItem::Routine(r) => Some(*r),
+                _ => None,
+            })
+            .collect();
+        self.order_mismatch = crate::trace::normalized_swap_distance(&witness);
         self.congruent = committed_states
             .iter()
             .filter(|(d, _)| !self.down.contains(d))
@@ -393,6 +431,46 @@ mod tests {
             &[(DeviceId(0), Value::ON)].into(),
         );
         assert!(!s.congruent);
+    }
+
+    #[test]
+    fn order_mismatch_and_rollback_overhead_match_trace_definitions() {
+        let two_cmds = Routine::builder("r2")
+            .set(DeviceId(0), Value::ON, TimeDelta::from_millis(100))
+            .set(DeviceId(1), Value::ON, TimeDelta::from_millis(100))
+            .build();
+        let mut s = RunCounters::new();
+        s.record_submission(RoutineId(1), &two_cmds, t(0));
+        s.record_submission(RoutineId(2), &routine(), t(1));
+        s.record(
+            t(10),
+            TraceEventKind::Aborted {
+                routine: RoutineId(1),
+                reason: crate::trace::AbortReason::MustCommandFailed {
+                    device: DeviceId(1),
+                },
+                executed: 1,
+                rolled_back: 1,
+            },
+        );
+        s.record(
+            t(20),
+            TraceEventKind::Committed {
+                routine: RoutineId(2),
+            },
+        );
+        s.finish(
+            vec![
+                OrderItem::Routine(RoutineId(2)),
+                OrderItem::Failure(DeviceId(1)),
+                OrderItem::Routine(RoutineId(1)),
+            ],
+            end(),
+            &end(),
+        );
+        assert_eq!(s.order_mismatch, 1.0, "two routines fully swapped");
+        assert_eq!(s.rollback_overhead(), 0.5, "1 of 2 commands rolled back");
+        assert_eq!(s.latencies_ms, vec![10, 19]);
     }
 
     #[test]

@@ -75,6 +75,27 @@ pub enum OrderItem {
     Restart(DeviceId),
 }
 
+/// Normalized Kendall-tau distance between `order` and ascending-id
+/// order (routine ids are assigned in submission order). 0 = identical,
+/// 1 = fully reversed. The §7.1 "order mismatch" metric; shared by the
+/// full-trace metrics pass and the counters-only sink so the two paths
+/// cannot drift.
+pub fn normalized_swap_distance(order: &[RoutineId]) -> f64 {
+    let n = order.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut inversions = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if order[i] > order[j] {
+                inversions += 1;
+            }
+        }
+    }
+    inversions as f64 / (n * (n - 1) / 2) as f64
+}
+
 /// One time-stamped trace event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {

@@ -15,4 +15,7 @@ pub mod micro;
 pub mod scenarios;
 
 pub use micro::MicroParams;
-pub use scenarios::{factory, fleet_morning, morning, party};
+pub use scenarios::{
+    factory, fleet_morning, morning, neighborhood_home, party, FleetTemplate, NeighborhoodParams,
+    NeighborhoodPlan,
+};

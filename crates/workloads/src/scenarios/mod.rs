@@ -5,20 +5,26 @@
 //! representative benchmarks; these modules implement them from the
 //! published description:
 //!
-//! - [`morning`]: 4 family members, 31 devices, 29 routines over ~25
-//!   minutes, with real-life ordering constraints (wake-up before
-//!   breakfast, leave-home last);
-//! - [`party`]: one long atmosphere routine spanning the whole run plus
-//!   11 spontaneous routines (singing, announcements, serving);
-//! - [`factory`]: a 50-stage assembly line where each stage's routine
+//! - [`morning`](mod@morning): 4 family members, 31 devices, 29 routines
+//!   over ~25 minutes, with real-life ordering constraints (wake-up
+//!   before breakfast, leave-home last);
+//! - [`party`](mod@party): one long atmosphere routine spanning the whole
+//!   run plus 11 spontaneous routines (singing, announcements, serving);
+//! - [`factory`](mod@factory): a 50-stage assembly line where each stage's routine
 //!   touches local devices (p=0.6), devices shared with neighbouring
 //!   stages (p=0.3) and 5 global devices (p=0.1), with every worker kept
 //!   busy (closed loop).
+//!
+//! Beyond the paper, [`neighborhood`] scales the morning scenario to a
+//! *fleet* axis: clusters of homes share a correlated hub outage
+//! (fail-stop or fail-slow), drawn from the fleet seed.
 
 pub mod factory;
 pub mod morning;
+pub mod neighborhood;
 pub mod party;
 
 pub use factory::factory;
-pub use morning::{fleet_morning, morning};
+pub use morning::{fleet_morning, morning, FleetTemplate};
+pub use neighborhood::{neighborhood_home, NeighborhoodParams, NeighborhoodPlan};
 pub use party::party;

@@ -226,9 +226,143 @@ fn sporadic(h: &MorningHome, which: usize) -> Routine {
     }
 }
 
+/// The morning scenario's routines and catalog, built once per *fleet*
+/// instead of once per home.
+///
+/// The 29 routine definitions and the 31-device catalog are identical in
+/// every home of a fleet — only the submission schedule and the physical
+/// parameters are jittered per home. Rebuilding them per home (29
+/// `Routine::builder` chains, name formatting, a full catalog with
+/// per-device names) was about half of the remaining per-home cost at
+/// fleet scale; the template pays it once and each home only clones the
+/// prebuilt definitions and draws its jitter.
+///
+/// The template is plain immutable data, so one instance is shared by
+/// every worker thread of [`safehome_harness::run_fleet`].
+#[derive(Debug, Clone)]
+pub struct FleetTemplate {
+    config: EngineConfig,
+    home: Home,
+    /// Per-user chains: wake-up, bathroom, breakfast, eat, leave-home.
+    chains: Vec<[Routine; 5]>,
+    /// The 9 sporadic routines, in submission order.
+    sporadic: Vec<Routine>,
+}
+
+impl FleetTemplate {
+    /// Prebuilds the §7.2 morning scenario for a fleet running `config`.
+    pub fn morning(config: EngineConfig) -> Self {
+        let h = MorningHome::new();
+        let chains = (0..4)
+            .map(|user| {
+                [
+                    wake_up(&h, user),
+                    bathroom(&h, user),
+                    make_breakfast(&h, user),
+                    eat(&h, user),
+                    leave_home(&h, user),
+                ]
+            })
+            .collect();
+        let sporadic = (0..9).map(|which| sporadic(&h, which)).collect();
+        FleetTemplate {
+            config,
+            home: h.home,
+            chains,
+            sporadic,
+        }
+    }
+
+    /// The template's device catalog.
+    pub fn home(&self) -> &Home {
+        &self.home
+    }
+
+    /// One home's *un-jittered* morning spec: schedule randomized from
+    /// `seed`, physical parameters left at the paper's defaults. Equal,
+    /// field for field, to [`morning`] at the same seed.
+    pub fn base_spec(&self, seed: u64) -> RunSpec {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut spec =
+            RunSpec::new(self.home.clone(), self.config.clone()).with_seed(seed ^ 0x5afe);
+        let mut count = 0;
+        // 4 users × 5 chained routines = 20.
+        for chain in &self.chains {
+            let wake_at = Timestamp::from_millis(rng.int_in(0, 4 * 60_000));
+            let wake = spec.submit(Submission::at(chain[0].clone(), wake_at));
+            let bath = spec.submit(Submission::after(
+                chain[1].clone(),
+                wake,
+                TimeDelta::from_millis(rng.int_in(10_000, 120_000)),
+            ));
+            let cook = spec.submit(Submission::after(
+                chain[2].clone(),
+                bath,
+                TimeDelta::from_millis(rng.int_in(5_000, 60_000)),
+            ));
+            let eat_idx = spec.submit(Submission::after(
+                chain[3].clone(),
+                cook,
+                TimeDelta::from_millis(rng.int_in(1_000, 30_000)),
+            ));
+            spec.submit(Submission::after(
+                chain[4].clone(),
+                eat_idx,
+                TimeDelta::from_millis(rng.int_in(30_000, 180_000)),
+            ));
+            count += 5;
+        }
+        // 9 sporadic routines at random times inside the window.
+        for r in &self.sporadic {
+            let at = Timestamp::from_millis(rng.int_in(60_000, 20 * 60_000));
+            spec.submit(Submission::at(r.clone(), at));
+            count += 1;
+        }
+        debug_assert_eq!(count, 29, "the paper's morning scenario has 29 routines");
+        spec
+    }
+
+    /// One home of a fleet: [`FleetTemplate::base_spec`] plus the
+    /// per-home physical jitter. Equal, field for field, to
+    /// [`fleet_morning`] at the same seed.
+    pub fn home_spec(&self, seed: u64) -> RunSpec {
+        let mut spec = self.base_spec(seed);
+        apply_fleet_jitter(&mut spec, seed);
+        spec
+    }
+}
+
+/// Jitters one fleet home's physical parameters (actuation latency,
+/// detector ping interval, command timeout) and rolls its 1-in-8 chance
+/// of being unhealthy, all from the home's derived seed.
+fn apply_fleet_jitter(spec: &mut RunSpec, seed: u64) {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x00F1_EE7D);
+    spec.latency = LatencyModel::Jittered {
+        base: TimeDelta::from_millis(rng.int_in(15, 45)),
+        jitter: TimeDelta::from_millis(rng.int_in(20, 80)),
+    };
+    spec.ping_interval = TimeDelta::from_millis(rng.int_in(800, 1_200));
+    spec.detect_timeout = TimeDelta::from_millis(rng.int_in(80, 120));
+    if rng.int_in(0, 7) == 0 {
+        spec.failures = FailurePlan::random_fail_stop(
+            spec.home.len(),
+            0.05,
+            Timestamp::from_secs(25 * 60),
+            &mut rng,
+        );
+    }
+}
+
 /// Builds the morning-scenario run spec: 29 routines, 31 devices, 4
 /// users, submissions randomized within the 25-minute window while
 /// preserving the per-user ordering constraints.
+///
+/// This is the direct per-home constructor (no template, no routine
+/// clones) — right for one-shot callers like the experiments and the
+/// engine-throughput bench. Fleet callers build a [`FleetTemplate`]
+/// once and call [`FleetTemplate::base_spec`] / [`FleetTemplate::
+/// home_spec`] per home instead; the template path is asserted
+/// field-for-field equal to this one in the tests below.
 pub fn morning(config: EngineConfig, seed: u64) -> RunSpec {
     let h = MorningHome::new();
     let mut rng = SimRng::seed_from_u64(seed);
@@ -288,21 +422,7 @@ pub fn morning(config: EngineConfig, seed: u64) -> RunSpec {
 /// parameters — not just the happy path.
 pub fn fleet_morning(config: EngineConfig, seed: u64) -> RunSpec {
     let mut spec = morning(config, seed);
-    let mut rng = SimRng::seed_from_u64(seed ^ 0x00F1_EE7D);
-    spec.latency = LatencyModel::Jittered {
-        base: TimeDelta::from_millis(rng.int_in(15, 45)),
-        jitter: TimeDelta::from_millis(rng.int_in(20, 80)),
-    };
-    spec.ping_interval = TimeDelta::from_millis(rng.int_in(800, 1_200));
-    spec.detect_timeout = TimeDelta::from_millis(rng.int_in(80, 120));
-    if rng.int_in(0, 7) == 0 {
-        spec.failures = FailurePlan::random_fail_stop(
-            spec.home.len(),
-            0.05,
-            Timestamp::from_secs(25 * 60),
-            &mut rng,
-        );
-    }
+    apply_fleet_jitter(&mut spec, seed);
     spec
 }
 
@@ -384,6 +504,41 @@ mod tests {
         assert_ne!(a.submissions, c.submissions);
         assert_eq!(a.submissions.len(), 29, "still the §7.2 scenario");
         assert_eq!(c.submissions.len(), 29);
+    }
+
+    #[test]
+    fn template_home_equals_per_home_constructor() {
+        // The batched template path must be a pure refactoring: for a
+        // spread of seeds (healthy and unhealthy homes alike), the spec a
+        // home builds from the shared template is field-for-field equal
+        // to one built by the direct per-home constructor
+        // (`fleet_morning`, which clones nothing and stays the one-shot
+        // path).
+        let cfg = || EngineConfig::new(VisibilityModel::ev());
+        let template = FleetTemplate::morning(cfg());
+        for home in 0..32 {
+            let seed = safehome_harness::home_seed(0xF1EE7, home);
+            let batched = template.home_spec(seed);
+            let unbatched = fleet_morning(cfg(), seed);
+            assert_eq!(batched, unbatched, "home {home} diverged");
+        }
+    }
+
+    #[test]
+    fn template_base_spec_equals_morning() {
+        let template = FleetTemplate::morning(EngineConfig::new(VisibilityModel::ev()));
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            assert_eq!(
+                template.base_spec(seed),
+                morning(EngineConfig::new(VisibilityModel::ev()), seed)
+            );
+        }
+    }
+
+    #[test]
+    fn template_catalog_matches_the_paper() {
+        let template = FleetTemplate::morning(EngineConfig::new(VisibilityModel::ev()));
+        assert_eq!(template.home().len(), 31);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Gate freshly-generated BENCH_*.json artifacts against the committed
+baselines, so a perf regression fails CI instead of landing silently.
+
+Checks (thresholds are deliberately loose: CI runners and the baseline
+machine differ in clock speed, so only order-of-magnitude regressions
+should trip):
+
+- placement (fig15d): per command-count point, the new median must not
+  exceed ``--max-slowdown`` (default 2.5x) of the baseline median.
+- fleet: per worker-count row, new homes/sec must stay above
+  ``--min-rate-ratio`` (default 0.4x) of the baseline rate.
+- fleet correctness flags must hold outright: per-home results identical
+  across worker counts and across Static/Stealing schedules.
+- the steal-vs-static comparison's modeled-makespan speedup must stay
+  >= ``--min-steal-speedup`` (default 1.2x) — the work-stealing win on
+  the heterogeneous neighborhood fleet is a published number. The
+  modeled basis (not wallclock) is gated because it is stable on shared
+  runners; see the fleet_bench docs.
+
+Updating the baselines after an intentional change::
+
+    cargo run -p safehome-bench --release --bin placement_bench BENCH_placement.json
+    cargo run -p safehome-bench --release --bin fleet_bench BENCH_fleet.json
+    git add BENCH_placement.json BENCH_fleet.json   # and commit with the change
+
+Exit status: 0 when every gate passes, 1 otherwise (all failures are
+listed, not just the first).
+"""
+
+import argparse
+import json
+import sys
+
+failures = []
+
+
+def check(cond, msg):
+    if cond:
+        print(f"ok: {msg}")
+    else:
+        failures.append(msg)
+        print(f"FAIL: {msg}", file=sys.stderr)
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_placement(new, base, max_slowdown):
+    by_commands = {r["commands"]: r for r in base["results"]}
+    for row in new["results"]:
+        b = by_commands.get(row["commands"])
+        if b is None:
+            continue
+        limit = b["median_us"] * max_slowdown
+        check(
+            row["median_us"] <= limit,
+            f"fig15d @ {row['commands']} commands: {row['median_us']}us "
+            f"<= {max_slowdown}x baseline ({b['median_us']}us)",
+        )
+
+
+def check_fleet(new, base, min_rate_ratio, min_steal_speedup):
+    check(
+        new["deterministic_across_workers"] is True,
+        "fleet: per-home results identical across worker counts",
+    )
+    check(
+        new.get("schedules_agree") is True,
+        "fleet: Static and Stealing schedules agree per home",
+    )
+    by_workers = {r["workers"]: r for r in base["results"]}
+    for row in new["results"]:
+        b = by_workers.get(row["workers"])
+        if b is None:
+            continue
+        floor = b["homes_per_sec"] * min_rate_ratio
+        check(
+            row["homes_per_sec"] >= floor,
+            f"fleet @ {row['workers']} workers: {row['homes_per_sec']} homes/sec "
+            f">= {min_rate_ratio}x baseline ({b['homes_per_sec']})",
+        )
+    svs = new.get("steal_vs_static")
+    check(svs is not None, "fleet: steal_vs_static section present")
+    if svs is not None:
+        check(
+            svs["schedules_agree"] is True and svs["deterministic_across_workers"] is True,
+            "neighborhood: static/stealing digests equal across worker counts",
+        )
+        ratio = svs["modeled_makespan"]["stealing_speedup_over_static"]
+        check(
+            ratio >= min_steal_speedup,
+            f"neighborhood: stealing {ratio}x static (modeled makespan) "
+            f">= {min_steal_speedup}x",
+        )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fleet", required=True, help="freshly generated BENCH_fleet.json")
+    ap.add_argument("--placement", required=True, help="freshly generated BENCH_placement.json")
+    ap.add_argument("--baseline-fleet", default="BENCH_fleet.json")
+    ap.add_argument("--baseline-placement", default="BENCH_placement.json")
+    ap.add_argument("--max-slowdown", type=float, default=2.5)
+    ap.add_argument("--min-rate-ratio", type=float, default=0.4)
+    ap.add_argument("--min-steal-speedup", type=float, default=1.2)
+    args = ap.parse_args()
+
+    check_placement(load(args.placement), load(args.baseline_placement), args.max_slowdown)
+    check_fleet(
+        load(args.fleet), load(args.baseline_fleet), args.min_rate_ratio, args.min_steal_speedup
+    )
+
+    if failures:
+        print(f"\n{len(failures)} bench regression gate(s) failed", file=sys.stderr)
+        return 1
+    print("\nall bench regression gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+//! Fleet-scheduler determinism properties.
+//!
+//! The work-stealing schedule must be a pure scheduling decision: for
+//! random fleet sizes and seeds, `Stealing` at 1/2/4 workers produces
+//! per-home results and fleet digests byte-identical to `Static` — on
+//! the homogeneous morning fleet and on the heterogeneous correlated
+//! neighborhood-outage fleet alike.
+
+use proptest::prelude::*;
+use safehome_core::{EngineConfig, VisibilityModel};
+use safehome_harness::{run_fleet_with, FleetSchedule, HomeRun};
+use safehome_workloads::{neighborhood_home, FleetTemplate, NeighborhoodParams, NeighborhoodPlan};
+
+fn assert_all_equal(
+    reference: &[HomeRun],
+    fleet_seed: u64,
+    homes: usize,
+    run: impl Fn(usize, FleetSchedule) -> Vec<HomeRun>,
+) -> Result<(), String> {
+    // Static at one worker is the reference; Stealing must match it at
+    // every worker count, and Static again at the highest.
+    let combos = [
+        (FleetSchedule::Stealing, 1usize),
+        (FleetSchedule::Stealing, 2),
+        (FleetSchedule::Stealing, 4),
+        (FleetSchedule::Static, 4),
+    ];
+    for (schedule, workers) in combos {
+        let other = run(workers, schedule);
+        prop_assert_eq!(
+            reference.len(),
+            other.len(),
+            "home count ({homes} homes, seed {fleet_seed}, {schedule:?} @ {workers})"
+        );
+        for (a, b) in reference.iter().zip(&other) {
+            prop_assert!(
+                a == b,
+                "home {} diverged ({homes} homes, seed {fleet_seed}, \
+                 {schedule:?} @ {workers} workers)",
+                a.home
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn stealing_matches_static_on_the_morning_fleet(
+        homes in 1usize..20,
+        fleet_seed in any::<u64>(),
+    ) {
+        let template = FleetTemplate::morning(EngineConfig::new(VisibilityModel::ev()));
+        let spec = |_: usize, seed: u64| template.home_spec(seed);
+        let reference =
+            run_fleet_with(homes, 1, fleet_seed, FleetSchedule::Static, spec);
+        prop_assert!(reference.all_completed());
+        assert_all_equal(&reference.homes, fleet_seed, homes, |workers, schedule| {
+            run_fleet_with(homes, workers, fleet_seed, schedule, spec).homes
+        })?;
+    }
+}
+
+proptest! {
+    // Fewer cases: affected homes (storm centers especially) are orders
+    // of magnitude more expensive to simulate — that heterogeneity is
+    // the point of the scenario, but it adds up in debug-mode CI.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn stealing_matches_static_on_the_neighborhood_fleet(
+        homes in 4usize..12,
+        fleet_seed in any::<u64>(),
+    ) {
+        let template = FleetTemplate::morning(EngineConfig::new(VisibilityModel::ev()));
+        // Small clusters + guaranteed outages so even tiny fleets carry
+        // correlated failures (the expensive, failure-heavy path).
+        let params = NeighborhoodParams {
+            cluster_size: 4,
+            outage_p: 0.6,
+            ..NeighborhoodParams::default()
+        };
+        let plan = NeighborhoodPlan::generate(fleet_seed, homes, &params);
+        let spec = |home: usize, seed: u64| neighborhood_home(&template, &plan, home, seed);
+        let reference =
+            run_fleet_with(homes, 1, fleet_seed, FleetSchedule::Static, spec);
+        prop_assert!(reference.all_completed());
+        assert_all_equal(&reference.homes, fleet_seed, homes, |workers, schedule| {
+            run_fleet_with(homes, workers, fleet_seed, schedule, spec).homes
+        })?;
+    }
+}
