@@ -24,6 +24,13 @@
 //!      wall-clock a ≥4-core machine observes and is what the CI gate
 //!      checks, because it is stable on shared runners.
 //!
+//! Also written: a compact per-home digest sidecar (`<out>.digests.tsv`)
+//! with one `section  home  seed  digest` line per home, so a re-run can
+//! diff exactly *which* homes changed rather than only learning that the
+//! fleet digest moved; and an `event_loop` JSON section recording the
+//! single-worker morning throughput that gates the PR's queue/effect-
+//! delivery optimizations.
+//!
 //! Usage:
 //! ```text
 //! cargo run -p safehome-bench --release --bin fleet_bench \
@@ -299,11 +306,22 @@ fn main() {
             n_homes as f64 / modeled_stealing_s,
         )
     };
-    eprintln!(
-        "steal-vs-static @ {COMPARE_WORKERS} workers: modeled {modeled_ratio:.2}x \
-         (static {modeled_static_s:.3}s vs stealing {modeled_stealing_s:.3}s), \
-         wallclock {wall_ratio:.2}x on {cpus} core(s), {steals} steals"
-    );
+    if cpus > 1 {
+        eprintln!(
+            "steal-vs-static @ {COMPARE_WORKERS} workers: modeled {modeled_ratio:.2}x \
+             (static {modeled_static_s:.3}s vs stealing {modeled_stealing_s:.3}s), \
+             wallclock {wall_ratio:.2}x on {cpus} core(s), {steals} steals"
+        );
+    } else {
+        eprintln!(
+            "steal-vs-static @ {COMPARE_WORKERS} workers: modeled {modeled_ratio:.2}x \
+             (static {modeled_static_s:.3}s vs stealing {modeled_stealing_s:.3}s), \
+             {steals} steals; wallclock comparison skipped: both schedules do \
+             identical total work, so on 1 core the ratio only measures \
+             scheduling noise (~1.0x) and would misread as \"stealing doesn't \
+             help\" — the modeled makespan is the authoritative basis"
+        );
+    }
 
     // Aggregate the reference pass for outcome totals.
     let reference_fleet = FleetResult {
@@ -364,14 +382,29 @@ fn main() {
                 ),
                 (
                     "wallclock",
-                    obj([
-                        ("static_s", Json::Float(round3(wall_static_s))),
-                        ("stealing_s", Json::Float(round3(wall_stealing_s))),
-                        (
-                            "stealing_speedup_over_static",
-                            Json::Float(round3(wall_ratio)),
-                        ),
-                    ]),
+                    if cpus > 1 {
+                        obj([
+                            ("static_s", Json::Float(round3(wall_static_s))),
+                            ("stealing_s", Json::Float(round3(wall_stealing_s))),
+                            (
+                                "stealing_speedup_over_static",
+                                Json::Float(round3(wall_ratio)),
+                            ),
+                        ])
+                    } else {
+                        obj([
+                            ("skipped", Json::from(true)),
+                            (
+                                "reason",
+                                Json::from(
+                                    "available_parallelism == 1: both schedules do \
+                                     identical total work, so the wallclock ratio \
+                                     only measures scheduling noise; the modeled \
+                                     makespan below is authoritative",
+                                ),
+                            ),
+                        ])
+                    },
                 ),
                 (
                     "modeled_makespan",
@@ -403,6 +436,22 @@ fn main() {
             ]),
         ),
         (
+            "event_loop",
+            obj([
+                (
+                    "description",
+                    Json::from(
+                        "per-home discrete-event loop: bucketed calendar/timing-wheel \
+                         event queue (recycled across homes), allocation-free EffectBuf \
+                         delivery, per-device probe elision; single-worker morning \
+                         throughput is the gated number",
+                    ),
+                ),
+                ("queue", Json::from("calendar_wheel")),
+                ("homes_per_sec_single", Json::Float(round3(single_rate))),
+            ]),
+        ),
+        (
             "neighborhood_params",
             obj([
                 ("cluster_size", Json::from(params.cluster_size as u64)),
@@ -417,6 +466,29 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("wrote {out_path}");
+
+    // Per-home digest sidecar: one line per home, so a re-run diffs to
+    // exactly the homes whose event streams changed. Tab-separated to
+    // stay `diff`- and `join`-friendly.
+    let digest_path = format!("{}.digests.tsv", out_path.trim_end_matches(".json"));
+    let mut sidecar = String::from("# section\thome\tseed\tdigest\n");
+    for h in &base.homes {
+        sidecar.push_str(&format!(
+            "morning\t{}\t{:#018x}\t{:#018x}\n",
+            h.home, h.seed, h.counters.digest
+        ));
+    }
+    for h in &reference_fleet.homes {
+        sidecar.push_str(&format!(
+            "neighborhood\t{}\t{:#018x}\t{:#018x}\n",
+            h.home, h.seed, h.counters.digest
+        ));
+    }
+    if let Err(e) = std::fs::write(&digest_path, sidecar) {
+        eprintln!("cannot write {digest_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {digest_path}");
     if !ok {
         eprintln!("FAIL: per-home results diverged across worker counts or schedules");
         std::process::exit(1);

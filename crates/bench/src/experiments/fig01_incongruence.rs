@@ -6,13 +6,18 @@
 //! after R1. The y-value is the fraction of end states that are not
 //! serialized (neither all-ON nor all-OFF). The paper's shape: rises
 //! with device count, falls with offset.
+//!
+//! Runs trace-free on the counters path: the sink captures the devices'
+//! end states at finish, which is all this figure reads, so no event
+//! stream is recorded (`fig01_counters_agree_with_trace` pins the two
+//! paths equal).
 
 use safehome_core::{EngineConfig, VisibilityModel};
 use safehome_devices::catalog::plug_home;
-use safehome_harness::{run as run_spec, RunSpec, Submission};
+use safehome_harness::{RunSpec, Submission};
 use safehome_types::{DeviceId, Routine, TimeDelta, Timestamp, Value};
 
-use crate::support::{f, row};
+use crate::support::{f, row, run_trials_counters_inspect};
 
 fn all_lights(n: usize, v: Value) -> Routine {
     let mut b = Routine::builder(if v == Value::ON { "all_on" } else { "all_off" });
@@ -22,30 +27,39 @@ fn all_lights(n: usize, v: Value) -> Routine {
     b.build()
 }
 
+fn spec(devices: usize, offset_ms: u64, seed: u64) -> RunSpec {
+    let mut spec =
+        RunSpec::new(plug_home(devices), EngineConfig::new(VisibilityModel::Wv)).with_seed(seed);
+    spec.submit(Submission::at(
+        all_lights(devices, Value::ON),
+        Timestamp::ZERO,
+    ));
+    spec.submit(Submission::at(
+        all_lights(devices, Value::OFF),
+        Timestamp::from_millis(offset_ms),
+    ));
+    spec
+}
+
+/// `true` when the end states are neither all-ON nor all-OFF.
+fn is_incongruent(end_states: &std::collections::BTreeMap<DeviceId, Value>) -> bool {
+    let all_on = end_states.values().all(|&v| v == Value::ON);
+    let all_off = end_states.values().all(|&v| v == Value::OFF);
+    !all_on && !all_off
+}
+
 /// Fraction of `trials` WV runs that end neither all-ON nor all-OFF.
 pub fn incongruent_fraction(devices: usize, offset_ms: u64, trials: u64) -> f64 {
     let mut incongruent = 0u64;
-    for seed in 0..trials {
-        let mut spec = RunSpec::new(plug_home(devices), EngineConfig::new(VisibilityModel::Wv))
-            .with_seed(seed);
-        spec.submit(Submission::at(
-            all_lights(devices, Value::ON),
-            Timestamp::ZERO,
-        ));
-        spec.submit(Submission::at(
-            all_lights(devices, Value::OFF),
-            Timestamp::from_millis(offset_ms),
-        ));
-        let out = run_spec(&spec);
-        let states: Vec<Value> = (0..devices)
-            .map(|i| out.trace.end_states[&DeviceId(i as u32)])
-            .collect();
-        let all_on = states.iter().all(|&v| v == Value::ON);
-        let all_off = states.iter().all(|&v| v == Value::OFF);
-        if !all_on && !all_off {
-            incongruent += 1;
-        }
-    }
+    run_trials_counters_inspect(
+        trials,
+        |seed| spec(devices, offset_ms, seed),
+        |_, counters| {
+            if is_incongruent(&counters.end_states) {
+                incongruent += 1;
+            }
+        },
+    );
     incongruent as f64 / trials as f64
 }
 
@@ -72,6 +86,23 @@ pub fn run(trials: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fig01_counters_agree_with_trace() {
+        // The counters path must reproduce the trace path's per-run end
+        // states, and therefore the figure, exactly.
+        for seed in 0..10 {
+            let out = safehome_harness::run(&spec(6, 10, seed));
+            let trace_incongruent = is_incongruent(&out.trace.end_states);
+            let mut counters_incongruent = false;
+            run_trials_counters_inspect(
+                1,
+                |_| spec(6, 10, seed),
+                |_, c| counters_incongruent = is_incongruent(&c.end_states),
+            );
+            assert_eq!(counters_incongruent, trace_incongruent, "seed {seed}");
+        }
+    }
 
     #[test]
     fn incongruence_rises_with_devices_and_falls_with_offset() {

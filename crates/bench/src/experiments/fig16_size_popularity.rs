@@ -6,12 +6,15 @@
 //! Order mismatch exists only for EV (PSV/GSV serialize in lock order,
 //! and are omitted as always-zero in the paper).
 
-//! The C sweep (a–c) needs parallelism and temporary incongruence, which
-//! only the trace path computes; the α sweep (d) reports latency alone,
-//! so it runs on the cheap counters path and prints its deterministic
-//! digest. The PSV order-mismatch plateau regression below also rides
-//! the counters path — the sink computes the same normalized swap
-//! distance from the witness order.
+//! Both sweeps run trace-free on the counters path and print their
+//! deterministic digests: the sink's in-flight write tracking carries
+//! parallelism and temporary incongruence for the C sweep (a–c) with
+//! the same §7.1 definitions as the trace pass (pinned equal by
+//! `counters_match_trace_on_c_sweep` below and the support-level
+//! cross-check), and the α sweep (d) reads latency alone. The PSV
+//! order-mismatch plateau regression below also rides the counters path
+//! — the sink computes the same normalized swap distance from the
+//! witness order.
 
 use safehome_core::{EngineConfig, VisibilityModel};
 use safehome_types::sink;
@@ -29,7 +32,8 @@ fn params() -> MicroParams {
     }
 }
 
-/// One sweep point over commands-per-routine.
+/// One sweep point over commands-per-routine on the full trace path
+/// (kept as the reference the counters path is pinned against).
 pub fn measure_c(c: f64, model: VisibilityModel, trials: u64) -> TrialAgg {
     let p = MicroParams {
         commands_mean: c,
@@ -73,9 +77,11 @@ pub fn run(trials: u64) -> String {
         "ord-mism".into(),
     ]));
     out.push('\n');
+    let mut c_digest = sink::DIGEST_SEED;
     for model in main_models() {
         for c in [1.0, 2.0, 3.0, 4.0, 6.0, 8.0] {
-            let agg = measure_c(c, model, trials);
+            let agg = measure_c_counters(c, model, trials);
+            c_digest = sink::fold_digest(c_digest, agg.digest);
             out.push_str(&row(&[
                 model.label().into(),
                 format!("{c:.0}"),
@@ -87,6 +93,7 @@ pub fn run(trials: u64) -> String {
             out.push('\n');
         }
     }
+    out.push_str(&digest_line("fig16a-c", c_digest));
     out.push_str("Fig. 16d — device popularity (alpha) sweep\n");
     out.push_str(&row(&[
         "model".into(),
@@ -114,6 +121,36 @@ pub fn run(trials: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counters_match_trace_on_c_sweep() {
+        // The ported a–c sweep must read the same numbers off the
+        // counters path as the trace path produced, for every metric the
+        // figure prints.
+        for model in [
+            VisibilityModel::ev(),
+            VisibilityModel::Gsv { strong: false },
+        ] {
+            let trace = measure_c(3.0, model, 4);
+            let cheap = measure_c_counters(3.0, model, 4);
+            assert!(
+                (cheap.latency.mean - trace.latency.mean).abs() < 1e-9,
+                "{model:?}"
+            );
+            assert!(
+                (cheap.parallelism - trace.parallelism).abs() < 1e-12,
+                "{model:?}"
+            );
+            assert!(
+                (cheap.temp_incongruence - trace.temp_incongruence).abs() < 1e-12,
+                "{model:?}"
+            );
+            assert!(
+                (cheap.order_mismatch - trace.order_mismatch).abs() < 1e-12,
+                "{model:?}"
+            );
+        }
+    }
 
     #[test]
     fn gsv_ev_gap_widens_with_c() {

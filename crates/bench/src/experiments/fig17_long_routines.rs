@@ -6,12 +6,18 @@
 //! routines raise conflicts (more temporary incongruence) while pushing
 //! order mismatch down (post-leases dominate). Order mismatch stays low
 //! (3–10 %).
+//!
+//! Both sweeps run trace-free on the counters path: temporary
+//! incongruence and order mismatch come from the sink's in-flight write
+//! tracking and witness-order fold, with the same §7.1 definitions as
+//! the trace pass (`counters_match_trace_on_both_sweeps` pins them
+//! equal), and the printed digests anchor the whole figure.
 
 use safehome_core::{EngineConfig, VisibilityModel};
-use safehome_types::TimeDelta;
+use safehome_types::{sink, TimeDelta};
 use safehome_workloads::MicroParams;
 
-use crate::support::{f, row, run_trials, TrialAgg};
+use crate::support::{digest_line, f, row, run_trials, run_trials_counters, CounterAgg, TrialAgg};
 
 fn params() -> MicroParams {
     MicroParams {
@@ -20,8 +26,20 @@ fn params() -> MicroParams {
     }
 }
 
-/// Sweep over the long-command duration |L| (minutes).
-pub fn measure_duration(mins: u64, trials: u64) -> TrialAgg {
+/// Sweep over the long-command duration |L| (minutes), trace-free.
+pub fn measure_duration(mins: u64, trials: u64) -> CounterAgg {
+    let p = MicroParams {
+        long_mean: TimeDelta::from_mins(mins),
+        ..params()
+    };
+    run_trials_counters(trials, |seed| {
+        p.build(EngineConfig::new(VisibilityModel::ev()), seed)
+    })
+}
+
+/// Trace-path reference for [`measure_duration`] (tests pin the two
+/// paths equal).
+pub fn measure_duration_trace(mins: u64, trials: u64) -> TrialAgg {
     let p = MicroParams {
         long_mean: TimeDelta::from_mins(mins),
         ..params()
@@ -37,7 +55,23 @@ pub fn measure_duration(mins: u64, trials: u64) -> TrialAgg {
 /// more injectors) so the paper's conflict effect dominates the
 /// run-spreading effect; with Table-3 defaults the two nearly cancel
 /// (see EXPERIMENTS.md).
-pub fn measure_fraction(long_pct: f64, trials: u64) -> TrialAgg {
+pub fn measure_fraction(long_pct: f64, trials: u64) -> CounterAgg {
+    let p = MicroParams {
+        long_pct,
+        long_mean: TimeDelta::from_mins(10),
+        devices: 10,
+        concurrency: 8,
+        routines: 48,
+        ..params()
+    };
+    run_trials_counters(trials, |seed| {
+        p.build(EngineConfig::new(VisibilityModel::ev()), seed)
+    })
+}
+
+/// Trace-path reference for [`measure_fraction`] (tests pin the two
+/// paths equal).
+pub fn measure_fraction_trace(long_pct: f64, trials: u64) -> TrialAgg {
     let p = MicroParams {
         long_pct,
         long_mean: TimeDelta::from_mins(10),
@@ -62,8 +96,10 @@ pub fn run(trials: u64) -> String {
         "ord-mism".into(),
     ]));
     out.push('\n');
+    let mut digest = sink::DIGEST_SEED;
     for mins in [5u64, 10, 20, 30, 40] {
         let agg = measure_duration(mins, trials);
+        digest = sink::fold_digest(digest, agg.digest);
         out.push_str(&row(&[
             mins.to_string(),
             f(agg.temp_incongruence),
@@ -71,11 +107,14 @@ pub fn run(trials: u64) -> String {
         ]));
         out.push('\n');
     }
+    out.push_str(&digest_line("fig17a", digest));
     out.push_str("Fig. 17b — long-routine percentage L% sweep (|L| = 10 min)\n");
     out.push_str(&row(&["L%".into(), "tmp-incong".into(), "ord-mism".into()]));
     out.push('\n');
+    let mut digest = sink::DIGEST_SEED;
     for pct in [0.0, 0.1, 0.2, 0.3, 0.5] {
         let agg = measure_fraction(pct, trials);
+        digest = sink::fold_digest(digest, agg.digest);
         out.push_str(&row(&[
             format!("{:.0}", pct * 100.0),
             f(agg.temp_incongruence),
@@ -83,12 +122,27 @@ pub fn run(trials: u64) -> String {
         ]));
         out.push('\n');
     }
+    out.push_str(&digest_line("fig17b", digest));
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counters_match_trace_on_both_sweeps() {
+        // The ported sweeps must read the same temporary incongruence
+        // and order mismatch off the counters path as the trace path.
+        let cheap = measure_duration(10, 3);
+        let trace = measure_duration_trace(10, 3);
+        assert!((cheap.temp_incongruence - trace.temp_incongruence).abs() < 1e-12);
+        assert!((cheap.order_mismatch - trace.order_mismatch).abs() < 1e-12);
+        let cheap = measure_fraction(0.3, 3);
+        let trace = measure_fraction_trace(0.3, 3);
+        assert!((cheap.temp_incongruence - trace.temp_incongruence).abs() < 1e-12);
+        assert!((cheap.order_mismatch - trace.order_mismatch).abs() < 1e-12);
+    }
 
     #[test]
     fn long_routine_fraction_keeps_contention_high() {

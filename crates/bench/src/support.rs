@@ -106,12 +106,14 @@ pub fn run_trials(trials: u64, mut make_spec: impl FnMut(u64) -> RunSpec) -> Tri
 /// configuration — the cheap sibling of [`TrialAgg`].
 ///
 /// Runs with the [`RunCounters`] sink instead of recording a full trace:
-/// no per-event allocation, constant memory per trial, and a
+/// no per-event allocation, memory bounded by the home per trial, and a
 /// deterministic digest that anchors the whole experiment (two builds
-/// disagreeing on any event stream disagree on the digest). Only the
-/// metrics the counters can carry are available: latency, abort rate,
-/// rollback overhead, order mismatch and end-state congruence —
-/// temporary incongruence and parallelism still need the trace path.
+/// disagreeing on any event stream disagree on the digest). Carries
+/// every scalar metric of [`TrialAgg`]: latency, abort rate, rollback
+/// overhead, order mismatch, end-state congruence, and — via the sink's
+/// in-flight write tracking — temporary incongruence and parallelism.
+/// Only the pooled per-routine vectors (normalized latency, waits,
+/// stretch) still need the trace path.
 ///
 /// Caveat: [`CounterAgg::latency`] pools *finished* routines (committed
 /// and aborted), while [`TrialAgg::latency`] pools committed only; on
@@ -126,6 +128,11 @@ pub struct CounterAgg {
     pub rollback_overhead: f64,
     /// Mean order mismatch across trials.
     pub order_mismatch: f64,
+    /// Mean temporary incongruence across trials (same §7.1 definition
+    /// as the trace pass).
+    pub temp_incongruence: f64,
+    /// Mean parallelism level across trials.
+    pub parallelism: f64,
     /// Trials whose end states were congruent with the committed view.
     pub congruent: usize,
     /// Trials that failed to reach quiescence (must be 0).
@@ -137,7 +144,20 @@ pub struct CounterAgg {
 /// Runs `trials` seeded runs of `make_spec` on the counters path and
 /// aggregates the cheap metrics. See [`CounterAgg`] for what is (and is
 /// not) available compared to [`run_trials`].
-pub fn run_trials_counters(trials: u64, mut make_spec: impl FnMut(u64) -> RunSpec) -> CounterAgg {
+pub fn run_trials_counters(trials: u64, make_spec: impl FnMut(u64) -> RunSpec) -> CounterAgg {
+    run_trials_counters_inspect(trials, make_spec, |_, _| {})
+}
+
+/// [`run_trials_counters`] with a per-trial hook over the finished
+/// counters, for experiments that need a custom per-run statistic (e.g.
+/// Fig. 1's end-state check) on top of the standard aggregation. The
+/// hook also fires for incomplete trials (`counters.end_time` and the
+/// digest are still meaningful there); aggregation skips them.
+pub fn run_trials_counters_inspect(
+    trials: u64,
+    mut make_spec: impl FnMut(u64) -> RunSpec,
+    mut inspect: impl FnMut(u64, &RunCounters),
+) -> CounterAgg {
     let mut latencies = Vec::new();
     let mut agg = CounterAgg {
         digest: sink::DIGEST_SEED,
@@ -149,6 +169,7 @@ pub fn run_trials_counters(trials: u64, mut make_spec: impl FnMut(u64) -> RunSpe
         let mut driver = Driver::with_sink(&spec, RunCounters::new());
         let completed = driver.run_to_quiescence();
         let (c, _, _) = driver.into_output();
+        inspect(seed, &c);
         if !completed {
             agg.incomplete += 1;
             continue;
@@ -160,12 +181,16 @@ pub fn run_trials_counters(trials: u64, mut make_spec: impl FnMut(u64) -> RunSpe
             abort_trials += 1;
         }
         agg.order_mismatch += c.order_mismatch;
+        agg.temp_incongruence += c.temporary_incongruence;
+        agg.parallelism += c.parallelism;
         agg.congruent += c.congruent as usize;
         agg.digest = sink::fold_digest(agg.digest, c.digest);
     }
     let n = (trials as usize - agg.incomplete).max(1) as f64;
     agg.abort_rate /= n;
     agg.order_mismatch /= n;
+    agg.temp_incongruence /= n;
+    agg.parallelism /= n;
     if abort_trials > 0 {
         agg.rollback_overhead /= abort_trials as f64;
     }
@@ -250,8 +275,31 @@ mod tests {
         assert!((cheap.abort_rate - trace.abort_rate).abs() < 1e-12);
         assert!((cheap.rollback_overhead - trace.rollback_overhead).abs() < 1e-12);
         assert!((cheap.order_mismatch - trace.order_mismatch).abs() < 1e-12);
+        // The in-flight write tracking must reproduce the trace pass's
+        // temporary-incongruence and parallelism numbers exactly, even
+        // under aborts and rollback writes.
+        assert!(trace.temp_incongruence > 0.0, "workload must be contended");
+        assert!((cheap.temp_incongruence - trace.temp_incongruence).abs() < 1e-12);
+        assert!((cheap.parallelism - trace.parallelism).abs() < 1e-12);
         // Same spec stream → same digest, every time.
         assert_eq!(cheap.digest, run_trials_counters(4, mk).digest);
+    }
+
+    #[test]
+    fn counters_end_states_match_trace_end_states() {
+        use safehome_harness::run;
+        use safehome_workloads::MicroParams;
+        let p = MicroParams {
+            routines: 10,
+            ..MicroParams::default()
+        };
+        let spec = p.build(EngineConfig::new(VisibilityModel::Wv), 7);
+        let full = run(&spec);
+        let spec = p.build(EngineConfig::new(VisibilityModel::Wv), 7);
+        let mut driver = Driver::with_sink(&spec, RunCounters::new());
+        driver.run_to_quiescence();
+        let (c, _, _) = driver.into_output();
+        assert_eq!(c.end_states, full.trace.end_states);
     }
 
     #[test]

@@ -7,23 +7,28 @@ use safehome_types::{
 };
 
 use crate::config::{EngineConfig, VisibilityModel};
-use crate::event::{Effect, Input};
+use crate::event::{EffectBuf, Input};
 use crate::models::{ev::EvModel, gsv::GsvModel, psv::PsvModel, wv::WvModel, Model};
 use crate::runtime::RoutineRun;
 
 /// The SafeHome engine.
 ///
 /// A pure state machine: [`Engine::submit`] and [`Engine::handle`] consume
-/// events and return [`Effect`]s for the caller to interpret (dispatch
-/// commands to devices, arm timers, record lifecycle events). It performs
-/// no I/O, which lets the discrete-event harness and the real-time Kasa
-/// runner drive the identical engine.
+/// events and emit [`crate::Effect`]s for the caller to interpret
+/// (dispatch commands to devices, arm timers, record lifecycle events).
+/// It performs no I/O, which lets the discrete-event harness and the
+/// real-time Kasa runner drive the identical engine.
+///
+/// Both entry points *append* their effects to a caller-owned
+/// [`EffectBuf`], so a steady-state event loop runs without per-event
+/// allocation: the caller drains the buffer after each call and hands
+/// the same storage back for the next one.
 ///
 /// # Examples
 ///
 /// ```
 /// use std::collections::BTreeMap;
-/// use safehome_core::{Engine, EngineConfig, VisibilityModel};
+/// use safehome_core::{EffectBuf, Engine, EngineConfig, VisibilityModel};
 /// use safehome_types::{DeviceId, Routine, TimeDelta, Timestamp, Value};
 ///
 /// let initial: BTreeMap<DeviceId, Value> =
@@ -32,7 +37,8 @@ use crate::runtime::RoutineRun;
 /// let routine = Routine::builder("lamp on")
 ///     .set(DeviceId(0), Value::ON, TimeDelta::from_millis(100))
 ///     .build();
-/// let (id, effects) = engine.submit(routine, Timestamp::ZERO).unwrap();
+/// let mut effects = EffectBuf::new();
+/// let id = engine.submit(routine, Timestamp::ZERO, &mut effects).unwrap();
 /// assert!(effects.iter().any(|e| e.is_dispatch()));
 /// # let _ = id;
 /// ```
@@ -67,12 +73,17 @@ impl Engine {
         &self.cfg
     }
 
-    /// Submits a routine; assigns and returns its id along with the
-    /// effects to execute.
+    /// Submits a routine; assigns and returns its id, appending the
+    /// effects to execute to `out`.
     ///
     /// Fails if the routine references a device the home does not contain
-    /// (no effects are produced in that case).
-    pub fn submit(&mut self, routine: Routine, now: Timestamp) -> Result<(RoutineId, Vec<Effect>)> {
+    /// (no effects are appended in that case).
+    pub fn submit(
+        &mut self,
+        routine: Routine,
+        now: Timestamp,
+        out: &mut EffectBuf,
+    ) -> Result<RoutineId> {
         for cmd in &routine.commands {
             if !self.devices.contains(&cmd.device) {
                 return Err(Error::UnknownDevice(cmd.device));
@@ -80,15 +91,13 @@ impl Engine {
         }
         let id = RoutineId(self.next_id);
         self.next_id += 1;
-        let mut out = Vec::new();
         self.model
-            .submit(RoutineRun::new(id, routine, now), now, &mut out);
-        Ok((id, out))
+            .submit(RoutineRun::new(id, routine, now), now, out);
+        Ok(id)
     }
 
-    /// Feeds an input event; returns the effects to execute.
-    pub fn handle(&mut self, input: Input, now: Timestamp) -> Vec<Effect> {
-        let mut out = Vec::new();
+    /// Feeds an input event, appending the effects to execute to `out`.
+    pub fn handle(&mut self, input: Input, now: Timestamp, out: &mut EffectBuf) {
         match input {
             Input::CommandResult {
                 routine,
@@ -105,13 +114,12 @@ impl Engine {
                 observed,
                 rollback,
                 now,
-                &mut out,
+                out,
             ),
-            Input::DeviceDown { device } => self.model.on_device_down(device, now, &mut out),
-            Input::DeviceUp { device } => self.model.on_device_up(device, now, &mut out),
-            Input::Timer { timer } => self.model.on_timer(timer, now, &mut out),
+            Input::DeviceDown { device } => self.model.on_device_down(device, now, out),
+            Input::DeviceUp { device } => self.model.on_device_up(device, now, out),
+            Input::Timer { timer } => self.model.on_timer(timer, now, out),
         }
-        out
     }
 
     /// Routines submitted but not yet finished.
@@ -146,6 +154,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::Effect;
     use safehome_types::{CmdIdx, TimeDelta};
 
     fn init(n: u32) -> BTreeMap<DeviceId, Value> {
@@ -161,8 +170,9 @@ mod tests {
     #[test]
     fn assigns_monotone_ids() {
         let mut e = Engine::new(EngineConfig::new(VisibilityModel::Wv), &init(1));
-        let (id1, _) = e.submit(lamp_routine(), Timestamp::ZERO).unwrap();
-        let (id2, _) = e.submit(lamp_routine(), Timestamp::ZERO).unwrap();
+        let mut out = EffectBuf::new();
+        let id1 = e.submit(lamp_routine(), Timestamp::ZERO, &mut out).unwrap();
+        let id2 = e.submit(lamp_routine(), Timestamp::ZERO, &mut out).unwrap();
         assert!(id2 > id1);
     }
 
@@ -172,10 +182,12 @@ mod tests {
         let bad = Routine::builder("bad")
             .set(DeviceId(7), Value::ON, TimeDelta::ZERO)
             .build();
+        let mut out = EffectBuf::new();
         assert_eq!(
-            e.submit(bad, Timestamp::ZERO).unwrap_err(),
+            e.submit(bad, Timestamp::ZERO, &mut out).unwrap_err(),
             Error::UnknownDevice(DeviceId(7))
         );
+        assert!(out.is_empty(), "no effects on rejection");
         assert_eq!(e.active_count(), 0, "no partial submission");
     }
 
@@ -189,12 +201,13 @@ mod tests {
             VisibilityModel::ev(),
         ] {
             let mut e = Engine::new(EngineConfig::new(model), &init(2));
-            let (id, effects) = e.submit(lamp_routine(), Timestamp::ZERO).unwrap();
-            assert!(effects.iter().any(|f| f.is_dispatch()), "{model:?}");
+            let mut buf = EffectBuf::new();
+            let id = e.submit(lamp_routine(), Timestamp::ZERO, &mut buf).unwrap();
+            assert!(buf.iter().any(|f| f.is_dispatch()), "{model:?}");
             assert_eq!(e.active_count(), 1);
             // Drive the engine like a tiny harness: acknowledge the
             // dispatch and fire any requested timers (WV paces by timer).
-            let mut pending: Vec<Effect> = effects;
+            let mut pending: Vec<Effect> = std::mem::take(&mut buf).into_vec();
             let mut committed = false;
             let mut acked = false;
             for _ in 0..10 {
@@ -203,7 +216,7 @@ mod tests {
                     match eff {
                         Effect::Dispatch { .. } if !acked => {
                             acked = true;
-                            next.extend(e.handle(
+                            e.handle(
                                 Input::CommandResult {
                                     routine: id,
                                     idx: CmdIdx(0),
@@ -213,10 +226,13 @@ mod tests {
                                     rollback: false,
                                 },
                                 Timestamp::from_millis(100),
-                            ));
+                                &mut buf,
+                            );
+                            next.append(&mut buf);
                         }
                         Effect::SetTimer { timer, at } => {
-                            next.extend(e.handle(Input::Timer { timer }, at));
+                            e.handle(Input::Timer { timer }, at, &mut buf);
+                            next.append(&mut buf);
                         }
                         Effect::Committed { .. } => committed = true,
                         _ => {}

@@ -147,6 +147,60 @@ impl Effect {
     }
 }
 
+/// A reusable, caller-owned buffer of [`Effect`]s.
+///
+/// [`crate::Engine::submit`] and [`crate::Engine::handle`] *append* into
+/// an `EffectBuf` instead of returning a fresh `Vec<Effect>` per call, so
+/// a steady-state event loop processes inputs with zero allocations: the
+/// caller drains the buffer in place after each call and the backing
+/// storage is reused for the next event. Dereferences to `Vec<Effect>`,
+/// so effects are inspected and drained with the usual vec/slice API.
+///
+/// # Examples
+///
+/// ```
+/// use safehome_core::EffectBuf;
+///
+/// let mut buf = EffectBuf::new();
+/// assert!(buf.is_empty());
+/// // ... engine.handle(input, now, &mut buf) ...
+/// for effect in buf.drain(..) {
+///     let _ = effect; // interpret
+/// }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EffectBuf(Vec<Effect>);
+
+impl EffectBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        EffectBuf(Vec::new())
+    }
+
+    /// An empty buffer with room for `n` effects before reallocating.
+    pub fn with_capacity(n: usize) -> Self {
+        EffectBuf(Vec::with_capacity(n))
+    }
+
+    /// Unwraps the buffer into its backing vector.
+    pub fn into_vec(self) -> Vec<Effect> {
+        self.0
+    }
+}
+
+impl std::ops::Deref for EffectBuf {
+    type Target = Vec<Effect>;
+    fn deref(&self) -> &Vec<Effect> {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for EffectBuf {
+    fn deref_mut(&mut self) -> &mut Vec<Effect> {
+        &mut self.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +220,24 @@ mod tests {
             routine: RoutineId(1)
         }
         .is_dispatch());
+    }
+
+    #[test]
+    fn effect_buf_drains_and_reuses_storage() {
+        let mut buf = EffectBuf::with_capacity(4);
+        buf.push(Effect::Started {
+            routine: RoutineId(1),
+        });
+        buf.push(Effect::Committed {
+            routine: RoutineId(1),
+        });
+        assert_eq!(buf.len(), 2);
+        let cap = buf.capacity();
+        let drained: Vec<Effect> = buf.drain(..).collect();
+        assert_eq!(drained.len(), 2);
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), cap, "drain keeps the allocation");
+        assert!(EffectBuf::new().into_vec().is_empty());
     }
 
     #[test]

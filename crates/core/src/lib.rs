@@ -30,4 +30,4 @@ pub mod sched;
 
 pub use config::{EngineConfig, SchedulerKind, VisibilityModel};
 pub use engine::Engine;
-pub use event::{Effect, Input, TimerId};
+pub use event::{Effect, EffectBuf, Input, TimerId};

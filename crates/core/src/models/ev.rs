@@ -27,7 +27,7 @@ use safehome_types::{
 };
 
 use crate::config::{EngineConfig, SchedulerKind};
-use crate::event::{Effect, TimerId};
+use crate::event::{Effect, EffectBuf, TimerId};
 use crate::lineage::{LineageTable, LockStatus};
 use crate::models::{HealthView, Model};
 use crate::order::{OrderNode, OrderTracker};
@@ -159,7 +159,7 @@ impl EvModel {
     }
 
     /// Places a newly submitted routine according to the active policy.
-    fn place_new(&mut self, id: RoutineId, now: Timestamp, out: &mut Vec<Effect>) {
+    fn place_new(&mut self, id: RoutineId, now: Timestamp, out: &mut EffectBuf) {
         match self.scheduler {
             SchedulerKind::Fcfs => {
                 let run = self.runs.get(id).expect("just inserted").clone();
@@ -264,7 +264,7 @@ impl EvModel {
 
     /// Event-driven execution: repeatedly dispatch / skip / commit until
     /// no routine can make progress.
-    fn pump(&mut self, now: Timestamp, out: &mut Vec<Effect>) {
+    fn pump(&mut self, now: Timestamp, out: &mut EffectBuf) {
         loop {
             let mut progressed = false;
             if self.scheduler == SchedulerKind::Jit {
@@ -280,7 +280,7 @@ impl EvModel {
     }
 
     /// Attempts one step of routine `id`. Returns `true` on progress.
-    fn try_progress(&mut self, id: RoutineId, now: Timestamp, out: &mut Vec<Effect>) -> bool {
+    fn try_progress(&mut self, id: RoutineId, now: Timestamp, out: &mut EffectBuf) -> bool {
         let Some(run) = self.runs.get(id) else {
             return false;
         };
@@ -371,7 +371,7 @@ impl EvModel {
         true
     }
 
-    fn commit(&mut self, id: RoutineId, now: Timestamp, out: &mut Vec<Effect>) {
+    fn commit(&mut self, id: RoutineId, now: Timestamp, out: &mut EffectBuf) {
         let run = self.runs.remove(id).expect("committing unknown routine");
         // Update committed states — but only where this routine's entry
         // survived: commit compaction by a later-serialized routine means
@@ -390,13 +390,7 @@ impl EvModel {
         out.push(Effect::Committed { routine: id });
     }
 
-    fn abort(
-        &mut self,
-        id: RoutineId,
-        reason: AbortReason,
-        _now: Timestamp,
-        out: &mut Vec<Effect>,
-    ) {
+    fn abort(&mut self, id: RoutineId, reason: AbortReason, _now: Timestamp, out: &mut EffectBuf) {
         let run = self.runs.remove(id).expect("aborting unknown routine");
         let mut effects = Vec::new();
         let mut rolled_back = 0u32;
@@ -490,7 +484,7 @@ impl EvModel {
 }
 
 impl Model for EvModel {
-    fn submit(&mut self, run: RoutineRun, now: Timestamp, out: &mut Vec<Effect>) {
+    fn submit(&mut self, run: RoutineRun, now: Timestamp, out: &mut EffectBuf) {
         let id = run.id;
         self.order.add_routine(id, now);
         self.runs.insert(run);
@@ -507,7 +501,7 @@ impl Model for EvModel {
         observed: Option<Value>,
         rollback: bool,
         now: Timestamp,
-        out: &mut Vec<Effect>,
+        out: &mut EffectBuf,
     ) {
         if rollback {
             if self
@@ -564,7 +558,7 @@ impl Model for EvModel {
         self.pump(now, out);
     }
 
-    fn on_device_down(&mut self, device: DeviceId, now: Timestamp, out: &mut Vec<Effect>) {
+    fn on_device_down(&mut self, device: DeviceId, now: Timestamp, out: &mut EffectBuf) {
         self.health.mark_down(device);
         let fnode = self.order.new_failure(device, now);
         if let Some(&prev) = self.last_event.get(&device) {
@@ -596,7 +590,7 @@ impl Model for EvModel {
         self.pump(now, out);
     }
 
-    fn on_device_up(&mut self, device: DeviceId, now: Timestamp, out: &mut Vec<Effect>) {
+    fn on_device_up(&mut self, device: DeviceId, now: Timestamp, out: &mut EffectBuf) {
         self.health.mark_up(device);
         let renode = self.order.new_restart(device, now);
         if let Some(&prev) = self.last_event.get(&device) {
@@ -607,7 +601,7 @@ impl Model for EvModel {
         self.pump(now, out);
     }
 
-    fn on_timer(&mut self, timer: TimerId, now: Timestamp, out: &mut Vec<Effect>) {
+    fn on_timer(&mut self, timer: TimerId, now: Timestamp, out: &mut EffectBuf) {
         match timer {
             TimerId::Ttl { routine } => {
                 if self.waiting.contains(&routine) {
@@ -709,13 +703,13 @@ mod tests {
     }
 
     fn submit(m: &mut EvModel, id: u64, r: Routine, now: Timestamp) -> Vec<Effect> {
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.submit(RoutineRun::new(RoutineId(id), r, now), now, &mut out);
-        out
+        out.into_vec()
     }
 
     fn finish_cmd(m: &mut EvModel, id: u64, idx: usize, dev: u32, now: u64) -> Vec<Effect> {
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_command_result(
             RoutineId(id),
             idx,
@@ -726,7 +720,7 @@ mod tests {
             t(now),
             &mut out,
         );
-        out
+        out.into_vec()
     }
 
     fn has_dispatch(out: &[Effect], id: u64, dev: u32) -> bool {
@@ -890,7 +884,7 @@ mod tests {
         submit(&mut m, 2, r2, t(1));
         finish_cmd(&mut m, 1, 0, 0, 100);
         finish_cmd(&mut m, 2, 0, 0, 200); // R2 commits, last user of d0
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_command_result(RoutineId(1), 1, d(1), false, None, false, t(300), &mut out);
         let abort = out
             .iter()
@@ -913,7 +907,7 @@ mod tests {
             .build();
         submit(&mut m, 1, r1, t(0));
         finish_cmd(&mut m, 1, 0, 0, 100);
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_command_result(RoutineId(1), 1, d(1), false, None, false, t(200), &mut out);
         let rb: Vec<_> = out
             .iter()
@@ -930,7 +924,7 @@ mod tests {
         // The rollback hold blocks successors until the restore lands.
         let out2 = submit(&mut m, 2, routine(&[0]), t(201));
         assert!(!has_dispatch(&out2, 2, 0));
-        let mut out3 = Vec::new();
+        let mut out3 = EffectBuf::new();
         m.on_command_result(RoutineId(1), 0, d(0), true, None, true, t(250), &mut out3);
         assert!(has_dispatch(&out3, 2, 0));
     }
@@ -947,7 +941,7 @@ mod tests {
             .build();
         let out = submit(&mut m, 1, r1, t(0));
         assert!(has_dispatch(&out, 1, 0));
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_device_down(d(0), t(100), &mut out);
         assert!(out.iter().any(|e| matches!(e, Effect::Aborted { .. })));
         assert!(
@@ -972,7 +966,7 @@ mod tests {
         // routine is mid-d1 must NOT abort it — the routine never
         // dispatched on d0, so rules 2/4 resolve at dispatch time.
         let mut m = model(SchedulerKind::Timeline);
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_device_down(d(0), t(0), &mut out);
         let r = Routine::builder("be")
             .set_best_effort(d(0), Value::ON, TimeDelta::from_millis(100))
@@ -984,7 +978,7 @@ mod tests {
             .iter()
             .any(|e| matches!(e, Effect::BestEffortSkipped { .. })));
         assert!(has_dispatch(&out, 1, 1));
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_device_up(d(0), t(1_000), &mut out);
         m.on_device_down(d(0), t(2_000), &mut out);
         assert!(
@@ -992,7 +986,7 @@ mod tests {
             "never-dispatched device is not mid-use: {out:?}"
         );
         // After recovery the routine reaches d0 for real and commits.
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_device_up(d(0), t(3_000), &mut out);
         finish_cmd(&mut m, 1, 1, 1, 30_000);
         let out = finish_cmd(&mut m, 1, 2, 0, 30_100);
@@ -1020,7 +1014,7 @@ mod tests {
         // is no edge either way, and the failure keeps its chronological
         // place before the routine's commit.
         let mut m = model(SchedulerKind::Timeline);
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_device_down(d(0), t(0), &mut out);
         let r = Routine::builder("be")
             .set_best_effort(d(0), Value::ON, TimeDelta::from_millis(100))
@@ -1030,7 +1024,7 @@ mod tests {
         assert!(out
             .iter()
             .any(|e| matches!(e, Effect::BestEffortSkipped { .. })));
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_device_up(d(0), t(1_000), &mut out);
         m.on_device_down(d(0), t(2_000), &mut out);
         assert!(!out.iter().any(|e| matches!(e, Effect::Aborted { .. })));
@@ -1053,7 +1047,7 @@ mod tests {
         let mut m = model(SchedulerKind::Timeline);
         submit(&mut m, 1, routine(&[0, 1]), t(0));
         finish_cmd(&mut m, 1, 0, 0, 100);
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_device_down(d(0), t(150), &mut out); // after last touch of d0
         assert!(
             !out.iter().any(|e| matches!(e, Effect::Aborted { .. })),
@@ -1071,7 +1065,7 @@ mod tests {
         let mut m = model(SchedulerKind::Timeline);
         submit(&mut m, 1, routine(&[0, 1, 0]), t(0)); // touches d0 twice
         finish_cmd(&mut m, 1, 0, 0, 100);
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_device_down(d(0), t(150), &mut out);
         assert!(out.iter().any(|e| matches!(
             e,
@@ -1085,7 +1079,7 @@ mod tests {
         let mut m = model(SchedulerKind::Timeline);
         // Fail and restart d1 before R's first touch of d1 (rule 2).
         submit(&mut m, 1, routine(&[0, 1]), t(0));
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_device_down(d(1), t(10), &mut out);
         assert!(!out.iter().any(|e| matches!(e, Effect::Aborted { .. })));
         m.on_device_up(d(1), t(20), &mut out);
@@ -1105,7 +1099,7 @@ mod tests {
     fn failure_without_restart_before_touch_aborts_at_dispatch() {
         let mut m = model(SchedulerKind::Timeline);
         submit(&mut m, 1, routine(&[0, 1]), t(0));
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_device_down(d(1), t(10), &mut out);
         assert!(!out.iter().any(|e| matches!(e, Effect::Aborted { .. })));
         // R reaches d1 with the device still down → rule 4, abort.
@@ -1124,7 +1118,7 @@ mod tests {
             .set_best_effort(d(0), Value::ON, TimeDelta::from_millis(100))
             .set(d(1), Value::ON, TimeDelta::from_millis(100))
             .build();
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_device_down(d(0), t(0), &mut out);
         let out = submit(&mut m, 1, r, t(1));
         assert!(out
@@ -1158,7 +1152,7 @@ mod tests {
         submit(&mut m, 1, routine(&[0]), t(0));
         submit(&mut m, 2, routine(&[0, 1]), t(1));
         // TTL expires for R2.
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_timer(
             TimerId::Ttl {
                 routine: RoutineId(2),
@@ -1211,7 +1205,7 @@ mod tests {
         // R2 finishes its first d1 access, then stalls on d0: its second
         // d1 access is still Scheduled when the timer fires → revoke.
         finish_cmd(&mut m, 2, 0, 1, 50);
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_timer(
             TimerId::LeaseRevocation {
                 routine: RoutineId(2),
@@ -1239,7 +1233,7 @@ mod tests {
         // not free d1 any sooner, so the decision is deferred instead.
         let out2 = submit(&mut m, 2, routine(&[1]), t(10));
         assert!(has_dispatch(&out2, 2, 1));
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_timer(
             TimerId::LeaseRevocation {
                 routine: RoutineId(2),
@@ -1262,7 +1256,7 @@ mod tests {
         assert!(out
             .iter()
             .any(|e| matches!(e, Effect::Committed { routine } if routine.0 == 2)));
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_timer(
             TimerId::LeaseRevocation {
                 routine: RoutineId(2),
@@ -1288,7 +1282,7 @@ mod tests {
         submit(&mut m, 2, routine(&[1]), t(10));
         // R2 completes its d1 access before the timer fires.
         finish_cmd(&mut m, 2, 0, 1, 50);
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_timer(
             TimerId::LeaseRevocation {
                 routine: RoutineId(2),

@@ -13,7 +13,7 @@ use safehome_types::{
     trace::AbortReason, trace::OrderItem, CmdIdx, DeviceId, RoutineId, Timestamp, Value,
 };
 
-use crate::event::{Effect, TimerId};
+use crate::event::{Effect, EffectBuf, TimerId};
 use crate::models::{HealthView, Model};
 use crate::runtime::{failure_aborts, guard_passes, plan_rollback, RoutineRun, RunTable};
 
@@ -50,7 +50,7 @@ impl GsvModel {
     }
 
     /// Starts queued routines while the home is free and rollbacks drained.
-    fn pump(&mut self, now: Timestamp, out: &mut Vec<Effect>) {
+    fn pump(&mut self, now: Timestamp, out: &mut EffectBuf) {
         while self.current.is_none() && self.outstanding_rollbacks.is_empty() {
             let Some(id) = self.queue.pop_front() else {
                 return;
@@ -66,7 +66,7 @@ impl GsvModel {
 
     /// Dispatches the current command, skipping best-effort commands on
     /// believed-down devices; commits when no commands remain.
-    fn advance(&mut self, id: RoutineId, now: Timestamp, out: &mut Vec<Effect>) {
+    fn advance(&mut self, id: RoutineId, now: Timestamp, out: &mut EffectBuf) {
         loop {
             let Some(run) = self.runs.get_mut(id) else {
                 return;
@@ -107,7 +107,7 @@ impl GsvModel {
         }
     }
 
-    fn commit(&mut self, id: RoutineId, now: Timestamp, out: &mut Vec<Effect>) {
+    fn commit(&mut self, id: RoutineId, now: Timestamp, out: &mut EffectBuf) {
         let run = self.runs.remove(id).expect("committing unknown routine");
         for (d, v) in run.committed_writes() {
             self.committed.insert(d, v);
@@ -118,7 +118,7 @@ impl GsvModel {
         self.pump(now, out);
     }
 
-    fn abort(&mut self, id: RoutineId, reason: AbortReason, now: Timestamp, out: &mut Vec<Effect>) {
+    fn abort(&mut self, id: RoutineId, reason: AbortReason, now: Timestamp, out: &mut EffectBuf) {
         let run = self.runs.remove(id).expect("aborting unknown routine");
         let committed = &self.committed;
         let mirror = &self.mirror;
@@ -147,7 +147,7 @@ impl GsvModel {
 
     /// Shared failure/restart reaction: abort the running routine when the
     /// model's rule says so.
-    fn on_detector_event(&mut self, device: DeviceId, now: Timestamp, out: &mut Vec<Effect>) {
+    fn on_detector_event(&mut self, device: DeviceId, now: Timestamp, out: &mut EffectBuf) {
         let Some(id) = self.current else { return };
         let touches = self.runs.get(id).map(|r| r.uses(device)).unwrap_or(false);
         if self.strong || touches {
@@ -157,7 +157,7 @@ impl GsvModel {
 }
 
 impl Model for GsvModel {
-    fn submit(&mut self, run: RoutineRun, now: Timestamp, out: &mut Vec<Effect>) {
+    fn submit(&mut self, run: RoutineRun, now: Timestamp, out: &mut EffectBuf) {
         let id = run.id;
         self.runs.insert(run);
         self.queue.push_back(id);
@@ -173,7 +173,7 @@ impl Model for GsvModel {
         observed: Option<Value>,
         rollback: bool,
         now: Timestamp,
-        out: &mut Vec<Effect>,
+        out: &mut EffectBuf,
     ) {
         if rollback {
             if let Some(v) = self.outstanding_rollbacks.remove(&(routine, device)) {
@@ -222,13 +222,13 @@ impl Model for GsvModel {
         }
     }
 
-    fn on_device_down(&mut self, device: DeviceId, now: Timestamp, out: &mut Vec<Effect>) {
+    fn on_device_down(&mut self, device: DeviceId, now: Timestamp, out: &mut EffectBuf) {
         self.health.mark_down(device);
         self.order.push(OrderItem::Failure(device));
         self.on_detector_event(device, now, out);
     }
 
-    fn on_device_up(&mut self, device: DeviceId, now: Timestamp, out: &mut Vec<Effect>) {
+    fn on_device_up(&mut self, device: DeviceId, now: Timestamp, out: &mut EffectBuf) {
         self.health.mark_up(device);
         self.order.push(OrderItem::Restart(device));
         // Restart events also abort under GSV (§3: "any device failure
@@ -236,7 +236,7 @@ impl Model for GsvModel {
         self.on_detector_event(device, now, out);
     }
 
-    fn on_timer(&mut self, _timer: TimerId, _now: Timestamp, _out: &mut Vec<Effect>) {}
+    fn on_timer(&mut self, _timer: TimerId, _now: Timestamp, _out: &mut EffectBuf) {}
 
     fn active_count(&self) -> usize {
         self.runs.len()
@@ -281,13 +281,13 @@ mod tests {
     }
 
     fn submit(m: &mut GsvModel, id: u64, devs: &[u32], now: Timestamp) -> Vec<Effect> {
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.submit(
             RoutineRun::new(RoutineId(id), routine(devs), now),
             now,
             &mut out,
         );
-        out
+        out.into_vec()
     }
 
     #[test]
@@ -300,7 +300,7 @@ mod tests {
         // Disjoint devices — GSV still serializes.
         let out2 = submit(&mut m, 2, &[1], t(1));
         assert!(out2.is_empty(), "no Started/Dispatch while home is busy");
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_command_result(RoutineId(1), 0, d(0), true, None, false, t(10), &mut out);
         assert!(out
             .iter()
@@ -314,7 +314,7 @@ mod tests {
     fn commits_update_committed_states_and_order() {
         let mut m = model(false);
         submit(&mut m, 1, &[0, 1], t(0));
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_command_result(RoutineId(1), 0, d(0), true, None, false, t(10), &mut out);
         m.on_command_result(RoutineId(1), 1, d(1), true, None, false, t(20), &mut out);
         assert_eq!(m.committed_states()[&d(0)], Value::ON);
@@ -326,7 +326,7 @@ mod tests {
     fn loose_gsv_aborts_only_touching_routines() {
         let mut m = model(false);
         submit(&mut m, 1, &[0, 1], t(0));
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         // Failure of an untouched device: routine survives.
         m.on_device_down(d(3), t(5), &mut out);
         assert!(!out.iter().any(|e| matches!(e, Effect::Aborted { .. })));
@@ -344,7 +344,7 @@ mod tests {
     fn strong_gsv_aborts_on_any_failure() {
         let mut m = model(true);
         submit(&mut m, 1, &[0, 1], t(0));
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_device_down(d(3), t(5), &mut out);
         assert!(out.iter().any(
             |e| matches!(e, Effect::Aborted { reason: AbortReason::FailureSerialization { device }, .. } if *device == d(3))
@@ -354,7 +354,7 @@ mod tests {
     #[test]
     fn restart_events_abort_too() {
         let mut m = model(false);
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_device_down(d(0), t(0), &mut out); // before any routine: no abort
         m.on_device_up(d(0), t(1), &mut out);
         assert!(out.is_empty() || !out.iter().any(|e| matches!(e, Effect::Aborted { .. })));
@@ -368,7 +368,7 @@ mod tests {
     fn abort_rolls_back_and_defers_next_routine() {
         let mut m = model(false);
         submit(&mut m, 1, &[0, 1], t(0));
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_command_result(RoutineId(1), 0, d(0), true, None, false, t(10), &mut out);
         submit(&mut m, 2, &[2], t(11));
         out.clear();
@@ -408,7 +408,7 @@ mod tests {
             .set_best_effort(d(0), Value::ON, TimeDelta::from_millis(10))
             .set(d(1), Value::ON, TimeDelta::from_millis(10))
             .build();
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.health.mark_down(d(0));
         m.submit(RoutineRun::new(RoutineId(1), r, t(0)), t(0), &mut out);
         assert!(out
@@ -422,7 +422,7 @@ mod tests {
     #[test]
     fn must_on_down_device_aborts() {
         let mut m = model(false);
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.health.mark_down(d(0));
         m.submit(
             RoutineRun::new(RoutineId(1), routine(&[0]), t(0)),

@@ -22,14 +22,14 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use safehome_types::{DeviceId, RoutineId, Timestamp, Value};
 
-use crate::event::{Effect, TimerId};
+use crate::event::{EffectBuf, TimerId};
 use crate::runtime::RoutineRun;
 use safehome_types::trace::OrderItem;
 
 /// Common interface of the four visibility models.
 pub trait Model {
     /// A new routine was submitted (id already assigned).
-    fn submit(&mut self, run: RoutineRun, now: Timestamp, out: &mut Vec<Effect>);
+    fn submit(&mut self, run: RoutineRun, now: Timestamp, out: &mut EffectBuf);
 
     /// A dispatched command (or rollback write) finished.
     #[allow(clippy::too_many_arguments)]
@@ -42,17 +42,17 @@ pub trait Model {
         observed: Option<Value>,
         rollback: bool,
         now: Timestamp,
-        out: &mut Vec<Effect>,
+        out: &mut EffectBuf,
     );
 
     /// The failure detector reported `device` down.
-    fn on_device_down(&mut self, device: DeviceId, now: Timestamp, out: &mut Vec<Effect>);
+    fn on_device_down(&mut self, device: DeviceId, now: Timestamp, out: &mut EffectBuf);
 
     /// The failure detector reported `device` up.
-    fn on_device_up(&mut self, device: DeviceId, now: Timestamp, out: &mut Vec<Effect>);
+    fn on_device_up(&mut self, device: DeviceId, now: Timestamp, out: &mut EffectBuf);
 
     /// A requested timer fired.
-    fn on_timer(&mut self, timer: TimerId, now: Timestamp, out: &mut Vec<Effect>);
+    fn on_timer(&mut self, timer: TimerId, now: Timestamp, out: &mut EffectBuf);
 
     /// Routines submitted but not yet committed/aborted.
     fn active_count(&self) -> usize;

@@ -15,7 +15,7 @@ use safehome_types::{
     trace::AbortReason, trace::OrderItem, CmdIdx, DeviceId, Priority, RoutineId, Timestamp, Value,
 };
 
-use crate::event::{Effect, TimerId};
+use crate::event::{Effect, EffectBuf, TimerId};
 use crate::models::{HealthView, Model};
 use crate::order::{OrderNode, OrderTracker};
 use crate::runtime::{failure_aborts, guard_passes, plan_rollback, RoutineRun, RunTable};
@@ -70,7 +70,7 @@ impl PsvModel {
     /// Early lock acquisition (§4.1): a waiting routine starts only when
     /// *every* device it touches is free; otherwise it keeps waiting (the
     /// all-or-nothing retry of the paper, driven by release events).
-    fn try_start_all(&mut self, now: Timestamp, out: &mut Vec<Effect>) {
+    fn try_start_all(&mut self, now: Timestamp, out: &mut EffectBuf) {
         let candidates: Vec<RoutineId> = self.waiting.clone();
         for id in candidates {
             let Some(run) = self.runs.get(id) else {
@@ -100,7 +100,7 @@ impl PsvModel {
         }
     }
 
-    fn advance(&mut self, id: RoutineId, now: Timestamp, out: &mut Vec<Effect>) {
+    fn advance(&mut self, id: RoutineId, now: Timestamp, out: &mut EffectBuf) {
         loop {
             let Some(run) = self.runs.get(id) else { return };
             let Some(cmd) = run.current().copied() else {
@@ -151,7 +151,7 @@ impl PsvModel {
     }
 
     /// Finish point: apply rule 3* re-checks, then commit.
-    fn try_commit(&mut self, id: RoutineId, now: Timestamp, out: &mut Vec<Effect>) {
+    fn try_commit(&mut self, id: RoutineId, now: Timestamp, out: &mut EffectBuf) {
         if let Some(pending) = self.pending_after.get(&id) {
             for &(d, _) in pending.clone().iter() {
                 if !self.health.up(d) {
@@ -185,7 +185,7 @@ impl PsvModel {
         self.lock_owner.retain(|_, &mut owner| owner != id);
     }
 
-    fn abort(&mut self, id: RoutineId, reason: AbortReason, now: Timestamp, out: &mut Vec<Effect>) {
+    fn abort(&mut self, id: RoutineId, reason: AbortReason, now: Timestamp, out: &mut EffectBuf) {
         let run = self.runs.remove(id).expect("aborting unknown routine");
         let committed = &self.committed;
         let mirror = &self.mirror;
@@ -236,7 +236,7 @@ impl PsvModel {
         device: DeviceId,
         fnode: OrderNode,
         now: Timestamp,
-        out: &mut Vec<Effect>,
+        out: &mut EffectBuf,
     ) {
         for id in self.runs.ids() {
             let Some(run) = self.runs.get(id) else {
@@ -275,7 +275,7 @@ impl PsvModel {
 }
 
 impl Model for PsvModel {
-    fn submit(&mut self, run: RoutineRun, now: Timestamp, out: &mut Vec<Effect>) {
+    fn submit(&mut self, run: RoutineRun, now: Timestamp, out: &mut EffectBuf) {
         let id = run.id;
         self.order.add_routine(id, now);
         self.runs.insert(run);
@@ -292,7 +292,7 @@ impl Model for PsvModel {
         observed: Option<Value>,
         rollback: bool,
         now: Timestamp,
-        out: &mut Vec<Effect>,
+        out: &mut EffectBuf,
     ) {
         if rollback {
             if let Some(v) = self.outstanding_rollbacks.remove(&(routine, device)) {
@@ -344,7 +344,7 @@ impl Model for PsvModel {
         }
     }
 
-    fn on_device_down(&mut self, device: DeviceId, now: Timestamp, out: &mut Vec<Effect>) {
+    fn on_device_down(&mut self, device: DeviceId, now: Timestamp, out: &mut EffectBuf) {
         self.health.mark_down(device);
         let fnode = self.order.new_failure(device, now);
         if let Some(&prev) = self.last_event.get(&device) {
@@ -355,7 +355,7 @@ impl Model for PsvModel {
         self.apply_failure_rules(device, fnode, now, out);
     }
 
-    fn on_device_up(&mut self, device: DeviceId, now: Timestamp, _out: &mut Vec<Effect>) {
+    fn on_device_up(&mut self, device: DeviceId, now: Timestamp, _out: &mut EffectBuf) {
         self.health.mark_up(device);
         let renode = self.order.new_restart(device, now);
         if let Some(&prev) = self.last_event.get(&device) {
@@ -366,7 +366,7 @@ impl Model for PsvModel {
         // Restarts abort nothing under PSV; deferred dispatches proceed.
     }
 
-    fn on_timer(&mut self, _timer: TimerId, _now: Timestamp, _out: &mut Vec<Effect>) {}
+    fn on_timer(&mut self, _timer: TimerId, _now: Timestamp, _out: &mut EffectBuf) {}
 
     fn active_count(&self) -> usize {
         self.runs.len()
@@ -411,13 +411,13 @@ mod tests {
     }
 
     fn submit(m: &mut PsvModel, id: u64, devs: &[u32], now: Timestamp) -> Vec<Effect> {
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.submit(
             RoutineRun::new(RoutineId(id), routine(devs), now),
             now,
             &mut out,
         );
-        out
+        out.into_vec()
     }
 
     fn started(out: &[Effect], id: u64) -> bool {
@@ -441,7 +441,7 @@ mod tests {
         let out2 = submit(&mut m, 2, &[1, 2], t(1));
         assert!(!started(&out2, 2), "conflict on device 1 blocks");
         // Finish routine 1; routine 2 must start.
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_command_result(RoutineId(1), 0, d(0), true, None, false, t(10), &mut out);
         m.on_command_result(RoutineId(1), 1, d(1), true, None, false, t(20), &mut out);
         assert!(started(&out, 2));
@@ -458,7 +458,7 @@ mod tests {
         // Routine 1 touches device 0 then device 1; PSV holds device 0
         // until the whole routine finishes (no post-lease).
         submit(&mut m, 1, &[0, 1], t(0));
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_command_result(RoutineId(1), 0, d(0), true, None, false, t(10), &mut out);
         let out2 = submit(&mut m, 2, &[0], t(11));
         assert!(!started(&out2, 2), "device 0 lock still held");
@@ -471,7 +471,7 @@ mod tests {
     fn rule_3_star_aborts_at_finish_if_still_down() {
         let mut m = model();
         submit(&mut m, 1, &[0, 1], t(0));
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         // Device 0's command completes, then device 0 fails.
         m.on_command_result(RoutineId(1), 0, d(0), true, None, false, t(10), &mut out);
         m.on_device_down(d(0), t(15), &mut out);
@@ -502,7 +502,7 @@ mod tests {
     fn rule_3_star_commits_if_recovered_by_finish() {
         let mut m = model();
         submit(&mut m, 1, &[0, 1], t(0));
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_command_result(RoutineId(1), 0, d(0), true, None, false, t(10), &mut out);
         m.on_device_down(d(0), t(15), &mut out);
         m.on_device_up(d(0), t(18), &mut out);
@@ -524,7 +524,7 @@ mod tests {
     fn failure_mid_use_aborts_immediately() {
         let mut m = model();
         submit(&mut m, 1, &[0, 1, 0], t(0)); // touches 0, then 1, then 0 again
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_command_result(RoutineId(1), 0, d(0), true, None, false, t(10), &mut out);
         out.clear();
         // Device 0 fails between the first and last touch → abort now.
@@ -539,7 +539,7 @@ mod tests {
     fn failure_before_first_touch_with_recovery_serializes_before() {
         let mut m = model();
         submit(&mut m, 1, &[0], t(0));
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         // The dispatch for command 0 is already out; fail and recover
         // another device the routine never touches first.
         m.on_device_down(d(2), t(1), &mut out);
@@ -555,11 +555,11 @@ mod tests {
     fn aborted_routine_vanishes_from_order() {
         let mut m = model();
         submit(&mut m, 1, &[0], t(0));
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_command_result(RoutineId(1), 0, d(0), false, None, false, t(10), &mut out);
         assert!(out.iter().any(|e| matches!(e, Effect::Aborted { .. })));
         submit(&mut m, 2, &[0], t(11));
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_command_result(RoutineId(2), 0, d(0), true, None, false, t(20), &mut out);
         assert_eq!(m.witness_order(), vec![OrderItem::Routine(RoutineId(2))]);
     }
@@ -568,7 +568,7 @@ mod tests {
     fn rollback_hold_blocks_successor_until_restore_completes() {
         let mut m = model();
         submit(&mut m, 1, &[0, 1], t(0));
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_command_result(RoutineId(1), 0, d(0), true, None, false, t(10), &mut out);
         out.clear();
         // Device 1 fails in flight → abort, device 0 must be rolled back.

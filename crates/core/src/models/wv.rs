@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 
 use safehome_types::{trace::OrderItem, DeviceId, RoutineId, Timestamp, Value};
 
-use crate::event::{Effect, TimerId};
+use crate::event::{Effect, EffectBuf, TimerId};
 use crate::models::Model;
 use crate::runtime::{RoutineRun, RunTable};
 
@@ -39,7 +39,7 @@ impl WvModel {
 
     /// Dispatches the current command and arms the open-loop pace timer;
     /// completes the routine when no commands remain.
-    fn fire_current(&mut self, id: RoutineId, now: Timestamp, out: &mut Vec<Effect>) {
+    fn fire_current(&mut self, id: RoutineId, now: Timestamp, out: &mut EffectBuf) {
         let Some(run) = self.runs.get_mut(id) else {
             return;
         };
@@ -71,7 +71,7 @@ impl WvModel {
 }
 
 impl Model for WvModel {
-    fn submit(&mut self, run: RoutineRun, now: Timestamp, out: &mut Vec<Effect>) {
+    fn submit(&mut self, run: RoutineRun, now: Timestamp, out: &mut EffectBuf) {
         let id = run.id;
         self.runs.insert(run);
         self.fire_current(id, now, out);
@@ -86,7 +86,7 @@ impl Model for WvModel {
         observed: Option<Value>,
         rollback: bool,
         _now: Timestamp,
-        out: &mut Vec<Effect>,
+        out: &mut EffectBuf,
     ) {
         debug_assert!(!rollback, "WV never rolls back");
         let _ = observed;
@@ -108,13 +108,13 @@ impl Model for WvModel {
         }
     }
 
-    fn on_device_down(&mut self, _device: DeviceId, _now: Timestamp, _out: &mut Vec<Effect>) {
+    fn on_device_down(&mut self, _device: DeviceId, _now: Timestamp, _out: &mut EffectBuf) {
         // WV ignores detector events entirely.
     }
 
-    fn on_device_up(&mut self, _device: DeviceId, _now: Timestamp, _out: &mut Vec<Effect>) {}
+    fn on_device_up(&mut self, _device: DeviceId, _now: Timestamp, _out: &mut EffectBuf) {}
 
-    fn on_timer(&mut self, timer: TimerId, now: Timestamp, out: &mut Vec<Effect>) {
+    fn on_timer(&mut self, timer: TimerId, now: Timestamp, out: &mut EffectBuf) {
         if let TimerId::Pace { routine } = timer {
             if let Some(run) = self.runs.get_mut(routine) {
                 if run.dispatched {
@@ -171,7 +171,7 @@ mod tests {
     #[test]
     fn dispatches_immediately_with_pace_timer() {
         let mut m = model();
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.submit(
             RoutineRun::new(RoutineId(1), routine(), t(0)),
             t(0),
@@ -194,7 +194,7 @@ mod tests {
     #[test]
     fn pace_timer_fires_next_command_without_ack() {
         let mut m = model();
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.submit(
             RoutineRun::new(RoutineId(1), routine(), t(0)),
             t(0),
@@ -228,7 +228,7 @@ mod tests {
     #[test]
     fn late_acks_update_mirror_only() {
         let mut m = model();
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.submit(
             RoutineRun::new(RoutineId(1), routine(), t(0)),
             t(0),
@@ -243,7 +243,7 @@ mod tests {
     #[test]
     fn failed_commands_surface_feedback_but_continue() {
         let mut m = model();
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.submit(
             RoutineRun::new(RoutineId(1), routine(), t(0)),
             t(0),
@@ -269,7 +269,7 @@ mod tests {
     #[test]
     fn detector_events_are_ignored() {
         let mut m = model();
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.submit(
             RoutineRun::new(RoutineId(1), routine(), t(0)),
             t(0),
@@ -285,7 +285,7 @@ mod tests {
     #[test]
     fn stale_pace_timer_is_ignored() {
         let mut m = model();
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.on_timer(
             TimerId::Pace {
                 routine: RoutineId(9),
@@ -299,7 +299,7 @@ mod tests {
     #[test]
     fn empty_routine_completes_instantly() {
         let mut m = model();
-        let mut out = Vec::new();
+        let mut out = EffectBuf::new();
         m.submit(
             RoutineRun::new(RoutineId(1), Routine::new("empty", vec![]), t(0)),
             t(0),

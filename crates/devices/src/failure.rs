@@ -72,6 +72,13 @@ impl FailurePlan {
         evs
     }
 
+    /// `true` when the plan injects any event (failure or restart) on
+    /// `device`. Devices outside the plan provably never change health,
+    /// so the harness skips their probe loops entirely.
+    pub fn involves(&self, device: DeviceId) -> bool {
+        self.events.iter().any(|e| e.device == device)
+    }
+
     /// Number of scheduled events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -132,6 +139,16 @@ mod tests {
             .restart(DeviceId(1), t(300));
         let evs = plan.sorted_events();
         assert!(evs.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn involves_reports_per_device_membership() {
+        let plan = FailurePlan::none()
+            .fail(DeviceId(3), t(100))
+            .restart(DeviceId(5), t(200));
+        assert!(plan.involves(DeviceId(3)));
+        assert!(plan.involves(DeviceId(5)), "restarts count too");
+        assert!(!plan.involves(DeviceId(0)));
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! per-event allocation. [`run`] is the one-shot convenience wrapper that
 //! drives a spec to quiescence and returns its full trace.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
-use safehome_core::{Effect, Engine, Input, TimerId};
+use safehome_core::{Effect, EffectBuf, Engine, Input, TimerId};
 use safehome_devices::{
     Detection, DeviceEvent, DispatchTicket, FailureDetector, Health, VirtualDevice,
 };
@@ -54,6 +55,35 @@ fn is_material(ev: &Ev) -> bool {
     !matches!(ev, Ev::Probe(_) | Ev::ProbeTimeout(_))
 }
 
+thread_local! {
+    /// Recycled event queues: a fleet worker runs thousands of homes on
+    /// one thread, and reusing the queue's bucket/deque storage keeps the
+    /// per-home event loop free of queue allocations (the PR 1 arena-pool
+    /// lever applied to the run loop). Reuse never changes results — a
+    /// recycled queue is indistinguishable from a fresh one.
+    static QUEUE_POOL: RefCell<Vec<EventQueue<Ev>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Queues kept per thread; one suffices per worker, a few cover nested
+/// driver use in tests.
+const QUEUE_POOL_CAP: usize = 4;
+
+fn pooled_queue() -> EventQueue<Ev> {
+    QUEUE_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default()
+}
+
+fn recycle_queue(mut queue: EventQueue<Ev>) {
+    queue.clear();
+    QUEUE_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < QUEUE_POOL_CAP {
+            pool.push(queue);
+        }
+    });
+}
+
 /// What one [`Driver::step`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Step {
@@ -81,6 +111,10 @@ pub struct Driver<'a, S: TraceSink = Trace> {
     queue: EventQueue<Ev>,
     rng: SimRng,
     sink: S,
+    /// Scratch for engine effects, drained in place after every
+    /// `submit`/`handle` call: the steady-state loop allocates nothing
+    /// per event.
+    fx: EffectBuf,
     latency: safehome_devices::LatencyModel,
     /// Outstanding material (non-probe) events.
     material: usize,
@@ -122,9 +156,10 @@ impl<'a, S: TraceSink> Driver<'a, S> {
             engine: Engine::new(spec.config.clone(), &initial),
             devices,
             detector: FailureDetector::new(n, spec.ping_interval, spec.detect_timeout),
-            queue: EventQueue::new(),
+            queue: pooled_queue(),
             rng: SimRng::seed_from_u64(spec.seed),
             sink,
+            fx: EffectBuf::new(),
             latency: spec.latency,
             material: 0,
             deferred: BTreeMap::new(),
@@ -153,14 +188,16 @@ impl<'a, S: TraceSink> Driver<'a, S> {
             };
             driver.schedule(ev.at, kind);
         }
-        // Probes exist to detect health transitions, and a spec that
-        // injects no failures can never have one — every probe of a
-        // healthy device is a no-op for the engine, the trace and the
-        // RNG. Skipping them drops the dominant event-queue load of long
-        // failure-free runs (≈ devices × horizon / ping-interval events)
-        // without changing the event stream at all.
-        if !spec.failures.is_empty() {
-            for d in spec.home.ids() {
+        // Probes exist to detect health transitions, and a device the
+        // failure plan never touches can never have one — every probe of
+        // an always-healthy device is a no-op for the engine, the trace
+        // and the RNG (it acks, re-arms its own deadline, and changes no
+        // shared state). Skipping those loops per device drops the
+        // dominant event-queue load of failure-injecting runs (≈ devices
+        // × horizon / ping-interval events, of which only the plan's
+        // devices ever matter) without changing the event stream at all.
+        for d in spec.home.ids() {
+            if spec.failures.involves(d) {
                 let at = driver.detector.next_probe_at(d);
                 driver.queue.schedule(at, Ev::Probe(d)); // probes are immaterial
             }
@@ -248,6 +285,7 @@ impl<'a, S: TraceSink> Driver<'a, S> {
         let committed = self.engine.committed_states();
         self.sink
             .finish(self.engine.witness_order(), end_states, &committed);
+        recycle_queue(std::mem::take(&mut self.queue));
         (self.sink, committed, self.completed)
     }
 
@@ -270,12 +308,19 @@ impl<'a, S: TraceSink> Driver<'a, S> {
             ),
         };
         self.sink.record(now, kind);
-        let effects = self.engine.handle(input, now);
-        self.apply_effects(effects, now);
+        self.engine.handle(input, now, &mut self.fx);
+        self.apply_effects(now);
     }
 
-    fn apply_effects(&mut self, effects: Vec<Effect>, now: Timestamp) {
-        for e in effects {
+    /// Drains the effect scratch in place, interpreting each effect. The
+    /// buffer is always fully drained before the next engine call, so
+    /// one reusable allocation serves the whole run.
+    fn apply_effects(&mut self, now: Timestamp) {
+        // The loop needs `&mut self` (scheduling, RNG, sink), so detach
+        // the buffer for its duration; effects never re-enter the engine
+        // here, so nothing else writes to it meanwhile.
+        let mut fx = std::mem::take(&mut self.fx);
+        for e in fx.drain(..) {
             match e {
                 Effect::Dispatch {
                     routine,
@@ -347,6 +392,11 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                 Effect::Feedback { .. } => {}
             }
         }
+        debug_assert!(
+            self.fx.is_empty(),
+            "effects appended to the scratch during the drain would be lost"
+        );
+        self.fx = fx;
     }
 
     fn release_dependents(&mut self, routine: RoutineId, now: Timestamp) {
@@ -366,13 +416,13 @@ impl<'a, S: TraceSink> Driver<'a, S> {
         match ev {
             Ev::Submit(i) => {
                 let routine = &self.spec.submissions[i].routine;
-                let (id, effects) = self
+                let id = self
                     .engine
-                    .submit(routine.clone(), now)
+                    .submit(routine.clone(), now, &mut self.fx)
                     .expect("workload validated against home");
                 self.sub_of_routine.insert(id, i);
                 self.sink.record_submission(id, routine, now);
-                self.apply_effects(effects, now);
+                self.apply_effects(now);
             }
             Ev::DeviceArrive(d, ticket) => {
                 if let Some(at) = self.devices[d.index()].dispatch(ticket, now) {
@@ -423,7 +473,7 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                                 },
                             );
                         }
-                        let effects = self.engine.handle(
+                        self.engine.handle(
                             Input::CommandResult {
                                 routine,
                                 idx: ticket.idx,
@@ -433,8 +483,9 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                                 rollback: ticket.rollback,
                             },
                             now,
+                            &mut self.fx,
                         );
-                        self.apply_effects(effects, now);
+                        self.apply_effects(now);
                     }
                     Some(DeviceEvent::Failed { ticket }) => {
                         // A dead command reply is also an implicit
@@ -454,7 +505,7 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                                 },
                             );
                         }
-                        let effects = self.engine.handle(
+                        self.engine.handle(
                             Input::CommandResult {
                                 routine,
                                 idx: ticket.idx,
@@ -464,8 +515,9 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                                 rollback: ticket.rollback,
                             },
                             now,
+                            &mut self.fx,
                         );
-                        self.apply_effects(effects, now);
+                        self.apply_effects(now);
                     }
                 }
             }
@@ -498,8 +550,9 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                 self.queue.schedule(at, Ev::Probe(d));
             }
             Ev::EngineTimer(timer) => {
-                let effects = self.engine.handle(Input::Timer { timer }, now);
-                self.apply_effects(effects, now);
+                self.engine
+                    .handle(Input::Timer { timer }, now, &mut self.fx);
+                self.apply_effects(now);
             }
         }
     }

@@ -3,10 +3,11 @@
 //! Where `safehome-harness` drives the engine over virtual time, this
 //! runner drives it over wall-clock time against Kasa devices (emulated
 //! or physical): dispatch effects become driver calls on worker threads,
-//! `SetTimer` effects become deadline waits, and a ping thread feeds the
-//! detector. This is the edge-device deployment shape of §6.
+//! `SetTimer` effects become deadline waits on the same deterministic
+//! [`EventQueue`] the simulator uses (run-relative milliseconds are the
+//! shared time axis), and a ping thread feeds the detector. This is the
+//! edge-device deployment shape of §6.
 
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -14,7 +15,8 @@ use std::time::{Duration, Instant};
 
 use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 
-use safehome_core::{Effect, Engine, EngineConfig, Input, TimerId};
+use safehome_core::{Effect, EffectBuf, Engine, EngineConfig, Input, TimerId};
+use safehome_sim::EventQueue;
 use safehome_types::{
     trace::OrderItem, Action, CmdIdx, DeviceId, Result, Routine, RoutineId, Timestamp, Value,
 };
@@ -34,25 +36,6 @@ enum RtEvent {
         device: DeviceId,
         alive: bool,
     },
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct TimerEntry {
-    at: Instant,
-    timer: TimerId,
-    seq: u64,
-}
-
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap by time (BinaryHeap is a max-heap).
-        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
-    }
-}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// Outcome of a real-time run.
@@ -75,8 +58,12 @@ pub struct RealTimeRunner {
     start: Instant,
     tx: Sender<RtEvent>,
     rx: Receiver<RtEvent>,
-    timers: BinaryHeap<TimerEntry>,
-    timer_seq: u64,
+    /// Engine timers on the run-relative time axis. The queue's clock
+    /// only advances when a due timer pops, so its clamp-to-now contract
+    /// matches the engine's tolerance for stale timers.
+    timers: EventQueue<TimerId>,
+    /// Effect scratch, drained after every engine call.
+    fx: EffectBuf,
     inflight: Arc<()>,
     believed_up: Vec<bool>,
     stop_ping: Arc<AtomicBool>,
@@ -129,8 +116,8 @@ impl RealTimeRunner {
             start: Instant::now(),
             tx,
             rx,
-            timers: BinaryHeap::new(),
-            timer_seq: 0,
+            timers: EventQueue::new(),
+            fx: EffectBuf::new(),
             inflight: Arc::new(()),
             stop_ping,
         })
@@ -143,13 +130,15 @@ impl RealTimeRunner {
     /// Submits a routine right now.
     pub fn submit(&mut self, routine: Routine) -> Result<RoutineId> {
         let now = self.now();
-        let (id, effects) = self.engine.submit(routine, now)?;
-        self.apply(effects, now);
+        let id = self.engine.submit(routine, now, &mut self.fx)?;
+        self.apply();
         Ok(id)
     }
 
-    fn apply(&mut self, effects: Vec<Effect>, now: Timestamp) {
-        for e in effects {
+    /// Drains the effect scratch, interpreting each effect.
+    fn apply(&mut self) {
+        let mut fx = std::mem::take(&mut self.fx);
+        for e in fx.drain(..) {
             match e {
                 Effect::Dispatch {
                     routine,
@@ -184,13 +173,9 @@ impl RealTimeRunner {
                     });
                 }
                 Effect::SetTimer { timer, at } => {
-                    let delta = at.as_millis().saturating_sub(now.as_millis());
-                    self.timers.push(TimerEntry {
-                        at: Instant::now() + Duration::from_millis(delta),
-                        timer,
-                        seq: self.timer_seq,
-                    });
-                    self.timer_seq += 1;
+                    // Already run-relative; the queue clamps past
+                    // deadlines to its clock, which trails wall time.
+                    self.timers.schedule(at, timer);
                 }
                 // Lifecycle effects are observable through the report.
                 Effect::Started { .. }
@@ -200,6 +185,11 @@ impl RealTimeRunner {
                 | Effect::Feedback { .. } => {}
             }
         }
+        debug_assert!(
+            self.fx.is_empty(),
+            "effects appended to the scratch during the drain would be lost"
+        );
+        self.fx = fx;
     }
 
     /// Runs until the engine quiesces (or `deadline` passes), then reads
@@ -208,19 +198,22 @@ impl RealTimeRunner {
         let hard_stop = Instant::now() + deadline;
         while !self.engine.quiescent() && Instant::now() < hard_stop {
             // Fire due timers.
-            while let Some(&TimerEntry { at, timer, .. }) = self.timers.peek() {
-                if at > Instant::now() {
+            while let Some(at) = self.timers.peek_time() {
+                if at > self.now() {
                     break;
                 }
-                self.timers.pop();
+                let (_, timer) = self.timers.pop().expect("peeked");
                 let now = self.now();
-                let effects = self.engine.handle(Input::Timer { timer }, now);
-                self.apply(effects, now);
+                self.engine
+                    .handle(Input::Timer { timer }, now, &mut self.fx);
+                self.apply();
             }
             let wait = self
                 .timers
-                .peek()
-                .map(|t| t.at.saturating_duration_since(Instant::now()))
+                .peek_time()
+                .map(|at| {
+                    Duration::from_millis(at.as_millis().saturating_sub(self.now().as_millis()))
+                })
                 .unwrap_or(Duration::from_millis(50))
                 .min(Duration::from_millis(50));
             let Ok(event) = self.rx.recv_timeout(wait) else {
@@ -238,10 +231,11 @@ impl RealTimeRunner {
                 } => {
                     if !success && self.believed_up[device.index()] {
                         self.believed_up[device.index()] = false;
-                        let fx = self.engine.handle(Input::DeviceDown { device }, now);
-                        self.apply(fx, now);
+                        self.engine
+                            .handle(Input::DeviceDown { device }, now, &mut self.fx);
+                        self.apply();
                     }
-                    let fx = self.engine.handle(
+                    self.engine.handle(
                         Input::CommandResult {
                             routine,
                             idx,
@@ -251,8 +245,9 @@ impl RealTimeRunner {
                             rollback,
                         },
                         now,
+                        &mut self.fx,
                     );
-                    self.apply(fx, now);
+                    self.apply();
                 }
                 RtEvent::Ping { device, alive } => {
                     let believed = &mut self.believed_up[device.index()];
@@ -263,8 +258,8 @@ impl RealTimeRunner {
                         } else {
                             Input::DeviceDown { device }
                         };
-                        let fx = self.engine.handle(input, now);
-                        self.apply(fx, now);
+                        self.engine.handle(input, now, &mut self.fx);
+                        self.apply();
                     }
                 }
             }

@@ -1,10 +1,8 @@
 //! One-pass computation of the §7.1 metrics from a trace.
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use safehome_types::{
-    trace::{OrderItem, Trace, TraceEventKind},
-    DeviceId, RoutineId,
+    trace::{InflightWriteTracker, OrderItem, Trace, TraceEventKind},
+    RoutineId,
 };
 
 /// All per-run metrics the paper's evaluation reports.
@@ -63,41 +61,14 @@ impl RunMetrics {
             }
         }
 
-        // Temporary incongruence and parallelism from the event stream.
-        let mut inflight: BTreeMap<RoutineId, BTreeSet<DeviceId>> = BTreeMap::new();
-        let mut suffered: BTreeSet<RoutineId> = BTreeSet::new();
-        let mut parallelism_samples: Vec<f64> = Vec::new();
+        // Temporary incongruence and parallelism from the event stream —
+        // the same shared tracker the counters-only sink folds events
+        // through, so the trace path and the cheap path cannot drift.
+        let mut tracker = InflightWriteTracker::new();
         for ev in &trace.events {
-            match &ev.kind {
-                TraceEventKind::Started { routine } => {
-                    inflight.insert(*routine, BTreeSet::new());
-                    parallelism_samples.push(inflight.len() as f64);
-                }
-                TraceEventKind::Committed { routine } | TraceEventKind::Aborted { routine, .. } => {
-                    inflight.remove(routine);
-                    parallelism_samples.push(inflight.len() as f64);
-                }
-                TraceEventKind::StateChanged { device, by, .. } => {
-                    for (r, devices) in inflight.iter() {
-                        if Some(*r) != *by && devices.contains(device) {
-                            suffered.insert(*r);
-                        }
-                    }
-                    if let Some(writer) = by {
-                        if let Some(devices) = inflight.get_mut(writer) {
-                            devices.insert(*device);
-                        }
-                    }
-                }
-                _ => {}
-            }
+            tracker.observe(&ev.kind);
         }
-        let temporary_incongruence = suffered.len() as f64 / total as f64;
-        let parallelism = if parallelism_samples.is_empty() {
-            0.0
-        } else {
-            parallelism_samples.iter().sum::<f64>() / parallelism_samples.len() as f64
-        };
+        let (temporary_incongruence, parallelism) = tracker.finish(total);
 
         // Abort rate and rollback overhead.
         let mut aborted = 0usize;
@@ -160,7 +131,9 @@ pub fn normalized_swap_distance(order: &[RoutineId]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use safehome_types::{trace::AbortReason, CmdIdx, Routine, TimeDelta, Timestamp, Value};
+    use safehome_types::{
+        trace::AbortReason, CmdIdx, DeviceId, Routine, TimeDelta, Timestamp, Value,
+    };
 
     fn d(i: u32) -> DeviceId {
         DeviceId(i)

@@ -1,40 +1,29 @@
 //! Virtual-time event queue.
+//!
+//! Implemented as a bucketed calendar queue (timing wheel): a near-future
+//! wheel of per-millisecond FIFO buckets plus a sorted overflow level for
+//! events beyond the wheel's horizon. The discrete-event hot loop
+//! (`safehome-harness`) pops and schedules millions of events per second,
+//! and the wheel turns both operations into O(1) deque pushes/pops with
+//! no per-event comparisons — the previous inverted `BinaryHeap` paid
+//! O(log n) sift costs and a comparator call per level on exactly that
+//! path. The pop-order contract is unchanged (see [`EventQueue`]).
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, VecDeque};
 
 use safehome_types::Timestamp;
 
-/// One scheduled entry: payload `E` due at `at`, with an insertion
-/// sequence number that breaks ties FIFO.
-struct Entry<E> {
-    at: Timestamp,
-    seq: u64,
-    payload: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first,
-        // with FIFO order among simultaneous events.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
+/// Wheel width in buckets (= milliseconds of near-future horizon). One
+/// bucket per millisecond keeps every bucket single-instant, so FIFO
+/// order within a bucket *is* insertion order and no per-entry sequence
+/// numbers are needed. Sized past the detector's probe interval (1 s) so
+/// periodic probe rescheduling — the dominant event load of
+/// failure-injecting runs — stays on the O(1) wheel path. Must be a
+/// power of two.
+const WHEEL: usize = 4096;
+const WHEEL_MASK: u64 = (WHEEL as u64) - 1;
+/// Occupancy-bitmap words for the wheel.
+const WORDS: usize = WHEEL / 64;
 
 /// A deterministic discrete-event queue.
 ///
@@ -42,6 +31,38 @@ impl<E> PartialOrd for Entry<E> {
 /// same instant pop in insertion order. Popping advances the queue's
 /// clock, and scheduling an event in the past is clamped to `now` (this
 /// matches how an edge hub would process a backlog: never before now).
+///
+/// # Structure
+///
+/// Two levels, both keyed by the event's due time:
+///
+/// - a **wheel** of `WHEEL` FIFO buckets covering the instants
+///   `[window_start, wheel_limit)`, bucket `t & WHEEL_MASK` holding
+///   exactly the events due at instant `t` (the window never spans more
+///   than one full period, so the residue is unique within it), with an
+///   occupancy bitmap for constant-time next-bucket scans;
+/// - a sorted **overflow** level (`BTreeMap` of per-instant FIFO deques)
+///   for events at or beyond `wheel_limit`.
+///
+/// Two invariants make the split correct: every wheel event is earlier
+/// than every overflow event (so a pop can ignore the overflow while the
+/// wheel is non-empty), and a bucket only ever holds one instant. The
+/// window moves in two ways, both preserving same-instant FIFO order
+/// across levels (an event can only change level before any
+/// later-scheduled equal-time event targets the same bucket directly):
+///
+/// - when a pop finds the wheel empty, it rebases the window onto the
+///   earliest overflow instant and migrates the newly covered events
+///   into their buckets in time order;
+/// - when a schedule finds the wheel empty and its event past
+///   `wheel_limit`, it slides the window forward to start at `now` —
+///   this is what keeps steady periodic work (e.g. probe loops
+///   rescheduling `interval` ahead) on the wheel path instead of
+///   bouncing through the overflow map.
+///
+/// Bucket and overflow deque allocations are recycled across
+/// [`EventQueue::clear`] calls, so a pooled queue reaches steady state
+/// with zero allocations per event.
 ///
 /// # Examples
 ///
@@ -56,16 +77,41 @@ impl<E> PartialOrd for Entry<E> {
 /// assert_eq!(q.now(), Timestamp::from_millis(10));
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    next_seq: u64,
+    /// `buckets[t & WHEEL_MASK]` holds the events due at instant `t` for
+    /// `t` within the current window, in insertion order.
+    buckets: Vec<VecDeque<E>>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupied: [u64; WORDS],
+    /// First instant covered by the wheel. `window_start <= now` between
+    /// public calls except transiently inside [`EventQueue::pop`].
+    window_start: u64,
+    /// First instant *not* covered by the wheel: events at or past it go
+    /// to the overflow level. At most `window_start + WHEEL`, and never
+    /// past the earliest overflow instant (else a pop could take a wheel
+    /// event that should sort after a parked overflow one).
+    wheel_limit: u64,
+    /// Events in wheel buckets (the overflow holds `len - wheel_len`).
+    wheel_len: usize,
+    /// Events due at or after `wheel_limit`, in per-instant FIFO deques.
+    overflow: BTreeMap<u64, VecDeque<E>>,
+    /// Emptied overflow deques kept for reuse.
+    spare: Vec<VecDeque<E>>,
+    /// Total pending events across both levels.
+    len: usize,
     now: Timestamp,
 }
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+            buckets: (0..WHEEL).map(|_| VecDeque::new()).collect(),
+            occupied: [0; WORDS],
+            window_start: 0,
+            wheel_limit: WHEEL as u64,
+            wheel_len: 0,
+            overflow: BTreeMap::new(),
+            spare: Vec::new(),
+            len: 0,
             now: Timestamp::ZERO,
         }
     }
@@ -84,33 +130,160 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// Empties the queue and resets the clock to zero, retaining bucket
+    /// and deque allocations so a recycled queue schedules and pops
+    /// without allocating. Used by the harness's per-thread queue pool.
+    pub fn clear(&mut self) {
+        if self.wheel_len > 0 {
+            for b in &mut self.buckets {
+                b.clear();
+            }
+        }
+        for (_, mut dq) in std::mem::take(&mut self.overflow) {
+            dq.clear();
+            self.spare.push(dq);
+        }
+        self.occupied = [0; WORDS];
+        self.window_start = 0;
+        self.wheel_limit = WHEEL as u64;
+        self.wheel_len = 0;
+        self.len = 0;
+        self.now = Timestamp::ZERO;
     }
 
     /// Schedules `payload` at time `at` (clamped to now if in the past).
     pub fn schedule(&mut self, at: Timestamp, payload: E) {
-        let at = at.max(self.now);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Entry { at, seq, payload });
+        let at = at.max(self.now).as_millis();
+        self.len += 1;
+        if at >= self.wheel_limit && self.wheel_len == 0 {
+            // Empty wheel: slide the window up to the clock so the event
+            // lands on the wheel path when it fits. Every pending event
+            // is in the overflow and at or after `now`, so capping the
+            // limit at the earliest overflow instant keeps both split
+            // invariants (an equal-time event must *stay* behind the
+            // parked one, hence the cap is exclusive).
+            let first_parked = self.overflow.keys().next().copied().unwrap_or(u64::MAX);
+            self.window_start = self.now.as_millis();
+            self.wheel_limit = (self.window_start + WHEEL as u64).min(first_parked);
+        }
+        if at < self.wheel_limit {
+            let b = (at & WHEEL_MASK) as usize;
+            self.buckets[b].push_back(payload);
+            self.occupied[b / 64] |= 1 << (b % 64);
+            self.wheel_len += 1;
+        } else {
+            self.overflow
+                .entry(at)
+                .or_insert_with(|| self.spare.pop().unwrap_or_default())
+                .push_back(payload);
+        }
     }
 
     /// Pops the next event and advances the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Timestamp, E)> {
-        let e = self.heap.pop()?;
-        debug_assert!(e.at >= self.now, "virtual time went backwards");
-        self.now = e.at;
-        Some((e.at, e.payload))
+        if self.len == 0 {
+            return None;
+        }
+        if self.wheel_len == 0 {
+            self.rebase();
+        }
+        let from = self.window_start.max(self.now.as_millis());
+        let b = self
+            .next_occupied(from)
+            .expect("len > 0 and wheel non-empty after rebase");
+        // Each residue occurs once in the window, so the cyclic distance
+        // from `from` to the bucket recovers the event's instant.
+        let at = from + ((b as u64).wrapping_sub(from) & WHEEL_MASK);
+        let payload = self.buckets[b].pop_front().expect("occupied bit set");
+        if self.buckets[b].is_empty() {
+            self.occupied[b / 64] &= !(1 << (b % 64));
+        }
+        self.wheel_len -= 1;
+        self.len -= 1;
+        debug_assert!(at >= self.now.as_millis(), "virtual time went backwards");
+        self.now = Timestamp::from_millis(at);
+        Some((self.now, payload))
     }
 
     /// Timestamp of the next pending event without popping it.
     pub fn peek_time(&self) -> Option<Timestamp> {
-        self.heap.peek().map(|e| e.at)
+        if self.len == 0 {
+            return None;
+        }
+        if self.wheel_len == 0 {
+            return self
+                .overflow
+                .keys()
+                .next()
+                .map(|&ms| Timestamp::from_millis(ms));
+        }
+        let from = self.window_start.max(self.now.as_millis());
+        let b = self.next_occupied(from).expect("wheel_len > 0");
+        Some(Timestamp::from_millis(
+            from + ((b as u64).wrapping_sub(from) & WHEEL_MASK),
+        ))
+    }
+
+    /// Moves the window onto the earliest overflow instant and migrates
+    /// every newly covered event into its bucket. Only called with an
+    /// empty wheel, so every target bucket is empty and `BTreeMap`
+    /// iteration order (time, then insertion) lands migrated events in
+    /// exactly the order the old sorted heap would have popped them.
+    fn rebase(&mut self) {
+        let &start = self
+            .overflow
+            .keys()
+            .next()
+            .expect("rebase called with pending overflow events");
+        self.window_start = start;
+        self.wheel_limit = start + WHEEL as u64;
+        while let Some(entry) = self.overflow.first_entry() {
+            if *entry.key() >= self.wheel_limit {
+                break;
+            }
+            let (at, mut dq) = entry.remove_entry();
+            let b = (at & WHEEL_MASK) as usize;
+            debug_assert!(self.buckets[b].is_empty(), "bucket collision on rebase");
+            self.wheel_len += dq.len();
+            if self.buckets[b].capacity() == 0 {
+                // First use of this bucket: adopt the overflow deque's
+                // allocation instead of growing an empty one.
+                self.buckets[b] = dq;
+            } else {
+                self.buckets[b].append(&mut dq);
+                self.spare.push(dq);
+            }
+            self.occupied[b / 64] |= 1 << (b % 64);
+        }
+    }
+
+    /// First occupied bucket at cyclic distance `>= 0` from instant
+    /// `from`, scanning the full wheel once via the occupancy bitmap.
+    fn next_occupied(&self, from: u64) -> Option<usize> {
+        let s = (from & WHEEL_MASK) as usize;
+        // Word containing `s`, masked to bits at/after it.
+        let mut w = s / 64;
+        let mut word = self.occupied[w] & (!0u64 << (s % 64));
+        for _ in 0..=WORDS {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w = (w + 1) % WORDS;
+            word = self.occupied[w];
+            if w == s / 64 {
+                // Wrapped: finish with the bits before `s`.
+                word &= !(!0u64 << (s % 64));
+            }
+        }
+        None
     }
 }
 
@@ -208,5 +381,136 @@ mod tests {
         assert_eq!(q.pop(), Some((t(20), 2)));
         assert_eq!(q.pop(), Some((t(30), 3)));
         assert_eq!(q.pop(), Some((t(50), 5)));
+    }
+
+    #[test]
+    fn far_future_events_cross_the_overflow_level() {
+        // Events far beyond the wheel's horizon park in the overflow
+        // level and migrate in on rebase, FIFO order intact.
+        let mut q = EventQueue::new();
+        let far = WHEEL as u64 * 10;
+        for i in 0..5 {
+            q.schedule(t(far), i);
+        }
+        q.schedule(t(far + WHEEL as u64 + 1), 99);
+        q.schedule(t(3), -1);
+        assert_eq!(q.pop(), Some((t(3), -1)));
+        assert_eq!(q.peek_time(), Some(t(far)), "peek reads overflow");
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some((t(far), i)));
+        }
+        assert_eq!(q.pop(), Some((t(far + WHEEL as u64 + 1), 99)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_instant_fifo_survives_migration() {
+        // An event lands in overflow, migrates into the wheel on rebase,
+        // and a *later-scheduled* event at the same instant must still
+        // pop behind it.
+        let mut q = EventQueue::new();
+        let at = WHEEL as u64 + 500;
+        q.schedule(t(at), "early-seq");
+        q.schedule(t(1), "opener");
+        assert_eq!(q.pop(), Some((t(1), "opener")));
+        // Still before the rebase: `at` stays in overflow.
+        q.schedule(t(at), "mid-seq");
+        assert_eq!(q.pop(), Some((t(at), "early-seq")));
+        q.schedule(t(at), "late-seq");
+        assert_eq!(q.pop(), Some((t(at), "mid-seq")));
+        assert_eq!(q.pop(), Some((t(at), "late-seq")));
+    }
+
+    #[test]
+    fn slide_keeps_periodic_rescheduling_ordered() {
+        // The probe-loop pattern: each pop reschedules `interval` ahead.
+        // The window slides instead of rebasing, and order must hold
+        // across thousands of wrap-arounds.
+        let interval = 1_000u64;
+        let mut q = EventQueue::new();
+        for d in 0..7u64 {
+            q.schedule(t(d * 37), d);
+        }
+        let mut last = 0u64;
+        for _ in 0..10_000 {
+            let (at, d) = q.pop().expect("loop never drains");
+            assert!(at.as_millis() >= last, "time went backwards");
+            last = at.as_millis();
+            q.schedule(t(at.as_millis() + interval), d);
+        }
+        assert_eq!(q.len(), 7);
+    }
+
+    #[test]
+    fn slide_cannot_jump_parked_overflow_events() {
+        // Regression for the window slide: with an event parked in
+        // overflow, a slide must cap the wheel limit so a later, *later-
+        // scheduled* event at or before the parked instant cannot pop
+        // first.
+        let mut q = EventQueue::new();
+        let far = WHEEL as u64 * 3 + 17;
+        q.schedule(t(10), "opener");
+        q.schedule(t(far), "parked-early-seq");
+        assert_eq!(q.pop(), Some((t(10), "opener")));
+        // Wheel is now empty; this schedule slides the window.
+        q.schedule(t(far), "parked-late-seq");
+        q.schedule(t(far - 1), "just-before");
+        assert_eq!(q.pop(), Some((t(far - 1), "just-before")));
+        assert_eq!(q.pop(), Some((t(far), "parked-early-seq")));
+        assert_eq!(q.pop(), Some((t(far), "parked-late-seq")));
+    }
+
+    #[test]
+    fn window_edge_events_stay_ordered() {
+        // Events exactly at the first instant past the window boundary.
+        let mut q = EventQueue::new();
+        q.schedule(t(WHEEL as u64 - 1), "in-window");
+        q.schedule(t(WHEEL as u64), "past-window");
+        q.schedule(t(0), "now");
+        assert_eq!(q.pop(), Some((t(0), "now")));
+        assert_eq!(q.pop(), Some((t(WHEEL as u64 - 1), "in-window")));
+        assert_eq!(q.pop(), Some((t(WHEEL as u64), "past-window")));
+    }
+
+    #[test]
+    fn clear_resets_and_retains_capacity() {
+        let mut q = EventQueue::new();
+        for i in 0..100u64 {
+            q.schedule(t(i * 137), i);
+        }
+        q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.now(), Timestamp::ZERO);
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.pop(), None);
+        // Fully usable after the reset.
+        q.schedule(t(7), 1);
+        q.schedule(t(3), 0);
+        assert_eq!(q.pop(), Some((t(3), 0)));
+        assert_eq!(q.pop(), Some((t(7), 1)));
+    }
+
+    #[test]
+    fn dense_mixed_horizon_stress_matches_sorted_order() {
+        // A deterministic pseudo-random mix of near and far events,
+        // popped against a straight stable sort of (time, seq).
+        let mut q = EventQueue::new();
+        let mut expected: Vec<(u64, u32)> = Vec::new();
+        let mut x = 0x9E37_79B9u64;
+        for i in 0..500u32 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let at = x % (WHEEL as u64 * 3);
+            q.schedule(t(at), i);
+            expected.push((at, i));
+        }
+        expected.sort_by_key(|&(at, i)| (at, i));
+        for (at, i) in expected {
+            assert_eq!(q.pop(), Some((t(at), i)));
+        }
+        assert_eq!(q.pop(), None);
     }
 }

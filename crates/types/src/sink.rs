@@ -14,7 +14,7 @@ use std::hash::{Hash, Hasher};
 use crate::id::RoutineId;
 use crate::routine::Routine;
 use crate::time::Timestamp;
-use crate::trace::{OrderItem, Trace, TraceEventKind};
+use crate::trace::{InflightWriteTracker, OrderItem, Trace, TraceEventKind};
 use crate::value::Value;
 use crate::DeviceId;
 
@@ -137,8 +137,17 @@ pub fn fold_digest(acc: u64, value: u64) -> u64 {
     h.finish()
 }
 
-/// Counters-only sink: outcomes, latencies, end-state congruence and a
-/// deterministic event digest — no per-event `Vec` pushes.
+/// Counters-only sink: outcomes, latencies, end-state congruence,
+/// temporary incongruence, parallelism and a deterministic event digest —
+/// no per-event `Vec` pushes, memory bounded by the home (routines ×
+/// devices), never by the event count.
+///
+/// Temporary incongruence and parallelism come from in-flight write
+/// tracking: the sink keeps, per started-but-unfinished routine, the set
+/// of devices it has modified, and folds every `StateChanged` against
+/// those sets — the same §7.1 definitions as the full-trace metrics pass
+/// (asserted equal in the harness and bench tests), which used to force
+/// the Fig. 1/16/17 experiments onto the allocating `Trace` path.
 ///
 /// Two runs with identical event streams, witness orders and end states
 /// produce byte-identical `RunCounters` (the fleet determinism check
@@ -180,12 +189,32 @@ pub struct RunCounters {
     /// same definition as the full-trace metrics pass (§7.1 "order
     /// mismatch").
     pub order_mismatch: f64,
+    /// Fraction of routines that suffered ≥ 1 temporary-incongruence
+    /// event — another routine changed a device they had modified,
+    /// before they finished (§7.1, Figs. 1/16/17). Set at finish;
+    /// computed from the in-flight write tracking below with the same
+    /// definition as the full-trace metrics pass.
+    pub temporary_incongruence: f64,
+    /// Average number of concurrently executing routines, sampled at
+    /// routine start/end points. Set at finish; same definition as the
+    /// full-trace metrics pass.
+    pub parallelism: f64,
+    /// The devices' actual states when the run ended (captured at
+    /// finish). Lets trace-free experiments run end-state incongruence
+    /// checks (Fig. 1) without recording an event stream; size is bound
+    /// by the home, not the run.
+    pub end_states: BTreeMap<DeviceId, Value>,
     /// Running deterministic digest over the full event stream, the
     /// witness order and the end states.
     pub digest: u64,
     /// Submission time and command count of in-flight routines (drained
     /// at finish).
     submitted_at: BTreeMap<RoutineId, (Timestamp, u32)>,
+    /// In-flight write tracking — the §7.1 temporary-incongruence /
+    /// parallelism definition shared with the full-trace metrics pass
+    /// (see [`InflightWriteTracker`]). Bounded by the home's
+    /// concurrency, not by the event count; drained at finish.
+    tracker: InflightWriteTracker,
     /// Sum over aborted routines of (rolled-back dispatches / routine
     /// commands); see [`RunCounters::rollback_overhead`].
     rollback_sum: f64,
@@ -211,8 +240,12 @@ impl Default for RunCounters {
             end_time: Timestamp::ZERO,
             congruent: false,
             order_mismatch: 0.0,
+            temporary_incongruence: 0.0,
+            parallelism: 0.0,
+            end_states: BTreeMap::new(),
             digest: DigestHasher::OFFSET,
             submitted_at: BTreeMap::new(),
+            tracker: InflightWriteTracker::new(),
             rollback_sum: 0.0,
             down: Vec::new(),
         }
@@ -261,6 +294,7 @@ impl TraceSink for RunCounters {
     fn record(&mut self, at: Timestamp, kind: TraceEventKind) {
         self.end_time = at;
         self.fold(&(at, &kind));
+        self.tracker.observe(&kind);
         match kind {
             TraceEventKind::Submitted { .. } | TraceEventKind::Started { .. } => {}
             TraceEventKind::Committed { routine } => {
@@ -319,10 +353,14 @@ impl TraceSink for RunCounters {
             })
             .collect();
         self.order_mismatch = crate::trace::normalized_swap_distance(&witness);
+        let (temporary_incongruence, parallelism) = self.tracker.finish(self.submitted as usize);
+        self.temporary_incongruence = temporary_incongruence;
+        self.parallelism = parallelism;
         self.congruent = committed_states
             .iter()
             .filter(|(d, _)| !self.down.contains(d))
             .all(|(d, v)| end_states.get(d) == Some(v));
+        self.end_states = end_states;
         self.submitted_at.clear();
     }
 }
@@ -471,6 +509,128 @@ mod tests {
         assert_eq!(s.order_mismatch, 1.0, "two routines fully swapped");
         assert_eq!(s.rollback_overhead(), 0.5, "1 of 2 commands rolled back");
         assert_eq!(s.latencies_ms, vec![10, 19]);
+    }
+
+    #[test]
+    fn temporary_incongruence_detects_cross_writes() {
+        // Mirror of the trace pass's definition test: R1 modifies device
+        // 0, R2 changes it while R1 is still in flight → R1 of 2 suffered.
+        let two_dev = Routine::builder("r1")
+            .set(DeviceId(0), Value::ON, TimeDelta::from_millis(100))
+            .set(DeviceId(1), Value::ON, TimeDelta::from_millis(100))
+            .build();
+        let mut s = RunCounters::new();
+        s.record_submission(RoutineId(1), &two_dev, t(0));
+        s.record_submission(RoutineId(2), &routine(), t(1));
+        s.record(
+            t(10),
+            TraceEventKind::Started {
+                routine: RoutineId(1),
+            },
+        );
+        s.record(
+            t(11),
+            TraceEventKind::Started {
+                routine: RoutineId(2),
+            },
+        );
+        s.record(
+            t(20),
+            TraceEventKind::StateChanged {
+                device: DeviceId(0),
+                value: Value::ON,
+                by: Some(RoutineId(1)),
+                rollback: false,
+            },
+        );
+        s.record(
+            t(30),
+            TraceEventKind::StateChanged {
+                device: DeviceId(0),
+                value: Value::OFF,
+                by: Some(RoutineId(2)),
+                rollback: false,
+            },
+        );
+        s.record(
+            t(40),
+            TraceEventKind::Committed {
+                routine: RoutineId(2),
+            },
+        );
+        s.record(
+            t(50),
+            TraceEventKind::Committed {
+                routine: RoutineId(1),
+            },
+        );
+        s.finish(Vec::new(), end(), &end());
+        assert!(
+            (s.temporary_incongruence - 0.5).abs() < 1e-12,
+            "R1 of 2 suffered: {}",
+            s.temporary_incongruence
+        );
+        // Parallelism samples at the four start/end events: 1, 2, 1, 0.
+        assert!((s.parallelism - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writes_after_completion_are_not_incongruence() {
+        let mut s = RunCounters::new();
+        s.record_submission(RoutineId(1), &routine(), t(0));
+        s.record_submission(RoutineId(2), &routine(), t(1));
+        s.record(
+            t(10),
+            TraceEventKind::Started {
+                routine: RoutineId(1),
+            },
+        );
+        s.record(
+            t(20),
+            TraceEventKind::StateChanged {
+                device: DeviceId(0),
+                value: Value::ON,
+                by: Some(RoutineId(1)),
+                rollback: false,
+            },
+        );
+        s.record(
+            t(30),
+            TraceEventKind::Committed {
+                routine: RoutineId(1),
+            },
+        );
+        s.record(
+            t(31),
+            TraceEventKind::Started {
+                routine: RoutineId(2),
+            },
+        );
+        s.record(
+            t(40),
+            TraceEventKind::StateChanged {
+                device: DeviceId(0),
+                value: Value::OFF,
+                by: Some(RoutineId(2)),
+                rollback: false,
+            },
+        );
+        s.record(
+            t(50),
+            TraceEventKind::Committed {
+                routine: RoutineId(2),
+            },
+        );
+        s.finish(Vec::new(), end(), &end());
+        assert_eq!(s.temporary_incongruence, 0.0);
+    }
+
+    #[test]
+    fn end_states_are_captured_at_finish() {
+        let mut s = RunCounters::new();
+        feed(&mut s);
+        s.finish(Vec::new(), end(), &end());
+        assert_eq!(s.end_states, end());
     }
 
     #[test]

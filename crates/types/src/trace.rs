@@ -96,6 +96,85 @@ pub fn normalized_swap_distance(order: &[RoutineId]) -> f64 {
     inversions as f64 / (n * (n - 1) / 2) as f64
 }
 
+/// Shared in-flight write tracker behind the §7.1 "temporary
+/// incongruence" and "parallelism" metrics.
+///
+/// Keeps, per started-but-unfinished routine, the set of devices it has
+/// modified; any `StateChanged` (including rollback writes) on a device
+/// inside *another* in-flight routine's set marks that routine as having
+/// suffered a temporary-incongruence event, and the in-flight count is
+/// sampled at every start/end event for the parallelism average. The
+/// full-trace metrics pass (`safehome-metrics`) and the counters-only
+/// sink ([`crate::sink::RunCounters`]) both fold events through this one
+/// type — like [`normalized_swap_distance`], the definition lives in one
+/// place so the two paths cannot drift.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InflightWriteTracker {
+    /// Devices each started, unfinished routine has modified so far.
+    inflight: BTreeMap<RoutineId, std::collections::BTreeSet<DeviceId>>,
+    /// Routines that suffered ≥ 1 temporary-incongruence event.
+    suffered: std::collections::BTreeSet<RoutineId>,
+    /// Parallelism accumulator: sum of in-flight counts at start/end
+    /// events, and the sample count.
+    par_sum: f64,
+    par_samples: u64,
+}
+
+impl InflightWriteTracker {
+    /// A fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one trace event. Only `Started`, `Committed`, `Aborted` and
+    /// `StateChanged` affect the tracker; everything else is a no-op.
+    pub fn observe(&mut self, kind: &TraceEventKind) {
+        match kind {
+            TraceEventKind::Started { routine } => {
+                self.inflight
+                    .insert(*routine, std::collections::BTreeSet::new());
+                self.sample();
+            }
+            TraceEventKind::Committed { routine } | TraceEventKind::Aborted { routine, .. } => {
+                self.inflight.remove(routine);
+                self.sample();
+            }
+            TraceEventKind::StateChanged { device, by, .. } => {
+                for (r, devices) in self.inflight.iter() {
+                    if Some(*r) != *by && devices.contains(device) {
+                        self.suffered.insert(*r);
+                    }
+                }
+                if let Some(writer) = by {
+                    if let Some(devices) = self.inflight.get_mut(writer) {
+                        devices.insert(*device);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Finishes the run: returns `(temporary_incongruence, parallelism)`
+    /// over `submitted` routines and drains the tracker's scratch.
+    pub fn finish(&mut self, submitted: usize) -> (f64, f64) {
+        let temporary_incongruence = self.suffered.len() as f64 / submitted.max(1) as f64;
+        let parallelism = if self.par_samples == 0 {
+            0.0
+        } else {
+            self.par_sum / self.par_samples as f64
+        };
+        self.inflight.clear();
+        self.suffered.clear();
+        (temporary_incongruence, parallelism)
+    }
+
+    fn sample(&mut self) {
+        self.par_sum += self.inflight.len() as f64;
+        self.par_samples += 1;
+    }
+}
+
 /// One time-stamped trace event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
