@@ -34,8 +34,13 @@
 //! Usage:
 //! ```text
 //! cargo run -p safehome-bench --release --bin fleet_bench \
-//!     [out.json] [homes] [neighborhood_homes]
+//!     [out.json] [homes] [neighborhood_homes] [--expect-digest-change]
 //! ```
+//!
+//! `--expect-digest-change` stamps `expect_digest_change: true` into the
+//! JSON: pass it (and commit the regenerated sidecar) when a semantic
+//! change intentionally moves per-home digests — the CI gate fails
+//! sidecar diffs that arrive without the marker.
 //!
 //! Exits non-zero when any home fails to reach quiescence, when any
 //! thread count records a non-positive rate, or when per-home results
@@ -138,15 +143,27 @@ fn outcomes_obj(fleet: &FleetResult) -> Json {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--expect-digest-change`: record in the artifact that a per-home
+    // digest change vs the committed sidecar baseline is intentional
+    // (semantic change being re-baselined in the same commit). The CI
+    // gate fails on sidecar changes unless the fresh JSON carries this
+    // marker.
+    let expect_digest_change = {
+        let before = args.len();
+        args.retain(|a| a != "--expect-digest-change");
+        args.len() != before
+    };
+    let out_path = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_fleet.json".to_string());
-    let homes: usize = std::env::args()
-        .nth(2)
+    let homes: usize = args
+        .get(1)
         .map(|s| s.parse().expect("homes must be an integer"))
         .unwrap_or(1000);
-    let n_homes: usize = std::env::args()
-        .nth(3)
+    let n_homes: usize = args
+        .get(2)
         .map(|s| s.parse().expect("neighborhood homes must be an integer"))
         .unwrap_or(512);
 
@@ -355,6 +372,7 @@ fn main() {
         ),
         ("deterministic_across_workers", Json::from(deterministic)),
         ("schedules_agree", Json::from(morning_agree)),
+        ("expect_digest_change", Json::from(expect_digest_change)),
         (
             "routine_latency_ms",
             obj([

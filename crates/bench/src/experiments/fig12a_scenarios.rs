@@ -9,9 +9,10 @@
 
 use safehome_core::{EngineConfig, VisibilityModel};
 use safehome_harness::RunSpec;
+use safehome_types::sink;
 use safehome_workloads::{factory, morning, party};
 
-use crate::support::{f, main_models, row, run_trials, secs, TrialAgg};
+use crate::support::{digest_line, f, main_models, row, run_trials_counters, secs, CounterAgg};
 
 /// A scenario builder: engine config + seed to a runnable spec.
 pub type ScenarioFn = fn(EngineConfig, u64) -> RunSpec;
@@ -28,13 +29,15 @@ pub fn scenarios() -> Vec<(&'static str, ScenarioFn)> {
     ]
 }
 
-/// Aggregates one scenario × model.
+/// Aggregates one scenario × model, trace-free on the counters path
+/// (latency percentiles, temporary incongruence and parallelism all come
+/// from the sink; the printed digests anchor the figure).
 pub fn measure(
     scenario: fn(EngineConfig, u64) -> RunSpec,
     model: VisibilityModel,
     trials: u64,
-) -> TrialAgg {
-    run_trials(trials, |seed| scenario(EngineConfig::new(model), seed))
+) -> CounterAgg {
+    run_trials_counters(trials, |seed| scenario(EngineConfig::new(model), seed))
 }
 
 /// Regenerates Fig. 12a.
@@ -53,9 +56,11 @@ pub fn run(trials: u64) -> String {
             "parallel".into(),
         ]));
         out.push('\n');
+        let mut digest = sink::DIGEST_SEED;
         for model in main_models() {
             let agg = measure(scenario, model, trials);
             assert_eq!(agg.incomplete, 0, "{name}/{model:?} must quiesce");
+            digest = sink::fold_digest(digest, agg.digest);
             out.push_str(&row(&[
                 model.label().into(),
                 secs(agg.latency.p50),
@@ -66,6 +71,7 @@ pub fn run(trials: u64) -> String {
             ]));
             out.push('\n');
         }
+        out.push_str(&digest_line(name, digest));
     }
     out
 }

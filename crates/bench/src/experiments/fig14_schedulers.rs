@@ -6,9 +6,10 @@
 //! latency.
 
 use safehome_core::{EngineConfig, SchedulerKind, VisibilityModel};
+use safehome_types::sink;
 use safehome_workloads::MicroParams;
 
-use crate::support::{f, row, run_trials, schedulers, TrialAgg};
+use crate::support::{digest_line, f, row, run_trials_counters, schedulers, CounterAgg};
 
 fn params(rho: usize) -> MicroParams {
     MicroParams {
@@ -20,10 +21,11 @@ fn params(rho: usize) -> MicroParams {
 }
 
 /// Normalized latency (each routine's latency over its own ideal
-/// runtime, the paper's Fig. 14a metric) plus the full aggregate.
-pub fn measure(rho: usize, kind: SchedulerKind, trials: u64) -> (f64, TrialAgg) {
+/// runtime, the paper's Fig. 14a metric) plus the full aggregate —
+/// trace-free on the counters path, with the digest anchoring the sweep.
+pub fn measure(rho: usize, kind: SchedulerKind, trials: u64) -> (f64, CounterAgg) {
     let p = params(rho);
-    let agg = run_trials(trials, |seed| {
+    let agg = run_trials_counters(trials, |seed| {
         p.build(
             EngineConfig::new(VisibilityModel::Ev { scheduler: kind }),
             seed,
@@ -45,9 +47,11 @@ pub fn run(trials: u64) -> String {
         "parallel".into(),
     ]));
     out.push('\n');
+    let mut digest = sink::DIGEST_SEED;
     for rho in [1usize, 2, 4, 8] {
         for kind in schedulers() {
             let (norm, agg) = measure(rho, kind, trials);
+            digest = sink::fold_digest(digest, agg.digest);
             out.push_str(&row(&[
                 rho.to_string(),
                 format!("{kind:?}"),
@@ -58,6 +62,7 @@ pub fn run(trials: u64) -> String {
             out.push('\n');
         }
     }
+    out.push_str(&digest_line("fig14", digest));
     out
 }
 

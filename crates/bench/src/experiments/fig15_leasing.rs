@@ -7,9 +7,10 @@
 
 use safehome_core::VisibilityModel;
 use safehome_metrics::percentile;
+use safehome_types::sink;
 use safehome_workloads::MicroParams;
 
-use crate::support::{ev_config, f, row, run_trials, TrialAgg};
+use crate::support::{digest_line, ev_config, f, row, run_trials_counters, CounterAgg};
 
 fn params(rho: usize, c: f64) -> MicroParams {
     MicroParams {
@@ -21,10 +22,12 @@ fn params(rho: usize, c: f64) -> MicroParams {
     }
 }
 
-/// One ablation point: (pre, post) lease toggles.
-pub fn measure(rho: usize, c: f64, pre: bool, post: bool, trials: u64) -> TrialAgg {
+/// One ablation point: (pre, post) lease toggles — trace-free on the
+/// counters path (normalized latency, temporary incongruence and the
+/// stretch distribution all come from the sink's pooled vectors).
+pub fn measure(rho: usize, c: f64, pre: bool, post: bool, trials: u64) -> CounterAgg {
     let p = params(rho, c);
-    run_trials(trials, move |seed| p.build(ev_config(pre, post), seed))
+    run_trials_counters(trials, move |seed| p.build(ev_config(pre, post), seed))
 }
 
 /// Regenerates Fig. 15a–c.
@@ -46,9 +49,11 @@ pub fn run(trials: u64) -> String {
         ("post-off", true, false),
         ("both-off", false, false),
     ];
+    let mut digest = sink::DIGEST_SEED;
     for (rho, c) in [(2usize, 3.0), (4, 3.0), (4, 4.0)] {
         for (label, pre, post) in combos {
             let agg = measure(rho, c, pre, post, trials);
+            digest = sink::fold_digest(digest, agg.digest);
             out.push_str(&row(&[
                 rho.to_string(),
                 format!("{c:.0}"),
@@ -70,6 +75,7 @@ pub fn run(trials: u64) -> String {
     out.push('\n');
     for c in [2.0, 4.0, 8.0] {
         let agg = measure(4, c, true, true, trials);
+        digest = sink::fold_digest(digest, agg.digest);
         let stretched = agg.stretch.iter().filter(|&&s| s > 1.05).count() as f64
             / agg.stretch.len().max(1) as f64;
         out.push_str(&row(&[
@@ -81,6 +87,7 @@ pub fn run(trials: u64) -> String {
         ]));
         out.push('\n');
     }
+    out.push_str(&digest_line("fig15", digest));
     let _ = VisibilityModel::ev();
     out
 }

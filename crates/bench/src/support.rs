@@ -110,10 +110,12 @@ pub fn run_trials(trials: u64, mut make_spec: impl FnMut(u64) -> RunSpec) -> Tri
 /// deterministic digest that anchors the whole experiment (two builds
 /// disagreeing on any event stream disagree on the digest). Carries
 /// every scalar metric of [`TrialAgg`]: latency, abort rate, rollback
-/// overhead, order mismatch, end-state congruence, and — via the sink's
+/// overhead, order mismatch, end-state congruence, the per-routine
+/// distributions (normalized latency, waits, stretch — pooled vectors on
+/// the sink since the runtime unification PR), and — via the sink's
 /// in-flight write tracking — temporary incongruence and parallelism.
-/// Only the pooled per-routine vectors (normalized latency, waits,
-/// stretch) still need the trace path.
+/// One sink is recycled across all trials ([`RunCounters::reset`]), so
+/// the steady state of an experiment allocates nothing per trial.
 ///
 /// Caveat: [`CounterAgg::latency`] pools *finished* routines (committed
 /// and aborted), while [`TrialAgg::latency`] pools committed only; on
@@ -122,6 +124,13 @@ pub fn run_trials(trials: u64, mut make_spec: impl FnMut(u64) -> RunSpec) -> Tri
 pub struct CounterAgg {
     /// Latency summary (ms) over finished routines, pooled across trials.
     pub latency: Summary,
+    /// Per-routine normalized latency summary (latency / ideal runtime),
+    /// committed routines pooled across trials.
+    pub norm_latency: Summary,
+    /// Wait-time summary (ms), pooled across trials.
+    pub wait: Summary,
+    /// Pooled stretch factors (committed routines).
+    pub stretch: Vec<f64>,
     /// Mean abort rate (aborted / submitted) across trials.
     pub abort_rate: f64,
     /// Mean rollback overhead (over trials with aborts).
@@ -159,32 +168,42 @@ pub fn run_trials_counters_inspect(
     mut inspect: impl FnMut(u64, &RunCounters),
 ) -> CounterAgg {
     let mut latencies = Vec::new();
+    let mut norm_latencies = Vec::new();
+    let mut waits = Vec::new();
     let mut agg = CounterAgg {
         digest: sink::DIGEST_SEED,
         ..CounterAgg::default()
     };
     let mut abort_trials = 0usize;
+    // One sink serves every trial: `reset` keeps the vector and digest
+    // buffer allocations, the same way the harness pools per-home state.
+    let mut sink = RunCounters::new();
     for seed in 0..trials {
         let spec = make_spec(seed);
-        let mut driver = Driver::with_sink(&spec, RunCounters::new());
+        let mut driver = Driver::with_sink(&spec, sink);
         let completed = driver.run_to_quiescence();
         let (c, _, _) = driver.into_output();
         inspect(seed, &c);
-        if !completed {
+        if completed {
+            latencies.extend(c.latencies_ms.iter().map(|&l| l as f64));
+            norm_latencies.extend(c.normalized_latencies.iter().copied());
+            waits.extend(c.waits_ms.iter().copied());
+            agg.stretch.extend(c.stretch.iter().copied());
+            agg.abort_rate += c.aborted as f64 / c.submitted.max(1) as f64;
+            if c.aborted > 0 {
+                agg.rollback_overhead += c.rollback_overhead();
+                abort_trials += 1;
+            }
+            agg.order_mismatch += c.order_mismatch;
+            agg.temp_incongruence += c.temporary_incongruence;
+            agg.parallelism += c.parallelism;
+            agg.congruent += c.congruent as usize;
+            agg.digest = sink::fold_digest(agg.digest, c.digest);
+        } else {
             agg.incomplete += 1;
-            continue;
         }
-        latencies.extend(c.latencies_ms.iter().map(|&l| l as f64));
-        agg.abort_rate += c.aborted as f64 / c.submitted.max(1) as f64;
-        if c.aborted > 0 {
-            agg.rollback_overhead += c.rollback_overhead();
-            abort_trials += 1;
-        }
-        agg.order_mismatch += c.order_mismatch;
-        agg.temp_incongruence += c.temporary_incongruence;
-        agg.parallelism += c.parallelism;
-        agg.congruent += c.congruent as usize;
-        agg.digest = sink::fold_digest(agg.digest, c.digest);
+        sink = c;
+        sink.reset();
     }
     let n = (trials as usize - agg.incomplete).max(1) as f64;
     agg.abort_rate /= n;
@@ -195,6 +214,8 @@ pub fn run_trials_counters_inspect(
         agg.rollback_overhead /= abort_trials as f64;
     }
     agg.latency = Summary::of(&latencies);
+    agg.norm_latency = Summary::of(&norm_latencies);
+    agg.wait = Summary::of(&waits);
     agg
 }
 
@@ -281,6 +302,19 @@ mod tests {
         assert!(trace.temp_incongruence > 0.0, "workload must be contended");
         assert!((cheap.temp_incongruence - trace.temp_incongruence).abs() < 1e-12);
         assert!((cheap.parallelism - trace.parallelism).abs() < 1e-12);
+        // The per-routine distributions must agree too: normalized
+        // latency and stretch (committed only) and waits (started) come
+        // from the same timestamps and ideal runtimes on both paths.
+        assert_eq!(cheap.norm_latency.n, trace.norm_latency.n);
+        assert!((cheap.norm_latency.mean - trace.norm_latency.mean).abs() < 1e-9);
+        assert!((cheap.norm_latency.p95 - trace.norm_latency.p95).abs() < 1e-9);
+        assert_eq!(cheap.wait.n, trace.wait.n);
+        assert!((cheap.wait.mean - trace.wait.mean).abs() < 1e-9);
+        let mut a = cheap.stretch.clone();
+        let mut b = trace.stretch.clone();
+        a.sort_by(f64::total_cmp);
+        b.sort_by(f64::total_cmp);
+        assert_eq!(a, b, "pooled stretch factors are the same multiset");
         // Same spec stream → same digest, every time.
         assert_eq!(cheap.digest, run_trials_counters(4, mk).digest);
     }

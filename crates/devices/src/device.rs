@@ -232,6 +232,19 @@ impl VirtualDevice {
         self.health = Health::Up;
     }
 
+    /// Reinitializes the device in place, as if freshly constructed with
+    /// [`VirtualDevice::new`], but keeping the pending-dispatch deque's
+    /// allocation — so a home-state pool can recycle whole device vecs
+    /// across runs without per-home allocation.
+    pub fn reset(&mut self, initial: Value, actuation: TimeDelta, fail_reply: TimeDelta) {
+        self.state = initial;
+        self.health = Health::Up;
+        self.inflight = None;
+        self.pending.clear();
+        self.actuation = actuation;
+        self.fail_reply = fail_reply;
+    }
+
     /// Forces the physical state (used only by tests and the emulator's
     /// admin interface).
     pub fn force_state(&mut self, v: Value) {

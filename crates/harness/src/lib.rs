@@ -9,6 +9,12 @@
 //! The harness is deterministic: equal [`RunSpec`]s (including the seed)
 //! produce identical traces.
 //!
+//! The execution logic itself lives in [`runtime::HomeRuntime`], the
+//! backend-independent mediation layer shared with the kasa real-time
+//! runner: [`runtime::Backend`] abstracts clock + device I/O, and
+//! [`sim::SimBackend`] is the discrete-event implementation
+//! ([`Driver`] = `HomeRuntime<SimBackend, S>`).
+//!
 //! Two entry points: [`run`] drives one spec to quiescence and returns
 //! its full trace; [`fleet::run_fleet`] spreads many independent homes
 //! across worker threads — statically sharded or work-stealing
@@ -16,11 +22,13 @@
 //! throughput.
 
 pub mod fleet;
+pub mod runtime;
 pub mod sim;
 pub mod spec;
 
 pub use fleet::{
     home_seed, run_fleet, run_fleet_with, FleetResult, FleetSchedule, HomeRun, WorkerStats,
 };
-pub use sim::{run, Driver, RunOutput, Step};
+pub use runtime::{Backend, CommandOutcome, HomeRuntime, HomeTables, Polled, RuntimeCore, Step};
+pub use sim::{run, Driver, RunOutput, SimBackend};
 pub use spec::{Arrival, RunSpec, Submission};

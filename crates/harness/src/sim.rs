@@ -1,28 +1,28 @@
-//! The discrete-event run driver.
+//! The discrete-event backend and run driver.
 //!
-//! [`Driver`] binds one engine, one virtual home and one event queue and
-//! advances them one popped event at a time ([`Driver::step`]), reporting
-//! everything that happens to a pluggable [`TraceSink`]. The full
-//! [`Trace`] recorder is the default sink; fleet-scale callers plug in
-//! [`safehome_types::sink::RunCounters`] to keep the hot loop free of
-//! per-event allocation. [`run`] is the one-shot convenience wrapper that
-//! drives a spec to quiescence and returns its full trace.
+//! [`SimBackend`] is the virtual-time [`Backend`]: a calendar-wheel
+//! [`EventQueue`], a vec of [`VirtualDevice`]s, the ping-based
+//! [`FailureDetector`] and the seeded latency RNG. [`Driver`] is the
+//! [`HomeRuntime`] over it — the same mediation layer the kasa real-time
+//! runner uses — reporting everything that happens to a pluggable
+//! [`TraceSink`]. The full [`Trace`] recorder is the default sink;
+//! fleet-scale callers plug in [`safehome_types::sink::RunCounters`] to
+//! keep the hot loop free of per-event allocation. [`run`] is the
+//! one-shot convenience wrapper that drives a spec to quiescence and
+//! returns its full trace.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 
-use safehome_core::{Effect, EffectBuf, Engine, Input, TimerId};
-use safehome_devices::{
-    Detection, DeviceEvent, DispatchTicket, FailureDetector, Health, VirtualDevice,
-};
+use safehome_core::{Engine, TimerId};
+use safehome_devices::{DeviceEvent, DispatchTicket, FailureDetector, Health, VirtualDevice};
 use safehome_sim::{EventQueue, SimRng};
-use safehome_types::{
-    sink::TraceSink,
-    trace::{CmdOutcome, Trace, TraceEventKind},
-    DeviceId, RoutineId, TimeDelta, Timestamp, Value,
-};
+use safehome_types::{sink::TraceSink, trace::Trace, DeviceId, TimeDelta, Timestamp, Value};
 
-use crate::spec::{Arrival, RunSpec};
+use crate::runtime::{Backend, CommandOutcome, HomeRuntime, HomeTables, Polled, RuntimeCore};
+use crate::spec::RunSpec;
+
+pub use crate::runtime::Step;
 
 /// Result of one simulated run.
 #[derive(Debug, Clone)]
@@ -55,130 +55,96 @@ fn is_material(ev: &Ev) -> bool {
     !matches!(ev, Ev::Probe(_) | Ev::ProbeTimeout(_))
 }
 
+/// One recyclable bundle of per-home state: the event queue's
+/// bucket/deque storage, the virtual device vec (each device keeps its
+/// pending-dispatch deque), and the runtime's submission tables.
+#[derive(Default)]
+struct PooledHome {
+    queue: EventQueue<Ev>,
+    devices: Vec<VirtualDevice>,
+    tables: HomeTables,
+}
+
 thread_local! {
-    /// Recycled event queues: a fleet worker runs thousands of homes on
-    /// one thread, and reusing the queue's bucket/deque storage keeps the
-    /// per-home event loop free of queue allocations (the PR 1 arena-pool
-    /// lever applied to the run loop). Reuse never changes results — a
-    /// recycled queue is indistinguishable from a fresh one.
-    static QUEUE_POOL: RefCell<Vec<EventQueue<Ev>>> = const { RefCell::new(Vec::new()) };
+    /// The per-thread home-state pool: a fleet worker runs thousands of
+    /// homes on one thread, and recycling the queue, device and table
+    /// storage keeps the per-home setup free of allocation (the PR 4
+    /// queue-pool lever extended to all per-home state). Reuse never
+    /// changes results — a recycled home is indistinguishable from a
+    /// fresh one (every container is reset field-by-field).
+    static HOME_POOL: RefCell<Vec<PooledHome>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Queues kept per thread; one suffices per worker, a few cover nested
+/// Bundles kept per thread; one suffices per worker, a few cover nested
 /// driver use in tests.
-const QUEUE_POOL_CAP: usize = 4;
+const HOME_POOL_CAP: usize = 4;
 
-fn pooled_queue() -> EventQueue<Ev> {
-    QUEUE_POOL
-        .with(|p| p.borrow_mut().pop())
-        .unwrap_or_default()
+fn pooled_home() -> PooledHome {
+    HOME_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
 }
 
-fn recycle_queue(mut queue: EventQueue<Ev>) {
-    queue.clear();
-    QUEUE_POOL.with(|p| {
+fn recycle_home(mut home: PooledHome) {
+    home.queue.clear();
+    HOME_POOL.with(|p| {
         let mut pool = p.borrow_mut();
-        if pool.len() < QUEUE_POOL_CAP {
-            pool.push(queue);
+        if pool.len() < HOME_POOL_CAP {
+            pool.push(home);
         }
     });
 }
 
-/// What one [`Driver::step`] call did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Step {
-    /// One event was processed at the given virtual time.
-    Event(Timestamp),
-    /// The run reached quiescence; every submission resolved.
-    Quiescent,
-    /// The run cannot make further progress: an unsatisfiable submission
-    /// dependency or the safety horizon was hit.
-    Stalled,
-}
-
-/// A stepped simulation driver over one [`RunSpec`].
+/// The discrete-event [`Backend`]: virtual clock and devices.
 ///
-/// Construction schedules the workload, failure plan and detector probe
-/// loops; each [`Driver::step`] pops and processes one event. The driver
-/// is deterministic: equal specs (including the seed) produce identical
-/// event streams regardless of how stepping is interleaved with
-/// inspection.
-pub struct Driver<'a, S: TraceSink = Trace> {
+/// Owns everything timing- and I/O-shaped about a simulated run — the
+/// event queue, the virtual devices, the failure plan's injections, the
+/// probe loops and the latency RNG — and feeds the backend-independent
+/// [`RuntimeCore`] exactly the way the paper's emulation (§7.1) demands.
+pub struct SimBackend<'a> {
     spec: &'a RunSpec,
-    engine: Engine,
+    queue: EventQueue<Ev>,
     devices: Vec<VirtualDevice>,
     detector: FailureDetector,
-    queue: EventQueue<Ev>,
     rng: SimRng,
-    sink: S,
-    /// Scratch for engine effects, drained in place after every
-    /// `submit`/`handle` call: the steady-state loop allocates nothing
-    /// per event.
-    fx: EffectBuf,
     latency: safehome_devices::LatencyModel,
     /// Outstanding material (non-probe) events.
     material: usize,
-    /// `After` submissions not yet scheduled, keyed by predecessor index.
-    deferred: BTreeMap<usize, Vec<(usize, TimeDelta)>>,
-    unscheduled: usize,
-    sub_of_routine: BTreeMap<RoutineId, usize>,
-    completed: bool,
-    done: bool,
 }
 
-impl<'a> Driver<'a, Trace> {
-    /// A driver recording the full execution trace.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a submission references an unknown device (specs are
-    /// authored by the workload generators, which validate against the
-    /// home).
-    pub fn new(spec: &'a RunSpec) -> Self {
-        let trace = Trace::new(spec.home.initial_states());
-        Driver::with_sink(spec, trace)
-    }
-}
-
-impl<'a, S: TraceSink> Driver<'a, S> {
-    /// A driver reporting to the given sink.
-    pub fn with_sink(spec: &'a RunSpec, sink: S) -> Self {
+impl<'a> SimBackend<'a> {
+    fn new(spec: &'a RunSpec, pooled: &mut PooledHome) -> Self {
         let n = spec.home.len();
-        let initial = spec.home.initial_states();
-        let devices: Vec<VirtualDevice> = spec
-            .home
-            .devices()
-            .iter()
-            .map(|d| VirtualDevice::new(d.initial, TimeDelta::ZERO, spec.detect_timeout))
-            .collect();
-        let mut driver = Driver {
-            spec,
-            engine: Engine::new(spec.config.clone(), &initial),
-            devices,
-            detector: FailureDetector::new(n, spec.ping_interval, spec.detect_timeout),
-            queue: pooled_queue(),
-            rng: SimRng::seed_from_u64(spec.seed),
-            sink,
-            fx: EffectBuf::new(),
-            latency: spec.latency,
-            material: 0,
-            deferred: BTreeMap::new(),
-            unscheduled: 0,
-            sub_of_routine: BTreeMap::new(),
-            completed: false,
-            done: false,
-        };
-        // Schedule the workload.
-        for (i, s) in spec.submissions.iter().enumerate() {
-            match s.arrival {
-                Arrival::At(at) => driver.schedule(at, Ev::Submit(i)),
-                Arrival::After { index, delay } => {
-                    assert!(index < spec.submissions.len(), "dangling dependency");
-                    driver.deferred.entry(index).or_default().push((i, delay));
-                    driver.unscheduled += 1;
-                }
+        // Reuse pooled device slots in place (each keeps its pending
+        // deque allocation); grow with fresh ones as needed.
+        let mut devices = std::mem::take(&mut pooled.devices);
+        for (i, d) in spec.home.devices().iter().enumerate() {
+            if let Some(slot) = devices.get_mut(i) {
+                slot.reset(d.initial, TimeDelta::ZERO, spec.detect_timeout);
+            } else {
+                devices.push(VirtualDevice::new(
+                    d.initial,
+                    TimeDelta::ZERO,
+                    spec.detect_timeout,
+                ));
             }
         }
+        devices.truncate(n);
+        SimBackend {
+            spec,
+            queue: std::mem::take(&mut pooled.queue),
+            devices,
+            detector: FailureDetector::new(n, spec.ping_interval, spec.detect_timeout),
+            rng: SimRng::seed_from_u64(spec.seed),
+            latency: spec.latency,
+            material: 0,
+        }
+    }
+
+    /// Schedules the failure plan's injections and the detector's probe
+    /// loops. Called *after* the runtime scheduled the workload, so
+    /// same-instant FIFO tie-breaks (submission before injection) match
+    /// the original driver event-for-event.
+    fn schedule_plan(&mut self) {
+        let spec = self.spec;
         // Schedule ground-truth failures and the detector's probe loops.
         for ev in spec.failures.sorted_events() {
             let kind = if ev.is_failure {
@@ -186,7 +152,7 @@ impl<'a, S: TraceSink> Driver<'a, S> {
             } else {
                 Ev::InjectRestart(ev.device)
             };
-            driver.schedule(ev.at, kind);
+            self.schedule(ev.at, kind);
         }
         // Probes exist to detect health transitions, and a device the
         // failure plan never touches can never have one — every probe of
@@ -198,95 +164,10 @@ impl<'a, S: TraceSink> Driver<'a, S> {
         // devices ever matter) without changing the event stream at all.
         for d in spec.home.ids() {
             if spec.failures.involves(d) {
-                let at = driver.detector.next_probe_at(d);
-                driver.queue.schedule(at, Ev::Probe(d)); // probes are immaterial
+                let at = self.detector.next_probe_at(d);
+                self.queue.schedule(at, Ev::Probe(d)); // probes are immaterial
             }
         }
-        driver
-    }
-
-    /// The current virtual time.
-    pub fn now(&self) -> Timestamp {
-        self.queue.now()
-    }
-
-    /// Read access to the sink (inspect mid-run state between steps).
-    pub fn sink(&self) -> &S {
-        &self.sink
-    }
-
-    /// `true` once the run has ended (quiescent or stalled).
-    pub fn is_done(&self) -> bool {
-        self.done
-    }
-
-    /// Pops and processes the next event.
-    pub fn step(&mut self) -> Step {
-        if self.done {
-            return if self.completed {
-                Step::Quiescent
-            } else {
-                Step::Stalled
-            };
-        }
-        if self.material == 0 && self.engine.quiescent() {
-            self.done = true;
-            if self.unscheduled == 0 {
-                self.completed = true;
-                return Step::Quiescent;
-            }
-            // Unsatisfiable dependency chain.
-            self.completed = false;
-            return Step::Stalled;
-        }
-        let Some((now, ev)) = self.queue.pop() else {
-            self.done = true;
-            self.completed = self.engine.quiescent() && self.unscheduled == 0;
-            return if self.completed {
-                Step::Quiescent
-            } else {
-                Step::Stalled
-            };
-        };
-        if now > self.spec.max_time {
-            self.done = true;
-            self.completed = false;
-            return Step::Stalled;
-        }
-        if is_material(&ev) {
-            self.material -= 1;
-        }
-        self.process(now, ev);
-        Step::Event(now)
-    }
-
-    /// Steps until the run ends; `true` when it reached quiescence.
-    pub fn run_to_quiescence(&mut self) -> bool {
-        loop {
-            match self.step() {
-                Step::Event(_) => {}
-                Step::Quiescent => return true,
-                Step::Stalled => return false,
-            }
-        }
-    }
-
-    /// Finalizes the sink (witness order, end states, congruence) and
-    /// returns it with the engine's committed states and the completion
-    /// flag. Callable at any point; an unfinished run reports
-    /// `completed = false`.
-    pub fn into_output(mut self) -> (S, BTreeMap<DeviceId, Value>, bool) {
-        let end_states = self
-            .spec
-            .home
-            .ids()
-            .map(|d| (d, self.devices[d.index()].state()))
-            .collect();
-        let committed = self.engine.committed_states();
-        self.sink
-            .finish(self.engine.witness_order(), end_states, &committed);
-        recycle_queue(std::mem::take(&mut self.queue));
-        (self.sink, committed, self.completed)
     }
 
     fn schedule(&mut self, at: Timestamp, ev: Ev) {
@@ -295,135 +176,48 @@ impl<'a, S: TraceSink> Driver<'a, S> {
         }
         self.queue.schedule(at, ev);
     }
+}
 
-    fn emit_detection(&mut self, det: Detection, now: Timestamp) {
-        let (kind, input) = match det {
-            Detection::Down(d) => (
-                TraceEventKind::DeviceDownDetected { device: d },
-                Input::DeviceDown { device: d },
-            ),
-            Detection::Up(d) => (
-                TraceEventKind::DeviceUpDetected { device: d },
-                Input::DeviceUp { device: d },
-            ),
-        };
-        self.sink.record(now, kind);
-        self.engine.handle(input, now, &mut self.fx);
-        self.apply_effects(now);
+impl Backend for SimBackend<'_> {
+    fn idle(&self) -> bool {
+        self.material == 0
     }
 
-    /// Drains the effect scratch in place, interpreting each effect. The
-    /// buffer is always fully drained before the next engine call, so
-    /// one reusable allocation serves the whole run.
-    fn apply_effects(&mut self, now: Timestamp) {
-        // The loop needs `&mut self` (scheduling, RNG, sink), so detach
-        // the buffer for its duration; effects never re-enter the engine
-        // here, so nothing else writes to it meanwhile.
-        let mut fx = std::mem::take(&mut self.fx);
-        for e in fx.drain(..) {
-            match e {
-                Effect::Dispatch {
-                    routine,
-                    idx,
-                    device,
-                    action,
-                    duration,
-                    rollback,
-                } => {
-                    if !rollback {
-                        self.sink.record(
-                            now,
-                            TraceEventKind::CommandDispatched {
-                                routine,
-                                idx,
-                                device,
-                            },
-                        );
-                    }
-                    let net = self.latency.sample(&mut self.rng);
-                    let ticket = DispatchTicket {
-                        routine: Some(routine),
-                        idx,
-                        action,
-                        duration,
-                        rollback,
-                    };
-                    self.schedule(now + net, Ev::DeviceArrive(device, ticket));
-                }
-                Effect::SetTimer { timer, at } => self.schedule(at, Ev::EngineTimer(timer)),
-                Effect::Started { routine } => {
-                    self.sink.record(now, TraceEventKind::Started { routine });
-                }
-                Effect::Committed { routine } => {
-                    self.sink.record(now, TraceEventKind::Committed { routine });
-                    self.release_dependents(routine, now);
-                }
-                Effect::Aborted {
-                    routine,
-                    reason,
-                    executed,
-                    rolled_back,
-                } => {
-                    self.sink.record(
-                        now,
-                        TraceEventKind::Aborted {
-                            routine,
-                            reason,
-                            executed,
-                            rolled_back,
-                        },
-                    );
-                    self.release_dependents(routine, now);
-                }
-                Effect::BestEffortSkipped {
-                    routine,
-                    idx,
-                    device,
-                } => {
-                    self.sink.record(
-                        now,
-                        TraceEventKind::BestEffortSkipped {
-                            routine,
-                            idx,
-                            device,
-                        },
-                    );
-                }
-                Effect::Feedback { .. } => {}
-            }
+    fn now(&self) -> Timestamp {
+        self.queue.now()
+    }
+
+    fn dispatch(&mut self, now: Timestamp, device: DeviceId, ticket: DispatchTicket) {
+        let net = self.latency.sample(&mut self.rng);
+        self.schedule(now + net, Ev::DeviceArrive(device, ticket));
+    }
+
+    fn set_timer(&mut self, at: Timestamp, timer: TimerId) {
+        self.schedule(at, Ev::EngineTimer(timer));
+    }
+
+    fn schedule_submit(&mut self, at: Timestamp, index: usize) {
+        self.schedule(at, Ev::Submit(index));
+    }
+
+    fn poll<S: TraceSink>(&mut self, core: &mut RuntimeCore<'_, S>) -> Polled {
+        let Some((now, ev)) = self.queue.pop() else {
+            return Polled::Exhausted;
+        };
+        if now > core.horizon() {
+            // Put the unconsumed event back (its material count was never
+            // decremented), so backend state stays consistent and a
+            // caller extending the horizon via `set_horizon` resumes
+            // instead of silently losing this event. The stalled run
+            // records nothing further, so the event stream is unchanged.
+            self.queue.schedule(now, ev);
+            return Polled::PastHorizon;
         }
-        debug_assert!(
-            self.fx.is_empty(),
-            "effects appended to the scratch during the drain would be lost"
-        );
-        self.fx = fx;
-    }
-
-    fn release_dependents(&mut self, routine: RoutineId, now: Timestamp) {
-        let Some(&sub) = self.sub_of_routine.get(&routine) else {
-            return;
-        };
-        let Some(deps) = self.deferred.remove(&sub) else {
-            return;
-        };
-        for (dep_index, delay) in deps {
-            self.unscheduled -= 1;
-            self.schedule(now + delay, Ev::Submit(dep_index));
+        if is_material(&ev) {
+            self.material -= 1;
         }
-    }
-
-    fn process(&mut self, now: Timestamp, ev: Ev) {
         match ev {
-            Ev::Submit(i) => {
-                let routine = &self.spec.submissions[i].routine;
-                let id = self
-                    .engine
-                    .submit(routine.clone(), now, &mut self.fx)
-                    .expect("workload validated against home");
-                self.sub_of_routine.insert(id, i);
-                self.sink.record_submission(id, routine, now);
-                self.apply_effects(now);
-            }
+            Ev::Submit(i) => core.submit_indexed(i, now, self),
             Ev::DeviceArrive(d, ticket) => {
                 if let Some(at) = self.devices[d.index()].dispatch(ticket, now) {
                     self.schedule(at, Ev::DeviceComplete(d));
@@ -447,77 +241,36 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                         new_state,
                         observed,
                     }) => {
-                        if let Some(v) = new_state {
-                            self.sink.record(
-                                now,
-                                TraceEventKind::StateChanged {
-                                    device: d,
-                                    value: v,
-                                    by: ticket.routine,
-                                    rollback: ticket.rollback,
-                                },
-                            );
-                        }
-                        if let Some(det) = self.detector.on_ack(d, now) {
-                            self.emit_detection(det, now);
-                        }
-                        let routine = ticket.routine.expect("harness tickets carry routines");
-                        if !ticket.rollback {
-                            self.sink.record(
-                                now,
-                                TraceEventKind::CommandCompleted {
-                                    routine,
-                                    idx: ticket.idx,
-                                    device: d,
-                                    outcome: CmdOutcome::Success { observed },
-                                },
-                            );
-                        }
-                        self.engine.handle(
-                            Input::CommandResult {
-                                routine,
-                                idx: ticket.idx,
+                        let detection = self.detector.on_ack(d, now);
+                        core.on_command(
+                            now,
+                            CommandOutcome {
                                 device: d,
+                                ticket,
                                 success: true,
                                 observed,
-                                rollback: ticket.rollback,
+                                new_state,
+                                detection,
                             },
-                            now,
-                            &mut self.fx,
+                            self,
                         );
-                        self.apply_effects(now);
                     }
                     Some(DeviceEvent::Failed { ticket }) => {
                         // A dead command reply is also an implicit
                         // detection: the edge times out on the call.
-                        if let Some(det) = self.detector.on_timeout(d, now) {
-                            self.emit_detection(det, now);
-                        }
-                        let routine = ticket.routine.expect("harness tickets carry routines");
-                        if !ticket.rollback {
-                            self.sink.record(
-                                now,
-                                TraceEventKind::CommandCompleted {
-                                    routine,
-                                    idx: ticket.idx,
-                                    device: d,
-                                    outcome: CmdOutcome::Failed,
-                                },
-                            );
-                        }
-                        self.engine.handle(
-                            Input::CommandResult {
-                                routine,
-                                idx: ticket.idx,
+                        let detection = self.detector.on_timeout(d, now);
+                        core.on_command(
+                            now,
+                            CommandOutcome {
                                 device: d,
+                                ticket,
                                 success: false,
                                 observed: None,
-                                rollback: ticket.rollback,
+                                new_state: None,
+                                detection,
                             },
-                            now,
-                            &mut self.fx,
+                            self,
                         );
-                        self.apply_effects(now);
                     }
                 }
             }
@@ -528,7 +281,7 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                     self.queue.schedule(at, Ev::Probe(d));
                 } else if self.devices[d.index()].health() == Health::Up {
                     if let Some(det) = self.detector.on_ack(d, now) {
-                        self.emit_detection(det, now);
+                        core.emit_detection(det, now, self);
                     }
                     let at = self.detector.next_probe_at(d);
                     self.queue.schedule(at, Ev::Probe(d));
@@ -541,20 +294,78 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                 if self.devices[d.index()].health() == Health::Up {
                     // Restarted inside the probe window: counts as an ack.
                     if let Some(det) = self.detector.on_ack(d, now) {
-                        self.emit_detection(det, now);
+                        core.emit_detection(det, now, self);
                     }
                 } else if let Some(det) = self.detector.on_timeout(d, now) {
-                    self.emit_detection(det, now);
+                    core.emit_detection(det, now, self);
                 }
                 let at = self.detector.next_probe_at(d);
                 self.queue.schedule(at, Ev::Probe(d));
             }
-            Ev::EngineTimer(timer) => {
-                self.engine
-                    .handle(Input::Timer { timer }, now, &mut self.fx);
-                self.apply_effects(now);
-            }
+            Ev::EngineTimer(timer) => core.on_timer(timer, now, self),
         }
+        Polled::Event(now)
+    }
+
+    fn end_states(&mut self) -> BTreeMap<DeviceId, Value> {
+        self.spec
+            .home
+            .ids()
+            .map(|d| (d, self.devices[d.index()].state()))
+            .collect()
+    }
+
+    fn reclaim(&mut self, tables: HomeTables) {
+        recycle_home(PooledHome {
+            queue: std::mem::take(&mut self.queue),
+            devices: std::mem::take(&mut self.devices),
+            tables,
+        });
+    }
+}
+
+/// A stepped simulation driver over one [`RunSpec`]: the [`HomeRuntime`]
+/// bound to the discrete-event [`SimBackend`].
+///
+/// Construction schedules the workload, failure plan and detector probe
+/// loops; each [`HomeRuntime::step`] pops and processes one event. The
+/// driver is deterministic: equal specs (including the seed) produce
+/// identical event streams regardless of how stepping is interleaved
+/// with inspection.
+pub type Driver<'a, S = Trace> = HomeRuntime<'a, SimBackend<'a>, S>;
+
+impl<'a> Driver<'a, Trace> {
+    /// A driver recording the full execution trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a submission references an unknown device (specs are
+    /// authored by the workload generators, which validate against the
+    /// home).
+    pub fn new(spec: &'a RunSpec) -> Self {
+        let trace = Trace::new(spec.home.initial_states());
+        Driver::with_sink(spec, trace)
+    }
+}
+
+impl<'a, S: TraceSink> Driver<'a, S> {
+    /// A driver reporting to the given sink.
+    pub fn with_sink(spec: &'a RunSpec, sink: S) -> Self {
+        let mut pooled = pooled_home();
+        let backend = SimBackend::new(spec, &mut pooled);
+        let engine = Engine::new(spec.config.clone(), &spec.home.initial_states());
+        let mut driver = HomeRuntime::assemble(
+            engine,
+            sink,
+            &spec.submissions,
+            spec.max_time,
+            pooled.tables,
+            backend,
+        );
+        // Workload first, then injections and probes: same-instant FIFO
+        // tie-breaks must match the pre-refactor driver exactly.
+        driver.backend_mut().schedule_plan();
+        driver
     }
 }
 
@@ -574,7 +385,6 @@ pub fn run(spec: &RunSpec) -> RunOutput {
         committed_states,
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -583,7 +393,7 @@ mod tests {
     use safehome_devices::catalog::plug_home;
     use safehome_devices::FailurePlan;
     use safehome_types::sink::RunCounters;
-    use safehome_types::trace::RoutineOutcome;
+    use safehome_types::trace::{RoutineOutcome, TraceEventKind};
     use safehome_types::Routine;
 
     fn d(i: u32) -> DeviceId {
@@ -676,6 +486,7 @@ mod tests {
                 }
                 Step::Quiescent => break,
                 Step::Stalled => panic!("run stalled"),
+                Step::Idle => unreachable!("the simulation backend never idles"),
             }
         }
         assert!(events > 0);
@@ -751,6 +562,32 @@ mod tests {
             r1.finished.unwrap() + TimeDelta::from_secs(1),
             "dependent submitted exactly one second after predecessor"
         );
+    }
+
+    #[test]
+    fn deferred_routine_released_at_quiescence_instant_still_runs() {
+        // Regression for the unified quiescence bookkeeping: when the
+        // predecessor's commit is the last material event, the zero-delay
+        // dependent is released at the very instant the engine quiesces —
+        // the runtime must schedule it (and count it as outstanding
+        // backend work) before the next step's quiescence check, or the
+        // run would end with the dependent never submitted. The kasa
+        // backend has the mirror test
+        // (`deferred_routine_at_quiescence_still_runs`).
+        let mut spec = RunSpec::new(plug_home(2), EngineConfig::new(VisibilityModel::ev()));
+        let first = spec.submit(Submission::at(
+            simple_routine(&[0], Value::ON),
+            Timestamp::ZERO,
+        ));
+        spec.submit(Submission::after(
+            simple_routine(&[1], Value::ON),
+            first,
+            TimeDelta::ZERO,
+        ));
+        let out = run(&spec);
+        assert!(out.completed);
+        assert_eq!(out.trace.committed().len(), 2, "the dependent ran too");
+        assert_eq!(out.trace.end_states[&d(1)], Value::ON);
     }
 
     #[test]

@@ -1,13 +1,19 @@
-//! A real-time runner: the same engine, live sockets.
+//! A real-time runner: the same engine — and the same runtime.
 //!
-//! Where `safehome-harness` drives the engine over virtual time, this
-//! runner drives it over wall-clock time against Kasa devices (emulated
-//! or physical): dispatch effects become driver calls on worker threads,
-//! `SetTimer` effects become deadline waits on the same deterministic
-//! [`EventQueue`] the simulator uses (run-relative milliseconds are the
-//! shared time axis), and a ping thread feeds the detector. This is the
-//! edge-device deployment shape of §6.
+//! Where `safehome-harness` drives the [`HomeRuntime`] over virtual
+//! time, this runner drives the *identical* runtime over wall-clock time
+//! against Kasa devices (emulated or physical): [`KasaBackend`]
+//! implements the harness's [`Backend`] trait, turning dispatch effects
+//! into driver calls on worker threads, `SetTimer` effects into deadline
+//! waits on the same deterministic [`EventQueue`] the simulator uses
+//! (run-relative milliseconds are the shared time axis), and a ping
+//! thread into detector transitions. This is the edge-device deployment
+//! shape of §6 — and because the mediation layer is shared, the runner
+//! gets [`TraceSink`] reporting (full [`Trace`] or
+//! [`safehome_types::sink::RunCounters`]), scheduled/`After`-chained
+//! workloads and the harness's quiescence bookkeeping for free.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -15,22 +21,27 @@ use std::time::{Duration, Instant};
 
 use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 
-use safehome_core::{Effect, EffectBuf, Engine, EngineConfig, Input, TimerId};
+use safehome_core::{Engine, EngineConfig, TimerId};
+use safehome_devices::{Detection, DispatchTicket};
+use safehome_harness::{
+    Backend, CommandOutcome, HomeRuntime, HomeTables, Polled, RuntimeCore, Submission,
+};
 use safehome_sim::EventQueue;
 use safehome_types::{
-    trace::OrderItem, Action, CmdIdx, DeviceId, Result, Routine, RoutineId, Timestamp, Value,
+    sink::TraceSink,
+    trace::{OrderItem, Trace},
+    Action, DeviceId, Result, Routine, RoutineId, TimeDelta, Timestamp, Value,
 };
 
 use crate::driver::KasaDriver;
 
 enum RtEvent {
     CommandDone {
-        routine: RoutineId,
-        idx: CmdIdx,
         device: DeviceId,
+        ticket: DispatchTicket,
         success: bool,
         observed: Option<Value>,
-        rollback: bool,
+        new_state: Option<Value>,
     },
     Ping {
         device: DeviceId,
@@ -38,51 +49,53 @@ enum RtEvent {
     },
 }
 
+/// Wall-clock deadlines the backend waits on: engine timers and
+/// scheduled workload submissions share one queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RtTimer {
+    Engine(TimerId),
+    Submit(usize),
+}
+
 /// Outcome of a real-time run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// Routines that committed, in commit order.
     pub committed: Vec<RoutineId>,
-    /// Routines that aborted.
+    /// Routines that aborted, in abort order.
     pub aborted: Vec<RoutineId>,
     /// The witness serialization order.
     pub order: Vec<OrderItem>,
     /// Device states read back from the devices at the end.
     pub end_states: Vec<(DeviceId, Value)>,
+    /// `true` when the engine quiesced before the deadline.
+    pub completed: bool,
 }
 
-/// Drives a SafeHome [`Engine`] against live Kasa devices.
-pub struct RealTimeRunner {
-    engine: Engine,
+/// The wall-clock [`Backend`]: live sockets, worker threads and a ping
+/// loop, behind the same interface as the discrete-event simulator.
+pub struct KasaBackend {
     drivers: Vec<KasaDriver>,
     start: Instant,
     tx: Sender<RtEvent>,
     rx: Receiver<RtEvent>,
-    /// Engine timers on the run-relative time axis. The queue's clock
-    /// only advances when a due timer pops, so its clamp-to-now contract
-    /// matches the engine's tolerance for stale timers.
-    timers: EventQueue<TimerId>,
-    /// Effect scratch, drained after every engine call.
-    fx: EffectBuf,
+    /// Engine timers and scheduled submissions on the run-relative time
+    /// axis. The queue's clock only advances when a due entry pops, so
+    /// its clamp-to-now contract matches the engine's tolerance for
+    /// stale timers.
+    timers: EventQueue<RtTimer>,
+    /// Scheduled-but-not-yet-submitted workload entries; they hold the
+    /// run out of quiescence just like the simulator's material events.
+    pending_submits: usize,
+    /// One clone per in-flight command thread; `strong_count == 1`
+    /// means nothing is in flight.
     inflight: Arc<()>,
     believed_up: Vec<bool>,
     stop_ping: Arc<AtomicBool>,
 }
 
-impl RealTimeRunner {
-    /// Creates a runner over the given drivers; `initial[i]` is the
-    /// assumed starting state of device `i` (the runner reads the real
-    /// state from the device and prefers it when reachable).
-    pub fn new(
-        config: EngineConfig,
-        drivers: Vec<KasaDriver>,
-        ping_every: Duration,
-    ) -> Result<Self> {
-        let mut initial = std::collections::BTreeMap::new();
-        for (i, d) in drivers.iter().enumerate() {
-            let state = d.get().unwrap_or(Value::OFF);
-            initial.insert(DeviceId(i as u32), state);
-        }
+impl KasaBackend {
+    fn new(drivers: Vec<KasaDriver>, ping_every: Duration) -> Result<Self> {
         let (tx, rx) = unbounded();
         let stop_ping = Arc::new(AtomicBool::new(false));
         // Detector thread: periodic pings with implicit-ack semantics
@@ -109,188 +122,264 @@ impl RealTimeRunner {
                     }
                 })?;
         }
-        Ok(RealTimeRunner {
-            engine: Engine::new(config, &initial),
+        Ok(KasaBackend {
             believed_up: vec![true; drivers.len()],
             drivers,
             start: Instant::now(),
             tx,
             rx,
             timers: EventQueue::new(),
-            fx: EffectBuf::new(),
+            pending_submits: 0,
             inflight: Arc::new(()),
             stop_ping,
         })
+    }
+
+    /// Folds one liveness observation (command reply or ping) into the
+    /// believed-up state; returns the detection on an edge. One place
+    /// encodes the implicit-detection semantics: a dead reply is a
+    /// down-detection, any answer from a believed-down device is an up.
+    fn edge(&mut self, device: DeviceId, alive: bool) -> Option<Detection> {
+        let believed = &mut self.believed_up[device.index()];
+        if alive == *believed {
+            return None;
+        }
+        *believed = alive;
+        Some(if alive {
+            Detection::Up(device)
+        } else {
+            Detection::Down(device)
+        })
+    }
+
+    fn read_states(&self) -> BTreeMap<DeviceId, Value> {
+        self.drivers
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DeviceId(i as u32), d.get().unwrap_or(Value::OFF)))
+            .collect()
+    }
+}
+
+impl Backend for KasaBackend {
+    fn idle(&self) -> bool {
+        Arc::strong_count(&self.inflight) == 1 && self.pending_submits == 0
     }
 
     fn now(&self) -> Timestamp {
         Timestamp::from_millis(self.start.elapsed().as_millis() as u64)
     }
 
-    /// Submits a routine right now.
-    pub fn submit(&mut self, routine: Routine) -> Result<RoutineId> {
-        let now = self.now();
-        let id = self.engine.submit(routine, now, &mut self.fx)?;
-        self.apply();
-        Ok(id)
+    fn dispatch(&mut self, _now: Timestamp, device: DeviceId, ticket: DispatchTicket) {
+        let driver = self.drivers[device.index()].clone();
+        let tx = self.tx.clone();
+        let guard = self.inflight.clone();
+        thread::spawn(move || {
+            let _guard = guard;
+            let result: Result<(Option<Value>, Option<Value>)> = match ticket.action {
+                Action::Set(v) => driver.set(v).map(|acked| (None, Some(acked))),
+                Action::Read { .. } => driver.get().map(|v| (Some(v), None)),
+            };
+            // The device is held exclusively for the command's
+            // duration (oven preheats, sprinkler runs, ...).
+            if result.is_ok() {
+                thread::sleep(Duration::from_millis(ticket.duration.as_millis()));
+            }
+            let (observed, new_state) = result.as_ref().cloned().unwrap_or((None, None));
+            let _ = tx.send(RtEvent::CommandDone {
+                device,
+                ticket,
+                success: result.is_ok(),
+                observed,
+                new_state,
+            });
+        });
     }
 
-    /// Drains the effect scratch, interpreting each effect.
-    fn apply(&mut self) {
-        let mut fx = std::mem::take(&mut self.fx);
-        for e in fx.drain(..) {
-            match e {
-                Effect::Dispatch {
-                    routine,
-                    idx,
-                    device,
-                    action,
-                    duration,
-                    rollback,
-                } => {
-                    let driver = self.drivers[device.index()].clone();
-                    let tx = self.tx.clone();
-                    let guard = self.inflight.clone();
-                    thread::spawn(move || {
-                        let _guard = guard;
-                        let result: Result<Option<Value>> = match action {
-                            Action::Set(v) => driver.set(v).map(|_| None),
-                            Action::Read { .. } => driver.get().map(Some),
-                        };
-                        // The device is held exclusively for the command's
-                        // duration (oven preheats, sprinkler runs, ...).
-                        if result.is_ok() {
-                            thread::sleep(Duration::from_millis(duration.as_millis()));
-                        }
-                        let _ = tx.send(RtEvent::CommandDone {
-                            routine,
-                            idx,
-                            device,
-                            success: result.is_ok(),
-                            observed: result.ok().flatten(),
-                            rollback,
-                        });
-                    });
+    fn set_timer(&mut self, at: Timestamp, timer: TimerId) {
+        // Already run-relative; the queue clamps past deadlines to its
+        // clock, which trails wall time.
+        self.timers.schedule(at, RtTimer::Engine(timer));
+    }
+
+    fn schedule_submit(&mut self, at: Timestamp, index: usize) {
+        self.pending_submits += 1;
+        self.timers.schedule(at, RtTimer::Submit(index));
+    }
+
+    fn poll<S: TraceSink>(&mut self, core: &mut RuntimeCore<'_, S>) -> Polled {
+        if self.now() > core.horizon() {
+            return Polled::PastHorizon;
+        }
+        // Fire a due timer first (engine timer or scheduled submission).
+        if let Some(at) = self.timers.peek_time() {
+            if at <= self.now() {
+                let (_, timer) = self.timers.pop().expect("peeked");
+                let now = self.now();
+                match timer {
+                    RtTimer::Engine(t) => core.on_timer(t, now, self),
+                    RtTimer::Submit(i) => {
+                        self.pending_submits -= 1;
+                        core.submit_indexed(i, now, self);
+                    }
                 }
-                Effect::SetTimer { timer, at } => {
-                    // Already run-relative; the queue clamps past
-                    // deadlines to its clock, which trails wall time.
-                    self.timers.schedule(at, timer);
-                }
-                // Lifecycle effects are observable through the report.
-                Effect::Started { .. }
-                | Effect::Committed { .. }
-                | Effect::Aborted { .. }
-                | Effect::BestEffortSkipped { .. }
-                | Effect::Feedback { .. } => {}
+                return Polled::Event(now);
             }
         }
-        debug_assert!(
-            self.fx.is_empty(),
-            "effects appended to the scratch during the drain would be lost"
-        );
-        self.fx = fx;
+        let wait = self
+            .timers
+            .peek_time()
+            .map(|at| Duration::from_millis(at.as_millis().saturating_sub(self.now().as_millis())))
+            .unwrap_or(Duration::from_millis(50))
+            .min(Duration::from_millis(50));
+        match self.rx.recv_timeout(wait) {
+            Ok(RtEvent::CommandDone {
+                device,
+                ticket,
+                success,
+                observed,
+                new_state,
+            }) => {
+                let now = self.now();
+                // A command reply is also a liveness observation — the
+                // same implicit-ack semantics the simulator's detector
+                // has.
+                let detection = self.edge(device, success);
+                core.on_command(
+                    now,
+                    CommandOutcome {
+                        device,
+                        ticket,
+                        success,
+                        observed,
+                        new_state,
+                        detection,
+                    },
+                    self,
+                );
+                Polled::Event(now)
+            }
+            Ok(RtEvent::Ping { device, alive }) => {
+                let now = self.now();
+                if let Some(det) = self.edge(device, alive) {
+                    core.emit_detection(det, now, self);
+                }
+                Polled::Event(now)
+            }
+            Err(_) => Polled::Idle(self.now()),
+        }
+    }
+
+    fn end_states(&mut self) -> BTreeMap<DeviceId, Value> {
+        self.read_states()
+    }
+}
+
+impl Drop for KasaBackend {
+    fn drop(&mut self) {
+        self.stop_ping.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Horizon used until the caller sets a deadline (~100 years; the
+/// per-call deadline of [`RealTimeRunner::run_to_quiescence`] replaces
+/// it).
+const FAR_FUTURE: Timestamp = Timestamp::from_secs(100 * 365 * 24 * 3600);
+
+/// Drives a SafeHome [`Engine`] against live Kasa devices: a thin shell
+/// over [`HomeRuntime`]`<`[`KasaBackend`]`>`.
+pub struct RealTimeRunner<'a, S: TraceSink = Trace> {
+    rt: HomeRuntime<'a, KasaBackend, S>,
+}
+
+impl RealTimeRunner<'static, Trace> {
+    /// Creates a runner over the given drivers, recording a full
+    /// [`Trace`]. The runner reads each device's real state and prefers
+    /// it when reachable (unreachable devices are assumed `OFF`).
+    pub fn new(
+        config: EngineConfig,
+        drivers: Vec<KasaDriver>,
+        ping_every: Duration,
+    ) -> Result<Self> {
+        Self::with_sink_and_workload(config, drivers, ping_every, &[], |initial| {
+            Trace::new(initial.clone())
+        })
+    }
+}
+
+impl<'a, S: TraceSink> RealTimeRunner<'a, S> {
+    /// Creates a runner with an explicit sink and a scheduled workload.
+    ///
+    /// `workload` entries behave exactly as in the simulation harness:
+    /// absolute arrivals fire at their run-relative instant, and
+    /// `After`-chained entries submit when their predecessor finishes —
+    /// the deferral bookkeeping is the shared [`HomeRuntime`]'s.
+    /// `sink_from` receives the devices' initial states (recording sinks
+    /// want them; counting sinks ignore them).
+    pub fn with_sink_and_workload(
+        config: EngineConfig,
+        drivers: Vec<KasaDriver>,
+        ping_every: Duration,
+        workload: &'a [Submission],
+        sink_from: impl FnOnce(&BTreeMap<DeviceId, Value>) -> S,
+    ) -> Result<Self> {
+        let backend = KasaBackend::new(drivers, ping_every)?;
+        let initial = backend.read_states();
+        let sink = sink_from(&initial);
+        let engine = Engine::new(config, &initial);
+        Ok(RealTimeRunner {
+            rt: HomeRuntime::assemble(
+                engine,
+                sink,
+                workload,
+                FAR_FUTURE,
+                HomeTables::new(),
+                backend,
+            ),
+        })
+    }
+
+    /// Submits a routine right now.
+    pub fn submit(&mut self, routine: Routine) -> Result<RoutineId> {
+        self.rt.submit_now(routine)
+    }
+
+    /// Read access to the sink (inspect mid-run state).
+    pub fn sink(&self) -> &S {
+        self.rt.sink()
     }
 
     /// Runs until the engine quiesces (or `deadline` passes), then reads
     /// back device states.
+    ///
+    /// Callable repeatedly: a run that hit its deadline resumes draining
+    /// (commands still in flight, buffered completions, pings) under the
+    /// new deadline.
     pub fn run_to_quiescence(&mut self, deadline: Duration) -> RunReport {
-        let hard_stop = Instant::now() + deadline;
-        while !self.engine.quiescent() && Instant::now() < hard_stop {
-            // Fire due timers.
-            while let Some(at) = self.timers.peek_time() {
-                if at > self.now() {
-                    break;
-                }
-                let (_, timer) = self.timers.pop().expect("peeked");
-                let now = self.now();
-                self.engine
-                    .handle(Input::Timer { timer }, now, &mut self.fx);
-                self.apply();
-            }
-            let wait = self
-                .timers
-                .peek_time()
-                .map(|at| {
-                    Duration::from_millis(at.as_millis().saturating_sub(self.now().as_millis()))
-                })
-                .unwrap_or(Duration::from_millis(50))
-                .min(Duration::from_millis(50));
-            let Ok(event) = self.rx.recv_timeout(wait) else {
-                continue;
-            };
-            let now = self.now();
-            match event {
-                RtEvent::CommandDone {
-                    routine,
-                    idx,
-                    device,
-                    success,
-                    observed,
-                    rollback,
-                } => {
-                    if !success && self.believed_up[device.index()] {
-                        self.believed_up[device.index()] = false;
-                        self.engine
-                            .handle(Input::DeviceDown { device }, now, &mut self.fx);
-                        self.apply();
-                    }
-                    self.engine.handle(
-                        Input::CommandResult {
-                            routine,
-                            idx,
-                            device,
-                            success,
-                            observed,
-                            rollback,
-                        },
-                        now,
-                        &mut self.fx,
-                    );
-                    self.apply();
-                }
-                RtEvent::Ping { device, alive } => {
-                    let believed = &mut self.believed_up[device.index()];
-                    if alive != *believed {
-                        *believed = alive;
-                        let input = if alive {
-                            Input::DeviceUp { device }
-                        } else {
-                            Input::DeviceDown { device }
-                        };
-                        self.engine.handle(input, now, &mut self.fx);
-                        self.apply();
-                    }
-                }
-            }
-        }
-        self.stop_ping.store(true, Ordering::Relaxed);
+        self.rt
+            .set_horizon(self.rt.now() + TimeDelta::from_millis(deadline.as_millis() as u64));
+        let completed = self.rt.run_to_quiescence();
         let end_states = self
-            .drivers
-            .iter()
-            .enumerate()
-            .map(|(i, d)| (DeviceId(i as u32), d.get().unwrap_or(Value::OFF)))
-            .collect();
+            .rt
+            .backend_mut()
+            .read_states()
+            .into_iter()
+            .collect::<Vec<_>>();
         RunReport {
-            committed: self
-                .engine
-                .witness_order()
-                .iter()
-                .filter_map(|o| match o {
-                    OrderItem::Routine(r) => Some(*r),
-                    _ => None,
-                })
-                .collect(),
-            aborted: Vec::new(),
-            order: self.engine.witness_order(),
+            committed: self.rt.committed_ids().to_vec(),
+            aborted: self.rt.aborted_ids().to_vec(),
+            order: self.rt.engine().witness_order(),
             end_states,
+            completed,
         }
     }
-}
 
-impl Drop for RealTimeRunner {
-    fn drop(&mut self) {
-        self.stop_ping.store(true, Ordering::Relaxed);
+    /// Finalizes the sink (witness order, end states read from the
+    /// devices, congruence against the engine's committed view) and
+    /// returns it with the committed states and the completion flag —
+    /// the same contract as the simulation driver's `into_output`.
+    pub fn into_output(self) -> (S, BTreeMap<DeviceId, Value>, bool) {
+        self.rt.into_output()
     }
 }
 
@@ -301,14 +390,8 @@ mod tests {
     use safehome_core::VisibilityModel;
     use safehome_types::TimeDelta;
 
-    fn setup(n: usize) -> (Vec<EmulatedPlug>, RealTimeRunner) {
-        let plugs: Vec<EmulatedPlug> = (0..n)
-            .map(|i| EmulatedPlug::spawn(format!("plug{i}"), Value::OFF).unwrap())
-            .collect();
-        let drivers = plugs
-            .iter()
-            .map(|p| KasaDriver::new(p.handle().addr(), Duration::from_millis(200)))
-            .collect();
+    fn setup(n: usize) -> (Vec<EmulatedPlug>, RealTimeRunner<'static>) {
+        let (plugs, drivers) = plugs_and_drivers(n);
         let runner = RealTimeRunner::new(
             EngineConfig::new(VisibilityModel::ev()),
             drivers,
@@ -316,6 +399,17 @@ mod tests {
         )
         .unwrap();
         (plugs, runner)
+    }
+
+    fn plugs_and_drivers(n: usize) -> (Vec<EmulatedPlug>, Vec<KasaDriver>) {
+        let plugs: Vec<EmulatedPlug> = (0..n)
+            .map(|i| EmulatedPlug::spawn(format!("plug{i}"), Value::OFF).unwrap())
+            .collect();
+        let drivers = plugs
+            .iter()
+            .map(|p| KasaDriver::new(p.handle().addr(), Duration::from_millis(200)))
+            .collect();
+        (plugs, drivers)
     }
 
     #[test]
@@ -330,6 +424,7 @@ mod tests {
             )
             .unwrap();
         let report = runner.run_to_quiescence(Duration::from_secs(10));
+        assert!(report.completed);
         assert_eq!(report.committed.len(), 1);
         assert_eq!(plugs[0].handle().state(), Value::ON);
         assert_eq!(plugs[1].handle().state(), Value::ON);
@@ -372,10 +467,157 @@ mod tests {
             .unwrap();
         let report = runner.run_to_quiescence(Duration::from_secs(15));
         assert!(report.committed.is_empty());
+        assert_eq!(report.aborted.len(), 1, "the doomed routine aborts");
         assert_eq!(
             plugs[0].handle().state(),
             Value::OFF,
             "device 0's ON must be rolled back"
         );
+    }
+
+    #[test]
+    fn trace_sink_records_the_real_time_run() {
+        let (_plugs, mut runner) = setup(2);
+        runner
+            .submit(
+                Routine::builder("traced")
+                    .set(DeviceId(0), Value::ON, TimeDelta::from_millis(10))
+                    .set(DeviceId(1), Value::ON, TimeDelta::from_millis(10))
+                    .build(),
+            )
+            .unwrap();
+        let report = runner.run_to_quiescence(Duration::from_secs(10));
+        assert!(report.completed);
+        let (trace, committed_states, completed) = runner.into_output();
+        assert!(completed);
+        assert_eq!(trace.committed().len(), 1, "the sink saw the commit");
+        assert_eq!(committed_states[&DeviceId(0)], Value::ON);
+        assert_eq!(trace.end_states[&DeviceId(1)], Value::ON);
+    }
+
+    #[test]
+    fn submit_after_quiescence_reopens_the_run() {
+        // Regression: the interactive pattern — submit, run to
+        // quiescence, submit more, run again — must drive the new
+        // routine rather than replay the finished run's terminal state.
+        let (plugs, mut runner) = setup(2);
+        runner
+            .submit(
+                Routine::builder("first")
+                    .set(DeviceId(0), Value::ON, TimeDelta::from_millis(10))
+                    .build(),
+            )
+            .unwrap();
+        let first = runner.run_to_quiescence(Duration::from_secs(10));
+        assert!(first.completed);
+        assert_eq!(first.committed.len(), 1);
+        runner
+            .submit(
+                Routine::builder("second")
+                    .set(DeviceId(1), Value::ON, TimeDelta::from_millis(10))
+                    .build(),
+            )
+            .unwrap();
+        let second = runner.run_to_quiescence(Duration::from_secs(10));
+        assert!(second.completed);
+        assert_eq!(second.committed.len(), 2, "the second routine ran too");
+        assert_eq!(plugs[1].handle().state(), Value::ON);
+    }
+
+    #[test]
+    fn expired_deadline_run_resumes_on_the_next_call() {
+        // Regression: hitting the deadline must not latch the runtime
+        // shut. The first call times out mid-command; the second call
+        // (longer deadline) drains the buffered completion and finishes
+        // the routine — the pre-unification loop allowed exactly this.
+        let (plugs, mut runner) = setup(1);
+        runner
+            .submit(
+                Routine::builder("slow")
+                    .set(DeviceId(0), Value::ON, TimeDelta::from_millis(400))
+                    .build(),
+            )
+            .unwrap();
+        let first = runner.run_to_quiescence(Duration::from_millis(50));
+        assert!(
+            !first.completed,
+            "50ms deadline cannot cover a 400ms command"
+        );
+        let second = runner.run_to_quiescence(Duration::from_secs(10));
+        assert!(second.completed, "the extended deadline resumes the run");
+        assert_eq!(second.committed.len(), 1);
+        assert_eq!(plugs[0].handle().state(), Value::ON);
+    }
+
+    #[test]
+    fn deferred_routine_at_quiescence_still_runs() {
+        // Mirror of the sim backend's
+        // `deferred_routine_released_at_quiescence_instant_still_runs`:
+        // the predecessor's commit is the last in-flight work, and the
+        // zero-delay dependent is released exactly as the engine
+        // quiesces. The shared runtime must hold the run open (pending
+        // scheduled submissions make the backend non-idle) until the
+        // dependent has run.
+        use safehome_harness::Submission;
+        use safehome_types::Timestamp;
+        let (plugs, drivers) = plugs_and_drivers(2);
+        let workload = vec![
+            Submission::at(
+                Routine::builder("first")
+                    .set(DeviceId(0), Value::ON, TimeDelta::from_millis(10))
+                    .build(),
+                Timestamp::ZERO,
+            ),
+            Submission::after(
+                Routine::builder("dependent")
+                    .set(DeviceId(1), Value::ON, TimeDelta::from_millis(10))
+                    .build(),
+                0,
+                TimeDelta::ZERO,
+            ),
+        ];
+        let mut runner = RealTimeRunner::with_sink_and_workload(
+            EngineConfig::new(VisibilityModel::ev()),
+            drivers,
+            Duration::from_millis(500),
+            &workload,
+            |initial| Trace::new(initial.clone()),
+        )
+        .unwrap();
+        let report = runner.run_to_quiescence(Duration::from_secs(10));
+        assert!(report.completed);
+        assert_eq!(report.committed.len(), 2, "the deferred routine ran");
+        assert_eq!(plugs[1].handle().state(), Value::ON);
+    }
+
+    #[test]
+    fn counters_sink_works_on_the_real_time_runner() {
+        use safehome_harness::Submission;
+        use safehome_types::sink::RunCounters;
+        use safehome_types::Timestamp;
+        let (_plugs, drivers) = plugs_and_drivers(2);
+        let workload = vec![Submission::at(
+            Routine::builder("counted")
+                .set(DeviceId(0), Value::ON, TimeDelta::from_millis(10))
+                .set(DeviceId(1), Value::ON, TimeDelta::from_millis(10))
+                .build(),
+            Timestamp::from_millis(10),
+        )];
+        let mut runner = RealTimeRunner::with_sink_and_workload(
+            EngineConfig::new(VisibilityModel::ev()),
+            drivers,
+            Duration::from_millis(500),
+            &workload,
+            |_| RunCounters::new(),
+        )
+        .unwrap();
+        let report = runner.run_to_quiescence(Duration::from_secs(10));
+        assert!(report.completed);
+        let (counters, _, completed) = runner.into_output();
+        assert!(completed);
+        assert_eq!(counters.submitted, 1);
+        assert_eq!(counters.committed, 1);
+        assert_eq!(counters.dispatches, 2);
+        assert!(counters.congruent, "devices match the committed view");
     }
 }

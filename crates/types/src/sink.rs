@@ -137,6 +137,97 @@ pub fn fold_digest(acc: u64, value: u64) -> u64 {
     h.finish()
 }
 
+/// How many buffered words trigger a digest mixing pass. Events hash to
+/// a handful of words each, so one pass folds roughly a dozen events —
+/// amortizing the per-event hasher setup and letting the enum traversal
+/// and the serial mix chain run as separate tight loops. Replaying the
+/// buffered words through the same chain is bit-for-bit identical to
+/// mixing them eagerly, so committed digest baselines are unaffected.
+const DIGEST_BATCH: usize = 64;
+
+/// Replays buffered words through the digest chain (see
+/// [`DIGEST_BATCH`]); the chain state resumes exactly where the last
+/// flush left it, so batching never changes the final digest.
+fn flush_words(digest: &mut u64, pending: &mut Vec<u64>) {
+    let mut h = DigestHasher(*digest);
+    for &w in pending.iter() {
+        h.write_u64(w);
+    }
+    *digest = h.finish();
+    pending.clear();
+}
+
+/// Hasher that captures the word stream into the batch buffer instead of
+/// mixing eagerly. The rarely-taken byte path (no trace vocabulary hits
+/// it today) flushes and applies the FNV byte mix directly, preserving
+/// the exact chain order of the unbatched digest.
+struct BatchHasher<'a> {
+    digest: &'a mut u64,
+    pending: &'a mut Vec<u64>,
+}
+
+impl BatchHasher<'_> {
+    #[inline]
+    fn push(&mut self, v: u64) {
+        self.pending.push(v);
+    }
+}
+
+impl Hasher for BatchHasher<'_> {
+    fn write(&mut self, bytes: &[u8]) {
+        flush_words(self.digest, self.pending);
+        for &b in bytes {
+            *self.digest ^= b as u64;
+            *self.digest = self.digest.wrapping_mul(DigestHasher::PRIME);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.push(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.push(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.push(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.push(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.push(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.push(i as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        unreachable!("BatchHasher only captures; the digest chain finishes at flush")
+    }
+}
+
+/// Per-routine bookkeeping while a routine is in flight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SubInfo {
+    submitted: Timestamp,
+    commands: u32,
+    /// The routine's ideal runtime in ms (floored at 1), the normalizer
+    /// for normalized latency and stretch.
+    ideal_ms: u64,
+    started: Option<Timestamp>,
+}
+
 /// Counters-only sink: outcomes, latencies, end-state congruence,
 /// temporary incongruence, parallelism and a deterministic event digest —
 /// no per-event `Vec` pushes, memory bounded by the home (routines ×
@@ -152,6 +243,12 @@ pub fn fold_digest(acc: u64, value: u64) -> u64 {
 /// Two runs with identical event streams, witness orders and end states
 /// produce byte-identical `RunCounters` (the fleet determinism check
 /// compares them across worker-thread counts).
+///
+/// Per-routine distribution metrics (normalized latency, waits, stretch
+/// — the quantities that used to force experiments onto the trace path)
+/// are kept as pooled vectors, bounded by the routine count; experiments
+/// recycle one sink across trials via [`RunCounters::reset`], so the
+/// steady state allocates nothing per trial either.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunCounters {
     /// Routines submitted.
@@ -179,6 +276,14 @@ pub struct RunCounters {
     /// Submit-to-finish latency of every finished routine, in
     /// milliseconds, in finish order.
     pub latencies_ms: Vec<u64>,
+    /// Latency normalized by the routine's own ideal runtime, committed
+    /// routines only (the paper's Fig. 14a metric; same definition as
+    /// the trace pass).
+    pub normalized_latencies: Vec<f64>,
+    /// Wait time (submission → actual start) per started routine, ms.
+    pub waits_ms: Vec<f64>,
+    /// Stretch factor per committed routine: (finish − start) / ideal.
+    pub stretch: Vec<f64>,
     /// Time of the last recorded event.
     pub end_time: Timestamp,
     /// `true` when the devices' end states match the engine's committed
@@ -204,12 +309,16 @@ pub struct RunCounters {
     /// checks (Fig. 1) without recording an event stream; size is bound
     /// by the home, not the run.
     pub end_states: BTreeMap<DeviceId, Value>,
-    /// Running deterministic digest over the full event stream, the
-    /// witness order and the end states.
+    /// Deterministic digest over the full event stream, the witness
+    /// order and the end states. Mixed in batches (`DIGEST_BATCH` words):
+    /// final (and comparable) once [`TraceSink::finish`] ran; mid-run it
+    /// trails the event stream by up to one unflushed batch.
     pub digest: u64,
-    /// Submission time and command count of in-flight routines (drained
-    /// at finish).
-    submitted_at: BTreeMap<RoutineId, (Timestamp, u32)>,
+    /// Words captured since the last digest mixing pass.
+    pending: Vec<u64>,
+    /// Submission-time bookkeeping of in-flight routines (drained at
+    /// finish).
+    submitted_at: BTreeMap<RoutineId, SubInfo>,
     /// In-flight write tracking — the §7.1 temporary-incongruence /
     /// parallelism definition shared with the full-trace metrics pass
     /// (see [`InflightWriteTracker`]). Bounded by the home's
@@ -237,6 +346,9 @@ impl Default for RunCounters {
             down_detections: 0,
             up_detections: 0,
             latencies_ms: Vec::new(),
+            normalized_latencies: Vec::new(),
+            waits_ms: Vec::new(),
+            stretch: Vec::new(),
             end_time: Timestamp::ZERO,
             congruent: false,
             order_mismatch: 0.0,
@@ -244,6 +356,7 @@ impl Default for RunCounters {
             parallelism: 0.0,
             end_states: BTreeMap::new(),
             digest: DigestHasher::OFFSET,
+            pending: Vec::new(),
             submitted_at: BTreeMap::new(),
             tracker: InflightWriteTracker::new(),
             rollback_sum: 0.0,
@@ -269,15 +382,68 @@ impl RunCounters {
         }
     }
 
-    fn fold<T: Hash>(&mut self, value: &T) {
-        let mut h = DigestHasher(self.digest);
-        value.hash(&mut h);
-        self.digest = h.finish();
+    /// Clears the sink back to its freshly-constructed state while
+    /// keeping every allocation (latency/wait/stretch vectors, digest
+    /// batch buffer) — so one sink can be recycled across the trials of
+    /// an experiment the way the harness pools per-home state.
+    pub fn reset(&mut self) {
+        self.submitted = 0;
+        self.committed = 0;
+        self.aborted = 0;
+        self.best_effort_skipped = 0;
+        self.dispatches = 0;
+        self.command_successes = 0;
+        self.command_failures = 0;
+        self.state_changes = 0;
+        self.rollback_writes = 0;
+        self.down_detections = 0;
+        self.up_detections = 0;
+        self.latencies_ms.clear();
+        self.normalized_latencies.clear();
+        self.waits_ms.clear();
+        self.stretch.clear();
+        self.end_time = Timestamp::ZERO;
+        self.congruent = false;
+        self.order_mismatch = 0.0;
+        self.temporary_incongruence = 0.0;
+        self.parallelism = 0.0;
+        self.end_states = BTreeMap::new();
+        self.digest = DigestHasher::OFFSET;
+        self.pending.clear();
+        self.submitted_at.clear();
+        self.tracker = InflightWriteTracker::new();
+        self.rollback_sum = 0.0;
+        self.down.clear();
     }
 
-    fn finish_routine(&mut self, routine: RoutineId, at: Timestamp) {
-        if let Some((submitted, _)) = self.submitted_at.remove(&routine) {
-            self.latencies_ms.push(at.since(submitted).as_millis());
+    fn fold<T: Hash>(&mut self, value: &T) {
+        let mut h = BatchHasher {
+            digest: &mut self.digest,
+            pending: &mut self.pending,
+        };
+        value.hash(&mut h);
+        if self.pending.len() >= DIGEST_BATCH {
+            self.flush_digest();
+        }
+    }
+
+    /// Mixes any buffered words into `digest` (see [`DIGEST_BATCH`]).
+    fn flush_digest(&mut self) {
+        flush_words(&mut self.digest, &mut self.pending);
+    }
+
+    fn finish_routine(&mut self, routine: RoutineId, at: Timestamp, committed: bool) {
+        if let Some(info) = self.submitted_at.remove(&routine) {
+            let latency = at.since(info.submitted).as_millis();
+            self.latencies_ms.push(latency);
+            if committed {
+                let ideal = info.ideal_ms as f64;
+                self.normalized_latencies.push(latency as f64 / ideal);
+                if let Some(started) = info.started {
+                    self.stretch
+                        .push(at.since(started).as_millis() as f64 / ideal);
+                }
+            }
         }
     }
 }
@@ -285,8 +451,15 @@ impl RunCounters {
 impl TraceSink for RunCounters {
     fn record_submission(&mut self, id: RoutineId, routine: &Routine, at: Timestamp) {
         self.submitted += 1;
-        self.submitted_at
-            .insert(id, (at, routine.commands.len() as u32));
+        self.submitted_at.insert(
+            id,
+            SubInfo {
+                submitted: at,
+                commands: routine.commands.len() as u32,
+                ideal_ms: routine.ideal_runtime().as_millis().max(1),
+                started: None,
+            },
+        );
         self.end_time = at;
         self.fold(&(at, TraceEventKind::Submitted { routine: id }));
     }
@@ -296,10 +469,17 @@ impl TraceSink for RunCounters {
         self.fold(&(at, &kind));
         self.tracker.observe(&kind);
         match kind {
-            TraceEventKind::Submitted { .. } | TraceEventKind::Started { .. } => {}
+            TraceEventKind::Submitted { .. } => {}
+            TraceEventKind::Started { routine } => {
+                if let Some(info) = self.submitted_at.get_mut(&routine) {
+                    info.started = Some(at);
+                    self.waits_ms
+                        .push(at.since(info.submitted).as_millis() as f64);
+                }
+            }
             TraceEventKind::Committed { routine } => {
                 self.committed += 1;
-                self.finish_routine(routine, at);
+                self.finish_routine(routine, at, true);
             }
             TraceEventKind::Aborted {
                 routine,
@@ -307,10 +487,10 @@ impl TraceSink for RunCounters {
                 ..
             } => {
                 self.aborted += 1;
-                if let Some(&(_, cmds)) = self.submitted_at.get(&routine) {
-                    self.rollback_sum += rolled_back as f64 / cmds.max(1) as f64;
+                if let Some(info) = self.submitted_at.get(&routine) {
+                    self.rollback_sum += rolled_back as f64 / info.commands.max(1) as f64;
                 }
-                self.finish_routine(routine, at);
+                self.finish_routine(routine, at, false);
             }
             TraceEventKind::CommandDispatched { .. } => self.dispatches += 1,
             TraceEventKind::CommandCompleted { outcome, .. } => match outcome {
@@ -345,6 +525,7 @@ impl TraceSink for RunCounters {
     ) {
         self.fold(&final_order);
         self.fold(&end_states);
+        self.flush_digest();
         let witness: Vec<RoutineId> = final_order
             .iter()
             .filter_map(|o| match o {
@@ -451,12 +632,94 @@ mod tests {
         let mut b = RunCounters::new();
         feed(&mut a);
         feed(&mut b);
-        assert_eq!(a.digest, b.digest);
         assert_eq!(a, b);
+        // Mid-run digests compare only after a mixing pass (batching
+        // defers up to DIGEST_BATCH words).
+        a.flush_digest();
+        b.flush_digest();
+        assert_eq!(a.digest, b.digest);
         // A different event stream gives a different digest.
         let mut c = RunCounters::new();
         c.record_submission(RoutineId(1), &routine(), t(1));
+        c.flush_digest();
         assert_ne!(a.digest, c.digest);
+    }
+
+    #[test]
+    fn digest_batching_never_changes_the_value() {
+        // Flushing after every record is the eager (pre-batching) digest;
+        // the batched chain must land on the same value no matter where
+        // the batch boundaries fall. Feed enough events to cross several
+        // DIGEST_BATCH boundaries.
+        let mut batched = RunCounters::new();
+        let mut eager = RunCounters::new();
+        for i in 0..200u64 {
+            let id = RoutineId(i + 1);
+            batched.record_submission(id, &routine(), t(i));
+            eager.record_submission(id, &routine(), t(i));
+            eager.flush_digest();
+            let ev = TraceEventKind::StateChanged {
+                device: DeviceId((i % 3) as u32),
+                value: Value::ON,
+                by: Some(id),
+                rollback: false,
+            };
+            batched.record(t(i + 1), ev.clone());
+            eager.record(t(i + 1), ev);
+            eager.flush_digest();
+        }
+        batched.finish(Vec::new(), end(), &end());
+        eager.finish(Vec::new(), end(), &end());
+        assert_eq!(batched.digest, eager.digest);
+    }
+
+    #[test]
+    fn reset_recycles_the_sink_without_leaking_state() {
+        let mut reused = RunCounters::new();
+        feed(&mut reused);
+        reused.finish(vec![OrderItem::Routine(RoutineId(1))], end(), &end());
+        let first = reused.clone();
+        reused.reset();
+        assert_eq!(reused, RunCounters::new(), "reset is a full reinit");
+        feed(&mut reused);
+        reused.finish(vec![OrderItem::Routine(RoutineId(1))], end(), &end());
+        assert_eq!(reused, first, "a recycled sink reproduces a fresh one");
+    }
+
+    #[test]
+    fn normalized_latency_wait_and_stretch_match_trace_definitions() {
+        // Routine ideal = 100ms; submitted at 0, started at 40, committed
+        // at 240 → latency 240, wait 40, normalized 2.4, stretch 2.0 —
+        // the same numbers RunMetrics derives from a trace.
+        let mut s = RunCounters::new();
+        let id = RoutineId(1);
+        s.record_submission(id, &routine(), t(0));
+        s.record(t(40), TraceEventKind::Started { routine: id });
+        s.record(t(240), TraceEventKind::Committed { routine: id });
+        s.finish(Vec::new(), end(), &end());
+        assert_eq!(s.latencies_ms, vec![240]);
+        assert_eq!(s.waits_ms, vec![40.0]);
+        assert_eq!(s.normalized_latencies, vec![2.4]);
+        assert_eq!(s.stretch, vec![2.0]);
+        // Aborted routines contribute wait but no normalized/stretch.
+        let mut a = RunCounters::new();
+        a.record_submission(id, &routine(), t(0));
+        a.record(t(10), TraceEventKind::Started { routine: id });
+        a.record(
+            t(100),
+            TraceEventKind::Aborted {
+                routine: id,
+                reason: crate::trace::AbortReason::MustCommandFailed {
+                    device: DeviceId(0),
+                },
+                executed: 0,
+                rolled_back: 0,
+            },
+        );
+        a.finish(Vec::new(), end(), &end());
+        assert_eq!(a.waits_ms, vec![10.0]);
+        assert!(a.normalized_latencies.is_empty());
+        assert!(a.stretch.is_empty());
     }
 
     #[test]

@@ -28,14 +28,26 @@ should trip):
   1-core machines (it reads ~1.0x there and is pure noise), and this
   script reports — never gates — whatever wallclock info is present.
 - per-home digest sidecars (``BENCH_fleet.digests.tsv``), when present
-  for both sides, are diffed and the changed homes reported. This is
-  informational: intentional semantic changes re-baseline the sidecar,
-  and the fleet digest flags are what gate.
+  for both sides, are diffed and the changed homes reported. A changed
+  sidecar **fails** unless the fresh fleet JSON carries the
+  ``expect_digest_change: true`` marker (``fleet_bench
+  --expect-digest-change``) or ``--expect-digest-change`` is passed to
+  this script: the per-home event streams are pinned byte-for-byte, so
+  an unannounced digest change means semantic drift, not noise. The
+  marker exists for *local pre-commit* verification of an intentional
+  semantic change (run fleet_bench with the flag, watch this gate list
+  exactly the homes you expected to move, then commit the regenerated
+  sidecar). In CI no escape hatch is needed or possible: digests are
+  machine-independent, so a properly re-baselined commit diffs empty
+  against its own sidecar, and a non-empty diff always means the
+  committed sidecar is stale — which must fail.
 
 Updating the baselines after an intentional change::
 
     cargo run -p safehome-bench --release --bin placement_bench BENCH_placement.json
     cargo run -p safehome-bench --release --bin fleet_bench BENCH_fleet.json
+    # add --expect-digest-change to the fleet_bench line when the change
+    # intentionally moves per-home digests (semantic change)
     git add BENCH_placement.json BENCH_fleet.json BENCH_fleet.digests.tsv
     # and commit with the change
 
@@ -141,8 +153,18 @@ def check_event_loop(new, base, min_event_loop_ratio):
     )
 
 
-def diff_digest_sidecars(new_path, base_path):
-    """Informational per-home digest diff; never fails the gate."""
+def diff_digest_sidecars(new_path, base_path, expect_digest_change):
+    """Per-home digest diff.
+
+    An unchanged sidecar always passes. A changed one **fails the gate**
+    unless the freshly generated fleet JSON carries the
+    ``expect_digest_change: true`` marker (``fleet_bench
+    --expect-digest-change``) — per-home event streams are pinned
+    byte-for-byte, and an unannounced change means a semantic drift
+    slipped into a supposedly behavior-preserving commit. Intentional
+    re-baselines pass the flag and commit the regenerated sidecar in the
+    same change.
+    """
     import os
 
     if not (new_path and base_path and os.path.exists(new_path) and os.path.exists(base_path)):
@@ -164,11 +186,20 @@ def diff_digest_sidecars(new_path, base_path):
         print(f"ok: per-home digests identical ({len(new_rows)} homes)")
         return
     summary = ", ".join(f"{s}:{h}" for s, h in changed[:10])
-    print(
-        f"note: {len(changed)} home(s) changed digest vs baseline"
+    details = (
+        f"{len(changed)} home(s) changed digest vs baseline"
         + (f" (first: {summary})" if changed else "")
         + (f", {len(missing)} missing, {len(added)} added" if (missing or added) else "")
     )
+    if expect_digest_change:
+        print(f"note: {details} — expected (expect_digest_change marker present)")
+    else:
+        check(
+            False,
+            f"per-home digest sidecar: {details}; per-home event streams are pinned — "
+            "rerun fleet_bench with --expect-digest-change and re-commit the sidecar "
+            "if the change is intentional",
+        )
 
 
 def main():
@@ -181,6 +212,12 @@ def main():
         "--digests", default=None, help="freshly generated BENCH_fleet.digests.tsv sidecar"
     )
     ap.add_argument("--baseline-digests", default="BENCH_fleet.digests.tsv")
+    ap.add_argument(
+        "--expect-digest-change",
+        action="store_true",
+        help="accept per-home digest changes vs the baseline sidecar (equivalent to "
+        "the expect_digest_change marker fleet_bench stamps into the JSON)",
+    )
     ap.add_argument("--max-slowdown", type=float, default=2.5)
     ap.add_argument("--min-rate-ratio", type=float, default=0.4)
     ap.add_argument("--min-event-loop-ratio", type=float, default=0.55)
@@ -191,7 +228,11 @@ def main():
     new_fleet, base_fleet = load(args.fleet), load(args.baseline_fleet)
     check_fleet(new_fleet, base_fleet, args.min_rate_ratio, args.min_steal_speedup)
     check_event_loop(new_fleet, base_fleet, args.min_event_loop_ratio)
-    diff_digest_sidecars(args.digests, args.baseline_digests)
+    diff_digest_sidecars(
+        args.digests,
+        args.baseline_digests,
+        args.expect_digest_change or new_fleet.get("expect_digest_change") is True,
+    )
 
     if failures:
         print(f"\n{len(failures)} bench regression gate(s) failed", file=sys.stderr)

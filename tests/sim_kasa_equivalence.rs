@@ -1,0 +1,150 @@
+//! Cross-backend equivalence: the §7.2 morning scenario through the
+//! discrete-event `SimBackend` and through `KasaBackend` + loopback
+//! emulators must produce the same routine outcomes and the same final
+//! committed states.
+//!
+//! Both runs share one `HomeRuntime` (the unified mediation layer), one
+//! engine configuration and one workload; only the backend differs. The
+//! workload is the real 29-routine / 31-device morning trace with every
+//! time (arrivals, `After` delays, command durations) compressed by
+//! `SCALE`, so the wall-clock run finishes in seconds while inter-event
+//! gaps stay orders of magnitude above loopback scheduling jitter — the
+//! serialization decisions then match the virtual-time run exactly.
+//!
+//! Routine identity is compared by *name* (unique in the morning
+//! scenario), not by `RoutineId`: ids are assigned at submission, and
+//! two independent chains submitting close together may swap ids across
+//! backends without changing any outcome.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+use safehome_core::{EngineConfig, VisibilityModel};
+use safehome_devices::LatencyModel;
+use safehome_harness::{run, Arrival, RunSpec};
+use safehome_kasa::{EmulatedPlug, KasaDriver, RealTimeRunner};
+use safehome_types::{
+    trace::{RoutineOutcome, Trace},
+    DeviceId, TimeDelta, Timestamp, Value,
+};
+use safehome_workloads::morning;
+
+/// Compression factor for the real-time run: 25 virtual minutes → ~15 s
+/// of wall clock, with the smallest scheduling gaps still ≥ 100 ms.
+const SCALE: u64 = 100;
+
+/// The workload seed. Any seed works for the simulation; the chosen one
+/// keeps the scaled gaps between *conflicting* routines (garage,
+/// thermostat, tv, radio) comfortably above loopback jitter.
+const SEED: u64 = 11;
+
+fn scaled_morning_spec() -> RunSpec {
+    let mut spec = morning(EngineConfig::new(VisibilityModel::ev()), SEED);
+    // Loopback, zero-latency plan: the emulators answer in microseconds,
+    // so the simulation must not add modeled Wi-Fi latency either.
+    spec.latency = LatencyModel::Fixed(TimeDelta::ZERO);
+    for s in &mut spec.submissions {
+        match &mut s.arrival {
+            Arrival::At(at) => *at = Timestamp::from_millis(at.as_millis() / SCALE),
+            Arrival::After { delay, .. } => {
+                *delay = TimeDelta::from_millis(delay.as_millis() / SCALE)
+            }
+        }
+        for c in &mut s.routine.commands {
+            c.duration = TimeDelta::from_millis(c.duration.as_millis() / SCALE);
+        }
+    }
+    spec
+}
+
+/// (committed names, aborted names) from a finished trace.
+fn outcomes_by_name(trace: &Trace) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut committed = BTreeSet::new();
+    let mut aborted = BTreeSet::new();
+    for rec in trace.records.values() {
+        match rec.outcome {
+            Some(RoutineOutcome::Committed) => {
+                committed.insert(rec.routine.name.clone());
+            }
+            Some(RoutineOutcome::Aborted(_)) => {
+                aborted.insert(rec.routine.name.clone());
+            }
+            None => panic!("routine {} never finished", rec.routine.name),
+        }
+    }
+    (committed, aborted)
+}
+
+#[test]
+fn morning_scenario_matches_between_sim_and_kasa_emulator() {
+    let spec = scaled_morning_spec();
+
+    // --- Simulated run (virtual time). ---
+    let sim = run(&spec);
+    assert!(sim.completed, "sim run must quiesce");
+    let (sim_committed, sim_aborted) = outcomes_by_name(&sim.trace);
+    assert_eq!(
+        sim_committed.len() + sim_aborted.len(),
+        29,
+        "the morning scenario has 29 routines"
+    );
+    assert!(sim_aborted.is_empty(), "no failures injected, no aborts");
+
+    // --- Real-time run (wall clock, loopback emulators). ---
+    let plugs: Vec<EmulatedPlug> = spec
+        .home
+        .devices()
+        .iter()
+        .map(|d| EmulatedPlug::spawn(spec.home.name(d.id).to_string(), d.initial).unwrap())
+        .collect();
+    let drivers: Vec<KasaDriver> = plugs
+        .iter()
+        .map(|p| KasaDriver::new(p.handle().addr(), Duration::from_millis(500)))
+        .collect();
+    let mut runner = RealTimeRunner::with_sink_and_workload(
+        spec.config.clone(),
+        drivers,
+        Duration::from_millis(250),
+        &spec.submissions,
+        |initial| {
+            assert_eq!(
+                *initial,
+                spec.home.initial_states(),
+                "emulators must boot in the spec's initial states"
+            );
+            Trace::new(initial.clone())
+        },
+    )
+    .unwrap();
+    let report = runner.run_to_quiescence(Duration::from_secs(120));
+    assert!(report.completed, "real-time run must quiesce in time");
+    let (kasa_trace, kasa_committed_states, completed) = runner.into_output();
+    assert!(completed);
+    let (kasa_committed, kasa_aborted) = outcomes_by_name(&kasa_trace);
+
+    // --- Equivalence. ---
+    assert_eq!(
+        sim_committed, kasa_committed,
+        "both backends must commit the same routines"
+    );
+    assert_eq!(
+        sim_aborted, kasa_aborted,
+        "both backends must abort the same routines"
+    );
+    assert_eq!(
+        sim.committed_states, kasa_committed_states,
+        "the engines' final committed states must agree"
+    );
+    // And the physical devices ended where the engine believes they are.
+    let end_states: BTreeMap<DeviceId, Value> = spec
+        .home
+        .devices()
+        .iter()
+        .enumerate()
+        .map(|(i, _)| (DeviceId(i as u32), plugs[i].handle().state()))
+        .collect();
+    assert_eq!(
+        end_states, kasa_committed_states,
+        "loopback devices must be congruent with the committed view"
+    );
+}
