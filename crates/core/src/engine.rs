@@ -149,6 +149,19 @@ impl Engine {
     pub fn check_invariants(&self) -> std::result::Result<(), String> {
         self.model.check_invariants()
     }
+
+    /// [`Engine::check_invariants`] extended with the execution journal's
+    /// replay invariants (dense monotone sequence, 3-phase side-effect
+    /// ordering — see [`crate::journal::ExecutionJournal::check_invariants`]).
+    /// Recovery validates a journal through this before replaying it, so
+    /// corrupted or reordered logs are rejected up front.
+    pub fn check_invariants_with_journal(
+        &self,
+        journal: &crate::journal::ExecutionJournal,
+    ) -> std::result::Result<(), String> {
+        self.check_invariants()?;
+        journal.check_invariants()
+    }
 }
 
 #[cfg(test)]

@@ -17,11 +17,14 @@
 //! - [`lineage`]: the virtual locking table (§4.2-4.3 of the paper);
 //! - [`order`]: serialization-order tracking with failure events (§3);
 //! - [`sched`]: FCFS / JiT / Timeline placement policies (§5);
-//! - [`models`]: the four visibility-model state machines (§2, §3).
+//! - [`models`]: the four visibility-model state machines (§2, §3);
+//! - [`journal`]: the durable per-home execution journal (append-only,
+//!   3-phase side-effect records, state derived purely by replay).
 
 pub mod config;
 pub mod engine;
 pub mod event;
+pub mod journal;
 pub mod lineage;
 pub mod models;
 pub mod order;
@@ -31,3 +34,4 @@ pub mod sched;
 pub use config::{EngineConfig, SchedulerKind, VisibilityModel};
 pub use engine::Engine;
 pub use event::{Effect, EffectBuf, Input, TimerId};
+pub use journal::{EventPayload, ExecutionJournal, JournalEvent, JournalWriter};

@@ -20,8 +20,14 @@
 //! across worker threads — statically sharded or work-stealing
 //! ([`fleet::FleetSchedule`]) — with counters-only sinks for fleet-scale
 //! throughput.
+//!
+//! Durability: [`sim::Driver::with_journal`] records the append-only
+//! execution journal, [`HomeRuntime::crash`] simulates a controller
+//! death, and [`journal::recover`] rebuilds the core purely by replay —
+//! see [`journal`] for the crash/recovery semantics.
 
 pub mod fleet;
+pub mod journal;
 pub mod runtime;
 pub mod sim;
 pub mod spec;
@@ -29,6 +35,7 @@ pub mod spec;
 pub use fleet::{
     home_seed, run_fleet, run_fleet_with, FleetResult, FleetSchedule, HomeRun, WorkerStats,
 };
+pub use journal::{recover, InflightWrite, Recovered, RecoveryReport, ReplayBackend};
 pub use runtime::{Backend, CommandOutcome, HomeRuntime, HomeTables, Polled, RuntimeCore, Step};
 pub use sim::{run, Driver, RunOutput, SimBackend};
 pub use spec::{Arrival, RunSpec, Submission};

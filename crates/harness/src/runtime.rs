@@ -34,6 +34,7 @@
 //! byte-for-byte — is owned by one piece of code instead of being
 //! re-implemented per backend.
 
+use safehome_core::journal::{EventPayload, ExecutionJournal, JournalWriter};
 use safehome_core::{Effect, EffectBuf, Engine, Input, TimerId};
 use safehome_devices::{Detection, DispatchTicket};
 use safehome_types::{
@@ -213,7 +214,7 @@ impl HomeTables {
 /// (dispatches and timers go back to the backend) in the one canonical
 /// order.
 pub struct RuntimeCore<'a, S: TraceSink> {
-    engine: Engine,
+    pub(crate) engine: Engine,
     sink: S,
     /// Scratch for engine effects, drained in place after every
     /// `submit`/`handle` call: the steady-state loop allocates nothing
@@ -224,20 +225,30 @@ pub struct RuntimeCore<'a, S: TraceSink> {
     tables: HomeTables,
     /// `After` submissions not yet scheduled.
     unscheduled: usize,
-    completed: bool,
-    done: bool,
+    pub(crate) completed: bool,
+    pub(crate) done: bool,
+    /// The optional execution journal hook. `None` (the default) keeps
+    /// the hot path journal-free; [`JournalWriter::record`] appends every
+    /// event on the live path, [`JournalWriter::verify`] cross-checks
+    /// replay against recorded history (see [`crate::journal`]).
+    pub(crate) journal: Option<JournalWriter>,
 }
 
 impl<'a, S: TraceSink> RuntimeCore<'a, S> {
-    fn new(
+    /// Builds a core, optionally with a journal hook. Emits (or, in verify
+    /// mode, checks) the `Genesis` record: initial committed states,
+    /// workload size and horizon — everything replay needs to cross-check
+    /// that it was handed the same run the journal describes.
+    pub(crate) fn with_journal(
         engine: Engine,
         sink: S,
         workload: &'a [Submission],
         horizon: Timestamp,
         mut tables: HomeTables,
+        journal: Option<JournalWriter>,
     ) -> Self {
         tables.reset(workload.len());
-        RuntimeCore {
+        let mut core = RuntimeCore {
             engine,
             sink,
             fx: EffectBuf::new(),
@@ -247,6 +258,35 @@ impl<'a, S: TraceSink> RuntimeCore<'a, S> {
             unscheduled: 0,
             completed: false,
             done: false,
+            journal,
+        };
+        if core.journaling() {
+            let initial = core.engine.committed_states();
+            core.jot(
+                Timestamp::ZERO,
+                EventPayload::Genesis {
+                    initial,
+                    workload: workload.len() as u64,
+                    horizon,
+                },
+            );
+        }
+        core
+    }
+
+    /// `true` when a journal hook is installed.
+    #[inline]
+    fn journaling(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Emits one journal event (no-op without a journal hook). Payloads
+    /// whose construction allocates are gated on [`Self::journaling`] at
+    /// the call site; everything else is cheap enough to build eagerly.
+    #[inline]
+    pub(crate) fn jot(&mut self, at: Timestamp, payload: EventPayload) {
+        if let Some(w) = &mut self.journal {
+            w.emit(at, payload);
         }
     }
 
@@ -259,15 +299,24 @@ impl<'a, S: TraceSink> RuntimeCore<'a, S> {
 
     /// Registers the workload's arrivals with the backend: absolute
     /// arrivals are scheduled, `After` chains are parked in the deferral
-    /// table until their predecessor finishes.
-    fn schedule_workload<B: Backend>(&mut self, b: &mut B) {
-        for (i, s) in self.workload.iter().enumerate() {
-            match s.arrival {
+    /// table until their predecessor finishes (journaled as
+    /// `DeferralArmed`, so recovery can rebuild pending chains).
+    pub(crate) fn schedule_workload<B: Backend>(&mut self, b: &mut B) {
+        for i in 0..self.workload.len() {
+            match self.workload[i].arrival {
                 Arrival::At(at) => b.schedule_submit(at, i),
                 Arrival::After { index, delay } => {
                     assert!(index < self.workload.len(), "dangling dependency");
                     self.tables.defer(index, i, delay);
                     self.unscheduled += 1;
+                    self.jot(
+                        Timestamp::ZERO,
+                        EventPayload::DeferralArmed {
+                            pred: index as u64,
+                            dep: i as u64,
+                            delay,
+                        },
+                    );
                 }
             }
         }
@@ -281,12 +330,24 @@ impl<'a, S: TraceSink> RuntimeCore<'a, S> {
     /// authored by the workload generators, which validate against the
     /// home).
     pub fn submit_indexed<B: Backend>(&mut self, i: usize, now: Timestamp, b: &mut B) {
+        // `workload` is a `Copy` reference with lifetime `'a`, so the
+        // routine borrow is independent of `self` below.
         let routine = &self.workload[i].routine;
         let id = self
             .engine
             .submit(routine.clone(), now, &mut self.fx)
             .expect("workload validated against home");
         self.tables.set_sub_of(id, Some(i));
+        if self.journaling() {
+            self.jot(
+                now,
+                EventPayload::RoutineSubmitted {
+                    id,
+                    sub: Some(i as u64),
+                    routine: routine.clone(),
+                },
+            );
+        }
         self.sink.record_submission(id, routine, now);
         self.apply_effects(now, b);
     }
@@ -301,14 +362,38 @@ impl<'a, S: TraceSink> RuntimeCore<'a, S> {
     ) -> Result<RoutineId> {
         let id = self.engine.submit(routine.clone(), now, &mut self.fx)?;
         self.tables.set_sub_of(id, None);
+        if self.journaling() {
+            self.jot(
+                now,
+                EventPayload::RoutineSubmitted {
+                    id,
+                    sub: None,
+                    routine: routine.clone(),
+                },
+            );
+        }
         self.sink.record_submission(id, &routine, now);
         self.apply_effects(now, b);
         Ok(id)
     }
 
-    /// Feeds a detector transition: records it, tells the engine, and
-    /// applies the effects (aborts, deferrals, rollbacks).
+    /// Feeds a detector transition: journals and records it, tells the
+    /// engine, and applies the effects (aborts, deferrals, rollbacks).
     pub fn emit_detection<B: Backend>(&mut self, det: Detection, now: Timestamp, b: &mut B) {
+        self.jot(
+            now,
+            match det {
+                Detection::Down(d) => EventPayload::DeviceDown { device: d },
+                Detection::Up(d) => EventPayload::DeviceUp { device: d },
+            },
+        );
+        self.detect(det, now, b);
+    }
+
+    /// [`Self::emit_detection`] without the journal record — the path for
+    /// edges implied by a command reply, which are journaled inside the
+    /// `WriteCompleted` record instead (one input event per reply).
+    fn detect<B: Backend>(&mut self, det: Detection, now: Timestamp, b: &mut B) {
         let (kind, input) = match det {
             Detection::Down(d) => (
                 TraceEventKind::DeviceDownDetected { device: d },
@@ -337,6 +422,25 @@ impl<'a, S: TraceSink> RuntimeCore<'a, S> {
             new_state,
             detection,
         } = outcome;
+        let routine = ticket.routine.expect("runtime tickets carry routines");
+        // Phase 3 of the side-effect journal: the full outcome (including
+        // the implied detector edge) is one durable input record, the
+        // exactly-once cache recovery consults before re-issuing writes.
+        self.jot(
+            now,
+            EventPayload::WriteCompleted {
+                routine,
+                idx: ticket.idx,
+                device,
+                action: ticket.action,
+                duration: ticket.duration,
+                rollback: ticket.rollback,
+                success,
+                observed,
+                new_state,
+                edge: detection.map(|d| matches!(d, Detection::Up(_))),
+            },
+        );
         if let Some(v) = new_state {
             self.sink.record(
                 now,
@@ -349,9 +453,8 @@ impl<'a, S: TraceSink> RuntimeCore<'a, S> {
             );
         }
         if let Some(det) = detection {
-            self.emit_detection(det, now, b);
+            self.detect(det, now, b);
         }
-        let routine = ticket.routine.expect("runtime tickets carry routines");
         if !ticket.rollback {
             self.sink.record(
                 now,
@@ -384,6 +487,7 @@ impl<'a, S: TraceSink> RuntimeCore<'a, S> {
 
     /// Feeds a fired engine timer.
     pub fn on_timer<B: Backend>(&mut self, timer: TimerId, now: Timestamp, b: &mut B) {
+        self.jot(now, EventPayload::TimerFired { timer });
         self.engine
             .handle(Input::Timer { timer }, now, &mut self.fx);
         self.apply_effects(now, b);
@@ -407,6 +511,18 @@ impl<'a, S: TraceSink> RuntimeCore<'a, S> {
                     duration,
                     rollback,
                 } => {
+                    // Phase 1: intent is durable before anything is sent.
+                    self.jot(
+                        now,
+                        EventPayload::WriteScheduled {
+                            routine,
+                            idx,
+                            device,
+                            action,
+                            duration,
+                            rollback,
+                        },
+                    );
                     if !rollback {
                         self.sink.record(
                             now,
@@ -425,12 +541,29 @@ impl<'a, S: TraceSink> RuntimeCore<'a, S> {
                         rollback,
                     };
                     b.dispatch(now, device, ticket);
+                    // Phase 2: the command is in the I/O layer's hands —
+                    // after a crash it may or may not have reached the
+                    // device.
+                    self.jot(
+                        now,
+                        EventPayload::WriteStarted {
+                            routine,
+                            idx,
+                            device,
+                            rollback,
+                        },
+                    );
                 }
-                Effect::SetTimer { timer, at } => b.set_timer(at, timer),
+                Effect::SetTimer { timer, at } => {
+                    self.jot(now, EventPayload::TimerArmed { timer, fire_at: at });
+                    b.set_timer(at, timer)
+                }
                 Effect::Started { routine } => {
+                    self.jot(now, EventPayload::RoutineStarted { routine });
                     self.sink.record(now, TraceEventKind::Started { routine });
                 }
                 Effect::Committed { routine } => {
+                    self.jot(now, EventPayload::RoutineCommitted { routine });
                     self.sink.record(now, TraceEventKind::Committed { routine });
                     self.tables.committed.push(routine);
                     self.release_dependents(routine, now, b);
@@ -441,6 +574,15 @@ impl<'a, S: TraceSink> RuntimeCore<'a, S> {
                     executed,
                     rolled_back,
                 } => {
+                    self.jot(
+                        now,
+                        EventPayload::RoutineAborted {
+                            routine,
+                            reason,
+                            executed,
+                            rolled_back,
+                        },
+                    );
                     self.sink.record(
                         now,
                         TraceEventKind::Aborted {
@@ -458,6 +600,14 @@ impl<'a, S: TraceSink> RuntimeCore<'a, S> {
                     idx,
                     device,
                 } => {
+                    self.jot(
+                        now,
+                        EventPayload::WriteSkipped {
+                            routine,
+                            idx,
+                            device,
+                        },
+                    );
                     self.sink.record(
                         now,
                         TraceEventKind::BestEffortSkipped {
@@ -467,7 +617,9 @@ impl<'a, S: TraceSink> RuntimeCore<'a, S> {
                         },
                     );
                 }
-                Effect::Feedback { .. } => {}
+                Effect::Feedback { routine, message } => {
+                    self.jot(now, EventPayload::Feedback { routine, message });
+                }
             }
         }
         debug_assert!(
@@ -487,6 +639,14 @@ impl<'a, S: TraceSink> RuntimeCore<'a, S> {
         let mut deps = std::mem::take(&mut self.tables.deferred[sub]);
         for &(dep_index, delay) in &deps {
             self.unscheduled -= 1;
+            self.jot(
+                now,
+                EventPayload::DeferralReleased {
+                    pred: routine,
+                    dep: dep_index as u64,
+                    at: now + delay,
+                },
+            );
             b.schedule_submit(now + delay, dep_index);
         }
         deps.clear();
@@ -501,8 +661,8 @@ impl<'a, S: TraceSink> RuntimeCore<'a, S> {
 /// over it, so dispatch, deferral, sink feeding and quiescence behave
 /// identically — and improvements land on both at once.
 pub struct HomeRuntime<'a, B: Backend, S: TraceSink> {
-    core: RuntimeCore<'a, S>,
-    backend: B,
+    pub(crate) core: RuntimeCore<'a, S>,
+    pub(crate) backend: B,
 }
 
 impl<'a, B: Backend, S: TraceSink> HomeRuntime<'a, B, S> {
@@ -515,10 +675,35 @@ impl<'a, B: Backend, S: TraceSink> HomeRuntime<'a, B, S> {
         workload: &'a [Submission],
         horizon: Timestamp,
         tables: HomeTables,
-        mut backend: B,
+        backend: B,
     ) -> Self {
-        let mut core = RuntimeCore::new(engine, sink, workload, horizon, tables);
+        Self::assemble_journaled(engine, sink, workload, horizon, tables, backend, None)
+    }
+
+    /// As [`HomeRuntime::assemble`], with an optional journal hook
+    /// ([`JournalWriter::record`] for a durable live run). Journaling is
+    /// opt-in and invisible to the sink: the recorded event stream — and
+    /// therefore the per-home digests — is identical with or without it.
+    pub fn assemble_journaled(
+        engine: Engine,
+        sink: S,
+        workload: &'a [Submission],
+        horizon: Timestamp,
+        tables: HomeTables,
+        mut backend: B,
+        journal: Option<JournalWriter>,
+    ) -> Self {
+        let mut core = RuntimeCore::with_journal(engine, sink, workload, horizon, tables, journal);
         core.schedule_workload(&mut backend);
+        HomeRuntime { core, backend }
+    }
+
+    /// Rebinds a recovered [`RuntimeCore`] (see `crate::journal::recover`)
+    /// to a backend: the crash/restore path. With the *surviving* backend
+    /// (the sim's crash injection) the continuation is event-for-event
+    /// identical to an uncrashed run; with a fresh backend, follow up with
+    /// [`HomeRuntime::redrive`] to re-issue in-flight work.
+    pub fn resume(core: RuntimeCore<'a, S>, backend: B) -> Self {
         HomeRuntime { core, backend }
     }
 
@@ -546,6 +731,37 @@ impl<'a, B: Backend, S: TraceSink> HomeRuntime<'a, B, S> {
     /// control).
     pub fn backend_mut(&mut self) -> &mut B {
         &mut self.backend
+    }
+
+    /// The execution journal, when journaling is enabled.
+    pub fn journal(&self) -> Option<&ExecutionJournal> {
+        self.core.journal.as_ref().map(JournalWriter::journal)
+    }
+
+    /// Simulates a controller crash: drops every piece of runtime state
+    /// (engine, sink, tables — exactly what a process death loses) and
+    /// returns the durable journal plus the backend, which represents the
+    /// world (devices, in-flight commands) and survives the controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime was assembled without a journal — there is
+    /// nothing durable to crash onto.
+    pub fn crash(self) -> (ExecutionJournal, B) {
+        let writer = self
+            .core
+            .journal
+            .expect("crash() requires a journaling runtime (assemble_journaled)");
+        (writer.into_journal(), self.backend)
+    }
+
+    /// Engine model invariants plus — when journaling — the journal's
+    /// replay invariants, via `Engine::check_invariants_with_journal`.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        match self.journal() {
+            Some(j) => self.core.engine.check_invariants_with_journal(j),
+            None => self.core.engine.check_invariants(),
+        }
     }
 
     /// Routines that committed so far, in commit order.

@@ -14,6 +14,7 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 
+use safehome_core::journal::{ExecutionJournal, JournalWriter};
 use safehome_core::{Engine, TimerId};
 use safehome_devices::{DeviceEvent, DispatchTicket, FailureDetector, Health, VirtualDevice};
 use safehome_sim::{EventQueue, SimRng};
@@ -137,6 +138,17 @@ impl<'a> SimBackend<'a> {
             latency: spec.latency,
             material: 0,
         }
+    }
+
+    /// A bare backend over fresh per-home state: the "process restart"
+    /// world for [`crate::journal`]'s redrive path — devices back at
+    /// their spec initial states, nothing scheduled (in particular the
+    /// failure plan is *not* re-injected; its past belongs to the
+    /// crashed run). The sim's crash/restore injection reuses the
+    /// *surviving* backend instead (see
+    /// [`crate::runtime::HomeRuntime::crash`]).
+    pub fn fresh(spec: &'a RunSpec) -> Self {
+        Self::new(spec, &mut PooledHome::default())
     }
 
     /// Schedules the failure plan's injections and the detector's probe
@@ -351,16 +363,36 @@ impl<'a> Driver<'a, Trace> {
 impl<'a, S: TraceSink> Driver<'a, S> {
     /// A driver reporting to the given sink.
     pub fn with_sink(spec: &'a RunSpec, sink: S) -> Self {
+        Self::build(spec, sink, None)
+    }
+
+    /// A driver that additionally records a durable execution journal
+    /// (see [`crate::journal`]). Journaling never touches the sink, so
+    /// the event stream — and the per-home digest — is identical to
+    /// [`Driver::with_sink`]'s; it only adds the crash/recover ability:
+    /// [`HomeRuntime::crash`] at any step boundary yields the journal
+    /// plus the surviving backend, `crate::journal::recover` rebuilds the
+    /// core, and [`HomeRuntime::resume`] continues the run.
+    pub fn with_journal(spec: &'a RunSpec, sink: S) -> Self {
+        Self::build(
+            spec,
+            sink,
+            Some(JournalWriter::record(ExecutionJournal::new())),
+        )
+    }
+
+    fn build(spec: &'a RunSpec, sink: S, journal: Option<JournalWriter>) -> Self {
         let mut pooled = pooled_home();
         let backend = SimBackend::new(spec, &mut pooled);
         let engine = Engine::new(spec.config.clone(), &spec.home.initial_states());
-        let mut driver = HomeRuntime::assemble(
+        let mut driver = HomeRuntime::assemble_journaled(
             engine,
             sink,
             &spec.submissions,
             spec.max_time,
             pooled.tables,
             backend,
+            journal,
         );
         // Workload first, then injections and probes: same-instant FIFO
         // tie-breaks must match the pre-refactor driver exactly.

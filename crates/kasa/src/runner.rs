@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 
 use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 
+use safehome_core::journal::{ExecutionJournal, JournalWriter};
 use safehome_core::{Engine, EngineConfig, TimerId};
 use safehome_devices::{Detection, DispatchTicket};
 use safehome_harness::{
@@ -92,6 +93,9 @@ pub struct KasaBackend {
     inflight: Arc<()>,
     believed_up: Vec<bool>,
     stop_ping: Arc<AtomicBool>,
+    /// Events consumed by the most recent poll round (see
+    /// [`KasaBackend::last_poll_drained`]).
+    last_poll_drained: usize,
 }
 
 impl KasaBackend {
@@ -132,7 +136,17 @@ impl KasaBackend {
             pending_submits: 0,
             inflight: Arc::new(()),
             stop_ping,
+            last_poll_drained: 0,
         })
+    }
+
+    /// How many channel events (command completions and pings) the most
+    /// recent successful poll round consumed. A burst buffered behind
+    /// the channel — N completions landing while the runtime was busy —
+    /// drains in a single round instead of paying one `recv_timeout`
+    /// wake-up per event.
+    pub fn last_poll_drained(&self) -> usize {
+        self.last_poll_drained
     }
 
     /// Folds one liveness observation (command reply or ping) into the
@@ -158,6 +172,43 @@ impl KasaBackend {
             .enumerate()
             .map(|(i, d)| (DeviceId(i as u32), d.get().unwrap_or(Value::OFF)))
             .collect()
+    }
+
+    /// Feeds one channel event to the core.
+    fn deliver<S: TraceSink>(&mut self, ev: RtEvent, core: &mut RuntimeCore<'_, S>) {
+        match ev {
+            RtEvent::CommandDone {
+                device,
+                ticket,
+                success,
+                observed,
+                new_state,
+            } => {
+                let now = self.now();
+                // A command reply is also a liveness observation — the
+                // same implicit-ack semantics the simulator's detector
+                // has.
+                let detection = self.edge(device, success);
+                core.on_command(
+                    now,
+                    CommandOutcome {
+                        device,
+                        ticket,
+                        success,
+                        observed,
+                        new_state,
+                        detection,
+                    },
+                    self,
+                );
+            }
+            RtEvent::Ping { device, alive } => {
+                let now = self.now();
+                if let Some(det) = self.edge(device, alive) {
+                    core.emit_detection(det, now, self);
+                }
+            }
+        }
     }
 }
 
@@ -233,37 +284,18 @@ impl Backend for KasaBackend {
             .unwrap_or(Duration::from_millis(50))
             .min(Duration::from_millis(50));
         match self.rx.recv_timeout(wait) {
-            Ok(RtEvent::CommandDone {
-                device,
-                ticket,
-                success,
-                observed,
-                new_state,
-            }) => {
+            Ok(first) => {
                 let now = self.now();
-                // A command reply is also a liveness observation — the
-                // same implicit-ack semantics the simulator's detector
-                // has.
-                let detection = self.edge(device, success);
-                core.on_command(
-                    now,
-                    CommandOutcome {
-                        device,
-                        ticket,
-                        success,
-                        observed,
-                        new_state,
-                        detection,
-                    },
-                    self,
-                );
-                Polled::Event(now)
-            }
-            Ok(RtEvent::Ping { device, alive }) => {
-                let now = self.now();
-                if let Some(det) = self.edge(device, alive) {
-                    core.emit_detection(det, now, self);
+                self.deliver(first, core);
+                // Drain everything already buffered behind the channel:
+                // a burst of completions costs one wake-up, not one
+                // `recv_timeout` round per event.
+                let mut drained = 1;
+                while let Ok(ev) = self.rx.try_recv() {
+                    self.deliver(ev, core);
+                    drained += 1;
                 }
+                self.last_poll_drained = drained;
                 Polled::Event(now)
             }
             Err(_) => Polled::Idle(self.now()),
@@ -323,20 +355,60 @@ impl<'a, S: TraceSink> RealTimeRunner<'a, S> {
         workload: &'a [Submission],
         sink_from: impl FnOnce(&BTreeMap<DeviceId, Value>) -> S,
     ) -> Result<Self> {
+        Self::build(config, drivers, ping_every, workload, sink_from, None)
+    }
+
+    /// As [`Self::with_sink_and_workload`], additionally recording the
+    /// durable execution journal. The journaling seam is the shared
+    /// [`HomeRuntime`], so the real-time runner gets the identical
+    /// record stream the simulation driver writes — and
+    /// `safehome_harness::recover` replays a wall-clock journal exactly
+    /// like a virtual-time one (see [`RealTimeRunner::journal`]).
+    pub fn with_journal_sink_and_workload(
+        config: EngineConfig,
+        drivers: Vec<KasaDriver>,
+        ping_every: Duration,
+        workload: &'a [Submission],
+        sink_from: impl FnOnce(&BTreeMap<DeviceId, Value>) -> S,
+    ) -> Result<Self> {
+        Self::build(
+            config,
+            drivers,
+            ping_every,
+            workload,
+            sink_from,
+            Some(JournalWriter::record(ExecutionJournal::new())),
+        )
+    }
+
+    fn build(
+        config: EngineConfig,
+        drivers: Vec<KasaDriver>,
+        ping_every: Duration,
+        workload: &'a [Submission],
+        sink_from: impl FnOnce(&BTreeMap<DeviceId, Value>) -> S,
+        journal: Option<JournalWriter>,
+    ) -> Result<Self> {
         let backend = KasaBackend::new(drivers, ping_every)?;
         let initial = backend.read_states();
         let sink = sink_from(&initial);
         let engine = Engine::new(config, &initial);
         Ok(RealTimeRunner {
-            rt: HomeRuntime::assemble(
+            rt: HomeRuntime::assemble_journaled(
                 engine,
                 sink,
                 workload,
                 FAR_FUTURE,
                 HomeTables::new(),
                 backend,
+                journal,
             ),
         })
+    }
+
+    /// The execution journal, when journaling is enabled.
+    pub fn journal(&self) -> Option<&ExecutionJournal> {
+        self.rt.journal()
     }
 
     /// Submits a routine right now.
@@ -588,6 +660,71 @@ mod tests {
         assert!(report.completed);
         assert_eq!(report.committed.len(), 2, "the deferred routine ran");
         assert_eq!(plugs[1].handle().state(), Value::ON);
+    }
+
+    #[test]
+    fn poll_drains_a_buffered_burst_in_one_round() {
+        let (_plugs, mut runner) = setup(2);
+        // A far-future scheduled submission keeps the backend non-idle
+        // (so `step` polls instead of declaring quiescence) without ever
+        // firing inside the test.
+        runner
+            .rt
+            .backend_mut()
+            .schedule_submit(FAR_FUTURE, usize::MAX);
+        // Buffer a burst behind the channel before a single poll round.
+        // `alive: true` pings on believed-up devices are no-op events.
+        let n = 6;
+        let tx = runner.rt.backend().tx.clone();
+        for _ in 0..n {
+            tx.send(RtEvent::Ping {
+                device: DeviceId(0),
+                alive: true,
+            })
+            .unwrap();
+        }
+        assert!(matches!(runner.rt.step(), safehome_harness::Step::Event(_)));
+        assert_eq!(
+            runner.rt.backend().last_poll_drained(),
+            n,
+            "all buffered events must drain in one poll round"
+        );
+    }
+
+    #[test]
+    fn journaled_real_time_run_recovers_by_replay() {
+        use safehome_harness::recover;
+        use safehome_types::sink::RunCounters;
+        let (plugs, drivers) = plugs_and_drivers(2);
+        let config = EngineConfig::new(VisibilityModel::ev());
+        let mut runner = RealTimeRunner::with_journal_sink_and_workload(
+            config.clone(),
+            drivers,
+            Duration::from_millis(500),
+            &[],
+            |initial| Trace::new(initial.clone()),
+        )
+        .unwrap();
+        runner
+            .submit(
+                Routine::builder("journaled")
+                    .set(DeviceId(0), Value::ON, TimeDelta::from_millis(10))
+                    .set(DeviceId(1), Value::ON, TimeDelta::from_millis(10))
+                    .build(),
+            )
+            .unwrap();
+        let report = runner.run_to_quiescence(Duration::from_secs(10));
+        assert!(report.completed);
+        let journal = runner.journal().expect("journaling enabled").clone();
+        assert!(journal
+            .events()
+            .iter()
+            .any(|e| e.payload.kind() == "routine_committed"));
+        // The wall-clock journal replays exactly like a virtual-time
+        // one: same record schema, same deterministic engine.
+        let rec = recover(journal, config, &[], RunCounters::new()).unwrap();
+        assert!(rec.report.inflight.is_empty(), "nothing was in flight");
+        assert_eq!(plugs[0].handle().state(), Value::ON);
     }
 
     #[test]

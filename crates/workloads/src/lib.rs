@@ -16,6 +16,7 @@ pub mod scenarios;
 
 pub use micro::MicroParams;
 pub use scenarios::{
-    factory, fleet_morning, morning, neighborhood_home, party, FleetTemplate, NeighborhoodParams,
+    crash_index, crash_recovery, factory, fleet_morning, morning, neighborhood_home, party,
+    run_uncrashed, run_with_crash, CrashRecoveryRun, FleetTemplate, NeighborhoodParams,
     NeighborhoodPlan,
 };

@@ -17,13 +17,17 @@
 //!
 //! Beyond the paper, [`neighborhood`] scales the morning scenario to a
 //! *fleet* axis: clusters of homes share a correlated hub outage
-//! (fail-stop or fail-slow), drawn from the fleet seed.
+//! (fail-stop or fail-slow), drawn from the fleet seed, and [`crash`]
+//! adds the durability axis: a seeded controller crash mid-run, with
+//! journal-replay recovery onto the surviving world.
 
+pub mod crash;
 pub mod factory;
 pub mod morning;
 pub mod neighborhood;
 pub mod party;
 
+pub use crash::{crash_index, crash_recovery, run_uncrashed, run_with_crash, CrashRecoveryRun};
 pub use factory::factory;
 pub use morning::{fleet_morning, morning, FleetTemplate};
 pub use neighborhood::{neighborhood_home, NeighborhoodParams, NeighborhoodPlan};

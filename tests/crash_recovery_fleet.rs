@@ -1,0 +1,60 @@
+//! Fleet-scale crash/restore determinism.
+//!
+//! Every home of a 200-home §7.2 morning fleet is run twice: once
+//! journal-free (the baseline) and once with the execution journal
+//! enabled, a controller crash at the home's seeded journal index,
+//! journal-replay recovery and a resume onto the surviving world. The
+//! two runs must agree on the *entire* `RunCounters` — committed and
+//! aborted counts, per-routine latencies, end time and the
+//! event-stream digest — and on the engine's committed device states.
+//! Recovery is pure replay of a deterministic engine, so a crash at any
+//! index is invisible to the continuation.
+
+use std::collections::BTreeSet;
+
+use safehome::core::{EngineConfig, VisibilityModel};
+use safehome::harness::home_seed;
+use safehome::workloads::{crash_index, crash_recovery, run_uncrashed, FleetTemplate};
+
+const FLEET_SEED: u64 = 0xC4A5;
+const HOMES: u64 = 200;
+
+#[test]
+fn two_hundred_home_fleet_survives_seeded_crashes() {
+    let template = FleetTemplate::morning(EngineConfig::new(VisibilityModel::ev()));
+    let mut indices: BTreeSet<usize> = BTreeSet::new();
+    let mut irreversible_notes = 0usize;
+    for home in 0..HOMES {
+        let seed = home_seed(FLEET_SEED, home);
+        let spec = template.home_spec(seed);
+        let (base, base_states, base_completed) = run_uncrashed(&spec);
+        let outcome = crash_recovery(&spec, seed);
+        assert_eq!(outcome.completed, base_completed, "home {home}");
+        assert_eq!(
+            outcome.counters, base,
+            "home {home}: counters/digest diverged across crash/restore"
+        );
+        assert_eq!(
+            outcome.committed_states, base_states,
+            "home {home}: committed states diverged across crash/restore"
+        );
+        indices.insert(crash_index(seed));
+        irreversible_notes += outcome.notes.len();
+        for note in &outcome.notes {
+            assert!(
+                note.contains("physically irreversible"),
+                "home {home}: unexpected note {note:?}"
+            );
+        }
+    }
+    assert!(
+        indices.len() > 20,
+        "the seeded crash indices must spread across the run ({} distinct)",
+        indices.len()
+    );
+    // Notes only appear when a crash lands inside an irreversible
+    // write's started window; the deterministic harness tests pin that
+    // path, here we only check any that occurred carried the wording
+    // (asserted above, count reported for context: {irreversible_notes}).
+    let _ = irreversible_notes;
+}
