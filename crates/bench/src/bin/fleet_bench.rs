@@ -33,7 +33,11 @@
 //! same fleet run with the per-home execution journal enabled — the
 //! journaling overhead is gated at >= 0.5x of the event_loop baseline,
 //! and every journaled home is checked digest-identical to its
-//! unjournaled run (journaling must be digest-neutral).
+//! unjournaled run (journaling must be digest-neutral); and a `lint`
+//! JSON section recording static-analysis throughput (lints/sec over
+//! the same template homes) plus a digest-neutrality check of the
+//! lint-gated fleet driver (`run_fleet_gated` with the Error-severity
+//! gate must reproduce the ungated per-home results byte for byte).
 //!
 //! Usage:
 //! ```text
@@ -273,6 +277,55 @@ fn main() {
         journal_rate / single_rate
     );
     ok &= journal_neutral;
+
+    // ---- Section 1c: static analysis (safehome-lint) ---------------
+    // Lint throughput over the same template homes (spec construction
+    // included, mirroring what a lint-before-run hook pays), plus the
+    // digest-neutrality check: the lint-gated fleet driver must
+    // reproduce the ungated per-home results byte for byte, because the
+    // gate only *reads* specs before anything executes.
+    let mut lint_diagnostics = 0usize;
+    let mut lint_conflicts = 0usize;
+    let mut lint_errors = 0usize;
+    let lint_start = Instant::now();
+    for h in &base.homes {
+        let spec = template.home_spec(h.seed);
+        let report = safehome_lint::analyze_spec(&spec);
+        lint_diagnostics += report.diagnostics.len();
+        lint_conflicts += report.conflicts.len();
+        lint_errors += report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity >= safehome_lint::Severity::Error)
+            .count();
+    }
+    let lint_elapsed = lint_start.elapsed().as_secs_f64();
+    let lint_rate = homes as f64 / lint_elapsed;
+    eprintln!(
+        "lint: {homes} homes in {lint_elapsed:.3}s = {lint_rate:.1} lints/sec \
+         ({lint_diagnostics} diagnostics, {lint_conflicts} predicted conflict pairs, \
+         {lint_errors} errors)"
+    );
+    if lint_errors > 0 {
+        eprintln!("lint: bundled fleet homes must carry no Error-severity diagnostics");
+        ok = false;
+    }
+    let gated = safehome_harness::run_fleet_gated(
+        homes,
+        2,
+        FLEET_SEED,
+        FleetSchedule::Stealing,
+        |_, spec| safehome_lint::check(spec),
+        |_, seed| template.home_spec(seed),
+    );
+    let gate_digest_neutral = match gated {
+        Ok(result) => same_homes("lint-gated fleet", &base.homes, &result.homes),
+        Err(rejection) => {
+            eprintln!("lint gate rejected a bundled home: {rejection}");
+            false
+        }
+    };
+    ok &= gate_digest_neutral;
 
     // ---- Section 2: heterogeneous neighborhood fleet ---------------
     let params = NeighborhoodParams::default();
@@ -570,6 +623,26 @@ fn main() {
             ]),
         ),
         (
+            "lint",
+            obj([
+                (
+                    "description",
+                    Json::from(
+                        "safehome-lint static analysis over the same template homes \
+                         (footprints, conflict-window prediction, hazard rules; spec \
+                         construction included); gate_digest_neutral checks that the \
+                         lint-gated fleet driver reproduces the ungated per-home \
+                         results byte for byte",
+                    ),
+                ),
+                ("lints_per_sec", Json::Float(round3(lint_rate))),
+                ("diagnostics_total", Json::from(lint_diagnostics as u64)),
+                ("conflict_pairs_total", Json::from(lint_conflicts as u64)),
+                ("errors", Json::from(lint_errors as u64)),
+                ("gate_digest_neutral", Json::from(gate_digest_neutral)),
+            ]),
+        ),
+        (
             "neighborhood_params",
             obj([
                 ("cluster_size", Json::from(params.cluster_size as u64)),
@@ -610,7 +683,10 @@ fn main() {
     }
     eprintln!("wrote {digest_path}");
     if !ok {
-        eprintln!("FAIL: per-home results diverged across worker counts, schedules or journaling");
+        eprintln!(
+            "FAIL: per-home results diverged across worker counts, schedules, journaling \
+             or the lint gate (or bundled homes carried lint errors)"
+        );
         std::process::exit(1);
     }
     // Homes are independent, so on a machine with real parallelism the

@@ -1,0 +1,132 @@
+//! `lint_workloads` — run safehome-lint over every bundled scenario.
+//!
+//! Lints the bundled workloads at fleet scale: the base `morning`
+//! scenario across a seed sweep, the jittered `fleet_morning` fleet
+//! (unhealthy 1-in-8 homes included), the correlated-outage
+//! `neighborhood` fleet, and the `crash` axis (which runs `fleet_morning`
+//! specs under a different fleet seed — the crash itself never changes
+//! the spec, so linting covers it exactly).
+//!
+//! Severity policy:
+//!
+//! - **Error** diagnostics always fail the run — bundled scenarios must
+//!   never ship malformed specs.
+//! - **Warning** diagnostics fail only under `--deny-warnings`, and even
+//!   then a warning whose rule id appears in the scenario's
+//!   expected-diagnostic annotation
+//!   (`safehome_workloads::expected_diagnostics`) is accepted: the fleet
+//!   scenarios *deliberately* contain the sprinkler
+//!   irreversible-after-fallible-must hazard.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p safehome-bench --release --bin lint_workloads -- [--deny-warnings]
+//! ```
+//!
+//! Prints a per-scenario summary (specs linted, diagnostics by rule,
+//! predicted conflict pairs) and exits non-zero on any violation.
+
+use std::collections::BTreeMap;
+
+use safehome_core::{EngineConfig, VisibilityModel};
+use safehome_harness::{home_seed, RunSpec};
+use safehome_lint::{analyze_spec, Severity};
+use safehome_workloads::{
+    expected_diagnostics, fleet_morning, morning, neighborhood_home, FleetTemplate,
+    NeighborhoodParams, NeighborhoodPlan,
+};
+
+/// Seeds swept for the base morning scenario.
+const MORNING_SEEDS: u64 = 32;
+/// Homes linted per fleet scenario.
+const FLEET_HOMES: usize = 256;
+/// Fleet seed of the morning fleet (matches `fleet_bench`).
+const FLEET_SEED: u64 = 0x5afe_f1ee;
+/// Fleet seed of the neighborhood fleet (matches `fleet_bench`).
+const NEIGHBORHOOD_SEED: u64 = 0x5afe_0b0d;
+/// Fleet seed of the crash axis (matches the crash-recovery fleet test).
+const CRASH_SEED: u64 = 11;
+
+fn config() -> EngineConfig {
+    EngineConfig::new(VisibilityModel::ev())
+}
+
+/// Lints every spec of one scenario; returns `false` on a violation.
+fn lint_scenario(name: &str, specs: impl Iterator<Item = RunSpec>, deny_warnings: bool) -> bool {
+    let expected = expected_diagnostics(name);
+    let mut by_rule: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut specs_linted = 0usize;
+    let mut conflict_pairs = 0usize;
+    let mut ok = true;
+    for spec in specs {
+        specs_linted += 1;
+        let report = analyze_spec(&spec);
+        conflict_pairs += report.conflicts.len();
+        for diag in &report.diagnostics {
+            *by_rule.entry(diag.rule.as_str()).or_default() += 1;
+            let fatal = match diag.severity {
+                Severity::Error => true,
+                Severity::Warning => deny_warnings && !expected.contains(&diag.rule.as_str()),
+                Severity::Info => false,
+            };
+            if fatal {
+                eprintln!("{name}: spec {}: {diag}", specs_linted - 1);
+                ok = false;
+            }
+        }
+    }
+    let rules: Vec<String> = by_rule
+        .iter()
+        .map(|(rule, n)| format!("{rule}×{n}"))
+        .collect();
+    eprintln!(
+        "{name}: {specs_linted} specs, {conflict_pairs} predicted conflict pairs, \
+         diagnostics: {}",
+        if rules.is_empty() {
+            "none".to_string()
+        } else {
+            rules.join(", ")
+        }
+    );
+    ok
+}
+
+fn main() {
+    let deny_warnings = std::env::args().skip(1).any(|a| a == "--deny-warnings");
+    let template = FleetTemplate::morning(config());
+    let plan = NeighborhoodPlan::generate(
+        NEIGHBORHOOD_SEED,
+        FLEET_HOMES,
+        &NeighborhoodParams::default(),
+    );
+
+    let mut ok = true;
+    ok &= lint_scenario(
+        "morning",
+        (0..MORNING_SEEDS).map(|seed| morning(config(), seed)),
+        deny_warnings,
+    );
+    ok &= lint_scenario(
+        "fleet_morning",
+        (0..FLEET_HOMES).map(|h| fleet_morning(config(), home_seed(FLEET_SEED, h as u64))),
+        deny_warnings,
+    );
+    ok &= lint_scenario(
+        "neighborhood",
+        (0..FLEET_HOMES).map(|h| {
+            neighborhood_home(&template, &plan, h, home_seed(NEIGHBORHOOD_SEED, h as u64))
+        }),
+        deny_warnings,
+    );
+    ok &= lint_scenario(
+        "crash",
+        (0..FLEET_HOMES).map(|h| fleet_morning(config(), home_seed(CRASH_SEED, h as u64))),
+        deny_warnings,
+    );
+
+    if !ok {
+        eprintln!("FAIL: bundled workloads carry unexpected lint diagnostics");
+        std::process::exit(1);
+    }
+    eprintln!("all bundled workloads lint clean (expected diagnostics excepted)");
+}

@@ -196,6 +196,66 @@ where
     )
 }
 
+/// A spec the pre-run gate refused: which home, its derived seed, and
+/// the gate's message (for `safehome-lint` gates, the rendered
+/// Error-severity diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecRejection {
+    /// The rejected home's fleet index.
+    pub home: usize,
+    /// The rejected home's derived seed.
+    pub seed: u64,
+    /// The gate's explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "home {} (seed {:#018x}) rejected: {}",
+            self.home, self.seed, self.message
+        )
+    }
+}
+
+/// [`run_fleet_with`] behind a pre-run spec gate: every home's spec is
+/// validated (serially, in home order) *before* any home executes, and
+/// the first rejection aborts the whole fleet with nothing run. The
+/// canonical gate is `safehome-lint`'s Error-severity check
+/// (`|_, spec| lint::check(spec)`); the harness stays lint-agnostic
+/// because the lint crate sits above it in the dependency graph.
+///
+/// Gating never perturbs execution: an accepted fleet's per-home results
+/// — digests included — are byte-identical to the ungated
+/// [`run_fleet_with`] (specs are rebuilt from the same seeds, and the
+/// gate only reads them).
+pub fn run_fleet_gated<F, G>(
+    homes: usize,
+    workers: usize,
+    fleet_seed: u64,
+    schedule: FleetSchedule,
+    gate: G,
+    make_spec: F,
+) -> Result<FleetResult, SpecRejection>
+where
+    F: Fn(usize, u64) -> RunSpec + Sync,
+    G: Fn(usize, &RunSpec) -> Result<(), String>,
+{
+    for home in 0..homes {
+        let seed = home_seed(fleet_seed, home as u64);
+        let spec = make_spec(home, seed);
+        gate(home, &spec).map_err(|message| SpecRejection {
+            home,
+            seed,
+            message,
+        })?;
+    }
+    Ok(run_fleet_with(
+        homes, workers, fleet_seed, schedule, make_spec,
+    ))
+}
+
 /// [`run_fleet`] with an explicit schedule. `Static` and `Stealing`
 /// produce byte-identical [`FleetResult::homes`] — the schedule only
 /// decides which worker runs which home, never what a home does.
@@ -460,6 +520,53 @@ mod tests {
             assert_eq!(fleet.workers, 1, "workers clamp to at least one");
             assert!(fleet.all_completed(), "vacuously true");
         }
+    }
+
+    #[test]
+    fn gated_fleet_matches_ungated_when_gate_accepts() {
+        let plain = run_fleet_with(9, 2, 42, FleetSchedule::Stealing, tiny_home);
+        let gated_specs = std::sync::atomic::AtomicUsize::new(0);
+        let gated = run_fleet_gated(
+            9,
+            2,
+            42,
+            FleetSchedule::Stealing,
+            |_, spec| {
+                gated_specs.fetch_add(spec.submissions.len(), std::sync::atomic::Ordering::Relaxed);
+                Ok(())
+            },
+            tiny_home,
+        )
+        .expect("accepting gate never rejects");
+        assert_eq!(plain.homes, gated.homes, "gating must not perturb runs");
+        assert_eq!(plain.digest(), gated.digest());
+        assert!(
+            gated_specs.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            "the gate saw every spec"
+        );
+    }
+
+    #[test]
+    fn gated_fleet_rejects_with_home_and_seed() {
+        let err = run_fleet_gated(
+            5,
+            2,
+            42,
+            FleetSchedule::Static,
+            |home, _| {
+                if home == 3 {
+                    Err("synthetic gate failure".into())
+                } else {
+                    Ok(())
+                }
+            },
+            tiny_home,
+        )
+        .expect_err("home 3 is rejected");
+        assert_eq!(err.home, 3);
+        assert_eq!(err.seed, home_seed(42, 3));
+        assert!(err.message.contains("synthetic"));
+        assert!(err.to_string().contains("home 3"));
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //! ([`fleet::FleetSchedule`]) — with counters-only sinks for fleet-scale
 //! throughput.
 //!
+//! Pre-run validation: [`sim::Driver::with_sink_checked`] and
+//! [`fleet::run_fleet_gated`] accept a caller-supplied gate that inspects
+//! each [`RunSpec`] before anything executes (the canonical gate is
+//! `safehome-lint`'s Error-severity check, which lives above this crate
+//! in the dependency graph). Gating never perturbs an accepted run.
+//!
 //! Durability: [`sim::Driver::with_journal`] records the append-only
 //! execution journal, [`HomeRuntime::crash`] simulates a controller
 //! death, and [`journal::recover`] rebuilds the core purely by replay —
@@ -33,7 +39,8 @@ pub mod sim;
 pub mod spec;
 
 pub use fleet::{
-    home_seed, run_fleet, run_fleet_with, FleetResult, FleetSchedule, HomeRun, WorkerStats,
+    home_seed, run_fleet, run_fleet_gated, run_fleet_with, FleetResult, FleetSchedule, HomeRun,
+    SpecRejection, WorkerStats,
 };
 pub use journal::{recover, InflightWrite, Recovered, RecoveryReport, ReplayBackend};
 pub use runtime::{Backend, CommandOutcome, HomeRuntime, HomeTables, Polled, RuntimeCore, Step};

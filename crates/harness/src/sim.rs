@@ -366,6 +366,23 @@ impl<'a, S: TraceSink> Driver<'a, S> {
         Self::build(spec, sink, None)
     }
 
+    /// [`Driver::with_sink`] behind a pre-run spec gate: `gate` inspects
+    /// the spec *before* any state is built, and a rejection (`Err`)
+    /// means no driver — nothing is scheduled, no RNG is drawn, no pooled
+    /// state is touched. The canonical gate is `safehome-lint`'s
+    /// Error-severity check (`lint::check`), but any validation fits; the
+    /// harness stays lint-agnostic because the lint crate sits *above* it
+    /// in the dependency graph. Gating never perturbs execution: an
+    /// accepted spec runs event-for-event identically to
+    /// [`Driver::with_sink`].
+    pub fn with_sink_checked<G>(spec: &'a RunSpec, sink: S, gate: G) -> Result<Self, String>
+    where
+        G: FnOnce(&RunSpec) -> Result<(), String>,
+    {
+        gate(spec)?;
+        Ok(Self::build(spec, sink, None))
+    }
+
     /// A driver that additionally records a durable execution journal
     /// (see [`crate::journal`]). Journaling never touches the sink, so
     /// the event stream — and the per-home digest — is identical to
@@ -570,6 +587,43 @@ mod tests {
         assert_eq!(committed, full.committed_states);
         // End-state congruence holds for EV outside the failed device.
         assert!(counters.congruent);
+    }
+
+    #[test]
+    fn checked_driver_gates_before_building_and_matches_unchecked() {
+        let mk = || {
+            let mut spec =
+                RunSpec::new(plug_home(3), EngineConfig::new(VisibilityModel::ev())).with_seed(7);
+            spec.submit(Submission::at(
+                simple_routine(&[0, 1, 2], Value::ON),
+                Timestamp::ZERO,
+            ));
+            spec
+        };
+        // A rejecting gate yields no driver at all.
+        let spec = mk();
+        let gated =
+            Driver::with_sink_checked(&spec, Trace::new(spec.home.initial_states()), |_| {
+                Err("nope".into())
+            });
+        match gated {
+            Err(err) => assert_eq!(err, "nope"),
+            Ok(_) => panic!("gate must reject"),
+        }
+        // An accepting gate runs event-for-event like the plain driver.
+        let plain = run(&mk());
+        let spec = mk();
+        let mut driver =
+            Driver::with_sink_checked(&spec, Trace::new(spec.home.initial_states()), |s| {
+                assert_eq!(s.submissions.len(), 1);
+                Ok(())
+            })
+            .expect("gate accepts");
+        driver.run_to_quiescence();
+        let (trace, committed, completed) = driver.into_output();
+        assert!(completed);
+        assert_eq!(trace, plain.trace);
+        assert_eq!(committed, plain.committed_states);
     }
 
     #[test]

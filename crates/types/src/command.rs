@@ -92,6 +92,15 @@ pub struct Command {
 
 impl Command {
     /// Creates a `Must` set-command with [`UndoPolicy::RestorePrevious`].
+    ///
+    /// The `RestorePrevious` default is deliberate and deliberately
+    /// *asymmetric* with `RoutineBuilder::set_irreversible`: irreversibility
+    /// is a physical property of the actuation (a run sprinkler, a blared
+    /// alarm), so specs must opt in through the explicitly-named builder
+    /// rather than inherit it from a default. The `implicit-irreversible`
+    /// lint rule in `safehome-lint` flags writes that look physically
+    /// irreversible (e.g. activating a sprinkler) but still carry this
+    /// default undo policy.
     pub fn set(device: DeviceId, value: impl Into<Value>, duration: TimeDelta) -> Self {
         Command {
             device,
@@ -123,6 +132,12 @@ impl Command {
     pub fn with_undo(mut self, undo: UndoPolicy) -> Self {
         self.undo = undo;
         self
+    }
+
+    /// Returns `true` if the command is a write whose physical effect
+    /// cannot be rolled back ([`UndoPolicy::Irreversible`]).
+    pub fn is_irreversible(&self) -> bool {
+        self.action.is_write() && self.undo == UndoPolicy::Irreversible
     }
 
     /// Returns `true` if the command is long with respect to `threshold`

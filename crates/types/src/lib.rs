@@ -25,7 +25,7 @@ pub mod value;
 pub use command::{Action, Command, Priority, UndoPolicy};
 pub use error::{Error, Result};
 pub use id::{CmdIdx, DeviceId, RoutineId};
-pub use routine::{Routine, RoutineBuilder};
+pub use routine::{DeviceAccess, Routine, RoutineBuilder};
 pub use sink::{RunCounters, TraceSink};
 pub use time::{TimeDelta, Timestamp};
 pub use value::Value;

@@ -84,6 +84,106 @@ impl Routine {
             .take(idx + 1)
             .any(|c| c.device == device && c.action.is_write())
     }
+
+    /// The routine's static *footprint*: one [`DeviceAccess`] summary per
+    /// distinct device, in first-touch order.
+    ///
+    /// This is the read/write shape `safehome-lint` analyzes without
+    /// executing anything: which devices the routine touches, how (reads,
+    /// guarded reads, writes, best-effort writes), which writes are
+    /// physically irreversible or carry a user undo handler, and the last
+    /// written value. The footprint over-approximates the run: a
+    /// best-effort command may be skipped at runtime, and an abort's
+    /// rollback only ever touches devices the routine wrote (plus the
+    /// in-flight write) — both subsets of the footprint — so any device a
+    /// run actually touches on the routine's behalf is in here.
+    pub fn footprint(&self) -> Vec<DeviceAccess> {
+        let mut accesses: Vec<DeviceAccess> = Vec::new();
+        for (idx, c) in self.commands.iter().enumerate() {
+            let slot = match accesses.iter_mut().find(|a| a.device == c.device) {
+                Some(a) => a,
+                None => {
+                    accesses.push(DeviceAccess::new(c.device, idx));
+                    accesses.last_mut().expect("just pushed")
+                }
+            };
+            slot.last = idx;
+            match c.action {
+                Action::Read { expect } => {
+                    slot.reads += 1;
+                    if expect.is_some() {
+                        slot.guarded_reads += 1;
+                    }
+                }
+                Action::Set(v) => {
+                    slot.writes += 1;
+                    slot.final_write = Some(v);
+                    if c.priority == Priority::BestEffort {
+                        slot.best_effort_writes += 1;
+                    }
+                    match c.undo {
+                        UndoPolicy::Irreversible => slot.irreversible_writes += 1,
+                        UndoPolicy::Handler(_) => slot.handler_undos += 1,
+                        UndoPolicy::RestorePrevious => {}
+                    }
+                }
+            }
+        }
+        accesses
+    }
+}
+
+/// Per-device access summary of one routine: the unit of the static
+/// footprint returned by [`Routine::footprint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceAccess {
+    /// The device.
+    pub device: DeviceId,
+    /// Index of the first command touching the device.
+    pub first: usize,
+    /// Index of the last command touching the device.
+    pub last: usize,
+    /// Read commands (guarded or not).
+    pub reads: u32,
+    /// Reads carrying an expected-value guard (can abort the routine).
+    pub guarded_reads: u32,
+    /// Write commands, best-effort included.
+    pub writes: u32,
+    /// Writes tagged best-effort (skippable when the device is down).
+    pub best_effort_writes: u32,
+    /// Writes whose physical effect cannot be undone.
+    pub irreversible_writes: u32,
+    /// Writes undone through a user handler instead of the lineage.
+    pub handler_undos: u32,
+    /// The last written value, if the routine writes the device.
+    pub final_write: Option<Value>,
+}
+
+impl DeviceAccess {
+    fn new(device: DeviceId, first: usize) -> Self {
+        DeviceAccess {
+            device,
+            first,
+            last: first,
+            reads: 0,
+            guarded_reads: 0,
+            writes: 0,
+            best_effort_writes: 0,
+            irreversible_writes: 0,
+            handler_undos: 0,
+            final_write: None,
+        }
+    }
+
+    /// `true` when the access includes at least one write.
+    pub fn is_write(&self) -> bool {
+        self.writes > 0
+    }
+
+    /// `true` when every write on this device is best-effort.
+    pub fn write_is_best_effort_only(&self) -> bool {
+        self.writes > 0 && self.best_effort_writes == self.writes
+    }
 }
 
 /// Fluent builder for [`Routine`]s.
@@ -133,6 +233,15 @@ impl RoutineBuilder {
     }
 
     /// Appends an irreversible set-command (run sprinklers, blare alarm).
+    ///
+    /// This is the *only* builder that produces [`UndoPolicy::Irreversible`];
+    /// [`RoutineBuilder::set`] (like [`Command::set`]) defaults to
+    /// [`UndoPolicy::RestorePrevious`]. The asymmetry is intentional:
+    /// irreversibility is a physical property of the actuation, and a spec
+    /// must opt in by calling this explicitly-named method so the intent is
+    /// visible at the call site. `safehome-lint`'s `implicit-irreversible`
+    /// rule flags writes that look physically irreversible but were built
+    /// with the reversible default.
     pub fn set_irreversible(
         self,
         device: DeviceId,
@@ -224,6 +333,43 @@ mod tests {
             .build();
         assert!(!r.writes_before(DeviceId(0), 0));
         assert!(r.writes_before(DeviceId(0), 1));
+    }
+
+    #[test]
+    fn footprint_summarizes_per_device_access() {
+        let r = Routine::builder("mixed")
+            .set(DeviceId(0), Value::ON, TimeDelta::from_mins(4))
+            .read(DeviceId(1), Some(Value::ON), TimeDelta::ZERO)
+            .set_best_effort(DeviceId(0), Value::OFF, TimeDelta::ZERO)
+            .set_irreversible(DeviceId(2), Value::ON, TimeDelta::from_mins(15))
+            .command(
+                Command::set(DeviceId(1), Value::Int(7), TimeDelta::ZERO)
+                    .with_undo(UndoPolicy::Handler(Value::Int(0))),
+            )
+            .build();
+        let fp = r.footprint();
+        assert_eq!(
+            fp.iter().map(|a| a.device).collect::<Vec<_>>(),
+            vec![DeviceId(0), DeviceId(1), DeviceId(2)],
+            "first-touch order"
+        );
+        let d0 = &fp[0];
+        assert_eq!((d0.first, d0.last), (0, 2));
+        assert_eq!((d0.reads, d0.writes, d0.best_effort_writes), (0, 2, 1));
+        assert_eq!(d0.final_write, Some(Value::OFF));
+        assert!(d0.is_write() && !d0.write_is_best_effort_only());
+        let d1 = &fp[1];
+        assert_eq!((d1.reads, d1.guarded_reads, d1.writes), (1, 1, 1));
+        assert_eq!(d1.handler_undos, 1);
+        assert_eq!(d1.final_write, Some(Value::Int(7)));
+        let d2 = &fp[2];
+        assert_eq!(d2.irreversible_writes, 1);
+        assert_eq!(d2.final_write, Some(Value::ON));
+    }
+
+    #[test]
+    fn footprint_of_empty_routine_is_empty() {
+        assert!(Routine::new("noop", Vec::new()).footprint().is_empty());
     }
 
     #[test]

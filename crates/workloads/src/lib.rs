@@ -16,7 +16,7 @@ pub mod scenarios;
 
 pub use micro::MicroParams;
 pub use scenarios::{
-    crash_index, crash_recovery, factory, fleet_morning, morning, neighborhood_home, party,
-    run_uncrashed, run_with_crash, CrashRecoveryRun, FleetTemplate, NeighborhoodParams,
-    NeighborhoodPlan,
+    crash_index, crash_recovery, expected_diagnostics, factory, fleet_morning, morning,
+    neighborhood_home, party, run_uncrashed, run_with_crash, CrashRecoveryRun, FleetTemplate,
+    NeighborhoodParams, NeighborhoodPlan,
 };

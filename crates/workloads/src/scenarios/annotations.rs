@@ -1,0 +1,58 @@
+//! Expected-diagnostic annotations for the bundled scenarios.
+//!
+//! The `safehome-lint` workload linter runs every bundled scenario with
+//! `--deny-warnings` in CI. Scenarios that *deliberately* contain a
+//! hazard declare it here so the linter can except it: any diagnostic
+//! whose rule id appears in a scenario's annotation list is expected and
+//! does not fail the run; anything else does.
+//!
+//! Rule ids are plain strings (the lint catalog's stable kebab-case
+//! names) rather than `safehome_lint::RuleId` values: `safehome-lint`
+//! depends on the harness this crate feeds, so a workloads → lint
+//! dependency would be cyclic. The lint crate's own tests pin the id
+//! strings, and the workload linter resolves them back.
+//!
+//! # Why the fleet scenarios expect `irreversible-after-fallible-must`
+//!
+//! The morning scenario's `water_garden` routine activates the sprinkler
+//! irreversibly (water already sprayed — the paper's §4 example) and
+//! then issues a `Must` shut-off on the same sprinkler. In a *healthy*
+//! home that shut-off cannot fail, so the base `morning` scenario lints
+//! clean. The fleet variants (`fleet_morning`, `neighborhood`, `crash`)
+//! jitter per-home failure plans; when a home's plan draws the
+//! sprinkler, the shut-off becomes fallible and the lint correctly warns
+//! that an abort after the activation cannot un-water the garden. That
+//! hazard is intentional — it is exactly what the fleet scenarios exist
+//! to exercise — so the fleet scenarios carry the annotation.
+
+/// Rule ids (lint catalog kebab-case names) that `scenario` is expected
+/// to trigger. Unknown scenario names expect nothing.
+pub fn expected_diagnostics(scenario: &str) -> &'static [&'static str] {
+    match scenario {
+        "fleet_morning" | "neighborhood" | "crash" => &["irreversible-after-fallible-must"],
+        _ => &[],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_scenarios_expect_nothing() {
+        assert!(expected_diagnostics("morning").is_empty());
+        assert!(expected_diagnostics("party").is_empty());
+        assert!(expected_diagnostics("factory").is_empty());
+        assert!(expected_diagnostics("no_such_scenario").is_empty());
+    }
+
+    #[test]
+    fn fleet_scenarios_expect_the_sprinkler_hazard() {
+        for s in ["fleet_morning", "neighborhood", "crash"] {
+            assert_eq!(
+                expected_diagnostics(s),
+                ["irreversible-after-fallible-must"]
+            );
+        }
+    }
+}

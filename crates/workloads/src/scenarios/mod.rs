@@ -21,12 +21,14 @@
 //! adds the durability axis: a seeded controller crash mid-run, with
 //! journal-replay recovery onto the surviving world.
 
+pub mod annotations;
 pub mod crash;
 pub mod factory;
 pub mod morning;
 pub mod neighborhood;
 pub mod party;
 
+pub use annotations::expected_diagnostics;
 pub use crash::{crash_index, crash_recovery, run_uncrashed, run_with_crash, CrashRecoveryRun};
 pub use factory::factory;
 pub use morning::{fleet_morning, morning, FleetTemplate};

@@ -25,6 +25,12 @@ should trip):
   section's ``digest_neutral`` flag must hold outright (fleet_bench
   compares every journaled home's counters, digest included, against
   its unjournaled run).
+- lint: the static-analysis throughput (lints/sec over the same template
+  homes) must stay above ``--min-lint-ratio`` (default 0.25) of the
+  baseline — generous because the lint is not on any hot path — the
+  section's ``gate_digest_neutral`` flag must hold outright (linting a
+  spec must never perturb its execution), and bundled homes must carry
+  zero Error-severity diagnostics.
 - fleet correctness flags must hold outright: per-home results identical
   across worker counts and across Static/Stealing schedules.
 - the steal-vs-static comparison's modeled-makespan speedup must stay
@@ -186,6 +192,31 @@ def check_journal(new, base, min_journal_ratio):
     )
 
 
+def check_lint(new, base, min_lint_ratio):
+    section = new.get("lint")
+    check(section is not None, "fleet: lint section present")
+    if section is None:
+        return
+    check(
+        section.get("gate_digest_neutral") is True,
+        "lint: gated fleet reproduces ungated per-home results byte for byte",
+    )
+    check(
+        section.get("errors") == 0,
+        "lint: bundled template homes carry no Error-severity diagnostics",
+    )
+    base_section = base.get("lint")
+    if base_section is None:
+        print("note: baseline has no lint section; lint throughput floor skipped")
+        return
+    floor = base_section["lints_per_sec"] * min_lint_ratio
+    check(
+        section["lints_per_sec"] >= floor,
+        f"lint: {section['lints_per_sec']} lints/sec "
+        f">= {min_lint_ratio}x baseline ({base_section['lints_per_sec']})",
+    )
+
+
 def diff_digest_sidecars(new_path, base_path, expect_digest_change):
     """Per-home digest diff.
 
@@ -269,6 +300,7 @@ def main():
     ap.add_argument("--min-rate-ratio", type=float, default=0.4)
     ap.add_argument("--min-event-loop-ratio", type=float, default=0.55)
     ap.add_argument("--min-journal-ratio", type=float, default=0.5)
+    ap.add_argument("--min-lint-ratio", type=float, default=0.25)
     ap.add_argument("--min-steal-speedup", type=float, default=1.2)
     args = ap.parse_args()
 
@@ -277,6 +309,7 @@ def main():
     check_fleet(new_fleet, base_fleet, args.min_rate_ratio, args.min_steal_speedup)
     check_event_loop(new_fleet, base_fleet, args.min_event_loop_ratio)
     check_journal(new_fleet, base_fleet, args.min_journal_ratio)
+    check_lint(new_fleet, base_fleet, args.min_lint_ratio)
     diff_digest_sidecars(
         args.digests,
         args.baseline_digests,

@@ -47,12 +47,15 @@
 //! [`devices`] (virtual devices + detector) · [`sim`] (DES primitives) ·
 //! [`harness`] (simulation driver) · [`workloads`] (scenarios &
 //! microbenchmark) · [`metrics`] (§7.1 metrics + serial-equivalence
-//! checkers) · [`kasa`] (networked substrate + real-time runner).
+//! checkers) · [`kasa`] (networked substrate + real-time runner) ·
+//! [`lint`] (static routine/workload analyzer: footprints, conflict
+//! prediction, hazard diagnostics, pre-run gates).
 
 pub use safehome_core as core;
 pub use safehome_devices as devices;
 pub use safehome_harness as harness;
 pub use safehome_kasa as kasa;
+pub use safehome_lint as lint;
 pub use safehome_metrics as metrics;
 pub use safehome_sim as sim;
 pub use safehome_types as types;

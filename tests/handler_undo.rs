@@ -1,0 +1,121 @@
+//! End-to-end tests for `UndoPolicy::Handler(..)`: user-specified undo
+//! values must drive rollback through the full engine/harness stack —
+//! not just `plan_rollback`'s unit tests — under every visibility model
+//! with its own rollback path, and survive journal replay after a
+//! controller crash.
+
+use safehome::core::{EngineConfig, VisibilityModel};
+use safehome::devices::catalog::plug_home;
+use safehome::harness::{run, RunSpec, Submission};
+use safehome::types::{Command, DeviceId, Routine, TimeDelta, Timestamp, UndoPolicy, Value};
+use safehome::workloads::{run_uncrashed, run_with_crash};
+
+fn d(i: u32) -> DeviceId {
+    DeviceId(i)
+}
+
+/// A routine whose first write carries a handler undo (restore to
+/// `Int(5)`, not the lineage value) and whose second command fails:
+/// a guarded read expecting `ON` from a plug that is `OFF`.
+fn handler_then_failed_guard() -> Routine {
+    Routine::builder("handler_guard")
+        .command(
+            Command::set(d(0), Value::ON, TimeDelta::from_millis(100))
+                .with_undo(UndoPolicy::Handler(Value::Int(5))),
+        )
+        .read(d(1), Some(Value::ON), TimeDelta::from_millis(50))
+        .build()
+}
+
+fn models() -> Vec<(&'static str, VisibilityModel)> {
+    vec![
+        ("EV", VisibilityModel::ev()),
+        ("GSV", VisibilityModel::Gsv { strong: false }),
+        ("PSV", VisibilityModel::Psv),
+    ]
+}
+
+#[test]
+fn guard_failure_rolls_back_to_the_handler_value_under_every_model() {
+    for (label, model) in models() {
+        let mut spec = RunSpec::new(plug_home(2), EngineConfig::new(model));
+        spec.submit(Submission::at(handler_then_failed_guard(), Timestamp::ZERO));
+        let out = run(&spec);
+        assert!(out.completed, "{label}: run must quiesce");
+        assert_eq!(out.trace.aborted().len(), 1, "{label}: guard must abort");
+        // The *physical* world (trace end states) must show the handler
+        // value: the rollback dispatch carries `Int(5)`, not the
+        // lineage's previous state. The engine's committed view rightly
+        // still reads OFF — an aborted routine commits nothing.
+        assert_eq!(
+            out.trace.end_states[&d(0)],
+            Value::Int(5),
+            "{label}: rollback must restore the handler value, not the previous state"
+        );
+        assert_eq!(out.committed_states[&d(0)], Value::OFF, "{label}");
+        assert_eq!(out.trace.end_states[&d(1)], Value::OFF, "{label}");
+        let rollback_write = out.trace.events.iter().any(|ev| {
+            matches!(
+                ev.kind,
+                safehome::types::trace::TraceEventKind::StateChanged {
+                    device,
+                    value: Value::Int(5),
+                    rollback: true,
+                    ..
+                } if device == d(0)
+            )
+        });
+        assert!(
+            rollback_write,
+            "{label}: the undo dispatch is a rollback write"
+        );
+    }
+}
+
+#[test]
+fn must_command_failure_rolls_back_to_the_handler_value() {
+    for (label, model) in models() {
+        let mut spec = RunSpec::new(plug_home(2), EngineConfig::new(model));
+        let routine = Routine::builder("handler_must")
+            .command(
+                Command::set(d(0), Value::ON, TimeDelta::from_millis(100))
+                    .with_undo(UndoPolicy::Handler(Value::Int(9))),
+            )
+            .set(d(1), Value::ON, TimeDelta::from_millis(100))
+            .build();
+        spec.submit(Submission::at(routine, Timestamp::ZERO));
+        spec.failures = spec.failures.clone().fail(d(1), Timestamp::ZERO);
+        let out = run(&spec);
+        assert!(out.completed, "{label}");
+        assert_eq!(out.trace.aborted().len(), 1, "{label}: dead device aborts");
+        assert_eq!(out.trace.end_states[&d(0)], Value::Int(9), "{label}");
+    }
+}
+
+#[test]
+fn handler_rollback_survives_crash_and_journal_replay() {
+    // The handler-undone write must reach the same end state whether the
+    // controller lives through the run or dies mid-way and recovers by
+    // journal replay — at any crash point.
+    let mut spec = RunSpec::new(plug_home(2), EngineConfig::new(VisibilityModel::ev()));
+    spec.submit(Submission::at(handler_then_failed_guard(), Timestamp::ZERO));
+    // The full-trace run pins the physical end state; the counters
+    // digest (folded over every StateChanged, the Int(5) rollback write
+    // included) then carries that behavior through the crash variants.
+    let traced = run(&spec);
+    assert_eq!(traced.trace.end_states[&d(0)], Value::Int(5));
+    let (base_counters, base_states, base_completed) = run_uncrashed(&spec);
+    assert!(base_completed);
+    for crash_at in [1, 2, 3, 5, 8, usize::MAX] {
+        let crashed = run_with_crash(&spec, crash_at);
+        assert!(crashed.completed, "crash@{crash_at}");
+        assert_eq!(
+            crashed.counters, base_counters,
+            "crash@{crash_at}: digest and counters must match the uncrashed run"
+        );
+        assert_eq!(
+            crashed.committed_states, base_states,
+            "crash@{crash_at}: handler value must survive replay"
+        );
+    }
+}
