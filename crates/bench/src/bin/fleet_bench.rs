@@ -177,9 +177,7 @@ fn main() {
         .unwrap_or(512);
 
     let template = FleetTemplate::morning(EngineConfig::new(VisibilityModel::ev()));
-    let cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cpus = safehome_bench::support::available_parallelism();
     let mut ok = true;
 
     // Warmup: touch every code path once so the first timed run does not
@@ -514,6 +512,7 @@ fn main() {
                 ("homes", Json::from(n_homes as u64)),
                 ("fleet_seed", Json::from(NEIGHBORHOOD_SEED)),
                 ("workers", Json::from(COMPARE_WORKERS as u64)),
+                ("available_parallelism", Json::from(cpus as u64)),
                 ("affected_homes", Json::from(plan.affected() as u64)),
                 ("basis", Json::from(basis)),
                 ("homes_per_sec_static", Json::Float(round3(rate_static))),
@@ -590,6 +589,7 @@ fn main() {
                     ),
                 ),
                 ("queue", Json::from("calendar_wheel")),
+                ("available_parallelism", Json::from(cpus as u64)),
                 ("homes_per_sec_single", Json::Float(round3(single_rate))),
             ]),
         ),
@@ -606,6 +606,7 @@ fn main() {
                          baseline rate",
                     ),
                 ),
+                ("available_parallelism", Json::from(cpus as u64)),
                 ("homes_per_sec_single", Json::Float(round3(journal_rate))),
                 (
                     "unjournaled_homes_per_sec_single",
@@ -635,6 +636,7 @@ fn main() {
                          results byte for byte",
                     ),
                 ),
+                ("available_parallelism", Json::from(cpus as u64)),
                 ("lints_per_sec", Json::Float(round3(lint_rate))),
                 ("diagnostics_total", Json::from(lint_diagnostics as u64)),
                 ("conflict_pairs_total", Json::from(lint_conflicts as u64)),

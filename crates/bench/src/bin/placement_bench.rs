@@ -92,6 +92,10 @@ fn main() {
                 ("routines", Json::from(30u64)),
             ]),
         ),
+        (
+            "available_parallelism",
+            Json::from(safehome_bench::support::available_parallelism() as u64),
+        ),
         ("unit", Json::from("microseconds per placement")),
         ("samples_per_point", Json::from(SAMPLES as u64)),
         ("placements_per_sample", Json::from(REPS as u64)),

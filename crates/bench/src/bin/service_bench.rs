@@ -1,0 +1,246 @@
+//! `service_bench` — resident-fleet service mode under sustained
+//! open-loop traffic, with latency SLO percentiles.
+//!
+//! Where `fleet_bench` measures the batch path (run every home to
+//! quiescence, then stop), this bin measures the *serving* shape: every
+//! home stays resident over an hours-long simulated horizon while an
+//! open-loop arrival process (seeded Poisson on a one-second lattice,
+//! diurnal rate curve, fleet-seed burst windows — see
+//! `safehome_workloads::scenarios::service`) keeps submitting routines.
+//! The resident runner (`safehome_harness::run_service`) advances homes
+//! in epoch slices off per-worker timer wheels, so a burst in one home
+//! never starves its neighbours.
+//!
+//! For each load point (arrivals per home-hour) the bin records:
+//!
+//! - sustained throughput (homes/sec and routines/sec of wall clock) at
+//!   each worker count;
+//! - offered vs completed routine counts (open-loop: offered load does
+//!   not bend to completion rate);
+//! - submission-latency percentiles p50/p95/p99/p999 in simulated
+//!   milliseconds from the constant-memory fleet histogram — these are
+//!   machine-independent, so the regression gate can hold them tight.
+//!
+//! Cross-checks, recorded in the JSON and enforced by exit status:
+//! per-home results byte-identical across worker counts, and identical
+//! to the batch `run_fleet` driver on the same specs.
+//!
+//! The `service` section is *merged into* an existing `BENCH_fleet.json`
+//! at the output path when one is present (replacing any prior
+//! `service` section, leaving every other section untouched), so
+//! `fleet_bench` and `service_bench` compose into one artifact in
+//! either order. No digest-sidecar rows are written: service homes are
+//! covered by the in-run determinism and batch-parity checks.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p safehome-bench --release --bin service_bench \
+//!     [out.json] [homes] [horizon_minutes]
+//! ```
+
+use std::time::Instant;
+
+use safehome_bench::support::available_parallelism;
+use safehome_core::{EngineConfig, VisibilityModel};
+use safehome_harness::{run_fleet, run_service, ServiceResult};
+use safehome_types::json::{obj, Json};
+use safehome_types::TimeDelta;
+use safehome_workloads::{service_home, FleetTemplate, ServiceParams};
+
+/// Worker-thread counts compared per load point.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+/// Fleet seed of the service sections (also seeds the burst windows).
+const SERVICE_SEED: u64 = 0x5afe_0a11;
+/// Mean arrivals per home-hour at each load point.
+const LOAD_POINTS: [u64; 3] = [30, 60, 120];
+/// Epoch slice length the resident runner is driven at.
+const EPOCH: TimeDelta = TimeDelta::from_secs(10);
+/// Fleet-wide burst windows drawn from the seed per load point.
+const BURSTS: usize = 2;
+
+fn percentiles_obj(r: &ServiceResult) -> Json {
+    let p = |q: f64| Json::from(r.latency.percentile(q).expect("non-empty histogram"));
+    obj([
+        ("count", Json::from(r.latency.count())),
+        ("p50", p(0.50)),
+        ("p95", p(0.95)),
+        ("p99", p(0.99)),
+        ("p999", p(0.999)),
+        ("max", Json::from(r.latency.max())),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_fleet.json".to_string());
+    let homes: usize = args
+        .get(1)
+        .map(|s| s.parse().expect("homes must be an integer"))
+        .unwrap_or(600);
+    let horizon_minutes: u64 = args
+        .get(2)
+        .map(|s| s.parse().expect("horizon_minutes must be an integer"))
+        .unwrap_or(120);
+    let horizon = TimeDelta::from_mins(horizon_minutes);
+
+    let template = FleetTemplate::morning(EngineConfig::new(VisibilityModel::ev()));
+    let cpus = available_parallelism();
+    let mut ok = true;
+
+    // Warmup: one small resident run so the first timed point does not
+    // pay allocator and page-fault overhead the later ones skip.
+    {
+        let params = ServiceParams::new(TimeDelta::from_mins(10), LOAD_POINTS[0]);
+        run_service(homes.clamp(4, 64), 2, SERVICE_SEED, EPOCH, |_, seed| {
+            service_home(&template, &params, seed)
+        });
+    }
+
+    let mut load_rows = Vec::new();
+    let mut deterministic = true;
+    let mut matches_batch = true;
+    for rate in LOAD_POINTS {
+        let params = ServiceParams::new(horizon, rate).with_bursts_from_seed(SERVICE_SEED, BURSTS);
+        let make_spec = |_: usize, seed: u64| service_home(&template, &params, seed);
+
+        let mut runs: Vec<(usize, f64, ServiceResult)> = Vec::new();
+        let mut worker_rows = Vec::new();
+        for workers in WORKER_COUNTS {
+            let start = Instant::now();
+            let result = run_service(homes, workers, SERVICE_SEED, EPOCH, make_spec);
+            let elapsed = start.elapsed().as_secs_f64();
+            let home_rate = homes as f64 / elapsed;
+            eprintln!(
+                "rate {rate}/h, {workers} worker(s): {homes} resident homes over \
+                 {horizon_minutes} simulated minutes in {elapsed:.3}s = {home_rate:.1} \
+                 homes/sec, {} slices (digest {:#018x})",
+                result.slices,
+                result.digest()
+            );
+            assert!(
+                result.all_completed(),
+                "rate {rate}/h, {workers} workers: some homes failed to quiesce"
+            );
+            worker_rows.push(obj([
+                ("workers", Json::from(workers as u64)),
+                ("elapsed_s", Json::Float(round3(elapsed))),
+                ("homes_per_sec", Json::Float(round3(home_rate))),
+                (
+                    "routines_per_sec",
+                    Json::Float(round3(result.finished() as f64 / elapsed)),
+                ),
+            ]));
+            runs.push((workers, elapsed, result));
+        }
+
+        // Determinism: byte-identical per-home results at every worker
+        // count (the resident wheel must not perturb any home).
+        let (_, _, base) = &runs[0];
+        for (workers, _, result) in &runs[1..] {
+            if base.homes != result.homes {
+                eprintln!("rate {rate}/h: per-home results diverged at {workers} workers");
+                deterministic = false;
+            }
+        }
+
+        // Batch parity: the time-sliced resident path must reproduce
+        // the run-to-completion fleet driver byte for byte.
+        let batch = run_fleet(homes, 2, SERVICE_SEED, make_spec);
+        if batch.homes != base.homes {
+            eprintln!("rate {rate}/h: resident results diverged from the batch fleet driver");
+            matches_batch = false;
+        }
+
+        let sustained = runs
+            .iter()
+            .map(|&(_, e, _)| homes as f64 / e)
+            .fold(f64::MIN, f64::max);
+        let offered = base.offered();
+        let finished = base.finished();
+        assert!(
+            !base.latency.is_empty(),
+            "rate {rate}/h: the fleet finished no routines"
+        );
+        eprintln!(
+            "rate {rate}/h: offered {offered}, finished {finished} \
+             (p50 {}ms, p99 {}ms, p999 {}ms)",
+            base.latency.percentile(0.50).unwrap(),
+            base.latency.percentile(0.99).unwrap(),
+            base.latency.percentile(0.999).unwrap(),
+        );
+        load_rows.push(obj([
+            ("rate_per_home_hour", Json::from(rate)),
+            ("offered", Json::from(offered)),
+            ("committed", Json::from(base.committed())),
+            ("aborted", Json::from(base.aborted())),
+            (
+                "completed_fraction",
+                Json::Float(round3(finished as f64 / offered.max(1) as f64)),
+            ),
+            ("sustained_homes_per_sec", Json::Float(round3(sustained))),
+            ("results", Json::Arr(worker_rows)),
+            ("latency_ms", percentiles_obj(base)),
+        ]));
+    }
+    ok &= deterministic && matches_batch;
+
+    let section = obj([
+        (
+            "description",
+            Json::from(
+                "resident-fleet service mode: open-loop Poisson arrivals \
+                 (diurnal curve + seeded burst windows) over resident homes, \
+                 advanced in epoch slices off per-worker timer wheels; \
+                 latency percentiles are simulated-time milliseconds from \
+                 the constant-memory fleet histogram (machine-independent); \
+                 determinism and batch-parity cross-checks are enforced",
+            ),
+        ),
+        ("homes", Json::from(homes as u64)),
+        ("fleet_seed", Json::from(SERVICE_SEED)),
+        ("horizon_minutes", Json::from(horizon_minutes)),
+        ("epoch_ms", Json::from(EPOCH.as_millis())),
+        ("burst_windows", Json::from(BURSTS as u64)),
+        ("available_parallelism", Json::from(cpus as u64)),
+        ("deterministic_across_workers", Json::from(deterministic)),
+        ("matches_batch_fleet", Json::from(matches_batch)),
+        ("load_points", Json::Arr(load_rows)),
+    ]);
+
+    // Merge into an existing artifact when one is present: replace any
+    // prior `service` section, keep everything else byte-for-byte.
+    let doc = match std::fs::read_to_string(&out_path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(Json::Obj(mut members)) => {
+                members.retain(|(k, _)| k != "service");
+                members.push(("service".to_string(), section));
+                Json::Obj(members)
+            }
+            Ok(_) | Err(_) => {
+                eprintln!("{out_path} exists but is not a JSON object; writing service-only");
+                obj([("benchmark", Json::from("service")), ("service", section)])
+            }
+        },
+        Err(_) => obj([("benchmark", Json::from("service")), ("service", section)]),
+    };
+    if let Err(e) = std::fs::write(&out_path, doc.to_string_pretty() + "\n") {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path} (service section)");
+
+    if !ok {
+        eprintln!(
+            "FAIL: resident service runs diverged across worker counts or from \
+             the batch fleet driver"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}

@@ -35,6 +35,7 @@
 pub mod fleet;
 pub mod journal;
 pub mod runtime;
+pub mod service;
 pub mod sim;
 pub mod spec;
 
@@ -44,5 +45,6 @@ pub use fleet::{
 };
 pub use journal::{recover, InflightWrite, Recovered, RecoveryReport, ReplayBackend};
 pub use runtime::{Backend, CommandOutcome, HomeRuntime, HomeTables, Polled, RuntimeCore, Step};
+pub use service::{run_service, ServiceResult};
 pub use sim::{run, Driver, RunOutput, SimBackend};
 pub use spec::{Arrival, RunSpec, Submission};

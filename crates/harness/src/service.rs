@@ -1,0 +1,397 @@
+//! Resident-fleet service runner: time-sliced open-loop execution.
+//!
+//! [`fleet::run_fleet`](crate::fleet::run_fleet) is a batch driver: a
+//! worker picks a home, runs it to quiescence, and only then picks the
+//! next. That is the right shape for throughput experiments, but a
+//! serving deployment looks different — every home stays *resident* for
+//! the whole day, and traffic arrives open-loop, so no single home may
+//! monopolize a worker while the rest fall behind.
+//!
+//! [`run_service`] keeps all of a worker's homes alive at once and
+//! advances them in **epoch slices**: each worker owns a contiguous
+//! shard of homes and a private timer wheel ([`EventQueue`]) of
+//! `(next-event-time, home)` entries. The worker pops the earliest
+//! entry, advances that home only through events due before the next
+//! epoch boundary, then re-parks it at its next pending event. A home
+//! with an hour-long gap costs nothing during the gap; a home in a
+//! burst gets exactly one epoch of attention before its neighbours run.
+//!
+//! Determinism: slicing changes *when* (in wall-clock terms) a home's
+//! events are processed, never *which* events or in what order — each
+//! home still consumes its own event queue front-to-back, and homes
+//! share no state. Per-home results are therefore byte-identical to the
+//! batch driver's, at any worker count and any epoch length (asserted
+//! by tests here and by `tests/service_equivalence.rs`).
+//!
+//! Latency accounting: routine finish latencies are drained after every
+//! slice into a constant-memory [`LatencyHistogram`] per worker, merged
+//! at the end — the service path can observe p50/p99/p999 over millions
+//! of submissions without ever holding the fleet's raw samples in one
+//! vector.
+
+use safehome_sim::EventQueue;
+use safehome_types::sink::{self, RunCounters};
+use safehome_types::{LatencyHistogram, TimeDelta, Timestamp};
+
+use crate::fleet::{home_seed, HomeRun};
+use crate::runtime::Step;
+use crate::sim::Driver;
+use crate::spec::RunSpec;
+
+/// Aggregated result of a resident service run.
+///
+/// The per-home payload is the same [`HomeRun`] the batch fleet driver
+/// produces — that is the point: the two paths are comparable field for
+/// field, digest for digest.
+#[derive(Clone)]
+pub struct ServiceResult {
+    /// Per-home results, sorted by home index.
+    pub homes: Vec<HomeRun>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Epoch slice length the run was driven at.
+    pub epoch: TimeDelta,
+    /// Merged latency histogram over every finished routine in the
+    /// fleet (same samples as the per-home `latencies_ms` vectors).
+    pub latency: LatencyHistogram,
+    /// Total `(pop, advance, re-park)` slices executed. Deterministic —
+    /// slice boundaries are absolute simulated-time multiples of the
+    /// epoch, so the count depends only on the fleet and the epoch,
+    /// never on the worker count.
+    pub slices: u64,
+}
+
+impl ServiceResult {
+    /// Total routines submitted across the fleet (the offered load).
+    pub fn offered(&self) -> u64 {
+        self.homes.iter().map(|h| h.counters.submitted).sum()
+    }
+
+    /// Total committed routines across the fleet.
+    pub fn committed(&self) -> u64 {
+        self.homes.iter().map(|h| h.counters.committed).sum()
+    }
+
+    /// Total aborted routines across the fleet.
+    pub fn aborted(&self) -> u64 {
+        self.homes.iter().map(|h| h.counters.aborted).sum()
+    }
+
+    /// Routines that reached a terminal outcome (committed or aborted).
+    pub fn finished(&self) -> u64 {
+        self.committed() + self.aborted()
+    }
+
+    /// `true` when every home reached quiescence.
+    pub fn all_completed(&self) -> bool {
+        self.homes.iter().all(|h| h.completed)
+    }
+
+    /// Order-sensitive digest over the per-home digests; comparable
+    /// directly against [`FleetResult::digest`](crate::FleetResult::digest)
+    /// for the same fleet.
+    pub fn digest(&self) -> u64 {
+        self.homes.iter().fold(sink::DIGEST_SEED, |acc, h| {
+            sink::fold_digest(acc, h.counters.digest)
+        })
+    }
+}
+
+/// Runs `homes` resident homes across `workers` threads in epoch slices
+/// of `epoch` simulated time.
+///
+/// `make_spec(home, seed)` builds each home's spec from its derived
+/// seed ([`home_seed`]), exactly as for the batch fleet driver; equal
+/// inputs give per-home results byte-identical to
+/// [`run_fleet`](crate::fleet::run_fleet).
+pub fn run_service<F>(
+    homes: usize,
+    workers: usize,
+    fleet_seed: u64,
+    epoch: TimeDelta,
+    make_spec: F,
+) -> ServiceResult
+where
+    F: Fn(usize, u64) -> RunSpec + Sync,
+{
+    let workers = workers.clamp(1, homes.max(1));
+    let make_spec = &make_spec;
+
+    let shards = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                // Contiguous near-equal split of 0..homes (the same
+                // split the stealing fleet seeds its shard cursors
+                // with). Residency pins a home to its shard: there is
+                // no stealing here, because a stolen home would drag
+                // its parked timer-wheel entry across workers.
+                let lo = w * homes / workers;
+                let hi = (w + 1) * homes / workers;
+                scope.spawn(move || run_shard(lo, hi, fleet_seed, epoch, make_spec))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("service worker panicked"))
+            .collect::<Vec<ShardOutput>>()
+    });
+
+    let mut result = ServiceResult {
+        homes: Vec::with_capacity(homes),
+        workers,
+        epoch,
+        latency: LatencyHistogram::new(),
+        slices: 0,
+    };
+    // Shards are contiguous and internally in home order, so
+    // concatenation is already sorted by home index.
+    for shard in shards {
+        result.homes.extend(shard.homes);
+        result.latency.merge(&shard.latency);
+        result.slices += shard.slices;
+    }
+    result
+}
+
+/// One worker's output: its shard's homes plus the shard-local
+/// histogram and slice count.
+struct ShardOutput {
+    homes: Vec<HomeRun>,
+    latency: LatencyHistogram,
+    slices: u64,
+}
+
+/// Runs homes `[lo, hi)` resident on the calling thread.
+fn run_shard<F>(
+    lo: usize,
+    hi: usize,
+    fleet_seed: u64,
+    epoch: TimeDelta,
+    make_spec: &F,
+) -> ShardOutput
+where
+    F: Fn(usize, u64) -> RunSpec + Sync,
+{
+    // Specs first, drivers borrowing them second: a driver holds `&spec`
+    // for its whole resident lifetime, so the specs must outlive the
+    // driver vector in this frame.
+    let seeds: Vec<u64> = (lo..hi)
+        .map(|home| home_seed(fleet_seed, home as u64))
+        .collect();
+    let specs: Vec<RunSpec> = (lo..hi)
+        .map(|home| make_spec(home, seeds[home - lo]))
+        .collect();
+    let mut drivers: Vec<Driver<'_, RunCounters>> = specs
+        .iter()
+        .map(|spec| Driver::with_sink(spec, RunCounters::new()))
+        .collect();
+
+    // The shard's timer wheel: earliest pending event per parked home.
+    // An eventless home parks at time zero and completes on its first
+    // slice (its first step observes idle + quiescent).
+    let mut wheel: EventQueue<usize> = EventQueue::new();
+    for (i, d) in drivers.iter().enumerate() {
+        let at = d.backend().next_event_at().unwrap_or(Timestamp::ZERO);
+        wheel.schedule(at, i);
+    }
+
+    let epoch_ms = epoch.as_millis().max(1);
+    let mut latency = LatencyHistogram::new();
+    let mut cursors = vec![0usize; drivers.len()];
+    let mut slices = 0u64;
+
+    while let Some((t, i)) = wheel.pop() {
+        slices += 1;
+        // The slice runs up to the next absolute epoch boundary after
+        // the home's due time — boundaries are multiples of the epoch,
+        // not offsets from `t`, so slice structure is a property of the
+        // fleet clock alone.
+        let end = Timestamp::from_millis((t.as_millis() / epoch_ms + 1) * epoch_ms);
+        let d = &mut drivers[i];
+        loop {
+            if d.is_done() {
+                break;
+            }
+            match d.backend().next_event_at() {
+                // Due later: re-park. (A home that could already report
+                // quiescence but still holds an immaterial probe event
+                // parks at most once more — its next slice's first step
+                // resolves to done without popping the probe.)
+                Some(next) if next >= end => {
+                    wheel.schedule(next, i);
+                    break;
+                }
+                _ => match d.step() {
+                    Step::Event(_) | Step::Idle => {}
+                    Step::Quiescent | Step::Stalled => break,
+                },
+            }
+        }
+        // Progressive latency drain: only the routines that finished in
+        // this slice, so shard memory stays flat over the horizon.
+        let finished = &d.sink().latencies_ms;
+        for &ms in &finished[cursors[i]..] {
+            latency.record(ms);
+        }
+        cursors[i] = finished.len();
+    }
+
+    let mut homes = Vec::with_capacity(drivers.len());
+    for (i, d) in drivers.into_iter().enumerate() {
+        let (counters, _, completed) = d.into_output();
+        // Catch any samples recorded after the home's last drain.
+        for &ms in &counters.latencies_ms[cursors[i]..] {
+            latency.record(ms);
+        }
+        homes.push(HomeRun {
+            home: lo + i,
+            seed: seeds[i],
+            completed,
+            counters,
+        });
+    }
+    ShardOutput {
+        homes,
+        latency,
+        slices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::run_fleet;
+    use crate::spec::Submission;
+    use safehome_core::{EngineConfig, VisibilityModel};
+    use safehome_devices::catalog::plug_home;
+    use safehome_devices::FailurePlan;
+    use safehome_sim::SimRng;
+    use safehome_types::{DeviceId, Routine, Value};
+
+    /// An open-loop-shaped home: arrivals spread over a long, sparse
+    /// horizon (exercising the wheel's outer levels), and a seeded
+    /// minority of homes carry a fail-stop plan (exercising probe
+    /// events and aborts under slicing).
+    fn service_shaped_home(_: usize, seed: u64) -> RunSpec {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut spec =
+            RunSpec::new(plug_home(4), EngineConfig::new(VisibilityModel::ev())).with_seed(seed);
+        let n = 3 + (rng.next_u64() % 4) as usize;
+        for i in 0..n {
+            let mut b = Routine::builder(format!("r{i}"));
+            for j in 0..2u32 {
+                b = b.set(
+                    DeviceId((i as u32 + j) % 4),
+                    Value::ON,
+                    TimeDelta::from_millis(50),
+                );
+            }
+            // Sparse arrivals over ~2 hours: most epochs are empty for
+            // most homes, the resident runner's natural habitat.
+            spec.submit(Submission::at(
+                b.build(),
+                Timestamp::from_millis(rng.next_u64() % (2 * 3_600_000)),
+            ));
+        }
+        if rng.next_u64().is_multiple_of(4) {
+            spec.failures =
+                FailurePlan::random_fail_stop(4, 0.3, Timestamp::from_millis(3_600_000), &mut rng);
+        }
+        spec
+    }
+
+    #[test]
+    fn resident_run_matches_batch_fleet_exactly() {
+        let batch = run_fleet(10, 1, 0x5e7, service_shaped_home);
+        let resident = run_service(10, 1, 0x5e7, TimeDelta::from_secs(10), service_shaped_home);
+        assert_eq!(batch.homes, resident.homes, "per-home results must match");
+        assert_eq!(batch.digest(), resident.digest());
+    }
+
+    #[test]
+    fn resident_results_are_identical_across_worker_counts() {
+        let base = run_service(9, 1, 42, TimeDelta::from_secs(30), service_shaped_home);
+        for workers in [2, 3, 4] {
+            let other = run_service(
+                9,
+                workers,
+                42,
+                TimeDelta::from_secs(30),
+                service_shaped_home,
+            );
+            assert_eq!(
+                base.homes, other.homes,
+                "per-home results must not depend on sharding ({workers} workers)"
+            );
+            assert_eq!(base.digest(), other.digest());
+            assert_eq!(base.slices, other.slices, "slice structure is worker-free");
+        }
+    }
+
+    #[test]
+    fn epoch_length_never_changes_results() {
+        let batch = run_fleet(6, 2, 7, service_shaped_home);
+        for epoch_ms in [1u64, 250, 60_000, 24 * 3_600_000] {
+            let resident = run_service(
+                6,
+                2,
+                7,
+                TimeDelta::from_millis(epoch_ms),
+                service_shaped_home,
+            );
+            assert_eq!(
+                batch.digest(),
+                resident.digest(),
+                "epoch {epoch_ms}ms must not perturb results"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_sees_every_finished_routine() {
+        let r = run_service(8, 3, 11, TimeDelta::from_secs(5), service_shaped_home);
+        let raw: u64 = r
+            .homes
+            .iter()
+            .map(|h| h.counters.latencies_ms.len() as u64)
+            .sum();
+        assert_eq!(r.latency.count(), raw);
+        assert!(raw > 0, "the fleet must finish some routines");
+        let p99 = r.latency.percentile(0.99).expect("non-empty");
+        let exact_max = r
+            .homes
+            .iter()
+            .flat_map(|h| h.counters.latencies_ms.iter().copied())
+            .max()
+            .unwrap();
+        assert_eq!(r.latency.max(), exact_max);
+        assert!(p99 <= exact_max);
+    }
+
+    #[test]
+    fn empty_fleet_is_fine() {
+        let r = run_service(0, 4, 1, TimeDelta::from_secs(1), service_shaped_home);
+        assert!(r.homes.is_empty());
+        assert_eq!(r.workers, 1, "workers clamp to at least one");
+        assert!(r.latency.is_empty());
+        assert!(r.all_completed(), "vacuously true");
+    }
+
+    #[test]
+    fn sparse_fleet_slices_far_fewer_times_than_events() {
+        // The wheel parks homes across their hour-scale gaps: the slice
+        // count must track arrival clusters, not total event count.
+        let epoch_s = 10u64;
+        let r = run_service(10, 2, 3, TimeDelta::from_secs(epoch_s), service_shaped_home);
+        assert!(r.slices >= r.homes.len() as u64);
+        // Naive polling would touch every home once per epoch over the
+        // ~2 h horizon; parking must come in well under that. (Probe
+        // loops keep failure-plan homes busier, so the bound is loose.)
+        let naive = r.homes.len() as u64 * (2 * 3_600 / epoch_s);
+        assert!(
+            r.slices < naive / 2,
+            "slicing must beat per-epoch polling, got {} slices vs {naive} naive",
+            r.slices
+        );
+    }
+}

@@ -188,6 +188,17 @@ impl<'a> SimBackend<'a> {
         }
         self.queue.schedule(at, ev);
     }
+
+    /// Timestamp of the earliest pending simulation event, if any.
+    ///
+    /// The resident service runner uses this to park a home between
+    /// epochs: a home whose next event lies past the epoch boundary is
+    /// re-queued on the timer wheel instead of being stepped. Peeking
+    /// never perturbs the queue, so slicing a run at arbitrary epoch
+    /// boundaries replays the exact event sequence of an unsliced run.
+    pub fn next_event_at(&self) -> Option<Timestamp> {
+        self.queue.peek_time()
+    }
 }
 
 impl Backend for SimBackend<'_> {

@@ -1,13 +1,16 @@
 //! Virtual-time event queue.
 //!
-//! Implemented as a bucketed calendar queue (timing wheel): a near-future
-//! wheel of per-millisecond FIFO buckets plus a sorted overflow level for
-//! events beyond the wheel's horizon. The discrete-event hot loop
-//! (`safehome-harness`) pops and schedules millions of events per second,
-//! and the wheel turns both operations into O(1) deque pushes/pops with
-//! no per-event comparisons — the previous inverted `BinaryHeap` paid
-//! O(log n) sift costs and a comparator call per level on exactly that
-//! path. The pop-order contract is unchanged (see [`EventQueue`]).
+//! Implemented as a bucketed calendar queue (hierarchical timing wheel):
+//! a near-future wheel of per-millisecond FIFO buckets, a coarse second
+//! level whose buckets each span a full first-level period (giving an
+//! hours-long O(1) horizon for open-loop arrival schedules), and a
+//! sorted overflow level for events beyond both. The discrete-event hot
+//! loop (`safehome-harness`) pops and schedules millions of events per
+//! second, and the wheel turns both operations into O(1) deque
+//! pushes/pops with no per-event comparisons — the previous inverted
+//! `BinaryHeap` paid O(log n) sift costs and a comparator call per level
+//! on exactly that path. The pop-order contract is unchanged (see
+//! [`EventQueue`]).
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -25,6 +28,105 @@ const WHEEL_MASK: u64 = (WHEEL as u64) - 1;
 /// Occupancy-bitmap words for the wheel.
 const WORDS: usize = WHEEL / 64;
 
+/// log2 of the first-level period: each second-level bucket covers one
+/// full first-level wheel period (`WHEEL` ms), so draining a single
+/// coarse bucket refills the near wheel exactly.
+const L2_SHIFT: u32 = WHEEL.trailing_zeros();
+/// Second-level width in coarse buckets. With `WHEEL`-ms buckets this
+/// spans [`L2_SPAN`] ≈ 4.66 h — enough for a diurnal open-loop arrival
+/// schedule to stay off the sorted overflow map.
+const L2_BUCKETS: usize = 4096;
+const L2_IDX_MASK: u64 = (L2_BUCKETS as u64) - 1;
+const L2_WORDS: usize = L2_BUCKETS / 64;
+/// Milliseconds covered by a full second-level rotation.
+const L2_SPAN: u64 = (L2_BUCKETS as u64) << L2_SHIFT;
+
+/// Coarse second wheel level. Each bucket holds `(instant, payload)`
+/// entries for one `WHEEL`-ms span **in insertion order** (a coarse
+/// bucket mixes instants; time order is restored when the bucket is
+/// drained into the per-millisecond first level, which keeps
+/// same-instant FIFO because the drain preserves insertion order).
+/// Allocated lazily: a queue whose events never outrun the first level
+/// pays nothing for the hierarchy.
+struct Level2<E> {
+    buckets: Vec<VecDeque<(u64, E)>>,
+    occupied: [u64; L2_WORDS],
+    /// First instant of the window, aligned down to `WHEEL`. The bucket
+    /// for instant `t` is `(t >> L2_SHIFT) & L2_IDX_MASK`; the window
+    /// never spans more than one rotation, so the residue is unique.
+    start: u64,
+    /// First instant *not* covered: events at or past it go to the
+    /// overflow map. At most `start + L2_SPAN`, and never past the
+    /// earliest overflow instant (the exclusive cap keeps an equal-time
+    /// event behind a parked overflow one, mirroring the first level).
+    limit: u64,
+    len: usize,
+}
+
+impl<E> Level2<E> {
+    fn new() -> Self {
+        Level2 {
+            buckets: (0..L2_BUCKETS).map(|_| VecDeque::new()).collect(),
+            occupied: [0; L2_WORDS],
+            start: 0,
+            limit: 0,
+            len: 0,
+        }
+    }
+
+    /// Index of the earliest occupied coarse bucket. Every occupied
+    /// bucket lies within one rotation of `start`, so the first set bit
+    /// at cyclic distance `>= 0` from `start`'s residue is the earliest.
+    fn first_bucket(&self) -> Option<usize> {
+        next_occupied_bit(
+            &self.occupied,
+            ((self.start >> L2_SHIFT) & L2_IDX_MASK) as usize,
+        )
+    }
+
+    /// First instant of the earliest occupied bucket's span (a lower
+    /// bound on every event in it).
+    fn first_span_start(&self) -> Option<u64> {
+        let b = self.first_bucket()?;
+        let base = (self.start >> L2_SHIFT) & L2_IDX_MASK;
+        let dist = (b as u64).wrapping_sub(base) & L2_IDX_MASK;
+        Some(self.start + (dist << L2_SHIFT))
+    }
+
+    fn clear(&mut self) {
+        if self.len > 0 {
+            for b in &mut self.buckets {
+                b.clear();
+            }
+        }
+        self.occupied = [0; L2_WORDS];
+        self.start = 0;
+        self.limit = 0;
+        self.len = 0;
+    }
+}
+
+/// First set bit at cyclic distance `>= 0` from `from` in a 4096-bit
+/// occupancy bitmap, scanning the whole map once. Shared by both wheel
+/// levels (identical geometry).
+fn next_occupied_bit(occupied: &[u64], from: usize) -> Option<usize> {
+    let words = occupied.len();
+    let mut w = from / 64;
+    let mut word = occupied[w] & (!0u64 << (from % 64));
+    for _ in 0..=words {
+        if word != 0 {
+            return Some(w * 64 + word.trailing_zeros() as usize);
+        }
+        w = (w + 1) % words;
+        word = occupied[w];
+        if w == from / 64 {
+            // Wrapped: finish with the bits before `from`.
+            word &= !(!0u64 << (from % 64));
+        }
+    }
+    None
+}
+
 /// A deterministic discrete-event queue.
 ///
 /// Events pop in non-decreasing timestamp order; events scheduled for the
@@ -34,31 +136,44 @@ const WORDS: usize = WHEEL / 64;
 ///
 /// # Structure
 ///
-/// Two levels, both keyed by the event's due time:
+/// Three levels, all keyed by the event's due time:
 ///
 /// - a **wheel** of `WHEEL` FIFO buckets covering the instants
 ///   `[window_start, wheel_limit)`, bucket `t & WHEEL_MASK` holding
 ///   exactly the events due at instant `t` (the window never spans more
 ///   than one full period, so the residue is unique within it), with an
 ///   occupancy bitmap for constant-time next-bucket scans;
+/// - a lazily allocated **coarse second level** (`Level2`) of
+///   `L2_BUCKETS` buckets, each spanning one full first-level period
+///   (`WHEEL` ms, so the level covers ~4.66 h), holding events at or
+///   beyond `wheel_limit` in insertion order per bucket;
 /// - a sorted **overflow** level (`BTreeMap` of per-instant FIFO deques)
-///   for events at or beyond `wheel_limit`.
+///   for events at or beyond the second level's horizon.
 ///
-/// Two invariants make the split correct: every wheel event is earlier
-/// than every overflow event (so a pop can ignore the overflow while the
-/// wheel is non-empty), and a bucket only ever holds one instant. The
-/// window moves in two ways, both preserving same-instant FIFO order
-/// across levels (an event can only change level before any
-/// later-scheduled equal-time event targets the same bucket directly):
+/// Three invariants make the split correct: every wheel event is earlier
+/// than every second-level event, every second-level event is earlier
+/// than every overflow event (so a pop can ignore the outer levels while
+/// an inner one is non-empty), and a first-level bucket only ever holds
+/// one instant. The windows move in three ways, all preserving
+/// same-instant FIFO order across levels (an event can only change level
+/// before any later-scheduled equal-time event targets the same level
+/// directly, because each window limit is capped *exclusively* at the
+/// earliest parked instant of the next level out):
 ///
 /// - when a pop finds the wheel empty, it rebases the window onto the
-///   earliest overflow instant and migrates the newly covered events
-///   into their buckets in time order;
+///   earliest pending instant's span — draining the earliest coarse
+///   second-level bucket (insertion order restores per-instant FIFO as
+///   entries land in per-millisecond buckets) and migrating any overflow
+///   events the new window covers, in time order;
 /// - when a schedule finds the wheel empty and its event past
 ///   `wheel_limit`, it slides the window forward to start at `now` —
 ///   this is what keeps steady periodic work (e.g. probe loops
 ///   rescheduling `interval` ahead) on the wheel path instead of
-///   bouncing through the overflow map.
+///   bouncing through the outer levels;
+/// - when a schedule finds the second level empty and its event past
+///   `wheel_limit`, it re-anchors the second-level window at
+///   `wheel_limit` (aligned down to the period), so hours-long arrival
+///   schedules land in O(1) coarse buckets instead of the `BTreeMap`.
 ///
 /// Bucket and overflow deque allocations are recycled across
 /// [`EventQueue::clear`] calls, so a pooled queue reaches steady state
@@ -90,9 +205,13 @@ pub struct EventQueue<E> {
     /// past the earliest overflow instant (else a pop could take a wheel
     /// event that should sort after a parked overflow one).
     wheel_limit: u64,
-    /// Events in wheel buckets (the overflow holds `len - wheel_len`).
+    /// Events in wheel buckets (the outer levels hold `len - wheel_len`).
     wheel_len: usize,
-    /// Events due at or after `wheel_limit`, in per-instant FIFO deques.
+    /// Coarse second level for events past `wheel_limit`, within ~4.66 h.
+    /// `None` until an event first lands there.
+    level2: Option<Box<Level2<E>>>,
+    /// Events due at or after the second level's limit, in per-instant
+    /// FIFO deques.
     overflow: BTreeMap<u64, VecDeque<E>>,
     /// Emptied overflow deques kept for reuse.
     spare: Vec<VecDeque<E>>,
@@ -109,6 +228,7 @@ impl<E> Default for EventQueue<E> {
             window_start: 0,
             wheel_limit: WHEEL as u64,
             wheel_len: 0,
+            level2: None,
             overflow: BTreeMap::new(),
             spare: Vec::new(),
             len: 0,
@@ -147,6 +267,9 @@ impl<E> EventQueue<E> {
                 b.clear();
             }
         }
+        if let Some(l2) = &mut self.level2 {
+            l2.clear();
+        }
         for (_, mut dq) in std::mem::take(&mut self.overflow) {
             dq.clear();
             self.spare.push(dq);
@@ -166,11 +289,12 @@ impl<E> EventQueue<E> {
         if at >= self.wheel_limit && self.wheel_len == 0 {
             // Empty wheel: slide the window up to the clock so the event
             // lands on the wheel path when it fits. Every pending event
-            // is in the overflow and at or after `now`, so capping the
-            // limit at the earliest overflow instant keeps both split
-            // invariants (an equal-time event must *stay* behind the
-            // parked one, hence the cap is exclusive).
-            let first_parked = self.overflow.keys().next().copied().unwrap_or(u64::MAX);
+            // is in an outer level and at or after `now`, so capping the
+            // limit at the earliest parked instant (the lower bound of
+            // the earliest coarse bucket, or the first overflow key)
+            // keeps the split invariants (an equal-time event must
+            // *stay* behind the parked one, hence the cap is exclusive).
+            let first_parked = self.first_parked_instant();
             self.window_start = self.now.as_millis();
             self.wheel_limit = (self.window_start + WHEEL as u64).min(first_parked);
         }
@@ -179,12 +303,45 @@ impl<E> EventQueue<E> {
             self.buckets[b].push_back(payload);
             self.occupied[b / 64] |= 1 << (b % 64);
             self.wheel_len += 1;
+            return;
+        }
+        // Second level. Re-anchor its window whenever it sits empty: the
+        // slide above guarantees `wheel_limit >= now` here, and while
+        // the level holds events its window (and limit) never move, so
+        // "every second-level event < its limit <= every overflow key"
+        // holds for the level's whole occupancy — an instant's events
+        // can never straddle the level-2/overflow split.
+        let first_over = self.overflow.keys().next().copied().unwrap_or(u64::MAX);
+        let l2 = self.level2.get_or_insert_with(|| Box::new(Level2::new()));
+        if l2.len == 0 {
+            l2.start = self.wheel_limit & !WHEEL_MASK;
+            l2.limit = (l2.start + L2_SPAN).min(first_over);
+        }
+        if at < l2.limit {
+            let b = ((at >> L2_SHIFT) & L2_IDX_MASK) as usize;
+            l2.buckets[b].push_back((at, payload));
+            l2.occupied[b / 64] |= 1 << (b % 64);
+            l2.len += 1;
         } else {
             self.overflow
                 .entry(at)
                 .or_insert_with(|| self.spare.pop().unwrap_or_default())
                 .push_back(payload);
         }
+    }
+
+    /// Lower bound on the earliest event parked outside the near wheel
+    /// (`u64::MAX` when both outer levels are empty). Used as the
+    /// exclusive cap for window slides.
+    fn first_parked_instant(&self) -> u64 {
+        let l2_first = self
+            .level2
+            .as_ref()
+            .filter(|l2| l2.len > 0)
+            .and_then(|l2| l2.first_span_start())
+            .unwrap_or(u64::MAX);
+        let over_first = self.overflow.keys().next().copied().unwrap_or(u64::MAX);
+        l2_first.min(over_first)
     }
 
     /// Pops the next event and advances the clock to its timestamp.
@@ -219,6 +376,18 @@ impl<E> EventQueue<E> {
             return None;
         }
         if self.wheel_len == 0 {
+            if let Some(l2) = self.level2.as_ref().filter(|l2| l2.len > 0) {
+                // The earliest coarse bucket mixes instants in insertion
+                // order, so the minimum needs a scan of that one bucket;
+                // every second-level event precedes every overflow one.
+                let b = l2.first_bucket().expect("len > 0");
+                let min = l2.buckets[b]
+                    .iter()
+                    .map(|&(at, _)| at)
+                    .min()
+                    .expect("occupied bit set");
+                return Some(Timestamp::from_millis(min));
+            }
             return self
                 .overflow
                 .keys()
@@ -232,26 +401,70 @@ impl<E> EventQueue<E> {
         ))
     }
 
-    /// Moves the window onto the earliest overflow instant and migrates
-    /// every newly covered event into its bucket. Only called with an
-    /// empty wheel, so every target bucket is empty and `BTreeMap`
-    /// iteration order (time, then insertion) lands migrated events in
-    /// exactly the order the old sorted heap would have popped them.
+    /// Moves the window onto the earliest pending instant's span and
+    /// migrates every newly covered event into its per-millisecond
+    /// bucket. Only called with an empty wheel.
+    ///
+    /// With second-level events pending, the earliest pending event is
+    /// in the earliest occupied coarse bucket (every second-level event
+    /// precedes every overflow one), whose span is exactly one wheel
+    /// period: the window adopts that span, the bucket drains in
+    /// insertion order (restoring per-instant FIFO as entries land in
+    /// single-instant buckets), and any overflow events the new window
+    /// covers — possible when the second level's limit was capped
+    /// mid-span by a parked overflow instant — migrate on top. An
+    /// instant's events never straddle the level-2/overflow split (see
+    /// [`EventQueue::schedule`]), so the two sources never interleave
+    /// within one instant and the drain order is safe.
+    ///
+    /// With no second-level events, the window rebases onto the earliest
+    /// overflow instant; `BTreeMap` iteration order (time, then
+    /// insertion) lands migrated events in exactly the order the old
+    /// sorted heap would have popped them.
     fn rebase(&mut self) {
-        let &start = self
-            .overflow
-            .keys()
-            .next()
-            .expect("rebase called with pending overflow events");
-        self.window_start = start;
-        self.wheel_limit = start + WHEEL as u64;
+        if let Some(l2) = self.level2.as_mut().filter(|l2| l2.len > 0) {
+            let b = l2.first_bucket().expect("len > 0");
+            let base = (l2.start >> L2_SHIFT) & L2_IDX_MASK;
+            let dist = (b as u64).wrapping_sub(base) & L2_IDX_MASK;
+            let span_start = l2.start + (dist << L2_SHIFT);
+            self.window_start = span_start;
+            self.wheel_limit = span_start + WHEEL as u64;
+            let mut dq = std::mem::take(&mut l2.buckets[b]);
+            l2.occupied[b / 64] &= !(1 << (b % 64));
+            l2.len -= dq.len();
+            for (at, payload) in dq.drain(..) {
+                debug_assert!(
+                    at >= span_start && at < self.wheel_limit,
+                    "second-level bucket held an instant outside its span"
+                );
+                let wb = (at & WHEEL_MASK) as usize;
+                self.buckets[wb].push_back(payload);
+                self.occupied[wb / 64] |= 1 << (wb % 64);
+                self.wheel_len += 1;
+            }
+            // Hand the drained deque's allocation back to the bucket.
+            l2.buckets[b] = dq;
+        } else {
+            let &start = self
+                .overflow
+                .keys()
+                .next()
+                .expect("rebase called with pending events");
+            self.window_start = start;
+            self.wheel_limit = start + WHEEL as u64;
+        }
+        self.migrate_overflow_into_window();
+    }
+
+    /// Migrates every overflow event earlier than `wheel_limit` into its
+    /// wheel bucket, in time order.
+    fn migrate_overflow_into_window(&mut self) {
         while let Some(entry) = self.overflow.first_entry() {
             if *entry.key() >= self.wheel_limit {
                 break;
             }
             let (at, mut dq) = entry.remove_entry();
             let b = (at & WHEEL_MASK) as usize;
-            debug_assert!(self.buckets[b].is_empty(), "bucket collision on rebase");
             self.wheel_len += dq.len();
             if self.buckets[b].capacity() == 0 {
                 // First use of this bucket: adopt the overflow deque's
@@ -268,22 +481,7 @@ impl<E> EventQueue<E> {
     /// First occupied bucket at cyclic distance `>= 0` from instant
     /// `from`, scanning the full wheel once via the occupancy bitmap.
     fn next_occupied(&self, from: u64) -> Option<usize> {
-        let s = (from & WHEEL_MASK) as usize;
-        // Word containing `s`, masked to bits at/after it.
-        let mut w = s / 64;
-        let mut word = self.occupied[w] & (!0u64 << (s % 64));
-        for _ in 0..=WORDS {
-            if word != 0 {
-                return Some(w * 64 + word.trailing_zeros() as usize);
-            }
-            w = (w + 1) % WORDS;
-            word = self.occupied[w];
-            if w == s / 64 {
-                // Wrapped: finish with the bits before `s`.
-                word &= !(!0u64 << (s % 64));
-            }
-        }
-        None
+        next_occupied_bit(&self.occupied, (from & WHEEL_MASK) as usize)
     }
 }
 
@@ -490,6 +688,127 @@ mod tests {
         q.schedule(t(3), 0);
         assert_eq!(q.pop(), Some((t(3), 0)));
         assert_eq!(q.pop(), Some((t(7), 1)));
+    }
+
+    #[test]
+    fn level2_bucket_mixing_instants_pops_in_time_order() {
+        // One coarse second-level bucket holds several instants in
+        // insertion (not time) order; the drain into per-millisecond
+        // buckets must restore time order, and peek must report the true
+        // minimum, not the first-inserted entry.
+        let mut q = EventQueue::new();
+        let span = WHEEL as u64; // second-level buckets are one period wide
+        q.schedule(t(span + 900), "later");
+        q.schedule(t(span + 100), "earlier");
+        q.schedule(t(span + 900), "later-2");
+        assert_eq!(q.peek_time(), Some(t(span + 100)), "peek scans the bucket");
+        assert_eq!(q.pop(), Some((t(span + 100), "earlier")));
+        assert_eq!(q.pop(), Some((t(span + 900), "later")));
+        assert_eq!(q.pop(), Some((t(span + 900), "later-2")));
+    }
+
+    #[test]
+    fn events_exactly_at_level1_level2_edge_stay_ordered() {
+        // The promote/demote boundary: with the wheel non-empty, an
+        // event at exactly `wheel_limit` is the first instant of the
+        // second level, and equal-time events scheduled before and after
+        // the rebase that promotes it must pop in insertion order.
+        let mut q = EventQueue::new();
+        let edge = WHEEL as u64; // wheel_limit for a fresh queue
+        q.schedule(t(edge - 1), "last-in-window");
+        q.schedule(t(edge), "first-past-a");
+        q.schedule(t(edge), "first-past-b");
+        assert_eq!(q.pop(), Some((t(edge - 1), "last-in-window")));
+        // Rebase promoted the edge instant into the wheel; a fresh
+        // equal-time event now targets the level-1 bucket directly and
+        // must still pop behind the promoted ones.
+        q.schedule(t(edge), "first-past-c");
+        assert_eq!(q.pop(), Some((t(edge), "first-past-a")));
+        assert_eq!(q.pop(), Some((t(edge), "first-past-b")));
+        assert_eq!(q.pop(), Some((t(edge), "first-past-c")));
+    }
+
+    #[test]
+    fn events_exactly_at_level2_overflow_edge_stay_ordered() {
+        // An event parked in the overflow map caps a later second-level
+        // re-anchor *exclusively*, so an equal-time event scheduled
+        // afterwards joins the overflow level behind it instead of
+        // jumping ahead through a coarse bucket.
+        let mut q = EventQueue::new();
+        let far = L2_SPAN * 2 + 12_345; // beyond any level-2 window
+        q.schedule(t(far), "parked-early");
+        // Re-anchors level 2 (empty) with limit capped at `far`.
+        q.schedule(t(far), "parked-late");
+        q.schedule(t(far - 1), "just-before");
+        assert_eq!(q.pop(), Some((t(far - 1), "just-before")));
+        assert_eq!(q.pop(), Some((t(far), "parked-early")));
+        assert_eq!(q.pop(), Some((t(far), "parked-late")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn clamp_to_now_ordering_survives_level2_promotion() {
+        // Events queued at a far instant cross the second level; once
+        // the clock reaches that instant, a stale (clamped) event must
+        // still pop behind everything already queued there and ahead of
+        // anything queued later — the clamp contract is unchanged by the
+        // extra level.
+        let mut q = EventQueue::new();
+        let at = WHEEL as u64 * 5 + 77;
+        q.schedule(t(at), "promoted-a");
+        q.schedule(t(0), "opener");
+        assert_eq!(q.pop(), Some((t(0), "opener")));
+        assert_eq!(q.pop(), Some((t(at), "promoted-a"))); // now = at
+        q.schedule(t(at), "fresh");
+        q.schedule(t(3), "stale"); // clamped to now = at
+        q.schedule(t(at), "freshest");
+        assert_eq!(q.pop(), Some((t(at), "fresh")));
+        assert_eq!(q.pop(), Some((t(at), "stale")));
+        assert_eq!(q.pop(), Some((t(at), "freshest")));
+    }
+
+    #[test]
+    fn hours_long_horizon_stress_matches_sorted_order() {
+        // Deterministic pseudo-random events spread over ~2.5 second-
+        // level rotations (~11.6 h of virtual time), so every level —
+        // near wheel, coarse buckets, overflow map — and every promotion
+        // path is exercised against a straight stable sort.
+        let mut q = EventQueue::new();
+        let mut expected: Vec<(u64, u32)> = Vec::new();
+        let mut x = 0x5AFE_5EEDu64;
+        for i in 0..800u32 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let at = x % (L2_SPAN * 5 / 2);
+            q.schedule(t(at), i);
+            expected.push((at, i));
+        }
+        expected.sort_by_key(|&(at, i)| (at, i));
+        for (at, i) in expected {
+            assert_eq!(q.pop(), Some((t(at), i)));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn periodic_rescheduling_with_hour_scale_interval_stays_ordered() {
+        // The service-mode timer-wheel pattern: per-home next-event
+        // times rescheduled tens of minutes ahead, far past the near
+        // wheel but within the second level.
+        let interval = 37 * 60 * 1_000u64; // 37 min, < L2_SPAN
+        let mut q = EventQueue::new();
+        for d in 0..5u64 {
+            q.schedule(t(d * 13_331), d);
+        }
+        let mut last = 0u64;
+        for _ in 0..2_000 {
+            let (at, d) = q.pop().expect("loop never drains");
+            assert!(at.as_millis() >= last, "time went backwards");
+            last = at.as_millis();
+            q.schedule(t(at.as_millis() + interval), d);
+        }
+        assert_eq!(q.len(), 5);
     }
 
     #[test]

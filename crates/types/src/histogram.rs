@@ -1,0 +1,252 @@
+//! Constant-memory latency histogram for service-mode SLO percentiles.
+//!
+//! The resident-fleet service runner records one submission latency per
+//! routine across hours of simulated time; keeping raw samples per home
+//! would grow without bound, and the fleet layer already keeps the rest
+//! of its accounting constant-memory (`RunCounters`). This histogram
+//! stores counts in logarithmically spaced buckets — 16 linear
+//! sub-buckets per power of two — so any percentile is recoverable with
+//! a relative error of at most 1/16 from a few KiB, and merging worker
+//! shards is element-wise addition.
+
+/// log2 of the sub-bucket count per octave.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per octave; also the first-exact-value threshold
+/// (values below `SUB` get an exact bucket each).
+const SUB: usize = 1 << SUB_BITS;
+/// Octaves above the exact range. The top octave's lower bound is
+/// `2^(SUB_BITS + OCTAVES - 1)` ms ≈ 1.09 years; anything larger clamps
+/// into the last bucket.
+const OCTAVES: usize = 36;
+const BUCKETS: usize = SUB * (OCTAVES + 1);
+
+/// Bucket index for a millisecond value: exact below [`SUB`], then
+/// `(octave, top SUB_BITS bits below the leading one)`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let octave = (msb - SUB_BITS) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    ((octave + 1) * SUB + sub).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of a bucket — the value reported for any
+/// percentile landing in it, so reported percentiles never understate.
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let octave = (idx / SUB - 1) as u32;
+    let sub = (idx % SUB) as u64;
+    ((SUB as u64 + sub) << octave) + (1u64 << octave) - 1
+}
+
+/// A fixed-size log-bucketed histogram of millisecond latencies.
+///
+/// Recording, merging and percentile queries are all O(buckets) or
+/// better; memory is a flat ~4.6 KiB regardless of sample count.
+/// Percentiles are reported as the inclusive upper bound of the bucket
+/// containing the requested rank, giving a guaranteed-conservative
+/// value with relative error at most `1/16`.
+///
+/// # Examples
+///
+/// ```
+/// use safehome_types::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for ms in [3, 5, 5, 9, 200] {
+///     h.record(ms);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.percentile(0.5), Some(5));
+/// assert!(h.percentile(0.999).unwrap() >= 200);
+/// ```
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    /// Exact maximum, so the tail never reports a bucket bound below a
+    /// value that was actually observed… clamped buckets included.
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one latency sample, in milliseconds.
+    pub fn record(&mut self, ms: u64) {
+        self.counts[bucket_index(ms)] += 1;
+        self.count += 1;
+        self.max = self.max.max(ms);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Adds every sample of `other` into `self` (shard merge).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Forgets every sample, retaining the allocation.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.count = 0;
+        self.max = 0;
+    }
+
+    /// The value at quantile `p` in `[0, 1]`: an upper bound `v` such
+    /// that at least `ceil(p * count)` samples are `<= v`, within 1/16
+    /// relative error of the true order statistic. `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                // The last bucket is open-ended (it absorbs clamped
+                // values), so the tracked exact max is the only honest
+                // bound there; elsewhere it tightens the reported bound
+                // without ever undershooting.
+                if idx == BUCKETS - 1 {
+                    return Some(self.max);
+                }
+                return Some(bucket_upper(idx).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 2, 3, 7, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert_eq!(h.percentile(0.5), Some(2));
+        assert_eq!(h.percentile(1.0), Some(15));
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.99), None);
+    }
+
+    #[test]
+    fn percentiles_stay_within_relative_error_bound() {
+        // Against the exact order statistic of a deterministic skewed
+        // distribution: reported values must never undershoot and never
+        // overshoot by more than 1/16.
+        let mut h = LatencyHistogram::new();
+        let mut samples: Vec<u64> = Vec::new();
+        let mut x = 0x1234_5678u64;
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (x >> 33) % 500_000; // up to ~8.3 min in ms
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_unstable();
+        for &p in &[0.5, 0.9, 0.95, 0.99, 0.999] {
+            let rank = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let got = h.percentile(p).unwrap() as f64;
+            assert!(
+                got >= exact as f64,
+                "p{p}: reported {got} under exact {exact}"
+            );
+            assert!(
+                got <= exact as f64 * (1.0 + 1.0 / 16.0) + 1.0,
+                "p{p}: reported {got} over error bound for exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for v in 0..1_000u64 {
+            let v = v * 37 % 90_000;
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+        for &p in &[0.5, 0.95, 0.99, 0.999] {
+            assert_eq!(a.percentile(p), whole.percentile(p));
+        }
+    }
+
+    #[test]
+    fn huge_values_clamp_to_tracked_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(5);
+        assert_eq!(h.percentile(1.0), Some(u64::MAX));
+        assert_eq!(h.percentile(0.25), Some(5));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.5), None);
+        h.record(7);
+        assert_eq!(h.percentile(1.0), Some(7));
+    }
+}

@@ -13,6 +13,7 @@
 
 pub mod command;
 pub mod error;
+pub mod histogram;
 pub mod id;
 pub mod json;
 pub mod routine;
@@ -24,6 +25,7 @@ pub mod value;
 
 pub use command::{Action, Command, Priority, UndoPolicy};
 pub use error::{Error, Result};
+pub use histogram::LatencyHistogram;
 pub use id::{CmdIdx, DeviceId, RoutineId};
 pub use routine::{DeviceAccess, Routine, RoutineBuilder};
 pub use sink::{RunCounters, TraceSink};

@@ -27,6 +27,7 @@ pub mod factory;
 pub mod morning;
 pub mod neighborhood;
 pub mod party;
+pub mod service;
 
 pub use annotations::expected_diagnostics;
 pub use crash::{crash_index, crash_recovery, run_uncrashed, run_with_crash, CrashRecoveryRun};
@@ -34,3 +35,4 @@ pub use factory::factory;
 pub use morning::{fleet_morning, morning, FleetTemplate};
 pub use neighborhood::{neighborhood_home, NeighborhoodParams, NeighborhoodPlan};
 pub use party::party;
+pub use service::{service_home, BurstWindow, ServiceParams};

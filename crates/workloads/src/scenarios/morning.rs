@@ -278,6 +278,34 @@ impl FleetTemplate {
         &self.home
     }
 
+    /// The engine configuration the template was built for.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of distinct routine definitions in the template: the
+    /// per-user chains flattened, then the sporadic routines.
+    pub fn catalog_len(&self) -> usize {
+        self.chains.len() * 5 + self.sporadic.len()
+    }
+
+    /// Routine definition at flat catalog index `idx` (chains first,
+    /// then sporadic). The open-loop service scenario draws independent
+    /// submissions from this catalog instead of replaying the chained
+    /// morning schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.catalog_len()`.
+    pub fn catalog_routine(&self, idx: usize) -> &Routine {
+        let chained = self.chains.len() * 5;
+        if idx < chained {
+            &self.chains[idx / 5][idx % 5]
+        } else {
+            &self.sporadic[idx - chained]
+        }
+    }
+
     /// One home's *un-jittered* morning spec: schedule randomized from
     /// `seed`, physical parameters left at the paper's defaults. Equal,
     /// field for field, to [`morning`] at the same seed.
@@ -335,7 +363,7 @@ impl FleetTemplate {
 /// Jitters one fleet home's physical parameters (actuation latency,
 /// detector ping interval, command timeout) and rolls its 1-in-8 chance
 /// of being unhealthy, all from the home's derived seed.
-fn apply_fleet_jitter(spec: &mut RunSpec, seed: u64) {
+pub(crate) fn apply_fleet_jitter(spec: &mut RunSpec, seed: u64) {
     let mut rng = SimRng::seed_from_u64(seed ^ 0x00F1_EE7D);
     spec.latency = LatencyModel::Jittered {
         base: TimeDelta::from_millis(rng.int_in(15, 45)),

@@ -1,0 +1,306 @@
+//! Open-loop service traffic: sustained routine arrivals over hours.
+//!
+//! The paper's scenarios are *closed-loop batch jobs* — a fixed schedule
+//! of routines, run to quiescence. A serving deployment sees the
+//! opposite shape: homes sit resident for hours and users submit
+//! routines whenever they feel like it, at a rate the system does not
+//! control. This module materializes that open-loop arrival process as
+//! a deterministic [`RunSpec`]: per-home Poisson arrivals (thinned on a
+//! one-second lattice), modulated by a two-peak diurnal rate curve, and
+//! optionally by fleet-wide burst windows drawn from the fleet seed.
+//!
+//! The same spec drives both the batch `run_fleet` path and the
+//! resident time-sliced service runner, which is what makes their
+//! per-home digests comparable byte for byte.
+//!
+//! All rate arithmetic is integer (per-mille multipliers, fixed-point
+//! Bernoulli thresholds against a raw `u64` draw): per-home digests
+//! from these specs are committed to cross-machine baselines, so the
+//! generator must not depend on platform-varying float transcendentals.
+
+use safehome_harness::{RunSpec, Submission};
+use safehome_sim::SimRng;
+use safehome_types::{TimeDelta, Timestamp};
+
+use super::morning::{apply_fleet_jitter, FleetTemplate};
+
+/// Per-tick arrival lattice step: Poisson thinning at one-second
+/// resolution (arrival instants are then jittered uniformly within the
+/// second, so timestamps keep millisecond grain).
+const TICK_MS: u64 = 1_000;
+
+/// Diurnal rate curve as `(per-mille of horizon, per-mille multiplier)`
+/// anchor points, linearly interpolated: a compressed two-peak day —
+/// quiet start, morning peak, midday dip, evening peak, quiet tail.
+const DIURNAL: [(u64, u64); 5] = [(0, 500), (250, 1500), (500, 800), (750, 1400), (1000, 600)];
+
+/// A fleet-wide load spike: every home's arrival rate is multiplied by
+/// `multiplier` inside the window (a neighborhood-scale event — everyone
+/// comes home, a storm knocks the grid about).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BurstWindow {
+    /// Window start, in simulated time.
+    pub start: Timestamp,
+    /// Window length.
+    pub duration: TimeDelta,
+    /// Integer rate multiplier applied inside the window.
+    pub multiplier: u64,
+}
+
+/// Parameters of the open-loop arrival process, shared by every home of
+/// a service fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceParams {
+    /// Length of the arrival window in simulated time; no arrivals are
+    /// generated at or past it (in-flight routines may finish later).
+    pub horizon: TimeDelta,
+    /// Mean arrivals per home-hour at diurnal multiplier 1.0× (the
+    /// curve swings the instantaneous rate between 0.5× and 1.5×).
+    pub rate_per_hour: u64,
+    /// Fleet-wide burst windows, applied on top of the diurnal curve.
+    pub bursts: Vec<BurstWindow>,
+}
+
+impl ServiceParams {
+    /// Open-loop traffic at `rate_per_hour` mean arrivals per home-hour
+    /// over `horizon`, with no burst windows.
+    pub fn new(horizon: TimeDelta, rate_per_hour: u64) -> Self {
+        ServiceParams {
+            horizon,
+            rate_per_hour,
+            bursts: Vec::new(),
+        }
+    }
+
+    /// Adds `count` fleet-wide burst windows drawn deterministically
+    /// from `fleet_seed`: each starts uniformly inside the horizon,
+    /// lasts 2–5 minutes (clamped to the horizon) and multiplies the
+    /// rate 3–5×.
+    pub fn with_bursts_from_seed(mut self, fleet_seed: u64, count: usize) -> Self {
+        let mut rng = SimRng::seed_from_u64(fleet_seed ^ 0xB0B5_7EED);
+        let horizon_ms = self.horizon.as_millis();
+        for _ in 0..count {
+            if horizon_ms == 0 {
+                break;
+            }
+            let start = rng.int_in(0, horizon_ms.saturating_sub(1));
+            let duration = rng.int_in(2 * 60_000, 5 * 60_000).min(horizon_ms - start);
+            self.bursts.push(BurstWindow {
+                start: Timestamp::from_millis(start),
+                duration: TimeDelta::from_millis(duration),
+                multiplier: rng.int_in(3, 5),
+            });
+        }
+        self
+    }
+
+    /// Combined per-mille rate multiplier at `t`: diurnal curve times
+    /// any burst windows covering the instant.
+    fn multiplier_permille(&self, t: u64) -> u64 {
+        let mut m = diurnal_permille(t, self.horizon.as_millis());
+        for b in &self.bursts {
+            let s = b.start.as_millis();
+            if t >= s && t < s + b.duration.as_millis() {
+                m *= b.multiplier;
+            }
+        }
+        m
+    }
+}
+
+/// Linear interpolation of the [`DIURNAL`] anchors at `t` of `horizon`,
+/// in per-mille. Integer-only.
+fn diurnal_permille(t: u64, horizon_ms: u64) -> u64 {
+    if horizon_ms == 0 {
+        return 1_000;
+    }
+    let pos = (t.min(horizon_ms) as u128 * 1_000 / horizon_ms as u128) as u64;
+    let mut prev = DIURNAL[0];
+    for &(x, y) in &DIURNAL[1..] {
+        if pos <= x {
+            let (x0, y0) = prev;
+            let span = x - x0;
+            if span == 0 {
+                return y;
+            }
+            let frac = pos - x0;
+            // y0 + (y - y0) * frac / span, avoiding signed arithmetic.
+            return (y0 * (span - frac) + y * frac) / span;
+        }
+        prev = (x, y);
+    }
+    DIURNAL[DIURNAL.len() - 1].1
+}
+
+/// Fixed-point Bernoulli threshold for probability `num / den` against
+/// a raw `u64` draw, saturating at certainty.
+fn bernoulli_threshold(num: u64, den: u64) -> u64 {
+    if num >= den {
+        u64::MAX
+    } else {
+        (u64::MAX / den).saturating_mul(num)
+    }
+}
+
+/// One resident home's open-loop workload: independent routine
+/// submissions drawn from the template's catalog at Poisson arrival
+/// instants over `params.horizon`, plus the standard per-home physical
+/// jitter (latency model, detector parameters, 1-in-8 unhealthy homes).
+///
+/// `seed` is the home's derived seed (`safehome_harness::home_seed`),
+/// exactly as for `fleet_morning`; the schedule is fully determined by
+/// `(params, seed)`.
+pub fn service_home(template: &FleetTemplate, params: &ServiceParams, seed: u64) -> RunSpec {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x0953_01CE);
+    let mut spec =
+        RunSpec::new(template.home().clone(), template.config().clone()).with_seed(seed ^ 0x5afe);
+    let horizon_ms = params.horizon.as_millis();
+    let catalog = template.catalog_len();
+    let mut t = 0;
+    while t < horizon_ms {
+        // P(arrival this tick) = rate/hour x multiplier‰ / ticks-per-hour.
+        let num = params.rate_per_hour * params.multiplier_permille(t);
+        let threshold = bernoulli_threshold(num, 1_000 * 3_600_000 / TICK_MS);
+        if rng.next_u64() < threshold {
+            let at = t + rng.int_in(0, TICK_MS - 1);
+            let routine = template.catalog_routine(rng.index(catalog)).clone();
+            spec.submit(Submission::at(routine, Timestamp::from_millis(at)));
+        }
+        t += TICK_MS;
+    }
+    apply_fleet_jitter(&mut spec, seed);
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safehome_core::{EngineConfig, VisibilityModel};
+    use safehome_harness::{home_seed, Arrival};
+
+    fn template() -> FleetTemplate {
+        FleetTemplate::morning(EngineConfig::new(VisibilityModel::ev()))
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_params() {
+        let t = template();
+        let p = ServiceParams::new(TimeDelta::from_mins(60), 60).with_bursts_from_seed(7, 2);
+        let a = service_home(&t, &p, home_seed(7, 3));
+        let b = service_home(&t, &p, home_seed(7, 3));
+        assert_eq!(a, b);
+        let c = service_home(&t, &p, home_seed(7, 4));
+        assert_ne!(
+            a.submissions, c.submissions,
+            "homes draw independent schedules"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_open_loop_and_inside_the_horizon() {
+        let t = template();
+        let p = ServiceParams::new(TimeDelta::from_mins(120), 60);
+        let spec = service_home(&t, &p, home_seed(1, 0));
+        assert!(
+            !spec.submissions.is_empty(),
+            "2h at 60/h must produce arrivals"
+        );
+        for s in &spec.submissions {
+            match s.arrival {
+                Arrival::At(at) => assert!(at < Timestamp::ZERO + p.horizon),
+                ref other => panic!("open-loop arrivals are absolute, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mean_rate_tracks_the_configured_rate() {
+        // 4 hours at 60/h with a curve averaging ~0.96x: expect on the
+        // order of 230 arrivals; a wide band still catches a broken
+        // threshold (0, or certainty-every-tick = 14400).
+        let t = template();
+        let p = ServiceParams::new(TimeDelta::from_mins(240), 60);
+        let spec = service_home(&t, &p, home_seed(2, 5));
+        let n = spec.submissions.len();
+        assert!((120..=400).contains(&n), "got {n} arrivals");
+    }
+
+    #[test]
+    fn rate_scales_offered_load() {
+        let t = template();
+        let lo = service_home(
+            &t,
+            &ServiceParams::new(TimeDelta::from_mins(120), 20),
+            home_seed(3, 1),
+        );
+        let hi = service_home(
+            &t,
+            &ServiceParams::new(TimeDelta::from_mins(120), 120),
+            home_seed(3, 1),
+        );
+        assert!(
+            hi.submissions.len() > lo.submissions.len() * 3,
+            "6x the rate must offer much more load ({} vs {})",
+            hi.submissions.len(),
+            lo.submissions.len()
+        );
+    }
+
+    #[test]
+    fn burst_windows_come_from_the_fleet_seed() {
+        let horizon = TimeDelta::from_mins(60);
+        let a = ServiceParams::new(horizon, 60).with_bursts_from_seed(42, 2);
+        let b = ServiceParams::new(horizon, 60).with_bursts_from_seed(42, 2);
+        let c = ServiceParams::new(horizon, 60).with_bursts_from_seed(43, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.bursts.len(), 2);
+        for burst in &a.bursts {
+            assert!(burst.start < Timestamp::ZERO + horizon);
+            assert!((3..=5).contains(&burst.multiplier));
+        }
+    }
+
+    #[test]
+    fn bursts_raise_offered_load() {
+        let t = template();
+        let horizon = TimeDelta::from_mins(120);
+        let calm = service_home(&t, &ServiceParams::new(horizon, 60), home_seed(4, 2));
+        let mut stormy_params = ServiceParams::new(horizon, 60);
+        stormy_params.bursts.push(BurstWindow {
+            start: Timestamp::from_millis(0),
+            duration: horizon,
+            multiplier: 4,
+        });
+        let stormy = service_home(&t, &stormy_params, home_seed(4, 2));
+        assert!(
+            stormy.submissions.len() > calm.submissions.len() * 2,
+            "a 4x whole-horizon burst must raise load ({} vs {})",
+            stormy.submissions.len(),
+            calm.submissions.len()
+        );
+    }
+
+    #[test]
+    fn diurnal_curve_interpolates_between_anchors() {
+        let h = 1_000_000u64;
+        assert_eq!(diurnal_permille(0, h), 500);
+        assert_eq!(diurnal_permille(h, h), 600);
+        assert_eq!(diurnal_permille(h / 4, h), 1_500);
+        // Halfway up the first ramp.
+        assert_eq!(diurnal_permille(h / 8, h), 1_000);
+        assert_eq!(diurnal_permille(0, 0), 1_000, "degenerate horizon");
+    }
+
+    #[test]
+    fn every_drawn_routine_references_known_devices() {
+        let t = template();
+        let p = ServiceParams::new(TimeDelta::from_mins(90), 80);
+        let spec = service_home(&t, &p, home_seed(6, 7));
+        for s in &spec.submissions {
+            for c in &s.routine.commands {
+                assert!(spec.home.get(c.device).is_ok());
+            }
+        }
+    }
+}

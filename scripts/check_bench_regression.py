@@ -31,6 +31,16 @@ should trip):
   section's ``gate_digest_neutral`` flag must hold outright (linting a
   spec must never perturb its execution), and bundled homes must carry
   zero Error-severity diagnostics.
+- service: the resident-fleet service section's correctness flags must
+  hold outright (``deterministic_across_workers`` — per-home results
+  identical at every worker count — and ``matches_batch_fleet`` — the
+  time-sliced resident path byte-identical to the batch driver). Per
+  load point, sustained homes/sec must stay above
+  ``--min-service-rate-ratio`` (default 0.4x, loose: wallclock) of the
+  baseline, and the p99 submission latency must stay below
+  ``--max-service-p99-ratio`` (default 1.25x, tight: simulated-time
+  milliseconds are machine-independent, so anything beyond rounding is
+  semantic drift in scheduling or arrival generation) of the baseline.
 - fleet correctness flags must hold outright: per-home results identical
   across worker counts and across Static/Stealing schedules.
 - the steal-vs-static comparison's modeled-makespan speedup must stay
@@ -59,6 +69,8 @@ Updating the baselines after an intentional change::
 
     cargo run -p safehome-bench --release --bin placement_bench BENCH_placement.json
     cargo run -p safehome-bench --release --bin fleet_bench BENCH_fleet.json
+    # service_bench merges its `service` section into the same artifact
+    cargo run -p safehome-bench --release --bin service_bench BENCH_fleet.json
     # add --expect-digest-change to the fleet_bench line when the change
     # intentionally moves per-home digests (semantic change)
     git add BENCH_placement.json BENCH_fleet.json BENCH_fleet.digests.tsv
@@ -217,6 +229,57 @@ def check_lint(new, base, min_lint_ratio):
     )
 
 
+def check_service(new, base, min_service_rate_ratio, max_service_p99_ratio):
+    section = new.get("service")
+    check(section is not None, "fleet: service section present")
+    if section is None:
+        return
+    check(
+        section.get("deterministic_across_workers") is True,
+        "service: per-home results identical across worker counts",
+    )
+    check(
+        section.get("matches_batch_fleet") is True,
+        "service: resident time-sliced results identical to the batch fleet driver",
+    )
+    points = section.get("load_points", [])
+    check(len(points) >= 2, f"service: >= 2 load points recorded (got {len(points)})")
+    for point in points:
+        lat = point.get("latency_ms", {})
+        rate = point.get("rate_per_home_hour")
+        for q in ("p50", "p95", "p99", "p999"):
+            check(
+                isinstance(lat.get(q), (int, float)) and lat.get(q) >= 0,
+                f"service @ {rate}/h: latency {q} present and finite ({lat.get(q)})",
+            )
+    base_section = base.get("service")
+    if base_section is None:
+        print("note: baseline has no service section; rate/p99 gates skipped")
+        return
+    base_points = {p["rate_per_home_hour"]: p for p in base_section.get("load_points", [])}
+    for point in points:
+        b = base_points.get(point["rate_per_home_hour"])
+        if b is None:
+            continue
+        rate = point["rate_per_home_hour"]
+        floor = b["sustained_homes_per_sec"] * min_service_rate_ratio
+        check(
+            point["sustained_homes_per_sec"] >= floor,
+            f"service @ {rate}/h: {point['sustained_homes_per_sec']} homes/sec "
+            f">= {min_service_rate_ratio}x baseline ({b['sustained_homes_per_sec']})",
+        )
+        # p99 is in *simulated* milliseconds — deterministic in the spec
+        # and machine-independent — so the ceiling is tight: only a
+        # semantic change to scheduling or arrivals can move it.
+        base_p99 = b["latency_ms"]["p99"]
+        ceiling = base_p99 * max_service_p99_ratio
+        check(
+            point["latency_ms"]["p99"] <= ceiling,
+            f"service @ {rate}/h: p99 {point['latency_ms']['p99']}ms (simulated) "
+            f"<= {max_service_p99_ratio}x baseline ({base_p99}ms)",
+        )
+
+
 def diff_digest_sidecars(new_path, base_path, expect_digest_change):
     """Per-home digest diff.
 
@@ -302,6 +365,8 @@ def main():
     ap.add_argument("--min-journal-ratio", type=float, default=0.5)
     ap.add_argument("--min-lint-ratio", type=float, default=0.25)
     ap.add_argument("--min-steal-speedup", type=float, default=1.2)
+    ap.add_argument("--min-service-rate-ratio", type=float, default=0.4)
+    ap.add_argument("--max-service-p99-ratio", type=float, default=1.25)
     args = ap.parse_args()
 
     check_placement(load(args.placement), load(args.baseline_placement), args.max_slowdown)
@@ -310,6 +375,9 @@ def main():
     check_event_loop(new_fleet, base_fleet, args.min_event_loop_ratio)
     check_journal(new_fleet, base_fleet, args.min_journal_ratio)
     check_lint(new_fleet, base_fleet, args.min_lint_ratio)
+    check_service(
+        new_fleet, base_fleet, args.min_service_rate_ratio, args.max_service_p99_ratio
+    )
     diff_digest_sidecars(
         args.digests,
         args.baseline_digests,

@@ -1,0 +1,68 @@
+//! Property test: time-sliced resident execution is invisible.
+//!
+//! For random service fleets — home counts, fleet seeds, arrival rates,
+//! horizons, burst windows, epoch lengths and worker counts — the
+//! resident time-sliced runner (`run_service`) must reproduce the batch
+//! run-to-completion fleet driver (`run_fleet`) byte for byte: same
+//! per-home `RunCounters` (outcomes, latencies, digests), same fleet
+//! digest. Slicing a home's timeline at arbitrary epoch boundaries and
+//! interleaving it with its shard neighbours must never change which
+//! events it sees or in what order.
+
+use proptest::prelude::*;
+
+use safehome::harness::{run_fleet, run_service};
+use safehome::prelude::*;
+use safehome::workloads::{service_home, FleetTemplate, ServiceParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn resident_sliced_run_matches_batch_fleet(
+        homes in 2usize..8,
+        fleet_seed in any::<u64>(),
+        rate in 20u64..150,
+        horizon_mins in 10u64..45,
+        bursts in 0usize..3,
+        epoch_choice in 0usize..4,
+        workers in 1usize..5,
+    ) {
+        // From sub-event-grain slicing to epochs spanning many arrivals.
+        let epoch_ms = [1u64, 777, 10_000, 300_000][epoch_choice];
+        let template = FleetTemplate::morning(EngineConfig::new(VisibilityModel::ev()));
+        let params = ServiceParams::new(TimeDelta::from_mins(horizon_mins), rate)
+            .with_bursts_from_seed(fleet_seed, bursts);
+        let make_spec = |_: usize, seed: u64| service_home(&template, &params, seed);
+
+        let batch = run_fleet(homes, 1, fleet_seed, make_spec);
+        let resident = run_service(
+            homes,
+            workers,
+            fleet_seed,
+            TimeDelta::from_millis(epoch_ms),
+            make_spec,
+        );
+
+        prop_assert_eq!(batch.homes.len(), resident.homes.len());
+        for (b, r) in batch.homes.iter().zip(&resident.homes) {
+            prop_assert_eq!(b.home, r.home);
+            prop_assert_eq!(b.seed, r.seed);
+            prop_assert_eq!(b.completed, r.completed);
+            prop_assert_eq!(
+                &b.counters, &r.counters,
+                "home {} diverged under slicing (epoch {}ms, {} workers)",
+                b.home, epoch_ms, workers
+            );
+        }
+        prop_assert_eq!(batch.digest(), resident.digest());
+
+        // The histogram drains exactly the finished routines.
+        let raw: u64 = batch
+            .homes
+            .iter()
+            .map(|h| h.counters.latencies_ms.len() as u64)
+            .sum();
+        prop_assert_eq!(resident.latency.count(), raw);
+    }
+}
