@@ -340,6 +340,16 @@ impl ExecutionJournal {
         self.events.last().map_or(Timestamp::ZERO, |e| e.at)
     }
 
+    /// Approximate heap footprint of the journal in bytes: the record
+    /// vector's capacity times the record size. A lower bound — payload
+    /// heap data (routine command vectors, genesis state maps) is not
+    /// chased — but good enough to compare a parked home's durable
+    /// footprint against its resident (queue + device) footprint, which
+    /// is what the service runner's eviction accounting needs.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.events.capacity() * std::mem::size_of::<JournalEvent>()
+    }
+
     /// Drops every record past `len` — simulates a torn tail (a crash
     /// mid-append). Recovery repairs truncated tails by re-deriving them.
     pub fn truncate(&mut self, len: usize) {

@@ -60,14 +60,21 @@ pub enum FleetSchedule {
 
 /// Per-worker scheduling statistics. Scheduling-dependent (unlike the
 /// per-home results), so informational only: never compare these across
-/// runs.
+/// runs. Shared with the resident service runner, whose unit of work is
+/// the epoch slice rather than the whole home.
 #[derive(Debug, Clone, Default)]
 pub struct WorkerStats {
-    /// Homes this worker ran.
+    /// Homes this worker ran (batch fleet: ran to quiescence; service:
+    /// observed finishing on this worker).
     pub homes_run: usize,
-    /// Successful steals (batches taken from another worker's shard
-    /// cursor or deque). Always 0 under [`FleetSchedule::Static`].
+    /// Successful steals: batches taken from another worker's shard
+    /// cursor or deque (batch fleet), or slices popped from a victim
+    /// shard's wheel (service). Always 0 under [`FleetSchedule::Static`]
+    /// and with service stealing off.
     pub steals: u64,
+    /// Epoch slices this worker executed. Always 0 for the batch fleet
+    /// driver, which has no slicing.
+    pub slices_run: u64,
 }
 
 /// Result of one home's run within a fleet.

@@ -652,6 +652,73 @@ mod tests {
         assert_eq!(counters, base);
     }
 
+    /// The service runner's eviction contract: at a *cold* point —
+    /// engine quiescent, world holding nothing but future workload
+    /// submissions — a journaled home may collapse to `{journal,
+    /// device states, RNG}` and discard its pooled simulator state
+    /// entirely. Resurrection (journal replay + world snapshot +
+    /// redrive of the pending submissions at their original absolute
+    /// times) must then be event-for-event invisible: counters, digest
+    /// and end states equal a never-evicted run, through *repeated*
+    /// evict/recover cycles.
+    #[test]
+    fn quiescent_evict_and_resurrect_matches_unevicted() {
+        let mut spec =
+            RunSpec::new(plug_home(3), EngineConfig::new(VisibilityModel::ev())).with_seed(11);
+        // Sparse absolute arrivals: cold gaps between routine clusters.
+        for (i, at) in [0u64, 400_000, 800_000, 800_000].into_iter().enumerate() {
+            let i = i as u32;
+            spec.submit(Submission::at(
+                simple_routine(&[i % 3, (i + 1) % 3], Value::ON),
+                Timestamp::from_millis(at),
+            ));
+        }
+        let (want, want_states) = uncrashed(&spec);
+
+        let mut drv = Driver::with_journal(&spec, RunCounters::new());
+        let mut evictions = 0;
+        loop {
+            if drv.is_done() {
+                break;
+            }
+            if evictions < 8 && drv.engine().quiescent() && drv.backend().only_submits_pending() {
+                let (journal, backend) = drv.crash();
+                let (states, rng) = backend.into_world_snapshot();
+                let rec = recover(
+                    journal,
+                    spec.config.clone(),
+                    &spec.submissions,
+                    RunCounters::new(),
+                )
+                .expect("an eviction-time journal always replays");
+                assert!(
+                    rec.report.inflight.is_empty(),
+                    "cold means nothing in flight"
+                );
+                assert!(
+                    rec.report.pending_timers.is_empty(),
+                    "cold means no armed timers"
+                );
+                drv = HomeRuntime::resume(rec.core, SimBackend::resurrect(&spec, &states, rng));
+                drv.redrive(&rec.report);
+                evictions += 1;
+            }
+            match drv.step() {
+                Step::Event(_) | Step::Idle => {}
+                Step::Quiescent | Step::Stalled => break,
+            }
+        }
+        assert!(evictions > 0, "the sparse spec must hit cold points");
+        drv.check_invariants().unwrap();
+        let (counters, states, done) = drv.into_output();
+        assert!(done);
+        assert_eq!(counters, want, "eviction must be invisible in the counters");
+        assert_eq!(
+            states, want_states,
+            "eviction must be invisible in end states"
+        );
+    }
+
     /// Engine + journal invariants hold at every step boundary.
     #[test]
     fn invariants_hold_at_every_step() {

@@ -1,4 +1,5 @@
-//! Resident-fleet service runner: time-sliced open-loop execution.
+//! Resident-fleet service runner: time-sliced open-loop execution with
+//! work stealing and journal-backed eviction.
 //!
 //! [`fleet::run_fleet`](crate::fleet::run_fleet) is a batch driver: a
 //! worker picks a home, runs it to quiescence, and only then picks the
@@ -9,34 +10,128 @@
 //!
 //! [`run_service`] keeps all of a worker's homes alive at once and
 //! advances them in **epoch slices**: each worker owns a contiguous
-//! shard of homes and a private timer wheel ([`EventQueue`]) of
+//! shard of homes and a shard timer wheel ([`EventQueue`]) of
 //! `(next-event-time, home)` entries. The worker pops the earliest
 //! entry, advances that home only through events due before the next
 //! epoch boundary, then re-parks it at its next pending event. A home
 //! with an hour-long gap costs nothing during the gap; a home in a
 //! burst gets exactly one epoch of attention before its neighbours run.
 //!
-//! Determinism: slicing changes *when* (in wall-clock terms) a home's
-//! events are processed, never *which* events or in what order — each
-//! home still consumes its own event queue front-to-back, and homes
-//! share no state. Per-home results are therefore byte-identical to the
-//! batch driver's, at any worker count and any epoch length (asserted
-//! by tests here and by `tests/service_equivalence.rs`).
+//! # Work stealing
+//!
+//! The shard wheels are shared behind cheap mutexes: when a worker's own
+//! wheel is empty ([`ServiceConfig::steal`], the default), it sweeps the
+//! other shards and steals the earliest parked `(next-event-time, home)`
+//! entry, stepping that home through exactly one epoch slice the way the
+//! owner would, then re-parking it **into its home shard**. Homes never
+//! migrate — only slices do — so a skewed fleet (one burst-heavy "giant
+//! factory" home per shard) no longer stalls a whole worker while its
+//! siblings idle.
+//!
+//! # Determinism
+//!
+//! Stealing cannot perturb results because each home's slice sequence is
+//! an intrinsic function of the home alone. A slice pops a home, runs it
+//! up to the next absolute epoch boundary **after the home's own
+//! earliest pending event**, and re-parks it at its next event: both the
+//! boundary and the re-park time come from the home's private event
+//! queue, never from the shard wheel's clock. The wheel is purely an
+//! advisory scheduler — concurrent pops can clamp a re-parked entry's
+//! *wheel* timestamp forward ([`EventQueue`] never schedules in its
+//! past), which may reorder slices *between* homes, but homes share no
+//! state, so per-home counters, digests and even the total slice count
+//! are byte-identical across worker counts, steal on/off and any
+//! interleaving (asserted by tests here and by
+//! `tests/service_equivalence.rs`).
+//!
+//! # Journal-backed eviction
+//!
+//! With [`ServiceConfig::max_resident`] set, every home runs journaled
+//! (digest-neutral, see [`crate::journal`]) and the runner bounds how
+//! many keep their pooled simulator state hot. Between slices, a parked
+//! home that is *cold* — engine quiescent, nothing pending but future
+//! workload submissions, no failure plan, absolute arrivals only — may
+//! be **evicted**: its controller state collapses to the journal, its
+//! world to the per-device states plus the RNG position, and its queue
+//! and device storage go back to the thread pool
+//! ([`SimBackend::into_world_snapshot`]). When the home's next timer
+//! fires, the popping worker (owner or thief) lazily rebuilds it:
+//! [`recover`] replays the journal, [`SimBackend::resurrect`] restores
+//! the world, and redrive re-schedules the pending submissions — at
+//! their original absolute times, so the continuation is event-for-event
+//! identical to a never-evicted run. Victims are chosen coldest-first
+//! (farthest next-event time) across *every* shard's parked candidates
+//! whenever the fleet-wide resident count exceeds the budget — the
+//! budget is global, and a worker stealing slices from a busy shard
+//! keeps recovering that shard's homes while the cold ones sit parked
+//! elsewhere. Homes that are not cold simply stay resident, so the true
+//! bound is `max_resident` plus however many homes are warm at the same
+//! instant (mid-routine across an epoch boundary, carrying a failure
+//! plan, or in a worker's hand): on a calm fleet that is a handful, in
+//! a fleet-wide burst it can transiently be most of the fleet.
 //!
 //! Latency accounting: routine finish latencies are drained after every
 //! slice into a constant-memory [`LatencyHistogram`] per worker, merged
 //! at the end — the service path can observe p50/p99/p999 over millions
 //! of submissions without ever holding the fleet's raw samples in one
-//! vector.
+//! vector. Eviction preserves the drain cursors: a recovered sink
+//! rebuilds the exact latency vector the evicted one had.
 
-use safehome_sim::EventQueue;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use safehome_core::journal::ExecutionJournal;
+use safehome_sim::{EventQueue, SimRng};
 use safehome_types::sink::{self, RunCounters};
-use safehome_types::{LatencyHistogram, TimeDelta, Timestamp};
+use safehome_types::{LatencyHistogram, TimeDelta, Timestamp, Value};
 
-use crate::fleet::{home_seed, HomeRun};
-use crate::runtime::Step;
-use crate::sim::Driver;
-use crate::spec::RunSpec;
+use crate::fleet::{home_seed, HomeRun, WorkerStats};
+use crate::journal::recover;
+use crate::runtime::{HomeRuntime, Step};
+use crate::sim::{Driver, SimBackend};
+use crate::spec::{Arrival, RunSpec};
+
+/// Tuning knobs of the resident service runner. None of them may change
+/// per-home results — that is the runner's core contract — only *where*
+/// and *with how much resident state* the work happens.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Epoch slice length: slice boundaries are absolute simulated-time
+    /// multiples of this.
+    pub epoch: TimeDelta,
+    /// Idle workers steal slices from other shards' wheels. On by
+    /// default; turning it off reproduces the static PR 8 behaviour
+    /// (useful for A/B digest checks and steal-benefit measurement).
+    pub steal: bool,
+    /// Fleet-wide resident-home budget. `Some(n)` journals every home
+    /// and evicts cold parked homes whenever more than `n` are resident;
+    /// `None` (the default) keeps every home hot and skips journaling.
+    pub max_resident: Option<usize>,
+}
+
+impl ServiceConfig {
+    /// Stealing on, no eviction — the default service shape.
+    pub fn new(epoch: TimeDelta) -> Self {
+        ServiceConfig {
+            epoch,
+            steal: true,
+            max_resident: None,
+        }
+    }
+
+    /// Builder-style steal toggle.
+    pub fn with_steal(mut self, steal: bool) -> Self {
+        self.steal = steal;
+        self
+    }
+
+    /// Builder-style resident budget.
+    pub fn with_max_resident(mut self, max_resident: usize) -> Self {
+        self.max_resident = Some(max_resident);
+        self
+    }
+}
 
 /// Aggregated result of a resident service run.
 ///
@@ -56,9 +151,29 @@ pub struct ServiceResult {
     pub latency: LatencyHistogram,
     /// Total `(pop, advance, re-park)` slices executed. Deterministic —
     /// slice boundaries are absolute simulated-time multiples of the
-    /// epoch, so the count depends only on the fleet and the epoch,
-    /// never on the worker count.
+    /// epoch derived from each home's own event queue, so the count
+    /// depends only on the fleet and the epoch, never on the worker
+    /// count, stealing or eviction.
     pub slices: u64,
+    /// Per-worker scheduling stats (slices run, steals, homes finished).
+    /// Scheduling-dependent — informational only, never compare across
+    /// runs.
+    pub worker_stats: Vec<WorkerStats>,
+    /// Cold homes parked behind their journal (0 without `max_resident`).
+    pub evictions: u64,
+    /// Evicted homes rebuilt by journal replay when their next timer
+    /// fired.
+    pub recoveries: u64,
+    /// Most homes ever simultaneously resident (holding pooled simulator
+    /// state). Without eviction this is simply the fleet size.
+    pub peak_resident_homes: usize,
+    /// Approximate heap bytes one *resident* home pins (largest observed
+    /// sample: event-queue capacity + device slots).
+    pub approx_resident_home_bytes: usize,
+    /// Approximate heap bytes one *evicted* home retains (largest
+    /// observed sample: journal + device states + RNG). 0 when nothing
+    /// was evicted.
+    pub approx_evicted_home_bytes: usize,
 }
 
 impl ServiceResult {
@@ -95,10 +210,16 @@ impl ServiceResult {
             sink::fold_digest(acc, h.counters.digest)
         })
     }
+
+    /// Total steals across workers (scheduling-dependent).
+    pub fn steals(&self) -> u64 {
+        self.worker_stats.iter().map(|w| w.steals).sum()
+    }
 }
 
 /// Runs `homes` resident homes across `workers` threads in epoch slices
-/// of `epoch` simulated time.
+/// of `epoch` simulated time, with stealing on and eviction off (the
+/// [`ServiceConfig::new`] defaults — see [`run_service_with`]).
 ///
 /// `make_spec(home, seed)` builds each home's spec from its derived
 /// seed ([`home_seed`]), exactly as for the batch fleet driver; equal
@@ -114,147 +235,495 @@ pub fn run_service<F>(
 where
     F: Fn(usize, u64) -> RunSpec + Sync,
 {
+    run_service_with(
+        homes,
+        workers,
+        fleet_seed,
+        ServiceConfig::new(epoch),
+        make_spec,
+    )
+}
+
+/// One home's slot: its execution state plus the per-home latency drain
+/// cursor, which survives eviction (the recovered sink rebuilds the
+/// exact latency vector the evicted one had).
+struct HomeSlot<'a> {
+    cell: Cell<'a>,
+    drained: usize,
+    /// Statically evictable: eviction enabled, no failure plan (hence no
+    /// probe loops or injections) and absolute arrivals only (replay's
+    /// pending-submit order is then provably the original schedule
+    /// order). The dynamic half — quiescent, only future submissions
+    /// pending — is re-checked at every park.
+    evictable_spec: bool,
+}
+
+enum Cell<'a> {
+    /// Transient placeholder during construction and state swaps.
+    Vacant,
+    // Boxed: the live runtime dominates the enum (~1.5 KiB vs the
+    // ~400 B terminal variants); the indirection keeps the per-home
+    // slot vector small once homes finish or evict.
+    Live(Box<Driver<'a, RunCounters>>),
+    Evicted(EvictedHome),
+    Finished {
+        // Boxed for the same reason as `Live`: terminal counters carry
+        // the full latency vector, dwarfing `Vacant`/`Evicted`.
+        counters: Box<RunCounters>,
+        completed: bool,
+    },
+}
+
+/// Everything an evicted home is: the durable journal (the whole
+/// controller) plus the compact world snapshot that survives a
+/// controller restart (device states, RNG position).
+struct EvictedHome {
+    journal: ExecutionJournal,
+    device_states: Vec<Value>,
+    rng: SimRng,
+}
+
+/// One shard's shared scheduling state.
+#[derive(Default)]
+struct ShardCore {
+    /// Timer wheel of parked homes. The payload carries the *true* park
+    /// time: concurrent pops may clamp the wheel timestamp forward, and
+    /// the parked-set key below must match the original.
+    wheel: EventQueue<(usize, Timestamp)>,
+    /// Parked homes currently satisfying the full evictability
+    /// condition, keyed by true next-event time — `pop_last` is the
+    /// coldest (farthest) victim. May retain stale entries for homes
+    /// that were popped or evicted meanwhile; consumers re-check under
+    /// the slot lock.
+    parked: BTreeSet<(Timestamp, usize)>,
+}
+
+/// Shared run context: everything the workers touch. Lock order: a
+/// worker holds at most one slot lock and at most one shard lock, and
+/// only ever acquires a shard lock *while holding* a slot lock (the
+/// re-park path) — never the reverse — so there is no cycle.
+struct ServiceCtx<'a> {
+    specs: &'a [RunSpec],
+    shards: Vec<Mutex<ShardCore>>,
+    slots: Vec<Mutex<HomeSlot<'a>>>,
+    epoch_ms: u64,
+    steal: bool,
+    max_resident: Option<usize>,
+    /// Unfinished homes; workers exit when it hits zero.
+    live: AtomicUsize,
+    resident: AtomicUsize,
+    peak_resident: AtomicUsize,
+    evictions: AtomicU64,
+    recoveries: AtomicU64,
+    resident_bytes: AtomicUsize,
+    evicted_bytes: AtomicUsize,
+    barrier: Barrier,
+}
+
+impl<'a> ServiceCtx<'a> {
+    fn note_resident(&self) {
+        let now = self.resident.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak_resident.fetch_max(now, Ordering::SeqCst);
+    }
+}
+
+/// [`run_service`] with explicit stealing/eviction knobs.
+pub fn run_service_with<F>(
+    homes: usize,
+    workers: usize,
+    fleet_seed: u64,
+    config: ServiceConfig,
+    make_spec: F,
+) -> ServiceResult
+where
+    F: Fn(usize, u64) -> RunSpec + Sync,
+{
     let workers = workers.clamp(1, homes.max(1));
     let make_spec = &make_spec;
+    let seeds: Vec<u64> = (0..homes)
+        .map(|home| home_seed(fleet_seed, home as u64))
+        .collect();
 
-    let shards = std::thread::scope(|scope| {
+    // Phase 1 — build the specs, in parallel over the same contiguous
+    // near-equal split the shards use. Spec construction is pure in
+    // (home, seed), so the split is a throughput detail.
+    let bounds: Vec<(usize, usize)> = (0..workers)
+        .map(|w| (w * homes / workers, (w + 1) * homes / workers))
+        .collect();
+    let specs: Vec<RunSpec> = if workers == 1 {
+        (0..homes)
+            .map(|home| make_spec(home, seeds[home]))
+            .collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = bounds
+                .iter()
+                .map(|&(lo, hi)| {
+                    let seeds = &seeds;
+                    scope.spawn(move || {
+                        (lo..hi)
+                            .map(|home| make_spec(home, seeds[home]))
+                            .collect::<Vec<RunSpec>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("service spec builder panicked"))
+                .collect()
+        })
+    };
+
+    let ctx = ServiceCtx {
+        slots: specs
+            .iter()
+            .map(|spec| {
+                Mutex::new(HomeSlot {
+                    cell: Cell::Vacant,
+                    drained: 0,
+                    evictable_spec: config.max_resident.is_some()
+                        && spec.failures.is_empty()
+                        && spec
+                            .submissions
+                            .iter()
+                            .all(|s| matches!(s.arrival, Arrival::At(_))),
+                })
+            })
+            .collect(),
+        specs: &specs,
+        shards: (0..workers)
+            .map(|_| Mutex::new(ShardCore::default()))
+            .collect(),
+        epoch_ms: config.epoch.as_millis().max(1),
+        steal: config.steal,
+        max_resident: config.max_resident,
+        live: AtomicUsize::new(homes),
+        resident: AtomicUsize::new(0),
+        peak_resident: AtomicUsize::new(0),
+        evictions: AtomicU64::new(0),
+        recoveries: AtomicU64::new(0),
+        resident_bytes: AtomicUsize::new(0),
+        evicted_bytes: AtomicUsize::new(0),
+        barrier: Barrier::new(workers),
+    };
+
+    // Phase 2 — resident execution.
+    let outputs: Vec<(LatencyHistogram, WorkerStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
-                // Contiguous near-equal split of 0..homes (the same
-                // split the stealing fleet seeds its shard cursors
-                // with). Residency pins a home to its shard: there is
-                // no stealing here, because a stolen home would drag
-                // its parked timer-wheel entry across workers.
-                let lo = w * homes / workers;
-                let hi = (w + 1) * homes / workers;
-                scope.spawn(move || run_shard(lo, hi, fleet_seed, epoch, make_spec))
+                let ctx = &ctx;
+                let bounds = &bounds;
+                scope.spawn(move || service_worker(ctx, w, bounds[w]))
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("service worker panicked"))
-            .collect::<Vec<ShardOutput>>()
+            .collect()
     });
 
     let mut result = ServiceResult {
         homes: Vec::with_capacity(homes),
         workers,
-        epoch,
+        epoch: config.epoch,
         latency: LatencyHistogram::new(),
         slices: 0,
+        worker_stats: Vec::with_capacity(workers),
+        evictions: ctx.evictions.load(Ordering::SeqCst),
+        recoveries: ctx.recoveries.load(Ordering::SeqCst),
+        peak_resident_homes: ctx.peak_resident.load(Ordering::SeqCst),
+        approx_resident_home_bytes: ctx.resident_bytes.load(Ordering::SeqCst),
+        approx_evicted_home_bytes: ctx.evicted_bytes.load(Ordering::SeqCst),
     };
-    // Shards are contiguous and internally in home order, so
-    // concatenation is already sorted by home index.
-    for shard in shards {
-        result.homes.extend(shard.homes);
-        result.latency.merge(&shard.latency);
-        result.slices += shard.slices;
+    for (hist, stats) in outputs {
+        result.latency.merge(&hist);
+        result.slices += stats.slices_run;
+        result.worker_stats.push(stats);
+    }
+    for (home, slot) in ctx.slots.into_iter().enumerate() {
+        let slot = slot.into_inner().expect("no worker holds a slot now");
+        match slot.cell {
+            Cell::Finished {
+                counters,
+                completed,
+            } => result.homes.push(HomeRun {
+                home,
+                seed: seeds[home],
+                completed,
+                counters: *counters,
+            }),
+            _ => unreachable!("home {home} did not reach a terminal state"),
+        }
     }
     result
 }
 
-/// One worker's output: its shard's homes plus the shard-local
-/// histogram and slice count.
-struct ShardOutput {
-    homes: Vec<HomeRun>,
-    latency: LatencyHistogram,
-    slices: u64,
-}
+/// One worker: builds its own shard's homes, then slices — own wheel
+/// first, stealing from the other shards when it runs dry.
+fn service_worker<'a>(
+    ctx: &ServiceCtx<'a>,
+    w: usize,
+    (lo, hi): (usize, usize),
+) -> (LatencyHistogram, WorkerStats) {
+    let mut stats = WorkerStats::default();
+    let mut hist = LatencyHistogram::new();
 
-/// Runs homes `[lo, hi)` resident on the calling thread.
-fn run_shard<F>(
-    lo: usize,
-    hi: usize,
-    fleet_seed: u64,
-    epoch: TimeDelta,
-    make_spec: &F,
-) -> ShardOutput
-where
-    F: Fn(usize, u64) -> RunSpec + Sync,
-{
-    // Specs first, drivers borrowing them second: a driver holds `&spec`
-    // for its whole resident lifetime, so the specs must outlive the
-    // driver vector in this frame.
-    let seeds: Vec<u64> = (lo..hi)
-        .map(|home| home_seed(fleet_seed, home as u64))
-        .collect();
-    let specs: Vec<RunSpec> = (lo..hi)
-        .map(|home| make_spec(home, seeds[home - lo]))
-        .collect();
-    let mut drivers: Vec<Driver<'_, RunCounters>> = specs
-        .iter()
-        .map(|spec| Driver::with_sink(spec, RunCounters::new()))
-        .collect();
-
-    // The shard's timer wheel: earliest pending event per parked home.
-    // An eventless home parks at time zero and completes on its first
-    // slice (its first step observes idle + quiescent).
-    let mut wheel: EventQueue<usize> = EventQueue::new();
-    for (i, d) in drivers.iter().enumerate() {
-        let at = d.backend().next_event_at().unwrap_or(Timestamp::ZERO);
-        wheel.schedule(at, i);
+    for home in lo..hi {
+        let spec = &ctx.specs[home];
+        // Eviction needs the journal as the durable half of the home;
+        // journaling is digest-neutral, so the knob never changes
+        // results (pinned by `journaling_is_digest_neutral`).
+        let d = if ctx.max_resident.is_some() {
+            Driver::with_journal(spec, RunCounters::new())
+        } else {
+            Driver::with_sink(spec, RunCounters::new())
+        };
+        if home == lo {
+            ctx.resident_bytes
+                .fetch_max(d.backend().approx_resident_bytes(), Ordering::SeqCst);
+        }
+        let next = d.backend().next_event_at().unwrap_or(Timestamp::ZERO);
+        let evictable = {
+            let mut slot = ctx.slots[home].lock().expect("slot");
+            let evictable =
+                slot.evictable_spec && d.engine().quiescent() && d.backend().only_submits_pending();
+            slot.cell = Cell::Live(Box::new(d));
+            evictable
+        };
+        ctx.note_resident();
+        {
+            let mut sc = ctx.shards[w].lock().expect("shard");
+            sc.wheel.schedule(next, (home, next));
+            if evictable {
+                sc.parked.insert((next, home));
+            }
+        }
+        // Evict-at-birth keeps even the construction phase inside the
+        // budget: a fresh all-`At` home is already cold (nothing
+        // submitted yet), so it can park behind its genesis journal.
+        evict_over_budget(ctx, w);
     }
 
-    let epoch_ms = epoch.as_millis().max(1);
-    let mut latency = LatencyHistogram::new();
-    let mut cursors = vec![0usize; drivers.len()];
-    let mut slices = 0u64;
+    // All shards populated before anyone may steal from them.
+    ctx.barrier.wait();
 
-    while let Some((t, i)) = wheel.pop() {
-        slices += 1;
-        // The slice runs up to the next absolute epoch boundary after
-        // the home's due time — boundaries are multiples of the epoch,
-        // not offsets from `t`, so slice structure is a property of the
-        // fleet clock alone.
-        let end = Timestamp::from_millis((t.as_millis() / epoch_ms + 1) * epoch_ms);
-        let d = &mut drivers[i];
-        loop {
-            if d.is_done() {
-                break;
+    loop {
+        let popped = pop_shard(ctx, w).or_else(|| {
+            if !ctx.steal {
+                return None;
             }
-            match d.backend().next_event_at() {
-                // Due later: re-park. (A home that could already report
-                // quiescence but still holds an immaterial probe event
-                // parks at most once more — its next slice's first step
-                // resolves to done without popping the probe.)
-                Some(next) if next >= end => {
-                    wheel.schedule(next, i);
+            (w + 1..ctx.shards.len())
+                .chain(0..w)
+                .find_map(|victim| pop_shard(ctx, victim))
+                .inspect(|_| stats.steals += 1)
+        });
+        match popped {
+            Some((shard, home)) => {
+                run_slice(ctx, shard, home, &mut stats, &mut hist);
+                evict_over_budget(ctx, shard);
+            }
+            None => {
+                if ctx.live.load(Ordering::Acquire) == 0 {
                     break;
                 }
-                _ => match d.step() {
-                    Step::Event(_) | Step::Idle => {}
-                    Step::Quiescent | Step::Stalled => break,
-                },
+                // Every remaining home is mid-slice on another worker;
+                // its re-park (or finish) is imminent.
+                std::thread::yield_now();
             }
         }
-        // Progressive latency drain: only the routines that finished in
-        // this slice, so shard memory stays flat over the horizon.
-        let finished = &d.sink().latencies_ms;
-        for &ms in &finished[cursors[i]..] {
-            latency.record(ms);
+    }
+    (hist, stats)
+}
+
+/// Pops the earliest parked home from shard `s`, maintaining the
+/// eviction-candidate set. Returns `(shard, home)`.
+fn pop_shard(ctx: &ServiceCtx<'_>, s: usize) -> Option<(usize, usize)> {
+    let mut sc = ctx.shards[s].lock().expect("shard");
+    let (_, (home, next)) = sc.wheel.pop()?;
+    sc.parked.remove(&(next, home));
+    Some((s, home))
+}
+
+/// Runs one epoch slice of `home`, recovering it first if it was
+/// evicted. `shard` is the home's owning shard (where it re-parks).
+fn run_slice<'a>(
+    ctx: &ServiceCtx<'a>,
+    shard: usize,
+    home: usize,
+    stats: &mut WorkerStats,
+    hist: &mut LatencyHistogram,
+) {
+    let mut slot = ctx.slots[home].lock().expect("slot");
+    let slot = &mut *slot;
+    let evictable_spec = slot.evictable_spec;
+
+    if matches!(slot.cell, Cell::Evicted(_)) {
+        let Cell::Evicted(ev) = std::mem::replace(&mut slot.cell, Cell::Vacant) else {
+            unreachable!()
+        };
+        slot.cell = Cell::Live(Box::new(recover_home(&ctx.specs[home], ev)));
+        ctx.recoveries.fetch_add(1, Ordering::SeqCst);
+        ctx.note_resident();
+    }
+    let Cell::Live(d) = &mut slot.cell else {
+        unreachable!("popped home {home} is neither live nor evicted")
+    };
+    stats.slices_run += 1;
+
+    // The slice runs up to the next absolute epoch boundary after the
+    // home's own earliest pending event. Never derive this from the
+    // wheel's popped timestamp: concurrent pops may have clamped it
+    // forward, and slice structure must stay a property of the home and
+    // the epoch grid alone.
+    let end = match d.backend().next_event_at() {
+        Some(next) => Timestamp::from_millis((next.as_millis() / ctx.epoch_ms + 1) * ctx.epoch_ms),
+        None => Timestamp::ZERO, // first step observes quiescence
+    };
+    loop {
+        if d.is_done() {
+            break;
         }
-        cursors[i] = finished.len();
+        match d.backend().next_event_at() {
+            // Due later: re-park. (A home that could already report
+            // quiescence but still holds an immaterial probe event
+            // parks at most once more — its next slice's first step
+            // resolves to done without popping the probe.)
+            Some(next) if next >= end => {
+                let evictable =
+                    evictable_spec && d.engine().quiescent() && d.backend().only_submits_pending();
+                let mut sc = ctx.shards[shard].lock().expect("shard");
+                sc.wheel.schedule(next, (home, next));
+                if evictable {
+                    sc.parked.insert((next, home));
+                }
+                break;
+            }
+            _ => match d.step() {
+                Step::Event(_) | Step::Idle => {}
+                Step::Quiescent | Step::Stalled => break,
+            },
+        }
     }
 
-    let mut homes = Vec::with_capacity(drivers.len());
-    for (i, d) in drivers.into_iter().enumerate() {
+    if d.is_done() {
+        let Cell::Live(d) = std::mem::replace(&mut slot.cell, Cell::Vacant) else {
+            unreachable!()
+        };
         let (counters, _, completed) = d.into_output();
         // Catch any samples recorded after the home's last drain.
-        for &ms in &counters.latencies_ms[cursors[i]..] {
-            latency.record(ms);
+        for &ms in &counters.latencies_ms[slot.drained..] {
+            hist.record(ms);
         }
-        homes.push(HomeRun {
-            home: lo + i,
-            seed: seeds[i],
+        slot.drained = counters.latencies_ms.len();
+        slot.cell = Cell::Finished {
+            counters: Box::new(counters),
             completed,
-            counters,
+        };
+        ctx.resident.fetch_sub(1, Ordering::SeqCst);
+        stats.homes_run += 1;
+        ctx.live.fetch_sub(1, Ordering::Release);
+    } else {
+        // Progressive latency drain: only the routines that finished in
+        // this slice, so worker memory stays flat over the horizon.
+        let finished = &d.sink().latencies_ms;
+        for &ms in &finished[slot.drained..] {
+            hist.record(ms);
+        }
+        slot.drained = finished.len();
+    }
+}
+
+/// Evicts coldest-first while the fleet-wide resident count exceeds the
+/// budget. The budget is global, so the victim search sweeps *every*
+/// shard's parked candidates (starting at `shard`, the caller's, to
+/// spread lock pressure) — a worker stealing slices from a busy shard
+/// keeps recovering that shard's homes while the cold ones sit parked
+/// elsewhere. Candidates are re-validated under the slot lock: the
+/// parked sets may be stale.
+fn evict_over_budget(ctx: &ServiceCtx<'_>, shard: usize) {
+    let Some(max) = ctx.max_resident else { return };
+    let shards = ctx.shards.len();
+    loop {
+        if ctx.resident.load(Ordering::SeqCst) <= max {
+            return;
+        }
+        // Globally coldest candidate: peek each shard's farthest parked
+        // entry, then take the overall farthest.
+        let mut best: Option<(Timestamp, usize, usize)> = None;
+        for i in 0..shards {
+            let s = (shard + i) % shards;
+            let sc = ctx.shards[s].lock().expect("shard");
+            if let Some(&(t, home)) = sc.parked.last() {
+                if best.is_none_or(|(bt, _, _)| t > bt) {
+                    best = Some((t, home, s));
+                }
+            }
+        }
+        let Some((t, home, s)) = best else { return };
+        // Claim it; a pop or re-park may have raced the peek — re-scan.
+        if !ctx.shards[s]
+            .lock()
+            .expect("shard")
+            .parked
+            .remove(&(t, home))
+        {
+            continue;
+        }
+        let mut slot = ctx.slots[home].lock().expect("slot");
+        let still_cold = match &slot.cell {
+            Cell::Live(d) => {
+                !d.is_done() && d.engine().quiescent() && d.backend().only_submits_pending()
+            }
+            _ => false,
+        };
+        if !still_cold {
+            continue;
+        }
+        let Cell::Live(d) = std::mem::replace(&mut slot.cell, Cell::Vacant) else {
+            unreachable!()
+        };
+        let (journal, backend) = d.crash();
+        ctx.resident_bytes
+            .fetch_max(backend.approx_resident_bytes(), Ordering::SeqCst);
+        let (device_states, rng) = backend.into_world_snapshot();
+        ctx.evicted_bytes.fetch_max(
+            journal.approx_bytes()
+                + device_states.len() * std::mem::size_of::<Value>()
+                + std::mem::size_of::<SimRng>(),
+            Ordering::SeqCst,
+        );
+        slot.cell = Cell::Evicted(EvictedHome {
+            journal,
+            device_states,
+            rng,
         });
+        ctx.resident.fetch_sub(1, Ordering::SeqCst);
+        ctx.evictions.fetch_add(1, Ordering::SeqCst);
     }
-    ShardOutput {
-        homes,
-        latency,
-        slices,
-    }
+}
+
+/// Rebuilds an evicted home: journal replay reconstructs the controller
+/// (engine, tables, sink — including the latency vector the drain
+/// cursor indexes), the world snapshot restores devices and RNG, and
+/// redrive re-schedules the pending submissions at their original
+/// absolute times (all at or after the journal tip, so no clamping —
+/// the continuation is event-for-event that of a never-evicted run).
+fn recover_home<'a>(spec: &'a RunSpec, ev: EvictedHome) -> Driver<'a, RunCounters> {
+    let recovered = recover(
+        ev.journal,
+        spec.config.clone(),
+        &spec.submissions,
+        RunCounters::new(),
+    )
+    .expect("an eviction-time journal always replays");
+    debug_assert!(
+        recovered.report.inflight.is_empty() && recovered.report.pending_timers.is_empty(),
+        "evicted homes are quiescent: nothing in flight, no armed timers"
+    );
+    let backend = SimBackend::resurrect(spec, &ev.device_states, ev.rng);
+    let mut d = HomeRuntime::resume(recovered.core, backend);
+    d.redrive(&recovered.report);
+    d
 }
 
 #[cfg(test)]
@@ -271,8 +740,21 @@ mod tests {
     /// An open-loop-shaped home: arrivals spread over a long, sparse
     /// horizon (exercising the wheel's outer levels), and a seeded
     /// minority of homes carry a fail-stop plan (exercising probe
-    /// events and aborts under slicing).
+    /// events and aborts under slicing, and pinning such homes resident
+    /// under eviction).
     fn service_shaped_home(_: usize, seed: u64) -> RunSpec {
+        let mut spec = evictable_home(0, seed);
+        let mut rng = SimRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+        if rng.next_u64().is_multiple_of(4) {
+            spec.failures =
+                FailurePlan::random_fail_stop(4, 0.3, Timestamp::from_millis(3_600_000), &mut rng);
+        }
+        spec
+    }
+
+    /// The failure-free variant: every home satisfies the static half of
+    /// the evictability condition.
+    fn evictable_home(_: usize, seed: u64) -> RunSpec {
         let mut rng = SimRng::seed_from_u64(seed);
         let mut spec =
             RunSpec::new(plug_home(4), EngineConfig::new(VisibilityModel::ev())).with_seed(seed);
@@ -293,10 +775,9 @@ mod tests {
                 Timestamp::from_millis(rng.next_u64() % (2 * 3_600_000)),
             ));
         }
-        if rng.next_u64().is_multiple_of(4) {
-            spec.failures =
-                FailurePlan::random_fail_stop(4, 0.3, Timestamp::from_millis(3_600_000), &mut rng);
-        }
+        // Burn the draw the failure branch of `service_shaped_home` once
+        // consumed, keeping legacy schedules unchanged.
+        let _ = rng.next_u64();
         spec
     }
 
@@ -309,23 +790,116 @@ mod tests {
     }
 
     #[test]
-    fn resident_results_are_identical_across_worker_counts() {
-        let base = run_service(9, 1, 42, TimeDelta::from_secs(30), service_shaped_home);
-        for workers in [2, 3, 4] {
-            let other = run_service(
-                9,
-                workers,
-                42,
-                TimeDelta::from_secs(30),
-                service_shaped_home,
-            );
-            assert_eq!(
-                base.homes, other.homes,
-                "per-home results must not depend on sharding ({workers} workers)"
-            );
-            assert_eq!(base.digest(), other.digest());
-            assert_eq!(base.slices, other.slices, "slice structure is worker-free");
+    fn resident_results_are_identical_across_worker_counts_and_stealing() {
+        let base = run_service_with(
+            9,
+            1,
+            42,
+            ServiceConfig::new(TimeDelta::from_secs(30)).with_steal(false),
+            service_shaped_home,
+        );
+        for workers in [1, 2, 3, 4] {
+            for steal in [false, true] {
+                let other = run_service_with(
+                    9,
+                    workers,
+                    42,
+                    ServiceConfig::new(TimeDelta::from_secs(30)).with_steal(steal),
+                    service_shaped_home,
+                );
+                assert_eq!(
+                    base.homes, other.homes,
+                    "per-home results must not depend on sharding \
+                     ({workers} workers, steal={steal})"
+                );
+                assert_eq!(base.digest(), other.digest());
+                assert_eq!(
+                    base.slices, other.slices,
+                    "slice structure is worker- and steal-free"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn eviction_is_digest_neutral_at_random_budgets() {
+        let base = run_service(8, 1, 0xC01D, TimeDelta::from_secs(20), service_shaped_home);
+        let mut evictions_seen = 0;
+        for max_resident in [0, 1, 2, 5] {
+            for workers in [1, 3] {
+                let evicted = run_service_with(
+                    8,
+                    workers,
+                    0xC01D,
+                    ServiceConfig::new(TimeDelta::from_secs(20)).with_max_resident(max_resident),
+                    service_shaped_home,
+                );
+                assert_eq!(
+                    base.homes, evicted.homes,
+                    "eviction must be invisible in results \
+                     (max_resident={max_resident}, {workers} workers)"
+                );
+                assert_eq!(base.digest(), evicted.digest());
+                assert_eq!(base.slices, evicted.slices);
+                assert!(evicted.recoveries <= evicted.evictions);
+                evictions_seen += evicted.evictions;
+            }
+        }
+        assert!(evictions_seen > 0, "tight budgets must actually evict");
+    }
+
+    #[test]
+    fn eviction_bounds_residency_on_cold_fleets() {
+        let budget = 2;
+        let r = run_service_with(
+            10,
+            1,
+            7,
+            ServiceConfig::new(TimeDelta::from_secs(15)).with_max_resident(budget),
+            evictable_home,
+        );
+        let batch = run_fleet(10, 1, 7, evictable_home);
+        assert_eq!(batch.homes, r.homes);
+        assert!(r.evictions > 0, "a 2-home budget over 10 homes must evict");
+        assert!(r.recoveries > 0, "parked homes must come back");
+        assert!(
+            r.peak_resident_homes <= budget + 1,
+            "one worker keeps at most budget parked + 1 in hand, got {}",
+            r.peak_resident_homes
+        );
+        assert!(
+            r.approx_resident_home_bytes > r.approx_evicted_home_bytes,
+            "eviction must shrink a home's footprint ({} resident vs {} evicted bytes)",
+            r.approx_resident_home_bytes,
+            r.approx_evicted_home_bytes
+        );
+    }
+
+    #[test]
+    fn uncapped_runs_report_full_residency() {
+        let r = run_service(6, 2, 3, TimeDelta::from_secs(10), service_shaped_home);
+        assert_eq!(r.peak_resident_homes, 6);
+        assert_eq!(r.evictions, 0);
+        assert_eq!(r.recoveries, 0);
+        assert_eq!(r.approx_evicted_home_bytes, 0);
+        assert!(r.approx_resident_home_bytes > 0);
+    }
+
+    #[test]
+    fn worker_stats_account_for_every_slice_and_home() {
+        let r = run_service_with(
+            9,
+            3,
+            11,
+            ServiceConfig::new(TimeDelta::from_secs(10)).with_steal(false),
+            service_shaped_home,
+        );
+        assert_eq!(r.worker_stats.len(), 3);
+        let slices: u64 = r.worker_stats.iter().map(|w| w.slices_run).sum();
+        let homes: usize = r.worker_stats.iter().map(|w| w.homes_run).sum();
+        assert_eq!(slices, r.slices);
+        assert_eq!(homes, r.homes.len());
+        assert_eq!(r.steals(), 0, "steal=false must never steal");
     }
 
     #[test]
@@ -369,12 +943,33 @@ mod tests {
     }
 
     #[test]
+    fn histogram_is_complete_under_eviction() {
+        // Recovery rebuilds the sink's latency vector; the drain cursor
+        // must keep every sample exactly once across evict/recover.
+        let r = run_service_with(
+            8,
+            2,
+            11,
+            ServiceConfig::new(TimeDelta::from_secs(5)).with_max_resident(1),
+            service_shaped_home,
+        );
+        let raw: u64 = r
+            .homes
+            .iter()
+            .map(|h| h.counters.latencies_ms.len() as u64)
+            .sum();
+        assert_eq!(r.latency.count(), raw);
+        assert!(r.evictions > 0);
+    }
+
+    #[test]
     fn empty_fleet_is_fine() {
         let r = run_service(0, 4, 1, TimeDelta::from_secs(1), service_shaped_home);
         assert!(r.homes.is_empty());
         assert_eq!(r.workers, 1, "workers clamp to at least one");
         assert!(r.latency.is_empty());
         assert!(r.all_completed(), "vacuously true");
+        assert_eq!(r.peak_resident_homes, 0);
     }
 
     #[test]

@@ -84,6 +84,41 @@ fn pooled_home() -> PooledHome {
     HOME_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
 }
 
+impl PooledHome {
+    /// Approximate heap footprint of one pooled bundle: the dominant
+    /// retained allocations (queue buckets/deques and device slots).
+    /// Table vectors are small by comparison and not chased.
+    fn approx_bytes(&self) -> usize {
+        self.queue.approx_bytes() + self.devices.capacity() * std::mem::size_of::<VirtualDevice>()
+    }
+}
+
+/// Point-in-time accounting for the calling thread's home-state pool.
+///
+/// The per-home resident footprint is dominated by exactly what the pool
+/// recycles — the calendar-wheel bucket arrays and the device slots — so
+/// `approx_bytes / bundles.max(1)` doubles as the service runner's
+/// estimate of what one *resident* home pins versus one evicted home
+/// (journal + device values + RNG).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HomePoolStats {
+    /// Recycled bundles currently parked in the pool.
+    pub bundles: usize,
+    /// Approximate retained bytes across those bundles.
+    pub approx_bytes: usize,
+}
+
+/// Stats for the calling thread's home-state pool (see [`HomePoolStats`]).
+pub fn home_pool_stats() -> HomePoolStats {
+    HOME_POOL.with(|p| {
+        let pool = p.borrow();
+        HomePoolStats {
+            bundles: pool.len(),
+            approx_bytes: pool.iter().map(PooledHome::approx_bytes).sum(),
+        }
+    })
+}
+
 fn recycle_home(mut home: PooledHome) {
     home.queue.clear();
     HOME_POOL.with(|p| {
@@ -109,6 +144,12 @@ pub struct SimBackend<'a> {
     latency: safehome_devices::LatencyModel,
     /// Outstanding material (non-probe) events.
     material: usize,
+    /// Outstanding material events that are *not* future workload
+    /// submissions — device arrivals/completions, injections, engine
+    /// timers. Zero means the queue holds nothing but `Submit`s (plus
+    /// possibly immaterial probes): the world is at rest, and the
+    /// service runner may park the home's state behind its journal.
+    nonsubmit_material: usize,
 }
 
 impl<'a> SimBackend<'a> {
@@ -137,6 +178,7 @@ impl<'a> SimBackend<'a> {
             rng: SimRng::seed_from_u64(spec.seed),
             latency: spec.latency,
             material: 0,
+            nonsubmit_material: 0,
         }
     }
 
@@ -185,6 +227,9 @@ impl<'a> SimBackend<'a> {
     fn schedule(&mut self, at: Timestamp, ev: Ev) {
         if is_material(&ev) {
             self.material += 1;
+            if !matches!(ev, Ev::Submit(_)) {
+                self.nonsubmit_material += 1;
+            }
         }
         self.queue.schedule(at, ev);
     }
@@ -198,6 +243,57 @@ impl<'a> SimBackend<'a> {
     /// boundaries replays the exact event sequence of an unsliced run.
     pub fn next_event_at(&self) -> Option<Timestamp> {
         self.queue.peek_time()
+    }
+
+    /// `true` when every pending material event is a future workload
+    /// submission — no device I/O, injections or engine timers in
+    /// flight. Together with engine quiescence (and a failure-free,
+    /// absolute-arrival spec) this is the service runner's evictability
+    /// condition: the journal then captures the whole controller, and
+    /// the world reduces to the device states plus the RNG position.
+    pub fn only_submits_pending(&self) -> bool {
+        self.nonsubmit_material == 0
+    }
+
+    /// Approximate heap bytes this backend pins while resident: the
+    /// event queue's retained capacity plus the device slots. The
+    /// companion durable footprint is the journal's
+    /// `ExecutionJournal::approx_bytes`.
+    pub fn approx_resident_bytes(&self) -> usize {
+        self.queue.approx_bytes() + self.devices.capacity() * std::mem::size_of::<VirtualDevice>()
+    }
+
+    /// Tears an evicted backend down to the compact world snapshot the
+    /// service runner parks beside the journal — per-device states and
+    /// the RNG position — recycling the queue and device storage into
+    /// the thread's home pool. Only sound at an eviction point (engine
+    /// quiescent, [`Self::only_submits_pending`]): pending submissions
+    /// are re-derived from the journal on recovery, and anything else in
+    /// the queue would be lost.
+    pub fn into_world_snapshot(mut self) -> (Vec<Value>, SimRng) {
+        let states = self.devices.iter().map(VirtualDevice::state).collect();
+        recycle_home(PooledHome {
+            queue: std::mem::take(&mut self.queue),
+            devices: std::mem::take(&mut self.devices),
+            tables: HomeTables::default(),
+        });
+        (states, self.rng)
+    }
+
+    /// Rebuilds a backend from an eviction-time world snapshot: pooled
+    /// storage, device states forced back to `device_states`, the RNG
+    /// resumed at its parked position, and — deliberately — *nothing*
+    /// scheduled. The recovered core's redrive re-issues the pending
+    /// submissions; the failure plan is not re-injected because eviction
+    /// requires an empty one.
+    pub fn resurrect(spec: &'a RunSpec, device_states: &[Value], rng: SimRng) -> Self {
+        let mut pooled = pooled_home();
+        let mut backend = SimBackend::new(spec, &mut pooled);
+        for (slot, &v) in backend.devices.iter_mut().zip(device_states) {
+            slot.force_state(v);
+        }
+        backend.rng = rng;
+        backend
     }
 }
 
@@ -238,6 +334,9 @@ impl Backend for SimBackend<'_> {
         }
         if is_material(&ev) {
             self.material -= 1;
+            if !matches!(ev, Ev::Submit(_)) {
+                self.nonsubmit_material -= 1;
+            }
         }
         match ev {
             Ev::Submit(i) => core.submit_indexed(i, now, self),

@@ -258,6 +258,29 @@ impl<E> EventQueue<E> {
         self.len == 0
     }
 
+    /// Approximate heap footprint in bytes: bucket, second-level and
+    /// overflow deque capacities times the element size. Retained (not
+    /// just occupied) capacity is what a resident home pins in memory,
+    /// so this is the number the service runner's eviction accounting
+    /// wants — a freshly recycled queue still reports its full bucket
+    /// arrays.
+    pub fn approx_bytes(&self) -> usize {
+        let elem = std::mem::size_of::<E>();
+        let deque = std::mem::size_of::<VecDeque<E>>();
+        let mut bytes = std::mem::size_of::<Self>();
+        bytes += self.buckets.capacity() * deque;
+        bytes += self.buckets.iter().map(VecDeque::capacity).sum::<usize>() * elem;
+        if let Some(l2) = &self.level2 {
+            bytes += std::mem::size_of::<Level2<E>>();
+            bytes += l2.buckets.capacity() * deque;
+            bytes += l2.buckets.iter().map(VecDeque::capacity).sum::<usize>() * (elem + 8);
+        }
+        for dq in self.overflow.values().chain(self.spare.iter()) {
+            bytes += deque + dq.capacity() * elem;
+        }
+        bytes
+    }
+
     /// Empties the queue and resets the clock to zero, retaining bucket
     /// and deque allocations so a recycled queue schedules and pops
     /// without allocating. Used by the harness's per-thread queue pool.
@@ -831,5 +854,95 @@ mod tests {
             assert_eq!(q.pop(), Some((t(at), i)));
         }
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_instant_pop_and_park_across_independent_wheels() {
+        // Steal-era shape: two shard wheels hold entries due at the same
+        // instant. A thief pops shard B's entry while the owner pops
+        // shard A's, then both re-park at the same future instant. The
+        // wheels are independent, so each must preserve its own FIFO and
+        // neither may observe the other's clock.
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        a.schedule(t(500), "a0");
+        a.schedule(t(500), "a1");
+        b.schedule(t(500), "b0");
+        assert_eq!(a.pop(), Some((t(500), "a0")));
+        assert_eq!(b.pop(), Some((t(500), "b0")));
+        // Both re-park at the same boundary instant; per-wheel insertion
+        // order still rules.
+        a.schedule(t(1_000), "a0");
+        b.schedule(t(1_000), "b0");
+        a.schedule(t(1_000), "a2");
+        assert_eq!(a.pop(), Some((t(500), "a1")));
+        assert_eq!(a.pop(), Some((t(1_000), "a0")));
+        assert_eq!(a.pop(), Some((t(1_000), "a2")));
+        assert_eq!(b.pop(), Some((t(1_000), "b0")));
+        assert_eq!(a.now(), t(1_000));
+        assert_eq!(b.now(), t(1_000));
+    }
+
+    #[test]
+    fn l2_entry_stolen_mid_span_leaves_siblings_ordered() {
+        // Entries parked far ahead share one coarse second-level bucket
+        // (same WHEEL-ms span). A steal pops the earliest — which drains
+        // and rebases the span — and re-parks it further out; the
+        // remaining same-span entries must still pop in time order, and
+        // a re-park landing *back inside* the active span must slot in
+        // correctly rather than ride behind the span's tail.
+        let base = WHEEL as u64 * 3; // comfortably on the second level
+        let mut q = EventQueue::new();
+        q.schedule(t(base + 10), "early");
+        q.schedule(t(base + 30), "late");
+        q.schedule(t(base + 20), "mid");
+        assert_eq!(q.pop(), Some((t(base + 10), "early")));
+        // Stolen home re-parks inside the still-active span.
+        q.schedule(t(base + 25), "early");
+        assert_eq!(q.pop(), Some((t(base + 20), "mid")));
+        assert_eq!(q.pop(), Some((t(base + 25), "early")));
+        assert_eq!(q.pop(), Some((t(base + 30), "late")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn clamp_to_now_after_recovered_repark_keeps_service_order() {
+        // A thief advancing a shard wheel past another home's true
+        // next-event time forces that home's re-park to clamp to `now`.
+        // The clamped entry must queue *behind* entries already parked
+        // at `now` (FIFO) — and, because the clamp perturbs the wheel
+        // timestamp, the service runner derives slice boundaries from
+        // the home's own queue, never from the wheel's popped time. This
+        // pins the wheel half of that contract.
+        let mut q = EventQueue::new();
+        q.schedule(t(2_000), "far"); // popped by the thief first
+        assert_eq!(q.pop(), Some((t(2_000), "far")));
+        q.schedule(t(2_000), "resident");
+        // Recovered home's true next event is at t=700 — already in the
+        // wheel's past. The park clamps to now=2000, behind "resident".
+        q.schedule(t(700), "recovered");
+        assert_eq!(q.pop(), Some((t(2_000), "resident")));
+        let (at, who) = q.pop().expect("clamped entry is pending");
+        assert_eq!(who, "recovered");
+        assert_eq!(at, t(2_000), "the wheel time is the clamp, not t=700");
+    }
+
+    #[test]
+    fn approx_bytes_tracks_retained_capacity() {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let fresh = q.approx_bytes();
+        assert!(fresh > WHEEL * std::mem::size_of::<VecDeque<u64>>());
+        for i in 0..10_000u64 {
+            q.schedule(t(i * 7_919), i); // spans wheel, L2 and overflow
+        }
+        let loaded = q.approx_bytes();
+        assert!(loaded > fresh, "deque growth must show up");
+        while q.pop().is_some() {}
+        q.clear();
+        assert!(
+            q.approx_bytes() >= fresh,
+            "recycled queues keep their capacity — that is the point \
+             of reporting retained rather than occupied bytes"
+        );
     }
 }

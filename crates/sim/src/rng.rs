@@ -12,6 +12,12 @@ use safehome_types::TimeDelta;
 /// parameter α). The Zipf sampler is implemented directly from the
 /// weight definition `w(k) ∝ k^(-α)` so that α = 0 degenerates to the
 /// uniform distribution.
+///
+/// The generator state is `Clone` so a caller can snapshot the stream
+/// position (the service runner's journal-backed eviction parks a home's
+/// RNG alongside its journal and restores it on recovery — the restored
+/// stream must continue exactly where the evicted one stopped).
+#[derive(Clone)]
 pub struct SimRng {
     s: [u64; 4],
 }

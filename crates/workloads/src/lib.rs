@@ -17,6 +17,7 @@ pub mod scenarios;
 pub use micro::MicroParams;
 pub use scenarios::{
     crash_index, crash_recovery, expected_diagnostics, factory, fleet_morning, morning,
-    neighborhood_home, party, run_uncrashed, run_with_crash, service_home, BurstWindow,
-    CrashRecoveryRun, FleetTemplate, NeighborhoodParams, NeighborhoodPlan, ServiceParams,
+    neighborhood_home, party, run_uncrashed, run_with_crash, service_home, skewed_service_home,
+    BurstWindow, CrashRecoveryRun, FleetTemplate, NeighborhoodParams, NeighborhoodPlan,
+    ServiceParams, SkewParams,
 };

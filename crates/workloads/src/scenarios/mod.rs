@@ -35,4 +35,4 @@ pub use factory::factory;
 pub use morning::{fleet_morning, morning, FleetTemplate};
 pub use neighborhood::{neighborhood_home, NeighborhoodParams, NeighborhoodPlan};
 pub use party::party;
-pub use service::{service_home, BurstWindow, ServiceParams};
+pub use service::{service_home, skewed_service_home, BurstWindow, ServiceParams, SkewParams};

@@ -172,6 +172,61 @@ pub fn service_home(template: &FleetTemplate, params: &ServiceParams, seed: u64)
     spec
 }
 
+/// A deliberately imbalanced service fleet: the first `heavy_homes`
+/// homes run at `heavy_multiplier`x the base arrival rate, the rest at
+/// the base rate.
+///
+/// Putting every heavy home at the *front* of the fleet is the point:
+/// the service runner shards homes contiguously, so the skew lands
+/// entirely on the first shard(s) and a static (no-steal) schedule is
+/// bottlenecked on them while the other workers idle — the worst
+/// realistic case for static sharding and the one work stealing is
+/// meant to repair. The benchmark's modeled-makespan gate runs on
+/// exactly this shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkewParams {
+    /// Arrival process of the ordinary homes.
+    pub base: ServiceParams,
+    /// Homes `0..heavy_homes` are heavy.
+    pub heavy_homes: usize,
+    /// Integer rate multiplier of the heavy homes (applied to
+    /// `base.rate_per_hour`; diurnal and burst modulation stack on top
+    /// unchanged).
+    pub heavy_multiplier: u64,
+}
+
+impl SkewParams {
+    /// `heavy_homes` homes at `heavy_multiplier`x `base`'s rate, the
+    /// rest at the base rate.
+    pub fn new(base: ServiceParams, heavy_homes: usize, heavy_multiplier: u64) -> Self {
+        SkewParams {
+            base,
+            heavy_homes,
+            heavy_multiplier,
+        }
+    }
+}
+
+/// One home of a skewed service fleet ([`SkewParams`]). Unlike
+/// [`service_home`], the schedule depends on the home *index* (is it
+/// one of the heavy homes?) as well as the derived seed; a non-heavy
+/// home's spec is byte-identical to `service_home` with the base
+/// params.
+pub fn skewed_service_home(
+    template: &FleetTemplate,
+    skew: &SkewParams,
+    home: usize,
+    seed: u64,
+) -> RunSpec {
+    if home < skew.heavy_homes {
+        let mut params = skew.base.clone();
+        params.rate_per_hour *= skew.heavy_multiplier;
+        service_home(template, &params, seed)
+    } else {
+        service_home(template, &skew.base, seed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,5 +357,26 @@ mod tests {
                 assert!(spec.home.get(c.device).is_ok());
             }
         }
+    }
+
+    #[test]
+    fn skewed_fleet_loads_only_the_front_homes() {
+        let t = template();
+        let base = ServiceParams::new(TimeDelta::from_mins(120), 30);
+        let skew = SkewParams::new(base.clone(), 3, 6);
+        // Non-heavy homes are byte-identical to the plain generator.
+        let plain = service_home(&t, &base, home_seed(9, 5));
+        assert_eq!(skewed_service_home(&t, &skew, 5, home_seed(9, 5)), plain);
+        // Heavy homes offer several times the load of their plain twin.
+        let heavy = skewed_service_home(&t, &skew, 0, home_seed(9, 0));
+        let twin = service_home(&t, &base, home_seed(9, 0));
+        assert!(
+            heavy.submissions.len() > twin.submissions.len() * 3,
+            "6x rate must offer much more load ({} vs {})",
+            heavy.submissions.len(),
+            twin.submissions.len()
+        );
+        // Fully deterministic in (params, home, seed).
+        assert_eq!(skewed_service_home(&t, &skew, 0, home_seed(9, 0)), heavy);
     }
 }
