@@ -34,6 +34,17 @@ impl LatencyModel {
         }
     }
 
+    /// `true` when sampling never consumes randomness: every draw
+    /// returns the same delay, independent of RNG state. Such a model
+    /// keeps the backend RNG untouched for the whole run — the property
+    /// the intra-home cluster gate relies on.
+    pub fn is_deterministic(&self) -> bool {
+        match *self {
+            LatencyModel::Fixed(_) => true,
+            LatencyModel::Jittered { jitter, .. } => jitter == TimeDelta::ZERO,
+        }
+    }
+
     /// The worst-case latency of the model.
     pub fn max(&self) -> TimeDelta {
         match *self {

@@ -1,0 +1,490 @@
+//! Deterministic intra-home parallelism: conflict-clustered sub-runs.
+//!
+//! A home whose submissions split into device-disjoint clusters (no
+//! shared footprint device, no cross-cluster `After` edge) can run each
+//! cluster as an independent sub-driver — the EV engine's scheduling,
+//! lineage and order state are all device-local, so a cluster's event
+//! stream is exactly the projection of the sequential run onto its
+//! devices. This module owns the two halves of that claim:
+//!
+//! - [`build_sub_specs`] projects a [`RunSpec`] onto each cluster
+//!   (submissions filtered in order, `After` indices remapped, the full
+//!   home kept so device ids stay stable);
+//! - [`merge_sub_runs`] folds the finished sub-runs back into the *one*
+//!   [`RunCounters`] the sequential driver would have produced —
+//!   byte-identical, digest included.
+//!
+//! The merge reconstructs the sequential pop order instead of
+//! approximating it. Every event a failure-free, deterministic-latency
+//! run schedules passes through the backend's schedule funnel, so a
+//! traced sub-driver's funnel log ([`crate::sim::FunnelEntry`]) covers
+//! every pop: a stable sort by effective enqueue time *is* the
+//! sub-run's pop order, and each entry's parent link (the construction
+//! rank or causing pop) is enough to totally order pops *across*
+//! clusters exactly as one shared queue would have:
+//!
+//! - construction events (absolute arrivals) sort by `(time, global
+//!   submission index)` and precede same-instant dynamic events —
+//!   construction fully precedes the first pop in a sequential run;
+//! - dynamic events sort by `(time, merged position of the causing
+//!   pop, call rank within that pop)` — the insertion-order tiebreak of
+//!   the shared queue, reproduced from per-cluster logs.
+//!
+//! Replaying the per-pop sink-call segments in merged order through a
+//! fresh [`RunCounters`] (routine ids renumbered densely in merged
+//! submission order — the sequential assignment order), then finishing
+//! with the k-way-merged witness order and per-cluster device-state
+//! overlays, reproduces the sequential sink interaction call-for-call.
+//!
+//! Anything outside the proof's assumptions — failure plans, jittered
+//! latency, non-EV models, a cluster that stalls — makes the caller
+//! fall back to the sequential path (`None` from [`merge_sub_runs`] /
+//! [`run_clustered`]).
+
+use std::collections::BTreeMap;
+
+use safehome_core::VisibilityModel;
+use safehome_types::{
+    sink::{RunCounters, TraceSink},
+    trace::{OrderItem, TraceEventKind},
+    DeviceId, Routine, RoutineId, Timestamp, Value,
+};
+
+use crate::sim::{Driver, FunnelEntry, FunnelParent};
+use crate::spec::{Arrival, RunSpec, Submission};
+
+/// A pluggable cluster planner: inspects a spec and either returns a
+/// splitting partition or declines (sequential path). The canonical
+/// implementation is `safehome-lint`'s `cluster::planner()`, which sits
+/// above the harness in the dependency graph — the service accepts it
+/// as an injected callback for the same reason it accepts lint's spec
+/// gate that way.
+pub type IntraPlanner = std::sync::Arc<dyn Fn(&RunSpec) -> Option<HomePartition> + Send + Sync>;
+
+/// A partition of a home's submissions into conflict clusters:
+/// `clusters[k]` holds the workload indices of cluster `k`, each in
+/// original submission order. Produced by `safehome-lint`'s cluster
+/// analysis (the lint crate sits above the harness, so the type lives
+/// here and the analysis there).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HomePartition {
+    /// Workload indices per cluster, ascending within each cluster.
+    pub clusters: Vec<Vec<usize>>,
+}
+
+impl HomePartition {
+    /// `true` when the partition actually splits the home.
+    pub fn is_split(&self) -> bool {
+        self.clusters.len() >= 2
+    }
+}
+
+/// The cheap spec-level preconditions of the sub-run equivalence proof,
+/// re-checked defensively by the harness (the lint planner is the
+/// authority, but a misbehaving planner must degrade to the sequential
+/// path, never to a wrong answer): an empty failure plan (no
+/// injections, probes or cross-cluster failure serialization), a
+/// latency model that never draws from the shared RNG, and the EV
+/// model, whose scheduling state is device-local (GSV serializes
+/// globally; PSV and WV are not covered by the proof).
+pub fn spec_decomposable(spec: &RunSpec) -> bool {
+    spec.failures.is_empty()
+        && spec.latency.is_deterministic()
+        && matches!(spec.config.model, VisibilityModel::Ev { .. })
+}
+
+/// Projects `spec` onto each cluster of `partition`: same home, config,
+/// latency, seed and horizon; submissions filtered in original order
+/// with `After` indices remapped to cluster-local positions.
+///
+/// # Panics
+///
+/// Panics if an `After` edge crosses clusters — a partition from the
+/// cluster analysis never has one (After edges are union edges).
+pub fn build_sub_specs(spec: &RunSpec, partition: &HomePartition) -> Vec<RunSpec> {
+    partition
+        .clusters
+        .iter()
+        .map(|locals| {
+            let mut sub = RunSpec::new(spec.home.clone(), spec.config.clone());
+            sub.failures = spec.failures.clone();
+            sub.latency = spec.latency;
+            sub.ping_interval = spec.ping_interval;
+            sub.detect_timeout = spec.detect_timeout;
+            sub.seed = spec.seed;
+            sub.max_time = spec.max_time;
+            let pos: BTreeMap<usize, usize> = locals
+                .iter()
+                .enumerate()
+                .map(|(local, &global)| (global, local))
+                .collect();
+            for &global in locals {
+                let s = &spec.submissions[global];
+                let arrival = match s.arrival {
+                    Arrival::At(at) => Arrival::At(at),
+                    Arrival::After { index, delay } => Arrival::After {
+                        index: *pos.get(&index).expect("After edge must not cross clusters"),
+                        delay,
+                    },
+                };
+                sub.submissions.push(Submission {
+                    routine: s.routine.clone(),
+                    arrival,
+                });
+            }
+            sub
+        })
+        .collect()
+}
+
+/// One recorded sink call of a sub-run (the exact argument shapes
+/// [`RunCounters`] reads, so replay reproduces its folds bit-for-bit).
+#[derive(Debug, Clone)]
+enum SinkCall {
+    Submission {
+        id: RoutineId,
+        commands: u32,
+        ideal_ms: u64,
+        at: Timestamp,
+    },
+    Record {
+        at: Timestamp,
+        kind: TraceEventKind,
+    },
+}
+
+/// Recording sink for one sub-run: the call stream segmented by pop
+/// (via [`TraceSink::pop_boundary`]), plus the finish payload. The
+/// merge interleaves segments across clusters and replays them.
+#[derive(Debug, Clone, Default)]
+pub struct SubRunLog {
+    /// One segment per handled pop, in pop order (possibly empty — a
+    /// stale engine timer records nothing).
+    segments: Vec<Vec<SinkCall>>,
+    final_order: Vec<OrderItem>,
+    end_states: BTreeMap<DeviceId, Value>,
+    committed_states: BTreeMap<DeviceId, Value>,
+    finished: bool,
+}
+
+impl SubRunLog {
+    /// A fresh, empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, call: SinkCall) {
+        self.segments
+            .last_mut()
+            .expect("sink calls only occur while handling a pop")
+            .push(call);
+    }
+}
+
+impl TraceSink for SubRunLog {
+    fn record_submission(&mut self, id: RoutineId, routine: &Routine, at: Timestamp) {
+        self.push(SinkCall::Submission {
+            id,
+            commands: routine.commands.len() as u32,
+            ideal_ms: routine.ideal_runtime().as_millis().max(1),
+            at,
+        });
+    }
+
+    fn record(&mut self, at: Timestamp, kind: TraceEventKind) {
+        self.push(SinkCall::Record { at, kind });
+    }
+
+    fn pop_boundary(&mut self) {
+        self.segments.push(Vec::new());
+    }
+
+    fn finish(
+        &mut self,
+        final_order: Vec<OrderItem>,
+        end_states: BTreeMap<DeviceId, Value>,
+        committed_states: &BTreeMap<DeviceId, Value>,
+    ) {
+        self.final_order = final_order;
+        self.end_states = end_states;
+        self.committed_states = committed_states.clone();
+        self.finished = true;
+    }
+}
+
+/// Everything one finished sub-driver hands the merge.
+#[derive(Debug)]
+pub struct SubRun {
+    /// The recorded sink-call stream (finished).
+    pub log: SubRunLog,
+    /// The backend's funnel log ([`crate::sim::SimBackend::take_funnel_log`]).
+    pub funnel: Vec<FunnelEntry>,
+    /// `true` iff the sub-run reached quiescence.
+    pub completed: bool,
+}
+
+/// Rewrites every routine id a trace event carries through `map`.
+fn remap_kind(kind: TraceEventKind, map: &BTreeMap<RoutineId, RoutineId>) -> TraceEventKind {
+    let m = |r: RoutineId| map[&r];
+    match kind {
+        TraceEventKind::Submitted { routine } => TraceEventKind::Submitted {
+            routine: m(routine),
+        },
+        TraceEventKind::Started { routine } => TraceEventKind::Started {
+            routine: m(routine),
+        },
+        TraceEventKind::Committed { routine } => TraceEventKind::Committed {
+            routine: m(routine),
+        },
+        TraceEventKind::Aborted {
+            routine,
+            reason,
+            executed,
+            rolled_back,
+        } => TraceEventKind::Aborted {
+            routine: m(routine),
+            reason,
+            executed,
+            rolled_back,
+        },
+        TraceEventKind::CommandDispatched {
+            routine,
+            idx,
+            device,
+        } => TraceEventKind::CommandDispatched {
+            routine: m(routine),
+            idx,
+            device,
+        },
+        TraceEventKind::CommandCompleted {
+            routine,
+            idx,
+            device,
+            outcome,
+        } => TraceEventKind::CommandCompleted {
+            routine: m(routine),
+            idx,
+            device,
+            outcome,
+        },
+        TraceEventKind::BestEffortSkipped {
+            routine,
+            idx,
+            device,
+        } => TraceEventKind::BestEffortSkipped {
+            routine: m(routine),
+            idx,
+            device,
+        },
+        TraceEventKind::StateChanged {
+            device,
+            value,
+            by,
+            rollback,
+        } => TraceEventKind::StateChanged {
+            device,
+            value,
+            by: by.map(m),
+            rollback,
+        },
+        other @ (TraceEventKind::DeviceDownDetected { .. }
+        | TraceEventKind::DeviceUpDetected { .. }) => other,
+    }
+}
+
+/// Merge-order key of one pending pop. Ordering reproduces the shared
+/// queue's (time, insertion) pop order: construction events (`dyn_ = 0`)
+/// precede same-instant dynamic ones and tiebreak on global submission
+/// index; dynamic events tiebreak on (merged position of the causing
+/// pop, call rank within it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct PopKey {
+    t: Timestamp,
+    dyn_: u8,
+    seq: u64,
+    rank: u32,
+}
+
+/// Folds finished sub-runs back into the sequential [`RunCounters`].
+///
+/// Returns `None` — fall back to the sequential path — when any
+/// sub-run stalled (a sequential stall halts every cluster at once, so
+/// the merged result would diverge), was not finished, or violates the
+/// funnel-coverage invariant (a sign the spec gate was bypassed).
+pub fn merge_sub_runs(
+    spec: &RunSpec,
+    partition: &HomePartition,
+    subs: Vec<SubRun>,
+) -> Option<RunCounters> {
+    if !spec_decomposable(spec) || subs.len() != partition.clusters.len() {
+        return None;
+    }
+    let k = subs.len();
+    let mut pops: Vec<Vec<FunnelEntry>> = Vec::with_capacity(k);
+    let mut at_globals: Vec<Vec<usize>> = Vec::with_capacity(k);
+    for (c, sub) in subs.iter().enumerate() {
+        if !sub.completed || !sub.log.finished {
+            return None;
+        }
+        // Pop order = stable sort of the funnel log by effective time
+        // (the queue pops in (time, insertion) order and the log is in
+        // insertion order). A quiescent, failure-free run pops every
+        // funnel-scheduled event, so the counts must line up.
+        let mut order: Vec<usize> = (0..sub.funnel.len()).collect();
+        order.sort_by_key(|&i| sub.funnel[i].t_eff);
+        if order.len() != sub.log.segments.len() {
+            return None;
+        }
+        pops.push(order.into_iter().map(|i| sub.funnel[i]).collect());
+        // Construction rank r is the r-th absolute arrival of the
+        // cluster, in local (= original) submission order.
+        at_globals.push(
+            partition.clusters[c]
+                .iter()
+                .copied()
+                .filter(|&g| matches!(spec.submissions[g].arrival, Arrival::At(_)))
+                .collect(),
+        );
+    }
+
+    // K-way merge of per-cluster pop sequences.
+    let mut cursor = vec![0usize; k];
+    let mut gpos: Vec<Vec<u64>> = pops.iter().map(|p| vec![0; p.len()]).collect();
+    let mut next_gpos = 0u64;
+    let mut counters = RunCounters::new();
+    let mut remap: Vec<BTreeMap<RoutineId, RoutineId>> = vec![BTreeMap::new(); k];
+    let mut next_id = 1u64;
+    loop {
+        let mut best: Option<(PopKey, usize)> = None;
+        for c in 0..k {
+            let Some(entry) = pops[c].get(cursor[c]) else {
+                continue;
+            };
+            let key = match entry.parent {
+                FunnelParent::Init { rank } => PopKey {
+                    t: entry.t_eff,
+                    dyn_: 0,
+                    seq: at_globals[c][rank as usize] as u64,
+                    rank: 0,
+                },
+                FunnelParent::Pop { pop, rank } => PopKey {
+                    t: entry.t_eff,
+                    dyn_: 1,
+                    seq: gpos[c][pop as usize],
+                    rank,
+                },
+            };
+            if best.is_none_or(|(b, _)| key < b) {
+                best = Some((key, c));
+            }
+        }
+        let Some((_, c)) = best else {
+            break;
+        };
+        let j = cursor[c];
+        cursor[c] += 1;
+        gpos[c][j] = next_gpos;
+        next_gpos += 1;
+        for call in &subs[c].log.segments[j] {
+            match *call {
+                SinkCall::Submission {
+                    id,
+                    commands,
+                    ideal_ms,
+                    at,
+                } => {
+                    // Dense ids in merged submission-pop order — exactly
+                    // the order the sequential engine assigns them.
+                    let global = RoutineId(next_id);
+                    next_id += 1;
+                    remap[c].insert(id, global);
+                    counters.record_submission_shape(global, commands, ideal_ms, at);
+                }
+                SinkCall::Record { at, ref kind } => {
+                    counters.record(at, remap_kind(kind.clone(), &remap[c]));
+                }
+            }
+        }
+    }
+
+    // Witness order: each cluster's order is its own min-id Kahn sort
+    // over cluster-local edges, and the per-cluster remap is monotone,
+    // so merging by smallest remapped head reproduces the global
+    // min-ready Kahn order. Failure-free runs carry only routines.
+    let mut witness_heads: Vec<std::iter::Peekable<std::vec::IntoIter<RoutineId>>> = Vec::new();
+    for (c, sub) in subs.iter().enumerate() {
+        let mut ids = Vec::with_capacity(sub.log.final_order.len());
+        for item in &sub.log.final_order {
+            match item {
+                OrderItem::Routine(r) => ids.push(remap[c][r]),
+                _ => return None, // failure/restart events: gate bypassed
+            }
+        }
+        witness_heads.push(ids.into_iter().peekable());
+    }
+    let mut witness = Vec::new();
+    loop {
+        let mut best: Option<(RoutineId, usize)> = None;
+        for (c, it) in witness_heads.iter_mut().enumerate() {
+            if let Some(&r) = it.peek() {
+                if best.is_none_or(|(b, _)| r < b) {
+                    best = Some((r, c));
+                }
+            }
+        }
+        let Some((r, c)) = best else {
+            break;
+        };
+        witness_heads[c].next();
+        witness.push(OrderItem::Routine(r));
+    }
+
+    // Device states: each device is touched by at most one cluster
+    // (shared footprints force a union), and a cluster leaves foreign
+    // devices at their initial state — overlay every cluster's own
+    // devices over the initial map.
+    let mut end_states: BTreeMap<DeviceId, Value> = spec.home.initial_states();
+    let mut committed_states = end_states.clone();
+    for (c, locals) in partition.clusters.iter().enumerate() {
+        let mut owned: Vec<DeviceId> = locals
+            .iter()
+            .flat_map(|&g| spec.submissions[g].routine.devices())
+            .collect();
+        owned.sort_unstable();
+        owned.dedup();
+        for d in owned {
+            if let Some(&v) = subs[c].log.end_states.get(&d) {
+                end_states.insert(d, v);
+            }
+            if let Some(&v) = subs[c].log.committed_states.get(&d) {
+                committed_states.insert(d, v);
+            }
+        }
+    }
+    counters.finish(witness, end_states, &committed_states);
+    Some(counters)
+}
+
+/// Runs `spec` as one sub-driver per cluster (to quiescence, in-process)
+/// and merges the results. `None` means "run the sequential path": the
+/// gate rejected the spec, the partition does not split the home, or a
+/// sub-run stalled.
+pub fn run_clustered(spec: &RunSpec, partition: &HomePartition) -> Option<RunCounters> {
+    if !partition.is_split() || !spec_decomposable(spec) {
+        return None;
+    }
+    let sub_specs = build_sub_specs(spec, partition);
+    let mut subs = Vec::with_capacity(sub_specs.len());
+    for sub_spec in &sub_specs {
+        let mut d = Driver::with_sink_traced(sub_spec, SubRunLog::new());
+        d.run_to_quiescence();
+        let funnel = d.backend_mut().take_funnel_log();
+        let (log, _committed, completed) = d.into_output();
+        subs.push(SubRun {
+            log,
+            funnel,
+            completed,
+        });
+    }
+    merge_sub_runs(spec, partition, subs)
+}

@@ -33,6 +33,7 @@
 //! see [`journal`] for the crash/recovery semantics.
 
 pub mod fleet;
+pub mod intra;
 pub mod journal;
 pub mod runtime;
 pub mod service;
@@ -43,8 +44,12 @@ pub use fleet::{
     home_seed, run_fleet, run_fleet_gated, run_fleet_with, FleetResult, FleetSchedule, HomeRun,
     SpecRejection, WorkerStats,
 };
+pub use intra::{
+    build_sub_specs, merge_sub_runs, run_clustered, spec_decomposable, HomePartition, IntraPlanner,
+    SubRun, SubRunLog,
+};
 pub use journal::{recover, InflightWrite, Recovered, RecoveryReport, ReplayBackend};
 pub use runtime::{Backend, CommandOutcome, HomeRuntime, HomeTables, Polled, RuntimeCore, Step};
-pub use service::{run_service, run_service_with, ServiceConfig, ServiceResult};
+pub use service::{run_service, run_service_with, EvictionPolicy, ServiceConfig, ServiceResult};
 pub use sim::{home_pool_stats, run, Driver, HomePoolStats, RunOutput, SimBackend};
 pub use spec::{Arrival, RunSpec, Submission};

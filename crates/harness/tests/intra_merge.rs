@@ -1,0 +1,149 @@
+//! Byte-identity of the intra-home merge against the sequential path.
+//!
+//! The whole point of [`safehome_harness::intra`] is that running a
+//! decomposable home as per-cluster sub-drivers and merging is
+//! *indistinguishable* from the sequential driver — same
+//! [`RunCounters`], same digest, bit for bit. These tests pin that on
+//! hand-built partitions (the structural analysis lives above the
+//! harness in `safehome-lint`; here the partition is an input).
+
+use safehome_core::{EngineConfig, VisibilityModel};
+use safehome_devices::catalog::plug_home;
+use safehome_devices::LatencyModel;
+use safehome_harness::{
+    build_sub_specs, run_clustered, spec_decomposable, Driver, HomePartition, RunSpec, Submission,
+};
+use safehome_types::{sink::RunCounters, DeviceId, Routine, TimeDelta, Timestamp, Value};
+
+fn d(i: u64) -> DeviceId {
+    DeviceId(i as u32)
+}
+
+fn sequential(spec: &RunSpec) -> RunCounters {
+    let mut driver = Driver::with_sink(spec, RunCounters::new());
+    assert!(driver.run_to_quiescence(), "sequential run must complete");
+    let (counters, _, _) = driver.into_output();
+    counters
+}
+
+/// A "factory floor" home: `zones` independent device groups of three,
+/// submissions interleaved round-robin across zones so cluster indices
+/// are non-contiguous and `After` edges need real remapping. Within a
+/// zone there is same-device contention, a chained `After`, and
+/// same-instant arrivals that collide *across* zones.
+fn zoned_spec(zones: usize, base_ms: u64) -> (RunSpec, HomePartition) {
+    let mut spec = RunSpec::new(
+        plug_home(zones * 3),
+        EngineConfig::new(VisibilityModel::ev()),
+    );
+    spec.latency = LatencyModel::Fixed(TimeDelta::from_millis(20));
+    let mut clusters = vec![Vec::new(); zones];
+    // Four waves, round-robin across zones within each wave.
+    for wave in 0..4 {
+        for (z, cluster) in clusters.iter_mut().enumerate() {
+            let (a, b, c) = (3 * z as u64, 3 * z as u64 + 1, 3 * z as u64 + 2);
+            let idx = match wave {
+                // Multi-device routine, same arrival instant in every
+                // zone — exercises the construction-order tie-break.
+                0 => spec.submit(Submission::at(
+                    Routine::builder(format!("z{z}-sweep"))
+                        .set(d(a), Value::ON, TimeDelta::from_millis(base_ms))
+                        .set(d(b), Value::ON, TimeDelta::from_millis(base_ms / 2))
+                        .build(),
+                    Timestamp::from_millis(5),
+                )),
+                // Contends on device `a` with the sweep.
+                1 => spec.submit(Submission::at(
+                    Routine::builder(format!("z{z}-contend"))
+                        .set(d(a), Value::OFF, TimeDelta::from_millis(base_ms / 3))
+                        .build(),
+                    Timestamp::from_millis(7 + z as u64),
+                )),
+                // Chained after the sweep (cluster-internal edge whose
+                // global predecessor index differs from the local one).
+                2 => {
+                    let pred = cluster[0];
+                    spec.submit(Submission::after(
+                        Routine::builder(format!("z{z}-chained"))
+                            .set(d(c), Value::ON, TimeDelta::from_millis(base_ms / 4))
+                            .build(),
+                        pred,
+                        TimeDelta::from_millis(9),
+                    ))
+                }
+                // Late same-instant tail across zones.
+                _ => spec.submit(Submission::at(
+                    Routine::builder(format!("z{z}-tail"))
+                        .set(d(b), Value::OFF, TimeDelta::from_millis(base_ms / 5 + 1))
+                        .build(),
+                    Timestamp::from_millis(400),
+                )),
+            };
+            cluster.push(idx);
+        }
+    }
+    (spec, HomePartition { clusters })
+}
+
+#[test]
+fn merged_counters_are_byte_identical_to_sequential() {
+    for zones in [2, 3, 5] {
+        for base_ms in [40, 130] {
+            let (spec, partition) = zoned_spec(zones, base_ms);
+            assert!(spec_decomposable(&spec));
+            let merged = run_clustered(&spec, &partition)
+                .expect("decomposable spec with a splitting partition must merge");
+            let seq = sequential(&spec);
+            assert_eq!(
+                merged, seq,
+                "zones={zones} base={base_ms}: merged counters diverge from sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_is_stable_across_cluster_enumeration_order() {
+    let (spec, partition) = zoned_spec(3, 70);
+    let reversed = HomePartition {
+        clusters: partition.clusters.iter().rev().cloned().collect(),
+    };
+    let a = run_clustered(&spec, &partition).unwrap();
+    let b = run_clustered(&spec, &reversed).unwrap();
+    assert_eq!(a, b, "cluster enumeration order must not matter");
+}
+
+#[test]
+fn sub_specs_project_the_workload() {
+    let (spec, partition) = zoned_spec(2, 50);
+    let subs = build_sub_specs(&spec, &partition);
+    assert_eq!(subs.len(), 2);
+    let total: usize = subs.iter().map(|s| s.submissions.len()).sum();
+    assert_eq!(total, spec.submissions.len());
+    for (sub, locals) in subs.iter().zip(&partition.clusters) {
+        assert_eq!(sub.home.len(), spec.home.len(), "full home retained");
+        for (local, &global) in locals.iter().enumerate() {
+            assert_eq!(
+                sub.submissions[local].routine.name,
+                spec.submissions[global].routine.name
+            );
+        }
+    }
+}
+
+#[test]
+fn gate_refuses_what_the_proof_does_not_cover() {
+    let (mut spec, partition) = zoned_spec(2, 50);
+    spec.latency = LatencyModel::default(); // jittered
+    assert!(!spec_decomposable(&spec));
+    assert!(run_clustered(&spec, &partition).is_none());
+
+    let (spec, _) = zoned_spec(2, 50);
+    let whole = HomePartition {
+        clusters: vec![(0..spec.submissions.len()).collect()],
+    };
+    assert!(
+        run_clustered(&spec, &whole).is_none(),
+        "a one-cluster partition has nothing to parallelize"
+    );
+}

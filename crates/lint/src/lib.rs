@@ -33,6 +33,7 @@
 //! perturbs its execution: gates only read the spec, so per-home digests
 //! are byte-identical with and without the lint hook.
 
+pub mod cluster;
 pub mod conflict;
 pub mod observed;
 pub mod rules;
@@ -42,6 +43,7 @@ use safehome_harness::RunSpec;
 use safehome_types::routine::DeviceAccess;
 use safehome_types::DeviceId;
 
+pub use cluster::{partition, plan, planner};
 pub use conflict::{serial_bound, windows, AccessKind, ConflictPrediction, Window};
 pub use observed::{activity_intervals, observed_conflicts, submission_indices, ObservedConflict};
 pub use rules::{Diagnostic, RuleId, Severity, Span};

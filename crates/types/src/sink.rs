@@ -31,6 +31,11 @@ pub trait TraceSink {
     /// Appends one run event.
     fn record(&mut self, at: Timestamp, kind: TraceEventKind);
 
+    /// Marks the boundary between two backend event pops. Only
+    /// instrumenting sinks (the intra-home sub-run recorder) segment the
+    /// call stream by pop; ordinary sinks ignore it.
+    fn pop_boundary(&mut self) {}
+
     /// Finalizes the sink when the run ends: the engine's witness order,
     /// the devices' actual end states, and the engine's committed view
     /// (for end-state congruence checking).
@@ -432,6 +437,32 @@ impl RunCounters {
         flush_words(&mut self.digest, &mut self.pending);
     }
 
+    /// Registers a submission from its shape alone — command count and
+    /// ideal runtime are everything [`TraceSink::record_submission`]
+    /// reads off the routine definition. Replaying a recorded call
+    /// stream (the intra-home merge) uses this to reproduce the exact
+    /// same counter and digest updates without the `Routine` in hand.
+    pub fn record_submission_shape(
+        &mut self,
+        id: RoutineId,
+        commands: u32,
+        ideal_ms: u64,
+        at: Timestamp,
+    ) {
+        self.submitted += 1;
+        self.submitted_at.insert(
+            id,
+            SubInfo {
+                submitted: at,
+                commands,
+                ideal_ms,
+                started: None,
+            },
+        );
+        self.end_time = at;
+        self.fold(&(at, TraceEventKind::Submitted { routine: id }));
+    }
+
     fn finish_routine(&mut self, routine: RoutineId, at: Timestamp, committed: bool) {
         if let Some(info) = self.submitted_at.remove(&routine) {
             let latency = at.since(info.submitted).as_millis();
@@ -450,18 +481,12 @@ impl RunCounters {
 
 impl TraceSink for RunCounters {
     fn record_submission(&mut self, id: RoutineId, routine: &Routine, at: Timestamp) {
-        self.submitted += 1;
-        self.submitted_at.insert(
+        self.record_submission_shape(
             id,
-            SubInfo {
-                submitted: at,
-                commands: routine.commands.len() as u32,
-                ideal_ms: routine.ideal_runtime().as_millis().max(1),
-                started: None,
-            },
+            routine.commands.len() as u32,
+            routine.ideal_runtime().as_millis().max(1),
+            at,
         );
-        self.end_time = at;
-        self.fold(&(at, TraceEventKind::Submitted { routine: id }));
     }
 
     fn record(&mut self, at: Timestamp, kind: TraceEventKind) {

@@ -1,0 +1,197 @@
+//! The zoned-workshop scenario: one heavy home made of independent
+//! zones — the intra-home parallelism benchmark shape.
+//!
+//! The paper's [`factory`](mod@super::factory) floor is deliberately
+//! *entangled*: belts between neighbouring stages and five global
+//! devices make the whole line one conflict component, so it must run
+//! sequentially. A zoned workshop is the opposite extreme that real
+//! deployments also exhibit (a large home or small commercial building
+//! whose wings share nothing): `zones` device groups, every routine
+//! strictly inside one zone, no cross-zone `After` edges, a fixed
+//! actuation latency and no failure plan. That makes the spec pass the
+//! intra-home cluster gate (`safehome-lint`'s `cluster::plan`) with
+//! exactly `zones` conflict clusters, each a deterministic sub-slice
+//! the service runner can execute in parallel — while staying
+//! byte-identical to the sequential run.
+//!
+//! [`zoned_fleet_home`] embeds one such heavy home at index 0 of an
+//! otherwise ordinary open-loop service fleet — the skewed-fleet shape
+//! the `intra_home` bench section measures: stealing alone cannot beat
+//! `max(total/workers, heaviest-home cost)`, sub-slicing can.
+
+use safehome_core::EngineConfig;
+use safehome_devices::{DeviceKind, Home, LatencyModel};
+use safehome_harness::{RunSpec, Submission};
+use safehome_sim::SimRng;
+use safehome_types::{DeviceId, Routine, TimeDelta, Timestamp, Value};
+
+use super::morning::FleetTemplate;
+use super::service::{service_home, ServiceParams};
+
+/// Shape of a zoned workshop home.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoneParams {
+    /// Independent zones (= conflict clusters the home splits into).
+    pub zones: usize,
+    /// Devices per zone; routines touch only their zone's devices.
+    pub devices_per_zone: usize,
+    /// Arrival window: every routine arrives before this instant.
+    pub horizon: TimeDelta,
+    /// Routines submitted per zone over the horizon.
+    pub routines_per_zone: usize,
+}
+
+impl ZoneParams {
+    /// `zones` zones of `devices_per_zone` devices, `routines_per_zone`
+    /// arrivals each over `horizon`.
+    pub fn new(zones: usize, horizon: TimeDelta, routines_per_zone: usize) -> Self {
+        ZoneParams {
+            zones,
+            devices_per_zone: 3,
+            horizon,
+            routines_per_zone,
+        }
+    }
+}
+
+/// The workshop catalog: `zones × devices_per_zone` industrial devices,
+/// named by zone so specs stay debuggable.
+fn workshop(params: &ZoneParams) -> Home {
+    let mut b = Home::builder();
+    for z in 0..params.zones {
+        for i in 0..params.devices_per_zone {
+            b.device(format!("zone{z}_dev{i}"), DeviceKind::Industrial);
+        }
+    }
+    b.build()
+}
+
+/// One zoned workshop home: heavy (`zones × routines_per_zone`
+/// arrivals), decomposable by construction. Deterministic in
+/// `(config, params, seed)`; the fixed 30 ms latency and empty failure
+/// plan are load-bearing — they are two of the cluster gate's
+/// preconditions (the third, the EV model, comes from `config`).
+pub fn zoned_home(config: EngineConfig, params: &ZoneParams, seed: u64) -> RunSpec {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x20_4E5);
+    let mut spec = RunSpec::new(workshop(params), config).with_seed(seed ^ 0x5afe);
+    spec.latency = LatencyModel::Fixed(TimeDelta::from_millis(30));
+    let horizon_ms = params.horizon.as_millis().max(1);
+    let dpz = params.devices_per_zone as u32;
+    for z in 0..params.zones {
+        let base = z as u32 * dpz;
+        let mut prev: Option<usize> = None;
+        for r in 0..params.routines_per_zone {
+            // 1–3 commands over the zone's own devices, mixed values.
+            let mut rb = Routine::builder(format!("z{z}r{r}"));
+            let commands = 1 + (rng.next_u64() % 3) as u32;
+            for c in 0..commands {
+                let dev = DeviceId(base + (rng.next_u64() as u32) % dpz);
+                let value = if (rng.next_u64() & 1) == 0 {
+                    Value::ON
+                } else {
+                    Value::OFF
+                };
+                rb = rb.set(dev, value, TimeDelta::from_millis(40 + rng.int_in(0, 160)));
+                let _ = c;
+            }
+            let routine = rb.build();
+            // One in four routines chains after the zone's previous one
+            // — an intra-cluster `After` edge, exercising the local
+            // index remap without ever coupling zones.
+            let idx = match prev {
+                Some(p) if rng.next_u64().is_multiple_of(4) => spec.submit(Submission::after(
+                    routine,
+                    p,
+                    TimeDelta::from_millis(rng.int_in(50, 2_000)),
+                )),
+                _ => spec.submit(Submission::at(
+                    routine,
+                    Timestamp::from_millis(rng.int_in(0, horizon_ms - 1)),
+                )),
+            };
+            prev = Some(idx);
+        }
+    }
+    spec
+}
+
+/// One home of a fleet whose first home is a zoned workshop and the
+/// rest ordinary open-loop service homes: the skewed shape where the
+/// heaviest home dominates steal-only makespan and only intra-home
+/// sub-slicing recovers the parallelism.
+pub fn zoned_fleet_home(
+    template: &FleetTemplate,
+    base: &ServiceParams,
+    zone: &ZoneParams,
+    home: usize,
+    seed: u64,
+) -> RunSpec {
+    if home == 0 {
+        zoned_home(template.config().clone(), zone, seed)
+    } else {
+        service_home(template, base, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safehome_core::VisibilityModel;
+    use safehome_harness::{home_seed, Arrival};
+
+    fn ev() -> EngineConfig {
+        EngineConfig::new(VisibilityModel::ev())
+    }
+
+    #[test]
+    fn deterministic_and_heavy() {
+        let p = ZoneParams::new(4, TimeDelta::from_mins(30), 12);
+        let a = zoned_home(ev(), &p, home_seed(1, 0));
+        let b = zoned_home(ev(), &p, home_seed(1, 0));
+        assert_eq!(a, b);
+        assert_eq!(a.submissions.len(), 48);
+        assert_ne!(
+            a.submissions,
+            zoned_home(ev(), &p, home_seed(1, 1)).submissions
+        );
+    }
+
+    #[test]
+    fn zones_never_couple() {
+        let p = ZoneParams::new(5, TimeDelta::from_mins(20), 10);
+        let spec = zoned_home(ev(), &p, home_seed(2, 0));
+        let dpz = p.devices_per_zone as u32;
+        let zone_of = |i: usize| {
+            let devs = spec.submissions[i].routine.devices();
+            let z = devs[0].0 / dpz;
+            assert!(
+                devs.iter().all(|d| d.0 / dpz == z),
+                "routine {i} crosses zones"
+            );
+            z
+        };
+        for (i, s) in spec.submissions.iter().enumerate() {
+            if let Arrival::After { index, .. } = s.arrival {
+                assert_eq!(zone_of(i), zone_of(index), "After edge crosses zones");
+            }
+        }
+    }
+
+    #[test]
+    fn passes_the_intra_home_gate_shape() {
+        let p = ZoneParams::new(4, TimeDelta::from_mins(30), 8);
+        let spec = zoned_home(ev(), &p, home_seed(3, 0));
+        assert!(safehome_harness::spec_decomposable(&spec));
+    }
+
+    #[test]
+    fn fleet_wrapper_embeds_one_workshop() {
+        let t = FleetTemplate::morning(ev());
+        let base = ServiceParams::new(TimeDelta::from_mins(60), 30);
+        let zone = ZoneParams::new(4, TimeDelta::from_mins(30), 10);
+        let heavy = zoned_fleet_home(&t, &base, &zone, 0, home_seed(4, 0));
+        assert!(safehome_harness::spec_decomposable(&heavy));
+        let ordinary = zoned_fleet_home(&t, &base, &zone, 3, home_seed(4, 3));
+        assert_eq!(ordinary, service_home(&t, &base, home_seed(4, 3)));
+    }
+}
